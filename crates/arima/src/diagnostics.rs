@@ -1,0 +1,269 @@
+//! Residual diagnostics for fitted models.
+//!
+//! The paper's reference \[11\] is Box & Pierce, *Distribution of Residual
+//! Autocorrelations in Autoregressive-Integrated Moving Average Time
+//! Series Models* — the portmanteau test (and its small-sample Ljung–Box
+//! refinement) that checks whether a fitted ARIMA left structure in its
+//! residuals. The automatic order search can use it as a sanity check:
+//! a model whose residuals still autocorrelate underfits.
+
+use sitw_stats::fit::acf;
+
+/// A portmanteau test result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PortmanteauTest {
+    /// The Q statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (lags − fitted parameters).
+    pub df: usize,
+    /// Approximate p-value from the χ² distribution.
+    pub p_value: f64,
+}
+
+impl PortmanteauTest {
+    /// True when the null hypothesis "residuals are white noise" is NOT
+    /// rejected at the given significance level.
+    pub fn residuals_look_white(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Ljung–Box Q statistic over `residuals` using autocorrelations at lags
+/// `1..=lags`, with `fitted_params` subtracted from the degrees of
+/// freedom.
+///
+/// Returns `None` when the series is too short (`n ≤ lags`) or the
+/// degrees of freedom would be zero.
+pub fn ljung_box(residuals: &[f64], lags: usize, fitted_params: usize) -> Option<PortmanteauTest> {
+    let n = residuals.len();
+    if n <= lags + 1 || lags == 0 || lags <= fitted_params {
+        return None;
+    }
+    let rho = acf(residuals, lags);
+    let nf = n as f64;
+    let q = nf
+        * (nf + 2.0)
+        * rho
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(k, &r)| r * r / (nf - k as f64))
+            .sum::<f64>();
+    let df = lags - fitted_params;
+    Some(PortmanteauTest {
+        statistic: q,
+        df,
+        p_value: chi_square_sf(q, df as f64),
+    })
+}
+
+/// Box–Pierce Q statistic (the original \[11\] form, without the
+/// small-sample correction).
+pub fn box_pierce(residuals: &[f64], lags: usize, fitted_params: usize) -> Option<PortmanteauTest> {
+    let n = residuals.len();
+    if n <= lags + 1 || lags == 0 || lags <= fitted_params {
+        return None;
+    }
+    let rho = acf(residuals, lags);
+    let q = n as f64 * rho.iter().skip(1).map(|&r| r * r).sum::<f64>();
+    let df = lags - fitted_params;
+    Some(PortmanteauTest {
+        statistic: q,
+        df,
+        p_value: chi_square_sf(q, df as f64),
+    })
+}
+
+/// Survival function of the χ² distribution with `k` degrees of freedom:
+/// `P(X > x)` via the regularized upper incomplete gamma function.
+pub fn chi_square_sf(x: f64, k: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    1.0 - lower_regularized_gamma(k / 2.0, x / 2.0)
+}
+
+/// Regularized lower incomplete gamma `P(a, x)`, by series expansion for
+/// `x < a + 1` and continued fraction otherwise (Numerical Recipes
+/// `gammp`).
+fn lower_regularized_gamma(a: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series representation.
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        let mut ap = a;
+        for _ in 0..500 {
+            ap += 1.0;
+            term *= x / ap;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-14 {
+                break;
+            }
+        }
+        (sum * (-x + a * x.ln() - ln_gamma(a)).exp()).clamp(0.0, 1.0)
+    } else {
+        // Continued fraction for the upper tail.
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let delta = d * c;
+            h *= delta;
+            if (delta - 1.0).abs() < 1e-14 {
+                break;
+            }
+        }
+        let upper = (-x + a * x.ln() - ln_gamma(a)).exp() * h;
+        (1.0 - upper).clamp(0.0, 1.0)
+    }
+}
+
+/// Lanczos approximation of `ln Γ(x)` (g = 7, n = 9 coefficients).
+fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn white_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.random();
+                (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chi_square_sf_known_values() {
+        // χ²(k=1): P(X > 3.841) ≈ 0.05; χ²(k=10): P(X > 18.307) ≈ 0.05.
+        assert!((chi_square_sf(3.841, 1.0) - 0.05).abs() < 2e-3);
+        assert!((chi_square_sf(18.307, 10.0) - 0.05).abs() < 2e-3);
+        assert_eq!(chi_square_sf(0.0, 4.0), 1.0);
+        assert!(chi_square_sf(1000.0, 4.0) < 1e-12);
+    }
+
+    #[test]
+    fn white_noise_passes_ljung_box() {
+        let xs = white_noise(500, 3);
+        let t = ljung_box(&xs, 10, 0).unwrap();
+        assert!(
+            t.residuals_look_white(0.01),
+            "white noise rejected: Q={} p={}",
+            t.statistic,
+            t.p_value
+        );
+    }
+
+    #[test]
+    fn autocorrelated_series_fails_ljung_box() {
+        // AR(1) with phi=0.8 — strong residual structure.
+        let noise = white_noise(500, 4);
+        let mut xs = vec![0.0f64];
+        for &e in &noise {
+            let prev = *xs.last().unwrap();
+            xs.push(0.8 * prev + e);
+        }
+        let t = ljung_box(&xs, 10, 0).unwrap();
+        assert!(
+            !t.residuals_look_white(0.05),
+            "AR(1) passed: p={}",
+            t.p_value
+        );
+        assert!(t.statistic > 100.0);
+    }
+
+    #[test]
+    fn box_pierce_close_to_ljung_box_for_large_n() {
+        let xs = white_noise(2_000, 5);
+        let lb = ljung_box(&xs, 8, 0).unwrap();
+        let bp = box_pierce(&xs, 8, 0).unwrap();
+        assert!((lb.statistic - bp.statistic).abs() / lb.statistic.max(1e-9) < 0.05);
+        assert_eq!(lb.df, bp.df);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(ljung_box(&[1.0, 2.0], 10, 0).is_none());
+        assert!(ljung_box(&white_noise(100, 6), 0, 0).is_none());
+        assert!(ljung_box(&white_noise(100, 7), 3, 3).is_none());
+    }
+
+    #[test]
+    fn fitted_model_residuals_whiten() {
+        // Residuals of a correctly specified AR(1) fit are white; the
+        // raw series is not.
+        let noise = white_noise(800, 8);
+        let mut series = vec![0.0f64];
+        for &e in &noise {
+            let prev = *series.last().unwrap();
+            series.push(0.7 * prev + 1.0 + e);
+        }
+        let fit = crate::fit(&series, crate::ArimaSpec::new(1, 0, 0)).unwrap();
+        // Recompute residuals: e_t = y_t − c − φ y_{t−1}.
+        let resid: Vec<f64> = series
+            .windows(2)
+            .map(|w| w[1] - fit.intercept() - fit.phi()[0] * w[0])
+            .collect();
+        let t = ljung_box(&resid, 10, 1).unwrap();
+        assert!(
+            t.residuals_look_white(0.01),
+            "fitted residuals rejected: p={}",
+            t.p_value
+        );
+        let raw = ljung_box(&series, 10, 0).unwrap();
+        assert!(!raw.residuals_look_white(0.05));
+    }
+}

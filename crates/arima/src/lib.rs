@@ -1,0 +1,43 @@
+//! From-scratch ARIMA time-series modelling.
+//!
+//! The hybrid histogram policy of *Serverless in the Wild* (§4.2) falls
+//! back to time-series forecasting for applications whose idle times are
+//! mostly out of the histogram's bounds. The paper used pmdarima's
+//! `auto_arima`; this crate provides the equivalent pipeline natively:
+//!
+//! * [`matrix`] — small dense linear algebra (Gaussian elimination,
+//!   normal-equation least squares);
+//! * [`diff`] — differencing and integration;
+//! * [`acf`] — ACF/PACF and Yule–Walker estimation (Durbin–Levinson);
+//! * [`model`] — ARIMA(p,d,q) fitting via Hannan–Rissanen and iterative
+//!   forecasting with ψ-weight standard errors;
+//! * [`auto`] — AIC-driven automatic order selection ([`auto_arima`]);
+//! * [`diagnostics`] — Ljung–Box / Box–Pierce portmanteau tests on
+//!   residuals (the paper's reference \[11\]).
+//!
+//! # Examples
+//!
+//! ```
+//! use sitw_arima::{auto_arima, AutoArimaConfig};
+//!
+//! // Idle times (minutes) of an app invoked roughly every 5 hours.
+//! let idle_times = vec![300.0, 295.0, 310.0, 305.0, 298.0, 303.0, 299.0];
+//! let fit = auto_arima(&idle_times, AutoArimaConfig::default()).unwrap();
+//! let next = fit.forecast_one();
+//! assert!((next - 300.0).abs() < 30.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acf;
+pub mod auto;
+pub mod diagnostics;
+pub mod diff;
+pub mod matrix;
+pub mod model;
+
+pub use acf::{pacf, yule_walker};
+pub use auto::{auto_arima, select_d, AutoArimaConfig};
+pub use diagnostics::{box_pierce, ljung_box, PortmanteauTest};
+pub use model::{fit, ArimaError, ArimaFit, ArimaSpec};

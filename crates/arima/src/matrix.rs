@@ -1,0 +1,311 @@
+//! Minimal dense linear algebra for time-series regression.
+//!
+//! ARIMA estimation only needs small systems (tens of unknowns), so a
+//! straightforward row-major matrix with partial-pivot Gaussian elimination
+//! and normal-equation least squares is plenty — and keeps the crate
+//! dependency-free.
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Self { rows, cols, data }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    let v = out.get(r, c) + a * other.get(k, c);
+                    out.set(r, c, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "vector length mismatch");
+        (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self.get(r, c) * v[c]).sum())
+            .collect()
+    }
+}
+
+/// Solves the square system `a · x = b` by Gaussian elimination with
+/// partial pivoting. Returns `None` when the matrix is (numerically)
+/// singular.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b` has the wrong length.
+// The index-based loops mirror the textbook elimination; iterator forms
+// obscure the row/column structure.
+#[expect(clippy::needless_range_loop)]
+pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "solve needs a square matrix");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    // Work on an augmented copy.
+    let mut m = a.clone();
+    let mut x = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot: largest |value| in this column at or below row.
+        let mut pivot_row = col;
+        let mut pivot_val = m.get(col, col).abs();
+        for r in col + 1..n {
+            let v = m.get(r, col).abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = r;
+            }
+        }
+        if pivot_val < 1e-12 {
+            return None;
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = m.get(col, c);
+                m.set(col, c, m.get(pivot_row, c));
+                m.set(pivot_row, c, tmp);
+            }
+            x.swap(col, pivot_row);
+        }
+        let pivot = m.get(col, col);
+        for r in col + 1..n {
+            let factor = m.get(r, col) / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = m.get(r, c) - factor * m.get(col, c);
+                m.set(r, c, v);
+            }
+            x[r] -= factor * x[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut acc = x[col];
+        for c in col + 1..n {
+            acc -= m.get(col, c) * x[c];
+        }
+        x[col] = acc / m.get(col, col);
+    }
+    Some(x)
+}
+
+/// Least-squares solution of the overdetermined system `x · beta ≈ y` via
+/// the normal equations, with a small ridge retried on singularity.
+///
+/// Returns `None` only when even the ridge-stabilized system is singular
+/// (e.g. an all-zero design matrix).
+///
+/// # Panics
+///
+/// Panics if `y.len() != x.rows()`.
+pub fn least_squares(x: &Matrix, y: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(y.len(), x.rows(), "rhs length mismatch");
+    let xt = x.transpose();
+    let xtx = xt.matmul(x);
+    let xty = xt.matvec(y);
+    if let Some(beta) = solve(&xtx, &xty) {
+        return Some(beta);
+    }
+    // Ridge fallback: X'X + εI with ε scaled to the matrix magnitude.
+    let n = xtx.rows();
+    let trace: f64 = (0..n).map(|i| xtx.get(i, i)).sum();
+    let eps = (trace / n as f64).max(1.0) * 1e-8;
+    let mut ridged = xtx;
+    for i in 0..n {
+        let v = ridged.get(i, i) + eps;
+        ridged.set(i, i, v);
+    }
+    solve(&ridged, &xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve() {
+        let a = Matrix::identity(3);
+        let x = solve(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3.
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = solve(&a, &[2.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = a.transpose();
+        assert_eq!(b.rows(), 3);
+        let p = a.matmul(&b);
+        // First row of A dot itself = 1+4+9 = 14.
+        assert_eq!(p.get(0, 0), 14.0);
+        assert_eq!(p.get(0, 1), 32.0);
+        assert_eq!(p.get(1, 1), 77.0);
+    }
+
+    #[test]
+    fn matvec_works() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn least_squares_exact_line() {
+        // y = 2 + 3t, design [1, t].
+        let t: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let mut x = Matrix::zeros(10, 2);
+        let mut y = vec![0.0; 10];
+        for i in 0..10 {
+            x.set(i, 0, 1.0);
+            x.set(i, 1, t[i]);
+            y[i] = 2.0 + 3.0 * t[i];
+        }
+        let beta = least_squares(&x, &y).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-9);
+        assert!((beta[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_collinear_falls_back_to_ridge() {
+        // Two identical columns: normal equations singular, ridge resolves.
+        let mut x = Matrix::zeros(4, 2);
+        for i in 0..4 {
+            x.set(i, 0, 1.0);
+            x.set(i, 1, 1.0);
+        }
+        let beta = least_squares(&x, &[2.0, 2.0, 2.0, 2.0]).unwrap();
+        // The ridge splits the coefficient evenly; the fit must reproduce y.
+        assert!((beta[0] + beta[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn solve_rejects_rectangular() {
+        let a = Matrix::zeros(2, 3);
+        let _ = solve(&a, &[0.0, 0.0]);
+    }
+}

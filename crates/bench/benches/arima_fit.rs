@@ -1,0 +1,43 @@
+//! ARIMA fitting and forecasting cost — the §5.3 overhead numbers.
+//!
+//! The paper measures 26.9 ms for the initial pmdarima model build and
+//! 5.3 ms for subsequent forecasts. Our from-scratch `auto_arima` runs
+//! on the same series lengths the policy sees (tens of idle times).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sitw_arima::{auto_arima, fit, ArimaSpec, AutoArimaConfig};
+
+fn series(n: usize) -> Vec<f64> {
+    // Idle times of a rare app: ~300 min with deterministic jitter.
+    (0..n)
+        .map(|i| 300.0 + ((i * 37) % 23) as f64 - 11.0)
+        .collect()
+}
+
+fn bench_auto_arima(c: &mut Criterion) {
+    let mut group = c.benchmark_group("auto_arima_full_search");
+    for n in [8usize, 16, 32, 64] {
+        let xs = series(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &xs, |b, xs| {
+            b.iter(|| black_box(auto_arima(xs, AutoArimaConfig::default()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_fit_and_forecast(c: &mut Criterion) {
+    let xs = series(32);
+    c.bench_function("arima_fit_1_0_1", |b| {
+        b.iter(|| black_box(fit(&xs, ArimaSpec::new(1, 0, 1)).unwrap()))
+    });
+    let fitted = fit(&xs, ArimaSpec::new(1, 0, 1)).unwrap();
+    c.bench_function("arima_forecast_one", |b| {
+        b.iter(|| black_box(fitted.forecast_one()))
+    });
+    c.bench_function("arima_forecast_horizon_10_with_se", |b| {
+        b.iter(|| black_box(fitted.forecast_with_se(10)))
+    });
+}
+
+criterion_group!(benches, bench_auto_arima, bench_single_fit_and_forecast);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Platform-model throughput: events per second through the OpenWhisk-
+//! style discrete-event loop, fixed versus hybrid policy management.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sitw_core::{AppPolicy, FixedKeepAlive, HybridConfig, PolicyFactory};
+use sitw_platform::{run_platform, PlatformConfig};
+use sitw_trace::subset::mid_popularity_subset;
+use sitw_trace::{build_population, generate_trace, Trace, TraceConfig, HOUR_MS};
+
+fn replay_trace() -> Trace {
+    let population = build_population(&sitw_trace::PopulationConfig {
+        num_apps: 600,
+        seed: 3,
+    });
+    let subset = mid_popularity_subset(&population, 30, 24.0, 1440.0, 1);
+    generate_trace(
+        &subset,
+        &TraceConfig {
+            horizon_ms: 2 * HOUR_MS,
+            cap_per_day: 2_000.0,
+            seed: 2,
+        },
+    )
+}
+
+fn bench_platform(c: &mut Criterion) {
+    let trace = replay_trace();
+    let cfg = PlatformConfig::default();
+    let mut group = c.benchmark_group("platform_replay_2h_30apps");
+    group.sample_size(10);
+    group.bench_function("fixed_10min", |b| {
+        b.iter(|| {
+            black_box(run_platform(&trace, &cfg, || {
+                Box::new(FixedKeepAlive::minutes(10).new_policy()) as Box<dyn AppPolicy>
+            }))
+        })
+    });
+    group.bench_function("hybrid_4h", |b| {
+        b.iter(|| {
+            black_box(run_platform(&trace, &cfg, || {
+                Box::new(HybridConfig::default().new_policy()) as Box<dyn AppPolicy>
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_platform);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Policy execution overhead — the §5.3 measurements.
+//!
+//! The paper reports its Scala controller adds 835.7 µs (σ 245.5 µs) per
+//! invocation end to end; the policy *logic* itself must stay far below
+//! function execution times (>50% of executions are under 1 s). These
+//! benches measure our implementation of the same decision paths.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use sitw_core::{
+    AppPolicy, FixedKeepAlive, HybridConfig, PolicyFactory, ProductionConfig, ProductionManager,
+    MINUTE_MS,
+};
+
+fn bench_hybrid_decision_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hybrid_on_invocation");
+
+    // Histogram path: a warmed-up policy with a concentrated pattern.
+    group.bench_function("histogram_path", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut p = HybridConfig::default().new_policy();
+                p.on_invocation(None);
+                for _ in 0..50 {
+                    p.on_invocation(Some(10 * MINUTE_MS));
+                }
+                p
+            },
+            |p| black_box(p.on_invocation(Some(10 * MINUTE_MS))),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Standard keep-alive path: spread idle times.
+    group.bench_function("standard_keepalive_path", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut p = HybridConfig::default().new_policy();
+                p.on_invocation(None);
+                for i in 0..240u64 {
+                    p.on_invocation(Some(((i * 7919) % 239 + 1) * MINUTE_MS));
+                }
+                p
+            },
+            |p| black_box(p.on_invocation(Some(97 * MINUTE_MS))),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Cold path: the very first invocations (histogram still learning).
+    group.bench_function("learning_path", |b| {
+        b.iter_batched_ref(
+            || HybridConfig::default().new_policy(),
+            |p| black_box(p.on_invocation(None)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_fixed_baseline(c: &mut Criterion) {
+    c.bench_function("fixed_on_invocation", |b| {
+        let mut p = FixedKeepAlive::minutes(10).new_policy();
+        b.iter(|| black_box(p.on_invocation(Some(5 * MINUTE_MS))));
+    });
+}
+
+fn bench_production_manager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("production_manager");
+    group.bench_function("record_idle_time", |b| {
+        let mut m = ProductionManager::new(ProductionConfig::default());
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 60_000;
+            m.record_idle_time(7, now, black_box(10 * MINUTE_MS));
+        });
+    });
+    group.bench_function("windows_from_aggregate", |b| {
+        let mut m = ProductionManager::new(ProductionConfig::default());
+        for day in 0..14u64 {
+            for k in 0..50u64 {
+                m.record_idle_time(7, day * 86_400_000 + k * 60_000, 10 * MINUTE_MS);
+            }
+        }
+        b.iter(|| black_box(m.windows(7, 14 * 86_400_000)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hybrid_decision_paths,
+    bench_fixed_baseline,
+    bench_production_manager
+);
+criterion_main!(benches);

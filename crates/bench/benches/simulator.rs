@@ -1,0 +1,56 @@
+//! Simulator throughput: events per second through the §5.1 replay loop,
+//! and a small end-to-end sweep. Bounds how large a trace the figure
+//! harness can process.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sitw_core::{FixedKeepAlive, HybridConfig, PolicyFactory};
+use sitw_sim::{run_sweep, simulate_app, PolicySpec};
+use sitw_trace::{build_population, PopulationConfig, TraceConfig, DAY_MS, MINUTE_MS};
+
+fn event_stream(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| i * 3 * MINUTE_MS).collect()
+}
+
+fn bench_simulate_app(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_app");
+    for n in [1_000usize, 10_000, 100_000] {
+        let events = event_stream(n);
+        let horizon = *events.last().unwrap() + MINUTE_MS;
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("fixed", n), &events, |b, ev| {
+            b.iter(|| {
+                let mut p = FixedKeepAlive::minutes(10).new_policy();
+                black_box(simulate_app(ev, horizon, &mut p))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hybrid", n), &events, |b, ev| {
+            b.iter(|| {
+                let mut p = HybridConfig::default().new_policy();
+                black_box(simulate_app(ev, horizon, &mut p))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_small_sweep(c: &mut Criterion) {
+    let population = build_population(&PopulationConfig {
+        num_apps: 100,
+        seed: 1,
+    });
+    let cfg = TraceConfig {
+        horizon_ms: DAY_MS,
+        cap_per_day: 1_000.0,
+        seed: 2,
+    };
+    let specs = vec![
+        PolicySpec::fixed_minutes(10),
+        PolicySpec::Hybrid(HybridConfig::default()),
+    ];
+    c.bench_function("sweep_100_apps_1_day_2_policies", |b| {
+        b.iter(|| black_box(run_sweep(&population, &cfg, &specs, 2)))
+    });
+}
+
+criterion_group!(benches, bench_simulate_app, bench_small_sweep);
+criterion_main!(benches);

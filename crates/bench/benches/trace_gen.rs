@@ -1,0 +1,73 @@
+//! Trace-generation throughput: population sampling and per-archetype
+//! event stream generation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sitw_trace::archetype::{generate_events, Archetype, TimerSpec};
+use sitw_trace::{build_population, PopulationConfig, DAY_MS, HOUR_MS, MINUTE_MS};
+
+fn bench_population(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_population");
+    for n in [100usize, 1_000, 10_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(build_population(&PopulationConfig {
+                    num_apps: n,
+                    seed: 1,
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_archetypes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate_events_1day");
+    let cases: Vec<(&str, Archetype, f64)> = vec![
+        ("poisson_1k", Archetype::Poisson, 1_000.0),
+        (
+            "diurnal_1k",
+            Archetype::Diurnal { peak_hour: 13.0 },
+            1_000.0,
+        ),
+        (
+            "bursty_1k",
+            Archetype::Bursty {
+                mean_burst_size: 8.0,
+                intra_gap_ms: 10_000.0,
+                peak_hour: 13.0,
+            },
+            1_000.0,
+        ),
+        (
+            "timers_288",
+            Archetype::Timers(vec![TimerSpec {
+                period_ms: 5 * MINUTE_MS,
+                phase_ms: 0,
+            }]),
+            288.0,
+        ),
+        (
+            "rare_periodic",
+            Archetype::RarePeriodic {
+                period_ms: 6 * HOUR_MS,
+                jitter_ms: 60_000.0,
+            },
+            4.0,
+        ),
+    ];
+    for (name, arch, rate) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(generate_events(&arch, rate, DAY_MS, 1e9, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_population, bench_archetypes);
+criterion_main!(benches);

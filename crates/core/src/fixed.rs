@@ -1,0 +1,131 @@
+//! Baseline policies: fixed keep-alive and no-unloading.
+//!
+//! "Most FaaS providers use a fixed keep-alive policy for all
+//! applications, where application instances are kept loaded in memory
+//! for a fixed amount of time after a function execution" (§2) — 10
+//! minutes on AWS and OpenWhisk, 20 minutes on Azure at the time of the
+//! paper. The no-unloading policy is the zero-cold-start upper bound
+//! used in Figures 14 and 16–18.
+
+use crate::policy::{AppPolicy, DecisionKind, DurationMs, PolicyFactory, Windows, MINUTE_MS};
+
+/// The fixed keep-alive policy: every application stays loaded for the
+/// same duration after each execution; never pre-warms.
+///
+/// # Examples
+///
+/// ```
+/// use sitw_core::{AppPolicy, FixedKeepAlive, PolicyFactory};
+///
+/// let mut policy = FixedKeepAlive::minutes(10).new_policy();
+/// let w = policy.on_invocation(None);
+/// assert_eq!(w.pre_warm_ms, 0);
+/// assert_eq!(w.keep_alive_ms, 600_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedKeepAlive {
+    /// The keep-alive duration applied to every application.
+    pub keep_alive_ms: DurationMs,
+}
+
+impl FixedKeepAlive {
+    /// Creates a fixed keep-alive of the given number of minutes.
+    pub fn minutes(minutes: u64) -> Self {
+        Self {
+            keep_alive_ms: minutes * MINUTE_MS,
+        }
+    }
+}
+
+impl AppPolicy for FixedKeepAlive {
+    fn on_invocation(&mut self, _idle_time_ms: Option<DurationMs>) -> Windows {
+        Windows::keep_loaded(self.keep_alive_ms)
+    }
+
+    fn last_decision(&self) -> DecisionKind {
+        DecisionKind::Static
+    }
+
+    fn name(&self) -> String {
+        format!("fixed-{}min", self.keep_alive_ms / MINUTE_MS)
+    }
+}
+
+impl PolicyFactory for FixedKeepAlive {
+    type Policy = FixedKeepAlive;
+
+    fn new_policy(&self) -> Self::Policy {
+        *self
+    }
+
+    fn label(&self) -> String {
+        AppPolicy::name(self)
+    }
+}
+
+/// The no-unloading policy: applications are never evicted, so only the
+/// very first invocation of each app is cold.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoUnloading;
+
+impl AppPolicy for NoUnloading {
+    fn on_invocation(&mut self, _idle_time_ms: Option<DurationMs>) -> Windows {
+        Windows::NEVER_UNLOAD
+    }
+
+    fn last_decision(&self) -> DecisionKind {
+        DecisionKind::Static
+    }
+
+    fn name(&self) -> String {
+        "no-unloading".to_owned()
+    }
+}
+
+impl PolicyFactory for NoUnloading {
+    type Policy = NoUnloading;
+
+    fn new_policy(&self) -> Self::Policy {
+        *self
+    }
+
+    fn label(&self) -> String {
+        AppPolicy::name(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_constant_windows() {
+        let mut p = FixedKeepAlive::minutes(20);
+        let w1 = p.on_invocation(None);
+        let w2 = p.on_invocation(Some(5 * MINUTE_MS));
+        let w3 = p.on_invocation(Some(3_000 * MINUTE_MS));
+        assert_eq!(w1, w2);
+        assert_eq!(w2, w3);
+        assert_eq!(w1, Windows::keep_loaded(20 * MINUTE_MS));
+        assert_eq!(AppPolicy::name(&p), "fixed-20min");
+        assert_eq!(p.last_decision(), DecisionKind::Static);
+    }
+
+    #[test]
+    fn no_unloading_never_cold_after_first() {
+        let mut p = NoUnloading;
+        let w = p.on_invocation(None);
+        assert!(w.is_warm_at(DurationMs::MAX));
+        assert_eq!(AppPolicy::name(&p), "no-unloading");
+    }
+
+    #[test]
+    fn factories_produce_equivalent_policies() {
+        let f = FixedKeepAlive::minutes(10);
+        let mut a = f.new_policy();
+        let mut b = f.new_policy();
+        assert_eq!(a.on_invocation(None), b.on_invocation(None));
+        assert_eq!(f.label(), "fixed-10min");
+        assert_eq!(NoUnloading.label(), "no-unloading");
+    }
+}

@@ -1,0 +1,156 @@
+//! The keep-alive policy abstraction.
+//!
+//! A *policy* governs two per-application parameters (§4):
+//!
+//! * the **pre-warming window** — how long after an execution the
+//!   platform waits before loading the application image in anticipation
+//!   of the next invocation (0 ⇒ the app is not unloaded at all);
+//! * the **keep-alive window** — how long the image stays loaded after
+//!   (a) being pre-warmed, or (b) the execution end when the pre-warming
+//!   window is 0.
+//!
+//! Policies are *per-application* state machines: the platform keeps one
+//! instance per app and consults it after every function execution.
+
+/// Milliseconds; matches `sitw_trace::TimeMs` without creating a
+/// dependency from policies to the workload substrate.
+pub type DurationMs = u64;
+
+/// One minute in milliseconds (the paper's histogram bin width).
+pub const MINUTE_MS: DurationMs = 60_000;
+
+/// The two windows a policy emits after each execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Windows {
+    /// Time to wait after the execution before re-loading the image;
+    /// 0 means the image stays loaded.
+    pub pre_warm_ms: DurationMs,
+    /// Time the image stays loaded once loaded (from the execution end
+    /// when `pre_warm_ms == 0`, from the pre-warm otherwise).
+    pub keep_alive_ms: DurationMs,
+}
+
+impl Windows {
+    /// A policy decision that keeps the image loaded for `keep_alive_ms`
+    /// after the execution (no unload/pre-warm cycle).
+    pub fn keep_loaded(keep_alive_ms: DurationMs) -> Self {
+        Self {
+            pre_warm_ms: 0,
+            keep_alive_ms,
+        }
+    }
+
+    /// Unload now, re-load after `pre_warm_ms`, keep for `keep_alive_ms`.
+    pub fn pre_warmed(pre_warm_ms: DurationMs, keep_alive_ms: DurationMs) -> Self {
+        Self {
+            pre_warm_ms,
+            keep_alive_ms,
+        }
+    }
+
+    /// Keep the image loaded forever (the no-unloading upper bound).
+    pub const NEVER_UNLOAD: Windows = Windows {
+        pre_warm_ms: 0,
+        keep_alive_ms: DurationMs::MAX,
+    };
+
+    /// End of the loaded interval relative to the execution end,
+    /// saturating (handles [`Windows::NEVER_UNLOAD`]).
+    pub fn loaded_until(&self, exec_end: DurationMs) -> DurationMs {
+        exec_end
+            .saturating_add(self.pre_warm_ms)
+            .saturating_add(self.keep_alive_ms)
+    }
+
+    /// Whether an invocation arriving `idle_ms` after the execution end
+    /// hits a loaded image (a warm start).
+    pub fn is_warm_at(&self, idle_ms: DurationMs) -> bool {
+        if self.pre_warm_ms == 0 {
+            idle_ms <= self.keep_alive_ms
+        } else {
+            idle_ms >= self.pre_warm_ms
+                && idle_ms <= self.pre_warm_ms.saturating_add(self.keep_alive_ms)
+        }
+    }
+}
+
+/// Which branch of the hybrid policy produced a decision (Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// Head/tail of the idle-time histogram.
+    Histogram,
+    /// Conservative standard keep-alive (histogram unrepresentative or
+    /// still learning).
+    StandardKeepAlive,
+    /// Time-series forecast (too many out-of-bounds idle times).
+    Arima,
+    /// Policies without internal branching (fixed, no-unloading).
+    Static,
+}
+
+/// A per-application keep-alive policy.
+pub trait AppPolicy {
+    /// Observes one invocation and returns the windows governing the gap
+    /// until the next one.
+    ///
+    /// `idle_time_ms` is the idle time (IT) that just *ended*: the gap
+    /// between the previous execution's end and this invocation. It is
+    /// `None` for the app's first observed invocation.
+    fn on_invocation(&mut self, idle_time_ms: Option<DurationMs>) -> Windows;
+
+    /// Which branch produced the most recent decision.
+    fn last_decision(&self) -> DecisionKind;
+
+    /// Stable short name for reports.
+    fn name(&self) -> String;
+}
+
+/// A factory creating one policy instance per application; configs
+/// implement this so simulation sweeps can be written generically.
+pub trait PolicyFactory: Sync {
+    /// The policy type produced.
+    type Policy: AppPolicy;
+
+    /// Creates a fresh per-application policy instance.
+    fn new_policy(&self) -> Self::Policy;
+
+    /// Label for tables and plots (e.g. `"fixed-10min"`,
+    /// `"hybrid-4h[5,99]"`).
+    fn label(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keep_loaded_warm_iff_within_keep_alive() {
+        let w = Windows::keep_loaded(10 * MINUTE_MS);
+        assert!(w.is_warm_at(0));
+        assert!(w.is_warm_at(10 * MINUTE_MS));
+        assert!(!w.is_warm_at(10 * MINUTE_MS + 1));
+    }
+
+    #[test]
+    fn pre_warmed_window_cold_before_and_after() {
+        let w = Windows::pre_warmed(5 * MINUTE_MS, 2 * MINUTE_MS);
+        assert!(!w.is_warm_at(0));
+        assert!(!w.is_warm_at(5 * MINUTE_MS - 1));
+        assert!(w.is_warm_at(5 * MINUTE_MS));
+        assert!(w.is_warm_at(7 * MINUTE_MS));
+        assert!(!w.is_warm_at(7 * MINUTE_MS + 1));
+    }
+
+    #[test]
+    fn never_unload_is_always_warm() {
+        let w = Windows::NEVER_UNLOAD;
+        assert!(w.is_warm_at(DurationMs::MAX));
+        assert_eq!(w.loaded_until(123), DurationMs::MAX);
+    }
+
+    #[test]
+    fn loaded_until_saturates() {
+        let w = Windows::pre_warmed(DurationMs::MAX, 10);
+        assert_eq!(w.loaded_until(5), DurationMs::MAX);
+    }
+}

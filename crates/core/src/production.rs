@@ -1,0 +1,343 @@
+//! Production-style histogram management (§6).
+//!
+//! The Azure Functions implementation differs from the simulation policy
+//! in bookkeeping, not in substance:
+//!
+//! * one histogram of 240 one-minute integer buckets (960 bytes) per
+//!   application, kept in memory;
+//! * a **new histogram per day**, retained for two weeks, so pattern
+//!   changes can be tracked; the daily histograms can be aggregated "in a
+//!   weighted fashion to give more importance to recent records";
+//! * hourly backups to a database (modelled here as a backup counter and
+//!   serialized-size accounting);
+//! * pre-warm events scheduled at the computed interval **minus 90
+//!   seconds**, off the critical path.
+//!
+//! [`ProductionManager`] implements that scheme for a fleet of
+//! applications and exposes the same `(pre-warm, keep-alive)` decisions
+//! as [`crate::HybridConfig`], computed from the weighted aggregate.
+
+use std::collections::HashMap;
+
+use sitw_stats::histogram::WeightedBins;
+use sitw_stats::RangeHistogram;
+
+use crate::policy::{DurationMs, Windows, MINUTE_MS};
+
+/// Weighting applied across a window of daily histograms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecencyWeighting {
+    /// Every retained day weighs the same.
+    Uniform,
+    /// Day `d` days in the past weighs `decay^d` (0 < decay ≤ 1).
+    Exponential {
+        /// Per-day decay factor.
+        decay: f64,
+    },
+}
+
+impl RecencyWeighting {
+    fn weight(&self, age_days: u64) -> f64 {
+        match self {
+            RecencyWeighting::Uniform => 1.0,
+            RecencyWeighting::Exponential { decay } => decay.powi(age_days as i32),
+        }
+    }
+}
+
+/// Configuration of the production manager.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProductionConfig {
+    /// Histogram range in minutes (240 in production).
+    pub range_minutes: usize,
+    /// Days of daily histograms retained (14 in production).
+    pub retention_days: u64,
+    /// Daily-histogram weighting for aggregation.
+    pub weighting: RecencyWeighting,
+    /// Head cutoff percentile (as in the hybrid policy).
+    pub head_percentile: f64,
+    /// Tail cutoff percentile.
+    pub tail_percentile: f64,
+    /// Margin subtracted from the head / added to the tail.
+    pub margin: f64,
+    /// Pre-warm events fire this much *earlier* than the computed window
+    /// (90 s in production).
+    pub prewarm_slack_ms: DurationMs,
+    /// Backups are taken at this interval (hourly in production).
+    pub backup_interval_ms: DurationMs,
+}
+
+impl Default for ProductionConfig {
+    fn default() -> Self {
+        Self {
+            range_minutes: 240,
+            retention_days: 14,
+            weighting: RecencyWeighting::Exponential { decay: 0.85 },
+            head_percentile: 5.0,
+            tail_percentile: 99.0,
+            margin: 0.10,
+            prewarm_slack_ms: 90_000,
+            backup_interval_ms: 3_600_000,
+        }
+    }
+}
+
+/// Identifier type for applications managed by [`ProductionManager`]
+/// (opaque to this module).
+pub type AppKey = u64;
+
+/// Per-application daily histogram set.
+#[derive(Debug, Clone)]
+struct AppHistograms {
+    /// `(day_index, histogram)`, oldest first.
+    days: Vec<(u64, RangeHistogram)>,
+}
+
+/// A scheduled pre-warm event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrewarmEvent {
+    /// Application to load.
+    pub app: AppKey,
+    /// Absolute time at which to load the image.
+    pub at_ms: DurationMs,
+}
+
+/// Fleet-wide production histogram manager.
+#[derive(Debug)]
+pub struct ProductionManager {
+    config: ProductionConfig,
+    apps: HashMap<AppKey, AppHistograms>,
+    backups_taken: u64,
+    last_backup_ms: DurationMs,
+}
+
+impl ProductionManager {
+    /// Creates an empty manager.
+    pub fn new(config: ProductionConfig) -> Self {
+        Self {
+            config,
+            apps: HashMap::new(),
+            backups_taken: 0,
+            last_backup_ms: 0,
+        }
+    }
+
+    /// Number of applications currently tracked.
+    pub fn num_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Records an idle time observed at absolute time `now_ms` for `app`,
+    /// updating the current day's histogram and expiring old days.
+    pub fn record_idle_time(&mut self, app: AppKey, now_ms: DurationMs, idle_ms: DurationMs) {
+        let day = now_ms / (24 * 60 * MINUTE_MS);
+        let range = self.config.range_minutes;
+        let entry = self
+            .apps
+            .entry(app)
+            .or_insert_with(|| AppHistograms { days: Vec::new() });
+        match entry.days.last_mut() {
+            Some((d, hist)) if *d == day => {
+                hist.record(idle_ms / MINUTE_MS);
+            }
+            _ => {
+                let mut hist = RangeHistogram::new(range, 1);
+                hist.record(idle_ms / MINUTE_MS);
+                entry.days.push((day, hist));
+            }
+        }
+        // Expire days older than the retention window.
+        let cutoff = day.saturating_sub(self.config.retention_days.saturating_sub(1));
+        entry.days.retain(|(d, _)| *d >= cutoff);
+    }
+
+    /// The weighted aggregate histogram for an app as of day
+    /// `today` (derived from `now_ms`).
+    pub fn aggregate(&self, app: AppKey, now_ms: DurationMs) -> Option<WeightedBins> {
+        let today = now_ms / (24 * 60 * MINUTE_MS);
+        let entry = self.apps.get(&app)?;
+        let mut agg = WeightedBins::new(self.config.range_minutes, 1);
+        for (day, hist) in &entry.days {
+            let age = today.saturating_sub(*day);
+            agg.add_scaled(hist, self.config.weighting.weight(age));
+        }
+        (!agg.is_empty()).then_some(agg)
+    }
+
+    /// Computes the `(pre-warm, keep-alive)` windows for an app from the
+    /// weighted aggregate; `None` when no data exists yet (callers then
+    /// use their conservative default).
+    pub fn windows(&self, app: AppKey, now_ms: DurationMs) -> Option<Windows> {
+        let agg = self.aggregate(app, now_ms)?;
+        let head = agg.head_value(self.config.head_percentile)?;
+        let tail = agg.tail_value(self.config.tail_percentile)?;
+        let head_ms = (head as f64 * (1.0 - self.config.margin) * MINUTE_MS as f64) as DurationMs;
+        let tail_ms = (tail as f64 * (1.0 + self.config.margin) * MINUTE_MS as f64) as DurationMs;
+        Some(if head == 0 {
+            Windows::keep_loaded(tail_ms)
+        } else {
+            Windows::pre_warmed(head_ms, tail_ms.saturating_sub(head_ms).max(MINUTE_MS))
+        })
+    }
+
+    /// Schedules the pre-warm event for an app that became idle at
+    /// `idle_from_ms`: the computed pre-warm interval minus the
+    /// production slack (90 s), clamped to not precede idleness.
+    pub fn schedule_prewarm(&self, app: AppKey, idle_from_ms: DurationMs) -> Option<PrewarmEvent> {
+        let w = self.windows(app, idle_from_ms)?;
+        if w.pre_warm_ms == 0 {
+            return None; // The app is not unloaded at all.
+        }
+        let at = idle_from_ms
+            .saturating_add(w.pre_warm_ms)
+            .saturating_sub(self.config.prewarm_slack_ms)
+            .max(idle_from_ms);
+        Some(PrewarmEvent { app, at_ms: at })
+    }
+
+    /// Advances the backup clock; returns how many (hourly) backups were
+    /// taken. Each backup serializes every app's current day histogram.
+    pub fn tick_backup(&mut self, now_ms: DurationMs) -> u64 {
+        let mut taken = 0;
+        while now_ms.saturating_sub(self.last_backup_ms) >= self.config.backup_interval_ms {
+            self.last_backup_ms += self.config.backup_interval_ms;
+            self.backups_taken += 1;
+            taken += 1;
+        }
+        taken
+    }
+
+    /// Total backups taken so far.
+    pub fn backups_taken(&self) -> u64 {
+        self.backups_taken
+    }
+
+    /// Bytes needed to persist one app's retained histograms (the §6
+    /// figure: 960 bytes per histogram).
+    pub fn persisted_bytes(&self, app: AppKey) -> usize {
+        self.apps
+            .get(&app)
+            .map(|e| e.days.iter().map(|(_, h)| h.memory_footprint_bytes()).sum())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DAY: DurationMs = 24 * 60 * MINUTE_MS;
+
+    #[test]
+    fn records_rotate_daily_and_expire() {
+        let mut m = ProductionManager::new(ProductionConfig::default());
+        for day in 0..20u64 {
+            m.record_idle_time(1, day * DAY, 10 * MINUTE_MS);
+        }
+        // Only the last 14 days are retained.
+        let e = &m.apps[&1];
+        assert_eq!(e.days.len(), 14);
+        assert_eq!(e.days.first().unwrap().0, 6);
+        assert_eq!(e.days.last().unwrap().0, 19);
+    }
+
+    #[test]
+    fn aggregate_weights_recent_days_higher() {
+        let cfg = ProductionConfig {
+            weighting: RecencyWeighting::Exponential { decay: 0.5 },
+            ..ProductionConfig::default()
+        };
+        let mut m = ProductionManager::new(cfg);
+        // Day 0: idle times of 100 minutes. Day 1: 20 minutes.
+        for _ in 0..10 {
+            m.record_idle_time(7, 0, 100 * MINUTE_MS);
+            m.record_idle_time(7, DAY, 20 * MINUTE_MS);
+        }
+        let agg = m.aggregate(7, DAY).unwrap();
+        // As of day 1, day-1 weighs 1.0 and day-0 weighs 0.5: the median
+        // sits in the recent mode.
+        assert_eq!(agg.head_value(50.0), Some(20));
+    }
+
+    #[test]
+    fn windows_match_hybrid_semantics() {
+        let mut m = ProductionManager::new(ProductionConfig::default());
+        for _ in 0..50 {
+            m.record_idle_time(3, 0, 10 * MINUTE_MS);
+        }
+        let w = m.windows(3, 0).unwrap();
+        assert_eq!(w.pre_warm_ms, 9 * MINUTE_MS);
+        assert!(w.is_warm_at(10 * MINUTE_MS));
+    }
+
+    #[test]
+    fn windows_none_without_data() {
+        let m = ProductionManager::new(ProductionConfig::default());
+        assert!(m.windows(99, 0).is_none());
+        assert!(m.schedule_prewarm(99, 0).is_none());
+    }
+
+    #[test]
+    fn prewarm_fires_90_seconds_early() {
+        let mut m = ProductionManager::new(ProductionConfig::default());
+        for _ in 0..50 {
+            m.record_idle_time(5, 0, 60 * MINUTE_MS);
+        }
+        let idle_from = 1_000_000;
+        let ev = m.schedule_prewarm(5, idle_from).unwrap();
+        let w = m.windows(5, idle_from).unwrap();
+        assert_eq!(
+            ev.at_ms,
+            idle_from + w.pre_warm_ms - 90_000,
+            "slack must be 90 s"
+        );
+    }
+
+    #[test]
+    fn prewarm_not_scheduled_when_kept_loaded() {
+        let mut m = ProductionManager::new(ProductionConfig::default());
+        // Sub-minute idle times → head bin 0 → never unloaded.
+        for _ in 0..50 {
+            m.record_idle_time(6, 0, 30_000);
+        }
+        assert!(m.schedule_prewarm(6, 0).is_none());
+    }
+
+    #[test]
+    fn hourly_backups_accumulate() {
+        let mut m = ProductionManager::new(ProductionConfig::default());
+        assert_eq!(m.tick_backup(3_599_999), 0);
+        assert_eq!(m.tick_backup(3_600_000), 1);
+        assert_eq!(m.tick_backup(4 * 3_600_000), 3);
+        assert_eq!(m.backups_taken(), 4);
+    }
+
+    #[test]
+    fn persisted_size_is_960_bytes_per_day() {
+        let mut m = ProductionManager::new(ProductionConfig::default());
+        m.record_idle_time(2, 0, MINUTE_MS);
+        m.record_idle_time(2, DAY, MINUTE_MS);
+        assert_eq!(m.persisted_bytes(2), 2 * 960);
+        assert_eq!(m.persisted_bytes(42), 0);
+    }
+
+    #[test]
+    fn uniform_weighting_counts_all_days_equally() {
+        let cfg = ProductionConfig {
+            weighting: RecencyWeighting::Uniform,
+            ..ProductionConfig::default()
+        };
+        let mut m = ProductionManager::new(cfg);
+        for _ in 0..10 {
+            m.record_idle_time(1, 0, 100 * MINUTE_MS);
+        }
+        for _ in 0..11 {
+            m.record_idle_time(1, DAY, 20 * MINUTE_MS);
+        }
+        let agg = m.aggregate(1, DAY).unwrap();
+        // 11 vs 10 observations: the 20-minute mode wins the median by
+        // count, not by recency weighting.
+        assert_eq!(agg.head_value(50.0), Some(20));
+        assert!((agg.in_bounds_weight() - 21.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,216 @@
+//! Metrics collected by the platform model — the quantities §5.3 reports.
+
+use sitw_stats::{percentile_sorted, Ecdf};
+use sitw_trace::TimeMs;
+
+use crate::cluster::InvokerStats;
+
+/// One completed (or dropped) invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvocationRecord {
+    /// Application index.
+    pub app: u32,
+    /// Client-side arrival time.
+    pub arrival: TimeMs,
+    /// Whether the activation needed a cold container.
+    pub cold: bool,
+    /// Delay from arrival to execution start (queueing, scheduling,
+    /// container init), ms.
+    pub start_delay_ms: u64,
+    /// Measured execution time (runtime bootstrap included for cold
+    /// containers, as FaaSProfiler would observe), ms.
+    pub exec_ms: u64,
+    /// True when the activation could not be placed and was dropped.
+    pub dropped: bool,
+}
+
+/// Full output of a platform run.
+#[derive(Debug, Clone)]
+pub struct PlatformReport {
+    /// Per-invocation records in completion order.
+    pub records: Vec<InvocationRecord>,
+    /// Per-invoker accounting.
+    pub invoker_stats: Vec<InvokerStats>,
+    /// Containers started by pre-warming.
+    pub prewarm_starts: u64,
+    /// Activations dropped after placement retries.
+    pub dropped: u64,
+    /// Replay horizon.
+    pub horizon_ms: TimeMs,
+}
+
+impl PlatformReport {
+    /// Per-application cold-start percentages (served invocations only).
+    pub fn per_app_cold_pct(&self) -> Vec<f64> {
+        use std::collections::BTreeMap;
+        let mut per_app: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+        for r in &self.records {
+            if r.dropped {
+                continue;
+            }
+            let e = per_app.entry(r.app).or_default();
+            e.0 += 1;
+            if r.cold {
+                e.1 += 1;
+            }
+        }
+        per_app
+            .values()
+            .map(|&(n, c)| 100.0 * c as f64 / n as f64)
+            .collect()
+    }
+
+    /// CDF of per-app cold-start percentages (Figure 20).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no invocations were served.
+    pub fn cold_cdf(&self) -> Ecdf {
+        Ecdf::new(self.per_app_cold_pct())
+    }
+
+    /// Number of cold starts across all served invocations.
+    pub fn cold_count(&self) -> u64 {
+        self.records.iter().filter(|r| !r.dropped && r.cold).count() as u64
+    }
+
+    /// Served invocation count.
+    pub fn served(&self) -> u64 {
+        self.records.iter().filter(|r| !r.dropped).count() as u64
+    }
+
+    /// Mean measured execution time, ms.
+    pub fn avg_exec_ms(&self) -> f64 {
+        let xs: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| !r.dropped)
+            .map(|r| r.exec_ms as f64)
+            .collect();
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    }
+
+    /// Execution-time percentile, ms (the paper reports the 99th).
+    pub fn exec_percentile_ms(&self, p: f64) -> f64 {
+        let mut xs: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| !r.dropped)
+            .map(|r| r.exec_ms as f64)
+            .collect();
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.sort_by(f64::total_cmp);
+        percentile_sorted(&xs, p)
+    }
+
+    /// Start-delay percentile, ms.
+    pub fn start_delay_percentile_ms(&self, p: f64) -> f64 {
+        let mut xs: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| !r.dropped)
+            .map(|r| r.start_delay_ms as f64)
+            .collect();
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.sort_by(f64::total_cmp);
+        percentile_sorted(&xs, p)
+    }
+
+    /// Total loaded-but-idle memory integral across invokers (MB·ms) —
+    /// the §5.3 "memory consumption of worker containers".
+    pub fn total_idle_mb_ms(&self) -> f64 {
+        self.invoker_stats.iter().map(|s| s.idle_mb_ms).sum()
+    }
+
+    /// Total loaded memory integral across invokers (MB·ms).
+    pub fn total_loaded_mb_ms(&self) -> f64 {
+        self.invoker_stats.iter().map(|s| s.loaded_mb_ms).sum()
+    }
+
+    /// Total container starts, evictions, expirations.
+    pub fn lifecycle_totals(&self) -> (u64, u64, u64) {
+        let starts = self
+            .invoker_stats
+            .iter()
+            .map(|s| s.containers_started)
+            .sum();
+        let evictions = self.invoker_stats.iter().map(|s| s.evictions).sum();
+        let expirations = self.invoker_stats.iter().map(|s| s.expirations).sum();
+        (starts, evictions, expirations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(app: u32, cold: bool, exec: u64) -> InvocationRecord {
+        InvocationRecord {
+            app,
+            arrival: 0,
+            cold,
+            start_delay_ms: if cold { 150 } else { 3 },
+            exec_ms: exec,
+            dropped: false,
+        }
+    }
+
+    fn report(records: Vec<InvocationRecord>) -> PlatformReport {
+        PlatformReport {
+            records,
+            invoker_stats: vec![InvokerStats::default(); 2],
+            prewarm_starts: 0,
+            dropped: 0,
+            horizon_ms: 1000,
+        }
+    }
+
+    #[test]
+    fn per_app_cold_pct_groups() {
+        let r = report(vec![
+            record(1, true, 100),
+            record(1, false, 100),
+            record(2, true, 100),
+        ]);
+        let mut pcts = r.per_app_cold_pct();
+        pcts.sort_by(f64::total_cmp);
+        assert_eq!(pcts, vec![50.0, 100.0]);
+        assert_eq!(r.cold_count(), 2);
+        assert_eq!(r.served(), 3);
+    }
+
+    #[test]
+    fn dropped_excluded() {
+        let mut rec = record(1, true, 100);
+        rec.dropped = true;
+        let r = report(vec![rec, record(1, false, 60)]);
+        assert_eq!(r.served(), 1);
+        assert_eq!(r.cold_count(), 0);
+        assert_eq!(r.per_app_cold_pct(), vec![0.0]);
+    }
+
+    #[test]
+    fn exec_stats() {
+        let r = report(vec![record(1, false, 100), record(1, false, 300)]);
+        assert_eq!(r.avg_exec_ms(), 200.0);
+        assert_eq!(r.exec_percentile_ms(100.0), 300.0);
+        assert_eq!(r.exec_percentile_ms(0.0), 100.0);
+        assert!(r.start_delay_percentile_ms(50.0) >= 3.0);
+    }
+
+    #[test]
+    fn empty_report_is_zeroes() {
+        let r = report(vec![]);
+        assert_eq!(r.avg_exec_ms(), 0.0);
+        assert_eq!(r.exec_percentile_ms(99.0), 0.0);
+        assert!(r.per_app_cold_pct().is_empty());
+    }
+}

@@ -1,0 +1,495 @@
+//! Per-application cold-start simulation (§5.1 methodology).
+//!
+//! "The simulator generates an array of invocation times for each unique
+//! application. It then infers whether each invocation would be a cold
+//! start. By default, the first invocation is always assumed to be a
+//! cold start. The simulator keeps track of when each application image
+//! is loaded and aggregates the wasted memory time … We conservatively
+//! simulate function execution times equal to 0."
+//!
+//! With zero execution time, the idle time (IT) between executions equals
+//! the inter-arrival time, and a policy's windows map onto each gap:
+//!
+//! * `pre_warm = 0`: the image stays loaded; an invocation within the
+//!   keep-alive window is warm (waste = the idle gap), a later one is
+//!   cold (waste = the whole keep-alive window);
+//! * `pre_warm > 0`: the image unloads at execution end and re-loads at
+//!   `pre_warm`; an invocation before that is cold with **zero** waste
+//!   (the load never happened — the pending pre-warm is cancelled), one
+//!   inside `[pre_warm, pre_warm+keep_alive]` is warm (waste = arrival −
+//!   load), one after is cold (waste = the keep-alive window).
+
+use sitw_core::{AppPolicy, DecisionKind};
+use sitw_trace::TimeMs;
+
+/// Outcome of simulating one application against one policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppSimResult {
+    /// Total invocations replayed.
+    pub invocations: u64,
+    /// Invocations that found no loaded image.
+    pub cold_starts: u64,
+    /// Loaded-but-idle image time in milliseconds (the paper's "wasted
+    /// memory time", with all apps weighing equally).
+    pub wasted_ms: u64,
+    /// Image loads (initial cold load + pre-warm loads + cold re-loads).
+    pub loads: u64,
+    /// Loads triggered by pre-warming (subset of `loads`).
+    pub prewarm_loads: u64,
+    /// Policy decisions served by the ARIMA branch.
+    pub arima_decisions: u64,
+    /// Whether any decision used ARIMA.
+    pub used_arima: bool,
+}
+
+impl AppSimResult {
+    /// Percentage of invocations that were cold (0 when none replayed).
+    pub fn cold_pct(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            100.0 * self.cold_starts as f64 / self.invocations as f64
+        }
+    }
+
+    /// True when every invocation was cold (the Figure 19 metric).
+    pub fn always_cold(&self) -> bool {
+        self.invocations > 0 && self.cold_starts == self.invocations
+    }
+}
+
+/// Replays one application's invocation timestamps against a policy.
+///
+/// `horizon_ms` bounds the trailing keep-alive accounting: memory held
+/// after the last invocation is wasted only up to the horizon.
+pub fn simulate_app<P: AppPolicy + ?Sized>(
+    events: &[TimeMs],
+    horizon_ms: TimeMs,
+    policy: &mut P,
+) -> AppSimResult {
+    let mut res = AppSimResult::default();
+    if events.is_empty() {
+        return res;
+    }
+    debug_assert!(events.windows(2).all(|w| w[0] <= w[1]), "events sorted");
+
+    // First invocation: always cold (§5.1).
+    res.invocations = 1;
+    res.cold_starts = 1;
+    res.loads = 1;
+    let mut windows = policy.on_invocation(None);
+    if policy.last_decision() == DecisionKind::Arima {
+        res.arima_decisions += 1;
+        res.used_arima = true;
+    }
+    let mut prev_end = events[0]; // Execution time 0: end == start.
+
+    for &t in &events[1..] {
+        let it = t - prev_end;
+        res.invocations += 1;
+
+        let (cold, waste) = classify_gap(&windows, it, &mut res);
+        if cold {
+            res.cold_starts += 1;
+            res.loads += 1;
+        }
+        res.wasted_ms = res.wasted_ms.saturating_add(waste);
+
+        windows = policy.on_invocation(Some(it));
+        if policy.last_decision() == DecisionKind::Arima {
+            res.arima_decisions += 1;
+            res.used_arima = true;
+        }
+        prev_end = t;
+    }
+
+    // Trailing window after the last invocation, clipped to the horizon.
+    let remaining = horizon_ms.saturating_sub(prev_end);
+    if windows.pre_warm_ms == 0 {
+        res.wasted_ms = res
+            .wasted_ms
+            .saturating_add(remaining.min(windows.keep_alive_ms));
+    } else if remaining > windows.pre_warm_ms {
+        res.prewarm_loads += 1;
+        res.loads += 1;
+        res.wasted_ms = res
+            .wasted_ms
+            .saturating_add((remaining - windows.pre_warm_ms).min(windows.keep_alive_ms));
+    }
+    res
+}
+
+/// Replays an application with **measured execution times**: each
+/// invocation `i` busies the image for `exec_ms[i]`, so the idle time
+/// fed to the policy is the gap between the previous execution's *end*
+/// and the next arrival. An arrival while the previous execution is
+/// still running is served warm by a concurrent container and does not
+/// reset the idle clock (the <1% concurrency cold starts the paper
+/// deliberately ignores, §2).
+///
+/// The zero-execution-time mode of [`simulate_app`] is the paper's
+/// conservative default; this variant quantifies how much of the
+/// "wasted" time is actually billable execution.
+///
+/// # Panics
+///
+/// Panics if `exec_ms.len() != events.len()`.
+pub fn simulate_app_with_exec<P: AppPolicy + ?Sized>(
+    events: &[TimeMs],
+    exec_ms: &[TimeMs],
+    horizon_ms: TimeMs,
+    policy: &mut P,
+) -> AppSimResult {
+    assert_eq!(events.len(), exec_ms.len(), "one exec time per event");
+    let mut res = AppSimResult::default();
+    if events.is_empty() {
+        return res;
+    }
+    debug_assert!(events.windows(2).all(|w| w[0] <= w[1]), "events sorted");
+
+    res.invocations = 1;
+    res.cold_starts = 1;
+    res.loads = 1;
+    let mut windows = policy.on_invocation(None);
+    if policy.last_decision() == DecisionKind::Arima {
+        res.arima_decisions += 1;
+        res.used_arima = true;
+    }
+    let mut prev_end = events[0].saturating_add(exec_ms[0]);
+
+    for (&t, &e) in events[1..].iter().zip(&exec_ms[1..]) {
+        res.invocations += 1;
+        if t < prev_end {
+            // Concurrent with the running execution: warm, no idle gap;
+            // the busy period simply extends.
+            prev_end = prev_end.max(t.saturating_add(e));
+            continue;
+        }
+        let it = t - prev_end;
+        let (cold, waste) = classify_gap(&windows, it, &mut res);
+        if cold {
+            res.cold_starts += 1;
+            res.loads += 1;
+        }
+        res.wasted_ms = res.wasted_ms.saturating_add(waste);
+        windows = policy.on_invocation(Some(it));
+        if policy.last_decision() == DecisionKind::Arima {
+            res.arima_decisions += 1;
+            res.used_arima = true;
+        }
+        prev_end = t.saturating_add(e);
+    }
+
+    let remaining = horizon_ms.saturating_sub(prev_end);
+    if windows.pre_warm_ms == 0 {
+        res.wasted_ms = res
+            .wasted_ms
+            .saturating_add(remaining.min(windows.keep_alive_ms));
+    } else if remaining > windows.pre_warm_ms {
+        res.prewarm_loads += 1;
+        res.loads += 1;
+        res.wasted_ms = res
+            .wasted_ms
+            .saturating_add((remaining - windows.pre_warm_ms).min(windows.keep_alive_ms));
+    }
+    res
+}
+
+/// Classifies one idle gap; returns `(cold, wasted_ms)` and updates load
+/// counters for pre-warm loads.
+fn classify_gap(
+    windows: &sitw_core::Windows,
+    it: TimeMs,
+    res: &mut AppSimResult,
+) -> (bool, TimeMs) {
+    // A zero-length gap means the next invocation arrives while the
+    // execution is (conceptually) still finishing: always warm.
+    if it == 0 {
+        return (false, 0);
+    }
+    if windows.pre_warm_ms == 0 {
+        if it <= windows.keep_alive_ms {
+            (false, it)
+        } else {
+            (true, windows.keep_alive_ms)
+        }
+    } else if it < windows.pre_warm_ms {
+        // Invocation before the pre-warm: cold; the scheduled load is
+        // cancelled and no memory was held.
+        (true, 0)
+    } else {
+        res.prewarm_loads += 1;
+        res.loads += 1;
+        if it <= windows.pre_warm_ms.saturating_add(windows.keep_alive_ms) {
+            (false, it - windows.pre_warm_ms)
+        } else {
+            (true, windows.keep_alive_ms)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitw_core::{FixedKeepAlive, HybridConfig, NoUnloading, PolicyFactory, MINUTE_MS};
+
+    const MIN: TimeMs = MINUTE_MS;
+
+    #[test]
+    fn empty_stream_is_all_zero() {
+        let mut p = FixedKeepAlive::minutes(10);
+        let r = simulate_app(&[], 100 * MIN, &mut p);
+        assert_eq!(r, AppSimResult::default());
+    }
+
+    #[test]
+    fn single_invocation_always_cold() {
+        let mut p = FixedKeepAlive::minutes(10);
+        let r = simulate_app(&[5 * MIN], 100 * MIN, &mut p);
+        assert_eq!(r.invocations, 1);
+        assert_eq!(r.cold_starts, 1);
+        assert!(r.always_cold());
+        // Trailing keep-alive: 10 minutes held after the only execution.
+        assert_eq!(r.wasted_ms, 10 * MIN);
+    }
+
+    #[test]
+    fn fixed_policy_warm_within_keep_alive() {
+        let mut p = FixedKeepAlive::minutes(10);
+        // Gaps: 5 min (warm), 10 min (warm, boundary), 11 min (cold).
+        let events = [0, 5 * MIN, 15 * MIN, 26 * MIN];
+        let r = simulate_app(&events, 26 * MIN, &mut p);
+        assert_eq!(r.invocations, 4);
+        assert_eq!(r.cold_starts, 2); // First + the 11-minute gap.
+                                      // Waste: 5 + 10 (warm gaps) + 10 (expired keep-alive) + 0 tail
+                                      // (horizon == last event).
+        assert_eq!(r.wasted_ms, (5 + 10 + 10) * MIN);
+    }
+
+    #[test]
+    fn no_unloading_only_first_cold() {
+        let mut p = NoUnloading;
+        let events = [0, 500 * MIN, 5_000 * MIN];
+        let r = simulate_app(&events, 6_000 * MIN, &mut p);
+        assert_eq!(r.cold_starts, 1);
+        // Waste = entire idle time + tail to horizon.
+        assert_eq!(r.wasted_ms, (500 + 4_500 + 1_000) * MIN);
+    }
+
+    #[test]
+    fn prewarm_windows_warm_hit() {
+        // Hand-built policy: constant pre-warm 8 min, keep-alive 4 min.
+        struct Fixed2;
+        impl AppPolicy for Fixed2 {
+            fn on_invocation(&mut self, _: Option<u64>) -> sitw_core::Windows {
+                sitw_core::Windows::pre_warmed(8 * MIN, 4 * MIN)
+            }
+            fn last_decision(&self) -> DecisionKind {
+                DecisionKind::Static
+            }
+            fn name(&self) -> String {
+                "fixed2".into()
+            }
+        }
+        let mut p = Fixed2;
+        // Gaps: 10 min (in [8,12] → warm, waste 2), 5 min (< 8 → cold,
+        // waste 0), 20 min (> 12 → cold, waste 4).
+        let events = [0, 10 * MIN, 15 * MIN, 35 * MIN];
+        let r = simulate_app(&events, 35 * MIN, &mut p);
+        assert_eq!(r.cold_starts, 1 + 2);
+        assert_eq!(r.wasted_ms, (2 + 4) * MIN); // 2 + 0 + 4 minutes.
+                                                // Pre-warm loads: the 10-min gap and the 20-min gap loaded.
+        assert_eq!(r.prewarm_loads, 2);
+        assert_eq!(r.loads, 1 + 2 + 2); // initial + 2 colds + 2 prewarms.
+    }
+
+    #[test]
+    fn zero_gap_is_warm() {
+        let mut p = FixedKeepAlive::minutes(0);
+        let events = [10 * MIN, 10 * MIN, 10 * MIN];
+        let r = simulate_app(&events, 20 * MIN, &mut p);
+        // ka = 0: same-timestamp invocations stay warm, nothing else.
+        assert_eq!(r.cold_starts, 1);
+        assert_eq!(r.wasted_ms, 0);
+    }
+
+    #[test]
+    fn trailing_prewarm_load_counted() {
+        struct P;
+        impl AppPolicy for P {
+            fn on_invocation(&mut self, _: Option<u64>) -> sitw_core::Windows {
+                sitw_core::Windows::pre_warmed(10 * MIN, 5 * MIN)
+            }
+            fn last_decision(&self) -> DecisionKind {
+                DecisionKind::Static
+            }
+            fn name(&self) -> String {
+                "p".into()
+            }
+        }
+        // Horizon ends mid-keep-alive: 12 − 10 = 2 minutes wasted.
+        let r = simulate_app(&[0], 12 * MIN, &mut P);
+        assert_eq!(r.wasted_ms, 2 * MIN);
+        assert_eq!(r.prewarm_loads, 1);
+
+        // Horizon before the pre-warm: no load, no waste.
+        let r = simulate_app(&[0], 9 * MIN, &mut P);
+        assert_eq!(r.wasted_ms, 0);
+        assert_eq!(r.prewarm_loads, 0);
+    }
+
+    #[test]
+    fn conservation_cold_plus_warm_equals_invocations() {
+        let mut p = HybridConfig::default().new_policy();
+        let events: Vec<TimeMs> = (0..200).map(|i| i * 7 * MIN).collect();
+        let r = simulate_app(&events, 1_500 * MIN, &mut p);
+        assert_eq!(r.invocations, 200);
+        assert!(r.cold_starts <= r.invocations);
+    }
+
+    #[test]
+    fn hybrid_beats_fixed_on_periodic_app() {
+        // App invoked every 30 minutes: fixed-10min is always cold,
+        // hybrid learns the pattern and pre-warms.
+        let events: Vec<TimeMs> = (0..100).map(|i| i * 30 * MIN).collect();
+        let horizon = 100 * 30 * MIN;
+
+        let mut fixed = FixedKeepAlive::minutes(10);
+        let rf = simulate_app(&events, horizon, &mut fixed);
+        assert_eq!(rf.cold_starts, 100, "fixed-10min misses every gap");
+
+        let mut hybrid = HybridConfig::default().new_policy();
+        let rh = simulate_app(&events, horizon, &mut hybrid);
+        assert!(
+            rh.cold_starts <= 10,
+            "hybrid should learn the 30-minute period: {} colds",
+            rh.cold_starts
+        );
+        // And the hybrid should also waste less memory than a no-unload.
+        let mut nu = NoUnloading;
+        let rn = simulate_app(&events, horizon, &mut nu);
+        assert!(rh.wasted_ms < rn.wasted_ms);
+    }
+
+    #[test]
+    fn rare_periodic_app_served_by_arima() {
+        // 300-minute period exceeds the 240-minute histogram range.
+        let events: Vec<TimeMs> = (0..30).map(|i| i * 300 * MIN).collect();
+        let horizon = 30 * 300 * MIN;
+
+        let mut hybrid = HybridConfig::default().new_policy();
+        let rh = simulate_app(&events, horizon, &mut hybrid);
+        assert!(rh.used_arima);
+        assert!(
+            rh.cold_starts < 15,
+            "ARIMA should pre-warm most 300-minute gaps: {} colds",
+            rh.cold_starts
+        );
+
+        let mut noarima = HybridConfig::default().without_arima().new_policy();
+        let rn = simulate_app(&events, horizon, &mut noarima);
+        assert!(!rn.used_arima);
+        assert!(
+            rn.cold_starts > rh.cold_starts,
+            "without ARIMA: {} vs with: {}",
+            rn.cold_starts,
+            rh.cold_starts
+        );
+    }
+
+    #[test]
+    fn cold_pct_and_always_cold() {
+        let r = AppSimResult {
+            invocations: 4,
+            cold_starts: 1,
+            ..Default::default()
+        };
+        assert_eq!(r.cold_pct(), 25.0);
+        assert!(!r.always_cold());
+        let all = AppSimResult {
+            invocations: 3,
+            cold_starts: 3,
+            ..Default::default()
+        };
+        assert!(all.always_cold());
+        assert_eq!(AppSimResult::default().cold_pct(), 0.0);
+    }
+
+    #[test]
+    fn with_exec_reduces_to_zero_exec_when_exec_is_zero() {
+        let events: Vec<TimeMs> = (0..50).map(|i| i * 13 * MIN).collect();
+        let zeros = vec![0; events.len()];
+        let horizon = 700 * MIN;
+
+        let mut a = HybridConfig::default().new_policy();
+        let ra = simulate_app(&events, horizon, &mut a);
+        let mut b = HybridConfig::default().new_policy();
+        let rb = simulate_app_with_exec(&events, &zeros, horizon, &mut b);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn with_exec_shortens_idle_times() {
+        // 10-minute arrival gaps, 4-minute executions: idle time is 6
+        // minutes, so a fixed 5-minute keep-alive misses (cold) while it
+        // would catch a 6-minute one.
+        let events: Vec<TimeMs> = (0..20).map(|i| i * 10 * MIN).collect();
+        let execs = vec![4 * MIN; events.len()];
+        let horizon = 220 * MIN;
+
+        let mut p5 = FixedKeepAlive::minutes(5);
+        let r5 = simulate_app_with_exec(&events, &execs, horizon, &mut p5);
+        assert_eq!(r5.cold_starts, 20, "6-minute idles exceed 5-minute KA");
+
+        let mut p6 = FixedKeepAlive::minutes(6);
+        let r6 = simulate_app_with_exec(&events, &execs, horizon, &mut p6);
+        assert_eq!(r6.cold_starts, 1, "6-minute idles fit a 6-minute KA");
+        // Waste counts only the idle portion, not the busy 4 minutes.
+        assert_eq!(r6.wasted_ms, 19 * 6 * MIN + 6 * MIN);
+    }
+
+    #[test]
+    fn concurrent_arrivals_are_warm_and_extend_busy() {
+        // Second arrival lands inside the first execution: warm, no
+        // policy update; third arrival measures idle from the extended
+        // busy end.
+        let events = [0, 2 * MIN, 20 * MIN];
+        let execs = [5 * MIN, 5 * MIN, MIN];
+        let mut p = FixedKeepAlive::minutes(10);
+        let r = simulate_app_with_exec(&events, &execs, 30 * MIN, &mut p);
+        assert_eq!(r.invocations, 3);
+        // Busy until max(0+5, 2+5) = 7 min; idle gap to t=20 is 13 min >
+        // 10-minute KA: cold.
+        assert_eq!(r.cold_starts, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one exec time per event")]
+    fn with_exec_rejects_length_mismatch() {
+        let mut p = FixedKeepAlive::minutes(10);
+        let _ = simulate_app_with_exec(&[0, 1], &[0], 10, &mut p);
+    }
+
+    #[test]
+    fn longer_fixed_keep_alive_never_more_colds() {
+        // Monotonicity: for the same stream, a longer fixed keep-alive
+        // can only reduce cold starts.
+        let events: Vec<TimeMs> = (0..300)
+            .map(|i| (i * i % 997) as TimeMs * MIN)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let horizon = 1_000 * MIN;
+        let mut prev_colds = u64::MAX;
+        for ka in [5, 10, 20, 60, 120] {
+            let mut p = FixedKeepAlive::minutes(ka);
+            let r = simulate_app(&events, horizon, &mut p);
+            assert!(
+                r.cold_starts <= prev_colds,
+                "ka={ka} increased colds: {} > {prev_colds}",
+                r.cold_starts
+            );
+            prev_colds = r.cold_starts;
+        }
+    }
+}

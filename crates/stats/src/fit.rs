@@ -1,0 +1,168 @@
+//! Goodness-of-fit and series diagnostics.
+//!
+//! Used to validate that the synthetic generator reproduces the paper's
+//! published distributions (Kolmogorov–Smirnov distance against the
+//! log-normal and Burr fits) and to analyse inter-arrival-time series
+//! (autocorrelation, used by the ARIMA order heuristics).
+
+use crate::distributions::ContinuousDist;
+
+/// Kolmogorov–Smirnov statistic between an empirical sample and a
+/// reference distribution: `sup_x |F_n(x) − F(x)|`.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn ks_statistic<D: ContinuousDist>(samples: &[f64], dist: &D) -> f64 {
+    assert!(!samples.is_empty(), "KS statistic of empty sample");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = dist.cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// Sample autocorrelation of `xs` at the given `lag`.
+///
+/// Uses the biased estimator (normalizing by the lag-0 autocovariance),
+/// which is standard for ACF plots and guarantees values in `[-1, 1]`.
+/// Returns 0 when the series is too short or has zero variance.
+pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
+    let n = xs.len();
+    if lag >= n || n < 2 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let denom: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum();
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    let num: f64 = (0..n - lag)
+        .map(|i| (xs[i] - mean) * (xs[i + lag] - mean))
+        .sum();
+    num / denom
+}
+
+/// Autocorrelation function values for lags `0..=max_lag`.
+pub fn acf(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    (0..=max_lag).map(|l| autocorrelation(xs, l)).collect()
+}
+
+/// Ordinary least squares for the simple model `y = a + b·x`.
+///
+/// Returns `(a, b)`; `None` if fewer than 2 points or `x` is degenerate.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<(f64, f64)> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    if sxx <= 0.0 {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let b = sxy / sxx;
+    Some((my - b * mx, b))
+}
+
+/// Pearson correlation coefficient; `None` when undefined.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::{Exponential, LogNormal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ks_of_true_distribution_is_small() {
+        let d = Exponential::new(1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples = d.sample_n(&mut rng, 10_000);
+        let ks = ks_statistic(&samples, &d);
+        // 99% critical value for n=10k is about 1.63/sqrt(n) ≈ 0.0163.
+        assert!(ks < 0.02, "ks {ks}");
+    }
+
+    #[test]
+    fn ks_of_wrong_distribution_is_large() {
+        let d = Exponential::new(1.0);
+        let wrong = LogNormal::new(3.0, 0.2);
+        let mut rng = StdRng::seed_from_u64(6);
+        let samples = d.sample_n(&mut rng, 5_000);
+        assert!(ks_statistic(&samples, &wrong) > 0.5);
+    }
+
+    #[test]
+    fn autocorrelation_of_periodic_signal() {
+        let xs: Vec<f64> = (0..400)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        assert!((autocorrelation(&xs, 0) - 1.0).abs() < 1e-12);
+        assert!(autocorrelation(&xs, 1) < -0.9);
+        assert!(autocorrelation(&xs, 2) > 0.9);
+    }
+
+    #[test]
+    fn autocorrelation_edge_cases() {
+        assert_eq!(autocorrelation(&[], 0), 0.0);
+        assert_eq!(autocorrelation(&[1.0], 0), 0.0);
+        assert_eq!(autocorrelation(&[2.0, 2.0, 2.0], 1), 0.0); // zero variance
+        assert_eq!(autocorrelation(&[1.0, 2.0], 5), 0.0); // lag too large
+    }
+
+    #[test]
+    fn acf_lag_zero_is_one() {
+        let xs = [1.0, 3.0, 2.0, 5.0, 4.0];
+        let a = acf(&xs, 2);
+        assert_eq!(a.len(), 3);
+        assert!((a[0] - 1.0).abs() < 1e-12);
+        assert!(a.iter().all(|v| v.abs() <= 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let (a, b) = linear_fit(&xs, &ys).unwrap();
+        assert!((a - 1.0).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_degenerate() {
+        assert!(linear_fit(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        let xs = [1.0, 2.0, 3.0];
+        assert!((pearson(&xs, &[2.0, 4.0, 6.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &[3.0, 2.0, 1.0]).unwrap() + 1.0).abs() < 1e-12);
+        assert!(pearson(&xs, &[5.0, 5.0, 5.0]).is_none());
+    }
+}

@@ -1,0 +1,544 @@
+//! Range-limited fixed-width histograms.
+//!
+//! [`RangeHistogram`] is the centerpiece data structure of the paper's
+//! hybrid policy (§4.2): a compact array of integer counts over fixed-width
+//! bins (1 minute in the paper) up to a configurable range (4 hours ⇒ 240
+//! bins ⇒ 960 bytes, §6). Values beyond the range are *out of bounds*
+//! (OOB) and only counted, not binned. The structure supports:
+//!
+//! * O(1) recording,
+//! * O(1) coefficient-of-variation of the bin counts (the
+//!   representativeness signal of §4.2), via an incrementally maintained
+//!   sum of squared counts,
+//! * head/tail percentile extraction with the paper's rounding rule
+//!   ("round to the next lower value for the head or the next higher value
+//!   for the tail"),
+//! * merging and weighted aggregation ([`WeightedBins`]) for the
+//!   production-style daily histogram scheme of §6.
+
+/// Outcome of recording a value into a [`RangeHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recorded {
+    /// The value fell into the bin with the given index.
+    InBounds {
+        /// Index of the bin that received the value.
+        bin: usize,
+    },
+    /// The value was at or beyond the histogram range.
+    OutOfBounds,
+}
+
+/// A fixed-width histogram over `u64` values with a bounded range.
+///
+/// Bin `i` covers the half-open interval `[i*w, (i+1)*w)` where `w` is the
+/// bin width; values `≥ num_bins * w` are counted as out of bounds.
+///
+/// # Examples
+///
+/// ```
+/// use sitw_stats::{RangeHistogram, Recorded};
+///
+/// // The paper's production configuration: 240 one-minute bins.
+/// let mut h = RangeHistogram::new(240, 1);
+/// assert_eq!(h.record(5), Recorded::InBounds { bin: 5 });
+/// assert_eq!(h.record(239), Recorded::InBounds { bin: 239 });
+/// assert_eq!(h.record(240), Recorded::OutOfBounds);
+/// assert_eq!(h.in_bounds_count(), 2);
+/// assert_eq!(h.oob_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeHistogram {
+    bin_width: u64,
+    bins: Vec<u32>,
+    in_bounds: u64,
+    oob: u64,
+    /// Sum of squared bin counts, maintained incrementally so the CV of the
+    /// bin counts is O(1) to read.
+    sumsq: f64,
+}
+
+impl RangeHistogram {
+    /// Creates a histogram with `num_bins` bins of width `bin_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_bins` or `bin_width` is zero.
+    pub fn new(num_bins: usize, bin_width: u64) -> Self {
+        assert!(num_bins > 0, "histogram needs at least one bin");
+        assert!(bin_width > 0, "bin width must be positive");
+        Self {
+            bin_width,
+            bins: vec![0; num_bins],
+            in_bounds: 0,
+            oob: 0,
+            sumsq: 0.0,
+        }
+    }
+
+    /// Bin width in value units.
+    pub fn bin_width(&self) -> u64 {
+        self.bin_width
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Exclusive upper bound of representable values
+    /// (`num_bins * bin_width`).
+    pub fn range(&self) -> u64 {
+        self.bins.len() as u64 * self.bin_width
+    }
+
+    /// Records a value, returning where it landed.
+    pub fn record(&mut self, value: u64) -> Recorded {
+        let bin = (value / self.bin_width) as usize;
+        if bin < self.bins.len() {
+            let c = self.bins[bin];
+            self.bins[bin] = c.saturating_add(1);
+            self.in_bounds += 1;
+            self.sumsq += 2.0 * c as f64 + 1.0;
+            Recorded::InBounds { bin }
+        } else {
+            self.oob += 1;
+            Recorded::OutOfBounds
+        }
+    }
+
+    /// The raw bin counts.
+    pub fn bins(&self) -> &[u32] {
+        &self.bins
+    }
+
+    /// Count held by bin `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn bin_count(&self, idx: usize) -> u32 {
+        self.bins[idx]
+    }
+
+    /// Number of in-bounds recordings.
+    pub fn in_bounds_count(&self) -> u64 {
+        self.in_bounds
+    }
+
+    /// Number of out-of-bounds recordings.
+    pub fn oob_count(&self) -> u64 {
+        self.oob
+    }
+
+    /// Total recordings, in-bounds plus out-of-bounds.
+    pub fn total_count(&self) -> u64 {
+        self.in_bounds + self.oob
+    }
+
+    /// Fraction of recordings that were out of bounds (0 when empty).
+    pub fn oob_fraction(&self) -> f64 {
+        let total = self.total_count();
+        if total == 0 {
+            0.0
+        } else {
+            self.oob as f64 / total as f64
+        }
+    }
+
+    /// True when nothing has been recorded (in-bounds or out).
+    pub fn is_empty(&self) -> bool {
+        self.total_count() == 0
+    }
+
+    /// Coefficient of variation of the bin counts.
+    ///
+    /// A histogram concentrated in few bins has a high CV; a flat histogram
+    /// has CV 0. The hybrid policy treats the histogram as representative
+    /// only when this exceeds a threshold (§4.2, Figure 18). O(1).
+    pub fn bin_count_cv(&self) -> f64 {
+        if self.in_bounds == 0 {
+            return 0.0;
+        }
+        let n = self.bins.len() as f64;
+        let mean = self.in_bounds as f64 / n;
+        let var = (self.sumsq / n - mean * mean).max(0.0);
+        var.sqrt() / mean
+    }
+
+    /// Lower edge of the bin containing the in-bounds `p`-th percentile,
+    /// i.e. the percentile "rounded to the next lower value" (used for the
+    /// head of the idle-time distribution / the pre-warming window).
+    ///
+    /// Returns `None` when no in-bounds values exist.
+    pub fn head_value(&self, p: f64) -> Option<u64> {
+        self.percentile_bin(p).map(|b| b as u64 * self.bin_width)
+    }
+
+    /// Upper edge of the bin containing the in-bounds `p`-th percentile,
+    /// i.e. the percentile "rounded to the next higher value" (used for the
+    /// tail of the idle-time distribution / the keep-alive window).
+    ///
+    /// Returns `None` when no in-bounds values exist.
+    pub fn tail_value(&self, p: f64) -> Option<u64> {
+        self.percentile_bin(p)
+            .map(|b| (b as u64 + 1) * self.bin_width)
+    }
+
+    /// Index of the bin containing the in-bounds `p`-th percentile.
+    pub fn percentile_bin(&self, p: f64) -> Option<usize> {
+        percentile_bin_over(&self.bins, self.in_bounds as f64, p)
+    }
+
+    /// Clears all counts.
+    pub fn reset(&mut self) {
+        self.bins.fill(0);
+        self.in_bounds = 0;
+        self.oob = 0;
+        self.sumsq = 0.0;
+    }
+
+    /// Merges another histogram with identical geometry into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bin widths or bin counts differ.
+    pub fn merge(&mut self, other: &RangeHistogram) {
+        assert_eq!(self.bin_width, other.bin_width, "bin width mismatch");
+        assert_eq!(self.bins.len(), other.bins.len(), "bin count mismatch");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a = a.saturating_add(*b);
+        }
+        self.in_bounds += other.in_bounds;
+        self.oob += other.oob;
+        self.sumsq = self.bins.iter().map(|&c| (c as f64) * (c as f64)).sum();
+    }
+
+    /// Approximate in-memory footprint of the count array, in bytes.
+    ///
+    /// The paper's production deployment quotes 240 × 4-byte integers =
+    /// 960 bytes per application (§6).
+    pub fn memory_footprint_bytes(&self) -> usize {
+        self.bins.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Float-weighted bins with the same geometry and percentile rules as
+/// [`RangeHistogram`], used to aggregate several daily histograms "in a
+/// weighted fashion to give more importance to recent records" (§6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedBins {
+    bin_width: u64,
+    bins: Vec<f64>,
+    in_bounds: f64,
+    oob: f64,
+}
+
+impl WeightedBins {
+    /// Creates empty weighted bins with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_bins` or `bin_width` is zero.
+    pub fn new(num_bins: usize, bin_width: u64) -> Self {
+        assert!(num_bins > 0, "histogram needs at least one bin");
+        assert!(bin_width > 0, "bin width must be positive");
+        Self {
+            bin_width,
+            bins: vec![0.0; num_bins],
+            in_bounds: 0.0,
+            oob: 0.0,
+        }
+    }
+
+    /// Adds `weight ×` the counts of `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if geometries differ or `weight` is negative/non-finite.
+    pub fn add_scaled(&mut self, h: &RangeHistogram, weight: f64) {
+        assert_eq!(self.bin_width, h.bin_width, "bin width mismatch");
+        assert_eq!(self.bins.len(), h.bins.len(), "bin count mismatch");
+        assert!(
+            weight >= 0.0 && weight.is_finite(),
+            "weight must be finite and non-negative"
+        );
+        for (a, &b) in self.bins.iter_mut().zip(h.bins.iter()) {
+            *a += weight * b as f64;
+        }
+        self.in_bounds += weight * h.in_bounds as f64;
+        self.oob += weight * h.oob as f64;
+    }
+
+    /// Total in-bounds weight.
+    pub fn in_bounds_weight(&self) -> f64 {
+        self.in_bounds
+    }
+
+    /// Total out-of-bounds weight.
+    pub fn oob_weight(&self) -> f64 {
+        self.oob
+    }
+
+    /// Fraction of weight that is out of bounds (0 when empty).
+    pub fn oob_fraction(&self) -> f64 {
+        let total = self.in_bounds + self.oob;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.oob / total
+        }
+    }
+
+    /// True when no weight has been added.
+    pub fn is_empty(&self) -> bool {
+        self.in_bounds + self.oob <= 0.0
+    }
+
+    /// Coefficient of variation of the (weighted) bin values.
+    pub fn bin_count_cv(&self) -> f64 {
+        if self.in_bounds <= 0.0 {
+            return 0.0;
+        }
+        let n = self.bins.len() as f64;
+        let mean = self.in_bounds / n;
+        let sumsq: f64 = self.bins.iter().map(|&c| c * c).sum();
+        let var = (sumsq / n - mean * mean).max(0.0);
+        var.sqrt() / mean
+    }
+
+    /// Lower bin edge of the weighted `p`-th percentile; see
+    /// [`RangeHistogram::head_value`].
+    pub fn head_value(&self, p: f64) -> Option<u64> {
+        percentile_bin_over(&self.bins, self.in_bounds, p).map(|b| b as u64 * self.bin_width)
+    }
+
+    /// Upper bin edge of the weighted `p`-th percentile; see
+    /// [`RangeHistogram::tail_value`].
+    pub fn tail_value(&self, p: f64) -> Option<u64> {
+        percentile_bin_over(&self.bins, self.in_bounds, p).map(|b| (b as u64 + 1) * self.bin_width)
+    }
+}
+
+/// Shared percentile-bin walk over integer or float counts.
+///
+/// Finds the first non-empty bin at which the cumulative count reaches
+/// `p`% of `total`. Returns `None` when `total` is zero.
+fn percentile_bin_over<C: Copy + Into<f64>>(bins: &[C], total: f64, p: f64) -> Option<usize> {
+    if total <= 0.0 {
+        return None;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let target = p / 100.0 * total;
+    let mut cum = 0.0;
+    let mut last_nonempty = None;
+    for (i, &c) in bins.iter().enumerate() {
+        let c: f64 = c.into();
+        if c > 0.0 {
+            cum += c;
+            last_nonempty = Some(i);
+            if cum >= target {
+                return Some(i);
+            }
+        }
+    }
+    // Float round-off can leave `cum` a hair short of `target`; the
+    // percentile then belongs to the last non-empty bin.
+    last_nonempty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_bounds() {
+        let mut h = RangeHistogram::new(10, 60);
+        assert_eq!(h.record(0), Recorded::InBounds { bin: 0 });
+        assert_eq!(h.record(59), Recorded::InBounds { bin: 0 });
+        assert_eq!(h.record(60), Recorded::InBounds { bin: 1 });
+        assert_eq!(h.record(599), Recorded::InBounds { bin: 9 });
+        assert_eq!(h.record(600), Recorded::OutOfBounds);
+        assert_eq!(h.in_bounds_count(), 4);
+        assert_eq!(h.oob_count(), 1);
+        assert!((h.oob_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn production_footprint_is_960_bytes() {
+        let h = RangeHistogram::new(240, 1);
+        assert_eq!(h.memory_footprint_bytes(), 960);
+        assert_eq!(h.range(), 240);
+    }
+
+    #[test]
+    fn head_tail_rounding() {
+        // All mass in bin 3 (values 3..4 with width 1).
+        let mut h = RangeHistogram::new(240, 1);
+        for _ in 0..100 {
+            h.record(3);
+        }
+        // Head rounds down to the bin's lower edge, tail up to the upper.
+        assert_eq!(h.head_value(5.0), Some(3));
+        assert_eq!(h.tail_value(99.0), Some(4));
+    }
+
+    #[test]
+    fn head_zero_percentile_hits_first_nonempty_bin() {
+        let mut h = RangeHistogram::new(16, 1);
+        h.record(7);
+        h.record(9);
+        assert_eq!(h.head_value(0.0), Some(7));
+        assert_eq!(h.tail_value(100.0), Some(10));
+    }
+
+    #[test]
+    fn percentiles_walk_cumulative_mass() {
+        let mut h = RangeHistogram::new(100, 1);
+        // 90 values in bin 10, 10 values in bin 50.
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(50);
+        }
+        assert_eq!(h.head_value(5.0), Some(10));
+        assert_eq!(h.tail_value(90.0), Some(11)); // 90% of mass is in bin 10
+        assert_eq!(h.tail_value(99.0), Some(51));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = RangeHistogram::new(8, 1);
+        assert_eq!(h.head_value(5.0), None);
+        assert_eq!(h.tail_value(99.0), None);
+        assert!(h.is_empty());
+        assert_eq!(h.bin_count_cv(), 0.0);
+    }
+
+    #[test]
+    fn oob_only_histogram_has_no_percentiles() {
+        let mut h = RangeHistogram::new(8, 1);
+        h.record(100);
+        assert!(!h.is_empty());
+        assert_eq!(h.head_value(50.0), None);
+        assert_eq!(h.oob_fraction(), 1.0);
+    }
+
+    #[test]
+    fn cv_concentrated_vs_flat() {
+        let mut concentrated = RangeHistogram::new(10, 1);
+        for _ in 0..100 {
+            concentrated.record(4);
+        }
+        // One bin holds everything: CV = sqrt(n-1) = 3.
+        assert!((concentrated.bin_count_cv() - 3.0).abs() < 1e-9);
+
+        let mut flat = RangeHistogram::new(10, 1);
+        for v in 0..10 {
+            flat.record(v);
+        }
+        assert!(flat.bin_count_cv().abs() < 1e-9);
+    }
+
+    #[test]
+    fn cv_incremental_matches_recomputed() {
+        let mut h = RangeHistogram::new(32, 1);
+        let values = [0u64, 5, 5, 5, 9, 31, 31, 2, 2, 2, 2, 17];
+        for &v in &values {
+            h.record(v);
+        }
+        let n = h.num_bins() as f64;
+        let mean = h.in_bounds_count() as f64 / n;
+        let var = h
+            .bins()
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        let expect = var.sqrt() / mean;
+        assert!((h.bin_count_cv() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut h = RangeHistogram::new(4, 1);
+        h.record(1);
+        h.record(100);
+        h.reset();
+        assert!(h.is_empty());
+        assert_eq!(h.bins(), &[0, 0, 0, 0]);
+        assert_eq!(h.bin_count_cv(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_rebuilds_cv() {
+        let mut a = RangeHistogram::new(8, 1);
+        let mut b = RangeHistogram::new(8, 1);
+        a.record(1);
+        a.record(20); // OOB
+        b.record(1);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.bin_count(1), 2);
+        assert_eq!(a.bin_count(3), 1);
+        assert_eq!(a.in_bounds_count(), 3);
+        assert_eq!(a.oob_count(), 1);
+
+        // CV must equal a freshly built histogram with the same content.
+        let mut fresh = RangeHistogram::new(8, 1);
+        fresh.record(1);
+        fresh.record(1);
+        fresh.record(3);
+        assert!((a.bin_count_cv() - fresh.bin_count_cv()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width mismatch")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = RangeHistogram::new(8, 1);
+        let b = RangeHistogram::new(8, 2);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn weighted_bins_aggregate_recency() {
+        let mut day1 = RangeHistogram::new(16, 1);
+        let mut day2 = RangeHistogram::new(16, 1);
+        for _ in 0..10 {
+            day1.record(2);
+        }
+        for _ in 0..10 {
+            day2.record(8);
+        }
+        let mut agg = WeightedBins::new(16, 1);
+        agg.add_scaled(&day1, 0.25);
+        agg.add_scaled(&day2, 1.0);
+        // Recent day dominates: the median sits in day2's bin.
+        let head = agg.head_value(50.0).unwrap();
+        assert_eq!(head, 8);
+        assert!((agg.in_bounds_weight() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_bins_empty() {
+        let agg = WeightedBins::new(4, 1);
+        assert!(agg.is_empty());
+        assert_eq!(agg.head_value(50.0), None);
+        assert_eq!(agg.oob_fraction(), 0.0);
+    }
+
+    #[test]
+    fn weighted_bins_match_unweighted_when_weight_one() {
+        let mut h = RangeHistogram::new(32, 1);
+        for v in [1u64, 1, 5, 9, 9, 9, 30] {
+            h.record(v);
+        }
+        let mut agg = WeightedBins::new(32, 1);
+        agg.add_scaled(&h, 1.0);
+        for p in [0.0, 5.0, 50.0, 99.0, 100.0] {
+            assert_eq!(agg.head_value(p), h.head_value(p), "head at {p}");
+            assert_eq!(agg.tail_value(p), h.tail_value(p), "tail at {p}");
+        }
+        assert!((agg.bin_count_cv() - h.bin_count_cv()).abs() < 1e-12);
+    }
+}

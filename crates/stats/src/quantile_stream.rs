@@ -1,0 +1,264 @@
+//! Streaming quantile estimation (the P² algorithm).
+//!
+//! Platform-side latency percentiles (§5.3 reports the 99th-percentile
+//! execution time) should not require retaining every sample; P² (Jain &
+//! Chlamtac, 1985) tracks one quantile with five markers in O(1) memory
+//! and O(1) per observation, which is what a production controller would
+//! deploy.
+
+/// P² estimator for a single quantile.
+///
+/// # Examples
+///
+/// ```
+/// use sitw_stats::quantile_stream::P2Quantile;
+///
+/// let mut q = P2Quantile::new(0.5);
+/// for i in 1..=1000 {
+///     q.observe(i as f64);
+/// }
+/// let median = q.estimate().unwrap();
+/// assert!((median - 500.0).abs() < 25.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (estimates of the quantile positions).
+    heights: [f64; 5],
+    /// Marker positions (1-based sample ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    count: usize,
+    /// The first five observations, before the estimator activates.
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `p`-quantile (`0 < p < 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0, 1)");
+        Self {
+            p,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            increments: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// The tracked quantile.
+    pub fn quantile(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Adds one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial.sort_by(f64::total_cmp);
+                self.heights.copy_from_slice(&self.initial);
+            }
+            return;
+        }
+
+        // Find the cell containing x and bump marker positions.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust interior markers with parabolic (or linear) moves.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                    self.heights[i] = candidate;
+                } else {
+                    self.heights[i] = self.linear(i, d);
+                }
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate; `None` before any observation. For fewer than
+    /// five observations, falls back to the exact order statistic.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.initial.len() < 5 {
+            let mut xs = self.initial.clone();
+            xs.sort_by(f64::total_cmp);
+            let idx = ((xs.len() as f64 - 1.0) * self.p).round() as usize;
+            return Some(xs[idx]);
+        }
+        Some(self.heights[2])
+    }
+}
+
+/// A bundle of P² estimators for the percentiles platform reports need
+/// (p50, p75, p90, p99 by default).
+#[derive(Debug, Clone)]
+pub struct StreamingPercentiles {
+    estimators: Vec<P2Quantile>,
+}
+
+impl StreamingPercentiles {
+    /// Creates the default p50/p75/p90/p99 bundle.
+    pub fn standard() -> Self {
+        Self::for_quantiles(&[0.50, 0.75, 0.90, 0.99])
+    }
+
+    /// Creates estimators for arbitrary quantiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `qs` is empty or contains values outside `(0, 1)`.
+    pub fn for_quantiles(qs: &[f64]) -> Self {
+        assert!(!qs.is_empty());
+        Self {
+            estimators: qs.iter().map(|&q| P2Quantile::new(q)).collect(),
+        }
+    }
+
+    /// Adds one observation to all estimators.
+    pub fn observe(&mut self, x: f64) {
+        for e in &mut self.estimators {
+            e.observe(x);
+        }
+    }
+
+    /// Current `(quantile, estimate)` pairs (empty before data arrives).
+    pub fn estimates(&self) -> Vec<(f64, f64)> {
+        self.estimators
+            .iter()
+            .filter_map(|e| e.estimate().map(|v| (e.quantile(), v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn exact_below_five_samples() {
+        let mut q = P2Quantile::new(0.5);
+        assert!(q.estimate().is_none());
+        q.observe(10.0);
+        assert_eq!(q.estimate(), Some(10.0));
+        q.observe(20.0);
+        q.observe(0.0);
+        let est = q.estimate().unwrap();
+        assert_eq!(est, 10.0);
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut q = P2Quantile::new(0.5);
+        for _ in 0..100_000 {
+            q.observe(rng.random::<f64>());
+        }
+        let est = q.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.01, "median {est}");
+    }
+
+    #[test]
+    fn p99_of_exponential_stream() {
+        // Exp(1): p99 = ln(100) ≈ 4.605.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut q = P2Quantile::new(0.99);
+        for _ in 0..200_000 {
+            let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            q.observe(-u.ln());
+        }
+        let est = q.estimate().unwrap();
+        assert!((est - 4.605).abs() < 0.25, "p99 {est}");
+    }
+
+    #[test]
+    fn monotone_streams_track() {
+        let mut q = P2Quantile::new(0.9);
+        for i in 0..10_000 {
+            q.observe(i as f64);
+        }
+        let est = q.estimate().unwrap();
+        assert!((est - 9_000.0).abs() < 300.0, "p90 {est}");
+    }
+
+    #[test]
+    fn bundle_is_ordered() {
+        let mut s = StreamingPercentiles::standard();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50_000 {
+            s.observe(rng.random::<f64>() * 100.0);
+        }
+        let est = s.estimates();
+        assert_eq!(est.len(), 4);
+        assert!(est.windows(2).all(|w| w[0].1 <= w[1].1), "{est:?}");
+        assert!((est[0].1 - 50.0).abs() < 2.0);
+        assert!((est[3].1 - 99.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn rejects_bad_quantile() {
+        P2Quantile::new(1.0);
+    }
+}

@@ -1,0 +1,544 @@
+//! Arrival-process archetypes and invocation stream generation.
+//!
+//! §3.3 of the paper finds that real inter-arrival-time (IAT)
+//! distributions are "more complex than the simply periodic or memoryless
+//! ones": timer apps are often but not always strictly periodic, only a
+//! small fraction of apps look Poisson (CV ≈ 1), ~20% of all apps have
+//! CV ≈ 0 (including ~10% of no-timer apps — e.g. periodic IoT callers),
+//! and ~40% have CV > 1. The generator reproduces this mixture with five
+//! archetypes, each a well-defined stochastic process.
+
+use rand::Rng;
+
+use crate::time::{TimeMs, DAY_MS, HOUR_MS};
+
+/// A single cron-style timer: fires at `phase + k * period`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerSpec {
+    /// Firing period in milliseconds.
+    pub period_ms: TimeMs,
+    /// Offset of the first firing in milliseconds.
+    pub phase_ms: TimeMs,
+}
+
+/// The arrival process driving an application's invocations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Archetype {
+    /// One or more strict timers (CV 0 for a single timer; multiple
+    /// periods/phases raise the CV, §3.3).
+    Timers(Vec<TimerSpec>),
+    /// Homogeneous Poisson arrivals (memoryless, CV 1).
+    Poisson,
+    /// Poisson arrivals modulated by the diurnal/weekly load shape of
+    /// Figure 4 (thinning construction).
+    Diurnal {
+        /// Hour of day (0–24) at which this app's load peaks.
+        peak_hour: f64,
+    },
+    /// Bursty session traffic: bursts arrive as a Poisson process, each
+    /// burst carrying a geometric number of closely spaced invocations.
+    /// IAT CV is well above 1 (the ~40% of apps beyond CV 1 in
+    /// Figure 6), and the short intra-burst gaps are what lets even
+    /// rarely invoked applications see warm starts under small
+    /// keep-alives (Figure 14).
+    Bursty {
+        /// Mean invocations per burst (≥ 1).
+        mean_burst_size: f64,
+        /// Mean gap between invocations inside a burst, milliseconds.
+        intra_gap_ms: f64,
+        /// Hour of day the sessions cluster around; burst arrivals are
+        /// diurnally thinned (sharper than the aggregate Figure 4 shape)
+        /// so night-time idle gaps stretch to many hours.
+        peak_hour: f64,
+    },
+    /// Quasi-periodic arrivals with a long period — e.g. sensors/IoT
+    /// devices reporting every few hours. These exceed the histogram
+    /// range and exercise the policy's ARIMA path.
+    RarePeriodic {
+        /// Period in milliseconds (typically above the histogram range).
+        period_ms: TimeMs,
+        /// Standard deviation of the Gaussian jitter, milliseconds.
+        jitter_ms: f64,
+    },
+    /// Timers plus a Poisson overlay carrying the residual rate (apps
+    /// with timer *and* other triggers, 15.8% of apps per §3.2).
+    Mixed {
+        /// The timer components.
+        timers: Vec<TimerSpec>,
+        /// Daily rate of the non-timer overlay traffic.
+        overlay_daily_rate: f64,
+    },
+}
+
+impl Archetype {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Archetype::Timers(_) => "timers",
+            Archetype::Poisson => "poisson",
+            Archetype::Diurnal { .. } => "diurnal",
+            Archetype::Bursty { .. } => "bursty",
+            Archetype::RarePeriodic { .. } => "rare-periodic",
+            Archetype::Mixed { .. } => "mixed",
+        }
+    }
+}
+
+/// The platform-wide load-shape multiplier at time `t` (Figure 4):
+/// a flat baseline plus a smooth diurnal bump, damped on weekends.
+///
+/// Day 0 is a Monday; days 5 and 6 of each week are the weekend. The
+/// returned multiplier averages roughly 1 over a week, so modulating a
+/// Poisson process with it approximately preserves the app's mean rate.
+pub fn load_shape(t: TimeMs, peak_hour: f64) -> f64 {
+    let day = (t / DAY_MS) % 7;
+    let weekend = day >= 5;
+    let hour = (t % DAY_MS) as f64 / HOUR_MS as f64;
+    // Smooth bump peaking at `peak_hour`, period 24 h.
+    let angle = (hour - peak_hour) / 24.0 * std::f64::consts::TAU;
+    let bump = 0.5 * (1.0 + angle.cos());
+    let weekday_amp = if weekend {
+        crate::calibration::WEEKEND_FACTOR
+    } else {
+        1.0
+    };
+    let baseline = crate::calibration::DIURNAL_BASELINE;
+    // Normalize: the bump averages 0.5 over a day, weekday amplitude
+    // averages (5 + 2*wf)/7 over a week.
+    let wf_mean = (5.0 + 2.0 * crate::calibration::WEEKEND_FACTOR) / 7.0;
+    let mean = baseline + (1.0 - baseline) * 0.5 * wf_mean;
+    (baseline + (1.0 - baseline) * bump * weekday_amp) / mean
+}
+
+/// Generates the sorted invocation timestamps of an application over
+/// `[0, horizon_ms)`.
+///
+/// `daily_rate` is the app's target average invocations per day; rates
+/// above `cap_per_day` are clamped (hot applications behave identically
+/// for cold-start purposes once they are invoked every few seconds, and
+/// the clamp bounds memory).
+pub fn generate_events<R: Rng + ?Sized>(
+    archetype: &Archetype,
+    daily_rate: f64,
+    horizon_ms: TimeMs,
+    cap_per_day: f64,
+    rng: &mut R,
+) -> Vec<TimeMs> {
+    let rate = daily_rate.min(cap_per_day).max(0.0);
+    let mut events = match archetype {
+        Archetype::Timers(timers) => timer_events(timers, horizon_ms),
+        Archetype::Poisson => poisson_events(rate, horizon_ms, rng),
+        Archetype::Diurnal { peak_hour } => diurnal_events(rate, *peak_hour, horizon_ms, rng),
+        Archetype::Bursty {
+            mean_burst_size,
+            intra_gap_ms,
+            peak_hour,
+        } => bursty_events(
+            rate,
+            *mean_burst_size,
+            *intra_gap_ms,
+            *peak_hour,
+            horizon_ms,
+            rng,
+        ),
+        Archetype::RarePeriodic {
+            period_ms,
+            jitter_ms,
+        } => rare_periodic_events(*period_ms, *jitter_ms, horizon_ms, rng),
+        Archetype::Mixed {
+            timers,
+            overlay_daily_rate,
+        } => {
+            let mut ev = timer_events(timers, horizon_ms);
+            let overlay = poisson_events(overlay_daily_rate.min(cap_per_day), horizon_ms, rng);
+            ev.extend(overlay);
+            ev.sort_unstable();
+            ev
+        }
+    };
+    events.sort_unstable();
+    events
+}
+
+/// Strict timer firings, merged across all timers.
+fn timer_events(timers: &[TimerSpec], horizon_ms: TimeMs) -> Vec<TimeMs> {
+    let mut out = Vec::new();
+    for t in timers {
+        assert!(t.period_ms > 0, "timer period must be positive");
+        let mut at = t.phase_ms;
+        while at < horizon_ms {
+            out.push(at);
+            at += t.period_ms;
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Homogeneous Poisson process via exponential IATs.
+fn poisson_events<R: Rng + ?Sized>(
+    daily_rate: f64,
+    horizon_ms: TimeMs,
+    rng: &mut R,
+) -> Vec<TimeMs> {
+    if daily_rate <= 0.0 {
+        return Vec::new();
+    }
+    let rate_per_ms = daily_rate / DAY_MS as f64;
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    let horizon = horizon_ms as f64;
+    loop {
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        t += -u.ln() / rate_per_ms;
+        if t >= horizon {
+            break;
+        }
+        out.push(t as TimeMs);
+    }
+    out
+}
+
+/// Inhomogeneous Poisson process matching the Figure 4 load shape, by
+/// thinning a homogeneous process at the peak rate.
+fn diurnal_events<R: Rng + ?Sized>(
+    daily_rate: f64,
+    peak_hour: f64,
+    horizon_ms: TimeMs,
+    rng: &mut R,
+) -> Vec<TimeMs> {
+    if daily_rate <= 0.0 {
+        return Vec::new();
+    }
+    // Max of load_shape over a week occurs at the weekday peak.
+    let baseline = crate::calibration::DIURNAL_BASELINE;
+    let wf_mean = (5.0 + 2.0 * crate::calibration::WEEKEND_FACTOR) / 7.0;
+    let mean = baseline + (1.0 - baseline) * 0.5 * wf_mean;
+    let max_shape = 1.0 / mean; // baseline + (1-baseline)*1*1, normalized.
+    let lambda_max = daily_rate / DAY_MS as f64 * max_shape;
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    let horizon = horizon_ms as f64;
+    loop {
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        t += -u.ln() / lambda_max;
+        if t >= horizon {
+            break;
+        }
+        let shape = load_shape(t as TimeMs, peak_hour);
+        if rng.random::<f64>() < shape / max_shape {
+            out.push(t as TimeMs);
+        }
+    }
+    out
+}
+
+/// Burst-cluster ("session") arrivals: diurnally thinned Poisson bursts,
+/// geometric burst sizes, exponential intra-burst gaps. The burst rate
+/// is chosen so the long-run event rate matches `daily_rate`. Burst
+/// starts follow the **square** of the load shape — sessions concentrate
+/// in the app's daytime, so overnight idle gaps stretch to many hours.
+fn bursty_events<R: Rng + ?Sized>(
+    daily_rate: f64,
+    mean_burst_size: f64,
+    intra_gap_ms: f64,
+    peak_hour: f64,
+    horizon_ms: TimeMs,
+    rng: &mut R,
+) -> Vec<TimeMs> {
+    if daily_rate <= 0.0 {
+        return Vec::new();
+    }
+    let burst_size = mean_burst_size.max(1.0);
+    let intra_gap = intra_gap_ms.max(1.0);
+    let burst_rate_per_ms = daily_rate / burst_size / DAY_MS as f64;
+    let (mean_sq, max_sq) = shape_sq_stats(peak_hour);
+    let lambda_max = burst_rate_per_ms * max_sq / mean_sq;
+    let horizon = horizon_ms as f64;
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        // Candidate burst start at the peak rate; thin by shape².
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        t += -u.ln() / lambda_max;
+        if t >= horizon {
+            break;
+        }
+        let shape = load_shape(t as TimeMs, peak_hour);
+        if rng.random::<f64>() >= shape * shape / max_sq {
+            continue;
+        }
+        // Geometric burst size with the requested mean.
+        let n = geometric(rng, burst_size);
+        let mut bt = t;
+        out.push(bt as TimeMs);
+        for _ in 1..n {
+            let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            bt += -u.ln() * intra_gap;
+            if bt >= horizon {
+                break;
+            }
+            out.push(bt as TimeMs);
+        }
+        t = t.max(bt); // Next inter-burst gap starts at the burst's end.
+    }
+    out
+}
+
+/// Weekly mean and max of the squared load shape (coarse 15-minute grid;
+/// exact enough for thinning normalization).
+fn shape_sq_stats(peak_hour: f64) -> (f64, f64) {
+    let mut sum = 0.0;
+    let mut max = 0.0f64;
+    let steps = 7 * 24 * 4;
+    for i in 0..steps {
+        let t = i as u64 * 15 * 60 * 1000;
+        let s = load_shape(t, peak_hour);
+        let sq = s * s;
+        sum += sq;
+        if sq > max {
+            max = sq;
+        }
+    }
+    (sum / steps as f64, max)
+}
+
+/// Geometric sample (support ≥ 1) with the given mean.
+fn geometric<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    if mean <= 1.0 {
+        return 1;
+    }
+    let p = 1.0 / mean;
+    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u64
+}
+
+/// Long-period quasi-periodic arrivals with Gaussian jitter.
+fn rare_periodic_events<R: Rng + ?Sized>(
+    period_ms: TimeMs,
+    jitter_ms: f64,
+    horizon_ms: TimeMs,
+    rng: &mut R,
+) -> Vec<TimeMs> {
+    assert!(period_ms > 0, "period must be positive");
+    let mut out = Vec::new();
+    let mut t = 0.0f64;
+    loop {
+        // Box–Muller standard normal jitter.
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        t += period_ms as f64 + z * jitter_ms;
+        if t >= horizon_ms as f64 {
+            break;
+        }
+        if t >= 0.0 {
+            out.push(t as TimeMs);
+        }
+    }
+    out
+}
+
+/// Inter-arrival times (ms, as f64) of a sorted event sequence.
+pub fn iats(events: &[TimeMs]) -> Vec<f64> {
+    events.windows(2).map(|w| (w[1] - w[0]) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{MINUTE_MS, WEEK_MS};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sitw_stats::Welford;
+
+    fn cv_of(events: &[TimeMs]) -> f64 {
+        let mut w = Welford::new();
+        for iat in iats(events) {
+            w.push(iat);
+        }
+        w.cv()
+    }
+
+    #[test]
+    fn single_timer_is_strictly_periodic() {
+        let arch = Archetype::Timers(vec![TimerSpec {
+            period_ms: 5 * MINUTE_MS,
+            phase_ms: 30_000,
+        }]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ev = generate_events(&arch, 288.0, DAY_MS, 1e9, &mut rng);
+        assert_eq!(ev.len(), 288); // 24h / 5min.
+        assert_eq!(ev[0], 30_000);
+        assert!(cv_of(&ev) < 1e-9, "timer CV must be 0");
+    }
+
+    #[test]
+    fn multiple_timers_raise_cv_above_zero() {
+        let arch = Archetype::Timers(vec![
+            TimerSpec {
+                period_ms: 5 * MINUTE_MS,
+                phase_ms: 0,
+            },
+            TimerSpec {
+                period_ms: 7 * MINUTE_MS,
+                phase_ms: 2 * MINUTE_MS,
+            },
+        ]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let ev = generate_events(&arch, 0.0, DAY_MS, 1e9, &mut rng);
+        let cv = cv_of(&ev);
+        assert!(cv > 0.1, "multi-timer CV {cv}");
+    }
+
+    #[test]
+    fn poisson_rate_and_cv() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ev = generate_events(&Archetype::Poisson, 1000.0, WEEK_MS, 1e9, &mut rng);
+        let per_day = ev.len() as f64 / 7.0;
+        assert!((per_day - 1000.0).abs() < 60.0, "rate {per_day}");
+        let cv = cv_of(&ev);
+        assert!((cv - 1.0).abs() < 0.1, "poisson CV {cv}");
+    }
+
+    #[test]
+    fn bursty_clusters_have_high_cv_and_short_gaps() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let arch = Archetype::Bursty {
+            mean_burst_size: 8.0,
+            intra_gap_ms: 10_000.0,
+            peak_hour: 13.0,
+        };
+        let ev = generate_events(&arch, 2000.0, WEEK_MS, 1e9, &mut rng);
+        let cv = cv_of(&ev);
+        assert!(cv > 1.5, "bursty CV {cv}");
+        // Mean rate approximately honored (burst overlap inflates a bit).
+        let per_day = ev.len() as f64 / 7.0;
+        assert!(
+            (1500.0..3000.0).contains(&per_day),
+            "rate {per_day} events/day"
+        );
+        // Most gaps are intra-burst (short): the warm-start fuel of
+        // Figure 14.
+        let short = iats(&ev).iter().filter(|&&g| g < 60_000.0).count();
+        assert!(
+            short as f64 > 0.5 * (ev.len() - 1) as f64,
+            "short gaps {short}/{}",
+            ev.len()
+        );
+    }
+
+    #[test]
+    fn geometric_mean_matches() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| geometric(&mut rng, 6.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 6.0).abs() < 0.2, "geometric mean {mean}");
+        assert_eq!(geometric(&mut rng, 0.5), 1);
+    }
+
+    #[test]
+    fn rare_periodic_cv_near_zero_and_long_gaps() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let arch = Archetype::RarePeriodic {
+            period_ms: 6 * HOUR_MS,
+            jitter_ms: 2.0 * MINUTE_MS as f64,
+        };
+        let ev = generate_events(&arch, 4.0, WEEK_MS, 1e9, &mut rng);
+        assert!((26..=29).contains(&ev.len()), "events {}", ev.len());
+        assert!(cv_of(&ev) < 0.05);
+        // Every gap exceeds a 4-hour histogram range.
+        for gap in iats(&ev) {
+            assert!(gap > 4.0 * HOUR_MS as f64);
+        }
+    }
+
+    #[test]
+    fn diurnal_preserves_mean_rate_and_shapes_load() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let arch = Archetype::Diurnal { peak_hour: 14.0 };
+        let ev = generate_events(&arch, 5000.0, WEEK_MS, 1e9, &mut rng);
+        let per_day = ev.len() as f64 / 7.0;
+        assert!(
+            (per_day - 5000.0).abs() < 400.0,
+            "diurnal rate {per_day}/day"
+        );
+        // Peak-hour traffic must exceed trough-hour traffic.
+        let mut by_hour = [0usize; 24];
+        for &e in &ev {
+            by_hour[((e % DAY_MS) / HOUR_MS) as usize] += 1;
+        }
+        let peak = by_hour[14];
+        let trough = by_hour[2];
+        assert!(
+            peak as f64 > 1.3 * trough as f64,
+            "peak {peak} trough {trough}"
+        );
+    }
+
+    #[test]
+    fn mixed_merges_timer_and_overlay() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let arch = Archetype::Mixed {
+            timers: vec![TimerSpec {
+                period_ms: HOUR_MS,
+                phase_ms: 0,
+            }],
+            overlay_daily_rate: 24.0,
+        };
+        let ev = generate_events(&arch, 48.0, DAY_MS, 1e9, &mut rng);
+        // 24 timer firings + ~24 Poisson arrivals.
+        assert!((34..70).contains(&ev.len()), "events {}", ev.len());
+        assert!(ev.windows(2).all(|w| w[0] <= w[1]), "must be sorted");
+        // Timer firings at exact hours must be present.
+        assert!(ev.contains(&0));
+        assert!(ev.contains(&HOUR_MS));
+    }
+
+    #[test]
+    fn rate_cap_clamps_hot_apps() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let ev = generate_events(&Archetype::Poisson, 1.0e6, DAY_MS, 10_000.0, &mut rng);
+        let per_day = ev.len() as f64;
+        assert!(per_day < 11_000.0, "capped rate {per_day}");
+        assert!(per_day > 9_000.0);
+    }
+
+    #[test]
+    fn zero_rate_produces_no_events() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(generate_events(&Archetype::Poisson, 0.0, WEEK_MS, 1e9, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn load_shape_weekly_mean_is_one() {
+        // Numerical average over a week of minutes.
+        let mut acc = 0.0;
+        let n = 7 * 24 * 60;
+        for m in 0..n {
+            acc += load_shape(m as TimeMs * MINUTE_MS, 13.0);
+        }
+        let mean = acc / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn load_shape_weekend_damped() {
+        // Tuesday 13:00 vs Saturday 13:00 (day 0 = Monday).
+        let tue = load_shape(DAY_MS + 13 * HOUR_MS, 13.0);
+        let sat = load_shape(5 * DAY_MS + 13 * HOUR_MS, 13.0);
+        assert!(tue > sat, "tue {tue} sat {sat}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let arch = Archetype::Bursty {
+            mean_burst_size: 4.0,
+            intra_gap_ms: 20_000.0,
+            peak_hour: 11.0,
+        };
+        let a = generate_events(&arch, 100.0, DAY_MS, 1e9, &mut StdRng::seed_from_u64(42));
+        let b = generate_events(&arch, 100.0, DAY_MS, 1e9, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

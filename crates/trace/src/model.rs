@@ -1,0 +1,253 @@
+//! The workload model: applications, functions, and triggers.
+//!
+//! Azure Functions groups functions into applications; "the application,
+//! not the function, is the unit of scheduling and resource allocation"
+//! (§2). Cold starts and keep-alive therefore apply at application
+//! granularity, while triggers, execution times and invocation shares are
+//! per-function.
+
+use crate::archetype::Archetype;
+
+/// Identifier of an application within a [`Population`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppId(pub u32);
+
+impl std::fmt::Display for AppId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "app-{:06}", self.0)
+    }
+}
+
+/// The paper's seven trigger classes (§2, Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TriggerType {
+    /// HTTP requests.
+    Http,
+    /// Event streams (Event Hub, Event Grid): few functions, very high
+    /// invocation rates.
+    Event,
+    /// Message queues (Service Bus, Kafka, ...).
+    Queue,
+    /// Cron-like timers firing at pre-determined intervals.
+    Timer,
+    /// Durable Functions orchestration.
+    Orchestration,
+    /// Database / filesystem change triggers (Blob, Redis, ...).
+    Storage,
+    /// Everything else.
+    Others,
+}
+
+impl TriggerType {
+    /// All trigger classes, in the paper's Figure 2 order.
+    pub const ALL: [TriggerType; 7] = [
+        TriggerType::Http,
+        TriggerType::Queue,
+        TriggerType::Event,
+        TriggerType::Orchestration,
+        TriggerType::Timer,
+        TriggerType::Storage,
+        TriggerType::Others,
+    ];
+
+    /// Short label used in the paper's Figure 3 ("H", "T", "Q", ...).
+    pub fn letter(&self) -> char {
+        match self {
+            TriggerType::Http => 'H',
+            TriggerType::Event => 'E',
+            TriggerType::Queue => 'Q',
+            TriggerType::Timer => 'T',
+            TriggerType::Orchestration => 'O',
+            TriggerType::Storage => 'S',
+            TriggerType::Others => 'o',
+        }
+    }
+
+    /// Full display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TriggerType::Http => "HTTP",
+            TriggerType::Event => "Event",
+            TriggerType::Queue => "Queue",
+            TriggerType::Timer => "Timer",
+            TriggerType::Orchestration => "Orchestration",
+            TriggerType::Storage => "Storage",
+            TriggerType::Others => "Others",
+        }
+    }
+}
+
+impl std::fmt::Display for TriggerType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Static profile of one function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionProfile {
+    /// Trigger class of this function.
+    pub trigger: TriggerType,
+    /// Share of the application's invocations routed to this function
+    /// (shares sum to 1 within an app).
+    pub invocation_share: f64,
+    /// Average execution time in seconds (log-normal population,
+    /// Figure 7).
+    pub avg_exec_secs: f64,
+    /// Fastest observed execution, seconds.
+    pub min_exec_secs: f64,
+    /// Slowest observed execution, seconds.
+    pub max_exec_secs: f64,
+}
+
+/// Static profile of one application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppProfile {
+    /// Application identifier.
+    pub id: AppId,
+    /// Per-function profiles (at least one).
+    pub functions: Vec<FunctionProfile>,
+    /// Target average invocations per day across all functions.
+    pub daily_rate: f64,
+    /// Arrival-process archetype driving invocation timestamps.
+    pub archetype: Archetype,
+    /// Average allocated memory in MB (Burr population, Figure 8).
+    pub memory_mb: f64,
+    /// 1st-percentile allocated memory in MB.
+    pub memory_mb_pct1: f64,
+    /// Maximum allocated memory in MB.
+    pub memory_mb_max: f64,
+}
+
+impl AppProfile {
+    /// Trigger classes present in this app, deduplicated, in
+    /// [`TriggerType::ALL`] order.
+    pub fn trigger_set(&self) -> Vec<TriggerType> {
+        let mut out = Vec::new();
+        for t in TriggerType::ALL {
+            if self.functions.iter().any(|f| f.trigger == t) {
+                out.push(t);
+            }
+        }
+        out
+    }
+
+    /// True when at least one function is timer-triggered.
+    pub fn has_timer(&self) -> bool {
+        self.functions
+            .iter()
+            .any(|f| f.trigger == TriggerType::Timer)
+    }
+
+    /// True when **all** functions are timer-triggered.
+    pub fn only_timers(&self) -> bool {
+        !self.functions.is_empty()
+            && self
+                .functions
+                .iter()
+                .all(|f| f.trigger == TriggerType::Timer)
+    }
+
+    /// The Figure 3(b)-style combination key: sorted trigger letters, e.g.
+    /// `"HT"` for an app with HTTP and Timer triggers.
+    pub fn combo_key(&self) -> String {
+        self.trigger_set().iter().map(|t| t.letter()).collect()
+    }
+}
+
+/// A generated population of application profiles.
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// The application profiles (ids are dense, `0..apps.len()`).
+    pub apps: Vec<AppProfile>,
+}
+
+impl Population {
+    /// Number of applications.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// True when the population has no applications.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// Total number of functions across all applications.
+    pub fn num_functions(&self) -> usize {
+        self.apps.iter().map(|a| a.functions.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archetype::Archetype;
+
+    fn func(trigger: TriggerType) -> FunctionProfile {
+        FunctionProfile {
+            trigger,
+            invocation_share: 1.0,
+            avg_exec_secs: 0.5,
+            min_exec_secs: 0.1,
+            max_exec_secs: 2.0,
+        }
+    }
+
+    fn app(triggers: &[TriggerType]) -> AppProfile {
+        AppProfile {
+            id: AppId(0),
+            functions: triggers.iter().map(|&t| func(t)).collect(),
+            daily_rate: 10.0,
+            archetype: Archetype::Poisson,
+            memory_mb: 170.0,
+            memory_mb_pct1: 120.0,
+            memory_mb_max: 300.0,
+        }
+    }
+
+    #[test]
+    fn trigger_set_dedup_and_order() {
+        let a = app(&[
+            TriggerType::Timer,
+            TriggerType::Http,
+            TriggerType::Timer,
+            TriggerType::Queue,
+        ]);
+        assert_eq!(
+            a.trigger_set(),
+            vec![TriggerType::Http, TriggerType::Queue, TriggerType::Timer]
+        );
+        assert_eq!(a.combo_key(), "HQT");
+    }
+
+    #[test]
+    fn timer_predicates() {
+        assert!(app(&[TriggerType::Timer]).only_timers());
+        assert!(app(&[TriggerType::Timer]).has_timer());
+        let mixed = app(&[TriggerType::Timer, TriggerType::Http]);
+        assert!(mixed.has_timer());
+        assert!(!mixed.only_timers());
+        assert!(!app(&[TriggerType::Http]).has_timer());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AppId(7).to_string(), "app-000007");
+        assert_eq!(TriggerType::Http.to_string(), "HTTP");
+        assert_eq!(TriggerType::Others.letter(), 'o');
+    }
+
+    #[test]
+    fn population_counts() {
+        let p = Population {
+            apps: vec![
+                app(&[TriggerType::Http]),
+                app(&[TriggerType::Http, TriggerType::Queue]),
+            ],
+        };
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.num_functions(), 3);
+        assert!(!p.is_empty());
+    }
+}

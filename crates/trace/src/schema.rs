@@ -1,0 +1,801 @@
+//! AzurePublicDataset CSV schema I/O.
+//!
+//! The paper releases sanitized traces at
+//! <https://github.com/Azure/AzurePublicDataset> in three per-day CSV
+//! layouts; this module reads and writes the same column layouts so the
+//! real trace can replace the synthetic generator end to end:
+//!
+//! * **Invocations**: `HashOwner,HashApp,HashFunction,Trigger,1,...,1440`
+//!   — per-function invocation counts in 1-minute bins;
+//! * **Durations**: `HashOwner,HashApp,HashFunction,Average,Count,
+//!   Minimum,Maximum,percentile_Average_{0,1,25,50,75,99,100}`;
+//! * **Memory**: `HashOwner,HashApp,SampleCount,AverageAllocatedMb,
+//!   AverageAllocatedMb_pct{1,5,25,50,75,95,99,100}`.
+//!
+//! Reading reconstructs minute-binned invocation streams (events placed
+//! evenly inside their minute, matching the paper's observation that
+//! 1-minute resolution is sufficient for keep-alive policies).
+
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use crate::generator::{AppTrace, Trace};
+use crate::model::{AppId, AppProfile, FunctionProfile, Population, TriggerType};
+use crate::time::{TimeMs, DAY_MS, MINUTE_MS};
+
+/// Minutes per day — the number of count columns in the invocations CSV.
+pub const MINUTES_PER_DAY: usize = 1440;
+
+/// Errors arising while parsing dataset CSVs.
+#[derive(Debug)]
+pub enum SchemaError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed row (wrong column count, bad number, unknown trigger).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaError::Io(e) => write!(f, "I/O error: {e}"),
+            SchemaError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl From<io::Error> for SchemaError {
+    fn from(e: io::Error) -> Self {
+        SchemaError::Io(e)
+    }
+}
+
+/// Dataset trigger labels (lowercase in the released trace).
+pub fn trigger_label(t: TriggerType) -> &'static str {
+    match t {
+        TriggerType::Http => "http",
+        TriggerType::Event => "event",
+        TriggerType::Queue => "queue",
+        TriggerType::Timer => "timer",
+        TriggerType::Orchestration => "orchestration",
+        TriggerType::Storage => "storage",
+        TriggerType::Others => "others",
+    }
+}
+
+/// Parses a dataset trigger label.
+pub fn parse_trigger(s: &str) -> Option<TriggerType> {
+    Some(match s {
+        "http" => TriggerType::Http,
+        "event" => TriggerType::Event,
+        "queue" => TriggerType::Queue,
+        "timer" => TriggerType::Timer,
+        "orchestration" => TriggerType::Orchestration,
+        "storage" => TriggerType::Storage,
+        "others" => TriggerType::Others,
+        _ => return None,
+    })
+}
+
+/// Deterministic 64-hex-character pseudo-hash for ids, mimicking the
+/// dataset's SHA-256 strings without a crypto dependency.
+pub fn pseudo_hash(kind: &str, id: u64) -> String {
+    let mut out = String::with_capacity(64);
+    let mut x = id
+        ^ kind.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        });
+    for _ in 0..4 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let _ = write!(out, "{z:016x}");
+    }
+    out
+}
+
+/// One row of the invocations-per-function CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvocationRow {
+    /// Owner hash.
+    pub owner: String,
+    /// Application hash.
+    pub app: String,
+    /// Function hash.
+    pub func: String,
+    /// Trigger class.
+    pub trigger: TriggerType,
+    /// Invocation count per minute of the day (1440 entries).
+    pub counts: Vec<u32>,
+}
+
+/// Writes one day of a trace in the invocations CSV layout.
+///
+/// App-level events are attributed to functions by deterministic
+/// round-robin over cumulative invocation shares, which preserves both
+/// per-minute totals and long-run per-function shares.
+pub fn write_invocations_csv<W: Write>(trace: &Trace, day: usize, mut w: W) -> io::Result<()> {
+    write!(w, "HashOwner,HashApp,HashFunction,Trigger")?;
+    for m in 1..=MINUTES_PER_DAY {
+        write!(w, ",{m}")?;
+    }
+    writeln!(w)?;
+
+    let day_start = day as TimeMs * DAY_MS;
+    let day_end = day_start + DAY_MS;
+    for app in &trace.apps {
+        let rows = bin_app_day(app, day_start, day_end);
+        let owner = pseudo_hash("owner", app.profile.id.0 as u64 / 16);
+        let app_hash = pseudo_hash("app", app.profile.id.0 as u64);
+        for (fi, counts) in rows.iter().enumerate() {
+            if counts.iter().all(|&c| c == 0) {
+                continue; // The dataset omits all-zero rows.
+            }
+            let func = &app.profile.functions[fi];
+            write!(
+                w,
+                "{owner},{app_hash},{},{}",
+                pseudo_hash("func", ((app.profile.id.0 as u64) << 16) | fi as u64),
+                trigger_label(func.trigger)
+            )?;
+            for c in counts {
+                write!(w, ",{c}")?;
+            }
+            writeln!(w)?;
+        }
+    }
+    Ok(())
+}
+
+/// Bins one app's events of `[day_start, day_end)` into per-function
+/// minute counts.
+fn bin_app_day(app: &AppTrace, day_start: TimeMs, day_end: TimeMs) -> Vec<Vec<u32>> {
+    let nf = app.profile.functions.len();
+    let mut rows = vec![vec![0u32; MINUTES_PER_DAY]; nf];
+    // Deterministic attribution: walk the cumulative shares with a
+    // low-discrepancy counter so realized shares converge to profile
+    // shares without an RNG.
+    let shares: Vec<f64> = app
+        .profile
+        .functions
+        .iter()
+        .map(|f| f.invocation_share)
+        .collect();
+    let mut acc = vec![0.0f64; nf];
+    let start = app.invocations.partition_point(|&t| t < day_start);
+    for &t in &app.invocations[start..] {
+        if t >= day_end {
+            break;
+        }
+        // Pick the function with the largest share deficit.
+        let mut best = 0;
+        let mut best_deficit = f64::MIN;
+        for i in 0..nf {
+            let deficit = shares[i] - acc[i];
+            if deficit > best_deficit {
+                best_deficit = deficit;
+                best = i;
+            }
+        }
+        acc[best] += 1.0;
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for a in acc.iter_mut() {
+                *a /= total; // Renormalize to keep deficits comparable.
+            }
+        }
+        let minute = ((t - day_start) / MINUTE_MS) as usize;
+        rows[best][minute.min(MINUTES_PER_DAY - 1)] += 1;
+    }
+    rows
+}
+
+/// Reads an invocations CSV.
+pub fn read_invocations_csv<R: Read>(r: R) -> Result<Vec<InvocationRow>, SchemaError> {
+    let reader = BufReader::new(r);
+    let mut rows = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if i == 0 || line.trim().is_empty() {
+            continue; // Header.
+        }
+        let mut parts = line.split(',');
+        let owner = parts.next().unwrap_or("").to_owned();
+        let app = parts
+            .next()
+            .ok_or_else(|| parse_err(i + 1, "missing app column"))?
+            .to_owned();
+        let func = parts
+            .next()
+            .ok_or_else(|| parse_err(i + 1, "missing function column"))?
+            .to_owned();
+        let trig_str = parts
+            .next()
+            .ok_or_else(|| parse_err(i + 1, "missing trigger column"))?;
+        let trigger = parse_trigger(trig_str)
+            .ok_or_else(|| parse_err(i + 1, &format!("unknown trigger {trig_str:?}")))?;
+        let counts: Result<Vec<u32>, _> = parts.map(str::parse::<u32>).collect();
+        let counts = counts.map_err(|e| parse_err(i + 1, &format!("bad count: {e}")))?;
+        if counts.len() != MINUTES_PER_DAY {
+            return Err(parse_err(
+                i + 1,
+                &format!("expected {MINUTES_PER_DAY} counts, got {}", counts.len()),
+            ));
+        }
+        rows.push(InvocationRow {
+            owner,
+            app,
+            func,
+            trigger,
+            counts,
+        });
+    }
+    Ok(rows)
+}
+
+fn parse_err(line: usize, message: &str) -> SchemaError {
+    SchemaError::Parse {
+        line,
+        message: message.to_owned(),
+    }
+}
+
+/// Reconstructs a [`Trace`] from invocation rows (one or more days of the
+/// same apps). Events are placed evenly inside their minute.
+///
+/// `rows_by_day[d]` holds day `d`'s rows. Functions of the same `app`
+/// hash are grouped into one application; profile fields that the
+/// invocations CSV does not carry (execution times, memory) receive
+/// neutral defaults and can be overlaid from the durations/memory CSVs.
+pub fn trace_from_rows(rows_by_day: &[Vec<InvocationRow>]) -> Trace {
+    trace_from_rows_with_index(rows_by_day).0
+}
+
+/// Hash indices alongside the rebuilt trace: app hash → app index, and
+/// function hash → `(app index, function index)`, for overlaying the
+/// durations/memory CSVs ([`overlay_profiles`]).
+pub type TraceIndex = (
+    std::collections::BTreeMap<String, usize>,
+    std::collections::BTreeMap<String, (usize, usize)>,
+);
+
+/// Like [`trace_from_rows`], additionally returning the hash indices.
+pub fn trace_from_rows_with_index(rows_by_day: &[Vec<InvocationRow>]) -> (Trace, TraceIndex) {
+    use std::collections::BTreeMap;
+
+    // App hash -> function hash -> (trigger, per-day counts).
+    type FuncsByHash = BTreeMap<String, (TriggerType, Vec<Vec<u32>>)>;
+    let mut apps: BTreeMap<String, FuncsByHash> = BTreeMap::new();
+    let days = rows_by_day.len();
+    for (d, rows) in rows_by_day.iter().enumerate() {
+        for row in rows {
+            let funcs = apps.entry(row.app.clone()).or_default();
+            let entry = funcs
+                .entry(row.func.clone())
+                .or_insert_with(|| (row.trigger, vec![vec![0; MINUTES_PER_DAY]; days]));
+            entry.1[d] = row.counts.clone();
+        }
+    }
+
+    let horizon_ms = days as TimeMs * DAY_MS;
+    let mut app_index: BTreeMap<String, usize> = BTreeMap::new();
+    let mut func_index: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    let mut out = Vec::with_capacity(apps.len());
+    for (i, (app_hash, funcs)) in apps.into_iter().enumerate() {
+        app_index.insert(app_hash, i);
+        let mut invocations: Vec<TimeMs> = Vec::new();
+        let mut profiles = Vec::with_capacity(funcs.len());
+        let mut per_func_counts = Vec::with_capacity(funcs.len());
+        for (fi, (func_hash, (trigger, day_counts))) in funcs.into_iter().enumerate() {
+            func_index.insert(func_hash, (i, fi));
+            let mut func_total = 0u64;
+            for (d, counts) in day_counts.iter().enumerate() {
+                for (m, &c) in counts.iter().enumerate() {
+                    if c == 0 {
+                        continue;
+                    }
+                    func_total += c as u64;
+                    let minute_start = d as TimeMs * DAY_MS + m as TimeMs * MINUTE_MS;
+                    // Spread c events evenly across the minute.
+                    for k in 0..c {
+                        invocations.push(minute_start + (k as TimeMs * MINUTE_MS) / c as TimeMs);
+                    }
+                }
+            }
+            per_func_counts.push(func_total);
+            profiles.push(FunctionProfile {
+                trigger,
+                invocation_share: 0.0, // Filled below.
+                avg_exec_secs: 1.0,
+                min_exec_secs: 0.1,
+                max_exec_secs: 10.0,
+            });
+        }
+
+        invocations.sort_unstable();
+        let total: u64 = per_func_counts.iter().sum();
+        for (p, &c) in profiles.iter_mut().zip(&per_func_counts) {
+            p.invocation_share = if total == 0 {
+                1.0 / per_func_counts.len() as f64
+            } else {
+                c as f64 / total as f64
+            };
+        }
+        let daily_rate = total as f64 / days.max(1) as f64;
+        out.push(AppTrace {
+            profile: AppProfile {
+                id: AppId(i as u32),
+                functions: profiles,
+                daily_rate,
+                archetype: crate::archetype::Archetype::Poisson,
+                memory_mb: 170.0,
+                memory_mb_pct1: 120.0,
+                memory_mb_max: 300.0,
+            },
+            invocations,
+        });
+    }
+    (
+        Trace {
+            horizon_ms,
+            apps: out,
+        },
+        (app_index, func_index),
+    )
+}
+
+/// Writes the durations-percentiles CSV for a population.
+pub fn write_durations_csv<W: Write>(pop: &Population, mut w: W) -> io::Result<()> {
+    writeln!(
+        w,
+        "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum,\
+         percentile_Average_0,percentile_Average_1,percentile_Average_25,\
+         percentile_Average_50,percentile_Average_75,percentile_Average_99,\
+         percentile_Average_100"
+    )?;
+    for app in &pop.apps {
+        let owner = pseudo_hash("owner", app.id.0 as u64 / 16);
+        let app_hash = pseudo_hash("app", app.id.0 as u64);
+        for (fi, f) in app.functions.iter().enumerate() {
+            // Percentiles of per-invocation averages: approximate the
+            // spread between min and max around the average, sorted so
+            // the columns are monotone whatever the min/avg/max ratios.
+            let ms = |s: f64| s * 1000.0;
+            let mut p = [
+                ms(f.min_exec_secs),
+                ms(f.min_exec_secs * 1.2),
+                ms(f.avg_exec_secs * 0.7),
+                ms(f.avg_exec_secs),
+                ms(f.avg_exec_secs * 1.4),
+                ms(f.max_exec_secs * 0.9),
+                ms(f.max_exec_secs),
+            ];
+            p.sort_by(f64::total_cmp);
+            writeln!(
+                w,
+                "{owner},{app_hash},{},{:.3},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
+                pseudo_hash("func", ((app.id.0 as u64) << 16) | fi as u64),
+                ms(f.avg_exec_secs),
+                (app.daily_rate * f.invocation_share).max(1.0).round() as u64,
+                ms(f.min_exec_secs),
+                ms(f.max_exec_secs),
+                p[0], p[1], p[2], p[3], p[4], p[5], p[6],
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes the application-memory-percentiles CSV for a population.
+pub fn write_memory_csv<W: Write>(pop: &Population, mut w: W) -> io::Result<()> {
+    writeln!(
+        w,
+        "HashOwner,HashApp,SampleCount,AverageAllocatedMb,\
+         AverageAllocatedMb_pct1,AverageAllocatedMb_pct5,\
+         AverageAllocatedMb_pct25,AverageAllocatedMb_pct50,\
+         AverageAllocatedMb_pct75,AverageAllocatedMb_pct95,\
+         AverageAllocatedMb_pct99,AverageAllocatedMb_pct100"
+    )?;
+    for app in &pop.apps {
+        let owner = pseudo_hash("owner", app.id.0 as u64 / 16);
+        let app_hash = pseudo_hash("app", app.id.0 as u64);
+        let lo = app.memory_mb_pct1;
+        let hi = app.memory_mb_max;
+        let mid = app.memory_mb;
+        let lerp = |t: f64| {
+            if t <= 0.5 {
+                lo + (mid - lo) * (t / 0.5)
+            } else {
+                mid + (hi - mid) * ((t - 0.5) / 0.5)
+            }
+        };
+        writeln!(
+            w,
+            "{owner},{app_hash},{},{mid:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}",
+            1440u32,
+            lerp(0.01),
+            lerp(0.05),
+            lerp(0.25),
+            lerp(0.50),
+            lerp(0.75),
+            lerp(0.95),
+            lerp(0.99),
+            lerp(1.0),
+        )?;
+    }
+    Ok(())
+}
+
+/// One row of the durations-percentiles CSV (times in milliseconds, as
+/// in the released dataset).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DurationRow {
+    /// Owner hash.
+    pub owner: String,
+    /// Application hash.
+    pub app: String,
+    /// Function hash.
+    pub func: String,
+    /// Average execution time, ms.
+    pub average_ms: f64,
+    /// Number of samples behind the averages.
+    pub count: u64,
+    /// Minimum execution time, ms.
+    pub minimum_ms: f64,
+    /// Maximum execution time, ms.
+    pub maximum_ms: f64,
+    /// The `percentile_Average_{0,1,25,50,75,99,100}` columns.
+    pub percentiles_ms: [f64; 7],
+}
+
+/// Reads a durations-percentiles CSV.
+pub fn read_durations_csv<R: Read>(r: R) -> Result<Vec<DurationRow>, SchemaError> {
+    let reader = BufReader::new(r);
+    let mut rows = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if i == 0 || line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 14 {
+            return Err(parse_err(
+                i + 1,
+                &format!("expected 14 columns, got {}", parts.len()),
+            ));
+        }
+        let num = |s: &str, line_no: usize| -> Result<f64, SchemaError> {
+            s.parse::<f64>()
+                .map_err(|e| parse_err(line_no, &format!("bad number {s:?}: {e}")))
+        };
+        let mut percentiles_ms = [0.0; 7];
+        for (k, p) in parts[7..14].iter().enumerate() {
+            percentiles_ms[k] = num(p, i + 1)?;
+        }
+        rows.push(DurationRow {
+            owner: parts[0].to_owned(),
+            app: parts[1].to_owned(),
+            func: parts[2].to_owned(),
+            average_ms: num(parts[3], i + 1)?,
+            count: num(parts[4], i + 1)? as u64,
+            minimum_ms: num(parts[5], i + 1)?,
+            maximum_ms: num(parts[6], i + 1)?,
+            percentiles_ms,
+        });
+    }
+    Ok(rows)
+}
+
+/// One row of the application-memory-percentiles CSV (MB).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryRow {
+    /// Owner hash.
+    pub owner: String,
+    /// Application hash.
+    pub app: String,
+    /// Samples behind the averages.
+    pub sample_count: u64,
+    /// Average allocated memory, MB.
+    pub average_mb: f64,
+    /// The `AverageAllocatedMb_pct{1,5,25,50,75,95,99,100}` columns.
+    pub percentiles_mb: [f64; 8],
+}
+
+/// Reads an application-memory-percentiles CSV.
+pub fn read_memory_csv<R: Read>(r: R) -> Result<Vec<MemoryRow>, SchemaError> {
+    let reader = BufReader::new(r);
+    let mut rows = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if i == 0 || line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 12 {
+            return Err(parse_err(
+                i + 1,
+                &format!("expected 12 columns, got {}", parts.len()),
+            ));
+        }
+        let num = |s: &str, line_no: usize| -> Result<f64, SchemaError> {
+            s.parse::<f64>()
+                .map_err(|e| parse_err(line_no, &format!("bad number {s:?}: {e}")))
+        };
+        let mut percentiles_mb = [0.0; 8];
+        for (k, p) in parts[4..12].iter().enumerate() {
+            percentiles_mb[k] = num(p, i + 1)?;
+        }
+        rows.push(MemoryRow {
+            owner: parts[0].to_owned(),
+            app: parts[1].to_owned(),
+            sample_count: num(parts[2], i + 1)? as u64,
+            average_mb: num(parts[3], i + 1)?,
+            percentiles_mb,
+        });
+    }
+    Ok(rows)
+}
+
+/// Overlays execution-time and memory profiles parsed from the
+/// durations/memory CSVs onto a trace reconstructed by
+/// [`trace_from_rows`], matching by the hashes carried in the
+/// invocations CSV.
+///
+/// Only apps/functions present in the overlay data are updated; the rest
+/// keep their neutral defaults. Returns how many `(functions, apps)`
+/// were updated.
+pub fn overlay_profiles(
+    trace: &mut Trace,
+    func_hashes: &std::collections::BTreeMap<String, (usize, usize)>,
+    app_hashes: &std::collections::BTreeMap<String, usize>,
+    durations: &[DurationRow],
+    memory: &[MemoryRow],
+) -> (usize, usize) {
+    let mut funcs_updated = 0;
+    for d in durations {
+        if let Some(&(app_idx, func_idx)) = func_hashes.get(&d.func) {
+            if let Some(app) = trace.apps.get_mut(app_idx) {
+                if let Some(f) = app.profile.functions.get_mut(func_idx) {
+                    f.avg_exec_secs = d.average_ms / 1000.0;
+                    f.min_exec_secs = d.minimum_ms / 1000.0;
+                    f.max_exec_secs = d.maximum_ms / 1000.0;
+                    funcs_updated += 1;
+                }
+            }
+        }
+    }
+    let mut apps_updated = 0;
+    for m in memory {
+        if let Some(&app_idx) = app_hashes.get(&m.app) {
+            if let Some(app) = trace.apps.get_mut(app_idx) {
+                app.profile.memory_mb = m.average_mb;
+                app.profile.memory_mb_pct1 = m.percentiles_mb[0];
+                app.profile.memory_mb_max = m.percentiles_mb[7];
+                apps_updated += 1;
+            }
+        }
+    }
+    (funcs_updated, apps_updated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_trace, TraceConfig};
+    use crate::population::{build_population, PopulationConfig};
+
+    fn small_trace() -> Trace {
+        let pop = build_population(&PopulationConfig {
+            num_apps: 30,
+            seed: 3,
+        });
+        generate_trace(
+            &pop,
+            &TraceConfig {
+                horizon_ms: DAY_MS,
+                cap_per_day: 2000.0,
+                seed: 5,
+            },
+        )
+    }
+
+    #[test]
+    fn invocations_roundtrip_preserves_minute_counts() {
+        let trace = small_trace();
+        let mut buf = Vec::new();
+        write_invocations_csv(&trace, 0, &mut buf).unwrap();
+        let rows = read_invocations_csv(buf.as_slice()).unwrap();
+        assert!(!rows.is_empty());
+
+        // Total invocations must match the day's events.
+        let csv_total: u64 = rows
+            .iter()
+            .map(|r| r.counts.iter().map(|&c| c as u64).sum::<u64>())
+            .sum();
+        let trace_total: u64 = trace
+            .apps
+            .iter()
+            .map(|a| a.invocations.iter().filter(|&&t| t < DAY_MS).count() as u64)
+            .sum();
+        assert_eq!(csv_total, trace_total);
+    }
+
+    #[test]
+    fn rows_have_1440_columns_and_known_triggers() {
+        let trace = small_trace();
+        let mut buf = Vec::new();
+        write_invocations_csv(&trace, 0, &mut buf).unwrap();
+        let rows = read_invocations_csv(buf.as_slice()).unwrap();
+        for r in &rows {
+            assert_eq!(r.counts.len(), MINUTES_PER_DAY);
+            assert_eq!(r.owner.len(), 64);
+            assert_eq!(r.app.len(), 64);
+        }
+    }
+
+    #[test]
+    fn trace_from_rows_reconstructs_counts() {
+        let trace = small_trace();
+        let mut buf = Vec::new();
+        write_invocations_csv(&trace, 0, &mut buf).unwrap();
+        let rows = read_invocations_csv(buf.as_slice()).unwrap();
+        let rebuilt = trace_from_rows(&[rows]);
+        assert_eq!(rebuilt.horizon_ms, DAY_MS);
+        let total_rebuilt: u64 = rebuilt
+            .apps
+            .iter()
+            .map(|a| a.invocations.len() as u64)
+            .sum();
+        let total_orig: u64 = trace
+            .apps
+            .iter()
+            .map(|a| a.invocations.iter().filter(|&&t| t < DAY_MS).count() as u64)
+            .sum();
+        assert_eq!(total_rebuilt, total_orig);
+        // Events must live inside their minutes: re-binning reproduces
+        // identical minute histograms.
+        for app in &rebuilt.apps {
+            assert!(app.invocations.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn read_rejects_malformed() {
+        let bad = "HashOwner,HashApp,HashFunction,Trigger,1\nx,y,z,nosuch,1\n";
+        assert!(read_invocations_csv(bad.as_bytes()).is_err());
+
+        let short = "h\no,a,f,http,1,2,3\n";
+        let err = read_invocations_csv(short.as_bytes()).unwrap_err();
+        assert!(matches!(err, SchemaError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn durations_and_memory_write_parse_as_csv() {
+        let pop = build_population(&PopulationConfig {
+            num_apps: 10,
+            seed: 8,
+        });
+        let mut buf = Vec::new();
+        write_durations_csv(&pop, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + pop.num_functions());
+        assert_eq!(lines[0].split(',').count(), 14);
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), 14);
+        }
+
+        let mut buf = Vec::new();
+        write_memory_csv(&pop, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + pop.len());
+        assert_eq!(lines[0].split(',').count(), 12);
+    }
+
+    #[test]
+    fn pseudo_hash_is_stable_and_distinct() {
+        let a = pseudo_hash("app", 1);
+        let b = pseudo_hash("app", 2);
+        let c = pseudo_hash("func", 1);
+        assert_eq!(a.len(), 64);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, pseudo_hash("app", 1));
+    }
+
+    #[test]
+    fn durations_csv_roundtrip() {
+        let pop = build_population(&PopulationConfig {
+            num_apps: 12,
+            seed: 21,
+        });
+        let mut buf = Vec::new();
+        write_durations_csv(&pop, &mut buf).unwrap();
+        let rows = read_durations_csv(buf.as_slice()).unwrap();
+        assert_eq!(rows.len(), pop.num_functions());
+        for r in &rows {
+            assert!(r.minimum_ms <= r.average_ms);
+            assert!(r.average_ms <= r.maximum_ms);
+            assert!(r.percentiles_ms.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+        }
+    }
+
+    #[test]
+    fn memory_csv_roundtrip() {
+        let pop = build_population(&PopulationConfig {
+            num_apps: 12,
+            seed: 22,
+        });
+        let mut buf = Vec::new();
+        write_memory_csv(&pop, &mut buf).unwrap();
+        let rows = read_memory_csv(buf.as_slice()).unwrap();
+        assert_eq!(rows.len(), pop.len());
+        for (r, app) in rows.iter().zip(&pop.apps) {
+            assert!((r.average_mb - app.memory_mb).abs() < 0.01);
+            assert!(r.percentiles_mb.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+        }
+    }
+
+    #[test]
+    fn overlay_updates_profiles_from_csvs() {
+        let trace = small_trace();
+        let pop = Population {
+            apps: trace.apps.iter().map(|a| a.profile.clone()).collect(),
+        };
+
+        let mut inv_csv = Vec::new();
+        write_invocations_csv(&trace, 0, &mut inv_csv).unwrap();
+        let mut dur_csv = Vec::new();
+        write_durations_csv(&pop, &mut dur_csv).unwrap();
+        let mut mem_csv = Vec::new();
+        write_memory_csv(&pop, &mut mem_csv).unwrap();
+
+        let inv_rows = read_invocations_csv(inv_csv.as_slice()).unwrap();
+        let (mut rebuilt, (app_idx, func_idx)) = trace_from_rows_with_index(&[inv_rows]);
+        let durations = read_durations_csv(dur_csv.as_slice()).unwrap();
+        let memory = read_memory_csv(mem_csv.as_slice()).unwrap();
+        let (nf, na) = overlay_profiles(&mut rebuilt, &func_idx, &app_idx, &durations, &memory);
+        assert!(nf > 0, "no functions overlaid");
+        assert!(na > 0, "no apps overlaid");
+
+        // Memory values must now match the originals (hash join works).
+        for app in &rebuilt.apps {
+            assert_ne!(app.profile.memory_mb, 170.0, "default memory left behind");
+        }
+        // Exec times no longer all at the neutral default.
+        let non_default = rebuilt
+            .apps
+            .iter()
+            .flat_map(|a| &a.profile.functions)
+            .filter(|f| (f.avg_exec_secs - 1.0).abs() > 1e-9)
+            .count();
+        assert!(non_default > 0);
+    }
+
+    #[test]
+    fn read_durations_rejects_malformed() {
+        let bad = "h\na,b,c,notanumber,1,2,3,4,5,6,7,8,9,10\n";
+        assert!(read_durations_csv(bad.as_bytes()).is_err());
+        let short = "h\na,b,c,1,2\n";
+        assert!(read_durations_csv(short.as_bytes()).is_err());
+        assert!(read_memory_csv("h\na,b\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn trigger_labels_roundtrip() {
+        for t in TriggerType::ALL {
+            assert_eq!(parse_trigger(trigger_label(t)), Some(t));
+        }
+        assert_eq!(parse_trigger("bogus"), None);
+    }
+}

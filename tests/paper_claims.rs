@@ -1,0 +1,200 @@
+//! Integration tests asserting the paper's qualitative headline claims
+//! hold end-to-end on the synthetic workload: trace generation → policy →
+//! simulator → metrics.
+
+use serverless_in_the_wild::prelude::*;
+
+fn workload() -> (Population, TraceConfig) {
+    let population = build_population(&PopulationConfig {
+        num_apps: 400,
+        seed: 2024,
+    });
+    let cfg = TraceConfig {
+        horizon_ms: 3 * DAY_MS,
+        cap_per_day: 2_000.0,
+        seed: 77,
+    };
+    (population, cfg)
+}
+
+#[test]
+fn fixed_keep_alive_trades_colds_for_memory_monotonically() {
+    let (population, cfg) = workload();
+    let specs: Vec<PolicySpec> = [5u64, 10, 30, 60, 120]
+        .iter()
+        .map(|&m| PolicySpec::fixed_minutes(m))
+        .collect();
+    let aggs = run_sweep(&population, &cfg, &specs, 4);
+    for pair in aggs.windows(2) {
+        assert!(
+            pair[1].cold_starts <= pair[0].cold_starts,
+            "longer keep-alive must not increase cold starts: {} vs {}",
+            pair[1].label,
+            pair[0].label
+        );
+        assert!(
+            pair[1].wasted_ms >= pair[0].wasted_ms,
+            "longer keep-alive must not decrease waste: {} vs {}",
+            pair[1].label,
+            pair[0].label
+        );
+    }
+}
+
+#[test]
+fn hybrid_beats_fixed_ten_minutes_on_cold_starts() {
+    // The headline claim (§5.2 / Figure 15): the 10-minute fixed policy
+    // has a multiple of the hybrid policy's cold starts.
+    let (population, cfg) = workload();
+    let specs = vec![
+        PolicySpec::fixed_minutes(10),
+        PolicySpec::Hybrid(HybridConfig::default()),
+    ];
+    let aggs = run_sweep(&population, &cfg, &specs, 4);
+    let fixed = &aggs[0];
+    let hybrid = &aggs[1];
+    assert!(
+        fixed.cold_starts as f64 > 1.5 * hybrid.cold_starts as f64,
+        "fixed {} colds vs hybrid {}",
+        fixed.cold_starts,
+        hybrid.cold_starts
+    );
+    assert!(
+        hybrid.cold_pct_percentile(75.0) < fixed.cold_pct_percentile(75.0),
+        "p75 must improve"
+    );
+}
+
+#[test]
+fn hybrid_pareto_dominates_some_fixed_point() {
+    // Figure 15: the hybrid frontier is strictly better than the fixed
+    // frontier somewhere — find a (hybrid, fixed) pair where the hybrid
+    // has both fewer p75 colds and less memory.
+    let (population, cfg) = workload();
+    let mut specs: Vec<PolicySpec> = [10u64, 20, 30, 45, 60, 90, 120]
+        .iter()
+        .map(|&m| PolicySpec::fixed_minutes(m))
+        .collect();
+    for hours in [1usize, 2, 4] {
+        specs.push(PolicySpec::Hybrid(HybridConfig::with_range_hours(hours)));
+    }
+    let aggs = run_sweep(&population, &cfg, &specs, 4);
+    let (fixed, hybrid) = aggs.split_at(7);
+    let dominated = hybrid.iter().any(|h| {
+        fixed.iter().any(|f| {
+            h.cold_pct_percentile(75.0) < f.cold_pct_percentile(75.0) && h.wasted_ms < f.wasted_ms
+        })
+    });
+    assert!(dominated, "no hybrid point dominates any fixed point");
+}
+
+#[test]
+fn arima_halves_always_cold_share() {
+    // Figure 19: the ARIMA path cuts the share of always-cold apps
+    // substantially versus the same policy without it. Needs the paper's
+    // full week: rare apps with 18–36 h periods only accumulate enough
+    // idle-time history for a forecast over several days.
+    let (population, _) = workload();
+    let cfg = TraceConfig {
+        horizon_ms: WEEK_MS,
+        cap_per_day: 1_000.0,
+        seed: 77,
+    };
+    let specs = vec![
+        PolicySpec::Hybrid(HybridConfig::default().without_arima()),
+        PolicySpec::Hybrid(HybridConfig::default()),
+    ];
+    let aggs = run_sweep(&population, &cfg, &specs, 4);
+    let noarima = aggs[0].always_cold_pct_excluding_single();
+    let full = aggs[1].always_cold_pct_excluding_single();
+    assert!(
+        full < 0.7 * noarima,
+        "ARIMA should cut always-cold apps: {noarima:.2}% -> {full:.2}%"
+    );
+    assert!(aggs[1].apps_used_arima > 0);
+    assert_eq!(aggs[0].apps_used_arima, 0);
+}
+
+#[test]
+fn cutoffs_cut_memory_without_hurting_colds_much() {
+    // Figure 16: [5,99] saves memory versus [0,100] at nearly unchanged
+    // cold starts.
+    let (population, cfg) = workload();
+    let specs = vec![
+        PolicySpec::Hybrid(HybridConfig::default().with_cutoffs(0.0, 100.0)),
+        PolicySpec::Hybrid(HybridConfig::default().with_cutoffs(5.0, 99.0)),
+    ];
+    let aggs = run_sweep(&population, &cfg, &specs, 4);
+    let wide = &aggs[0];
+    let tuned = &aggs[1];
+    assert!(
+        tuned.wasted_ms < wide.wasted_ms,
+        "cutoffs must save memory: {} vs {}",
+        tuned.wasted_ms,
+        wide.wasted_ms
+    );
+    let wide_p75 = wide.cold_pct_percentile(75.0);
+    let tuned_p75 = tuned.cold_pct_percentile(75.0);
+    assert!(
+        tuned_p75 <= wide_p75 + 5.0,
+        "cold starts should not degrade noticeably: {wide_p75:.1} -> {tuned_p75:.1}"
+    );
+}
+
+#[test]
+fn pre_warming_reduces_waste() {
+    // Figure 17: unload + pre-warm wastes less memory than keep-loaded
+    // with the same tail cutoff, at a small cold-start cost.
+    let (population, cfg) = workload();
+    let specs = vec![
+        PolicySpec::Hybrid(HybridConfig::default().without_pre_warming()),
+        PolicySpec::Hybrid(HybridConfig::default()),
+    ];
+    let aggs = run_sweep(&population, &cfg, &specs, 4);
+    let no_pw = &aggs[0];
+    let pw = &aggs[1];
+    assert!(
+        pw.wasted_ms <= no_pw.wasted_ms,
+        "pre-warming must not increase waste: {} vs {}",
+        pw.wasted_ms,
+        no_pw.wasted_ms
+    );
+}
+
+#[test]
+fn no_unloading_is_the_cold_start_lower_bound() {
+    let (population, cfg) = workload();
+    let specs = vec![
+        PolicySpec::NoUnloading,
+        PolicySpec::fixed_minutes(120),
+        PolicySpec::Hybrid(HybridConfig::default()),
+    ];
+    let aggs = run_sweep(&population, &cfg, &specs, 4);
+    let nu = &aggs[0];
+    assert_eq!(nu.cold_starts, nu.apps, "exactly one cold per app");
+    for other in &aggs[1..] {
+        assert!(nu.cold_starts <= other.cold_starts);
+        assert!(nu.wasted_ms >= other.wasted_ms, "{}", other.label);
+    }
+}
+
+#[test]
+fn higher_cv_threshold_is_more_conservative() {
+    // Figure 18: raising the CV threshold routes more apps to the
+    // conservative standard keep-alive — fewer colds, more memory.
+    let (population, cfg) = workload();
+    let specs = vec![
+        PolicySpec::Hybrid(HybridConfig::default().with_cv_threshold(0.0)),
+        PolicySpec::Hybrid(HybridConfig::default().with_cv_threshold(10.0)),
+    ];
+    let aggs = run_sweep(&population, &cfg, &specs, 4);
+    let cv0 = &aggs[0];
+    let cv10 = &aggs[1];
+    assert!(
+        cv10.cold_starts <= cv0.cold_starts,
+        "cv10 {} vs cv0 {}",
+        cv10.cold_starts,
+        cv0.cold_starts
+    );
+    assert!(cv10.wasted_ms >= cv0.wasted_ms);
+}
