@@ -1,0 +1,54 @@
+//! Serving throughput: decisions per second through the full HTTP path
+//! (loopback) across shard counts, measured by the open-loop load
+//! generator. The ISSUE-1 acceptance floor is 50k decisions/sec on a
+//! 4-shard daemon in release mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sitw_core::HybridConfig;
+use sitw_serve::{run_loadgen, LoadGenConfig, ServeConfig, Server};
+use sitw_sim::PolicySpec;
+use sitw_trace::DAY_MS;
+
+const EVENTS: usize = 20_000;
+
+fn loadgen_config() -> LoadGenConfig {
+    LoadGenConfig {
+        apps: 300,
+        seed: 42,
+        horizon_ms: DAY_MS,
+        cap_per_day: 1_000.0,
+        speedup: f64::INFINITY,
+        connections: 2,
+        window: 128,
+        max_events: EVENTS,
+    }
+}
+
+fn bench_decisions_per_sec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    group.throughput(Throughput::Elements(EVENTS as u64));
+    group.sample_size(10);
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                // A fresh server per iteration: policy state is
+                // cumulative and timestamps must stay monotone.
+                let server = Server::start(ServeConfig {
+                    addr: "127.0.0.1:0".into(),
+                    shards,
+                    policy: PolicySpec::Hybrid(HybridConfig::default()),
+                    ..ServeConfig::default()
+                })
+                .expect("server start");
+                let report = run_loadgen(server.addr(), &loadgen_config()).expect("loadgen");
+                assert_eq!(report.ok, EVENTS as u64, "lost responses");
+                server.shutdown().expect("shutdown");
+                report.throughput
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decisions_per_sec);
+criterion_main!(benches);

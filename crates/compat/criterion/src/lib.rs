@@ -1,0 +1,350 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API this workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with throughput annotations, `Bencher::iter` and
+//! `Bencher::iter_batched_ref`) as a compact wall-clock harness: each
+//! benchmark runs for a fixed time budget and reports mean time per
+//! iteration plus derived throughput.
+//!
+//! Not statistically rigorous — no outlier analysis or regression
+//! tracking — but sufficient to compare configurations and spot
+//! order-of-magnitude changes. The per-benchmark budget defaults to
+//! 300 ms and can be overridden with `SITW_BENCH_MS`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Default measurement budget per benchmark, in milliseconds.
+const DEFAULT_BUDGET_MS: u64 = 300;
+
+fn budget() -> Duration {
+    let ms = std::env::var("SITW_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(DEFAULT_BUDGET_MS);
+    Duration::from_millis(ms.max(10))
+}
+
+/// Throughput annotation for a benchmark (scales the report).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// How batched inputs are sized; accepted and ignored (the shim times
+/// each routine invocation individually).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Identifier of a parameterized benchmark, e.g. `fixed/10000`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter value only.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Measures closures: handed to benchmark callbacks as `|b| b.iter(..)`.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Self {
+            total: Duration::ZERO,
+            iters: 0,
+            budget,
+        }
+    }
+
+    /// Times repeated invocations of `routine` until the budget elapses.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine()); // Warm-up (fills caches, triggers lazy init).
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget {
+                self.total = elapsed;
+                self.iters = iters;
+                return;
+            }
+        }
+    }
+
+    /// Times `routine` against a fresh input from `setup` per iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let mut warm = setup();
+        black_box(routine(&mut warm));
+        let wall = Instant::now();
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        loop {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            measured += start.elapsed();
+            iters += 1;
+            if wall.elapsed() >= self.budget {
+                self.total = measured;
+                self.iters = iters;
+                return;
+            }
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1_000_000.0 {
+        format!("{:.2} M{unit}/s", per_sec / 1_000_000.0)
+    } else if per_sec >= 1_000.0 {
+        format!("{:.2} K{unit}/s", per_sec / 1_000.0)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    if bencher.iters == 0 {
+        println!("{name:<50} (no iterations)");
+        return;
+    }
+    let per_iter = bencher.total / bencher.iters as u32;
+    let per_iter_secs = bencher.total.as_secs_f64() / bencher.iters as f64;
+    let mut line = format!(
+        "{name:<50} {:>12}/iter ({} iters)",
+        fmt_duration(per_iter),
+        bencher.iters
+    );
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if per_iter_secs > 0.0 {
+            line.push_str(&format!(
+                "  {}",
+                fmt_rate(count as f64 / per_iter_secs, unit)
+            ));
+        }
+    }
+    println!("{line}");
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(budget());
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput
+/// annotation.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation applied to subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim is time-budgeted rather
+    /// than sample-counted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<N: IntoBenchmarkId, F>(&mut self, id: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher::new(budget());
+        f(&mut b);
+        report(&full, &b, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<N: IntoBenchmarkId, I: ?Sized, F>(
+        &mut self,
+        id: N,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher::new(budget());
+        f(&mut b, input);
+        report(&full, &b, self.throughput);
+        self
+    }
+
+    /// Closes the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher::new(Duration::from_millis(20));
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert!(b.iters > 0);
+        assert!(n >= b.iters);
+    }
+
+    #[test]
+    fn batched_ref_excludes_setup() {
+        let mut b = Bencher::new(Duration::from_millis(20));
+        b.iter_batched_ref(
+            || vec![1u64; 64],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        std::env::set_var("SITW_BENCH_MS", "10");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(8)).sample_size(10);
+        g.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+        std::env::remove_var("SITW_BENCH_MS");
+    }
+}

@@ -1,0 +1,101 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::thread::scope` with the call shape this workspace
+//! uses (`scope(|s| { s.spawn(|_| ...) }).expect(...)`), implemented on
+//! top of `std::thread::scope` (stable since Rust 1.63, which makes
+//! crossbeam's scoped threads redundant for our purposes).
+//!
+//! Differences from the real crate: the argument passed to a spawned
+//! closure is an opaque token rather than a nested-spawn-capable scope
+//! handle — the workspace never spawns from inside a spawned thread.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// Error type of [`scope`]: the payload of a child-thread panic.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// Token passed to spawned closures in place of crossbeam's nested
+    /// scope handle (nested spawning is not supported by this shim).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SpawnToken;
+
+    /// A scope within which threads borrowing local data can be spawned.
+    pub struct Scope<'scope, 'env> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned in a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives an opaque token
+        /// (crossbeam passes a nested scope handle there; all workspace
+        /// call sites ignore the argument).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(SpawnToken) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(SpawnToken)),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. Returns `Ok` with the closure's result;
+    /// panics from unjoined child threads propagate as in `std`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scope_spawn_join_borrows_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = thread::scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(s.spawn(move |_| chunk.iter().sum::<u64>()));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum()
+        })
+        .expect("scope failed");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn joined_panic_is_reported() {
+        let res = thread::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("boom") });
+            h.join()
+        })
+        .expect("scope itself must succeed");
+        assert!(res.is_err());
+    }
+}

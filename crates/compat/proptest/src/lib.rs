@@ -1,0 +1,222 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of proptest this workspace's property tests use:
+//! the [`proptest!`] macro over functions whose arguments are drawn from
+//! *strategies* (`pat in strategy`), range strategies over integers and
+//! floats, `prop::collection::vec`, and the `prop_assert!` /
+//! `prop_assert_eq!` assertion macros.
+//!
+//! Each test runs `PROPTEST_CASES` random cases (default 64) from a
+//! deterministic per-test seed (FNV-1a of the test name), so failures
+//! reproduce exactly. No shrinking: a failing case panics with the
+//! case number, and re-running deterministically reaches the same case.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Strategy abstraction: something that can generate values of its
+/// associated type from an RNG.
+pub mod strategy {
+    use super::*;
+
+    /// Generates random values for one test-case argument.
+    pub trait Strategy {
+        /// The produced value type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// A strategy for `Vec<T>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::{Strategy, VecStrategy};
+
+    /// Vectors of `element`-generated values with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// The `prop::` namespace used inside `proptest!` bodies.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a property test file needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Number of cases per property (override with `PROPTEST_CASES`).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(64)
+        .max(1)
+}
+
+/// FNV-1a hash of the test name: the deterministic per-test seed.
+pub fn name_seed(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Builds the RNG for one test case.
+pub fn case_rng(name: &str, case: u32) -> StdRng {
+    StdRng::seed_from_u64(name_seed(name) ^ ((case as u64) << 32 | 0x5EED))
+}
+
+/// Declares property tests: functions whose arguments are drawn from
+/// strategies, run over many deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cases = $crate::cases();
+            for __case in 0..__cases {
+                let mut __rng = $crate::case_rng(stringify!($name), __case);
+                let ($($pat,)*) = (
+                    $($crate::strategy::Strategy::generate(&($strat), &mut __rng),)*
+                );
+                let mut __check = || -> Result<(), String> { $body Ok(()) };
+                if let Err(msg) = __check() {
+                    panic!(
+                        "property '{}' failed at case {}/{}: {}",
+                        stringify!($name),
+                        __case,
+                        __cases,
+                        msg
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Sorting is idempotent.
+        #[test]
+        fn sort_idempotent(mut xs in prop::collection::vec(0u64..1000, 0..50)) {
+            xs.sort_unstable();
+            let once = xs.clone();
+            xs.sort_unstable();
+            prop_assert_eq!(once, xs);
+        }
+
+        /// Generated values respect their ranges.
+        #[test]
+        fn ranges_respected(x in 10u64..20, y in -5.0f64..5.0, n in 1usize..=4) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-5.0..5.0).contains(&y), "y = {y}");
+            prop_assert!((1..=4).contains(&n));
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        assert_eq!(crate::name_seed("abc"), crate::name_seed("abc"));
+        assert_ne!(crate::name_seed("abc"), crate::name_seed("abd"));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_case() {
+        proptest! {
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -262,6 +262,74 @@ impl HybridPolicy {
     }
 }
 
+/// Complete serializable state of a [`HybridPolicy`], excluding the
+/// configuration (which the restoring side must already hold — a
+/// snapshot is only meaningful under the policy that produced it).
+///
+/// Restoring via [`HybridPolicy::from_snapshot`] is exact: the restored
+/// policy emits bit-identical decisions to one that observed the
+/// original idle-time stream, because every decision input — histogram
+/// bins, out-of-bounds count, the capped ARIMA history — is captured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridSnapshot {
+    /// Raw histogram bin counts.
+    pub bins: Vec<u32>,
+    /// Out-of-bounds recordings.
+    pub oob_count: u64,
+    /// Retained idle times in minutes (most recent last), for ARIMA.
+    pub history: Vec<f64>,
+    /// Decision counters so far.
+    pub counts: DecisionCounts,
+    /// The branch that served the most recent decision.
+    pub last_decision: DecisionKind,
+}
+
+impl HybridPolicy {
+    /// Captures the policy's complete mutable state.
+    pub fn snapshot(&self) -> HybridSnapshot {
+        HybridSnapshot {
+            bins: self.hist.bins().to_vec(),
+            oob_count: self.hist.oob_count(),
+            history: self.history.clone(),
+            counts: self.counts,
+            last_decision: self.last_decision,
+        }
+    }
+
+    /// Rebuilds a policy from a snapshot taken under the same
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the snapshot's histogram geometry or history length
+    /// does not fit `config`.
+    pub fn from_snapshot(config: HybridConfig, snap: HybridSnapshot) -> Result<Self, String> {
+        let width = config.bin_width_minutes.max(1);
+        let expected_bins = (config.range_minutes / width).max(1);
+        if snap.bins.len() != expected_bins {
+            return Err(format!(
+                "snapshot has {} bins but config expects {expected_bins}",
+                snap.bins.len()
+            ));
+        }
+        if snap.history.len() > config.history_cap {
+            return Err(format!(
+                "snapshot history ({}) exceeds config cap ({})",
+                snap.history.len(),
+                config.history_cap
+            ));
+        }
+        let hist = RangeHistogram::from_parts(width as u64, snap.bins, snap.oob_count);
+        Ok(Self {
+            config,
+            hist,
+            history: snap.history,
+            counts: snap.counts,
+            last_decision: snap.last_decision,
+        })
+    }
+}
+
 impl AppPolicy for HybridPolicy {
     fn on_invocation(&mut self, idle_time_ms: Option<DurationMs>) -> Windows {
         // Update the IT distribution (Figure 10, first box).
@@ -523,6 +591,52 @@ mod tests {
             HybridConfig::with_range_hours(2).without_arima().label(),
             "hybrid-2h[5,99]cv2-noarima"
         );
+    }
+
+    #[test]
+    fn snapshot_restore_is_exact_mid_stream() {
+        // Feed a mixed stream, snapshot mid-way, and check the restored
+        // policy's subsequent decisions are bit-identical to the
+        // uninterrupted original — including the ARIMA branch, whose
+        // inputs (the capped history) are part of the snapshot.
+        let its: Vec<DurationMs> = (0..60)
+            .map(|i| match i % 5 {
+                0 => 10 * MIN,
+                1 => 11 * MIN,
+                2 => 300 * MIN,
+                3 => 10 * MIN,
+                _ => 295 * MIN,
+            })
+            .collect();
+
+        let mut original = default_policy();
+        original.on_invocation(None);
+        for &it in &its[..30] {
+            original.on_invocation(Some(it));
+        }
+
+        let snap = original.snapshot();
+        let mut restored =
+            HybridPolicy::from_snapshot(HybridConfig::default(), snap.clone()).unwrap();
+        assert_eq!(restored.snapshot(), snap);
+        assert_eq!(restored.last_decision(), original.last_decision());
+        assert_eq!(restored.decisions(), original.decisions());
+
+        for &it in &its[30..] {
+            let a = original.on_invocation(Some(it));
+            let b = restored.on_invocation(Some(it));
+            assert_eq!(a, b, "diverged at idle time {it}");
+            assert_eq!(original.last_decision(), restored.last_decision());
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_wrong_geometry() {
+        let mut p = default_policy();
+        p.on_invocation(None);
+        let snap = p.snapshot();
+        let err = HybridPolicy::from_snapshot(HybridConfig::with_range_hours(1), snap);
+        assert!(err.is_err());
     }
 
     #[test]

@@ -47,6 +47,8 @@ pub mod policy;
 pub mod production;
 
 pub use fixed::{FixedKeepAlive, NoUnloading};
-pub use hybrid::{DecisionCounts, HybridConfig, HybridPolicy};
-pub use policy::{AppPolicy, DecisionKind, DurationMs, PolicyFactory, Windows, MINUTE_MS};
+pub use hybrid::{DecisionCounts, HybridConfig, HybridPolicy, HybridSnapshot};
+pub use policy::{
+    AppPolicy, DecisionKind, DurationMs, GapOutcome, PolicyFactory, Windows, MINUTE_MS,
+};
 pub use production::{ProductionConfig, ProductionManager, RecencyWeighting};

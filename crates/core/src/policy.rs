@@ -72,6 +72,81 @@ impl Windows {
                 && idle_ms <= self.pre_warm_ms.saturating_add(self.keep_alive_ms)
         }
     }
+
+    /// Classifies one idle gap ending in an invocation: was it cold, how
+    /// much loaded-but-idle memory time accrued, and did a pre-warm load
+    /// happen during the gap.
+    ///
+    /// This is the single source of truth for cold/warm semantics: the
+    /// offline simulator (`sitw_sim::simulate_app`) and the online
+    /// serving daemon (`sitw_serve`) both classify through it, which is
+    /// what makes their verdicts bit-for-bit comparable.
+    ///
+    /// * `idle_ms == 0`: the next invocation arrives while the execution
+    ///   is (conceptually) still finishing — always warm, no waste.
+    /// * `pre_warm_ms == 0`: the image stays loaded; an invocation inside
+    ///   the keep-alive window is warm (waste = the idle gap), a later
+    ///   one is cold (waste = the whole keep-alive window).
+    /// * `pre_warm_ms > 0`: the image unloads at execution end and
+    ///   re-loads at `pre_warm_ms`; an invocation before that is cold
+    ///   with zero waste (the pending pre-warm is cancelled), one inside
+    ///   `[pre_warm, pre_warm+keep_alive]` is warm (waste = arrival −
+    ///   load), one after is cold (waste = the keep-alive window).
+    pub fn classify_gap(&self, idle_ms: DurationMs) -> GapOutcome {
+        if idle_ms == 0 {
+            return GapOutcome {
+                cold: false,
+                wasted_ms: 0,
+                prewarm_load: false,
+            };
+        }
+        if self.pre_warm_ms == 0 {
+            if idle_ms <= self.keep_alive_ms {
+                GapOutcome {
+                    cold: false,
+                    wasted_ms: idle_ms,
+                    prewarm_load: false,
+                }
+            } else {
+                GapOutcome {
+                    cold: true,
+                    wasted_ms: self.keep_alive_ms,
+                    prewarm_load: false,
+                }
+            }
+        } else if idle_ms < self.pre_warm_ms {
+            GapOutcome {
+                cold: true,
+                wasted_ms: 0,
+                prewarm_load: false,
+            }
+        } else if idle_ms <= self.pre_warm_ms.saturating_add(self.keep_alive_ms) {
+            GapOutcome {
+                cold: false,
+                wasted_ms: idle_ms - self.pre_warm_ms,
+                prewarm_load: true,
+            }
+        } else {
+            GapOutcome {
+                cold: true,
+                wasted_ms: self.keep_alive_ms,
+                prewarm_load: true,
+            }
+        }
+    }
+}
+
+/// Outcome of classifying one idle gap against a [`Windows`] pair; see
+/// [`Windows::classify_gap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapOutcome {
+    /// The invocation ending the gap found no loaded image.
+    pub cold: bool,
+    /// Loaded-but-idle memory time accrued during the gap.
+    pub wasted_ms: DurationMs,
+    /// A pre-warm load happened during the gap (the image was re-loaded
+    /// at the pre-warming window's end before the invocation arrived).
+    pub prewarm_load: bool,
 }
 
 /// Which branch of the hybrid policy produced a decision (Figure 10).
@@ -152,5 +227,61 @@ mod tests {
     fn loaded_until_saturates() {
         let w = Windows::pre_warmed(DurationMs::MAX, 10);
         assert_eq!(w.loaded_until(5), DurationMs::MAX);
+    }
+
+    #[test]
+    fn classify_gap_agrees_with_is_warm_at() {
+        for w in [
+            Windows::keep_loaded(10 * MINUTE_MS),
+            Windows::pre_warmed(5 * MINUTE_MS, 2 * MINUTE_MS),
+            Windows::NEVER_UNLOAD,
+        ] {
+            for idle in [
+                1,
+                MINUTE_MS,
+                5 * MINUTE_MS - 1,
+                5 * MINUTE_MS,
+                7 * MINUTE_MS,
+                7 * MINUTE_MS + 1,
+                10 * MINUTE_MS,
+                10 * MINUTE_MS + 1,
+                DurationMs::MAX,
+            ] {
+                assert_eq!(
+                    w.classify_gap(idle).cold,
+                    !w.is_warm_at(idle),
+                    "{w:?} at idle {idle}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classify_gap_zero_is_always_warm_and_free() {
+        let w = Windows::pre_warmed(5 * MINUTE_MS, 2 * MINUTE_MS);
+        let o = w.classify_gap(0);
+        assert!(!o.cold);
+        assert_eq!(o.wasted_ms, 0);
+        assert!(!o.prewarm_load);
+    }
+
+    #[test]
+    fn classify_gap_waste_accounting() {
+        // Keep-loaded: waste = idle while warm, full keep-alive when cold.
+        let kl = Windows::keep_loaded(10 * MINUTE_MS);
+        assert_eq!(kl.classify_gap(4 * MINUTE_MS).wasted_ms, 4 * MINUTE_MS);
+        assert_eq!(kl.classify_gap(30 * MINUTE_MS).wasted_ms, 10 * MINUTE_MS);
+
+        // Pre-warmed: cancelled pre-warm wastes nothing; a hit wastes
+        // arrival − load; an overrun wastes the keep-alive window.
+        let pw = Windows::pre_warmed(8 * MINUTE_MS, 4 * MINUTE_MS);
+        let before = pw.classify_gap(5 * MINUTE_MS);
+        assert!(before.cold && before.wasted_ms == 0 && !before.prewarm_load);
+        let hit = pw.classify_gap(10 * MINUTE_MS);
+        assert!(!hit.cold && hit.prewarm_load);
+        assert_eq!(hit.wasted_ms, 2 * MINUTE_MS);
+        let overrun = pw.classify_gap(20 * MINUTE_MS);
+        assert!(overrun.cold && overrun.prewarm_load);
+        assert_eq!(overrun.wasted_ms, 4 * MINUTE_MS);
     }
 }

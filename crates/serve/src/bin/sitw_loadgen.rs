@@ -1,0 +1,96 @@
+//! The `sitw-loadgen` trace replayer.
+//!
+//! ```text
+//! sitw-loadgen --addr 127.0.0.1:7071 [--apps 500] [--seed 42]
+//!              [--horizon-hours 24] [--cap-per-day 2000]
+//!              [--speedup N | --max-speed] [--connections 2]
+//!              [--window 64] [--max-events 0]
+//! ```
+//!
+//! Generates the synthetic Azure-Functions-like workload of
+//! `sitw_trace` and replays it open-loop against a running daemon,
+//! then prints sustained throughput and exact latency percentiles.
+
+use std::net::ToSocketAddrs;
+use std::process::exit;
+
+use sitw_serve::{run_loadgen, LoadGenConfig};
+use sitw_trace::HOUR_MS;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sitw-loadgen --addr HOST:PORT [--apps N] [--seed N] \
+         [--horizon-hours H] [--cap-per-day N] [--speedup N | --max-speed] \
+         [--connections N] [--window N] [--max-events N]"
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut cfg = LoadGenConfig::default();
+    let mut addr_arg: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr_arg = Some(value("--addr")),
+            "--apps" => cfg.apps = value("--apps").parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--horizon-hours" => {
+                let hours: u64 = value("--horizon-hours").parse().unwrap_or_else(|_| usage());
+                cfg.horizon_ms = hours * HOUR_MS;
+            }
+            "--cap-per-day" => {
+                cfg.cap_per_day = value("--cap-per-day").parse().unwrap_or_else(|_| usage());
+            }
+            "--speedup" => cfg.speedup = value("--speedup").parse().unwrap_or_else(|_| usage()),
+            "--max-speed" => cfg.speedup = f64::INFINITY,
+            "--connections" => {
+                cfg.connections = value("--connections").parse().unwrap_or_else(|_| usage());
+            }
+            "--window" => cfg.window = value("--window").parse().unwrap_or_else(|_| usage()),
+            "--max-events" => {
+                cfg.max_events = value("--max-events").parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+    let Some(addr_str) = addr_arg else { usage() };
+    let addr = match addr_str.to_socket_addrs().map(|mut a| a.next()) {
+        Ok(Some(addr)) => addr,
+        _ => {
+            eprintln!("cannot resolve '{addr_str}'");
+            exit(1);
+        }
+    };
+
+    println!(
+        "replaying {} apps over {}h (cap {}/day) at {} via {} connection(s), window {}",
+        cfg.apps,
+        cfg.horizon_ms / HOUR_MS,
+        cfg.cap_per_day,
+        if cfg.speedup.is_finite() {
+            format!("{}x", cfg.speedup)
+        } else {
+            "max speed".into()
+        },
+        cfg.connections,
+        cfg.window
+    );
+    match run_loadgen(addr, &cfg) {
+        Ok(report) => println!("{}", report.summary()),
+        Err(e) => {
+            eprintln!("loadgen failed: {e}");
+            exit(1);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The `sitw-serve` daemon.
+//!
+//! ```text
+//! sitw-serve [--addr 127.0.0.1:7071] [--shards 4] [--policy hybrid]
+//!            [--snapshot PATH] [--restore PATH]
+//! ```
+//!
+//! Policies: `hybrid` (paper defaults), `hybrid:<hours>h` (histogram
+//! range), `fixed:<minutes>` (fixed keep-alive), `no-unloading`.
+//!
+//! The daemon runs until `POST /admin/shutdown`; with `--snapshot` it
+//! writes its final state there on the way out (and on every
+//! `POST /admin/snapshot`).
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use sitw_core::HybridConfig;
+use sitw_serve::{ServeConfig, Server};
+use sitw_sim::PolicySpec;
+
+fn parse_policy(s: &str) -> Result<PolicySpec, String> {
+    if s == "hybrid" {
+        return Ok(PolicySpec::Hybrid(HybridConfig::default()));
+    }
+    if let Some(rest) = s.strip_prefix("hybrid:") {
+        let hours: usize = rest
+            .trim_end_matches('h')
+            .parse()
+            .map_err(|_| format!("bad hybrid range '{rest}'"))?;
+        return Ok(PolicySpec::Hybrid(HybridConfig::with_range_hours(hours)));
+    }
+    if let Some(rest) = s.strip_prefix("fixed:") {
+        let minutes: u64 = rest
+            .trim_end_matches("min")
+            .parse()
+            .map_err(|_| format!("bad fixed keep-alive '{rest}'"))?;
+        return Ok(PolicySpec::fixed_minutes(minutes));
+    }
+    if s == "no-unloading" {
+        return Ok(PolicySpec::NoUnloading);
+    }
+    Err(format!("unknown policy '{s}'"))
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sitw-serve [--addr HOST:PORT] [--shards N] \
+         [--policy hybrid|hybrid:<h>h|fixed:<min>|no-unloading] \
+         [--snapshot PATH] [--restore PATH]"
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut cfg = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--shards" => {
+                cfg.shards = value("--shards").parse().unwrap_or_else(|_| usage());
+            }
+            "--policy" => {
+                let spec = value("--policy");
+                match parse_policy(&spec) {
+                    Ok(p) => cfg.policy = p,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        usage();
+                    }
+                }
+            }
+            "--snapshot" => cfg.snapshot_path = Some(PathBuf::from(value("--snapshot"))),
+            "--restore" => cfg.restore_path = Some(PathBuf::from(value("--restore"))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+
+    let server = match Server::start(cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            exit(1);
+        }
+    };
+    println!(
+        "sitw-serve listening on {} | policy {} | {} shards{}",
+        server.addr(),
+        cfg.policy.label(),
+        cfg.shards,
+        cfg.snapshot_path
+            .as_ref()
+            .map(|p| format!(" | snapshot {}", p.display()))
+            .unwrap_or_default()
+    );
+    println!(
+        "endpoints: POST /invoke, GET /metrics, GET /healthz, \
+         POST /admin/snapshot, POST /admin/shutdown"
+    );
+
+    server.wait();
+    match server.shutdown() {
+        Ok(snapshot) => {
+            println!("stopped; {} apps in final state", snapshot.apps.len());
+        }
+        Err(e) => {
+            eprintln!("shutdown error: {e}");
+            exit(1);
+        }
+    }
+}

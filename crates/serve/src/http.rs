@@ -1,0 +1,323 @@
+//! Minimal HTTP/1.1 plumbing: enough of the protocol for a loopback
+//! control-plane service — persistent connections, pipelining,
+//! `Content-Length` bodies — and nothing more (no chunked encoding, no
+//! TLS, no multipart).
+//!
+//! [`ConnBuf`] owns the read side of a connection with an explicit
+//! buffer, so a read timeout mid-request loses nothing: partial bytes
+//! stay buffered and parsing resumes on the next call. That property is
+//! what lets connection threads poll a shutdown flag between reads.
+
+use std::io::{self, Read};
+use std::net::TcpStream;
+
+/// Maximum accepted header block (request line + headers).
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Maximum accepted body.
+pub const MAX_BODY_BYTES: usize = 256 * 1024;
+
+/// One parsed request, borrowing nothing (bodies are small).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, upper-case as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path, e.g. `/invoke`.
+    pub path: String,
+    /// Body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// The client asked to close the connection after this exchange.
+    pub close: bool,
+}
+
+/// Outcome of one [`ConnBuf::read_request`] call.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request was parsed.
+    Request(Request),
+    /// The peer closed the connection cleanly (between requests).
+    Eof,
+    /// The read timed out with no complete request buffered; partial
+    /// bytes remain buffered. Callers poll their shutdown flag and retry.
+    Timeout,
+}
+
+/// Buffered reader over a [`TcpStream`] that survives read timeouts.
+pub struct ConnBuf {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`.
+    start: usize,
+}
+
+impl ConnBuf {
+    /// Wraps a stream (whose read timeout the caller configures).
+    pub fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            buf: Vec::with_capacity(16 * 1024),
+            start: 0,
+        }
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Reads more bytes from the socket into the buffer.
+    ///
+    /// Returns `Ok(0)` on EOF, `Err` with `WouldBlock`/`TimedOut` on a
+    /// read timeout.
+    fn fill(&mut self) -> io::Result<usize> {
+        // Compact once the consumed prefix dominates.
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        let n = self.stream.read(&mut chunk)?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    /// Parses the next pipelined request, reading from the socket as
+    /// needed.
+    pub fn read_request(&mut self) -> io::Result<ReadOutcome> {
+        loop {
+            // 1. Find the end of the header block in the buffered bytes.
+            let window = &self.buf[self.start..];
+            if let Some(header_end) = find_crlfcrlf(window) {
+                let header = &window[..header_end];
+                let parsed = parse_header(header)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                let body_len = parsed.content_length;
+                if body_len > MAX_BODY_BYTES {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+                }
+                let total = header_end + 4 + body_len;
+                // 2. Ensure the body is fully buffered. A timeout here
+                // surfaces as `Timeout` just like the mid-header path
+                // (nothing has been consumed, so parsing resumes
+                // exactly where it stopped) — otherwise a stalled
+                // client would pin this thread in a loop that never
+                // polls the caller's shutdown flag.
+                while self.buffered() < total {
+                    match self.fill() {
+                        Ok(0) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "eof mid-body",
+                            ))
+                        }
+                        Ok(_) => {}
+                        Err(e) if is_timeout(&e) => return Ok(ReadOutcome::Timeout),
+                        Err(e) => return Err(e),
+                    }
+                }
+                let body_start = self.start + header_end + 4;
+                let body = self.buf[body_start..body_start + body_len].to_vec();
+                self.start += total;
+                return Ok(ReadOutcome::Request(Request {
+                    method: parsed.method,
+                    path: parsed.path,
+                    body,
+                    close: parsed.close,
+                }));
+            }
+            if self.buffered() > MAX_HEADER_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "header too large",
+                ));
+            }
+            // 3. Need more bytes for the header block.
+            match self.fill() {
+                Ok(0) => {
+                    return if self.buffered() == 0 {
+                        Ok(ReadOutcome::Eof)
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "eof mid-header",
+                        ))
+                    }
+                }
+                Ok(_) => {}
+                Err(e) if is_timeout(&e) => return Ok(ReadOutcome::Timeout),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn find_crlfcrlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+struct ParsedHeader {
+    method: String,
+    path: String,
+    content_length: usize,
+    close: bool,
+}
+
+fn parse_header(header: &[u8]) -> Result<ParsedHeader, String> {
+    let text = std::str::from_utf8(header).map_err(|_| "non-utf8 header")?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts.next().ok_or("missing method")?.to_owned();
+    let path = parts.next().ok_or("missing path")?.to_owned();
+    let version = parts.next().ok_or("missing version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version {version}"));
+    }
+
+    let mut content_length = 0usize;
+    let mut close = version == "HTTP/1.0";
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse::<usize>().map_err(|_| "bad content-length")?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                close = false;
+            }
+        }
+    }
+    Ok(ParsedHeader {
+        method,
+        path,
+        content_length,
+        close,
+    })
+}
+
+/// Appends a full response (status line, headers, body) to `out`.
+pub fn write_response(out: &mut Vec<u8>, status: u16, content_type: &str, body: &[u8]) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        _ => "Status",
+    };
+    out.extend_from_slice(b"HTTP/1.1 ");
+    crate::wire::push_u64(out, status as u64);
+    out.push(b' ');
+    out.extend_from_slice(reason.as_bytes());
+    out.extend_from_slice(b"\r\ncontent-type: ");
+    out.extend_from_slice(content_type.as_bytes());
+    out.extend_from_slice(b"\r\ncontent-length: ");
+    crate::wire::push_u64(out, body.len() as u64);
+    out.extend_from_slice(b"\r\n\r\n");
+    out.extend_from_slice(body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn parses_pipelined_requests_and_eof() {
+        let (mut client, server) = pair();
+        server
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut conn = ConnBuf::new(server);
+
+        client
+            .write_all(
+                b"POST /invoke HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello\
+                  GET /healthz HTTP/1.1\r\n\r\n",
+            )
+            .unwrap();
+        let r1 = match conn.read_request().unwrap() {
+            ReadOutcome::Request(r) => r,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(r1.method, "POST");
+        assert_eq!(r1.path, "/invoke");
+        assert_eq!(r1.body, b"hello");
+        assert!(!r1.close);
+
+        let r2 = match conn.read_request().unwrap() {
+            ReadOutcome::Request(r) => r,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!((r2.method.as_str(), r2.path.as_str()), ("GET", "/healthz"));
+
+        drop(client);
+        assert!(matches!(conn.read_request().unwrap(), ReadOutcome::Eof));
+    }
+
+    #[test]
+    fn timeout_preserves_partial_request() {
+        let (mut client, server) = pair();
+        server
+            .set_read_timeout(Some(Duration::from_millis(30)))
+            .unwrap();
+        let mut conn = ConnBuf::new(server);
+
+        client.write_all(b"GET /heal").unwrap();
+        assert!(matches!(conn.read_request().unwrap(), ReadOutcome::Timeout));
+        client.write_all(b"thz HTTP/1.1\r\n\r\n").unwrap();
+        let r = match conn.read_request().unwrap() {
+            ReadOutcome::Request(r) => r,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(r.path, "/healthz");
+    }
+
+    #[test]
+    fn connection_close_header_detected() {
+        let (mut client, server) = pair();
+        server
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut conn = ConnBuf::new(server);
+        client
+            .write_all(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let r = match conn.read_request().unwrap() {
+            ReadOutcome::Request(r) => r,
+            other => panic!("{other:?}"),
+        };
+        assert!(r.close);
+    }
+
+    #[test]
+    fn response_formatting() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,71 @@
+//! `sitw-serve`: the online keep-alive decision service.
+//!
+//! The paper's §6 describes the hybrid histogram policy running *inside*
+//! the Azure Functions production front end; this crate turns the
+//! workspace's policy engine into that shape — a long-running daemon a
+//! FaaS control plane would consult on every function execution:
+//!
+//! * **HTTP/1.1 over `TcpListener`** ([`http`], [`server`]): std-only,
+//!   persistent connections, request pipelining; one OS thread per
+//!   connection, sized for control-plane fan-in (tens of front-end
+//!   connections), not the data plane.
+//! * **Sharded policy state** ([`shard`]): N worker threads each own the
+//!   per-application policy state for their hash slice of the app space.
+//!   Requests reach shards through mailbox channels; there are **no
+//!   shared locks on the decision path**, so a shard's state needs no
+//!   synchronization at all.
+//! * **Endpoints**: `POST /invoke` (app id + timestamp → cold/warm
+//!   verdict and the next pre-warm/keep-alive windows), `GET /metrics`
+//!   (per-shard counters and p50/p95/p99 decision latency via the P²
+//!   estimators of `sitw_stats::quantile_stream`), `GET /healthz`, and
+//!   admin verbs for snapshotting and graceful shutdown.
+//! * **Snapshot/restore** ([`snapshot`]): the complete per-app policy
+//!   state (histogram bins, out-of-bounds counts, ARIMA history) round
+//!   trips through a text file — the daemon can restart mid-stream and
+//!   keep emitting bit-identical decisions, mirroring the hourly
+//!   backups of §6.
+//! * **Verdict parity**: classification goes through
+//!   [`sitw_core::Windows::classify_gap`], the same single source of
+//!   truth the offline simulator uses, so an online replay of a trace
+//!   produces exactly [`sitw_sim::verdict_trace`]'s answers. The
+//!   integration tests assert this bit-for-bit.
+//! * **Load generator** ([`loadgen`]): replays `sitw_trace` workloads
+//!   open-loop at a configurable speedup (or flat out) over pipelined
+//!   connections and reports sustained throughput and exact latency
+//!   percentiles.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sitw_serve::{Server, ServeConfig};
+//! use sitw_sim::PolicySpec;
+//!
+//! let server = Server::start(ServeConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     shards: 2,
+//!     policy: PolicySpec::fixed_minutes(10),
+//!     ..ServeConfig::default()
+//! })
+//! .unwrap();
+//! let addr = server.addr();
+//! // ... drive POST /invoke over TCP, then:
+//! server.shutdown().unwrap();
+//! # let _ = addr;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod server;
+pub mod shard;
+pub mod snapshot;
+pub mod wire;
+
+pub use loadgen::{run_loadgen, LoadGenConfig, LoadGenReport};
+pub use metrics::{MetricsReport, ShardStats};
+pub use server::{ServeConfig, Server};
+pub use shard::{shard_of, Decision, InvokeError, ServedPolicy};
+pub use snapshot::{AppRecord, PolicyState, Snapshot};

@@ -1,0 +1,478 @@
+//! Open-loop, trace-driven load generator.
+//!
+//! Replays a synthetic `sitw_trace` workload against a running daemon:
+//! every generated invocation becomes one `POST /invoke`, sent at its
+//! trace time scaled by a speedup factor (or flat out when
+//! [`LoadGenConfig::speedup`] is infinite). The generator is *open
+//! loop*: when the server falls behind, requests are not throttled to
+//! match — they queue — so sustained throughput and tail latency reflect
+//! server capacity, not a closed feedback loop flattering it.
+//!
+//! Apps are partitioned across connections (an app's requests must stay
+//! ordered, and the server requires per-app timestamp monotonicity), and
+//! each connection pipelines up to a window of requests. Latencies are
+//! recorded per request and reported as exact percentiles.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use sitw_stats::percentile_sorted;
+use sitw_trace::{app_invocations, build_population, PopulationConfig, TraceConfig, HOUR_MS};
+
+/// Load generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Applications in the synthetic population.
+    pub apps: usize,
+    /// Population / trace seed.
+    pub seed: u64,
+    /// Trace horizon in milliseconds.
+    pub horizon_ms: u64,
+    /// Per-app daily event cap (see [`TraceConfig`]).
+    pub cap_per_day: f64,
+    /// Trace-time acceleration: 60 ⇒ one trace hour replays in one
+    /// minute. `f64::INFINITY` ⇒ replay as fast as the server accepts.
+    pub speedup: f64,
+    /// Parallel HTTP connections.
+    pub connections: usize,
+    /// Pipeline depth per connection.
+    pub window: usize,
+    /// Cap on total invocations sent (0 = no cap).
+    pub max_events: usize,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        Self {
+            apps: 500,
+            seed: 42,
+            horizon_ms: 24 * HOUR_MS,
+            cap_per_day: 2_000.0,
+            speedup: f64::INFINITY,
+            connections: 2,
+            window: 64,
+            max_events: 0,
+        }
+    }
+}
+
+/// Results of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadGenReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// 200 responses.
+    pub ok: u64,
+    /// Cold verdicts among `ok`.
+    pub cold: u64,
+    /// Warm verdicts among `ok`.
+    pub warm: u64,
+    /// Non-200 responses.
+    pub errors: u64,
+    /// Wall-clock duration of the replay.
+    pub elapsed: Duration,
+    /// `ok / elapsed`, decisions per second.
+    pub throughput: f64,
+    /// Exact client-observed latency percentiles in microseconds
+    /// (p50, p95, p99) and the maximum.
+    pub latency_us: LatencySummary,
+}
+
+/// Exact latency percentiles over all requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl LoadGenReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} decisions in {:.2}s = {:.0}/s | cold {} ({:.1}%) warm {} errors {} | \
+             latency µs p50 {:.0} p95 {:.0} p99 {:.0} max {:.0}",
+            self.ok,
+            self.elapsed.as_secs_f64(),
+            self.throughput,
+            self.cold,
+            100.0 * self.cold as f64 / (self.ok.max(1)) as f64,
+            self.warm,
+            self.errors,
+            self.latency_us.p50,
+            self.latency_us.p95,
+            self.latency_us.p99,
+            self.latency_us.max,
+        )
+    }
+}
+
+/// One scheduled request.
+struct Event {
+    ts: u64,
+    app: u32,
+}
+
+/// Builds the merged, time-ordered schedule and partitions it across
+/// connections by app.
+fn build_schedules(cfg: &LoadGenConfig) -> Vec<Vec<Event>> {
+    let population = build_population(&PopulationConfig {
+        num_apps: cfg.apps,
+        seed: cfg.seed,
+    });
+    let trace_cfg = TraceConfig {
+        horizon_ms: cfg.horizon_ms,
+        cap_per_day: cfg.cap_per_day,
+        seed: cfg.seed ^ 0x10AD,
+    };
+    let mut merged: Vec<Event> = Vec::new();
+    for app in &population.apps {
+        for ts in app_invocations(app, &trace_cfg) {
+            merged.push(Event { ts, app: app.id.0 });
+        }
+    }
+    // Stable global order; ties broken by app id for determinism.
+    merged.sort_by_key(|e| (e.ts, e.app));
+    if cfg.max_events > 0 {
+        merged.truncate(cfg.max_events);
+    }
+
+    let connections = cfg.connections.max(1);
+    let mut schedules: Vec<Vec<Event>> = (0..connections).map(|_| Vec::new()).collect();
+    for event in merged {
+        // Per-app ordering is preserved because an app always maps to
+        // the same connection and the merged stream is time-ordered.
+        schedules[event.app as usize % connections].push(event);
+    }
+    schedules
+}
+
+/// Replays the configured workload against `addr` and reports.
+pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenReport> {
+    let schedules = build_schedules(cfg);
+    let start_ts = schedules
+        .iter()
+        .filter_map(|s| s.first().map(|e| e.ts))
+        .min()
+        .unwrap_or(0);
+
+    let started = Instant::now();
+    let mut results: Vec<ConnResult> = Vec::new();
+    std::thread::scope(|scope| -> io::Result<()> {
+        let mut handles = Vec::new();
+        for schedule in &schedules {
+            if schedule.is_empty() {
+                continue;
+            }
+            handles.push(scope.spawn(move || {
+                drive_connection(addr, schedule, start_ts, cfg.speedup, cfg.window, started)
+            }));
+        }
+        for handle in handles {
+            let result = handle
+                .join()
+                .map_err(|_| io::Error::other("loadgen worker panicked"))??;
+            results.push(result);
+        }
+        Ok(())
+    })?;
+    let elapsed = started.elapsed();
+
+    let mut sent = 0u64;
+    let mut ok = 0u64;
+    let mut cold = 0u64;
+    let mut errors = 0u64;
+    let mut latencies: Vec<f64> = Vec::new();
+    for mut r in results {
+        sent += r.sent;
+        ok += r.ok;
+        cold += r.cold;
+        errors += r.errors;
+        latencies.append(&mut r.latencies_us);
+    }
+    latencies.sort_by(f64::total_cmp);
+    let lat = |p: f64| {
+        if latencies.is_empty() {
+            0.0
+        } else {
+            percentile_sorted(&latencies, p)
+        }
+    };
+    Ok(LoadGenReport {
+        sent,
+        ok,
+        cold,
+        warm: ok - cold,
+        errors,
+        elapsed,
+        throughput: ok as f64 / elapsed.as_secs_f64().max(1e-9),
+        latency_us: LatencySummary {
+            p50: lat(50.0),
+            p95: lat(95.0),
+            p99: lat(99.0),
+            max: latencies.last().copied().unwrap_or(0.0),
+        },
+    })
+}
+
+struct ConnResult {
+    sent: u64,
+    ok: u64,
+    cold: u64,
+    errors: u64,
+    latencies_us: Vec<f64>,
+}
+
+/// Sends one connection's schedule with pipelining; parses responses in
+/// order (HTTP/1.1 guarantees response ordering per connection).
+fn drive_connection(
+    addr: SocketAddr,
+    schedule: &[Event],
+    start_ts: u64,
+    speedup: f64,
+    window: usize,
+    started: Instant,
+) -> io::Result<ConnResult> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = ResponseReader::new(stream.try_clone()?);
+
+    let window = window.max(1);
+    let paced = speedup.is_finite() && speedup > 0.0;
+    let mut result = ConnResult {
+        sent: 0,
+        ok: 0,
+        cold: 0,
+        errors: 0,
+        latencies_us: Vec::with_capacity(schedule.len()),
+    };
+    let mut out: Vec<u8> = Vec::with_capacity(64 * 1024);
+    let mut in_flight: std::collections::VecDeque<Instant> =
+        std::collections::VecDeque::with_capacity(window);
+
+    let read_one = |reader: &mut ResponseReader,
+                    in_flight: &mut std::collections::VecDeque<Instant>,
+                    result: &mut ConnResult|
+     -> io::Result<()> {
+        let response = reader.read_response()?;
+        let sent_at = in_flight.pop_front().expect("response without request");
+        result
+            .latencies_us
+            .push(sent_at.elapsed().as_nanos() as f64 / 1_000.0);
+        if response.status == 200 {
+            result.ok += 1;
+            if response.cold {
+                result.cold += 1;
+            }
+        } else {
+            result.errors += 1;
+        }
+        Ok(())
+    };
+
+    for event in schedule {
+        if paced {
+            let target = Duration::from_secs_f64((event.ts - start_ts) as f64 / 1_000.0 / speedup);
+            loop {
+                let now = started.elapsed();
+                if now >= target {
+                    break;
+                }
+                // Flush and settle outstanding responses before
+                // sleeping: idle trace gaps are when responses drain, so
+                // measured latency is the server's, not the pacing's.
+                if !out.is_empty() {
+                    stream.write_all(&out)?;
+                    out.clear();
+                }
+                while !in_flight.is_empty() {
+                    read_one(&mut reader, &mut in_flight, &mut result)?;
+                }
+                std::thread::sleep((target - now).min(Duration::from_millis(2)));
+            }
+        }
+
+        out.extend_from_slice(b"POST /invoke HTTP/1.1\r\ncontent-length: ");
+        let body_len = invoke_body_len(event);
+        crate::wire::push_u64(&mut out, body_len as u64);
+        out.extend_from_slice(b"\r\n\r\n");
+        write_invoke_body(&mut out, event);
+        in_flight.push_back(Instant::now());
+        result.sent += 1;
+
+        if in_flight.len() >= window {
+            stream.write_all(&out)?;
+            out.clear();
+            read_one(&mut reader, &mut in_flight, &mut result)?;
+        }
+    }
+    stream.write_all(&out)?;
+    out.clear();
+    while !in_flight.is_empty() {
+        read_one(&mut reader, &mut in_flight, &mut result)?;
+    }
+    Ok(result)
+}
+
+fn app_name(app: u32) -> String {
+    format!("app-{app:06}")
+}
+
+fn invoke_body_len(event: &Event) -> usize {
+    // {"app":"app-XXXXXX","ts":N}
+    let ts_digits = if event.ts == 0 {
+        1
+    } else {
+        (event.ts.ilog10() + 1) as usize
+    };
+    8 + app_name(event.app).len() + 7 + ts_digits + 1
+}
+
+fn write_invoke_body(out: &mut Vec<u8>, event: &Event) {
+    out.extend_from_slice(b"{\"app\":\"");
+    out.extend_from_slice(app_name(event.app).as_bytes());
+    out.extend_from_slice(b"\",\"ts\":");
+    crate::wire::push_u64(out, event.ts);
+    out.push(b'}');
+}
+
+/// A minimal HTTP response.
+struct Response {
+    status: u16,
+    cold: bool,
+}
+
+/// Buffered response parser (headers + `Content-Length` body).
+struct ResponseReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl ResponseReader {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            buf: Vec::with_capacity(64 * 1024),
+            start: 0,
+        }
+    }
+
+    fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    fn fill(&mut self) -> io::Result<usize> {
+        // Compact once the consumed prefix dominates.
+        if self.start > 8 * 1024 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        let mut chunk = [0u8; 32 * 1024];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed connection",
+            ));
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        loop {
+            let window = &self.buf[self.start..];
+            if let Some(header_end) = window.windows(4).position(|w| w == b"\r\n\r\n") {
+                let header = std::str::from_utf8(&window[..header_end])
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 header"))?;
+                let status: u16 = header
+                    .split_ascii_whitespace()
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+                let content_length: usize = header
+                    .lines()
+                    .find_map(|l| {
+                        let (name, value) = l.split_once(':')?;
+                        name.eq_ignore_ascii_case("content-length")
+                            .then(|| value.trim().parse().ok())?
+                    })
+                    .unwrap_or(0);
+                let total = header_end + 4 + content_length;
+                while self.buffered() < total {
+                    self.fill()?;
+                }
+                let body_start = self.start + header_end + 4;
+                let body = &self.buf[body_start..body_start + content_length];
+                let cold = find_subslice(body, b"\"verdict\":\"cold\"");
+                self.start += total;
+                return Ok(Response { status, cold });
+            }
+            self.fill()?;
+        }
+    }
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_partition_by_app_and_stay_ordered() {
+        let cfg = LoadGenConfig {
+            apps: 40,
+            connections: 3,
+            max_events: 5_000,
+            ..LoadGenConfig::default()
+        };
+        let schedules = build_schedules(&cfg);
+        assert_eq!(schedules.len(), 3);
+        let total: usize = schedules.iter().map(|s| s.len()).sum();
+        assert!(total > 0 && total <= 5_000);
+        for (conn, schedule) in schedules.iter().enumerate() {
+            assert!(schedule.windows(2).all(|w| w[0].ts <= w[1].ts));
+            for event in schedule {
+                assert_eq!(event.app as usize % 3, conn);
+            }
+        }
+    }
+
+    #[test]
+    fn body_length_precomputation_matches() {
+        for event in [
+            Event { ts: 0, app: 0 },
+            Event { ts: 9, app: 1 },
+            Event {
+                ts: 1_209_600_000,
+                app: 999_999,
+            },
+        ] {
+            let mut body = Vec::new();
+            write_invoke_body(&mut body, &event);
+            assert_eq!(body.len(), invoke_body_len(&event), "{body:?}");
+        }
+    }
+
+    #[test]
+    fn find_subslice_works() {
+        assert!(find_subslice(
+            b"abc\"verdict\":\"cold\"x",
+            b"\"verdict\":\"cold\""
+        ));
+        assert!(!find_subslice(
+            b"\"verdict\":\"warm\"",
+            b"\"verdict\":\"cold\""
+        ));
+    }
+}

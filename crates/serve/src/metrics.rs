@@ -1,0 +1,154 @@
+//! Server metrics: per-shard counters plus decision-latency percentiles,
+//! rendered in the Prometheus text exposition format.
+
+/// Counters and latency estimates reported by one shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Applications with live state.
+    pub apps: u64,
+    /// Accepted invocations.
+    pub invocations: u64,
+    /// Cold verdicts.
+    pub cold: u64,
+    /// Warm verdicts.
+    pub warm: u64,
+    /// Pre-warm loads inferred during gaps.
+    pub prewarm_loads: u64,
+    /// Rejected out-of-order invocations.
+    pub out_of_order: u64,
+    /// `(quantile, estimate_in_µs)` pairs from the shard's P² estimators
+    /// (empty until the shard has observed at least one decision).
+    pub latency_us: Vec<(f64, f64)>,
+}
+
+/// A full `/metrics` scrape: one entry per shard, plus uptime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Per-shard statistics, ordered by shard index.
+    pub shards: Vec<ShardStats>,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+}
+
+impl MetricsReport {
+    /// Total accepted invocations across shards.
+    pub fn invocations(&self) -> u64 {
+        self.shards.iter().map(|s| s.invocations).sum()
+    }
+
+    /// Total cold verdicts across shards.
+    pub fn cold(&self) -> u64 {
+        self.shards.iter().map(|s| s.cold).sum()
+    }
+
+    /// Total apps with live state across shards.
+    pub fn apps(&self) -> u64 {
+        self.shards.iter().map(|s| s.apps).sum()
+    }
+
+    /// Renders the Prometheus text format.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        /// Name, help text, and per-shard value accessor of one metric.
+        type MetricRow = (&'static str, &'static str, fn(&ShardStats) -> u64);
+        let mut out = String::with_capacity(1024);
+        let counters: [MetricRow; 6] = [
+            (
+                "sitw_serve_apps",
+                "Applications with live policy state",
+                |s| s.apps,
+            ),
+            (
+                "sitw_serve_invocations_total",
+                "Accepted invocations",
+                |s| s.invocations,
+            ),
+            ("sitw_serve_cold_total", "Cold verdicts", |s| s.cold),
+            ("sitw_serve_warm_total", "Warm verdicts", |s| s.warm),
+            (
+                "sitw_serve_prewarm_loads_total",
+                "Pre-warm loads inferred during gaps",
+                |s| s.prewarm_loads,
+            ),
+            (
+                "sitw_serve_out_of_order_total",
+                "Rejected out-of-order invocations",
+                |s| s.out_of_order,
+            ),
+        ];
+        for (name, help, get) in counters {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let kind = if name.ends_with("_total") {
+                "counter"
+            } else {
+                "gauge"
+            };
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for s in &self.shards {
+                let _ = writeln!(out, "{name}{{shard=\"{}\"}} {}", s.shard, get(s));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP sitw_serve_decision_latency_us Decision latency percentiles (P2 estimates)"
+        );
+        let _ = writeln!(out, "# TYPE sitw_serve_decision_latency_us gauge");
+        for s in &self.shards {
+            for (q, v) in &s.latency_us {
+                let _ = writeln!(
+                    out,
+                    "sitw_serve_decision_latency_us{{shard=\"{}\",quantile=\"{q}\"}} {v:.3}",
+                    s.shard
+                );
+            }
+        }
+        let _ = writeln!(out, "# HELP sitw_serve_uptime_ms Time since server start");
+        let _ = writeln!(out, "# TYPE sitw_serve_uptime_ms gauge");
+        let _ = writeln!(out, "sitw_serve_uptime_ms {}", self.uptime_ms);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(shard: usize) -> ShardStats {
+        ShardStats {
+            shard,
+            apps: 3,
+            invocations: 100,
+            cold: 20,
+            warm: 80,
+            prewarm_loads: 5,
+            out_of_order: 1,
+            latency_us: vec![(0.5, 1.5), (0.95, 3.0), (0.99, 9.0)],
+        }
+    }
+
+    #[test]
+    fn totals_sum_over_shards() {
+        let r = MetricsReport {
+            shards: vec![stats(0), stats(1)],
+            uptime_ms: 42,
+        };
+        assert_eq!(r.invocations(), 200);
+        assert_eq!(r.cold(), 40);
+        assert_eq!(r.apps(), 6);
+    }
+
+    #[test]
+    fn renders_prometheus_text() {
+        let r = MetricsReport {
+            shards: vec![stats(0), stats(1)],
+            uptime_ms: 42,
+        };
+        let text = r.render();
+        assert!(text.contains("# TYPE sitw_serve_invocations_total counter"));
+        assert!(text.contains("sitw_serve_invocations_total{shard=\"1\"} 100"));
+        assert!(text.contains("sitw_serve_decision_latency_us{shard=\"0\",quantile=\"0.99\"}"));
+        assert!(text.contains("sitw_serve_uptime_ms 42"));
+    }
+}

@@ -1,0 +1,539 @@
+//! The daemon: listener, acceptor, pipelined connection handlers, and
+//! lifecycle (restore → serve → snapshot → shutdown).
+//!
+//! Threading model: one acceptor thread, one thread per connection, N
+//! shard worker threads. A connection thread parses requests, hashes the
+//! app id to a shard, and sends an `Invoke` message carrying a clone of
+//! its private reply channel; shards reply out of band and the
+//! connection reorders by sequence number before writing, preserving
+//! HTTP/1.1 response ordering under pipelining. Up to
+//! [`ServeConfig::pipeline_window`] decisions per connection are in
+//! flight at once, which is what amortizes syscalls and context
+//! switches enough to sustain >50k decisions/sec on loopback.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sitw_core::HybridConfig;
+use sitw_sim::PolicySpec;
+
+use crate::http::{write_response, ConnBuf, ReadOutcome, Request};
+use crate::metrics::{MetricsReport, ShardStats};
+use crate::shard::{shard_of, InvokeError, InvokeReply, ShardMsg, ShardWorker};
+use crate::snapshot::{AppRecord, Snapshot};
+use crate::wire::{self, push_u64};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 to let the OS choose.
+    pub addr: String,
+    /// Number of shard worker threads (≥ 1).
+    pub shards: usize,
+    /// The policy every application is served under.
+    pub policy: PolicySpec,
+    /// When set, a snapshot is written here on graceful shutdown and on
+    /// `POST /admin/snapshot`.
+    pub snapshot_path: Option<PathBuf>,
+    /// When set and the file exists, state is restored from it at start.
+    pub restore_path: Option<PathBuf>,
+    /// Socket read timeout; bounds how quickly idle connections notice a
+    /// shutdown.
+    pub read_timeout: Duration,
+    /// Maximum in-flight decisions per connection.
+    pub pipeline_window: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7071".into(),
+            shards: 4,
+            policy: PolicySpec::Hybrid(HybridConfig::default()),
+            snapshot_path: None,
+            restore_path: None,
+            read_timeout: Duration::from_millis(50),
+            pipeline_window: 128,
+        }
+    }
+}
+
+/// Shared state every connection thread sees.
+struct ServerCtx {
+    cfg: ServeConfig,
+    addr: SocketAddr,
+    shard_txs: Vec<Sender<ShardMsg>>,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+impl ServerCtx {
+    fn scrape(&self) -> MetricsReport {
+        let mut shards: Vec<ShardStats> = Vec::with_capacity(self.shard_txs.len());
+        for tx in &self.shard_txs {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            if tx.send(ShardMsg::Scrape(reply_tx)).is_ok() {
+                if let Ok(stats) = reply_rx.recv() {
+                    shards.push(stats);
+                }
+            }
+        }
+        shards.sort_by_key(|s| s.shard);
+        MetricsReport {
+            shards,
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let mut apps: Vec<AppRecord> = Vec::new();
+        for tx in &self.shard_txs {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            if tx.send(ShardMsg::Snapshot(reply_tx)).is_ok() {
+                if let Ok(mut records) = reply_rx.recv() {
+                    apps.append(&mut records);
+                }
+            }
+        }
+        apps.sort_by(|a, b| a.app.cmp(&b.app));
+        Snapshot {
+            policy_label: self.cfg.policy.label(),
+            apps,
+        }
+    }
+
+    /// Unblocks the acceptor's `accept()` after the shutdown flag flips.
+    fn wake_acceptor(&self) {
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running decision service.
+pub struct Server {
+    ctx: Arc<ServerCtx>,
+    acceptor: Option<JoinHandle<()>>,
+    shard_handles: Vec<JoinHandle<Vec<AppRecord>>>,
+}
+
+impl Server {
+    /// Binds, restores state if configured, and starts serving.
+    pub fn start(cfg: ServeConfig) -> io::Result<Server> {
+        if cfg.shards == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "shards == 0"));
+        }
+
+        // Restore before any thread exists: partition records by shard.
+        let mut per_shard: Vec<Vec<AppRecord>> = (0..cfg.shards).map(|_| Vec::new()).collect();
+        if let Some(path) = &cfg.restore_path {
+            if path.exists() {
+                let snap = Snapshot::read_from(path)?;
+                let expected = cfg.policy.label();
+                if snap.policy_label != expected {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "snapshot policy '{}' does not match configured '{expected}'",
+                            snap.policy_label
+                        ),
+                    ));
+                }
+                for rec in snap.apps {
+                    per_shard[shard_of(&rec.app, cfg.shards)].push(rec);
+                }
+            }
+        }
+
+        let mut shard_txs = Vec::with_capacity(cfg.shards);
+        let mut shard_handles = Vec::with_capacity(cfg.shards);
+        for (id, restore) in per_shard.into_iter().enumerate() {
+            let worker = ShardWorker::new(id, cfg.policy.clone(), restore)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            let (tx, rx) = mpsc::channel();
+            shard_txs.push(tx);
+            shard_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("sitw-shard-{id}"))
+                    .spawn(move || worker.run(rx))?,
+            );
+        }
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let ctx = Arc::new(ServerCtx {
+            cfg,
+            addr,
+            shard_txs,
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+
+        let acceptor_ctx = Arc::clone(&ctx);
+        let acceptor = std::thread::Builder::new()
+            .name("sitw-acceptor".into())
+            .spawn(move || accept_loop(listener, acceptor_ctx))?;
+
+        Ok(Server {
+            ctx,
+            acceptor: Some(acceptor),
+            shard_handles,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.ctx.addr
+    }
+
+    /// Scrapes all shards (in-process equivalent of `GET /metrics`).
+    pub fn metrics(&self) -> MetricsReport {
+        self.ctx.scrape()
+    }
+
+    /// Captures a snapshot of all shards without stopping the server.
+    pub fn snapshot(&self) -> Snapshot {
+        self.ctx.snapshot()
+    }
+
+    /// True once a shutdown has been requested (e.g. via
+    /// `POST /admin/shutdown`).
+    pub fn shutdown_requested(&self) -> bool {
+        self.ctx.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until a shutdown is requested.
+    pub fn wait(&self) {
+        while !self.shutdown_requested() {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    }
+
+    /// Gracefully stops: drains connections, stops shards, and writes
+    /// the final snapshot to [`ServeConfig::snapshot_path`] when set.
+    /// Returns the final state.
+    pub fn shutdown(mut self) -> io::Result<Snapshot> {
+        self.ctx.shutdown.store(true, Ordering::SeqCst);
+        self.ctx.wake_acceptor();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for tx in &self.ctx.shard_txs {
+            let _ = tx.send(ShardMsg::Shutdown);
+        }
+        let mut apps: Vec<AppRecord> = Vec::new();
+        for handle in self.shard_handles.drain(..) {
+            match handle.join() {
+                Ok(mut records) => apps.append(&mut records),
+                Err(_) => {
+                    return Err(io::Error::other("shard panicked"));
+                }
+            }
+        }
+        apps.sort_by(|a, b| a.app.cmp(&b.app));
+        let snapshot = Snapshot {
+            policy_label: self.ctx.cfg.policy.label(),
+            apps,
+        };
+        if let Some(path) = &self.ctx.cfg.snapshot_path {
+            snapshot.write_to(path)?;
+        }
+        Ok(snapshot)
+    }
+}
+
+fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_ctx = Arc::clone(&ctx);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("sitw-conn".into())
+            .spawn(move || handle_conn(stream, conn_ctx))
+        {
+            // Opportunistically reap finished connections so the
+            // registry stays proportional to *live* connections.
+            conns.retain(|h| !h.is_finished());
+            conns.push(handle);
+        }
+    }
+    for handle in conns {
+        let _ = handle.join();
+    }
+}
+
+/// Flush threshold for the per-connection output buffer.
+const OUT_FLUSH_BYTES: usize = 64 * 1024;
+
+fn handle_conn(stream: TcpStream, ctx: Arc<ServerCtx>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(ctx.cfg.read_timeout));
+    let Ok(mut write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut conn = ConnBuf::new(stream);
+
+    let (reply_tx, reply_rx) = mpsc::channel::<InvokeReply>();
+    let mut out: Vec<u8> = Vec::with_capacity(OUT_FLUSH_BYTES + 4 * 1024);
+    // Pipelining state: decisions in flight, reordering by sequence.
+    let mut pending: usize = 0;
+    let mut next_seq: u64 = 0;
+    let mut next_write: u64 = 0;
+    let mut reorder: BTreeMap<u64, Result<crate::shard::Decision, InvokeError>> = BTreeMap::new();
+    let mut close = false;
+
+    'conn: loop {
+        // Write everything we owe before potentially blocking on the
+        // socket with nothing in flight.
+        if pending == 0 {
+            if !out.is_empty() && write_half.write_all(&out).is_err() {
+                break 'conn;
+            }
+            out.clear();
+            if close || ctx.shutdown.load(Ordering::SeqCst) {
+                break 'conn;
+            }
+        }
+
+        match conn.read_request() {
+            Ok(ReadOutcome::Request(req)) => {
+                if req.close {
+                    close = true;
+                }
+                if req.method == "POST" && req.path == "/invoke" {
+                    match wire::parse_invoke(&req.body) {
+                        Ok(inv) => {
+                            let shard = shard_of(&inv.app, ctx.shard_txs.len());
+                            let msg = ShardMsg::Invoke {
+                                app: inv.app,
+                                ts: inv.ts,
+                                seq: next_seq,
+                                reply: reply_tx.clone(),
+                            };
+                            if ctx.shard_txs[shard].send(msg).is_err() {
+                                break 'conn; // Shard gone: shutting down.
+                            }
+                            next_seq += 1;
+                            pending += 1;
+                        }
+                        Err(e) => {
+                            // Responses must stay ordered: settle every
+                            // in-flight decision before the error.
+                            if !drain_pending(
+                                &reply_rx,
+                                &mut reorder,
+                                &mut pending,
+                                &mut next_write,
+                                &mut out,
+                            ) {
+                                break 'conn;
+                            }
+                            let mut body = Vec::with_capacity(64);
+                            body.extend_from_slice(b"{\"error\":\"");
+                            body.extend_from_slice(e.replace('"', "'").as_bytes());
+                            body.extend_from_slice(b"\"}");
+                            write_response(&mut out, 400, "application/json", &body);
+                        }
+                    }
+                } else {
+                    if !drain_pending(
+                        &reply_rx,
+                        &mut reorder,
+                        &mut pending,
+                        &mut next_write,
+                        &mut out,
+                    ) {
+                        break 'conn;
+                    }
+                    handle_control(&req, &ctx, &mut out);
+                }
+            }
+            Ok(ReadOutcome::Eof) => {
+                close = true;
+                if pending == 0 {
+                    break 'conn;
+                }
+            }
+            Ok(ReadOutcome::Timeout) => {
+                // Idle socket: settle anything in flight, then loop (the
+                // top of the loop flushes and checks the shutdown flag).
+                if pending > 0
+                    && !drain_pending(
+                        &reply_rx,
+                        &mut reorder,
+                        &mut pending,
+                        &mut next_write,
+                        &mut out,
+                    )
+                {
+                    break 'conn;
+                }
+                continue 'conn;
+            }
+            Err(_) => break 'conn, // Malformed request or I/O error.
+        }
+
+        // Collect whatever replies already arrived (without blocking).
+        while let Ok(reply) = reply_rx.try_recv() {
+            reorder.insert(reply.seq, reply.result);
+        }
+        write_ready(&mut reorder, &mut next_write, &mut pending, &mut out);
+
+        // Backpressure: cap in-flight decisions per connection.
+        while pending >= ctx.cfg.pipeline_window {
+            let Ok(reply) = reply_rx.recv() else {
+                break 'conn;
+            };
+            reorder.insert(reply.seq, reply.result);
+            write_ready(&mut reorder, &mut next_write, &mut pending, &mut out);
+        }
+
+        // No more buffered requests: settle all in-flight decisions so
+        // the client is never left waiting on responses we could send.
+        if conn.buffered() == 0
+            && !drain_pending(
+                &reply_rx,
+                &mut reorder,
+                &mut pending,
+                &mut next_write,
+                &mut out,
+            )
+        {
+            break 'conn;
+        }
+
+        if out.len() >= OUT_FLUSH_BYTES {
+            if write_half.write_all(&out).is_err() {
+                break 'conn;
+            }
+            out.clear();
+        }
+    }
+
+    if !out.is_empty() {
+        let _ = write_half.write_all(&out);
+    }
+}
+
+/// Blocks until every in-flight decision has been written to `out`.
+/// Returns false when the reply channel died (server shutting down).
+fn drain_pending(
+    reply_rx: &Receiver<InvokeReply>,
+    reorder: &mut BTreeMap<u64, Result<crate::shard::Decision, InvokeError>>,
+    pending: &mut usize,
+    next_write: &mut u64,
+    out: &mut Vec<u8>,
+) -> bool {
+    while *pending > 0 {
+        let Ok(reply) = reply_rx.recv() else {
+            return false;
+        };
+        reorder.insert(reply.seq, reply.result);
+        write_ready(reorder, next_write, pending, out);
+    }
+    true
+}
+
+/// Writes every reply that is next in sequence order.
+fn write_ready(
+    reorder: &mut BTreeMap<u64, Result<crate::shard::Decision, InvokeError>>,
+    next_write: &mut u64,
+    pending: &mut usize,
+    out: &mut Vec<u8>,
+) {
+    while let Some(result) = reorder.remove(next_write) {
+        *next_write += 1;
+        *pending -= 1;
+        match result {
+            Ok(decision) => {
+                let mut body = Vec::with_capacity(128);
+                wire::render_decision(&mut body, &decision);
+                write_response(out, 200, "application/json", &body);
+            }
+            Err(InvokeError::OutOfOrder { last_ts }) => {
+                let mut body = Vec::with_capacity(64);
+                body.extend_from_slice(b"{\"error\":\"out-of-order\",\"last_ts\":");
+                push_u64(&mut body, last_ts);
+                body.push(b'}');
+                write_response(out, 409, "application/json", &body);
+            }
+        }
+    }
+}
+
+/// Non-invoke endpoints: health, metrics, admin.
+fn handle_control(req: &Request, ctx: &Arc<ServerCtx>, out: &mut Vec<u8>) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let mut body = Vec::with_capacity(96);
+            body.extend_from_slice(b"{\"status\":\"ok\",\"policy\":\"");
+            body.extend_from_slice(ctx.cfg.policy.label().as_bytes());
+            body.extend_from_slice(b"\",\"shards\":");
+            push_u64(&mut body, ctx.shard_txs.len() as u64);
+            body.extend_from_slice(b",\"uptime_ms\":");
+            push_u64(&mut body, ctx.started.elapsed().as_millis() as u64);
+            body.push(b'}');
+            write_response(out, 200, "application/json", &body);
+        }
+        ("GET", "/metrics") => {
+            let report = ctx.scrape();
+            write_response(
+                out,
+                200,
+                "text/plain; version=0.0.4",
+                report.render().as_bytes(),
+            );
+        }
+        ("POST", "/admin/snapshot") => match &ctx.cfg.snapshot_path {
+            Some(path) => {
+                let snapshot = ctx.snapshot();
+                match snapshot.write_to(path) {
+                    Ok(()) => {
+                        let mut body = Vec::with_capacity(64);
+                        body.extend_from_slice(b"{\"apps\":");
+                        push_u64(&mut body, snapshot.apps.len() as u64);
+                        body.push(b'}');
+                        write_response(out, 200, "application/json", &body);
+                    }
+                    Err(e) => {
+                        let body = format!("{{\"error\":\"{}\"}}", e.to_string().replace('"', "'"));
+                        write_response(out, 500, "application/json", body.as_bytes());
+                    }
+                }
+            }
+            None => {
+                write_response(
+                    out,
+                    400,
+                    "application/json",
+                    b"{\"error\":\"no snapshot path configured\"}",
+                );
+            }
+        },
+        ("POST", "/admin/shutdown") => {
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            ctx.wake_acceptor();
+            write_response(out, 200, "application/json", b"{\"status\":\"stopping\"}");
+        }
+        ("POST", "/invoke") => unreachable!("handled by the caller"),
+        (_, "/invoke" | "/healthz" | "/metrics" | "/admin/snapshot" | "/admin/shutdown") => {
+            write_response(
+                out,
+                405,
+                "application/json",
+                b"{\"error\":\"method not allowed\"}",
+            );
+        }
+        _ => {
+            write_response(out, 404, "application/json", b"{\"error\":\"not found\"}");
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Shard workers: each worker thread exclusively owns the per-application
+//! policy state for its hash slice of the app space.
+//!
+//! The decision path is lock-free by construction — connection threads
+//! hash the app id to a shard and exchange messages over `mpsc`
+//! channels, so a shard's `HashMap` of policies is touched by exactly
+//! one thread. This is the same isolation argument the sweep driver
+//! makes for parallel simulation: applications are independent under
+//! every policy (§5.1), so partitioning them partitions all state.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::time::Instant;
+
+use sitw_core::{AppPolicy, DecisionKind, FixedKeepAlive, HybridPolicy, NoUnloading, Windows};
+use sitw_sim::PolicySpec;
+use sitw_stats::StreamingPercentiles;
+
+use crate::metrics::ShardStats;
+use crate::snapshot::{AppRecord, PolicyState};
+
+/// Latency quantiles the shard tracks (P², O(1) memory per quantile).
+pub const LATENCY_QUANTILES: [f64; 3] = [0.50, 0.95, 0.99];
+
+/// A concrete per-application policy instance.
+///
+/// An enum rather than `Box<dyn AppPolicy>` for two reasons: decisions
+/// dispatch without a vtable on the hot path, and snapshot export can
+/// match on the variant instead of downcasting.
+// The hybrid variant dominates the size, but hybrid is also the policy
+// every realistic deployment serves — boxing it would add a pointer
+// chase per decision to shrink the two baseline variants nobody runs.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum ServedPolicy {
+    /// Fixed keep-alive baseline.
+    Fixed(FixedKeepAlive),
+    /// Never unload.
+    NoUnload(NoUnloading),
+    /// The hybrid histogram policy.
+    Hybrid(HybridPolicy),
+}
+
+impl ServedPolicy {
+    /// Creates a fresh instance for one application under `spec`.
+    pub fn new(spec: &PolicySpec) -> ServedPolicy {
+        match spec {
+            PolicySpec::Fixed(f) => ServedPolicy::Fixed(*f),
+            PolicySpec::NoUnloading => ServedPolicy::NoUnload(NoUnloading),
+            PolicySpec::Hybrid(cfg) => ServedPolicy::Hybrid(HybridPolicy::new(cfg.clone())),
+        }
+    }
+
+    fn on_invocation(&mut self, idle_time_ms: Option<u64>) -> Windows {
+        match self {
+            ServedPolicy::Fixed(p) => p.on_invocation(idle_time_ms),
+            ServedPolicy::NoUnload(p) => p.on_invocation(idle_time_ms),
+            ServedPolicy::Hybrid(p) => p.on_invocation(idle_time_ms),
+        }
+    }
+
+    fn last_decision(&self) -> DecisionKind {
+        match self {
+            ServedPolicy::Fixed(p) => p.last_decision(),
+            ServedPolicy::NoUnload(p) => p.last_decision(),
+            ServedPolicy::Hybrid(p) => p.last_decision(),
+        }
+    }
+}
+
+/// One keep-alive decision, as returned to a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// The invocation found no loaded image.
+    pub cold: bool,
+    /// A pre-warm load occurred in the gap ending at this invocation.
+    pub prewarm_load: bool,
+    /// The policy branch that produced the new windows.
+    pub kind: DecisionKind,
+    /// Windows governing the gap until the app's next invocation.
+    pub windows: Windows,
+}
+
+/// Why an invocation was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvokeError {
+    /// The timestamp is older than the app's last accepted one. Policy
+    /// state is a function of the ordered idle-time stream, so
+    /// out-of-order delivery must be surfaced, not silently folded in.
+    OutOfOrder {
+        /// The app's last accepted timestamp.
+        last_ts: u64,
+    },
+}
+
+/// A reply to one `Invoke` message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvokeReply {
+    /// Echo of the request's sequence number (responses from different
+    /// shards interleave on the reply channel; the connection reorders).
+    pub seq: u64,
+    /// The decision or the rejection.
+    pub result: Result<Decision, InvokeError>,
+}
+
+/// Messages a shard worker accepts.
+pub enum ShardMsg {
+    /// One invocation to classify.
+    Invoke {
+        /// Application id.
+        app: String,
+        /// Invocation timestamp (trace milliseconds).
+        ts: u64,
+        /// Client-side sequence number echoed in the reply.
+        seq: u64,
+        /// Where to send the reply.
+        reply: Sender<InvokeReply>,
+    },
+    /// Report counters and latency percentiles.
+    Scrape(Sender<ShardStats>),
+    /// Export the complete per-app state.
+    Snapshot(Sender<Vec<AppRecord>>),
+    /// Drain and exit; the worker returns its final state to `join`.
+    Shutdown,
+}
+
+/// Per-application serving state.
+struct AppState {
+    policy: ServedPolicy,
+    windows: Windows,
+    last_ts: u64,
+}
+
+/// The state owned by one shard worker thread.
+pub struct ShardWorker {
+    id: usize,
+    spec: PolicySpec,
+    apps: HashMap<String, AppState>,
+    invocations: u64,
+    cold: u64,
+    prewarm_loads: u64,
+    out_of_order: u64,
+    latency: StreamingPercentiles,
+}
+
+impl ShardWorker {
+    /// Creates a worker for shard `id`, optionally restoring state.
+    pub fn new(id: usize, spec: PolicySpec, restore: Vec<AppRecord>) -> Result<Self, String> {
+        let mut apps = HashMap::with_capacity(restore.len().max(64));
+        for rec in restore {
+            let policy = rec.state.into_policy(&spec)?;
+            apps.insert(
+                rec.app,
+                AppState {
+                    policy,
+                    windows: rec.windows,
+                    last_ts: rec.last_ts,
+                },
+            );
+        }
+        Ok(Self {
+            id,
+            spec,
+            apps,
+            invocations: 0,
+            cold: 0,
+            prewarm_loads: 0,
+            out_of_order: 0,
+            latency: StreamingPercentiles::for_quantiles(&LATENCY_QUANTILES),
+        })
+    }
+
+    /// Classifies one invocation. Mirrors `sitw_sim::verdict_trace`
+    /// exactly: both paths classify through
+    /// [`sitw_core::Windows::classify_gap`] and then advance the policy.
+    pub fn invoke(&mut self, app: &str, ts: u64) -> Result<Decision, InvokeError> {
+        match self.apps.get_mut(app) {
+            None => {
+                // First invocation of this app: cold by definition (§5.1).
+                let mut policy = ServedPolicy::new(&self.spec);
+                let windows = policy.on_invocation(None);
+                let kind = policy.last_decision();
+                self.apps.insert(
+                    app.to_owned(),
+                    AppState {
+                        policy,
+                        windows,
+                        last_ts: ts,
+                    },
+                );
+                self.invocations += 1;
+                self.cold += 1;
+                Ok(Decision {
+                    cold: true,
+                    prewarm_load: false,
+                    kind,
+                    windows,
+                })
+            }
+            Some(state) => {
+                if ts < state.last_ts {
+                    self.out_of_order += 1;
+                    return Err(InvokeError::OutOfOrder {
+                        last_ts: state.last_ts,
+                    });
+                }
+                let idle = ts - state.last_ts;
+                let outcome = state.windows.classify_gap(idle);
+                state.windows = state.policy.on_invocation(Some(idle));
+                state.last_ts = ts;
+                self.invocations += 1;
+                if outcome.cold {
+                    self.cold += 1;
+                }
+                if outcome.prewarm_load {
+                    self.prewarm_loads += 1;
+                }
+                Ok(Decision {
+                    cold: outcome.cold,
+                    prewarm_load: outcome.prewarm_load,
+                    kind: state.policy.last_decision(),
+                    windows: state.windows,
+                })
+            }
+        }
+    }
+
+    fn stats(&self) -> ShardStats {
+        ShardStats {
+            shard: self.id,
+            apps: self.apps.len() as u64,
+            invocations: self.invocations,
+            cold: self.cold,
+            warm: self.invocations - self.cold,
+            prewarm_loads: self.prewarm_loads,
+            out_of_order: self.out_of_order,
+            latency_us: self.latency.estimates(),
+        }
+    }
+
+    fn export(&self) -> Vec<AppRecord> {
+        let mut records: Vec<AppRecord> = self
+            .apps
+            .iter()
+            .map(|(app, state)| AppRecord {
+                app: app.clone(),
+                last_ts: state.last_ts,
+                windows: state.windows,
+                state: PolicyState::export(&state.policy),
+            })
+            .collect();
+        records.sort_by(|a, b| a.app.cmp(&b.app));
+        records
+    }
+
+    /// The worker loop: drains the mailbox until `Shutdown`, then
+    /// returns the final per-app state (for the shutdown snapshot).
+    pub fn run(mut self, mailbox: Receiver<ShardMsg>) -> Vec<AppRecord> {
+        while let Ok(msg) = mailbox.recv() {
+            match msg {
+                ShardMsg::Invoke {
+                    app,
+                    ts,
+                    seq,
+                    reply,
+                } => {
+                    let t0 = Instant::now();
+                    let result = self.invoke(&app, ts);
+                    self.latency
+                        .observe(t0.elapsed().as_nanos() as f64 / 1_000.0);
+                    // A dropped reply channel means the connection died;
+                    // the decision was still applied, which is correct
+                    // (the invocation happened).
+                    let _ = reply.send(InvokeReply { seq, result });
+                }
+                ShardMsg::Scrape(reply) => {
+                    let _ = reply.send(self.stats());
+                }
+                ShardMsg::Snapshot(reply) => {
+                    let _ = reply.send(self.export());
+                }
+                ShardMsg::Shutdown => break,
+            }
+        }
+        self.export()
+    }
+}
+
+/// Maps an app id to its shard: FNV-1a over the id bytes, mod `shards`.
+/// Stable across restarts (snapshots record app ids, not shard indexes,
+/// so a restore can even change the shard count).
+pub fn shard_of(app: &str, shards: usize) -> usize {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in app.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitw_core::MINUTE_MS;
+
+    fn worker(spec: PolicySpec) -> ShardWorker {
+        ShardWorker::new(0, spec, Vec::new()).unwrap()
+    }
+
+    #[test]
+    fn first_invocation_cold_then_warm_within_keep_alive() {
+        let mut w = worker(PolicySpec::fixed_minutes(10));
+        let d0 = w.invoke("a", 0).unwrap();
+        assert!(d0.cold);
+        let d1 = w.invoke("a", 5 * MINUTE_MS).unwrap();
+        assert!(!d1.cold);
+        let d2 = w.invoke("a", 30 * MINUTE_MS).unwrap();
+        assert!(d2.cold, "25-minute gap exceeds the 10-minute keep-alive");
+        assert_eq!(w.stats().invocations, 3);
+        assert_eq!(w.stats().cold, 2);
+    }
+
+    #[test]
+    fn apps_are_isolated() {
+        let mut w = worker(PolicySpec::fixed_minutes(10));
+        w.invoke("a", 0).unwrap();
+        let db = w.invoke("b", MINUTE_MS).unwrap();
+        assert!(db.cold, "b's first invocation is cold regardless of a");
+        assert_eq!(w.stats().apps, 2);
+    }
+
+    #[test]
+    fn out_of_order_rejected_without_state_change() {
+        let mut w = worker(PolicySpec::fixed_minutes(10));
+        w.invoke("a", 10 * MINUTE_MS).unwrap();
+        let err = w.invoke("a", 5 * MINUTE_MS).unwrap_err();
+        assert_eq!(
+            err,
+            InvokeError::OutOfOrder {
+                last_ts: 10 * MINUTE_MS
+            }
+        );
+        // Equal timestamps are fine (concurrent arrivals): warm.
+        let d = w.invoke("a", 10 * MINUTE_MS).unwrap();
+        assert!(!d.cold);
+        assert_eq!(w.stats().out_of_order, 1);
+    }
+
+    #[test]
+    fn matches_offline_verdict_trace() {
+        use sitw_core::{HybridConfig, PolicyFactory};
+        let events: Vec<u64> = (0..200u64)
+            .map(|i| i * 7 * MINUTE_MS + (i % 3) * 20_000)
+            .collect();
+
+        let spec = PolicySpec::Hybrid(HybridConfig::default());
+        let mut w = worker(spec);
+        let online: Vec<Decision> = events.iter().map(|&t| w.invoke("x", t).unwrap()).collect();
+
+        let mut policy = HybridConfig::default().new_policy();
+        let offline = sitw_sim::verdict_trace(&events, &mut policy);
+
+        assert_eq!(online.len(), offline.len());
+        for (on, off) in online.iter().zip(&offline) {
+            assert_eq!(on.cold, off.cold);
+            assert_eq!(on.prewarm_load, off.prewarm_load);
+            assert_eq!(on.kind, off.kind);
+            assert_eq!(on.windows, off.windows);
+        }
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in [1usize, 2, 4, 7] {
+            for app in ["app-000000", "app-000001", "x", ""] {
+                let s = shard_of(app, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(app, shards));
+            }
+        }
+        // Different apps spread over shards (sanity, not uniformity).
+        let hits: std::collections::HashSet<usize> = (0..100)
+            .map(|i| shard_of(&format!("app-{i:06}"), 4))
+            .collect();
+        assert!(hits.len() > 1);
+    }
+}

@@ -1,0 +1,434 @@
+//! State snapshot/restore: the daemon's analogue of the paper's hourly
+//! histogram backups (§6).
+//!
+//! A snapshot captures, per application, everything its policy decision
+//! depends on — last accepted timestamp, current windows, and for the
+//! hybrid policy the full [`sitw_core::HybridSnapshot`] (histogram bins,
+//! out-of-bounds count, capped ARIMA history, decision counters). A
+//! server restored from a snapshot therefore continues the decision
+//! stream **bit-for-bit** where the snapshotting server left off; the
+//! integration tests assert exactly that.
+//!
+//! The format is a line-oriented text file (one `app` line per
+//! application, floating-point values as IEEE-754 bit patterns in hex so
+//! round trips are exact), versioned by its header line.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use sitw_core::{DecisionCounts, HybridPolicy, HybridSnapshot, Windows};
+use sitw_sim::PolicySpec;
+
+use crate::shard::ServedPolicy;
+use crate::wire::{kind_from_str, kind_str};
+
+/// Magic first line of a snapshot file.
+const HEADER: &str = "sitw-serve-snapshot v1";
+
+/// Serializable policy state of one application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyState {
+    /// The policy keeps no per-app state beyond the windows themselves
+    /// (fixed keep-alive, no-unloading).
+    Stateless,
+    /// Full hybrid-policy state.
+    Hybrid(HybridSnapshot),
+}
+
+impl PolicyState {
+    /// Captures the state of one served policy instance.
+    pub fn export(policy: &ServedPolicy) -> PolicyState {
+        match policy {
+            ServedPolicy::Fixed(_) | ServedPolicy::NoUnload(_) => PolicyState::Stateless,
+            ServedPolicy::Hybrid(h) => PolicyState::Hybrid(h.snapshot()),
+        }
+    }
+
+    /// Rebuilds a policy instance under `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the state variant does not match the spec (e.g. a
+    /// hybrid snapshot restored into a fixed-keep-alive server).
+    pub fn into_policy(self, spec: &PolicySpec) -> Result<ServedPolicy, String> {
+        match (self, spec) {
+            (PolicyState::Stateless, PolicySpec::Fixed(f)) => Ok(ServedPolicy::Fixed(*f)),
+            (PolicyState::Stateless, PolicySpec::NoUnloading) => {
+                Ok(ServedPolicy::NoUnload(sitw_core::NoUnloading))
+            }
+            (PolicyState::Hybrid(snap), PolicySpec::Hybrid(cfg)) => Ok(ServedPolicy::Hybrid(
+                HybridPolicy::from_snapshot(cfg.clone(), snap)?,
+            )),
+            (state, spec) => Err(format!(
+                "snapshot state {:?} does not match policy '{}'",
+                variant_name(&state),
+                spec.label()
+            )),
+        }
+    }
+}
+
+fn variant_name(s: &PolicyState) -> &'static str {
+    match s {
+        PolicyState::Stateless => "stateless",
+        PolicyState::Hybrid(_) => "hybrid",
+    }
+}
+
+/// One application's complete serving state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppRecord {
+    /// Application id.
+    pub app: String,
+    /// Last accepted invocation timestamp.
+    pub last_ts: u64,
+    /// Windows governing the gap in progress.
+    pub windows: Windows,
+    /// Policy-internal state.
+    pub state: PolicyState,
+}
+
+/// A complete server snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Label of the policy that produced the snapshot
+    /// ([`PolicySpec::label`]); restore refuses a mismatch.
+    pub policy_label: String,
+    /// All applications, sorted by id.
+    pub apps: Vec<AppRecord>,
+}
+
+/// Percent-encodes the characters that would break the line format.
+fn encode_app(app: &str) -> String {
+    let mut out = String::with_capacity(app.len());
+    for c in app.chars() {
+        match c {
+            ' ' => out.push_str("%20"),
+            '%' => out.push_str("%25"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn decode_app(enc: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(enc.len());
+    let mut chars = enc.chars();
+    while let Some(c) = chars.next() {
+        if c == '%' {
+            // Escapes are always two ASCII hex digits (see encode_app).
+            let hi = chars.next().ok_or("truncated escape")?;
+            let lo = chars.next().ok_or("truncated escape")?;
+            let hex: String = [hi, lo].iter().collect();
+            let v = u8::from_str_radix(&hex, 16).map_err(|_| format!("bad escape %{hex}"))?;
+            out.push(v as char);
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+impl Snapshot {
+    /// Serializes to the text format.
+    pub fn encode(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(64 + self.apps.len() * 128);
+        let _ = writeln!(out, "{HEADER}");
+        let _ = writeln!(out, "policy {}", self.policy_label);
+        let _ = writeln!(out, "apps {}", self.apps.len());
+        for rec in &self.apps {
+            let _ = write!(
+                out,
+                "app {} {} {} {}",
+                encode_app(&rec.app),
+                rec.last_ts,
+                rec.windows.pre_warm_ms,
+                rec.windows.keep_alive_ms
+            );
+            match &rec.state {
+                PolicyState::Stateless => {}
+                PolicyState::Hybrid(h) => {
+                    let _ = write!(
+                        out,
+                        " hybrid {} {} {} {} {}",
+                        h.oob_count,
+                        h.counts.histogram,
+                        h.counts.standard,
+                        h.counts.arima,
+                        kind_str(h.last_decision)
+                    );
+                    let _ = write!(out, " bins ");
+                    if h.bins.is_empty() {
+                        out.push('-');
+                    } else {
+                        for (i, b) in h.bins.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            let _ = write!(out, "{b}");
+                        }
+                    }
+                    let _ = write!(out, " hist ");
+                    if h.history.is_empty() {
+                        out.push('-');
+                    } else {
+                        for (i, v) in h.history.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            let _ = write!(out, "{:016x}", v.to_bits());
+                        }
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text format.
+    pub fn decode(text: &str) -> Result<Snapshot, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty snapshot")?;
+        if header != HEADER {
+            return Err(format!("bad header '{header}'"));
+        }
+        let policy_line = lines.next().ok_or("missing policy line")?;
+        let policy_label = policy_line
+            .strip_prefix("policy ")
+            .ok_or("missing policy line")?
+            .to_owned();
+        let count_line = lines.next().ok_or("missing apps line")?;
+        let declared: usize = count_line
+            .strip_prefix("apps ")
+            .ok_or("missing apps line")?
+            .parse()
+            .map_err(|_| "bad app count")?;
+
+        let mut apps = Vec::with_capacity(declared);
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let mut tok = line.split(' ');
+            if tok.next() != Some("app") {
+                return Err(format!("unexpected line '{line}'"));
+            }
+            let app = decode_app(tok.next().ok_or("missing app id")?)?;
+            let last_ts = parse_field::<u64>(tok.next(), "last_ts")?;
+            let pre_warm_ms = parse_field::<u64>(tok.next(), "pre_warm_ms")?;
+            let keep_alive_ms = parse_field::<u64>(tok.next(), "keep_alive_ms")?;
+            let state = match tok.next() {
+                None => PolicyState::Stateless,
+                Some("hybrid") => {
+                    let oob_count = parse_field::<u64>(tok.next(), "oob")?;
+                    let counts = DecisionCounts {
+                        histogram: parse_field::<u64>(tok.next(), "hist count")?,
+                        standard: parse_field::<u64>(tok.next(), "std count")?,
+                        arima: parse_field::<u64>(tok.next(), "arima count")?,
+                    };
+                    let last_decision = kind_from_str(tok.next().ok_or("missing kind")?)?;
+                    if tok.next() != Some("bins") {
+                        return Err("expected 'bins'".into());
+                    }
+                    let bins_tok = tok.next().ok_or("missing bins")?;
+                    let bins = if bins_tok == "-" {
+                        Vec::new()
+                    } else {
+                        bins_tok
+                            .split(',')
+                            .map(|s| s.parse::<u32>().map_err(|_| format!("bad bin '{s}'")))
+                            .collect::<Result<_, _>>()?
+                    };
+                    if tok.next() != Some("hist") {
+                        return Err("expected 'hist'".into());
+                    }
+                    let hist_tok = tok.next().ok_or("missing history")?;
+                    let history = if hist_tok == "-" {
+                        Vec::new()
+                    } else {
+                        hist_tok
+                            .split(',')
+                            .map(|s| {
+                                u64::from_str_radix(s, 16)
+                                    .map(f64::from_bits)
+                                    .map_err(|_| format!("bad history value '{s}'"))
+                            })
+                            .collect::<Result<_, _>>()?
+                    };
+                    PolicyState::Hybrid(HybridSnapshot {
+                        bins,
+                        oob_count,
+                        history,
+                        counts,
+                        last_decision,
+                    })
+                }
+                Some(other) => return Err(format!("unknown state kind '{other}'")),
+            };
+            apps.push(AppRecord {
+                app,
+                last_ts,
+                windows: Windows {
+                    pre_warm_ms,
+                    keep_alive_ms,
+                },
+                state,
+            });
+        }
+        if apps.len() != declared {
+            return Err(format!(
+                "app count mismatch: declared {declared}, found {}",
+                apps.len()
+            ));
+        }
+        Ok(Snapshot { policy_label, apps })
+    }
+
+    /// Writes the snapshot to a file (atomically via a sibling temp file).
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.encode().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Reads a snapshot file.
+    pub fn read_from(path: &Path) -> io::Result<Snapshot> {
+        let text = std::fs::read_to_string(path)?;
+        Snapshot::decode(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+fn parse_field<T: std::str::FromStr>(tok: Option<&str>, name: &str) -> Result<T, String> {
+    tok.ok_or_else(|| format!("missing {name}"))?
+        .parse::<T>()
+        .map_err(|_| format!("bad {name}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitw_core::{AppPolicy, HybridConfig, PolicyFactory, MINUTE_MS};
+
+    fn hybrid_record() -> AppRecord {
+        let mut p = HybridConfig::default().new_policy();
+        p.on_invocation(None);
+        for i in 0..30u64 {
+            p.on_invocation(Some((10 + i % 3) * MINUTE_MS));
+        }
+        let windows = p.on_invocation(Some(11 * MINUTE_MS));
+        AppRecord {
+            app: "app-000001".into(),
+            last_ts: 123_456_789,
+            windows,
+            state: PolicyState::Hybrid(p.snapshot()),
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        let snap = Snapshot {
+            policy_label: "hybrid-4h[5,99]cv2".into(),
+            apps: vec![
+                AppRecord {
+                    app: "plain".into(),
+                    last_ts: 7,
+                    windows: Windows::keep_loaded(600_000),
+                    state: PolicyState::Stateless,
+                },
+                hybrid_record(),
+                AppRecord {
+                    app: "odd name %20\nwith\rbad chars".into(),
+                    last_ts: 0,
+                    windows: Windows::pre_warmed(1, 2),
+                    state: PolicyState::Stateless,
+                },
+            ],
+        };
+        let decoded = Snapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn history_floats_round_trip_bit_exactly() {
+        let values = [0.1f64, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, 300.0];
+        let snap = Snapshot {
+            policy_label: "hybrid-4h[5,99]cv2".into(),
+            apps: vec![AppRecord {
+                app: "a".into(),
+                last_ts: 1,
+                windows: Windows::keep_loaded(1),
+                state: PolicyState::Hybrid(HybridSnapshot {
+                    bins: vec![0; 240],
+                    oob_count: 3,
+                    history: values.to_vec(),
+                    counts: DecisionCounts::default(),
+                    last_decision: sitw_core::DecisionKind::Arima,
+                }),
+            }],
+        };
+        let decoded = Snapshot::decode(&snap.encode()).unwrap();
+        match &decoded.apps[0].state {
+            PolicyState::Hybrid(h) => {
+                for (a, b) in h.history.iter().zip(&values) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(Snapshot::decode("").is_err());
+        assert!(Snapshot::decode("wrong header\npolicy x\napps 0\n").is_err());
+        assert!(Snapshot::decode(&format!("{HEADER}\npolicy x\napps 2\n")).is_err());
+        assert!(
+            Snapshot::decode(&format!("{HEADER}\npolicy x\napps 1\napp a notanum 0 0\n")).is_err()
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let snap = Snapshot {
+            policy_label: "fixed-10min".into(),
+            apps: vec![AppRecord {
+                app: "a".into(),
+                last_ts: 5,
+                windows: Windows::keep_loaded(600_000),
+                state: PolicyState::Stateless,
+            }],
+        };
+        let dir = std::env::temp_dir().join("sitw-serve-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.txt");
+        snap.write_to(&path).unwrap();
+        assert_eq!(Snapshot::read_from(&path).unwrap(), snap);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn state_restores_into_matching_spec_only() {
+        let rec = hybrid_record();
+        let spec = PolicySpec::Hybrid(HybridConfig::default());
+        let restored = rec.state.clone().into_policy(&spec).unwrap();
+        match restored {
+            ServedPolicy::Hybrid(h) => match &rec.state {
+                PolicyState::Hybrid(s) => assert_eq!(&h.snapshot(), s),
+                _ => unreachable!(),
+            },
+            other => panic!("wrong variant {other:?}"),
+        }
+        assert!(rec
+            .state
+            .into_policy(&PolicySpec::fixed_minutes(10))
+            .is_err());
+    }
+}

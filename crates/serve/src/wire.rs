@@ -1,0 +1,314 @@
+//! Wire format of the decision service: a fixed-schema JSON dialect,
+//! parsed and emitted by hand (the workspace is dependency-free).
+//!
+//! Requests are small and their schema is closed, so the parser is a
+//! single left-to-right scan that extracts the two fields it knows
+//! (`"app"`: string, `"ts"`: non-negative integer milliseconds) and
+//! tolerates any other well-formed members. It is not a general JSON
+//! parser and does not try to be one.
+
+use sitw_core::DecisionKind;
+
+use crate::shard::Decision;
+
+/// A parsed `POST /invoke` body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvokeRequest {
+    /// Application identifier (the unit of keep-alive, §2).
+    pub app: String,
+    /// Invocation timestamp in trace milliseconds. Must be monotone
+    /// non-decreasing per application.
+    pub ts: u64,
+}
+
+/// Parses an `/invoke` body: `{"app":"app-000123","ts":86400000}`.
+pub fn parse_invoke(body: &[u8]) -> Result<InvokeRequest, String> {
+    let mut app: Option<String> = None;
+    let mut ts: Option<u64> = None;
+    let mut i = 0usize;
+
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && (b[i] == b' ' || b[i] == b'\t' || b[i] == b'\r' || b[i] == b'\n') {
+            i += 1;
+        }
+        i
+    }
+
+    fn parse_string(b: &[u8], mut i: usize) -> Result<(String, usize), String> {
+        if i >= b.len() || b[i] != b'"' {
+            return Err("expected string".into());
+        }
+        i += 1;
+        // Accumulate raw bytes and validate UTF-8 once at the end, so
+        // multi-byte characters survive intact.
+        let mut out: Vec<u8> = Vec::new();
+        while i < b.len() {
+            match b[i] {
+                b'"' => {
+                    let s = String::from_utf8(out).map_err(|_| "invalid utf-8 in string")?;
+                    return Ok((s, i + 1));
+                }
+                b'\\' => {
+                    i += 1;
+                    if i >= b.len() {
+                        break;
+                    }
+                    match b[i] {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'n' => out.push(b'\n'),
+                        b't' => out.push(b'\t'),
+                        b'r' => out.push(b'\r'),
+                        other => return Err(format!("unsupported escape \\{}", other as char)),
+                    }
+                    i += 1;
+                }
+                c => {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    /// Skips any well-formed JSON value (scalar, object, or array)
+    /// starting at `i`, returning the index just past it.
+    fn skip_value(b: &[u8], mut i: usize) -> Result<usize, String> {
+        match b.get(i) {
+            Some(b'"') => {
+                let (_, next) = parse_string(b, i)?;
+                Ok(next)
+            }
+            Some(b'{') | Some(b'[') => {
+                // Track nesting depth; strings inside may contain
+                // brackets, so skip them wholesale.
+                let mut depth = 0usize;
+                while i < b.len() {
+                    match b[i] {
+                        b'"' => {
+                            let (_, next) = parse_string(b, i)?;
+                            i = next;
+                        }
+                        b'{' | b'[' => {
+                            depth += 1;
+                            i += 1;
+                        }
+                        b'}' | b']' => {
+                            depth -= 1;
+                            i += 1;
+                            if depth == 0 {
+                                return Ok(i);
+                            }
+                        }
+                        _ => i += 1,
+                    }
+                }
+                Err("unterminated container".into())
+            }
+            Some(_) => {
+                // Number / true / false / null: runs to a delimiter.
+                while i < b.len() && !matches!(b[i], b',' | b'}' | b']') {
+                    i += 1;
+                }
+                Ok(i)
+            }
+            None => Err("expected value".into()),
+        }
+    }
+
+    fn parse_u64(b: &[u8], mut i: usize) -> Result<(u64, usize), String> {
+        let start = i;
+        let mut v: u64 = 0;
+        while i < b.len() && b[i].is_ascii_digit() {
+            v = v
+                .checked_mul(10)
+                .and_then(|v| v.checked_add((b[i] - b'0') as u64))
+                .ok_or("integer overflow")?;
+            i += 1;
+        }
+        if i == start {
+            return Err("expected integer".into());
+        }
+        Ok((v, i))
+    }
+
+    i = skip_ws(body, i);
+    if i >= body.len() || body[i] != b'{' {
+        return Err("expected object".into());
+    }
+    i = skip_ws(body, i + 1);
+    if i < body.len() && body[i] == b'}' {
+        // Empty object: fall through to the missing-field errors.
+    } else {
+        loop {
+            i = skip_ws(body, i);
+            let (key, next) = parse_string(body, i)?;
+            i = skip_ws(body, next);
+            if i >= body.len() || body[i] != b':' {
+                return Err("expected ':'".into());
+            }
+            i = skip_ws(body, i + 1);
+            match key.as_str() {
+                "app" => {
+                    let (v, next) = parse_string(body, i)?;
+                    app = Some(v);
+                    i = next;
+                }
+                "ts" => {
+                    let (v, next) = parse_u64(body, i)?;
+                    ts = Some(v);
+                    i = next;
+                }
+                _ => {
+                    i = skip_value(body, i)?;
+                }
+            }
+            i = skip_ws(body, i);
+            match body.get(i) {
+                Some(b',') => i += 1,
+                Some(b'}') => break,
+                _ => return Err("expected ',' or '}'".into()),
+            }
+        }
+    }
+
+    let app = app.ok_or("missing \"app\"")?;
+    if app.is_empty() {
+        return Err("empty \"app\"".into());
+    }
+    let ts = ts.ok_or("missing \"ts\"")?;
+    Ok(InvokeRequest { app, ts })
+}
+
+/// Short stable name of a decision branch, used in responses and
+/// snapshots.
+pub fn kind_str(kind: DecisionKind) -> &'static str {
+    match kind {
+        DecisionKind::Histogram => "histogram",
+        DecisionKind::StandardKeepAlive => "standard",
+        DecisionKind::Arima => "arima",
+        DecisionKind::Static => "static",
+    }
+}
+
+/// Inverse of [`kind_str`].
+pub fn kind_from_str(s: &str) -> Result<DecisionKind, String> {
+    match s {
+        "histogram" => Ok(DecisionKind::Histogram),
+        "standard" => Ok(DecisionKind::StandardKeepAlive),
+        "arima" => Ok(DecisionKind::Arima),
+        "static" => Ok(DecisionKind::Static),
+        other => Err(format!("unknown decision kind '{other}'")),
+    }
+}
+
+/// Renders the `/invoke` response body for a decision.
+pub fn render_decision(out: &mut Vec<u8>, d: &Decision) {
+    out.extend_from_slice(b"{\"verdict\":\"");
+    out.extend_from_slice(if d.cold { b"cold" } else { b"warm" });
+    out.extend_from_slice(b"\",\"kind\":\"");
+    out.extend_from_slice(kind_str(d.kind).as_bytes());
+    out.extend_from_slice(b"\",\"pre_warm_ms\":");
+    push_u64(out, d.windows.pre_warm_ms);
+    out.extend_from_slice(b",\"keep_alive_ms\":");
+    push_u64(out, d.windows.keep_alive_ms);
+    out.extend_from_slice(b",\"prewarm_load\":");
+    out.extend_from_slice(if d.prewarm_load { b"true" } else { b"false" });
+    out.push(b'}');
+}
+
+/// Appends the decimal representation of `v` without allocating.
+pub fn push_u64(out: &mut Vec<u8>, v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&buf[i..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitw_core::Windows;
+
+    #[test]
+    fn parse_roundtrip_and_field_order() {
+        let r = parse_invoke(br#"{"app":"app-000017","ts":86400000}"#).unwrap();
+        assert_eq!(r.app, "app-000017");
+        assert_eq!(r.ts, 86_400_000);
+        // Reversed field order and extra members are fine.
+        let r = parse_invoke(br#"{ "ts": 5 , "app" : "x" , "extra": "y" }"#).unwrap();
+        assert_eq!((r.app.as_str(), r.ts), ("x", 5));
+    }
+
+    #[test]
+    fn parse_preserves_utf8_app_ids() {
+        let r = parse_invoke("{\"app\":\"café-功能\",\"ts\":1}".as_bytes()).unwrap();
+        assert_eq!(r.app, "café-功能");
+    }
+
+    #[test]
+    fn parse_skips_nested_unknown_members() {
+        let r = parse_invoke(br#"{"meta":{"x":{"y":[1,2]},"s":"a}b"},"app":"a","ts":1}"#).unwrap();
+        assert_eq!((r.app.as_str(), r.ts), ("a", 1));
+        let r = parse_invoke(br#"{"app":"a","tags":[1,[2,3],"],"],"ts":7,"flag":true}"#).unwrap();
+        assert_eq!((r.app.as_str(), r.ts), ("a", 7));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_invoke(b"").is_err());
+        assert!(parse_invoke(b"[]").is_err());
+        assert!(parse_invoke(br#"{"app":"x"}"#).is_err());
+        assert!(parse_invoke(br#"{"ts":1}"#).is_err());
+        assert!(parse_invoke(br#"{"app":"","ts":1}"#).is_err());
+        assert!(parse_invoke(br#"{"app":"x","ts":-3}"#).is_err());
+        assert!(parse_invoke(br#"{"app":"x","ts":99999999999999999999999}"#).is_err());
+    }
+
+    #[test]
+    fn decision_renders_compact_json() {
+        let mut out = Vec::new();
+        render_decision(
+            &mut out,
+            &Decision {
+                cold: true,
+                prewarm_load: false,
+                kind: sitw_core::DecisionKind::StandardKeepAlive,
+                windows: Windows::keep_loaded(14_400_000),
+            },
+        );
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "{\"verdict\":\"cold\",\"kind\":\"standard\",\"pre_warm_ms\":0,\
+             \"keep_alive_ms\":14400000,\"prewarm_load\":false}"
+        );
+    }
+
+    #[test]
+    fn kind_str_roundtrip() {
+        use sitw_core::DecisionKind::*;
+        for k in [Histogram, StandardKeepAlive, Arima, Static] {
+            assert_eq!(kind_from_str(kind_str(k)).unwrap(), k);
+        }
+        assert!(kind_from_str("nope").is_err());
+    }
+
+    #[test]
+    fn push_u64_formats() {
+        let mut out = Vec::new();
+        push_u64(&mut out, 0);
+        out.push(b' ');
+        push_u64(&mut out, u64::MAX);
+        assert_eq!(out, b"0 18446744073709551615");
+    }
+}

@@ -1,0 +1,402 @@
+//! End-to-end tests of the serving daemon on a loopback port:
+//!
+//! * **Online/offline parity**: replaying a synthetic trace through
+//!   `POST /invoke` produces verdicts bit-for-bit identical to
+//!   `sitw_sim::verdict_trace` / `simulate_app` on the same streams.
+//! * **Snapshot/restore continuity**: a server restored mid-stream from
+//!   a snapshot continues the exact decision sequence.
+//! * **Protocol behaviour**: health, metrics, rejections, admin
+//!   shutdown.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use sitw_core::{HybridConfig, PolicyFactory};
+use sitw_serve::{ServeConfig, Server};
+use sitw_sim::{simulate_app, verdict_trace, PolicySpec};
+use sitw_trace::{app_invocations, build_population, PopulationConfig, TraceConfig, DAY_MS};
+
+/// Blocking single-request client: sends one request, reads one response.
+struct TestClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl TestClient {
+    fn connect(addr: SocketAddr) -> TestClient {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        TestClient {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, String) {
+        let req = format!(
+            "{method} {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(req.as_bytes()).expect("write");
+        // Read until a complete response (headers + content-length body).
+        loop {
+            if let Some(header_end) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                let header = String::from_utf8_lossy(&self.buf[..header_end]).into_owned();
+                let status: u16 = header
+                    .split_ascii_whitespace()
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("status");
+                let content_length: usize = header
+                    .lines()
+                    .find_map(|l| {
+                        let (name, value) = l.split_once(':')?;
+                        name.eq_ignore_ascii_case("content-length")
+                            .then(|| value.trim().parse().ok())?
+                    })
+                    .unwrap_or(0);
+                let total = header_end + 4 + content_length;
+                while self.buf.len() < total {
+                    self.fill();
+                }
+                let body = String::from_utf8_lossy(&self.buf[header_end + 4..total]).into_owned();
+                self.buf.drain(..total);
+                return (status, body);
+            }
+            self.fill();
+        }
+    }
+
+    fn fill(&mut self) {
+        let mut chunk = [0u8; 16 * 1024];
+        let n = self.stream.read(&mut chunk).expect("read");
+        assert!(n > 0, "server closed connection unexpectedly");
+        self.buf.extend_from_slice(&chunk[..n]);
+    }
+
+    fn invoke(&mut self, app: &str, ts: u64) -> (u16, String) {
+        self.request(
+            "POST",
+            "/invoke",
+            &format!("{{\"app\":\"{app}\",\"ts\":{ts}}}"),
+        )
+    }
+}
+
+/// The merged `(app, ts)` request stream and the per-app event lists it
+/// was built from.
+type Workload = (Vec<(String, u64)>, HashMap<String, Vec<u64>>);
+
+/// The test workload: ~40 apps, one day, enough events to exceed 1 000
+/// invocations, merged into one global time-ordered stream.
+fn workload() -> Workload {
+    let population = build_population(&PopulationConfig {
+        num_apps: 40,
+        seed: 1213,
+    });
+    let cfg = TraceConfig {
+        horizon_ms: DAY_MS,
+        cap_per_day: 400.0,
+        seed: 77,
+    };
+    let mut per_app: HashMap<String, Vec<u64>> = HashMap::new();
+    let mut merged: Vec<(String, u64)> = Vec::new();
+    for app in &population.apps {
+        let events = app_invocations(app, &cfg);
+        if events.is_empty() {
+            continue;
+        }
+        let name = app.id.to_string();
+        for &ts in &events {
+            merged.push((name.clone(), ts));
+        }
+        per_app.insert(name, events);
+    }
+    merged.sort_by(|a, b| (a.1, &a.0).cmp(&(b.1, &b.0)));
+    assert!(
+        merged.len() >= 1_000,
+        "workload too small: {} events",
+        merged.len()
+    );
+    (merged, per_app)
+}
+
+fn parse_verdict(body: &str) -> (bool, u64, u64) {
+    let cold = body.contains("\"verdict\":\"cold\"");
+    assert!(cold || body.contains("\"verdict\":\"warm\""), "{body}");
+    let field = |name: &str| -> u64 {
+        let key = format!("\"{name}\":");
+        let rest = &body[body
+            .find(&key)
+            .unwrap_or_else(|| panic!("{name} in {body}"))
+            + key.len()..];
+        rest.chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    (cold, field("pre_warm_ms"), field("keep_alive_ms"))
+}
+
+#[test]
+fn online_verdicts_match_offline_simulator_bit_for_bit() {
+    let (merged, per_app) = workload();
+    let spec = PolicySpec::Hybrid(HybridConfig::default());
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 3,
+        policy: spec,
+        ..ServeConfig::default()
+    })
+    .expect("server start");
+    let mut client = TestClient::connect(server.addr());
+
+    // Online replay, recording per-app verdict sequences.
+    let mut online: HashMap<String, Vec<(bool, u64, u64)>> = HashMap::new();
+    for (app, ts) in &merged {
+        let (status, body) = client.invoke(app, *ts);
+        assert_eq!(status, 200, "{body}");
+        online
+            .entry(app.clone())
+            .or_default()
+            .push(parse_verdict(&body));
+    }
+
+    // Offline: the same streams through the §5.1 simulator.
+    for (app, events) in &per_app {
+        let mut policy = HybridConfig::default().new_policy();
+        let offline = verdict_trace(events, &mut policy);
+        let online_app = &online[app];
+        assert_eq!(online_app.len(), offline.len(), "{app}");
+        for (i, (on, off)) in online_app.iter().zip(&offline).enumerate() {
+            assert_eq!(on.0, off.cold, "{app} invocation {i}: cold mismatch");
+            assert_eq!(
+                (on.1, on.2),
+                (off.windows.pre_warm_ms, off.windows.keep_alive_ms),
+                "{app} invocation {i}: window mismatch"
+            );
+        }
+        // And the aggregate matches simulate_app's counters exactly.
+        let mut policy = HybridConfig::default().new_policy();
+        let folded = simulate_app(events, DAY_MS, &mut policy);
+        let online_colds = online_app.iter().filter(|v| v.0).count() as u64;
+        assert_eq!(online_colds, folded.cold_starts, "{app}");
+    }
+
+    // Metrics agree with what was served.
+    let report = server.metrics();
+    assert_eq!(report.invocations(), merged.len() as u64);
+    assert_eq!(report.apps() as usize, per_app.len());
+    let offline_total_colds: u64 = per_app
+        .values()
+        .map(|events| {
+            let mut policy = HybridConfig::default().new_policy();
+            simulate_app(events, DAY_MS, &mut policy).cold_starts
+        })
+        .sum();
+    assert_eq!(report.cold(), offline_total_colds);
+
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn snapshot_restore_continues_decision_stream_exactly() {
+    let (merged, per_app) = workload();
+    let half = merged.len() / 2;
+    let spec = || PolicySpec::Hybrid(HybridConfig::default());
+
+    let dir = std::env::temp_dir().join(format!("sitw-serve-restore-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap_path = dir.join("state.snapshot");
+
+    // Phase 1: first half against server A; snapshot on shutdown.
+    let server_a = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 2,
+        policy: spec(),
+        snapshot_path: Some(snap_path.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = TestClient::connect(server_a.addr());
+    for (app, ts) in &merged[..half] {
+        let (status, _) = client.invoke(app, *ts);
+        assert_eq!(status, 200);
+    }
+    drop(client);
+    let final_state = server_a.shutdown().unwrap();
+    assert!(snap_path.exists());
+    assert!(!final_state.apps.is_empty());
+
+    // Phase 2: second half against server B, restored from the file —
+    // with a *different* shard count to prove state is app-keyed.
+    let server_b = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 4,
+        policy: spec(),
+        restore_path: Some(snap_path.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = TestClient::connect(server_b.addr());
+    let mut online_tail: HashMap<String, Vec<(bool, u64, u64)>> = HashMap::new();
+    for (app, ts) in &merged[half..] {
+        let (status, body) = client.invoke(app, *ts);
+        assert_eq!(status, 200, "{body}");
+        online_tail
+            .entry(app.clone())
+            .or_default()
+            .push(parse_verdict(&body));
+    }
+    drop(client);
+    server_b.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // The tail verdicts must equal the tail of an uninterrupted offline
+    // replay: restore is exact, not approximate.
+    let tail_counts: HashMap<&String, usize> =
+        online_tail.iter().map(|(k, v)| (k, v.len())).collect();
+    for (app, events) in &per_app {
+        let Some(&tail_n) = tail_counts.get(app) else {
+            continue;
+        };
+        let mut policy = HybridConfig::default().new_policy();
+        let offline = verdict_trace(events, &mut policy);
+        let offline_tail = &offline[events.len() - tail_n..];
+        for (i, (on, off)) in online_tail[app].iter().zip(offline_tail).enumerate() {
+            assert_eq!(on.0, off.cold, "{app} tail invocation {i}");
+            assert_eq!(
+                (on.1, on.2),
+                (off.windows.pre_warm_ms, off.windows.keep_alive_ms),
+                "{app} tail invocation {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn health_metrics_and_rejections() {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 2,
+        policy: PolicySpec::fixed_minutes(10),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = TestClient::connect(server.addr());
+
+    let (status, body) = client.request("GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""));
+    assert!(body.contains("\"shards\":2"));
+    assert!(body.contains("fixed-10min"));
+
+    // Malformed body and unknown path.
+    let (status, _) = client.request("POST", "/invoke", "not json");
+    assert_eq!(status, 400);
+    let (status, _) = client.request("GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = client.request("DELETE", "/metrics", "");
+    assert_eq!(status, 405);
+
+    // Out-of-order timestamps are a 409 with the last accepted ts.
+    assert_eq!(client.invoke("a", 1_000_000).0, 200);
+    let (status, body) = client.invoke("a", 500_000);
+    assert_eq!(status, 409);
+    assert!(body.contains("\"last_ts\":1000000"), "{body}");
+
+    // Metrics text includes per-shard counters and latency quantiles.
+    let (status, text) = client.request("GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(text.contains("sitw_serve_invocations_total{shard=\"0\"}"));
+    assert!(text.contains("sitw_serve_out_of_order_total"));
+    assert!(text.contains("quantile=\"0.99\""));
+
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn admin_shutdown_stops_the_server() {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 1,
+        policy: PolicySpec::fixed_minutes(10),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = TestClient::connect(server.addr());
+    assert_eq!(client.invoke("a", 0).0, 200);
+    let (status, body) = client.request("POST", "/admin/shutdown", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("stopping"));
+    server.wait(); // Returns because the flag is now set.
+    let snapshot = server.shutdown().unwrap();
+    assert_eq!(snapshot.apps.len(), 1);
+    assert_eq!(snapshot.apps[0].app, "a");
+}
+
+#[test]
+fn pipelined_requests_get_ordered_responses() {
+    // Send a burst of pipelined requests on one connection and check
+    // responses come back in order (sequence numbers make cold/warm
+    // positions deterministic: first "p" invocation cold, rest warm).
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 4,
+        policy: PolicySpec::fixed_minutes(10),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let n = 200u64;
+    let mut batch = Vec::new();
+    for i in 0..n {
+        let body = format!("{{\"app\":\"p\",\"ts\":{}}}", i * 1_000);
+        batch.extend_from_slice(
+            format!(
+                "POST /invoke HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        );
+    }
+    stream.write_all(&batch).unwrap();
+
+    let mut responses = Vec::new();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    while responses.len() < n as usize {
+        let read = stream.read(&mut chunk).unwrap();
+        assert!(read > 0);
+        buf.extend_from_slice(&chunk[..read]);
+        // Split out complete responses.
+        while let Some(header_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let header = String::from_utf8_lossy(&buf[..header_end]).into_owned();
+            let content_length: usize = header
+                .lines()
+                .find_map(|l| {
+                    let (name, value) = l.split_once(':')?;
+                    name.eq_ignore_ascii_case("content-length")
+                        .then(|| value.trim().parse().ok())?
+                })
+                .unwrap_or(0);
+            let total = header_end + 4 + content_length;
+            if buf.len() < total {
+                break;
+            }
+            responses.push(String::from_utf8_lossy(&buf[header_end + 4..total]).into_owned());
+            buf.drain(..total);
+        }
+    }
+    assert!(responses[0].contains("\"verdict\":\"cold\""));
+    for (i, r) in responses[1..].iter().enumerate() {
+        assert!(
+            r.contains("\"verdict\":\"warm\""),
+            "response {}: {r}",
+            i + 1
+        );
+    }
+    server.shutdown().unwrap();
+}

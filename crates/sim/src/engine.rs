@@ -195,37 +195,79 @@ pub fn simulate_app_with_exec<P: AppPolicy + ?Sized>(
     res
 }
 
-/// Classifies one idle gap; returns `(cold, wasted_ms)` and updates load
-/// counters for pre-warm loads.
+/// Classifies one idle gap via the policy-layer single source of truth
+/// ([`sitw_core::Windows::classify_gap`]); returns `(cold, wasted_ms)`
+/// and updates load counters for pre-warm loads.
 fn classify_gap(
     windows: &sitw_core::Windows,
     it: TimeMs,
     res: &mut AppSimResult,
 ) -> (bool, TimeMs) {
-    // A zero-length gap means the next invocation arrives while the
-    // execution is (conceptually) still finishing: always warm.
-    if it == 0 {
-        return (false, 0);
-    }
-    if windows.pre_warm_ms == 0 {
-        if it <= windows.keep_alive_ms {
-            (false, it)
-        } else {
-            (true, windows.keep_alive_ms)
-        }
-    } else if it < windows.pre_warm_ms {
-        // Invocation before the pre-warm: cold; the scheduled load is
-        // cancelled and no memory was held.
-        (true, 0)
-    } else {
+    let outcome = windows.classify_gap(it);
+    if outcome.prewarm_load {
         res.prewarm_loads += 1;
         res.loads += 1;
-        if it <= windows.pre_warm_ms.saturating_add(windows.keep_alive_ms) {
-            (false, it - windows.pre_warm_ms)
-        } else {
-            (true, windows.keep_alive_ms)
-        }
     }
+    (outcome.cold, outcome.wasted_ms)
+}
+
+/// Per-invocation outcome of an offline replay — exactly the record the
+/// online serving daemon (`sitw_serve`) emits for a `POST /invoke`, so
+/// online and offline runs can be compared element by element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvocationVerdict {
+    /// Invocation timestamp.
+    pub ts: TimeMs,
+    /// The invocation found no loaded image.
+    pub cold: bool,
+    /// A pre-warm load happened in the gap that ended here.
+    pub prewarm_load: bool,
+    /// Which policy branch produced the windows governing the *next* gap.
+    pub kind: DecisionKind,
+    /// The windows the policy emitted after this invocation.
+    pub windows: sitw_core::Windows,
+}
+
+/// Replays one application's timestamps and returns the per-invocation
+/// verdict stream.
+///
+/// Classification is identical to [`simulate_app`] (both run through
+/// [`sitw_core::Windows::classify_gap`]); this variant records each
+/// invocation instead of folding counters, and skips the trailing
+/// horizon accounting (which has no per-invocation analogue).
+pub fn verdict_trace<P: AppPolicy + ?Sized>(
+    events: &[TimeMs],
+    policy: &mut P,
+) -> Vec<InvocationVerdict> {
+    let mut out = Vec::with_capacity(events.len());
+    if events.is_empty() {
+        return out;
+    }
+    debug_assert!(events.windows(2).all(|w| w[0] <= w[1]), "events sorted");
+
+    let mut windows = policy.on_invocation(None);
+    out.push(InvocationVerdict {
+        ts: events[0],
+        cold: true,
+        prewarm_load: false,
+        kind: policy.last_decision(),
+        windows,
+    });
+    let mut prev_end = events[0];
+
+    for &t in &events[1..] {
+        let outcome = windows.classify_gap(t - prev_end);
+        windows = policy.on_invocation(Some(t - prev_end));
+        out.push(InvocationVerdict {
+            ts: t,
+            cold: outcome.cold,
+            prewarm_load: outcome.prewarm_load,
+            kind: policy.last_decision(),
+            windows,
+        });
+        prev_end = t;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -468,6 +510,41 @@ mod tests {
     fn with_exec_rejects_length_mismatch() {
         let mut p = FixedKeepAlive::minutes(10);
         let _ = simulate_app_with_exec(&[0, 1], &[0], 10, &mut p);
+    }
+
+    #[test]
+    fn verdict_trace_matches_simulate_app_counters() {
+        // Irregular gaps exercising warm, cold, and pre-warm branches of
+        // the hybrid policy; the folded counters of simulate_app must
+        // equal the sums over verdict_trace's per-invocation records.
+        let events: Vec<TimeMs> = (0..300)
+            .map(|i| (i * i % 811) as TimeMs * MIN)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let horizon = *events.last().unwrap();
+
+        let mut a = HybridConfig::default().new_policy();
+        let folded = simulate_app(&events, horizon, &mut a);
+        let mut b = HybridConfig::default().new_policy();
+        let verdicts = verdict_trace(&events, &mut b);
+
+        assert_eq!(verdicts.len() as u64, folded.invocations);
+        assert_eq!(
+            verdicts.iter().filter(|v| v.cold).count() as u64,
+            folded.cold_starts
+        );
+        // Trailing-horizon pre-warm loads have no per-invocation record,
+        // so the verdict sum can be at most one short.
+        let prewarms = verdicts.iter().filter(|v| v.prewarm_load).count() as u64;
+        assert!(folded.prewarm_loads - prewarms <= 1);
+        assert!(verdicts[0].cold, "first invocation is cold by definition");
+    }
+
+    #[test]
+    fn verdict_trace_empty_stream() {
+        let mut p = FixedKeepAlive::minutes(10);
+        assert!(verdict_trace(&[], &mut p).is_empty());
     }
 
     #[test]

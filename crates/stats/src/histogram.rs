@@ -75,6 +75,30 @@ impl RangeHistogram {
         }
     }
 
+    /// Reconstructs a histogram from raw counts (the inverse of reading
+    /// [`RangeHistogram::bins`] and [`RangeHistogram::oob_count`]), used
+    /// by snapshot/restore paths. The derived fields (in-bounds total,
+    /// sum of squared counts) are recomputed, so a round trip through
+    /// `from_parts(h.bin_width(), h.bins().to_vec(), h.oob_count())`
+    /// yields a histogram equal to `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is empty or `bin_width` is zero.
+    pub fn from_parts(bin_width: u64, bins: Vec<u32>, oob: u64) -> Self {
+        assert!(!bins.is_empty(), "histogram needs at least one bin");
+        assert!(bin_width > 0, "bin width must be positive");
+        let in_bounds = bins.iter().map(|&c| c as u64).sum();
+        let sumsq = bins.iter().map(|&c| (c as f64) * (c as f64)).sum();
+        Self {
+            bin_width,
+            bins,
+            in_bounds,
+            oob,
+            sumsq,
+        }
+    }
+
     /// Bin width in value units.
     pub fn bin_width(&self) -> u64 {
         self.bin_width
@@ -457,6 +481,19 @@ mod tests {
             / n;
         let expect = var.sqrt() / mean;
         assert!((h.bin_count_cv() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut h = RangeHistogram::new(32, 2);
+        for v in [0u64, 3, 3, 17, 63, 64, 200] {
+            h.record(v);
+        }
+        let rebuilt = RangeHistogram::from_parts(h.bin_width(), h.bins().to_vec(), h.oob_count());
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.bin_count_cv(), h.bin_count_cv());
+        assert_eq!(rebuilt.head_value(5.0), h.head_value(5.0));
+        assert_eq!(rebuilt.tail_value(99.0), h.tail_value(99.0));
     }
 
     #[test]

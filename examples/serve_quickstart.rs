@@ -1,0 +1,69 @@
+//! The serving subsystem end to end, in process: start the sharded
+//! decision daemon, replay a small synthetic workload through it with
+//! the open-loop load generator, scrape `/metrics`, and shut down
+//! gracefully.
+//!
+//! Run with: `cargo run --release --example serve_quickstart`
+//!
+//! The same flow works across processes with the binaries:
+//!
+//! ```text
+//! cargo run --release --bin sitw-serve    -- --shards 4 --policy hybrid
+//! cargo run --release --bin sitw-loadgen  -- --addr 127.0.0.1:7071 --max-speed
+//! curl -s  http://127.0.0.1:7071/metrics
+//! curl -XPOST http://127.0.0.1:7071/admin/shutdown
+//! ```
+
+use serverless_in_the_wild::prelude::*;
+
+fn main() {
+    // 1. The daemon: four shard threads, the paper's default policy.
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 4,
+        policy: PolicySpec::Hybrid(HybridConfig::default()),
+        ..ServeConfig::default()
+    })
+    .expect("server start");
+    println!("daemon on {} (4 shards, hybrid policy)", server.addr());
+
+    // 2. Replay one synthetic day at maximum speed.
+    let report = run_loadgen(
+        server.addr(),
+        &LoadGenConfig {
+            apps: 300,
+            horizon_ms: DAY_MS,
+            cap_per_day: 500.0,
+            connections: 2,
+            window: 64,
+            max_events: 50_000,
+            ..LoadGenConfig::default()
+        },
+    )
+    .expect("loadgen");
+    println!("{}", report.summary());
+
+    // 3. What the server saw, per shard.
+    let metrics = server.metrics();
+    for shard in &metrics.shards {
+        let p99 = shard
+            .latency_us
+            .iter()
+            .find(|(q, _)| *q == 0.99)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0);
+        println!(
+            "shard {}: {} apps, {} invocations, {} cold, decision p99 {:.1} µs",
+            shard.shard, shard.apps, shard.invocations, shard.cold, p99
+        );
+    }
+    assert_eq!(metrics.invocations(), report.ok);
+
+    // 4. Graceful shutdown returns the final state.
+    let snapshot = server.shutdown().expect("shutdown");
+    println!(
+        "stopped; final state covers {} apps under policy {}",
+        snapshot.apps.len(),
+        snapshot.policy_label
+    );
+}

@@ -13,7 +13,10 @@
 //!   **hybrid histogram policy**, and the §6 production-style manager;
 //! * [`sim`] — the §5.1 cold-start simulator and policy sweep driver;
 //! * [`platform`] — the OpenWhisk-model discrete-event platform for the
-//!   §5.3 experiments.
+//!   §5.3 experiments;
+//! * [`serve`] — the online decision service: a sharded HTTP/1.1 daemon
+//!   serving the policy engine the way §6 deploys it, plus a
+//!   trace-driven load generator.
 //!
 //! # Quickstart
 //!
@@ -41,6 +44,7 @@
 pub use sitw_arima as arima;
 pub use sitw_core as core;
 pub use sitw_platform as platform;
+pub use sitw_serve as serve;
 pub use sitw_sim as sim;
 pub use sitw_stats as stats;
 pub use sitw_trace as trace;
@@ -52,9 +56,10 @@ pub mod prelude {
         PolicyFactory, ProductionConfig, ProductionManager, Windows,
     };
     pub use sitw_platform::{run_platform, PlatformConfig, PlatformReport};
+    pub use sitw_serve::{run_loadgen, LoadGenConfig, LoadGenReport, ServeConfig, Server};
     pub use sitw_sim::{
-        pareto_points, run_sweep, simulate_app, simulate_app_with_exec, AppSimResult,
-        PolicyAggregate, PolicySpec,
+        pareto_points, run_sweep, simulate_app, simulate_app_with_exec, verdict_trace,
+        AppSimResult, InvocationVerdict, PolicyAggregate, PolicySpec,
     };
     pub use sitw_stats::{Ecdf, RangeHistogram, Welford};
     pub use sitw_trace::{
