@@ -4,7 +4,7 @@
 //! 4-shard daemon in release mode.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sitw_core::HybridConfig;
+use sitw_core::{HybridConfig, ProductionConfig};
 use sitw_serve::{run_loadgen, LoadGenConfig, ServeConfig, Server};
 use sitw_sim::PolicySpec;
 use sitw_trace::DAY_MS;
@@ -28,25 +28,32 @@ fn bench_decisions_per_sec(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve_throughput");
     group.throughput(Throughput::Elements(EVENTS as u64));
     group.sample_size(10);
+    let run_once = |shards: usize, policy: PolicySpec| {
+        // A fresh server per iteration: policy state is cumulative and
+        // timestamps must stay monotone.
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            shards,
+            policy,
+            ..ServeConfig::default()
+        })
+        .expect("server start");
+        let report = run_loadgen(server.addr(), &loadgen_config()).expect("loadgen");
+        assert_eq!(report.ok, EVENTS as u64, "lost responses");
+        server.shutdown().expect("shutdown");
+        report.throughput
+    };
     for shards in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
-            b.iter(|| {
-                // A fresh server per iteration: policy state is
-                // cumulative and timestamps must stay monotone.
-                let server = Server::start(ServeConfig {
-                    addr: "127.0.0.1:0".into(),
-                    shards,
-                    policy: PolicySpec::Hybrid(HybridConfig::default()),
-                    ..ServeConfig::default()
-                })
-                .expect("server start");
-                let report = run_loadgen(server.addr(), &loadgen_config()).expect("loadgen");
-                assert_eq!(report.ok, EVENTS as u64, "lost responses");
-                server.shutdown().expect("shutdown");
-                report.throughput
-            })
+            b.iter(|| run_once(shards, PolicySpec::Hybrid(HybridConfig::default())))
         });
     }
+    // The §6 production-manager mode on the 4-shard shape, so its
+    // decision path (daily rotation + weighted aggregation per invoke)
+    // is tracked next to the hybrid baseline.
+    group.bench_function(BenchmarkId::new("production", 4usize), |b| {
+        b.iter(|| run_once(4, PolicySpec::Production(ProductionConfig::default())))
+    });
     group.finish();
 }
 

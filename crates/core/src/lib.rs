@@ -51,4 +51,7 @@ pub use hybrid::{DecisionCounts, HybridConfig, HybridPolicy, HybridSnapshot};
 pub use policy::{
     AppPolicy, DecisionKind, DurationMs, GapOutcome, PolicyFactory, Windows, MINUTE_MS,
 };
-pub use production::{ProductionConfig, ProductionManager, RecencyWeighting};
+pub use production::{
+    AppKey, DayHistogram, PrewarmEvent, ProductionAppState, ProductionConfig, ProductionManager,
+    ProductionPolicy, RecencyWeighting,
+};

@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use sitw_stats::histogram::WeightedBins;
 use sitw_stats::RangeHistogram;
 
-use crate::policy::{DurationMs, Windows, MINUTE_MS};
+use crate::policy::{AppPolicy, DecisionKind, DurationMs, PolicyFactory, Windows, MINUTE_MS};
 
 /// Weighting applied across a window of daily histograms.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -159,6 +159,12 @@ impl ProductionManager {
         let mut agg = WeightedBins::new(self.config.range_minutes, 1);
         for (day, hist) in &entry.days {
             let age = today.saturating_sub(*day);
+            // Expiry normally happens inside `record_idle_time`, but an
+            // app that has been idle past the retention window still
+            // holds its stale days — they must not leak into decisions.
+            if age >= self.config.retention_days {
+                continue;
+            }
             agg.add_scaled(hist, self.config.weighting.weight(age));
         }
         (!agg.is_empty()).then_some(agg)
@@ -197,13 +203,18 @@ impl ProductionManager {
 
     /// Advances the backup clock; returns how many (hourly) backups were
     /// taken. Each backup serializes every app's current day histogram.
+    ///
+    /// O(1) in the elapsed time: `now_ms` reaches this method from
+    /// client-supplied invocation timestamps on the serving hot path, so
+    /// a far-future value must not translate into a long loop.
     pub fn tick_backup(&mut self, now_ms: DurationMs) -> u64 {
-        let mut taken = 0;
-        while now_ms.saturating_sub(self.last_backup_ms) >= self.config.backup_interval_ms {
-            self.last_backup_ms += self.config.backup_interval_ms;
-            self.backups_taken += 1;
-            taken += 1;
+        let interval = self.config.backup_interval_ms;
+        if interval == 0 {
+            return 0;
         }
+        let taken = now_ms.saturating_sub(self.last_backup_ms) / interval;
+        self.last_backup_ms += taken * interval;
+        self.backups_taken += taken;
         taken
     }
 
@@ -219,6 +230,198 @@ impl ProductionManager {
             .get(&app)
             .map(|e| e.days.iter().map(|(_, h)| h.memory_footprint_bytes()).sum())
             .unwrap_or(0)
+    }
+
+    /// The manager's configuration.
+    pub fn config(&self) -> &ProductionConfig {
+        &self.config
+    }
+
+    /// Timestamp up to which backups have been accounted (see
+    /// [`ProductionManager::tick_backup`]).
+    pub fn last_backup_ms(&self) -> DurationMs {
+        self.last_backup_ms
+    }
+
+    /// Seeds the backup clock, e.g. when restoring a manager mid-stream
+    /// from a snapshot: without it the first `tick_backup` after restore
+    /// would "take" one backup per hour of downtime.
+    pub fn set_last_backup_ms(&mut self, at_ms: DurationMs) {
+        self.last_backup_ms = at_ms;
+    }
+
+    /// The day-aware decision entry point: observes one invocation at
+    /// absolute time `now_ms` and returns the windows governing the gap
+    /// until the app's next invocation, plus which branch produced them.
+    ///
+    /// `idle_ms` is the idle time that just *ended* (`None` for the
+    /// app's first observed invocation, which records nothing). The
+    /// weighted aggregate over the retained daily histograms drives the
+    /// decision ([`DecisionKind::Histogram`]); with no usable aggregate
+    /// the conservative standard keep-alive spans the histogram range
+    /// ([`DecisionKind::StandardKeepAlive`]). The backup clock advances
+    /// as a side effect, mirroring the hourly cadence of §6.
+    ///
+    /// This is the single decision function both the offline replay
+    /// (`sitw_sim`) and the serving daemon (`sitw-serve`) call, which is
+    /// what makes their verdict streams bit-for-bit comparable.
+    pub fn on_invocation(
+        &mut self,
+        app: AppKey,
+        now_ms: DurationMs,
+        idle_ms: Option<DurationMs>,
+    ) -> (Windows, DecisionKind) {
+        if let Some(idle) = idle_ms {
+            self.record_idle_time(app, now_ms, idle);
+        }
+        self.tick_backup(now_ms);
+        match self.windows(app, now_ms) {
+            Some(w) => (w, DecisionKind::Histogram),
+            None => (
+                Windows::keep_loaded(self.config.range_minutes as DurationMs * MINUTE_MS),
+                DecisionKind::StandardKeepAlive,
+            ),
+        }
+    }
+
+    /// Exports one app's retained daily histograms (the unit a §6 backup
+    /// persists); `None` when the app is unknown.
+    pub fn export_app(&self, app: AppKey) -> Option<ProductionAppState> {
+        let entry = self.apps.get(&app)?;
+        Some(ProductionAppState {
+            days: entry
+                .days
+                .iter()
+                .map(|(day, hist)| DayHistogram {
+                    day: *day,
+                    bins: hist.bins().to_vec(),
+                    oob: hist.oob_count(),
+                })
+                .collect(),
+        })
+    }
+
+    /// Imports one app's daily histograms, replacing any existing state
+    /// for that app. The inverse of [`ProductionManager::export_app`]:
+    /// an exported-then-imported app produces bit-identical decisions.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a day's bin count does not match the configured range
+    /// or the days are not strictly ordered oldest-first.
+    pub fn import_app(&mut self, app: AppKey, state: ProductionAppState) -> Result<(), String> {
+        let mut days = Vec::with_capacity(state.days.len());
+        let mut prev_day = None;
+        for d in state.days {
+            if d.bins.len() != self.config.range_minutes {
+                return Err(format!(
+                    "day {} has {} bins but config expects {}",
+                    d.day,
+                    d.bins.len(),
+                    self.config.range_minutes
+                ));
+            }
+            if prev_day.is_some_and(|p| d.day <= p) {
+                return Err(format!("day {} out of order", d.day));
+            }
+            prev_day = Some(d.day);
+            days.push((d.day, RangeHistogram::from_parts(1, d.bins, d.oob)));
+        }
+        self.apps.insert(app, AppHistograms { days });
+        Ok(())
+    }
+}
+
+/// One retained daily histogram of an app, in exportable form.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DayHistogram {
+    /// Day index (`now_ms / DAY_MS` at recording time).
+    pub day: u64,
+    /// Raw bin counts (one per minute of the configured range).
+    pub bins: Vec<u32>,
+    /// Idle times at or beyond the histogram range.
+    pub oob: u64,
+}
+
+/// Complete exportable per-app state of a [`ProductionManager`]: the
+/// retained daily histograms, oldest first.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProductionAppState {
+    /// `(day, histogram)` exports, oldest first.
+    pub days: Vec<DayHistogram>,
+}
+
+/// A single-application view of the production scheme, for replaying one
+/// app's idle-time stream through the standard [`AppPolicy`] interface
+/// (simulation sweeps treat every policy as a per-app state machine).
+///
+/// Absolute time — which the daily rotation needs and `AppPolicy` does
+/// not carry — is reconstructed by accumulating idle times from 0, so a
+/// sweep sees the same *relative* day boundaries for every app. Replays
+/// that must match the serving daemon bit-for-bit use
+/// [`ProductionManager::on_invocation`] with real timestamps instead
+/// (`sitw_sim::production_verdict_trace`).
+#[derive(Debug)]
+pub struct ProductionPolicy {
+    manager: ProductionManager,
+    now_ms: DurationMs,
+    last_decision: DecisionKind,
+}
+
+/// The key the adapter's single app uses inside its private manager.
+const SOLE_APP: AppKey = 0;
+
+impl ProductionPolicy {
+    /// Creates the single-app adapter.
+    pub fn new(config: ProductionConfig) -> Self {
+        Self {
+            manager: ProductionManager::new(config),
+            now_ms: 0,
+            last_decision: DecisionKind::StandardKeepAlive,
+        }
+    }
+
+    /// The wrapped manager (e.g. for backup accounting in reports).
+    pub fn manager(&self) -> &ProductionManager {
+        &self.manager
+    }
+}
+
+impl AppPolicy for ProductionPolicy {
+    fn on_invocation(&mut self, idle_time_ms: Option<DurationMs>) -> Windows {
+        self.now_ms = self.now_ms.saturating_add(idle_time_ms.unwrap_or(0));
+        let (windows, kind) = self
+            .manager
+            .on_invocation(SOLE_APP, self.now_ms, idle_time_ms);
+        self.last_decision = kind;
+        windows
+    }
+
+    fn last_decision(&self) -> DecisionKind {
+        self.last_decision
+    }
+
+    fn name(&self) -> String {
+        self.manager.config.label()
+    }
+}
+
+impl PolicyFactory for ProductionConfig {
+    type Policy = ProductionPolicy;
+
+    fn new_policy(&self) -> ProductionPolicy {
+        ProductionPolicy::new(*self)
+    }
+
+    fn label(&self) -> String {
+        let weight = match self.weighting {
+            RecencyWeighting::Uniform => "uni".to_owned(),
+            RecencyWeighting::Exponential { decay } => format!("exp{decay}"),
+        };
+        format!(
+            "production-{}m-{}d[{},{}]{weight}",
+            self.range_minutes, self.retention_days, self.head_percentile, self.tail_percentile,
+        )
     }
 }
 
@@ -310,6 +513,21 @@ mod tests {
         assert_eq!(m.tick_backup(3_600_000), 1);
         assert_eq!(m.tick_backup(4 * 3_600_000), 3);
         assert_eq!(m.backups_taken(), 4);
+        // The clock lands on interval boundaries, not on `now_ms`.
+        assert_eq!(m.last_backup_ms(), 4 * 3_600_000);
+        assert_eq!(m.tick_backup(5 * 3_600_000 - 1), 0);
+    }
+
+    #[test]
+    fn far_future_timestamp_ticks_backups_in_constant_time() {
+        // Regression: `ts` is client-controlled on the serving path; a
+        // u64::MAX timestamp must not loop once per elapsed hour.
+        let mut m = ProductionManager::new(ProductionConfig::default());
+        let taken = m.tick_backup(DurationMs::MAX);
+        assert_eq!(taken, DurationMs::MAX / 3_600_000);
+        assert_eq!(m.backups_taken(), taken);
+        let (_, kind) = m.on_invocation(1, DurationMs::MAX, Some(10 * MINUTE_MS));
+        assert_eq!(kind, DecisionKind::Histogram);
     }
 
     #[test]
@@ -319,6 +537,140 @@ mod tests {
         m.record_idle_time(2, DAY, MINUTE_MS);
         assert_eq!(m.persisted_bytes(2), 2 * 960);
         assert_eq!(m.persisted_bytes(42), 0);
+    }
+
+    #[test]
+    fn aggregate_drops_expired_days_of_idle_apps() {
+        // Regression: expiry used to run only inside `record_idle_time`,
+        // so an app idle past the retention window kept serving windows
+        // from data older than two weeks.
+        let mut m = ProductionManager::new(ProductionConfig::default());
+        for _ in 0..50 {
+            m.record_idle_time(1, 0, 10 * MINUTE_MS);
+        }
+        // Within retention the data is used...
+        assert!(m.aggregate(1, 13 * DAY).is_some());
+        assert!(m.windows(1, 13 * DAY).is_some());
+        // ...but 14+ days later (no records in between) it has expired.
+        assert!(
+            m.aggregate(1, 14 * DAY).is_none(),
+            "day-0 data is 14 days old"
+        );
+        assert!(m.windows(1, 20 * DAY).is_none());
+        assert!(m.schedule_prewarm(1, 20 * DAY).is_none());
+        // A conservative default is served instead of a stale histogram.
+        let (w, kind) = m.on_invocation(1, 20 * DAY, None);
+        assert_eq!(kind, DecisionKind::StandardKeepAlive);
+        assert_eq!(w, Windows::keep_loaded(240 * MINUTE_MS));
+    }
+
+    #[test]
+    fn on_invocation_matches_windows_and_falls_back() {
+        let mut m = ProductionManager::new(ProductionConfig::default());
+        // First invocation: nothing recorded, conservative default.
+        let (w, kind) = m.on_invocation(9, 0, None);
+        assert_eq!(kind, DecisionKind::StandardKeepAlive);
+        assert_eq!(w, Windows::keep_loaded(240 * MINUTE_MS));
+        // A concentrated pattern flips to the (weighted) histogram.
+        let mut last = (w, kind);
+        for i in 1..=30u64 {
+            last = m.on_invocation(9, i * 10 * MINUTE_MS, Some(10 * MINUTE_MS));
+        }
+        assert_eq!(last.1, DecisionKind::Histogram);
+        assert_eq!(Some(last.0), m.windows(9, 300 * MINUTE_MS));
+        // Backups ticked as a side effect of the advancing clock.
+        assert_eq!(m.backups_taken(), 5);
+    }
+
+    #[test]
+    fn export_import_round_trips_decisions() {
+        let cfg = ProductionConfig::default();
+        let mut a = ProductionManager::new(cfg);
+        for day in 0..3u64 {
+            for k in 0..20u64 {
+                a.record_idle_time(4, day * DAY + k * MINUTE_MS, (10 + day) * MINUTE_MS);
+            }
+        }
+        a.record_idle_time(4, 3 * DAY, 400 * MINUTE_MS); // An OOB idle.
+        let state = a.export_app(4).unwrap();
+        assert_eq!(state.days.len(), 4);
+        assert_eq!(state.days.last().unwrap().oob, 1);
+
+        let mut b = ProductionManager::new(cfg);
+        b.import_app(77, state).unwrap();
+        for now in [3 * DAY, 3 * DAY + 5 * MINUTE_MS, 10 * DAY] {
+            assert_eq!(a.windows(4, now), b.windows(77, now), "at {now}");
+        }
+        assert_eq!(a.persisted_bytes(4), b.persisted_bytes(77));
+        assert!(b.export_app(999).is_none());
+    }
+
+    #[test]
+    fn import_rejects_bad_geometry_and_order() {
+        let mut m = ProductionManager::new(ProductionConfig::default());
+        let bad_bins = ProductionAppState {
+            days: vec![DayHistogram {
+                day: 0,
+                bins: vec![0; 10],
+                oob: 0,
+            }],
+        };
+        assert!(m.import_app(1, bad_bins).is_err());
+        let out_of_order = ProductionAppState {
+            days: vec![
+                DayHistogram {
+                    day: 5,
+                    bins: vec![0; 240],
+                    oob: 0,
+                },
+                DayHistogram {
+                    day: 4,
+                    bins: vec![0; 240],
+                    oob: 1,
+                },
+            ],
+        };
+        assert!(m.import_app(1, out_of_order).is_err());
+    }
+
+    #[test]
+    fn backup_clock_can_be_seeded() {
+        let mut m = ProductionManager::new(ProductionConfig::default());
+        m.set_last_backup_ms(10 * 3_600_000);
+        assert_eq!(m.last_backup_ms(), 10 * 3_600_000);
+        // No catch-up backups for the seeded-away interval.
+        assert_eq!(m.tick_backup(10 * 3_600_000 + 1), 0);
+        assert_eq!(m.tick_backup(11 * 3_600_000), 1);
+    }
+
+    #[test]
+    fn production_policy_adapter_replays_relative_time() {
+        let mut p = ProductionConfig::default().new_policy();
+        let w = p.on_invocation(None);
+        assert_eq!(p.last_decision(), DecisionKind::StandardKeepAlive);
+        assert_eq!(w, Windows::keep_loaded(240 * MINUTE_MS));
+        let mut last = w;
+        for _ in 0..30 {
+            last = p.on_invocation(Some(10 * MINUTE_MS));
+        }
+        assert_eq!(p.last_decision(), DecisionKind::Histogram);
+        assert!(last.is_warm_at(10 * MINUTE_MS));
+        // The adapter's clock accumulated 300 minutes of idle time.
+        assert_eq!(p.manager().backups_taken(), 5);
+    }
+
+    #[test]
+    fn production_label_encodes_configuration() {
+        assert_eq!(
+            ProductionConfig::default().label(),
+            "production-240m-14d[5,99]exp0.85"
+        );
+        let uni = ProductionConfig {
+            weighting: RecencyWeighting::Uniform,
+            retention_days: 7,
+            ..ProductionConfig::default()
+        };
+        assert_eq!(uni.label(), "production-240m-7d[5,99]uni");
     }
 
     #[test]

@@ -6,7 +6,12 @@
 //! ```
 //!
 //! Policies: `hybrid` (paper defaults), `hybrid:<hours>h` (histogram
-//! range), `fixed:<minutes>` (fixed keep-alive), `no-unloading`.
+//! range), `fixed:<minutes>` (fixed keep-alive), `no-unloading`, and
+//! `production` — the §6 production-manager scheme (daily histograms,
+//! two-week retention, recency-weighted aggregation, pre-warms 90 s
+//! early, hourly backup accounting). Variants: `production:<days>d`
+//! (retention), `production:<decay>` (per-day exponential decay, e.g.
+//! `production:0.5`), `production:uniform` (no recency weighting).
 //!
 //! The daemon runs until `POST /admin/shutdown`; with `--snapshot` it
 //! writes its final state there on the way out (and on every
@@ -15,11 +20,36 @@
 use std::path::PathBuf;
 use std::process::exit;
 
-use sitw_core::HybridConfig;
+use sitw_core::{HybridConfig, ProductionConfig, RecencyWeighting};
 use sitw_serve::{ServeConfig, Server};
 use sitw_sim::PolicySpec;
 
 fn parse_policy(s: &str) -> Result<PolicySpec, String> {
+    if s == "production" {
+        return Ok(PolicySpec::Production(ProductionConfig::default()));
+    }
+    if let Some(rest) = s.strip_prefix("production:") {
+        let mut cfg = ProductionConfig::default();
+        if rest == "uniform" {
+            cfg.weighting = RecencyWeighting::Uniform;
+        } else if let Some(days) = rest.strip_suffix('d') {
+            cfg.retention_days = days
+                .parse()
+                .map_err(|_| format!("bad retention '{rest}'"))?;
+            if cfg.retention_days == 0 {
+                // Zero retention would expire even the current day: the
+                // aggregate stays empty and the policy never learns.
+                return Err("retention must be at least 1 day".into());
+            }
+        } else {
+            let decay: f64 = rest.parse().map_err(|_| format!("bad decay '{rest}'"))?;
+            if !(0.0..=1.0).contains(&decay) || decay == 0.0 {
+                return Err(format!("decay must be in (0, 1]: '{rest}'"));
+            }
+            cfg.weighting = RecencyWeighting::Exponential { decay };
+        }
+        return Ok(PolicySpec::Production(cfg));
+    }
     if s == "hybrid" {
         return Ok(PolicySpec::Hybrid(HybridConfig::default()));
     }
@@ -46,7 +76,8 @@ fn parse_policy(s: &str) -> Result<PolicySpec, String> {
 fn usage() -> ! {
     eprintln!(
         "usage: sitw-serve [--addr HOST:PORT] [--shards N] \
-         [--policy hybrid|hybrid:<h>h|fixed:<min>|no-unloading] \
+         [--policy hybrid|hybrid:<h>h|fixed:<min>|no-unloading|\
+         production[:<days>d|:<decay>|:uniform]] \
          [--snapshot PATH] [--restore PATH]"
     );
     exit(2)
@@ -118,5 +149,51 @@ fn main() {
             eprintln!("shutdown error: {e}");
             exit(1);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_policy_production_variants() {
+        assert_eq!(
+            parse_policy("production").unwrap().label(),
+            "production-240m-14d[5,99]exp0.85"
+        );
+        assert_eq!(
+            parse_policy("production:7d").unwrap().label(),
+            "production-240m-7d[5,99]exp0.85"
+        );
+        assert_eq!(
+            parse_policy("production:0.5").unwrap().label(),
+            "production-240m-14d[5,99]exp0.5"
+        );
+        assert_eq!(
+            parse_policy("production:uniform").unwrap().label(),
+            "production-240m-14d[5,99]uni"
+        );
+        assert!(parse_policy("production:nope").is_err());
+        assert!(parse_policy("production:1.5").is_err());
+        assert!(parse_policy("production:0").is_err());
+        assert!(
+            parse_policy("production:0d").is_err(),
+            "zero retention would never learn"
+        );
+    }
+
+    #[test]
+    fn parse_policy_existing_forms_unchanged() {
+        assert_eq!(
+            parse_policy("hybrid").unwrap().label(),
+            "hybrid-4h[5,99]cv2"
+        );
+        assert_eq!(parse_policy("fixed:10").unwrap().label(), "fixed-10min");
+        assert_eq!(
+            parse_policy("no-unloading").unwrap().label(),
+            "no-unloading"
+        );
+        assert!(parse_policy("bogus").is_err());
     }
 }

@@ -13,8 +13,10 @@ use std::net::TcpStream;
 
 /// Maximum accepted header block (request line + headers).
 const MAX_HEADER_BYTES: usize = 16 * 1024;
-/// Maximum accepted body.
-pub const MAX_BODY_BYTES: usize = 256 * 1024;
+/// Maximum accepted body. A `Content-Length` beyond this is answered
+/// with `413 Payload Too Large` *before* any body buffering happens, so
+/// one request header can never drive a large allocation.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 
 /// One parsed request, borrowing nothing (bodies are small).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +41,14 @@ pub enum ReadOutcome {
     /// The read timed out with no complete request buffered; partial
     /// bytes remain buffered. Callers poll their shutdown flag and retry.
     Timeout,
+    /// The request declared a `Content-Length` beyond
+    /// [`MAX_BODY_BYTES`]. Nothing was allocated or consumed; the caller
+    /// should answer `413 Payload Too Large` and close the connection
+    /// (the unread body makes resynchronization impossible).
+    BodyTooLarge {
+        /// The declared content length.
+        declared: u64,
+    },
 }
 
 /// Buffered reader over a [`TcpStream`] that survives read timeouts.
@@ -80,6 +90,26 @@ impl ConnBuf {
         Ok(n)
     }
 
+    /// Best-effort discard of unread request bytes before closing the
+    /// connection: without it, closing with data still queued in the
+    /// kernel receive buffer sends an RST that can destroy an error
+    /// response (e.g. a 413) before the peer reads it. Bounded by
+    /// `max_bytes`; gives up at EOF, the first timeout, or any error.
+    pub fn drain_for_close(&mut self, max_bytes: usize) {
+        let mut discarded = self.buffered();
+        self.buf.clear();
+        self.start = 0;
+        while discarded < max_bytes {
+            match self.fill() {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    discarded += n;
+                    self.buf.clear();
+                }
+            }
+        }
+    }
+
     /// Parses the next pipelined request, reading from the socket as
     /// needed.
     pub fn read_request(&mut self) -> io::Result<ReadOutcome> {
@@ -90,10 +120,12 @@ impl ConnBuf {
                 let header = &window[..header_end];
                 let parsed = parse_header(header)
                     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-                let body_len = parsed.content_length;
-                if body_len > MAX_BODY_BYTES {
-                    return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+                if parsed.content_length > MAX_BODY_BYTES as u64 {
+                    return Ok(ReadOutcome::BodyTooLarge {
+                        declared: parsed.content_length,
+                    });
                 }
+                let body_len = parsed.content_length as usize;
                 let total = header_end + 4 + body_len;
                 // 2. Ensure the body is fully buffered. A timeout here
                 // surfaces as `Timeout` just like the mid-header path
@@ -164,7 +196,7 @@ fn find_crlfcrlf(buf: &[u8]) -> Option<usize> {
 struct ParsedHeader {
     method: String,
     path: String,
-    content_length: usize,
+    content_length: u64,
     close: bool,
 }
 
@@ -180,7 +212,7 @@ fn parse_header(header: &[u8]) -> Result<ParsedHeader, String> {
         return Err(format!("unsupported version {version}"));
     }
 
-    let mut content_length = 0usize;
+    let mut content_length = 0u64;
     let mut close = version == "HTTP/1.0";
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
@@ -188,7 +220,12 @@ fn parse_header(header: &[u8]) -> Result<ParsedHeader, String> {
         };
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value.parse::<usize>().map_err(|_| "bad content-length")?;
+            if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                return Err("bad content-length".into());
+            }
+            // A value overflowing u64 is still a (ridiculous) length:
+            // saturate so it hits the too-large path, not a parse error.
+            content_length = value.parse::<u64>().unwrap_or(u64::MAX);
         } else if name.eq_ignore_ascii_case("connection") {
             if value.eq_ignore_ascii_case("close") {
                 close = true;
@@ -213,6 +250,7 @@ pub fn write_response(out: &mut Vec<u8>, status: u16, content_type: &str, body: 
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        413 => "Payload Too Large",
         500 => "Internal Server Error",
         _ => "Status",
     };
@@ -292,6 +330,73 @@ mod tests {
             other => panic!("{other:?}"),
         };
         assert_eq!(r.path, "/healthz");
+    }
+
+    #[test]
+    fn oversized_content_length_rejected_without_allocation() {
+        // Regression: a huge Content-Length used to be trusted; now it
+        // surfaces as BodyTooLarge before any body buffering.
+        let (mut client, server) = pair();
+        server
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut conn = ConnBuf::new(server);
+        client
+            .write_all(b"POST /invoke HTTP/1.1\r\ncontent-length: 109951162777600\r\n\r\n")
+            .unwrap();
+        match conn.read_request().unwrap() {
+            ReadOutcome::BodyTooLarge { declared } => assert_eq!(declared, 109_951_162_777_600),
+            other => panic!("{other:?}"),
+        }
+
+        // A Content-Length overflowing u64 saturates into the same path.
+        let (mut client, server) = pair();
+        server
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut conn = ConnBuf::new(server);
+        client
+            .write_all(b"POST /invoke HTTP/1.1\r\ncontent-length: 99999999999999999999999\r\n\r\n")
+            .unwrap();
+        match conn.read_request().unwrap() {
+            ReadOutcome::BodyTooLarge { declared } => assert_eq!(declared, u64::MAX),
+            other => panic!("{other:?}"),
+        }
+
+        // Non-numeric lengths are still malformed requests, not 413s.
+        let (mut client, server) = pair();
+        server
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut conn = ConnBuf::new(server);
+        client
+            .write_all(b"POST /invoke HTTP/1.1\r\ncontent-length: -1\r\n\r\n")
+            .unwrap();
+        assert!(conn.read_request().is_err());
+
+        // The cap itself is inclusive: exactly MAX_BODY_BYTES is served.
+        let (mut client, server) = pair();
+        server
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut conn = ConnBuf::new(server);
+        let mut req = format!("POST /invoke HTTP/1.1\r\ncontent-length: {MAX_BODY_BYTES}\r\n\r\n")
+            .into_bytes();
+        req.extend_from_slice(&vec![b'x'; MAX_BODY_BYTES]);
+        // Write from a thread: a 1 MiB body overflows the socket buffer,
+        // so the writer must run concurrently with the reader.
+        let writer = std::thread::spawn(move || client.write_all(&req).unwrap());
+        loop {
+            match conn.read_request().unwrap() {
+                ReadOutcome::Request(r) => {
+                    assert_eq!(r.body.len(), MAX_BODY_BYTES);
+                    break;
+                }
+                ReadOutcome::Timeout => continue,
+                other => panic!("{other:?}"),
+            }
+        }
+        writer.join().unwrap();
     }
 
     #[test]

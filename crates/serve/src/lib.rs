@@ -13,7 +13,11 @@
 //!   per-application policy state for their hash slice of the app space.
 //!   Requests reach shards through mailbox channels; there are **no
 //!   shared locks on the decision path**, so a shard's state needs no
-//!   synchronization at all.
+//!   synchronization at all. In production mode
+//!   ([`sitw_sim::PolicySpec::Production`]) each shard runs a
+//!   shard-local [`sitw_core::ProductionManager`] — daily histograms,
+//!   two-week retention, recency-weighted aggregation, pre-warms
+//!   scheduled 90 s early, hourly backup accounting (§6).
 //! * **Endpoints**: `POST /invoke` (app id + timestamp → cold/warm
 //!   verdict and the next pre-warm/keep-alive windows), `GET /metrics`
 //!   (per-shard counters and p50/p95/p99 decision latency via the P²
@@ -68,4 +72,4 @@ pub use loadgen::{run_loadgen, LoadGenConfig, LoadGenReport};
 pub use metrics::{MetricsReport, ShardStats};
 pub use server::{ServeConfig, Server};
 pub use shard::{shard_of, Decision, InvokeError, ServedPolicy};
-pub use snapshot::{AppRecord, PolicyState, Snapshot};
+pub use snapshot::{AppRecord, PolicyState, ShardExport, Snapshot};

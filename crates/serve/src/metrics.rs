@@ -18,6 +18,11 @@ pub struct ShardStats {
     pub prewarm_loads: u64,
     /// Rejected out-of-order invocations.
     pub out_of_order: u64,
+    /// Hourly histogram backups taken (production mode only; 0 for
+    /// per-app policies).
+    pub backups: u64,
+    /// Pre-warm events scheduled 90 s early (production mode only).
+    pub prewarm_scheduled: u64,
     /// `(quantile, estimate_in_µs)` pairs from the shard's P² estimators
     /// (empty until the shard has observed at least one decision).
     pub latency_us: Vec<(f64, f64)>,
@@ -54,7 +59,7 @@ impl MetricsReport {
         /// Name, help text, and per-shard value accessor of one metric.
         type MetricRow = (&'static str, &'static str, fn(&ShardStats) -> u64);
         let mut out = String::with_capacity(1024);
-        let counters: [MetricRow; 6] = [
+        let counters: [MetricRow; 8] = [
             (
                 "sitw_serve_apps",
                 "Applications with live policy state",
@@ -76,6 +81,16 @@ impl MetricsReport {
                 "sitw_serve_out_of_order_total",
                 "Rejected out-of-order invocations",
                 |s| s.out_of_order,
+            ),
+            (
+                "sitw_serve_backups_total",
+                "Hourly histogram backups taken (production mode)",
+                |s| s.backups,
+            ),
+            (
+                "sitw_serve_prewarm_scheduled_total",
+                "Pre-warm events scheduled 90s early (production mode)",
+                |s| s.prewarm_scheduled,
             ),
         ];
         for (name, help, get) in counters {
@@ -124,6 +139,8 @@ mod tests {
             warm: 80,
             prewarm_loads: 5,
             out_of_order: 1,
+            backups: 7,
+            prewarm_scheduled: 11,
             latency_us: vec![(0.5, 1.5), (0.95, 3.0), (0.99, 9.0)],
         }
     }
@@ -148,6 +165,8 @@ mod tests {
         let text = r.render();
         assert!(text.contains("# TYPE sitw_serve_invocations_total counter"));
         assert!(text.contains("sitw_serve_invocations_total{shard=\"1\"} 100"));
+        assert!(text.contains("sitw_serve_backups_total{shard=\"0\"} 7"));
+        assert!(text.contains("sitw_serve_prewarm_scheduled_total{shard=\"1\"} 11"));
         assert!(text.contains("sitw_serve_decision_latency_us{shard=\"0\",quantile=\"0.99\"}"));
         assert!(text.contains("sitw_serve_uptime_ms 42"));
     }

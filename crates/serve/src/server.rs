@@ -27,7 +27,7 @@ use sitw_sim::PolicySpec;
 use crate::http::{write_response, ConnBuf, ReadOutcome, Request};
 use crate::metrics::{MetricsReport, ShardStats};
 use crate::shard::{shard_of, InvokeError, InvokeReply, ShardMsg, ShardWorker};
-use crate::snapshot::{AppRecord, Snapshot};
+use crate::snapshot::{AppRecord, ShardExport, Snapshot};
 use crate::wire::{self, push_u64};
 
 /// Server configuration.
@@ -93,20 +93,16 @@ impl ServerCtx {
     }
 
     fn snapshot(&self) -> Snapshot {
-        let mut apps: Vec<AppRecord> = Vec::new();
+        let mut exports: Vec<ShardExport> = Vec::new();
         for tx in &self.shard_txs {
             let (reply_tx, reply_rx) = mpsc::channel();
             if tx.send(ShardMsg::Snapshot(reply_tx)).is_ok() {
-                if let Ok(mut records) = reply_rx.recv() {
-                    apps.append(&mut records);
+                if let Ok(export) = reply_rx.recv() {
+                    exports.push(export);
                 }
             }
         }
-        apps.sort_by(|a, b| a.app.cmp(&b.app));
-        Snapshot {
-            policy_label: self.cfg.policy.label(),
-            apps,
-        }
+        merge_exports(self.cfg.policy.label(), exports)
     }
 
     /// Unblocks the acceptor's `accept()` after the shutdown flag flips.
@@ -119,7 +115,24 @@ impl ServerCtx {
 pub struct Server {
     ctx: Arc<ServerCtx>,
     acceptor: Option<JoinHandle<()>>,
-    shard_handles: Vec<JoinHandle<Vec<AppRecord>>>,
+    shard_handles: Vec<JoinHandle<ShardExport>>,
+}
+
+/// Merges per-shard exports into one snapshot (apps sorted by id, the
+/// production backup clock as the max over shards).
+fn merge_exports(policy_label: String, exports: Vec<ShardExport>) -> Snapshot {
+    let mut apps: Vec<AppRecord> = Vec::new();
+    let mut prod_clock = None;
+    for mut export in exports {
+        apps.append(&mut export.apps);
+        prod_clock = prod_clock.max(export.prod_clock);
+    }
+    apps.sort_by(|a, b| a.app.cmp(&b.app));
+    Snapshot {
+        policy_label,
+        prod_clock,
+        apps,
+    }
 }
 
 impl Server {
@@ -131,6 +144,7 @@ impl Server {
 
         // Restore before any thread exists: partition records by shard.
         let mut per_shard: Vec<Vec<AppRecord>> = (0..cfg.shards).map(|_| Vec::new()).collect();
+        let mut prod_clock = None;
         if let Some(path) = &cfg.restore_path {
             if path.exists() {
                 let snap = Snapshot::read_from(path)?;
@@ -144,6 +158,7 @@ impl Server {
                         ),
                     ));
                 }
+                prod_clock = snap.prod_clock;
                 for rec in snap.apps {
                     per_shard[shard_of(&rec.app, cfg.shards)].push(rec);
                 }
@@ -153,7 +168,7 @@ impl Server {
         let mut shard_txs = Vec::with_capacity(cfg.shards);
         let mut shard_handles = Vec::with_capacity(cfg.shards);
         for (id, restore) in per_shard.into_iter().enumerate() {
-            let worker = ShardWorker::new(id, cfg.policy.clone(), restore)
+            let worker = ShardWorker::new(id, cfg.policy.clone(), restore, prod_clock)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
             let (tx, rx) = mpsc::channel();
             shard_txs.push(tx);
@@ -226,20 +241,16 @@ impl Server {
         for tx in &self.ctx.shard_txs {
             let _ = tx.send(ShardMsg::Shutdown);
         }
-        let mut apps: Vec<AppRecord> = Vec::new();
+        let mut exports: Vec<ShardExport> = Vec::new();
         for handle in self.shard_handles.drain(..) {
             match handle.join() {
-                Ok(mut records) => apps.append(&mut records),
+                Ok(export) => exports.push(export),
                 Err(_) => {
                     return Err(io::Error::other("shard panicked"));
                 }
             }
         }
-        apps.sort_by(|a, b| a.app.cmp(&b.app));
-        let snapshot = Snapshot {
-            policy_label: self.ctx.cfg.policy.label(),
-            apps,
-        };
+        let snapshot = merge_exports(self.ctx.cfg.policy.label(), exports);
         if let Some(path) = &self.ctx.cfg.snapshot_path {
             snapshot.write_to(path)?;
         }
@@ -361,6 +372,34 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ServerCtx>) {
                 if pending == 0 {
                     break 'conn;
                 }
+            }
+            Ok(ReadOutcome::BodyTooLarge { .. }) => {
+                // The body was never read, so the stream cannot be
+                // resynchronized: answer 413 (in order) and close.
+                if !drain_pending(
+                    &reply_rx,
+                    &mut reorder,
+                    &mut pending,
+                    &mut next_write,
+                    &mut out,
+                ) {
+                    break 'conn;
+                }
+                write_response(
+                    &mut out,
+                    413,
+                    "application/json",
+                    b"{\"error\":\"payload too large\"}",
+                );
+                if write_half.write_all(&out).is_err() {
+                    break 'conn;
+                }
+                out.clear();
+                // Discard whatever body bytes are in flight (bounded)
+                // so the close sends FIN, not an RST that could destroy
+                // the 413 before the client reads it.
+                conn.drain_for_close(2 * crate::http::MAX_BODY_BYTES);
+                break 'conn;
             }
             Ok(ReadOutcome::Timeout) => {
                 // Idle socket: settle anything in flight, then loop (the

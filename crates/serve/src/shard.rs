@@ -12,12 +12,15 @@ use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
 use std::time::Instant;
 
-use sitw_core::{AppPolicy, DecisionKind, FixedKeepAlive, HybridPolicy, NoUnloading, Windows};
+use sitw_core::{
+    AppKey, AppPolicy, DecisionKind, FixedKeepAlive, HybridPolicy, NoUnloading, ProductionManager,
+    Windows,
+};
 use sitw_sim::PolicySpec;
 use sitw_stats::StreamingPercentiles;
 
 use crate::metrics::ShardStats;
-use crate::snapshot::{AppRecord, PolicyState};
+use crate::snapshot::{AppRecord, PolicyState, ShardExport};
 
 /// Latency quantiles the shard tracks (P², O(1) memory per quantile).
 pub const LATENCY_QUANTILES: [f64; 3] = [0.50, 0.95, 0.99];
@@ -39,15 +42,33 @@ pub enum ServedPolicy {
     NoUnload(NoUnloading),
     /// The hybrid histogram policy.
     Hybrid(HybridPolicy),
+    /// Production-manager mode (§6): the per-app state lives in the
+    /// shard's fleet-wide [`ProductionManager`]; this variant holds the
+    /// app's key into it plus the branch that served its last decision.
+    Production {
+        /// Key of this app inside the shard's manager.
+        key: AppKey,
+        /// The branch that produced the most recent decision.
+        last: DecisionKind,
+    },
 }
 
 impl ServedPolicy {
     /// Creates a fresh instance for one application under `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`PolicySpec::Production`]: production apps are
+    /// registered with the shard's manager (see [`ShardWorker::invoke`]),
+    /// not built standalone.
     pub fn new(spec: &PolicySpec) -> ServedPolicy {
         match spec {
             PolicySpec::Fixed(f) => ServedPolicy::Fixed(*f),
             PolicySpec::NoUnloading => ServedPolicy::NoUnload(NoUnloading),
             PolicySpec::Hybrid(cfg) => ServedPolicy::Hybrid(HybridPolicy::new(cfg.clone())),
+            PolicySpec::Production(_) => {
+                unreachable!("production apps are created by the shard's manager")
+            }
         }
     }
 
@@ -56,6 +77,9 @@ impl ServedPolicy {
             ServedPolicy::Fixed(p) => p.on_invocation(idle_time_ms),
             ServedPolicy::NoUnload(p) => p.on_invocation(idle_time_ms),
             ServedPolicy::Hybrid(p) => p.on_invocation(idle_time_ms),
+            ServedPolicy::Production { .. } => {
+                unreachable!("production decisions go through the shard's manager")
+            }
         }
     }
 
@@ -64,7 +88,33 @@ impl ServedPolicy {
             ServedPolicy::Fixed(p) => p.last_decision(),
             ServedPolicy::NoUnload(p) => p.last_decision(),
             ServedPolicy::Hybrid(p) => p.last_decision(),
+            ServedPolicy::Production { last, .. } => *last,
         }
+    }
+}
+
+/// Shard-local production state: one fleet-wide manager covering the
+/// shard's hash slice of the app space, plus §6 bookkeeping counters.
+struct ProductionShard {
+    manager: ProductionManager,
+    /// Next key to hand to a newly seen app. Keys are shard-local and
+    /// never serialized — snapshots are app-id-keyed, so a restore (even
+    /// with a different shard count) just re-assigns them.
+    next_key: AppKey,
+    /// Pre-warm events scheduled so far (each one `prewarm_slack_ms`
+    /// before the computed window, per §6).
+    prewarm_scheduled: u64,
+}
+
+impl ProductionShard {
+    fn decide(&mut self, key: AppKey, ts: u64, idle: Option<u64>) -> (Windows, DecisionKind) {
+        let (windows, kind) = self.manager.on_invocation(key, ts, idle);
+        // An unload/pre-warm cycle means a pre-warm event was put on the
+        // schedule (fired 90 s early, off the critical path).
+        if windows.pre_warm_ms > 0 {
+            self.prewarm_scheduled += 1;
+        }
+        (windows, kind)
     }
 }
 
@@ -119,7 +169,7 @@ pub enum ShardMsg {
     /// Report counters and latency percentiles.
     Scrape(Sender<ShardStats>),
     /// Export the complete per-app state.
-    Snapshot(Sender<Vec<AppRecord>>),
+    Snapshot(Sender<ShardExport>),
     /// Drain and exit; the worker returns its final state to `join`.
     Shutdown,
 }
@@ -136,6 +186,8 @@ pub struct ShardWorker {
     id: usize,
     spec: PolicySpec,
     apps: HashMap<String, AppState>,
+    /// `Some` iff `spec` is [`PolicySpec::Production`].
+    production: Option<ProductionShard>,
     invocations: u64,
     cold: u64,
     prewarm_loads: u64,
@@ -145,10 +197,40 @@ pub struct ShardWorker {
 
 impl ShardWorker {
     /// Creates a worker for shard `id`, optionally restoring state.
-    pub fn new(id: usize, spec: PolicySpec, restore: Vec<AppRecord>) -> Result<Self, String> {
+    ///
+    /// `prod_clock` seeds the production manager's backup clock when
+    /// restoring mid-stream (ignored for per-app policies).
+    pub fn new(
+        id: usize,
+        spec: PolicySpec,
+        restore: Vec<AppRecord>,
+        prod_clock: Option<u64>,
+    ) -> Result<Self, String> {
+        let mut production = match &spec {
+            PolicySpec::Production(cfg) => {
+                let mut manager = ProductionManager::new(*cfg);
+                if let Some(at_ms) = prod_clock {
+                    manager.set_last_backup_ms(at_ms);
+                }
+                Some(ProductionShard {
+                    manager,
+                    next_key: 0,
+                    prewarm_scheduled: 0,
+                })
+            }
+            _ => None,
+        };
         let mut apps = HashMap::with_capacity(restore.len().max(64));
         for rec in restore {
-            let policy = rec.state.into_policy(&spec)?;
+            let policy = match (rec.state, &mut production) {
+                (PolicyState::Production { last, state }, Some(prod)) => {
+                    let key = prod.next_key;
+                    prod.next_key += 1;
+                    prod.manager.import_app(key, state)?;
+                    ServedPolicy::Production { key, last }
+                }
+                (state, _) => state.into_policy(&spec)?,
+            };
             apps.insert(
                 rec.app,
                 AppState {
@@ -162,6 +244,7 @@ impl ShardWorker {
             id,
             spec,
             apps,
+            production,
             invocations: 0,
             cold: 0,
             prewarm_loads: 0,
@@ -177,9 +260,20 @@ impl ShardWorker {
         match self.apps.get_mut(app) {
             None => {
                 // First invocation of this app: cold by definition (§5.1).
-                let mut policy = ServedPolicy::new(&self.spec);
-                let windows = policy.on_invocation(None);
-                let kind = policy.last_decision();
+                let (policy, windows, kind) = match &mut self.production {
+                    Some(prod) => {
+                        let key = prod.next_key;
+                        prod.next_key += 1;
+                        let (windows, kind) = prod.decide(key, ts, None);
+                        (ServedPolicy::Production { key, last: kind }, windows, kind)
+                    }
+                    None => {
+                        let mut policy = ServedPolicy::new(&self.spec);
+                        let windows = policy.on_invocation(None);
+                        let kind = policy.last_decision();
+                        (policy, windows, kind)
+                    }
+                };
                 self.apps.insert(
                     app.to_owned(),
                     AppState {
@@ -206,7 +300,14 @@ impl ShardWorker {
                 }
                 let idle = ts - state.last_ts;
                 let outcome = state.windows.classify_gap(idle);
-                state.windows = state.policy.on_invocation(Some(idle));
+                state.windows = match (&mut self.production, &mut state.policy) {
+                    (Some(prod), ServedPolicy::Production { key, last }) => {
+                        let (windows, kind) = prod.decide(*key, ts, Some(idle));
+                        *last = kind;
+                        windows
+                    }
+                    (_, policy) => policy.on_invocation(Some(idle)),
+                };
                 state.last_ts = ts;
                 self.invocations += 1;
                 if outcome.cold {
@@ -234,28 +335,44 @@ impl ShardWorker {
             warm: self.invocations - self.cold,
             prewarm_loads: self.prewarm_loads,
             out_of_order: self.out_of_order,
+            backups: self
+                .production
+                .as_ref()
+                .map_or(0, |p| p.manager.backups_taken()),
+            prewarm_scheduled: self.production.as_ref().map_or(0, |p| p.prewarm_scheduled),
             latency_us: self.latency.estimates(),
         }
     }
 
-    fn export(&self) -> Vec<AppRecord> {
-        let mut records: Vec<AppRecord> = self
+    fn export(&self) -> ShardExport {
+        let mut apps: Vec<AppRecord> = self
             .apps
             .iter()
             .map(|(app, state)| AppRecord {
                 app: app.clone(),
                 last_ts: state.last_ts,
                 windows: state.windows,
-                state: PolicyState::export(&state.policy),
+                state: match (&state.policy, &self.production) {
+                    (ServedPolicy::Production { key, last }, Some(prod)) => {
+                        PolicyState::Production {
+                            last: *last,
+                            state: prod.manager.export_app(*key).unwrap_or_default(),
+                        }
+                    }
+                    (policy, _) => PolicyState::export(policy),
+                },
             })
             .collect();
-        records.sort_by(|a, b| a.app.cmp(&b.app));
-        records
+        apps.sort_by(|a, b| a.app.cmp(&b.app));
+        ShardExport {
+            apps,
+            prod_clock: self.production.as_ref().map(|p| p.manager.last_backup_ms()),
+        }
     }
 
     /// The worker loop: drains the mailbox until `Shutdown`, then
     /// returns the final per-app state (for the shutdown snapshot).
-    pub fn run(mut self, mailbox: Receiver<ShardMsg>) -> Vec<AppRecord> {
+    pub fn run(mut self, mailbox: Receiver<ShardMsg>) -> ShardExport {
         while let Ok(msg) = mailbox.recv() {
             match msg {
                 ShardMsg::Invoke {
@@ -304,7 +421,7 @@ mod tests {
     use sitw_core::MINUTE_MS;
 
     fn worker(spec: PolicySpec) -> ShardWorker {
-        ShardWorker::new(0, spec, Vec::new()).unwrap()
+        ShardWorker::new(0, spec, Vec::new(), None).unwrap()
     }
 
     #[test]
@@ -367,6 +484,55 @@ mod tests {
             assert_eq!(on.kind, off.kind);
             assert_eq!(on.windows, off.windows);
         }
+    }
+
+    #[test]
+    fn production_mode_matches_offline_production_trace() {
+        use sitw_core::ProductionConfig;
+        // Multi-day stream with absolute timestamps (day-aware path).
+        let events: Vec<u64> = (0..300u64)
+            .map(|i| i * 17 * MINUTE_MS + (i % 5) * 11_000)
+            .collect();
+
+        let mut w = worker(PolicySpec::Production(ProductionConfig::default()));
+        let online: Vec<Decision> = events.iter().map(|&t| w.invoke("x", t).unwrap()).collect();
+
+        let mut manager = sitw_core::ProductionManager::new(ProductionConfig::default());
+        let offline = sitw_sim::production_verdict_trace(&events, &mut manager, 0);
+
+        assert_eq!(online.len(), offline.len());
+        for (on, off) in online.iter().zip(&offline) {
+            assert_eq!(on.cold, off.cold);
+            assert_eq!(on.prewarm_load, off.prewarm_load);
+            assert_eq!(on.kind, off.kind);
+            assert_eq!(on.windows, off.windows);
+        }
+        // §6 bookkeeping surfaced by the shard: backups along the
+        // advancing clock, pre-warm events for unload/pre-warm windows.
+        let stats = w.stats();
+        assert_eq!(stats.backups, manager.backups_taken());
+        let offline_prewarms = offline.iter().filter(|v| v.windows.pre_warm_ms > 0).count() as u64;
+        assert_eq!(stats.prewarm_scheduled, offline_prewarms);
+        assert!(stats.backups > 0, "multi-day trace must tick backups");
+    }
+
+    #[test]
+    fn production_equal_timestamp_invocation_is_warm() {
+        use sitw_core::ProductionConfig;
+        // Regression: ts == last_ts (concurrent arrivals) must be
+        // accepted and classified warm, exactly like per-app policies.
+        let mut w = worker(PolicySpec::Production(ProductionConfig::default()));
+        w.invoke("a", 5 * MINUTE_MS).unwrap();
+        let d = w.invoke("a", 5 * MINUTE_MS).unwrap();
+        assert!(!d.cold, "zero idle gap is warm by definition");
+        assert_eq!(w.stats().out_of_order, 0);
+        let err = w.invoke("a", 5 * MINUTE_MS - 1).unwrap_err();
+        assert_eq!(
+            err,
+            InvokeError::OutOfOrder {
+                last_ts: 5 * MINUTE_MS
+            }
+        );
     }
 
     #[test]

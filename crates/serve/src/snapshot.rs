@@ -16,7 +16,10 @@
 use std::io::{self, Write};
 use std::path::Path;
 
-use sitw_core::{DecisionCounts, HybridPolicy, HybridSnapshot, Windows};
+use sitw_core::{
+    DayHistogram, DecisionCounts, DecisionKind, HybridPolicy, HybridSnapshot, ProductionAppState,
+    Windows,
+};
 use sitw_sim::PolicySpec;
 
 use crate::shard::ServedPolicy;
@@ -24,6 +27,16 @@ use crate::wire::{kind_from_str, kind_str};
 
 /// Magic first line of a snapshot file.
 const HEADER: &str = "sitw-serve-snapshot v1";
+
+/// One shard's complete exported state: its app records plus (in
+/// production mode) the manager's backup clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardExport {
+    /// Per-app records, sorted by app id.
+    pub apps: Vec<AppRecord>,
+    /// `Some(last_backup_ms)` when the shard serves production mode.
+    pub prod_clock: Option<u64>,
+}
 
 /// Serializable policy state of one application.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,14 +46,30 @@ pub enum PolicyState {
     Stateless,
     /// Full hybrid-policy state.
     Hybrid(HybridSnapshot),
+    /// Production-manager state: the app's retained daily histograms.
+    Production {
+        /// The branch that served the app's most recent decision.
+        last: DecisionKind,
+        /// The retained daily histograms, oldest first.
+        state: ProductionAppState,
+    },
 }
 
 impl PolicyState {
     /// Captures the state of one served policy instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`ServedPolicy::Production`]: production state lives in
+    /// the shard's manager, which exports it directly (the app-local
+    /// variant only holds a key into it).
     pub fn export(policy: &ServedPolicy) -> PolicyState {
         match policy {
             ServedPolicy::Fixed(_) | ServedPolicy::NoUnload(_) => PolicyState::Stateless,
             ServedPolicy::Hybrid(h) => PolicyState::Hybrid(h.snapshot()),
+            ServedPolicy::Production { .. } => {
+                unreachable!("production state is exported by the shard's manager")
+            }
         }
     }
 
@@ -72,6 +101,7 @@ fn variant_name(s: &PolicyState) -> &'static str {
     match s {
         PolicyState::Stateless => "stateless",
         PolicyState::Hybrid(_) => "hybrid",
+        PolicyState::Production { .. } => "production",
     }
 }
 
@@ -94,6 +124,10 @@ pub struct Snapshot {
     /// Label of the policy that produced the snapshot
     /// ([`PolicySpec::label`]); restore refuses a mismatch.
     pub policy_label: String,
+    /// Production-mode backup clock (`last_backup_ms`, the maximum over
+    /// shards); restoring seeds every shard's manager with it so the
+    /// hourly cadence continues instead of "catching up" on downtime.
+    pub prod_clock: Option<u64>,
     /// All applications, sorted by id.
     pub apps: Vec<AppRecord>,
 }
@@ -138,6 +172,9 @@ impl Snapshot {
         let mut out = String::with_capacity(64 + self.apps.len() * 128);
         let _ = writeln!(out, "{HEADER}");
         let _ = writeln!(out, "policy {}", self.policy_label);
+        if let Some(clock) = self.prod_clock {
+            let _ = writeln!(out, "clock {clock}");
+        }
         let _ = writeln!(out, "apps {}", self.apps.len());
         for rec in &self.apps {
             let _ = write!(
@@ -150,6 +187,23 @@ impl Snapshot {
             );
             match &rec.state {
                 PolicyState::Stateless => {}
+                PolicyState::Production { last, state } => {
+                    let _ = write!(
+                        out,
+                        " production {} days {}",
+                        kind_str(*last),
+                        state.days.len()
+                    );
+                    for d in &state.days {
+                        let _ = write!(out, " {}:{}:", d.day, d.oob);
+                        for (i, b) in d.bins.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            let _ = write!(out, "{b}");
+                        }
+                    }
+                }
                 PolicyState::Hybrid(h) => {
                     let _ = write!(
                         out,
@@ -201,7 +255,13 @@ impl Snapshot {
             .strip_prefix("policy ")
             .ok_or("missing policy line")?
             .to_owned();
-        let count_line = lines.next().ok_or("missing apps line")?;
+        // Optional production backup-clock line between policy and apps.
+        let mut count_line = lines.next().ok_or("missing apps line")?;
+        let mut prod_clock = None;
+        if let Some(clock) = count_line.strip_prefix("clock ") {
+            prod_clock = Some(clock.parse::<u64>().map_err(|_| "bad clock")?);
+            count_line = lines.next().ok_or("missing apps line")?;
+        }
         let declared: usize = count_line
             .strip_prefix("apps ")
             .ok_or("missing apps line")?
@@ -223,6 +283,31 @@ impl Snapshot {
             let keep_alive_ms = parse_field::<u64>(tok.next(), "keep_alive_ms")?;
             let state = match tok.next() {
                 None => PolicyState::Stateless,
+                Some("production") => {
+                    let last = kind_from_str(tok.next().ok_or("missing kind")?)?;
+                    if tok.next() != Some("days") {
+                        return Err("expected 'days'".into());
+                    }
+                    let num_days: usize = parse_field(tok.next(), "day count")?;
+                    let mut days = Vec::with_capacity(num_days);
+                    for _ in 0..num_days {
+                        let group = tok.next().ok_or("missing day group")?;
+                        let mut parts = group.splitn(3, ':');
+                        let day = parse_field::<u64>(parts.next(), "day index")?;
+                        let oob = parse_field::<u64>(parts.next(), "day oob")?;
+                        let bins = parts
+                            .next()
+                            .ok_or("missing day bins")?
+                            .split(',')
+                            .map(|s| s.parse::<u32>().map_err(|_| format!("bad bin '{s}'")))
+                            .collect::<Result<_, _>>()?;
+                        days.push(DayHistogram { day, bins, oob });
+                    }
+                    PolicyState::Production {
+                        last,
+                        state: ProductionAppState { days },
+                    }
+                }
                 Some("hybrid") => {
                     let oob_count = parse_field::<u64>(tok.next(), "oob")?;
                     let counts = DecisionCounts {
@@ -285,7 +370,11 @@ impl Snapshot {
                 apps.len()
             ));
         }
-        Ok(Snapshot { policy_label, apps })
+        Ok(Snapshot {
+            policy_label,
+            prod_clock,
+            apps,
+        })
     }
 
     /// Writes the snapshot to a file (atomically via a sibling temp file).
@@ -336,6 +425,7 @@ mod tests {
     fn encode_decode_round_trips_exactly() {
         let snap = Snapshot {
             policy_label: "hybrid-4h[5,99]cv2".into(),
+            prod_clock: None,
             apps: vec![
                 AppRecord {
                     app: "plain".into(),
@@ -361,6 +451,7 @@ mod tests {
         let values = [0.1f64, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, 300.0];
         let snap = Snapshot {
             policy_label: "hybrid-4h[5,99]cv2".into(),
+            prod_clock: None,
             apps: vec![AppRecord {
                 app: "a".into(),
                 last_ts: 1,
@@ -386,6 +477,63 @@ mod tests {
     }
 
     #[test]
+    fn production_state_and_clock_round_trip() {
+        let mut bins = vec![0u32; 240];
+        bins[30] = 12;
+        bins[31] = 3;
+        let snap = Snapshot {
+            policy_label: "production-240m-14d[5,99]exp0.85".into(),
+            prod_clock: Some(7 * 3_600_000),
+            apps: vec![AppRecord {
+                app: "app-000009".into(),
+                last_ts: 999_000,
+                windows: Windows::pre_warmed(27 * 60_000, 9 * 60_000),
+                state: PolicyState::Production {
+                    last: DecisionKind::Histogram,
+                    state: ProductionAppState {
+                        days: vec![
+                            DayHistogram {
+                                day: 3,
+                                bins: bins.clone(),
+                                oob: 2,
+                            },
+                            DayHistogram {
+                                day: 5,
+                                bins,
+                                oob: 0,
+                            },
+                        ],
+                    },
+                },
+            }],
+        };
+        let text = snap.encode();
+        assert!(text.contains("clock 25200000"), "{text}");
+        assert!(text.contains(" production histogram days 2 "), "{text}");
+        let decoded = Snapshot::decode(&text).unwrap();
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn production_state_restores_only_into_production_shards() {
+        // into_policy cannot rebuild a production app (the state lives in
+        // the shard's manager), so it must fail loudly for any spec.
+        let state = PolicyState::Production {
+            last: DecisionKind::StandardKeepAlive,
+            state: ProductionAppState::default(),
+        };
+        assert!(state
+            .clone()
+            .into_policy(&PolicySpec::fixed_minutes(10))
+            .is_err());
+        assert!(state
+            .into_policy(&PolicySpec::Production(
+                sitw_core::ProductionConfig::default()
+            ))
+            .is_err());
+    }
+
+    #[test]
     fn decode_rejects_malformed() {
         assert!(Snapshot::decode("").is_err());
         assert!(Snapshot::decode("wrong header\npolicy x\napps 0\n").is_err());
@@ -399,6 +547,7 @@ mod tests {
     fn file_round_trip() {
         let snap = Snapshot {
             policy_label: "fixed-10min".into(),
+            prod_clock: None,
             apps: vec![AppRecord {
                 app: "a".into(),
                 last_ts: 5,

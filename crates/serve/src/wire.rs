@@ -34,6 +34,21 @@ pub fn parse_invoke(body: &[u8]) -> Result<InvokeRequest, String> {
         i
     }
 
+    /// Reads the four hex digits of a `\uXXXX` escape starting at `i`.
+    fn parse_hex4(b: &[u8], i: usize) -> Result<(u32, usize), String> {
+        if i + 4 > b.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let mut v = 0u32;
+        for &c in &b[i..i + 4] {
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| format!("bad hex digit '{}' in \\u escape", c as char))?;
+            v = v * 16 + d;
+        }
+        Ok((v, i + 4))
+    }
+
     fn parse_string(b: &[u8], mut i: usize) -> Result<(String, usize), String> {
         if i >= b.len() || b[i] != b'"' {
             return Err("expected string".into());
@@ -57,9 +72,39 @@ pub fn parse_invoke(body: &[u8]) -> Result<InvokeRequest, String> {
                         b'"' => out.push(b'"'),
                         b'\\' => out.push(b'\\'),
                         b'/' => out.push(b'/'),
+                        b'b' => out.push(0x08),
+                        b'f' => out.push(0x0C),
                         b'n' => out.push(b'\n'),
                         b't' => out.push(b'\t'),
                         b'r' => out.push(b'\r'),
+                        b'u' => {
+                            let (unit, next) = parse_hex4(b, i + 1)?;
+                            i = next;
+                            let cp = match unit {
+                                // High surrogate: a \uDC00..\uDFFF low
+                                // surrogate must follow (RFC 8259 §7).
+                                0xD800..=0xDBFF => {
+                                    if b.get(i) != Some(&b'\\') || b.get(i + 1) != Some(&b'u') {
+                                        return Err("unpaired high surrogate".into());
+                                    }
+                                    let (lo, next) = parse_hex4(b, i + 2)?;
+                                    if !(0xDC00..=0xDFFF).contains(&lo) {
+                                        return Err(format!("invalid low surrogate \\u{lo:04x}"));
+                                    }
+                                    i = next;
+                                    0x10000 + ((unit - 0xD800) << 10) + (lo - 0xDC00)
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(format!("unpaired low surrogate \\u{unit:04x}"))
+                                }
+                                bmp => bmp,
+                            };
+                            let ch = char::from_u32(cp)
+                                .ok_or_else(|| format!("invalid codepoint U+{cp:04X}"))?;
+                            let mut utf8 = [0u8; 4];
+                            out.extend_from_slice(ch.encode_utf8(&mut utf8).as_bytes());
+                            continue; // `i` already points past the escape.
+                        }
                         other => return Err(format!("unsupported escape \\{}", other as char)),
                     }
                     i += 1;
@@ -254,6 +299,41 @@ mod tests {
     fn parse_preserves_utf8_app_ids() {
         let r = parse_invoke("{\"app\":\"café-功能\",\"ts\":1}".as_bytes()).unwrap();
         assert_eq!(r.app, "café-功能");
+    }
+
+    #[test]
+    fn parse_decodes_unicode_escapes() {
+        // Regression: any valid JSON containing \uXXXX used to be
+        // rejected with "unsupported escape \u".
+        let r = parse_invoke(br#"{"app":"caf\u00e9-\u529f\u80fd","ts":1}"#).unwrap();
+        assert_eq!(r.app, "caf\u{e9}-\u{529f}\u{80fd}");
+        // Surrogate pair: \ud83d\ude80 decodes to U+1F680.
+        let r = parse_invoke(br#"{"app":"\ud83d\ude80","ts":2}"#).unwrap();
+        assert_eq!(r.app, "\u{1F680}");
+        // Escapes in skipped members must parse too.
+        let r = parse_invoke(br#"{"meta":"A\u0042\b\f","app":"a","ts":3}"#).unwrap();
+        assert_eq!((r.app.as_str(), r.ts), ("a", 3));
+        // Case-insensitive hex digits; literal text continues after.
+        let r = parse_invoke(br#"{"app":"a\u004Bx","ts":4}"#).unwrap();
+        assert_eq!(r.app, "aKx");
+    }
+
+    #[test]
+    fn parse_rejects_invalid_unicode_escapes() {
+        for body in [
+            br#"{"app":"\u12","ts":1}"#.as_slice(),    // Truncated.
+            br#"{"app":"\uzzzz","ts":1}"#.as_slice(),  // Not hex.
+            br#"{"app":"\ud83d","ts":1}"#.as_slice(),  // Lone high surrogate.
+            br#"{"app":"\ud83dx","ts":1}"#.as_slice(), // High + no escape.
+            br#"{"app":"\ud83dA","ts":1}"#.as_slice(), // High + non-low.
+            br#"{"app":"\ude80","ts":1}"#.as_slice(),  // Lone low surrogate.
+        ] {
+            assert!(
+                parse_invoke(body).is_err(),
+                "{}",
+                String::from_utf8_lossy(body)
+            );
+        }
     }
 
     #[test]

@@ -12,9 +12,9 @@ use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 
-use sitw_core::{HybridConfig, PolicyFactory};
+use sitw_core::{HybridConfig, PolicyFactory, ProductionConfig, ProductionManager};
 use sitw_serve::{ServeConfig, Server};
-use sitw_sim::{simulate_app, verdict_trace, PolicySpec};
+use sitw_sim::{production_verdict_trace, simulate_app, verdict_trace, PolicySpec};
 use sitw_trace::{app_invocations, build_population, PopulationConfig, TraceConfig, DAY_MS};
 
 /// Blocking single-request client: sends one request, reads one response.
@@ -91,13 +91,23 @@ type Workload = (Vec<(String, u64)>, HashMap<String, Vec<u64>>);
 /// The test workload: ~40 apps, one day, enough events to exceed 1 000
 /// invocations, merged into one global time-ordered stream.
 fn workload() -> Workload {
+    workload_with(40, DAY_MS, 400.0)
+}
+
+/// A multi-day workload so daily-histogram rotation and retention are
+/// actually exercised (production mode is day-aware).
+fn multiday_workload() -> Workload {
+    workload_with(25, 3 * DAY_MS, 150.0)
+}
+
+fn workload_with(num_apps: usize, horizon_ms: u64, cap_per_day: f64) -> Workload {
     let population = build_population(&PopulationConfig {
-        num_apps: 40,
+        num_apps,
         seed: 1213,
     });
     let cfg = TraceConfig {
-        horizon_ms: DAY_MS,
-        cap_per_day: 400.0,
+        horizon_ms,
+        cap_per_day,
         seed: 77,
     };
     let mut per_app: HashMap<String, Vec<u64>> = HashMap::new();
@@ -274,6 +284,166 @@ fn snapshot_restore_continues_decision_stream_exactly() {
             );
         }
     }
+}
+
+/// Extracts the decision-branch name from an `/invoke` response body.
+fn parse_kind(body: &str) -> String {
+    let key = "\"kind\":\"";
+    let rest = &body[body.find(key).unwrap_or_else(|| panic!("kind in {body}")) + key.len()..];
+    rest[..rest.find('"').unwrap()].to_owned()
+}
+
+/// The §6 serving mode end to end: a multi-day trace through a
+/// production-mode daemon equals the offline [`ProductionManager`]
+/// replay bit-for-bit — cold/warm verdict, decision branch, and both
+/// windows — including across a snapshot/restore that *changes the
+/// shard count* mid-stream. Also checks the §6 bookkeeping surfaced in
+/// `/metrics` (hourly backups, pre-warm events scheduled 90 s early).
+#[test]
+fn production_mode_matches_offline_manager_across_shard_change() {
+    let (merged, per_app) = multiday_workload();
+    let half = merged.len() / 2;
+    let spec = || PolicySpec::Production(ProductionConfig::default());
+
+    let dir = std::env::temp_dir().join(format!("sitw-serve-prod-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap_path = dir.join("state.snapshot");
+
+    // Phase 1: first half against a 2-shard server.
+    let server_a = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 2,
+        policy: spec(),
+        snapshot_path: Some(snap_path.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = TestClient::connect(server_a.addr());
+    let mut online: HashMap<String, Vec<(bool, u64, u64, String)>> = HashMap::new();
+    for (app, ts) in &merged[..half] {
+        let (status, body) = client.invoke(app, *ts);
+        assert_eq!(status, 200, "{body}");
+        let (cold, pw, ka) = parse_verdict(&body);
+        online
+            .entry(app.clone())
+            .or_default()
+            .push((cold, pw, ka, parse_kind(&body)));
+    }
+    drop(client);
+    server_a.shutdown().unwrap();
+    let text = std::fs::read_to_string(&snap_path).unwrap();
+    assert!(text.contains("\nclock "), "backup clock must be persisted");
+    assert!(text.contains(" production "), "per-app daily histograms");
+
+    // Phase 2: second half against a 5-shard server restored from the
+    // snapshot — app slices land on entirely different managers.
+    let server_b = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 5,
+        policy: spec(),
+        restore_path: Some(snap_path.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = TestClient::connect(server_b.addr());
+    for (app, ts) in &merged[half..] {
+        let (status, body) = client.invoke(app, *ts);
+        assert_eq!(status, 200, "{body}");
+        let (cold, pw, ka) = parse_verdict(&body);
+        online
+            .entry(app.clone())
+            .or_default()
+            .push((cold, pw, ka, parse_kind(&body)));
+    }
+
+    // Offline ground truth: the uninterrupted day-aware replay.
+    for (app, events) in &per_app {
+        let mut manager = ProductionManager::new(ProductionConfig::default());
+        let offline = production_verdict_trace(events, &mut manager, 0);
+        let online_app = &online[app];
+        assert_eq!(online_app.len(), offline.len(), "{app}");
+        for (i, (on, off)) in online_app.iter().zip(&offline).enumerate() {
+            assert_eq!(on.0, off.cold, "{app} invocation {i}: cold mismatch");
+            assert_eq!(
+                (on.1, on.2),
+                (off.windows.pre_warm_ms, off.windows.keep_alive_ms),
+                "{app} invocation {i}: window mismatch"
+            );
+            assert_eq!(
+                on.3,
+                match off.kind {
+                    sitw_core::DecisionKind::Histogram => "histogram",
+                    sitw_core::DecisionKind::StandardKeepAlive => "standard",
+                    other => panic!("unexpected production branch {other:?}"),
+                },
+                "{app} invocation {i}: kind mismatch"
+            );
+        }
+    }
+
+    // §6 bookkeeping is visible in /metrics.
+    let (status, text) = client.request("GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(text.contains("sitw_serve_backups_total"), "{text}");
+    assert!(
+        text.contains("sitw_serve_prewarm_scheduled_total"),
+        "{text}"
+    );
+    let total = |name: &str| -> u64 {
+        text.lines()
+            .filter(|l| l.starts_with(name) && !l.starts_with('#'))
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum()
+    };
+    assert!(
+        total("sitw_serve_backups_total") > 0,
+        "a multi-day trace must take hourly backups"
+    );
+    assert!(
+        total("sitw_serve_prewarm_scheduled_total") > 0,
+        "learned patterns must schedule pre-warm events"
+    );
+
+    // Equal-timestamp regression: re-sending the last accepted (app, ts)
+    // is warm (a concurrent arrival), never a 409 or a cold.
+    let (last_app, last_ts) = merged.last().unwrap().clone();
+    let (status, body) = client.invoke(&last_app, last_ts);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"verdict\":\"warm\""), "{body}");
+
+    drop(client);
+    server_b.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Regression: one request header declaring a huge `Content-Length`
+/// used to tear the connection down silently (and before that, could
+/// drive a matching allocation); now it gets `413 Payload Too Large`.
+#[test]
+fn oversized_body_declaration_gets_413() {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 1,
+        policy: PolicySpec::fixed_minutes(10),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(b"POST /invoke HTTP/1.1\r\ncontent-length: 1099511627776\r\n\r\n")
+        .unwrap();
+    // Stream some of the declared body too: the server must drain it
+    // before closing, so the 413 arrives as data + FIN, not an RST that
+    // would make this read fail with ECONNRESET.
+    stream.write_all(&vec![b'x'; 256 * 1024]).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap(); // Server closes after.
+    assert!(
+        response.starts_with("HTTP/1.1 413 Payload Too Large\r\n"),
+        "{response}"
+    );
+    assert!(response.contains("payload too large"), "{response}");
+    server.shutdown().unwrap();
 }
 
 #[test]

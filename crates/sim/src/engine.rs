@@ -270,6 +270,54 @@ pub fn verdict_trace<P: AppPolicy + ?Sized>(
     out
 }
 
+/// Replays one application's timestamps through a
+/// [`sitw_core::ProductionManager`] and returns the per-invocation
+/// verdict stream — the offline ground truth for a daemon serving in
+/// production mode.
+///
+/// Unlike [`verdict_trace`], which drives a per-app [`AppPolicy`] on
+/// idle times alone, the production scheme is day-aware: `events` are
+/// absolute trace timestamps and day boundaries fall exactly where the
+/// daemon's do, so an online replay of the same `(app, ts)` stream is
+/// bit-for-bit identical. Classification goes through the same
+/// [`sitw_core::Windows::classify_gap`] single source of truth.
+pub fn production_verdict_trace(
+    events: &[TimeMs],
+    manager: &mut sitw_core::ProductionManager,
+    app: sitw_core::AppKey,
+) -> Vec<InvocationVerdict> {
+    let mut out = Vec::with_capacity(events.len());
+    if events.is_empty() {
+        return out;
+    }
+    debug_assert!(events.windows(2).all(|w| w[0] <= w[1]), "events sorted");
+
+    let (mut windows, kind) = manager.on_invocation(app, events[0], None);
+    out.push(InvocationVerdict {
+        ts: events[0],
+        cold: true,
+        prewarm_load: false,
+        kind,
+        windows,
+    });
+    let mut prev_end = events[0];
+
+    for &t in &events[1..] {
+        let outcome = windows.classify_gap(t - prev_end);
+        let (next, kind) = manager.on_invocation(app, t, Some(t - prev_end));
+        windows = next;
+        out.push(InvocationVerdict {
+            ts: t,
+            cold: outcome.cold,
+            prewarm_load: outcome.prewarm_load,
+            kind,
+            windows,
+        });
+        prev_end = t;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -545,6 +593,34 @@ mod tests {
     fn verdict_trace_empty_stream() {
         let mut p = FixedKeepAlive::minutes(10);
         assert!(verdict_trace(&[], &mut p).is_empty());
+        let mut m = sitw_core::ProductionManager::new(sitw_core::ProductionConfig::default());
+        assert!(production_verdict_trace(&[], &mut m, 0).is_empty());
+    }
+
+    #[test]
+    fn production_verdict_trace_uses_absolute_days() {
+        use sitw_core::{DayHistogram, ProductionConfig, ProductionManager};
+        const DAY: TimeMs = 24 * 60 * MINUTE_MS;
+        // Three days of a 30-minute pattern spanning day boundaries.
+        let events: Vec<TimeMs> = (0..(3 * 48)).map(|i| i * 30 * MIN).collect();
+        let mut m = ProductionManager::new(ProductionConfig::default());
+        let verdicts = production_verdict_trace(&events, &mut m, 7);
+
+        assert!(verdicts[0].cold, "first invocation cold by definition");
+        assert_eq!(verdicts.len(), events.len());
+        // Day boundaries fall at the absolute timestamps: one daily
+        // histogram per trace day was retained.
+        let state = m.export_app(7).unwrap();
+        assert_eq!(
+            state.days.iter().map(|d| d.day).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!(state.days.iter().all(|d: &DayHistogram| d.oob == 0));
+        // The learned pattern keeps the steady 30-minute gaps warm.
+        let tail = &verdicts[verdicts.len() / 2..];
+        assert!(tail.iter().all(|v| !v.cold), "pattern learned by mid-trace");
+        // Backups ticked along the 3-day clock.
+        assert_eq!(m.backups_taken(), (3 * DAY - 30 * MIN) / 3_600_000);
     }
 
     #[test]

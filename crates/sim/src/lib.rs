@@ -32,7 +32,8 @@ pub mod metrics;
 pub mod sweep;
 
 pub use engine::{
-    simulate_app, simulate_app_with_exec, verdict_trace, AppSimResult, InvocationVerdict,
+    production_verdict_trace, simulate_app, simulate_app_with_exec, verdict_trace, AppSimResult,
+    InvocationVerdict,
 };
 pub use metrics::{pareto_points, ParetoPoint, PolicyAggregate};
 pub use sweep::{run_sweep, PolicySpec};

@@ -7,7 +7,9 @@
 //! amortized. Merging is deterministic (chunk order), so sweeps are
 //! reproducible bit-for-bit.
 
-use sitw_core::{AppPolicy, FixedKeepAlive, HybridConfig, NoUnloading, PolicyFactory};
+use sitw_core::{
+    AppPolicy, FixedKeepAlive, HybridConfig, NoUnloading, PolicyFactory, ProductionConfig,
+};
 use sitw_trace::{app_invocations, Population, TraceConfig};
 
 use crate::engine::simulate_app;
@@ -22,6 +24,9 @@ pub enum PolicySpec {
     NoUnloading,
     /// The hybrid histogram policy.
     Hybrid(HybridConfig),
+    /// The production-manager scheme (§6): daily histograms with
+    /// retention and recency-weighted aggregation.
+    Production(ProductionConfig),
 }
 
 impl PolicySpec {
@@ -36,15 +41,22 @@ impl PolicySpec {
             PolicySpec::Fixed(f) => f.label(),
             PolicySpec::NoUnloading => NoUnloading.label(),
             PolicySpec::Hybrid(h) => h.label(),
+            PolicySpec::Production(p) => p.label(),
         }
     }
 
     /// Creates the per-app policy instance.
+    ///
+    /// For [`PolicySpec::Production`] this is the single-app
+    /// [`sitw_core::ProductionPolicy`] adapter (trace-relative day
+    /// boundaries); daemon-parity replays use
+    /// [`crate::production_verdict_trace`] with absolute timestamps.
     pub fn new_policy(&self) -> Box<dyn AppPolicy + Send> {
         match self {
             PolicySpec::Fixed(f) => Box::new(f.new_policy()),
             PolicySpec::NoUnloading => Box::new(NoUnloading),
             PolicySpec::Hybrid(h) => Box::new(h.new_policy()),
+            PolicySpec::Production(p) => Box::new(p.new_policy()),
         }
     }
 }
@@ -148,6 +160,7 @@ mod tests {
             PolicySpec::fixed_minutes(10),
             PolicySpec::NoUnloading,
             PolicySpec::Hybrid(HybridConfig::default()),
+            PolicySpec::Production(ProductionConfig::default()),
         ]
     }
 
@@ -168,6 +181,19 @@ mod tests {
             b.sort_by(f64::total_cmp);
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn production_spec_sweeps_like_any_policy() {
+        let (pop, cfg) = setup();
+        let aggs = run_sweep(&pop, &cfg, &specs(), 2);
+        let nounload = &aggs[1];
+        let production = &aggs[3];
+        assert_eq!(production.label, "production-240m-14d[5,99]exp0.85");
+        assert_eq!(production.invocations, nounload.invocations);
+        // Bounded keep-alives always waste less than never unloading.
+        assert!(production.wasted_ms < nounload.wasted_ms);
+        assert!(production.cold_starts >= nounload.cold_starts);
     }
 
     #[test]

@@ -53,13 +53,14 @@ pub use sitw_trace as trace;
 pub mod prelude {
     pub use sitw_core::{
         AppPolicy, DecisionKind, FixedKeepAlive, HybridConfig, HybridPolicy, NoUnloading,
-        PolicyFactory, ProductionConfig, ProductionManager, Windows,
+        PolicyFactory, ProductionConfig, ProductionManager, ProductionPolicy, RecencyWeighting,
+        Windows,
     };
     pub use sitw_platform::{run_platform, PlatformConfig, PlatformReport};
     pub use sitw_serve::{run_loadgen, LoadGenConfig, LoadGenReport, ServeConfig, Server};
     pub use sitw_sim::{
-        pareto_points, run_sweep, simulate_app, simulate_app_with_exec, verdict_trace,
-        AppSimResult, InvocationVerdict, PolicyAggregate, PolicySpec,
+        pareto_points, production_verdict_trace, run_sweep, simulate_app, simulate_app_with_exec,
+        verdict_trace, AppSimResult, InvocationVerdict, PolicyAggregate, PolicySpec,
     };
     pub use sitw_stats::{Ecdf, RangeHistogram, Welford};
     pub use sitw_trace::{
