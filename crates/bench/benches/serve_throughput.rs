@@ -1,17 +1,53 @@
-//! Serving throughput: decisions per second through the full HTTP path
-//! (loopback) across shard counts, measured by the open-loop load
+//! Serving throughput: decisions per second through the full loopback
+//! wire path, across shard counts and both protocols (JSON/HTTP vs
+//! SITW-BIN at batch 1/16/128), measured by the open-loop load
 //! generator. The ISSUE-1 acceptance floor is 50k decisions/sec on a
-//! 4-shard daemon in release mode.
+//! 4-shard daemon in release mode; the ISSUE-3 gate is SITW-BIN at
+//! batch ≥ 16 sustaining ≥ 1.5× the JSON rate on the same hardware.
+//!
+//! Besides the human-readable report, this bench is the perf-trajectory
+//! recorder: with `SITW_BENCH_JSON=path` it writes every case's mean
+//! dec/s as a JSON array (`{proto, policy, shards, batch, dec_per_sec}`
+//! records) — CI commits the refreshed `BENCH_serve.json` at the repo
+//! root so speedups stay verifiable across PRs. Set `SITW_BENCH_GATE=0`
+//! to skip the BIN-vs-JSON ratio assertion (it is on by default).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::io::Write as _;
+use std::sync::Mutex;
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use sitw_core::{HybridConfig, ProductionConfig};
-use sitw_serve::{run_loadgen, LoadGenConfig, ServeConfig, Server};
+use sitw_serve::{run_loadgen, LoadGenConfig, Proto, ServeConfig, Server};
 use sitw_sim::PolicySpec;
 use sitw_trace::DAY_MS;
 
 const EVENTS: usize = 20_000;
 
-fn loadgen_config() -> LoadGenConfig {
+/// The ISSUE-3 acceptance floor: BIN at batch ≥ 16 vs JSON, same shards.
+const GATE_RATIO: f64 = 1.5;
+
+/// One measured case, accumulated for the machine-readable report.
+struct CaseResult {
+    proto: &'static str,
+    policy: &'static str,
+    shards: usize,
+    batch: usize,
+    samples: Vec<f64>,
+}
+
+impl CaseResult {
+    fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+}
+
+static RESULTS: Mutex<Vec<CaseResult>> = Mutex::new(Vec::new());
+
+fn loadgen_config(proto: Proto) -> LoadGenConfig {
     LoadGenConfig {
         apps: 300,
         seed: 42,
@@ -21,41 +57,165 @@ fn loadgen_config() -> LoadGenConfig {
         connections: 2,
         window: 128,
         max_events: EVENTS,
+        proto,
     }
+}
+
+fn run_once(shards: usize, policy: PolicySpec, proto: Proto) -> f64 {
+    // A fresh server per iteration: policy state is cumulative and
+    // timestamps must stay monotone.
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards,
+        policy,
+        ..ServeConfig::default()
+    })
+    .expect("server start");
+    let report = run_loadgen(server.addr(), &loadgen_config(proto)).expect("loadgen");
+    assert_eq!(report.ok, EVENTS as u64, "lost responses");
+    server.shutdown().expect("shutdown");
+    report.throughput
 }
 
 fn bench_decisions_per_sec(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve_throughput");
     group.throughput(Throughput::Elements(EVENTS as u64));
     group.sample_size(10);
-    let run_once = |shards: usize, policy: PolicySpec| {
-        // A fresh server per iteration: policy state is cumulative and
-        // timestamps must stay monotone.
-        let server = Server::start(ServeConfig {
-            addr: "127.0.0.1:0".into(),
-            shards,
-            policy,
-            ..ServeConfig::default()
-        })
-        .expect("server start");
-        let report = run_loadgen(server.addr(), &loadgen_config()).expect("loadgen");
-        assert_eq!(report.ok, EVENTS as u64, "lost responses");
-        server.shutdown().expect("shutdown");
-        report.throughput
-    };
-    for shards in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
-            b.iter(|| run_once(shards, PolicySpec::Hybrid(HybridConfig::default())))
+
+    let case = |group: &mut criterion::BenchmarkGroup<'_>,
+                id: BenchmarkId,
+                proto_label: &'static str,
+                policy_label: &'static str,
+                shards: usize,
+                batch: usize,
+                policy: fn() -> PolicySpec,
+                proto: Proto| {
+        let mut samples = Vec::new();
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let dec_per_sec = run_once(shards, policy(), proto);
+                samples.push(dec_per_sec);
+                dec_per_sec
+            })
         });
+        RESULTS.lock().unwrap().push(CaseResult {
+            proto: proto_label,
+            policy: policy_label,
+            shards,
+            batch,
+            samples,
+        });
+    };
+
+    let hybrid = || PolicySpec::Hybrid(HybridConfig::default());
+    let production = || PolicySpec::Production(ProductionConfig::default());
+
+    // JSON across shard counts (the PR-1 shape, unchanged).
+    for shards in [1usize, 2, 4] {
+        case(
+            &mut group,
+            BenchmarkId::new("json/shards", shards),
+            "json",
+            "hybrid",
+            shards,
+            1,
+            hybrid,
+            Proto::Json,
+        );
     }
-    // The §6 production-manager mode on the 4-shard shape, so its
-    // decision path (daily rotation + weighted aggregation per invoke)
-    // is tracked next to the hybrid baseline.
-    group.bench_function(BenchmarkId::new("production", 4usize), |b| {
-        b.iter(|| run_once(4, PolicySpec::Production(ProductionConfig::default())))
-    });
+    // The §6 production-manager mode on the 4-shard shape.
+    case(
+        &mut group,
+        BenchmarkId::new("json/production", 4usize),
+        "json",
+        "production",
+        4,
+        1,
+        production,
+        Proto::Json,
+    );
+    // SITW-BIN at increasing batch sizes, same 4-shard shape as the
+    // JSON baseline it is gated against.
+    for batch in [1usize, 16, 128] {
+        case(
+            &mut group,
+            BenchmarkId::new("bin/batch", batch),
+            "bin",
+            "hybrid",
+            4,
+            batch,
+            hybrid,
+            Proto::Bin { batch },
+        );
+    }
     group.finish();
 }
 
+/// Writes `BENCH_serve.json`-style output and enforces the perf gate.
+fn report_and_gate() {
+    let results = RESULTS.lock().unwrap();
+
+    if let Ok(path) = std::env::var("SITW_BENCH_JSON") {
+        // Cargo runs benches from the package dir; anchor relative
+        // paths at the workspace root so `SITW_BENCH_JSON=BENCH_serve.json`
+        // lands where CI and the committed baseline expect it.
+        let path = if std::path::Path::new(&path).is_absolute() {
+            std::path::PathBuf::from(&path)
+        } else {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(&path)
+        };
+        let mut json = String::from("[\n");
+        for (i, r) in results.iter().enumerate() {
+            if i > 0 {
+                json.push_str(",\n");
+            }
+            json.push_str(&format!(
+                "  {{\"proto\": \"{}\", \"policy\": \"{}\", \"shards\": {}, \"batch\": {}, \
+                 \"dec_per_sec\": {:.0}}}",
+                r.proto,
+                r.policy,
+                r.shards,
+                r.batch,
+                r.mean()
+            ));
+        }
+        json.push_str("\n]\n");
+        let mut file = std::fs::File::create(&path).expect("create SITW_BENCH_JSON");
+        file.write_all(json.as_bytes()).expect("write bench json");
+        println!("wrote {} ({} cases)", path.display(), results.len());
+    }
+
+    if std::env::var("SITW_BENCH_GATE").as_deref() == Ok("0") {
+        return;
+    }
+    let json_4 = results
+        .iter()
+        .find(|r| r.proto == "json" && r.policy == "hybrid" && r.shards == 4)
+        .map(CaseResult::mean)
+        .expect("json 4-shard baseline case");
+    let bin_best = results
+        .iter()
+        .filter(|r| r.proto == "bin" && r.batch >= 16)
+        .map(CaseResult::mean)
+        .fold(0.0f64, f64::max);
+    println!(
+        "gate: bin(batch>=16) {:.0} dec/s vs json {:.0} dec/s = {:.2}x (floor {GATE_RATIO}x)",
+        bin_best,
+        json_4,
+        bin_best / json_4
+    );
+    assert!(
+        bin_best >= GATE_RATIO * json_4,
+        "perf gate failed: SITW-BIN at batch>=16 must sustain >= {GATE_RATIO}x the JSON \
+         rate ({bin_best:.0} vs {json_4:.0} dec/s)"
+    );
+}
+
 criterion_group!(benches, bench_decisions_per_sec);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    report_and_gate();
+}

@@ -5,23 +5,27 @@
 //!              [--horizon-hours 24] [--cap-per-day 2000]
 //!              [--speedup N | --max-speed] [--connections 2]
 //!              [--window 64] [--max-events 0]
+//!              [--proto json|bin|bin:batch=N]
 //! ```
 //!
 //! Generates the synthetic Azure-Functions-like workload of
 //! `sitw_trace` and replays it open-loop against a running daemon,
 //! then prints sustained throughput and exact latency percentiles.
+//! `--proto bin` speaks SITW-BIN v1 frames (default batch 16) instead
+//! of JSON-over-HTTP.
 
 use std::net::ToSocketAddrs;
 use std::process::exit;
 
-use sitw_serve::{run_loadgen, LoadGenConfig};
+use sitw_serve::{run_loadgen, LoadGenConfig, Proto};
 use sitw_trace::HOUR_MS;
 
 fn usage() -> ! {
     eprintln!(
         "usage: sitw-loadgen --addr HOST:PORT [--apps N] [--seed N] \
          [--horizon-hours H] [--cap-per-day N] [--speedup N | --max-speed] \
-         [--connections N] [--window N] [--max-events N]"
+         [--connections N] [--window N] [--max-events N] \
+         [--proto json|bin|bin:batch=N]"
     );
     exit(2)
 }
@@ -57,6 +61,13 @@ fn main() {
             "--max-events" => {
                 cfg.max_events = value("--max-events").parse().unwrap_or_else(|_| usage());
             }
+            "--proto" => match Proto::parse(&value("--proto")) {
+                Ok(p) => cfg.proto = p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    usage();
+                }
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -74,7 +85,7 @@ fn main() {
     };
 
     println!(
-        "replaying {} apps over {}h (cap {}/day) at {} via {} connection(s), window {}",
+        "replaying {} apps over {}h (cap {}/day) at {} via {} connection(s), window {}, proto {}",
         cfg.apps,
         cfg.horizon_ms / HOUR_MS,
         cfg.cap_per_day,
@@ -84,7 +95,8 @@ fn main() {
             "max speed".into()
         },
         cfg.connections,
-        cfg.window
+        cfg.window,
+        cfg.proto.label()
     );
     match run_loadgen(addr, &cfg) {
         Ok(report) => println!("{}", report.summary()),

@@ -1,15 +1,21 @@
-//! Minimal HTTP/1.1 plumbing: enough of the protocol for a loopback
-//! control-plane service — persistent connections, pipelining,
-//! `Content-Length` bodies — and nothing more (no chunked encoding, no
-//! TLS, no multipart).
+//! Minimal HTTP/1.1 plumbing — persistent connections, pipelining,
+//! `Content-Length` bodies, no chunked encoding, no TLS — plus the
+//! protocol sniff that lets SITW-BIN frames share the same port.
 //!
 //! [`ConnBuf`] owns the read side of a connection with an explicit
 //! buffer, so a read timeout mid-request loses nothing: partial bytes
 //! stay buffered and parsing resumes on the next call. That property is
-//! what lets connection threads poll a shutdown flag between reads.
+//! what lets connection threads poll a shutdown flag between reads, and
+//! it is exactly what reassembles SITW-BIN frames split across TCP
+//! segment boundaries: [`ConnBuf::read_event`] peeks the first
+//! unconsumed byte — [`crate::wire::BIN_MAGIC`] means a binary frame,
+//! anything else (in practice an ASCII method letter) means HTTP — and
+//! keeps filling until one complete message is buffered.
 
 use std::io::{self, Read};
 use std::net::TcpStream;
+
+use crate::wire::{self, BinErrorCode, FrameDecode, InvokeRequest};
 
 /// Maximum accepted header block (request line + headers).
 const MAX_HEADER_BYTES: usize = 16 * 1024;
@@ -51,12 +57,48 @@ pub enum ReadOutcome {
     },
 }
 
+/// One parsed inbound message on a sniffed connection: an HTTP request
+/// or a SITW-BIN frame, plus the stream conditions the caller handles.
+#[derive(Debug)]
+pub enum EventOutcome {
+    /// A complete HTTP request.
+    Request(Request),
+    /// A complete SITW-BIN request frame.
+    Frame(Vec<InvokeRequest>),
+    /// A SITW-BIN protocol error. When `recoverable`, the offending
+    /// frame has been skipped (its envelope was intact) and the
+    /// connection stays usable; otherwise the caller must answer the
+    /// error frame and close.
+    FrameError {
+        /// The typed error to send back.
+        code: BinErrorCode,
+        /// Human-readable detail for the error frame.
+        detail: String,
+        /// The connection can continue after the error frame.
+        recoverable: bool,
+    },
+    /// The peer closed the connection cleanly (between messages).
+    Eof,
+    /// The read timed out with no complete message buffered; partial
+    /// bytes remain buffered. Callers poll their shutdown flag and retry.
+    Timeout,
+    /// An HTTP request declared a `Content-Length` beyond
+    /// [`MAX_BODY_BYTES`] (see [`ReadOutcome::BodyTooLarge`]).
+    BodyTooLarge {
+        /// The declared content length.
+        declared: u64,
+    },
+}
+
 /// Buffered reader over a [`TcpStream`] that survives read timeouts.
 pub struct ConnBuf {
     stream: TcpStream,
     buf: Vec<u8>,
     /// Consumed prefix of `buf`.
     start: usize,
+    /// Unread bytes of a malformed-but-delimited SITW-BIN frame still to
+    /// discard before the next message boundary.
+    skip_remaining: usize,
 }
 
 impl ConnBuf {
@@ -66,6 +108,7 @@ impl ConnBuf {
             stream,
             buf: Vec::with_capacity(16 * 1024),
             start: 0,
+            skip_remaining: 0,
         }
     }
 
@@ -110,9 +153,104 @@ impl ConnBuf {
         }
     }
 
-    /// Parses the next pipelined request, reading from the socket as
-    /// needed.
+    /// Parses the next pipelined message — HTTP request or SITW-BIN
+    /// frame, sniffed on the first unconsumed byte — reading from the
+    /// socket as needed.
+    pub fn read_event(&mut self) -> io::Result<EventOutcome> {
+        // Finish discarding a malformed-but-delimited frame first, so a
+        // skip larger than the buffer never has to be buffered whole.
+        while self.skip_remaining > 0 {
+            let have = self.buffered().min(self.skip_remaining);
+            self.start += have;
+            self.skip_remaining -= have;
+            if self.skip_remaining == 0 {
+                break;
+            }
+            match self.fill() {
+                Ok(0) => return Ok(EventOutcome::Eof),
+                Ok(_) => {}
+                Err(e) if is_timeout(&e) => return Ok(EventOutcome::Timeout),
+                Err(e) => return Err(e),
+            }
+        }
+        while self.buffered() == 0 {
+            match self.fill() {
+                Ok(0) => return Ok(EventOutcome::Eof),
+                Ok(_) => {}
+                Err(e) if is_timeout(&e) => return Ok(EventOutcome::Timeout),
+                Err(e) => return Err(e),
+            }
+        }
+        if self.buf[self.start] == wire::BIN_MAGIC {
+            self.read_frame()
+        } else {
+            Ok(match self.read_http()? {
+                ReadOutcome::Request(r) => EventOutcome::Request(r),
+                ReadOutcome::Eof => EventOutcome::Eof,
+                ReadOutcome::Timeout => EventOutcome::Timeout,
+                ReadOutcome::BodyTooLarge { declared } => EventOutcome::BodyTooLarge { declared },
+            })
+        }
+    }
+
+    /// Parses the next SITW-BIN frame. The first unconsumed byte is
+    /// already known to be [`wire::BIN_MAGIC`].
+    fn read_frame(&mut self) -> io::Result<EventOutcome> {
+        loop {
+            match wire::decode_request_frame(&self.buf[self.start..]) {
+                FrameDecode::Request { records, consumed } => {
+                    self.start += consumed;
+                    return Ok(EventOutcome::Frame(records));
+                }
+                FrameDecode::Error { code, detail, skip } => {
+                    let recoverable = skip.is_some();
+                    if let Some(total) = skip {
+                        // Consume what is buffered now; the rest is
+                        // discarded lazily on the next read_event call.
+                        let have = self.buffered().min(total);
+                        self.start += have;
+                        self.skip_remaining = total - have;
+                    }
+                    return Ok(EventOutcome::FrameError {
+                        code,
+                        detail,
+                        recoverable,
+                    });
+                }
+                FrameDecode::Incomplete => match self.fill() {
+                    Ok(0) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "eof mid-frame",
+                        ))
+                    }
+                    Ok(_) => {}
+                    Err(e) if is_timeout(&e) => return Ok(EventOutcome::Timeout),
+                    Err(e) => return Err(e),
+                },
+            }
+        }
+    }
+
+    /// Parses the next pipelined HTTP request, reading from the socket
+    /// as needed. A SITW-BIN frame on the connection is a protocol
+    /// error through this entry point — servers use
+    /// [`ConnBuf::read_event`], which speaks both.
     pub fn read_request(&mut self) -> io::Result<ReadOutcome> {
+        match self.read_event()? {
+            EventOutcome::Request(r) => Ok(ReadOutcome::Request(r)),
+            EventOutcome::Eof => Ok(ReadOutcome::Eof),
+            EventOutcome::Timeout => Ok(ReadOutcome::Timeout),
+            EventOutcome::BodyTooLarge { declared } => Ok(ReadOutcome::BodyTooLarge { declared }),
+            EventOutcome::Frame(_) | EventOutcome::FrameError { .. } => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unexpected binary frame on an http-only reader",
+            )),
+        }
+    }
+
+    /// Parses the next HTTP request from the buffer.
+    fn read_http(&mut self) -> io::Result<ReadOutcome> {
         loop {
             // 1. Find the end of the header block in the buffered bytes.
             let window = &self.buf[self.start..];
@@ -414,6 +552,171 @@ mod tests {
             other => panic!("{other:?}"),
         };
         assert!(r.close);
+    }
+
+    #[test]
+    fn sniffs_binary_frames_next_to_http_on_one_connection() {
+        let (mut client, server) = pair();
+        server
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut conn = ConnBuf::new(server);
+
+        // HTTP request, then a SITW-BIN frame, then HTTP again — the
+        // sniff is per message, not per connection.
+        client.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let mut frame = Vec::new();
+        wire::encode_request_frame(&mut frame, &[("app-000001", 7), ("caf\u{e9}", 8)]);
+        client.write_all(&frame).unwrap();
+        client.write_all(b"GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+
+        match conn.read_event().unwrap() {
+            EventOutcome::Request(r) => assert_eq!(r.path, "/healthz"),
+            other => panic!("{other:?}"),
+        }
+        match conn.read_event().unwrap() {
+            EventOutcome::Frame(records) => {
+                assert_eq!(records.len(), 2);
+                assert_eq!(records[0].app, "app-000001");
+                assert_eq!(records[1].app, "caf\u{e9}");
+            }
+            other => panic!("{other:?}"),
+        }
+        match conn.read_event().unwrap() {
+            EventOutcome::Request(r) => assert_eq!(r.path, "/metrics"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_split_at_every_byte_boundary_reassembles() {
+        // The frame arrives in two reads split at byte i, for every i:
+        // the first read must surface Timeout (partial frame preserved),
+        // the second must complete it.
+        let mut frame = Vec::new();
+        wire::encode_request_frame(&mut frame, &[("app-β-000001", 123_456_789), ("x", 0)]);
+        for i in 1..frame.len() {
+            let (mut client, server) = pair();
+            server
+                .set_read_timeout(Some(Duration::from_millis(10)))
+                .unwrap();
+            let mut conn = ConnBuf::new(server);
+            client.write_all(&frame[..i]).unwrap();
+            match conn.read_event().unwrap() {
+                EventOutcome::Timeout => {}
+                other => panic!("split at {i}: {other:?}"),
+            }
+            client.write_all(&frame[i..]).unwrap();
+            loop {
+                match conn.read_event().unwrap() {
+                    EventOutcome::Frame(records) => {
+                        assert_eq!(records.len(), 2, "split at {i}");
+                        assert_eq!(records[0].app, "app-β-000001");
+                        break;
+                    }
+                    EventOutcome::Timeout => continue,
+                    other => panic!("split at {i}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recoverable_frame_error_skips_and_keeps_reading() {
+        let (mut client, server) = pair();
+        server
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut conn = ConnBuf::new(server);
+
+        // A malformed frame (empty app) with an intact envelope,
+        // followed immediately by a good frame.
+        let mut bad_payload = vec![0u8, 0];
+        bad_payload.extend_from_slice(&7u64.to_le_bytes());
+        let mut bad = Vec::new();
+        bad.push(wire::BIN_MAGIC);
+        bad.push(wire::BIN_VERSION);
+        bad.push(wire::FRAME_REQUEST);
+        bad.extend_from_slice(&(bad_payload.len() as u32).to_le_bytes());
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        bad.extend_from_slice(&bad_payload);
+        client.write_all(&bad).unwrap();
+        let mut good = Vec::new();
+        wire::encode_request_frame(&mut good, &[("ok", 1)]);
+        client.write_all(&good).unwrap();
+
+        match conn.read_event().unwrap() {
+            EventOutcome::FrameError {
+                code, recoverable, ..
+            } => {
+                assert_eq!(code, BinErrorCode::Malformed);
+                assert!(recoverable);
+            }
+            other => panic!("{other:?}"),
+        }
+        loop {
+            match conn.read_event().unwrap() {
+                EventOutcome::Frame(records) => {
+                    assert_eq!(records[0].app, "ok");
+                    break;
+                }
+                EventOutcome::Timeout => continue,
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_batch_error_skips_payload_larger_than_buffer() {
+        // Header declares count > MAX_BATCH with a large (but capped)
+        // payload; the error surfaces from the header alone and the
+        // payload is discarded incrementally, then a good frame parses.
+        let (mut client, server) = pair();
+        server
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut conn = ConnBuf::new(server);
+
+        let payload_len = 256 * 1024;
+        let mut bad = Vec::new();
+        bad.push(wire::BIN_MAGIC);
+        bad.push(wire::BIN_VERSION);
+        bad.push(wire::FRAME_REQUEST);
+        bad.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        bad.extend_from_slice(&((wire::MAX_BATCH + 1) as u32).to_le_bytes());
+        client.write_all(&bad).unwrap();
+
+        match conn.read_event().unwrap() {
+            EventOutcome::FrameError {
+                code, recoverable, ..
+            } => {
+                assert_eq!(code, BinErrorCode::Oversized);
+                assert!(recoverable);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Stream the dead payload from a thread (it exceeds the socket
+        // buffer), then the good frame.
+        let mut good = Vec::new();
+        wire::encode_request_frame(&mut good, &[("alive", 9)]);
+        let writer = std::thread::spawn(move || {
+            client.write_all(&vec![0u8; payload_len]).unwrap();
+            client.write_all(&good).unwrap();
+            client
+        });
+        loop {
+            match conn.read_event().unwrap() {
+                EventOutcome::Frame(records) => {
+                    assert_eq!(records[0].app, "alive");
+                    assert_eq!(records[0].ts, 9);
+                    break;
+                }
+                EventOutcome::Timeout => continue,
+                other => panic!("{other:?}"),
+            }
+        }
+        drop(writer.join().unwrap());
     }
 
     #[test]

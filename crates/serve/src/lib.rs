@@ -33,10 +33,18 @@
 //!   truth the offline simulator uses, so an online replay of a trace
 //!   produces exactly [`sitw_sim::verdict_trace`]'s answers. The
 //!   integration tests assert this bit-for-bit.
+//! * **SITW-BIN v1** ([`wire`]): a length-prefixed batched binary
+//!   protocol on the same port, sniffed per message on its first byte
+//!   ([`wire::BIN_MAGIC`] vs an ASCII method letter). A frame of up to
+//!   [`wire::MAX_BATCH`] invocations crosses each shard mailbox in one
+//!   message and is answered by fixed 9-byte verdict records, so the
+//!   per-decision parse/format/syscall/wake cost is amortized over the
+//!   whole batch. Malformed frames get typed error frames; whenever the
+//!   length-prefixed envelope is intact the connection stays usable.
 //! * **Load generator** ([`loadgen`]): replays `sitw_trace` workloads
 //!   open-loop at a configurable speedup (or flat out) over pipelined
-//!   connections and reports sustained throughput and exact latency
-//!   percentiles.
+//!   connections — speaking JSON or SITW-BIN ([`loadgen::Proto`]) — and
+//!   reports sustained throughput and exact latency percentiles.
 //!
 //! # Quickstart
 //!
@@ -68,8 +76,8 @@ pub mod shard;
 pub mod snapshot;
 pub mod wire;
 
-pub use loadgen::{run_loadgen, LoadGenConfig, LoadGenReport};
-pub use metrics::{MetricsReport, ShardStats};
+pub use loadgen::{run_loadgen, LoadGenConfig, LoadGenReport, Proto};
+pub use metrics::{MetricsReport, ProtoStats, ShardStats};
 pub use server::{ServeConfig, Server};
-pub use shard::{shard_of, Decision, InvokeError, ServedPolicy};
+pub use shard::{shard_of, BatchItem, BatchReply, Decision, InvokeError, ServedPolicy};
 pub use snapshot::{AppRecord, PolicyState, ShardExport, Snapshot};

@@ -20,6 +20,48 @@ use std::time::{Duration, Instant};
 use sitw_stats::percentile_sorted;
 use sitw_trace::{app_invocations, build_population, PopulationConfig, TraceConfig, HOUR_MS};
 
+use crate::wire::{self, BinReply, ServerFrameDecode};
+
+/// Which wire protocol the generator speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Proto {
+    /// One `POST /invoke` JSON request per invocation (pipelined).
+    Json,
+    /// SITW-BIN v1 frames of `batch` invocations each.
+    Bin {
+        /// Records per frame (clamped to `1..=`[`wire::MAX_BATCH`]).
+        batch: usize,
+    },
+}
+
+impl Proto {
+    /// Parses a `--proto` argument: `json`, `bin`, or `bin:batch=N`.
+    pub fn parse(s: &str) -> Result<Proto, String> {
+        match s {
+            "json" => Ok(Proto::Json),
+            "bin" => Ok(Proto::Bin { batch: 16 }),
+            _ => match s.strip_prefix("bin:batch=") {
+                Some(n) => {
+                    let batch: usize = n.parse().map_err(|_| format!("bad batch '{n}'"))?;
+                    if batch == 0 || batch > wire::MAX_BATCH {
+                        return Err(format!("batch must be in 1..={}", wire::MAX_BATCH));
+                    }
+                    Ok(Proto::Bin { batch })
+                }
+                None => Err(format!("unknown proto '{s}' (json | bin | bin:batch=N)")),
+            },
+        }
+    }
+
+    /// Human-readable label, e.g. `json` or `bin:batch=16`.
+    pub fn label(&self) -> String {
+        match self {
+            Proto::Json => "json".into(),
+            Proto::Bin { batch } => format!("bin:batch={batch}"),
+        }
+    }
+}
+
 /// Load generator configuration.
 #[derive(Debug, Clone)]
 pub struct LoadGenConfig {
@@ -34,12 +76,15 @@ pub struct LoadGenConfig {
     /// Trace-time acceleration: 60 ⇒ one trace hour replays in one
     /// minute. `f64::INFINITY` ⇒ replay as fast as the server accepts.
     pub speedup: f64,
-    /// Parallel HTTP connections.
+    /// Parallel connections.
     pub connections: usize,
-    /// Pipeline depth per connection.
+    /// In-flight invocations per connection (JSON: pipelined requests;
+    /// BIN: records across in-flight frames).
     pub window: usize,
     /// Cap on total invocations sent (0 = no cap).
     pub max_events: usize,
+    /// Wire protocol to speak.
+    pub proto: Proto,
 }
 
 impl Default for LoadGenConfig {
@@ -53,6 +98,7 @@ impl Default for LoadGenConfig {
             connections: 2,
             window: 64,
             max_events: 0,
+            proto: Proto::Json,
         }
     }
 }
@@ -170,8 +216,19 @@ pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenR
             if schedule.is_empty() {
                 continue;
             }
-            handles.push(scope.spawn(move || {
-                drive_connection(addr, schedule, start_ts, cfg.speedup, cfg.window, started)
+            handles.push(scope.spawn(move || match cfg.proto {
+                Proto::Json => {
+                    drive_connection(addr, schedule, start_ts, cfg.speedup, cfg.window, started)
+                }
+                Proto::Bin { batch } => drive_connection_bin(
+                    addr,
+                    schedule,
+                    start_ts,
+                    cfg.speedup,
+                    cfg.window,
+                    batch,
+                    started,
+                ),
             }));
         }
         for handle in handles {
@@ -320,6 +377,175 @@ fn drive_connection(
     Ok(result)
 }
 
+/// Sends one connection's schedule as SITW-BIN frames of `batch`
+/// records, keeping up to `window` records in flight across frames.
+/// Per-record latency is the latency of the frame that carried it.
+fn drive_connection_bin(
+    addr: SocketAddr,
+    schedule: &[Event],
+    start_ts: u64,
+    speedup: f64,
+    window: usize,
+    batch: usize,
+    started: Instant,
+) -> io::Result<ConnResult> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut reader = ResponseReader::new(stream.try_clone()?);
+
+    let batch = batch.clamp(1, wire::MAX_BATCH);
+    let window = window.max(batch);
+    let paced = speedup.is_finite() && speedup > 0.0;
+    let mut result = ConnResult {
+        sent: 0,
+        ok: 0,
+        cold: 0,
+        errors: 0,
+        latencies_us: Vec::with_capacity(schedule.len()),
+    };
+    let mut out: Vec<u8> = Vec::with_capacity(64 * 1024);
+    // The frame under construction (app names owned until encoded).
+    let mut building: Vec<(String, u64)> = Vec::with_capacity(batch);
+    // In-flight frames: when they were last written and their size.
+    let mut in_flight: std::collections::VecDeque<(Instant, usize)> =
+        std::collections::VecDeque::new();
+    let mut in_flight_records = 0usize;
+
+    fn flush_frame(
+        building: &mut Vec<(String, u64)>,
+        out: &mut Vec<u8>,
+        in_flight: &mut std::collections::VecDeque<(Instant, usize)>,
+        in_flight_records: &mut usize,
+    ) {
+        if building.is_empty() {
+            return;
+        }
+        let records: Vec<(&str, u64)> = building.iter().map(|(a, ts)| (a.as_str(), *ts)).collect();
+        wire::encode_request_frame(out, &records);
+        in_flight.push_back((Instant::now(), building.len()));
+        *in_flight_records += building.len();
+        building.clear();
+    }
+
+    let read_one_frame = |reader: &mut ResponseReader,
+                          in_flight: &mut std::collections::VecDeque<(Instant, usize)>,
+                          in_flight_records: &mut usize,
+                          result: &mut ConnResult|
+     -> io::Result<()> {
+        let records = reader.read_bin_frame()?;
+        let (sent_at, count) = in_flight.pop_front().expect("reply without frame");
+        *in_flight_records -= count;
+        let latency_us = sent_at.elapsed().as_nanos() as f64 / 1_000.0;
+        match records {
+            Some(records) => {
+                if records.len() != count {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("reply of {} records for frame of {count}", records.len()),
+                    ));
+                }
+                for r in records {
+                    result.latencies_us.push(latency_us);
+                    match r {
+                        BinReply::Verdict { cold, .. } => {
+                            result.ok += 1;
+                            if cold {
+                                result.cold += 1;
+                            }
+                        }
+                        BinReply::OutOfOrder { .. } => result.errors += 1,
+                    }
+                }
+            }
+            None => {
+                // A typed error frame answers the whole request frame.
+                for _ in 0..count {
+                    result.latencies_us.push(latency_us);
+                    result.errors += 1;
+                }
+            }
+        }
+        Ok(())
+    };
+
+    for event in schedule {
+        if paced {
+            let target = Duration::from_secs_f64((event.ts - start_ts) as f64 / 1_000.0 / speedup);
+            loop {
+                let now = started.elapsed();
+                if now >= target {
+                    break;
+                }
+                // Idle trace gaps: ship the partial frame and settle all
+                // replies, so measured latency is the server's.
+                flush_frame(
+                    &mut building,
+                    &mut out,
+                    &mut in_flight,
+                    &mut in_flight_records,
+                );
+                if !out.is_empty() {
+                    stream.write_all(&out)?;
+                    out.clear();
+                }
+                while !in_flight.is_empty() {
+                    read_one_frame(
+                        &mut reader,
+                        &mut in_flight,
+                        &mut in_flight_records,
+                        &mut result,
+                    )?;
+                }
+                std::thread::sleep((target - now).min(Duration::from_millis(2)));
+            }
+        }
+
+        building.push((app_name(event.app), event.ts));
+        result.sent += 1;
+        if building.len() >= batch {
+            flush_frame(
+                &mut building,
+                &mut out,
+                &mut in_flight,
+                &mut in_flight_records,
+            );
+        }
+        if in_flight_records + building.len() >= window {
+            if !out.is_empty() {
+                stream.write_all(&out)?;
+                out.clear();
+            }
+            if !in_flight.is_empty() {
+                read_one_frame(
+                    &mut reader,
+                    &mut in_flight,
+                    &mut in_flight_records,
+                    &mut result,
+                )?;
+            }
+        }
+    }
+    flush_frame(
+        &mut building,
+        &mut out,
+        &mut in_flight,
+        &mut in_flight_records,
+    );
+    if !out.is_empty() {
+        stream.write_all(&out)?;
+        out.clear();
+    }
+    while !in_flight.is_empty() {
+        read_one_frame(
+            &mut reader,
+            &mut in_flight,
+            &mut in_flight_records,
+            &mut result,
+        )?;
+    }
+    Ok(result)
+}
+
 fn app_name(app: u32) -> String {
     format!("app-{app:06}")
 }
@@ -384,6 +610,30 @@ impl ResponseReader {
         }
         self.buf.extend_from_slice(&chunk[..n]);
         Ok(n)
+    }
+
+    /// Reads one SITW-BIN server frame: `Some(records)` for a reply,
+    /// `None` for a typed error frame (the caller counts its whole
+    /// request frame as failed).
+    fn read_bin_frame(&mut self) -> io::Result<Option<Vec<BinReply>>> {
+        loop {
+            match wire::decode_server_frame(&self.buf[self.start..]) {
+                ServerFrameDecode::Reply { records, consumed } => {
+                    self.start += consumed;
+                    return Ok(Some(records));
+                }
+                ServerFrameDecode::Error { consumed, .. } => {
+                    self.start += consumed;
+                    return Ok(None);
+                }
+                ServerFrameDecode::Incomplete => {
+                    self.fill()?;
+                }
+                ServerFrameDecode::Malformed(msg) => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+                }
+            }
+        }
     }
 
     fn read_response(&mut self) -> io::Result<Response> {
@@ -462,6 +712,20 @@ mod tests {
             write_invoke_body(&mut body, &event);
             assert_eq!(body.len(), invoke_body_len(&event), "{body:?}");
         }
+    }
+
+    #[test]
+    fn proto_parse_forms() {
+        assert_eq!(Proto::parse("json").unwrap(), Proto::Json);
+        assert_eq!(Proto::parse("bin").unwrap(), Proto::Bin { batch: 16 });
+        assert_eq!(
+            Proto::parse("bin:batch=128").unwrap(),
+            Proto::Bin { batch: 128 }
+        );
+        assert!(Proto::parse("bin:batch=0").is_err());
+        assert!(Proto::parse(&format!("bin:batch={}", wire::MAX_BATCH + 1)).is_err());
+        assert!(Proto::parse("grpc").is_err());
+        assert_eq!(Proto::Bin { batch: 16 }.label(), "bin:batch=16");
     }
 
     #[test]

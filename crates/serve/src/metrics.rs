@@ -28,11 +28,26 @@ pub struct ShardStats {
     pub latency_us: Vec<(f64, f64)>,
 }
 
+/// Server-wide wire-protocol counters (connections are not sharded, so
+/// these live next to the per-shard stats, unlabelled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProtoStats {
+    /// Complete SITW-BIN request frames served.
+    pub frames: u64,
+    /// Decisions delivered through batched binary frames.
+    pub batched_decisions: u64,
+    /// Typed SITW-BIN protocol errors answered (malformed frames,
+    /// oversized batches, bad versions).
+    pub proto_errors: u64,
+}
+
 /// A full `/metrics` scrape: one entry per shard, plus uptime.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsReport {
     /// Per-shard statistics, ordered by shard index.
     pub shards: Vec<ShardStats>,
+    /// Server-wide SITW-BIN protocol counters.
+    pub proto: ProtoStats,
     /// Milliseconds since the server started.
     pub uptime_ms: u64,
 }
@@ -119,6 +134,28 @@ impl MetricsReport {
                 );
             }
         }
+        let proto: [(&str, &str, u64); 3] = [
+            (
+                "sitw_serve_frames_total",
+                "Complete SITW-BIN request frames served",
+                self.proto.frames,
+            ),
+            (
+                "sitw_serve_batched_decisions_total",
+                "Decisions delivered through batched binary frames",
+                self.proto.batched_decisions,
+            ),
+            (
+                "sitw_serve_proto_errors_total",
+                "Typed SITW-BIN protocol errors answered",
+                self.proto.proto_errors,
+            ),
+        ];
+        for (name, help, value) in proto {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
         let _ = writeln!(out, "# HELP sitw_serve_uptime_ms Time since server start");
         let _ = writeln!(out, "# TYPE sitw_serve_uptime_ms gauge");
         let _ = writeln!(out, "sitw_serve_uptime_ms {}", self.uptime_ms);
@@ -149,6 +186,7 @@ mod tests {
     fn totals_sum_over_shards() {
         let r = MetricsReport {
             shards: vec![stats(0), stats(1)],
+            proto: ProtoStats::default(),
             uptime_ms: 42,
         };
         assert_eq!(r.invocations(), 200);
@@ -160,6 +198,11 @@ mod tests {
     fn renders_prometheus_text() {
         let r = MetricsReport {
             shards: vec![stats(0), stats(1)],
+            proto: ProtoStats {
+                frames: 13,
+                batched_decisions: 1664,
+                proto_errors: 2,
+            },
             uptime_ms: 42,
         };
         let text = r.render();
@@ -168,6 +211,10 @@ mod tests {
         assert!(text.contains("sitw_serve_backups_total{shard=\"0\"} 7"));
         assert!(text.contains("sitw_serve_prewarm_scheduled_total{shard=\"1\"} 11"));
         assert!(text.contains("sitw_serve_decision_latency_us{shard=\"0\",quantile=\"0.99\"}"));
+        assert!(text.contains("# TYPE sitw_serve_frames_total counter"));
+        assert!(text.contains("sitw_serve_frames_total 13"));
+        assert!(text.contains("sitw_serve_batched_decisions_total 1664"));
+        assert!(text.contains("sitw_serve_proto_errors_total 2"));
         assert!(text.contains("sitw_serve_uptime_ms 42"));
     }
 }

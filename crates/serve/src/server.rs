@@ -10,12 +10,18 @@
 //! [`ServeConfig::pipeline_window`] decisions per connection are in
 //! flight at once, which is what amortizes syscalls and context
 //! switches enough to sustain >50k decisions/sec on loopback.
+//!
+//! SITW-BIN frames ride the same connections (sniffed per message, see
+//! [`crate::http::ConnBuf::read_event`]): a whole frame moves to each
+//! involved shard in one `InvokeBatch` mailbox message and is answered
+//! by one reply frame, so per-decision transport cost drops from one
+//! mpsc round trip + HTTP parse/format to `1/batch` of a frame's.
 
 use std::collections::BTreeMap;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -24,11 +30,13 @@ use std::time::{Duration, Instant};
 use sitw_core::HybridConfig;
 use sitw_sim::PolicySpec;
 
-use crate::http::{write_response, ConnBuf, ReadOutcome, Request};
-use crate::metrics::{MetricsReport, ShardStats};
-use crate::shard::{shard_of, InvokeError, InvokeReply, ShardMsg, ShardWorker};
+use crate::http::{write_response, ConnBuf, EventOutcome, Request};
+use crate::metrics::{MetricsReport, ProtoStats, ShardStats};
+use crate::shard::{
+    shard_of, BatchItem, BatchReply, InvokeError, InvokeReply, ShardMsg, ShardWorker,
+};
 use crate::snapshot::{AppRecord, ShardExport, Snapshot};
-use crate::wire::{self, push_u64};
+use crate::wire::{self, push_u64, InvokeRequest};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -72,6 +80,12 @@ struct ServerCtx {
     shard_txs: Vec<Sender<ShardMsg>>,
     shutdown: AtomicBool,
     started: Instant,
+    /// SITW-BIN frames served (server-wide; connections are unsharded).
+    frames: AtomicU64,
+    /// Decisions delivered through batched binary frames.
+    batched_decisions: AtomicU64,
+    /// Typed SITW-BIN protocol errors answered.
+    proto_errors: AtomicU64,
 }
 
 impl ServerCtx {
@@ -88,6 +102,11 @@ impl ServerCtx {
         shards.sort_by_key(|s| s.shard);
         MetricsReport {
             shards,
+            proto: ProtoStats {
+                frames: self.frames.load(Ordering::Relaxed),
+                batched_decisions: self.batched_decisions.load(Ordering::Relaxed),
+                proto_errors: self.proto_errors.load(Ordering::Relaxed),
+            },
             uptime_ms: self.started.elapsed().as_millis() as u64,
         }
     }
@@ -187,6 +206,9 @@ impl Server {
             shard_txs,
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
+            frames: AtomicU64::new(0),
+            batched_decisions: AtomicU64::new(0),
+            proto_errors: AtomicU64::new(0),
         });
 
         let acceptor_ctx = Arc::clone(&ctx);
@@ -293,6 +315,7 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ServerCtx>) {
     let mut conn = ConnBuf::new(stream);
 
     let (reply_tx, reply_rx) = mpsc::channel::<InvokeReply>();
+    let (batch_tx, batch_rx) = mpsc::channel::<BatchReply>();
     let mut out: Vec<u8> = Vec::with_capacity(OUT_FLUSH_BYTES + 4 * 1024);
     // Pipelining state: decisions in flight, reordering by sequence.
     let mut pending: usize = 0;
@@ -314,8 +337,51 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ServerCtx>) {
             }
         }
 
-        match conn.read_request() {
-            Ok(ReadOutcome::Request(req)) => {
+        match conn.read_event() {
+            Ok(EventOutcome::Frame(records)) => {
+                // Settle in-flight pipelined JSON decisions first, so a
+                // client mixing protocols sees responses in send order.
+                if !drain_pending(
+                    &reply_rx,
+                    &mut reorder,
+                    &mut pending,
+                    &mut next_write,
+                    &mut out,
+                ) {
+                    break 'conn;
+                }
+                if !submit_batch(records, &ctx, &batch_tx, &batch_rx, &mut out) {
+                    break 'conn; // Shards gone: shutting down.
+                }
+            }
+            Ok(EventOutcome::FrameError {
+                code,
+                detail,
+                recoverable,
+            }) => {
+                if !drain_pending(
+                    &reply_rx,
+                    &mut reorder,
+                    &mut pending,
+                    &mut next_write,
+                    &mut out,
+                ) {
+                    break 'conn;
+                }
+                ctx.proto_errors.fetch_add(1, Ordering::Relaxed);
+                wire::encode_error_frame(&mut out, code, &detail);
+                if !recoverable {
+                    // The framing itself is broken: answer, then close
+                    // with a drained receive queue so the error frame
+                    // arrives as data + FIN, not an RST (same rationale
+                    // as the HTTP 413 path).
+                    let _ = write_half.write_all(&out);
+                    out.clear();
+                    conn.drain_for_close(2 * crate::http::MAX_BODY_BYTES);
+                    break 'conn;
+                }
+            }
+            Ok(EventOutcome::Request(req)) => {
                 if req.close {
                     close = true;
                 }
@@ -367,13 +433,13 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ServerCtx>) {
                     handle_control(&req, &ctx, &mut out);
                 }
             }
-            Ok(ReadOutcome::Eof) => {
+            Ok(EventOutcome::Eof) => {
                 close = true;
                 if pending == 0 {
                     break 'conn;
                 }
             }
-            Ok(ReadOutcome::BodyTooLarge { .. }) => {
+            Ok(EventOutcome::BodyTooLarge { .. }) => {
                 // The body was never read, so the stream cannot be
                 // resynchronized: answer 413 (in order) and close.
                 if !drain_pending(
@@ -401,7 +467,7 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ServerCtx>) {
                 conn.drain_for_close(2 * crate::http::MAX_BODY_BYTES);
                 break 'conn;
             }
-            Ok(ReadOutcome::Timeout) => {
+            Ok(EventOutcome::Timeout) => {
                 // Idle socket: settle anything in flight, then loop (the
                 // top of the loop flushes and checks the shutdown flag).
                 if pending > 0
@@ -460,6 +526,65 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ServerCtx>) {
     if !out.is_empty() {
         let _ = write_half.write_all(&out);
     }
+}
+
+/// Moves one SITW-BIN frame through the shards and appends the reply
+/// frame to `out`: records are partitioned by shard, each shard gets its
+/// whole slice in **one** mailbox message, and the replies are
+/// reassembled in frame order. Returns false when a shard is gone
+/// (server shutting down) and the connection should close.
+fn submit_batch(
+    records: Vec<InvokeRequest>,
+    ctx: &ServerCtx,
+    batch_tx: &Sender<BatchReply>,
+    batch_rx: &Receiver<BatchReply>,
+    out: &mut Vec<u8>,
+) -> bool {
+    let n = records.len();
+    ctx.frames.fetch_add(1, Ordering::Relaxed);
+    if n == 0 {
+        wire::encode_reply_frame(out, &[]);
+        return true;
+    }
+    let shards = ctx.shard_txs.len();
+    let mut per_shard: Vec<Vec<BatchItem>> = vec![Vec::new(); shards];
+    for (idx, rec) in records.into_iter().enumerate() {
+        per_shard[shard_of(&rec.app, shards)].push(BatchItem {
+            idx: idx as u32,
+            app: rec.app,
+            ts: rec.ts,
+        });
+    }
+    let mut expected = 0usize;
+    for (shard, items) in per_shard.into_iter().enumerate() {
+        if items.is_empty() {
+            continue;
+        }
+        let msg = ShardMsg::InvokeBatch {
+            items,
+            reply: batch_tx.clone(),
+        };
+        if ctx.shard_txs[shard].send(msg).is_err() {
+            return false;
+        }
+        expected += 1;
+    }
+    let mut results: Vec<Option<Result<crate::shard::Decision, InvokeError>>> = vec![None; n];
+    for _ in 0..expected {
+        let Ok(reply) = batch_rx.recv() else {
+            return false;
+        };
+        for (idx, result) in reply.results {
+            results[idx as usize] = Some(result);
+        }
+    }
+    let ordered: Vec<Result<crate::shard::Decision, InvokeError>> = results
+        .into_iter()
+        .map(|r| r.expect("every frame record gets exactly one shard answer"))
+        .collect();
+    wire::encode_reply_frame(out, &ordered);
+    ctx.batched_decisions.fetch_add(n as u64, Ordering::Relaxed);
+    true
 }
 
 /// Blocks until every in-flight decision has been written to `out`.

@@ -1,15 +1,24 @@
-//! Wire format of the decision service: a fixed-schema JSON dialect,
-//! parsed and emitted by hand (the workspace is dependency-free).
+//! Wire formats of the decision service.
 //!
-//! Requests are small and their schema is closed, so the parser is a
-//! single left-to-right scan that extracts the two fields it knows
-//! (`"app"`: string, `"ts"`: non-negative integer milliseconds) and
-//! tolerates any other well-formed members. It is not a general JSON
-//! parser and does not try to be one.
+//! Two protocols share one port, distinguished by the first byte of
+//! each message:
+//!
+//! * **JSON over HTTP/1.1** — a fixed-schema dialect, parsed and
+//!   emitted by hand (the workspace is dependency-free). Requests are
+//!   small and their schema is closed, so the parser is a single
+//!   left-to-right scan that extracts the two fields it knows
+//!   (`"app"`: string, `"ts"`: non-negative integer milliseconds) and
+//!   tolerates any other well-formed members. It is not a general JSON
+//!   parser and does not try to be one.
+//! * **SITW-BIN v1** — a length-prefixed batched binary protocol (the
+//!   second half of this module). A frame carries up to
+//!   [`MAX_BATCH`] invocations and is answered by one reply frame of
+//!   fixed 9-byte verdict records, amortizing parse, syscall, and
+//!   shard-mailbox costs across the whole batch.
 
 use sitw_core::DecisionKind;
 
-use crate::shard::Decision;
+use crate::shard::{Decision, InvokeError};
 
 /// A parsed `POST /invoke` body.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -280,6 +289,442 @@ pub fn push_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&buf[i..]);
 }
 
+// ---------------------------------------------------------------------
+// SITW-BIN v1: the length-prefixed batched binary protocol.
+//
+// Frame layout (all integers little-endian):
+//
+// ```text
+// offset  size  field
+//      0     1  magic        0x5B (one past ASCII 'Z': never a method)
+//      1     1  version      1
+//      2     1  kind         1 = request, 2 = reply, 3 = error
+//      3     4  payload_len  u32, bytes after the 11-byte header
+//      7     4  count        u32, records in the payload
+//     11     …  payload
+// ```
+//
+// Request payload: `count` records of `{u16 app_len, app bytes, u64 ts}`.
+// Reply payload: `count` fixed 9-byte records — one verdict byte, then
+// either two u32 windows (pre-warm, keep-alive; saturated at u32::MAX
+// meaning "never") or, when the out-of-order bit is set, the u64
+// `last_ts` of the rejection.
+// Error payload: `{u8 code, u16 detail_len, detail bytes}` (count = 0).
+//
+// The `payload_len` prefix is what keeps a connection usable after a
+// malformed frame: as long as the envelope is intact, the server can
+// skip exactly the bad frame and answer a typed error frame in its
+// place. Only errors that destroy the framing itself (wrong version, a
+// payload length beyond the cap) close the connection, mirroring the
+// HTTP 413 path.
+
+/// First byte of every SITW-BIN frame. `0x5B` is one past ASCII `Z`, so
+/// it can never start an HTTP method token — that single byte is the
+/// whole protocol sniff.
+pub const BIN_MAGIC: u8 = 0x5B;
+/// Protocol version this codec speaks.
+pub const BIN_VERSION: u8 = 1;
+/// Bytes in a frame header (magic, version, kind, payload_len, count).
+pub const BIN_HEADER_LEN: usize = 11;
+/// Frame kind: a batched invoke request (client → server).
+pub const FRAME_REQUEST: u8 = 1;
+/// Frame kind: a batched verdict reply (server → client).
+pub const FRAME_REPLY: u8 = 2;
+/// Frame kind: a typed protocol error (server → client).
+pub const FRAME_ERROR: u8 = 3;
+/// Maximum frame payload, mirroring [`crate::http::MAX_BODY_BYTES`].
+pub const MAX_FRAME_PAYLOAD: usize = crate::http::MAX_BODY_BYTES;
+/// Maximum records per frame.
+pub const MAX_BATCH: usize = 8192;
+/// Bytes per reply record (verdict byte + 8 bytes of payload).
+pub const REPLY_RECORD_LEN: usize = 9;
+/// Smallest possible request record: non-empty app of 1 byte + u64 ts.
+const MIN_REQUEST_RECORD_LEN: usize = 2 + 1 + 8;
+
+// Verdict-byte bits.
+const VB_COLD: u8 = 1 << 0;
+const VB_PREWARM_LOAD: u8 = 1 << 1;
+const VB_KIND_SHIFT: u8 = 2; // Bits 2–3: DecisionKind.
+const VB_OUT_OF_ORDER: u8 = 1 << 7;
+
+/// Typed SITW-BIN protocol errors, carried in [`FRAME_ERROR`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinErrorCode {
+    /// The frame declared a version this server does not speak.
+    BadVersion = 1,
+    /// The frame exceeded [`MAX_BATCH`] records or
+    /// [`MAX_FRAME_PAYLOAD`] bytes.
+    Oversized = 2,
+    /// The frame envelope or a record inside it was malformed.
+    Malformed = 3,
+}
+
+impl BinErrorCode {
+    /// The on-wire byte.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`BinErrorCode::as_u8`].
+    pub fn from_u8(v: u8) -> Option<BinErrorCode> {
+        match v {
+            1 => Some(BinErrorCode::BadVersion),
+            2 => Some(BinErrorCode::Oversized),
+            3 => Some(BinErrorCode::Malformed),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of decoding one request frame from a byte buffer that starts
+/// at a frame boundary.
+#[derive(Debug)]
+pub enum FrameDecode {
+    /// A complete, well-formed request frame; `consumed` bytes cover the
+    /// header and payload.
+    Request {
+        /// The batched invocations, in wire order.
+        records: Vec<InvokeRequest>,
+        /// Total frame length in bytes.
+        consumed: usize,
+    },
+    /// The buffer holds only part of a frame; read more and retry.
+    Incomplete,
+    /// A protocol error. `skip` is the full frame length when the
+    /// envelope was intact enough to resynchronize past it; `None` means
+    /// the connection cannot be resynchronized and must close after the
+    /// error frame is sent.
+    Error {
+        /// The typed error.
+        code: BinErrorCode,
+        /// Human-readable detail for the error frame.
+        detail: String,
+        /// Bytes to discard (header + payload) to reach the next frame.
+        skip: Option<usize>,
+    },
+}
+
+fn u32_at(buf: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes([buf[i], buf[i + 1], buf[i + 2], buf[i + 3]])
+}
+
+fn u64_at(buf: &[u8], i: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[i..i + 8]);
+    u64::from_le_bytes(b)
+}
+
+fn frame_header(out: &mut Vec<u8>, kind: u8, payload_len: usize, count: usize) {
+    out.push(BIN_MAGIC);
+    out.push(BIN_VERSION);
+    out.push(kind);
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+    out.extend_from_slice(&(count as u32).to_le_bytes());
+}
+
+/// Encodes one request frame of `(app, ts)` records.
+///
+/// # Panics
+///
+/// Panics if an app name exceeds `u16::MAX` bytes or the batch exceeds
+/// [`MAX_BATCH`] — callers own the batching and must stay in bounds.
+pub fn encode_request_frame(out: &mut Vec<u8>, records: &[(&str, u64)]) {
+    assert!(records.len() <= MAX_BATCH, "batch exceeds MAX_BATCH");
+    let payload_len: usize = records.iter().map(|(app, _)| 2 + app.len() + 8).sum();
+    out.reserve(BIN_HEADER_LEN + payload_len);
+    frame_header(out, FRAME_REQUEST, payload_len, records.len());
+    for (app, ts) in records {
+        assert!(app.len() <= u16::MAX as usize, "app name too long");
+        out.extend_from_slice(&(app.len() as u16).to_le_bytes());
+        out.extend_from_slice(app.as_bytes());
+        out.extend_from_slice(&ts.to_le_bytes());
+    }
+}
+
+/// Decodes one request frame. `buf` must start at a frame boundary (its
+/// first byte was sniffed as [`BIN_MAGIC`]).
+pub fn decode_request_frame(buf: &[u8]) -> FrameDecode {
+    if buf.len() < BIN_HEADER_LEN {
+        return FrameDecode::Incomplete;
+    }
+    if buf[0] != BIN_MAGIC {
+        // Unreachable behind the sniff, but the codec stands alone.
+        return FrameDecode::Error {
+            code: BinErrorCode::Malformed,
+            detail: "bad magic".into(),
+            skip: None,
+        };
+    }
+    if buf[1] != BIN_VERSION {
+        return FrameDecode::Error {
+            code: BinErrorCode::BadVersion,
+            detail: format!("unsupported version {}", buf[1]),
+            skip: None,
+        };
+    }
+    let kind = buf[2];
+    let payload_len = u32_at(buf, 3) as usize;
+    let count = u32_at(buf, 7) as usize;
+    if payload_len > MAX_FRAME_PAYLOAD {
+        return FrameDecode::Error {
+            code: BinErrorCode::Oversized,
+            detail: format!("payload {payload_len} exceeds {MAX_FRAME_PAYLOAD}"),
+            skip: None,
+        };
+    }
+    let total = BIN_HEADER_LEN + payload_len;
+    // From here on the envelope is trusted: every error is skippable.
+    let malformed = |detail: String| FrameDecode::Error {
+        code: BinErrorCode::Malformed,
+        detail,
+        skip: Some(total),
+    };
+    if kind != FRAME_REQUEST {
+        return malformed(format!("unexpected frame kind {kind}"));
+    }
+    if count > MAX_BATCH {
+        return FrameDecode::Error {
+            code: BinErrorCode::Oversized,
+            detail: format!("batch of {count} exceeds {MAX_BATCH}"),
+            skip: Some(total),
+        };
+    }
+    if count * MIN_REQUEST_RECORD_LEN > payload_len {
+        // Decidable from the header alone — fail before buffering the
+        // (possibly large) payload.
+        return malformed(format!("count {count} cannot fit payload {payload_len}"));
+    }
+    if buf.len() < total {
+        return FrameDecode::Incomplete;
+    }
+    let payload = &buf[BIN_HEADER_LEN..total];
+    let mut records = Vec::with_capacity(count);
+    let mut i = 0usize;
+    for r in 0..count {
+        // The aggregate count*MIN check above cannot guarantee this:
+        // one oversized record can consume other records' minimum
+        // budget, leaving fewer than 2 bytes here.
+        if i + 2 > payload.len() {
+            return malformed(format!("record {r} truncated"));
+        }
+        let app_len = u16::from_le_bytes([payload[i], payload[i + 1]]) as usize;
+        i += 2;
+        if app_len == 0 {
+            return malformed(format!("record {r}: empty app"));
+        }
+        if i + app_len + 8 > payload.len() {
+            return malformed(format!("record {r} overruns payload"));
+        }
+        let Ok(app) = std::str::from_utf8(&payload[i..i + app_len]) else {
+            return malformed(format!("record {r}: app is not utf-8"));
+        };
+        let app = app.to_owned();
+        i += app_len;
+        let ts = u64_at(payload, i);
+        i += 8;
+        records.push(InvokeRequest { app, ts });
+    }
+    if i != payload.len() {
+        return malformed(format!(
+            "{} trailing bytes after records",
+            payload.len() - i
+        ));
+    }
+    FrameDecode::Request {
+        records,
+        consumed: total,
+    }
+}
+
+fn kind_to_bits(kind: DecisionKind) -> u8 {
+    match kind {
+        DecisionKind::Histogram => 0,
+        DecisionKind::StandardKeepAlive => 1,
+        DecisionKind::Arima => 2,
+        DecisionKind::Static => 3,
+    }
+}
+
+fn kind_from_bits(bits: u8) -> DecisionKind {
+    match bits & 0b11 {
+        0 => DecisionKind::Histogram,
+        1 => DecisionKind::StandardKeepAlive,
+        2 => DecisionKind::Arima,
+        _ => DecisionKind::Static,
+    }
+}
+
+/// Saturating millisecond window for the wire: `u32::MAX` means "at
+/// least 49 days", which every policy treats as never.
+fn sat_u32(ms: u64) -> u32 {
+    ms.min(u32::MAX as u64) as u32
+}
+
+/// Encodes one reply frame, one 9-byte record per decision, in request
+/// order.
+pub fn encode_reply_frame(out: &mut Vec<u8>, results: &[Result<Decision, InvokeError>]) {
+    let payload_len = results.len() * REPLY_RECORD_LEN;
+    out.reserve(BIN_HEADER_LEN + payload_len);
+    frame_header(out, FRAME_REPLY, payload_len, results.len());
+    for result in results {
+        match result {
+            Ok(d) => {
+                let mut vb = kind_to_bits(d.kind) << VB_KIND_SHIFT;
+                if d.cold {
+                    vb |= VB_COLD;
+                }
+                if d.prewarm_load {
+                    vb |= VB_PREWARM_LOAD;
+                }
+                out.push(vb);
+                out.extend_from_slice(&sat_u32(d.windows.pre_warm_ms).to_le_bytes());
+                out.extend_from_slice(&sat_u32(d.windows.keep_alive_ms).to_le_bytes());
+            }
+            Err(InvokeError::OutOfOrder { last_ts }) => {
+                out.push(VB_OUT_OF_ORDER);
+                out.extend_from_slice(&last_ts.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Encodes one typed error frame (detail truncated to 256 bytes).
+pub fn encode_error_frame(out: &mut Vec<u8>, code: BinErrorCode, detail: &str) {
+    let mut end = detail.len().min(256);
+    while !detail.is_char_boundary(end) {
+        end -= 1;
+    }
+    let detail = &detail.as_bytes()[..end];
+    frame_header(out, FRAME_ERROR, 1 + 2 + detail.len(), 0);
+    out.push(code.as_u8());
+    out.extend_from_slice(&(detail.len() as u16).to_le_bytes());
+    out.extend_from_slice(detail);
+}
+
+/// One decoded reply record, as seen by a client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinReply {
+    /// A served decision.
+    Verdict {
+        /// The invocation found no loaded image.
+        cold: bool,
+        /// A pre-warm load occurred in the gap ending at this invocation.
+        prewarm_load: bool,
+        /// The policy branch that produced the windows.
+        kind: DecisionKind,
+        /// Pre-warm window in ms (saturated at `u32::MAX`).
+        pre_warm_ms: u32,
+        /// Keep-alive window in ms (saturated at `u32::MAX`).
+        keep_alive_ms: u32,
+    },
+    /// The invocation was rejected as out of order.
+    OutOfOrder {
+        /// The app's last accepted timestamp.
+        last_ts: u64,
+    },
+}
+
+/// Outcome of decoding one server→client frame.
+#[derive(Debug)]
+pub enum ServerFrameDecode {
+    /// A complete reply frame.
+    Reply {
+        /// Verdicts in request order.
+        records: Vec<BinReply>,
+        /// Total frame length in bytes.
+        consumed: usize,
+    },
+    /// A complete typed error frame.
+    Error {
+        /// The typed error.
+        code: BinErrorCode,
+        /// Server-provided detail.
+        detail: String,
+        /// Total frame length in bytes.
+        consumed: usize,
+    },
+    /// The buffer holds only part of a frame; read more and retry.
+    Incomplete,
+    /// The server sent something this codec cannot parse; the client
+    /// must close.
+    Malformed(String),
+}
+
+/// Decodes one server→client frame (reply or error). `buf` must start
+/// at a frame boundary.
+pub fn decode_server_frame(buf: &[u8]) -> ServerFrameDecode {
+    if buf.len() < BIN_HEADER_LEN {
+        return ServerFrameDecode::Incomplete;
+    }
+    if buf[0] != BIN_MAGIC || buf[1] != BIN_VERSION {
+        return ServerFrameDecode::Malformed(format!(
+            "bad frame start {:02x} {:02x}",
+            buf[0], buf[1]
+        ));
+    }
+    let kind = buf[2];
+    let payload_len = u32_at(buf, 3) as usize;
+    let count = u32_at(buf, 7) as usize;
+    if payload_len > MAX_FRAME_PAYLOAD {
+        return ServerFrameDecode::Malformed(format!("oversized reply payload {payload_len}"));
+    }
+    let total = BIN_HEADER_LEN + payload_len;
+    if buf.len() < total {
+        return ServerFrameDecode::Incomplete;
+    }
+    let payload = &buf[BIN_HEADER_LEN..total];
+    match kind {
+        FRAME_REPLY => {
+            if payload_len != count * REPLY_RECORD_LEN {
+                return ServerFrameDecode::Malformed(format!(
+                    "reply payload {payload_len} does not match count {count}"
+                ));
+            }
+            let mut records = Vec::with_capacity(count);
+            for r in 0..count {
+                let i = r * REPLY_RECORD_LEN;
+                let vb = payload[i];
+                if vb & VB_OUT_OF_ORDER != 0 {
+                    records.push(BinReply::OutOfOrder {
+                        last_ts: u64_at(payload, i + 1),
+                    });
+                } else {
+                    records.push(BinReply::Verdict {
+                        cold: vb & VB_COLD != 0,
+                        prewarm_load: vb & VB_PREWARM_LOAD != 0,
+                        kind: kind_from_bits(vb >> VB_KIND_SHIFT),
+                        pre_warm_ms: u32_at(payload, i + 1),
+                        keep_alive_ms: u32_at(payload, i + 5),
+                    });
+                }
+            }
+            ServerFrameDecode::Reply {
+                records,
+                consumed: total,
+            }
+        }
+        FRAME_ERROR => {
+            if payload.len() < 3 {
+                return ServerFrameDecode::Malformed("truncated error frame".into());
+            }
+            let Some(code) = BinErrorCode::from_u8(payload[0]) else {
+                return ServerFrameDecode::Malformed(format!("unknown error code {}", payload[0]));
+            };
+            let detail_len = u16::from_le_bytes([payload[1], payload[2]]) as usize;
+            if 3 + detail_len != payload.len() {
+                return ServerFrameDecode::Malformed("error detail length mismatch".into());
+            }
+            let detail = String::from_utf8_lossy(&payload[3..]).into_owned();
+            ServerFrameDecode::Error {
+                code,
+                detail,
+                consumed: total,
+            }
+        }
+        other => ServerFrameDecode::Malformed(format!("unexpected server frame kind {other}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,5 +835,286 @@ mod tests {
         out.push(b' ');
         push_u64(&mut out, u64::MAX);
         assert_eq!(out, b"0 18446744073709551615");
+    }
+
+    // ---- SITW-BIN v1 ----
+
+    #[test]
+    fn bin_magic_never_starts_an_http_method() {
+        // The whole sniff: 0x5B is one past 'Z', outside A–Z.
+        assert!(!BIN_MAGIC.is_ascii_uppercase());
+        assert_eq!(BIN_MAGIC, b'Z' + 1);
+    }
+
+    #[test]
+    fn request_frame_roundtrip() {
+        let records = [("app-000001", 0u64), ("café-功能", u64::MAX), ("x", 42)];
+        let mut out = Vec::new();
+        encode_request_frame(&mut out, &records);
+        assert_eq!(out[0], BIN_MAGIC);
+        match decode_request_frame(&out) {
+            FrameDecode::Request {
+                records: r,
+                consumed,
+            } => {
+                assert_eq!(consumed, out.len());
+                assert_eq!(r.len(), 3);
+                assert_eq!(
+                    r[0],
+                    InvokeRequest {
+                        app: "app-000001".into(),
+                        ts: 0
+                    }
+                );
+                assert_eq!(r[1].app, "café-功能");
+                assert_eq!(r[1].ts, u64::MAX);
+                assert_eq!((r[2].app.as_str(), r[2].ts), ("x", 42));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_request_frame_roundtrips() {
+        let mut out = Vec::new();
+        encode_request_frame(&mut out, &[]);
+        assert_eq!(out.len(), BIN_HEADER_LEN);
+        match decode_request_frame(&out) {
+            FrameDecode::Request { records, consumed } => {
+                assert!(records.is_empty());
+                assert_eq!(consumed, BIN_HEADER_LEN);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_proper_prefix_is_incomplete() {
+        let mut frame = Vec::new();
+        encode_request_frame(&mut frame, &[("app-000001", 123), ("β-app", 456)]);
+        for i in 0..frame.len() {
+            assert!(
+                matches!(decode_request_frame(&frame[..i]), FrameDecode::Incomplete),
+                "prefix of {i} bytes must be Incomplete"
+            );
+        }
+        // Trailing extra bytes are a second frame, not part of this one.
+        let mut extended = frame.clone();
+        extended.extend_from_slice(&[BIN_MAGIC, 0xFF, 0xFF]);
+        match decode_request_frame(&extended) {
+            FrameDecode::Request { consumed, .. } => assert_eq!(consumed, frame.len()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_decode_rejects_bad_frames() {
+        // Bad version: unrecoverable.
+        let mut f = Vec::new();
+        encode_request_frame(&mut f, &[("a", 1)]);
+        f[1] = 9;
+        match decode_request_frame(&f) {
+            FrameDecode::Error { code, skip, .. } => {
+                assert_eq!(code, BinErrorCode::BadVersion);
+                assert!(skip.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Oversized payload: unrecoverable.
+        let mut f = Vec::new();
+        frame_header(&mut f, FRAME_REQUEST, MAX_FRAME_PAYLOAD + 1, 1);
+        match decode_request_frame(&f) {
+            FrameDecode::Error { code, skip, .. } => {
+                assert_eq!(code, BinErrorCode::Oversized);
+                assert!(skip.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Oversized batch with an intact envelope: skippable.
+        let mut f = Vec::new();
+        frame_header(&mut f, FRAME_REQUEST, 4, MAX_BATCH + 1);
+        f.extend_from_slice(&[0u8; 4]);
+        match decode_request_frame(&f) {
+            FrameDecode::Error { code, skip, .. } => {
+                assert_eq!(code, BinErrorCode::Oversized);
+                assert_eq!(skip, Some(BIN_HEADER_LEN + 4));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Count that cannot fit the payload: caught from the header.
+        let mut f = Vec::new();
+        frame_header(&mut f, FRAME_REQUEST, 12, 1000);
+        match decode_request_frame(&f) {
+            FrameDecode::Error { code, skip, .. } => {
+                assert_eq!(code, BinErrorCode::Malformed);
+                assert_eq!(skip, Some(BIN_HEADER_LEN + 12));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Regression: count=2 passes the aggregate minimum-size check
+        // (payload_len = 22 = 2 × 11), but record 0 declares app_len=12
+        // and consumes all 22 bytes — record 1's app_len read used to
+        // index past the payload and panic the connection thread.
+        let mut payload = vec![12u8, 0];
+        payload.extend_from_slice(b"aaaaaaaaaaaa");
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        assert_eq!(payload.len(), 22);
+        let mut f = Vec::new();
+        frame_header(&mut f, FRAME_REQUEST, payload.len(), 2);
+        f.extend_from_slice(&payload);
+        match decode_request_frame(&f) {
+            FrameDecode::Error { code, skip, .. } => {
+                assert_eq!(code, BinErrorCode::Malformed);
+                assert_eq!(skip, Some(f.len()));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Record-level malformations: empty app, overrun, bad UTF-8,
+        // trailing bytes — all skippable.
+        let cases: Vec<Vec<u8>> = vec![
+            {
+                // app_len = 0.
+                let mut p = vec![0u8, 0];
+                p.extend_from_slice(&7u64.to_le_bytes());
+                p
+            },
+            {
+                // app_len overruns the payload.
+                let mut p = vec![200u8, 0, b'a'];
+                p.extend_from_slice(&7u64.to_le_bytes());
+                p
+            },
+            {
+                // Invalid UTF-8 app bytes.
+                let mut p = vec![2u8, 0, 0xFF, 0xFE];
+                p.extend_from_slice(&7u64.to_le_bytes());
+                p
+            },
+            {
+                // Trailing garbage after the declared record.
+                let mut p = vec![1u8, 0, b'a'];
+                p.extend_from_slice(&7u64.to_le_bytes());
+                p.extend_from_slice(b"junk");
+                p
+            },
+        ];
+        for payload in cases {
+            let mut f = Vec::new();
+            frame_header(&mut f, FRAME_REQUEST, payload.len(), 1);
+            f.extend_from_slice(&payload);
+            match decode_request_frame(&f) {
+                FrameDecode::Error { code, skip, .. } => {
+                    assert_eq!(code, BinErrorCode::Malformed, "{payload:?}");
+                    assert_eq!(skip, Some(f.len()), "{payload:?}");
+                }
+                other => panic!("{payload:?} → {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reply_frame_roundtrip_including_errors_and_saturation() {
+        let results: Vec<Result<Decision, InvokeError>> = vec![
+            Ok(Decision {
+                cold: true,
+                prewarm_load: false,
+                kind: DecisionKind::Histogram,
+                windows: Windows::pre_warmed(120_000, 600_000),
+            }),
+            Err(InvokeError::OutOfOrder {
+                last_ts: u64::MAX - 5,
+            }),
+            Ok(Decision {
+                cold: false,
+                prewarm_load: true,
+                kind: DecisionKind::Static,
+                // Saturates: the wire says u32::MAX, i.e. "never".
+                windows: Windows::keep_loaded(u64::MAX),
+            }),
+        ];
+        let mut out = Vec::new();
+        encode_reply_frame(&mut out, &results);
+        assert_eq!(out.len(), BIN_HEADER_LEN + 3 * REPLY_RECORD_LEN);
+        match decode_server_frame(&out) {
+            ServerFrameDecode::Reply { records, consumed } => {
+                assert_eq!(consumed, out.len());
+                assert_eq!(
+                    records[0],
+                    BinReply::Verdict {
+                        cold: true,
+                        prewarm_load: false,
+                        kind: DecisionKind::Histogram,
+                        pre_warm_ms: 120_000,
+                        keep_alive_ms: 600_000,
+                    }
+                );
+                assert_eq!(
+                    records[1],
+                    BinReply::OutOfOrder {
+                        last_ts: u64::MAX - 5
+                    }
+                );
+                assert_eq!(
+                    records[2],
+                    BinReply::Verdict {
+                        cold: false,
+                        prewarm_load: true,
+                        kind: DecisionKind::Static,
+                        pre_warm_ms: 0,
+                        keep_alive_ms: u32::MAX,
+                    }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // Every proper prefix of the reply is Incomplete, too.
+        for i in 0..out.len() {
+            assert!(matches!(
+                decode_server_frame(&out[..i]),
+                ServerFrameDecode::Incomplete
+            ));
+        }
+    }
+
+    #[test]
+    fn error_frame_roundtrip_and_truncation() {
+        let mut out = Vec::new();
+        encode_error_frame(&mut out, BinErrorCode::Oversized, "too big");
+        match decode_server_frame(&out) {
+            ServerFrameDecode::Error {
+                code,
+                detail,
+                consumed,
+            } => {
+                assert_eq!(code, BinErrorCode::Oversized);
+                assert_eq!(detail, "too big");
+                assert_eq!(consumed, out.len());
+            }
+            other => panic!("{other:?}"),
+        }
+        // Long details truncate on a char boundary.
+        let long = "é".repeat(300);
+        let mut out = Vec::new();
+        encode_error_frame(&mut out, BinErrorCode::Malformed, &long);
+        match decode_server_frame(&out) {
+            ServerFrameDecode::Error { detail, .. } => {
+                assert!(detail.len() <= 256);
+                assert!(detail.chars().all(|c| c == 'é'));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_decision_kinds_roundtrip_through_verdict_bits() {
+        use sitw_core::DecisionKind::*;
+        for k in [Histogram, StandardKeepAlive, Arima, Static] {
+            assert_eq!(kind_from_bits(kind_to_bits(k)), k);
+        }
     }
 }

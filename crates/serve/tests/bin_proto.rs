@@ -1,0 +1,472 @@
+//! SITW-BIN v1 protocol conformance: codec round-trip fuzzing (the CI
+//! "protocol-conformance" step runs this file by name), partial-I/O
+//! reassembly against a live daemon, short-write handling on batched
+//! replies, and the typed-error-frame behaviour that keeps connections
+//! usable after malformed or oversized frames.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use proptest::prelude::*;
+use sitw_serve::wire::{
+    self, decode_request_frame, decode_server_frame, encode_request_frame, BinErrorCode, BinReply,
+    FrameDecode, ServerFrameDecode,
+};
+use sitw_serve::{ServeConfig, Server};
+use sitw_sim::PolicySpec;
+
+// ---------------------------------------------------------------------
+// Codec fuzz (pure, no sockets).
+
+/// Char pool mixing ASCII with 2-, 3-, and 4-byte UTF-8 sequences.
+const APP_CHARS: [char; 16] = [
+    'a', 'z', '0', '9', '-', '_', '.', ' ', 'é', 'ß', 'λ', '中', '功', '能', '🚀', '𝕏',
+];
+
+/// Timestamp edge values, indexed by a fuzzed selector.
+fn edge_ts(selector: u64, raw: u64) -> u64 {
+    match selector % 5 {
+        0 => 0,
+        1 => 1,
+        2 => u64::MAX,
+        3 => u64::MAX - 1,
+        _ => raw,
+    }
+}
+
+fn build_records(shape: &[(Vec<usize>, u64, u64)]) -> Vec<(String, u64)> {
+    shape
+        .iter()
+        .map(|(chars, sel, raw)| {
+            let mut app: String = chars
+                .iter()
+                .map(|&i| APP_CHARS[i % APP_CHARS.len()])
+                .collect();
+            if app.is_empty() {
+                app.push('a'); // Non-empty by protocol rule.
+            }
+            (app, edge_ts(*sel, *raw))
+        })
+        .collect()
+}
+
+proptest! {
+    /// Any batch of records — arbitrary UTF-8 app names, edge-value
+    /// timestamps — round-trips bit-for-bit through the request codec.
+    #[test]
+    fn request_frame_roundtrips(
+        lens in prop::collection::vec(0usize..24, 0..40),
+        sels in prop::collection::vec(0u64..1_000_000, 0..40),
+    ) {
+        let shape: Vec<(Vec<usize>, u64, u64)> = lens
+            .iter()
+            .zip(&sels)
+            .map(|(&n, &sel)| (((sel as usize)..(sel as usize) + n).collect(), sel, sel.wrapping_mul(0x9E37)))
+            .collect();
+        let records = build_records(&shape);
+        let borrowed: Vec<(&str, u64)> = records.iter().map(|(a, t)| (a.as_str(), *t)).collect();
+        let mut frame = Vec::new();
+        encode_request_frame(&mut frame, &borrowed);
+        match decode_request_frame(&frame) {
+            FrameDecode::Request { records: got, consumed } => {
+                prop_assert_eq!(consumed, frame.len());
+                prop_assert_eq!(got.len(), records.len());
+                for (g, (app, ts)) in got.iter().zip(&records) {
+                    prop_assert_eq!(&g.app, app);
+                    prop_assert_eq!(g.ts, *ts);
+                }
+            }
+            other => prop_assert!(false, "decode failed: {:?}", other),
+        }
+    }
+
+    /// Every proper prefix of a valid frame is `Incomplete` — the
+    /// incremental parser never misfires on a split frame.
+    #[test]
+    fn truncated_frames_are_incomplete(
+        lens in prop::collection::vec(1usize..12, 1..8),
+        cut_frac in 0u64..10_000,
+    ) {
+        let shape: Vec<(Vec<usize>, u64, u64)> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| ((i..i + n).collect(), i as u64, (i as u64) << 20))
+            .collect();
+        let records = build_records(&shape);
+        let borrowed: Vec<(&str, u64)> = records.iter().map(|(a, t)| (a.as_str(), *t)).collect();
+        let mut frame = Vec::new();
+        encode_request_frame(&mut frame, &borrowed);
+        let cut = (cut_frac as usize * frame.len()) / 10_000; // < len.
+        prop_assert!(
+            matches!(decode_request_frame(&frame[..cut]), FrameDecode::Incomplete),
+            "prefix of {} / {} bytes must be Incomplete", cut, frame.len()
+        );
+    }
+
+    /// Frames with a *valid envelope* (magic, version, kind, consistent
+    /// payload_len) but arbitrary payload bytes never panic: they parse
+    /// or yield a skippable typed error. Random garbage almost never
+    /// forms a valid header, so this targets the record parser directly
+    /// (regression: an oversized first record used to drive the next
+    /// record's app_len read out of bounds).
+    #[test]
+    fn arbitrary_payloads_under_valid_headers_never_panic(
+        payload in prop::collection::vec(0u64..256, 0..128),
+        count in 0u64..64,
+    ) {
+        let mut frame = vec![wire::BIN_MAGIC, wire::BIN_VERSION, wire::FRAME_REQUEST];
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&(count as u32).to_le_bytes());
+        frame.extend(payload.iter().map(|&b| b as u8));
+        match decode_request_frame(&frame) {
+            FrameDecode::Request { records, consumed } => {
+                prop_assert_eq!(consumed, frame.len());
+                prop_assert_eq!(records.len(), count as usize);
+            }
+            FrameDecode::Incomplete => prop_assert!(false, "complete frame reported Incomplete"),
+            FrameDecode::Error { skip, .. } => {
+                // An intact envelope must always be skippable.
+                prop_assert_eq!(skip, Some(frame.len()));
+            }
+        }
+    }
+
+    /// Garbage after the magic byte never panics the decoder: it ends in
+    /// Incomplete (needs more) or a typed Error, and any reported skip
+    /// stays within the declared frame.
+    #[test]
+    fn garbage_frames_error_without_panicking(
+        body in prop::collection::vec(0u64..256, 0..64),
+    ) {
+        let mut frame = vec![wire::BIN_MAGIC];
+        frame.extend(body.iter().map(|&b| b as u8));
+        match decode_request_frame(&frame) {
+            FrameDecode::Request { records, consumed } => {
+                // Only reachable when the bytes happen to form a valid
+                // frame; sanity-check the invariants.
+                prop_assert!(consumed <= frame.len());
+                prop_assert!(records.len() <= wire::MAX_BATCH);
+            }
+            FrameDecode::Incomplete => {}
+            FrameDecode::Error { skip, .. } => {
+                if let Some(n) = skip {
+                    prop_assert!(n >= wire::BIN_HEADER_LEN);
+                    prop_assert!(n <= wire::BIN_HEADER_LEN + wire::MAX_FRAME_PAYLOAD);
+                }
+            }
+        }
+        // The server-frame decoder must be just as panic-free on the
+        // same bytes (clients face a hostile network too).
+        let _ = decode_server_frame(&frame);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Live-daemon helpers.
+
+fn start_server(shards: usize) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards,
+        policy: PolicySpec::fixed_minutes(10),
+        ..ServeConfig::default()
+    })
+    .expect("server start")
+}
+
+/// Reads one server frame from `stream`, accumulating into `buf`.
+fn read_frame(stream: &mut TcpStream, buf: &mut Vec<u8>) -> ServerFrameDecode {
+    loop {
+        match decode_server_frame(buf) {
+            ServerFrameDecode::Incomplete => {
+                let mut chunk = [0u8; 4096];
+                let n = stream.read(&mut chunk).expect("read");
+                assert!(n > 0, "server closed mid-frame");
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            done => {
+                let consumed = match &done {
+                    ServerFrameDecode::Reply { consumed, .. }
+                    | ServerFrameDecode::Error { consumed, .. } => *consumed,
+                    other => panic!("{other:?}"),
+                };
+                buf.drain(..consumed);
+                return done;
+            }
+        }
+    }
+}
+
+fn expect_reply(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Vec<BinReply> {
+    match read_frame(stream, buf) {
+        ServerFrameDecode::Reply { records, .. } => records,
+        other => panic!("expected reply frame, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Partial I/O: frames fragmented at every byte boundary.
+
+#[test]
+fn frame_written_one_byte_at_a_time_is_served() {
+    let server = start_server(2);
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    let mut frame = Vec::new();
+    encode_request_frame(
+        &mut frame,
+        &[("app-α-1", 0), ("app-α-1", 60_000), ("β", 1_000)],
+    );
+    // One write + flush per byte: the daemon sees the worst possible
+    // fragmentation and must reassemble across all of it.
+    for &b in &frame {
+        stream.write_all(&[b]).unwrap();
+        stream.flush().unwrap();
+    }
+    let mut buf = Vec::new();
+    let records = expect_reply(&mut stream, &mut buf);
+    assert_eq!(records.len(), 3);
+    assert!(matches!(records[0], BinReply::Verdict { cold: true, .. }));
+    assert!(matches!(records[1], BinReply::Verdict { cold: false, .. }));
+    assert!(matches!(records[2], BinReply::Verdict { cold: true, .. }));
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn frames_split_at_every_boundary_across_two_writes() {
+    // For every split point of a two-record frame, the tail written
+    // after a delay still produces the same reply. One connection per
+    // split keeps per-app timestamps independent.
+    let server = start_server(2);
+    // Zero-padded names keep every split's frame the same length, so
+    // `1..frame.len()` covers identical boundaries each round; unique
+    // names keep each round's first invocation cold (policy state is
+    // app-keyed and server-wide, not per-connection).
+    let frame_for = |split: usize| {
+        let mut frame = Vec::new();
+        let a = format!("sp-{split:03}-a");
+        let b = format!("sp-{split:03}-功");
+        encode_request_frame(&mut frame, &[(a.as_str(), 5), (b.as_str(), 7)]);
+        frame
+    };
+    let frame_len = frame_for(0).len();
+    for split in 1..frame_len {
+        let frame = frame_for(split);
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream.write_all(&frame[..split]).unwrap();
+        stream.flush().unwrap();
+        // Let the server observe the partial frame (its read timeout is
+        // 50 ms; any sleep forces at least one fill round).
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        stream.write_all(&frame[split..]).unwrap();
+        let mut buf = Vec::new();
+        let records = expect_reply(&mut stream, &mut buf);
+        assert_eq!(records.len(), 2, "split at {split}");
+        assert!(
+            matches!(records[0], BinReply::Verdict { cold: true, .. }),
+            "split at {split}: fresh connection, first sight of the app"
+        );
+    }
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn large_batched_reply_survives_slow_draining_client() {
+    // A batch big enough that the reply (9 bytes/record + header)
+    // overflows socket buffers if unread; the client drains it in tiny
+    // chunks while the server's write_all handles the short writes.
+    let server = start_server(4);
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    let n = 4_000usize;
+    let records: Vec<(String, u64)> = (0..n)
+        .map(|i| (format!("bulk-{:04}", i % 997), (i as u64) * 10))
+        .collect();
+    let borrowed: Vec<(&str, u64)> = records.iter().map(|(a, t)| (a.as_str(), *t)).collect();
+    let mut frame = Vec::new();
+    encode_request_frame(&mut frame, &borrowed);
+    stream.write_all(&frame).unwrap();
+
+    let mut buf = Vec::new();
+    let expected = wire::BIN_HEADER_LEN + n * wire::REPLY_RECORD_LEN;
+    let mut chunk = [0u8; 7]; // Deliberately tiny reads.
+    while buf.len() < expected {
+        let got = stream.read(&mut chunk).unwrap();
+        assert!(got > 0, "server closed mid-reply");
+        buf.extend_from_slice(&chunk[..got]);
+    }
+    match decode_server_frame(&buf) {
+        ServerFrameDecode::Reply { records, consumed } => {
+            assert_eq!(consumed, expected);
+            assert_eq!(records.len(), n);
+            assert!(records
+                .iter()
+                .all(|r| matches!(r, BinReply::Verdict { .. })));
+        }
+        other => panic!("{other:?}"),
+    }
+    server.shutdown().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Typed error frames and connection survival (regression: before
+// SITW-BIN existed, any non-HTTP byte tore the connection down with no
+// answer at all; malformed frames must now be answered and survived).
+
+#[test]
+fn malformed_frame_gets_typed_error_and_connection_stays_usable() {
+    let server = start_server(2);
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    // Intact envelope, empty app name inside: Malformed, recoverable.
+    // (A pad byte keeps the payload at the minimum record size, so the
+    // header-level count/payload check passes and the record parser is
+    // the one that rejects.)
+    let mut payload = vec![0u8, 0];
+    payload.extend_from_slice(&7u64.to_le_bytes());
+    payload.push(0xAA);
+    let mut bad = vec![wire::BIN_MAGIC, wire::BIN_VERSION, wire::FRAME_REQUEST];
+    bad.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bad.extend_from_slice(&1u32.to_le_bytes());
+    bad.extend_from_slice(&payload);
+    stream.write_all(&bad).unwrap();
+
+    let mut buf = Vec::new();
+    match read_frame(&mut stream, &mut buf) {
+        ServerFrameDecode::Error { code, detail, .. } => {
+            assert_eq!(code, BinErrorCode::Malformed);
+            assert!(detail.contains("empty app"), "{detail}");
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // The same connection still serves: a good frame, then JSON, then
+    // the metrics endpoint — full protocol mixing after the error.
+    let mut good = Vec::new();
+    encode_request_frame(&mut good, &[("recovered", 1)]);
+    stream.write_all(&good).unwrap();
+    let records = expect_reply(&mut stream, &mut buf);
+    assert!(matches!(records[0], BinReply::Verdict { cold: true, .. }));
+
+    let body = br#"{"app":"recovered","ts":2}"#;
+    stream
+        .write_all(
+            format!(
+                "POST /invoke HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    stream.write_all(body).unwrap();
+    let mut http = [0u8; 1024];
+    let n = stream.read(&mut http).unwrap();
+    let text = String::from_utf8_lossy(&http[..n]);
+    assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+    assert!(text.contains("\"verdict\":\"warm\""), "{text}");
+
+    // The error is counted; only the good frame counts as served.
+    let proto = server.metrics().proto;
+    assert_eq!(proto.proto_errors, 1);
+    assert_eq!(proto.frames, 1);
+    assert_eq!(proto.batched_decisions, 1);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn oversized_batch_gets_typed_error_and_connection_stays_usable() {
+    let server = start_server(1);
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    // count > MAX_BATCH with a small, intact envelope.
+    let mut bad = vec![wire::BIN_MAGIC, wire::BIN_VERSION, wire::FRAME_REQUEST];
+    bad.extend_from_slice(&16u32.to_le_bytes());
+    bad.extend_from_slice(&((wire::MAX_BATCH + 1) as u32).to_le_bytes());
+    bad.extend_from_slice(&[0u8; 16]);
+    stream.write_all(&bad).unwrap();
+
+    let mut buf = Vec::new();
+    match read_frame(&mut stream, &mut buf) {
+        ServerFrameDecode::Error { code, .. } => assert_eq!(code, BinErrorCode::Oversized),
+        other => panic!("{other:?}"),
+    }
+    let mut good = Vec::new();
+    encode_request_frame(&mut good, &[("still-alive", 3)]);
+    stream.write_all(&good).unwrap();
+    let records = expect_reply(&mut stream, &mut buf);
+    assert_eq!(records.len(), 1);
+    assert_eq!(server.metrics().proto.proto_errors, 1);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn unrecoverable_frame_errors_answer_then_close() {
+    let server = start_server(1);
+
+    // Bad version: typed error frame, then FIN.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .write_all(&[
+            wire::BIN_MAGIC,
+            99,
+            wire::FRAME_REQUEST,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+        ])
+        .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap(); // Returns only on FIN.
+    match decode_server_frame(&raw) {
+        ServerFrameDecode::Error { code, .. } => assert_eq!(code, BinErrorCode::BadVersion),
+        other => panic!("{other:?}"),
+    }
+
+    // Payload length beyond the 1 MiB cap: same fate (mirrors HTTP 413).
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut huge = vec![wire::BIN_MAGIC, wire::BIN_VERSION, wire::FRAME_REQUEST];
+    huge.extend_from_slice(&((wire::MAX_FRAME_PAYLOAD + 1) as u32).to_le_bytes());
+    huge.extend_from_slice(&1u32.to_le_bytes());
+    stream.write_all(&huge).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    match decode_server_frame(&raw) {
+        ServerFrameDecode::Error { code, .. } => assert_eq!(code, BinErrorCode::Oversized),
+        other => panic!("{other:?}"),
+    }
+
+    assert_eq!(server.metrics().proto.proto_errors, 2);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn out_of_order_records_are_per_record_errors_not_frame_errors() {
+    let server = start_server(1);
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    let mut frame = Vec::new();
+    encode_request_frame(
+        &mut frame,
+        &[("ooo", 600_000), ("ooo", 60_000), ("ooo", 700_000)],
+    );
+    stream.write_all(&frame).unwrap();
+    let mut buf = Vec::new();
+    let records = expect_reply(&mut stream, &mut buf);
+    assert!(matches!(records[0], BinReply::Verdict { cold: true, .. }));
+    assert_eq!(records[1], BinReply::OutOfOrder { last_ts: 600_000 });
+    assert!(matches!(records[2], BinReply::Verdict { cold: false, .. }));
+    // Rejections are data, not protocol errors.
+    assert_eq!(server.metrics().proto.proto_errors, 0);
+    server.shutdown().unwrap();
+}

@@ -12,9 +12,12 @@ use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 
-use sitw_core::{HybridConfig, PolicyFactory, ProductionConfig, ProductionManager};
+use sitw_core::{FixedKeepAlive, HybridConfig, PolicyFactory, ProductionConfig, ProductionManager};
+use sitw_serve::wire::{self, BinReply, ServerFrameDecode};
 use sitw_serve::{ServeConfig, Server};
-use sitw_sim::{production_verdict_trace, simulate_app, verdict_trace, PolicySpec};
+use sitw_sim::{
+    production_verdict_trace, simulate_app, verdict_trace, InvocationVerdict, PolicySpec,
+};
 use sitw_trace::{app_invocations, build_population, PopulationConfig, TraceConfig, DAY_MS};
 
 /// Blocking single-request client: sends one request, reads one response.
@@ -414,6 +417,221 @@ fn production_mode_matches_offline_manager_across_shard_change() {
     drop(client);
     server_b.shutdown().unwrap();
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Blocking SITW-BIN client: sends one frame, reads one reply frame.
+struct BinClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl BinClient {
+    fn connect(addr: SocketAddr) -> BinClient {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).unwrap();
+        BinClient {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    fn batch(&mut self, records: &[(&str, u64)]) -> Vec<BinReply> {
+        let mut frame = Vec::new();
+        wire::encode_request_frame(&mut frame, records);
+        self.stream.write_all(&frame).expect("write frame");
+        loop {
+            match wire::decode_server_frame(&self.buf) {
+                ServerFrameDecode::Reply { records, consumed } => {
+                    self.buf.drain(..consumed);
+                    return records;
+                }
+                ServerFrameDecode::Incomplete => {
+                    let mut chunk = [0u8; 16 * 1024];
+                    let n = self.stream.read(&mut chunk).expect("read");
+                    assert!(n > 0, "server closed mid-frame");
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                other => panic!("unexpected server frame: {other:?}"),
+            }
+        }
+    }
+}
+
+/// One observed verdict, protocol-agnostic: cold, pre-warm window,
+/// keep-alive window, decision branch, and (binary only, the JSON test
+/// client does not parse it) the pre-warm-load flag.
+type Observed = (bool, u64, u64, String, Option<bool>);
+
+/// Replays `merged` against `addr` in alternating protocol blocks — 17
+/// invocations as sequential JSON requests, then 29 as one SITW-BIN
+/// frame — appending each app's observed verdicts to `online`.
+fn replay_mixed(
+    addr: SocketAddr,
+    merged: &[(String, u64)],
+    online: &mut HashMap<String, Vec<Observed>>,
+) {
+    let mut json = TestClient::connect(addr);
+    let mut bin = BinClient::connect(addr);
+    let mut i = 0usize;
+    let mut use_json = true;
+    while i < merged.len() {
+        if use_json {
+            for (app, ts) in merged[i..merged.len().min(i + 17)].iter() {
+                let (status, body) = json.invoke(app, *ts);
+                assert_eq!(status, 200, "{body}");
+                let (cold, pw, ka) = parse_verdict(&body);
+                online.entry(app.clone()).or_default().push((
+                    cold,
+                    pw,
+                    ka,
+                    parse_kind(&body),
+                    None,
+                ));
+            }
+            i = merged.len().min(i + 17);
+        } else {
+            let block = &merged[i..merged.len().min(i + 29)];
+            let records: Vec<(&str, u64)> = block.iter().map(|(a, ts)| (a.as_str(), *ts)).collect();
+            let replies = bin.batch(&records);
+            assert_eq!(replies.len(), block.len());
+            for ((app, _), reply) in block.iter().zip(&replies) {
+                match reply {
+                    BinReply::Verdict {
+                        cold,
+                        prewarm_load,
+                        kind,
+                        pre_warm_ms,
+                        keep_alive_ms,
+                    } => online.entry(app.clone()).or_default().push((
+                        *cold,
+                        *pre_warm_ms as u64,
+                        *keep_alive_ms as u64,
+                        wire::kind_str(*kind).to_owned(),
+                        Some(*prewarm_load),
+                    )),
+                    other => panic!("{app}: unexpected reply {other:?}"),
+                }
+            }
+            i = merged.len().min(i + 29);
+        }
+        use_json = !use_json;
+    }
+}
+
+fn assert_streams_match_offline(
+    label: &str,
+    online: &HashMap<String, Vec<Observed>>,
+    per_app: &HashMap<String, Vec<u64>>,
+    offline_fn: impl Fn(&[u64]) -> Vec<InvocationVerdict>,
+) {
+    for (app, events) in per_app {
+        let offline = offline_fn(events);
+        let online_app = &online[app];
+        assert_eq!(online_app.len(), offline.len(), "{label}/{app}");
+        for (i, (on, off)) in online_app.iter().zip(&offline).enumerate() {
+            assert_eq!(on.0, off.cold, "{label}/{app} invocation {i}: cold");
+            assert!(
+                off.windows.pre_warm_ms < u32::MAX as u64
+                    && off.windows.keep_alive_ms < u32::MAX as u64,
+                "{label}/{app}: windows exceed the u32 wire range"
+            );
+            assert_eq!(
+                (on.1, on.2),
+                (off.windows.pre_warm_ms, off.windows.keep_alive_ms),
+                "{label}/{app} invocation {i}: windows"
+            );
+            assert_eq!(
+                on.3,
+                wire::kind_str(off.kind),
+                "{label}/{app} invocation {i}: kind"
+            );
+            if let Some(prewarm_load) = on.4 {
+                assert_eq!(
+                    prewarm_load, off.prewarm_load,
+                    "{label}/{app} invocation {i}: prewarm_load"
+                );
+            }
+        }
+    }
+}
+
+/// The ISSUE-3 acceptance test: JSON and SITW-BIN verdict streams are
+/// bit-identical to the offline simulator, for the fixed and production
+/// policies, across a snapshot/restore that changes the shard count.
+/// Both protocols interleave on the same servers (blocks of 17 JSON
+/// requests and 29-record binary frames), so the merged stream proves
+/// the two paths drive the exact same policy state.
+#[test]
+fn bin_and_json_streams_match_offline_for_fixed_and_production_across_restore() {
+    // Fixed keep-alive over the one-day workload.
+    run_mixed_protocol_case(
+        "fixed",
+        || PolicySpec::fixed_minutes(10),
+        workload(),
+        |events| {
+            let mut policy = FixedKeepAlive::minutes(10);
+            verdict_trace(events, &mut policy)
+        },
+    );
+    // Production manager (§6) over the multi-day workload, so daily
+    // rotation, retention, and backup clocks cross the restore too.
+    run_mixed_protocol_case(
+        "production",
+        || PolicySpec::Production(ProductionConfig::default()),
+        multiday_workload(),
+        |events| {
+            let mut manager = ProductionManager::new(ProductionConfig::default());
+            production_verdict_trace(events, &mut manager, 0)
+        },
+    );
+}
+
+fn run_mixed_protocol_case(
+    label: &str,
+    spec: impl Fn() -> PolicySpec,
+    (merged, per_app): Workload,
+    offline_fn: impl Fn(&[u64]) -> Vec<InvocationVerdict>,
+) {
+    let half = merged.len() / 2;
+    let dir = std::env::temp_dir().join(format!("sitw-serve-bin-{label}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap_path = dir.join("state.snapshot");
+
+    // Phase 1: first half against a 2-shard server.
+    let server_a = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 2,
+        policy: spec(),
+        snapshot_path: Some(snap_path.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut online: HashMap<String, Vec<Observed>> = HashMap::new();
+    replay_mixed(server_a.addr(), &merged[..half], &mut online);
+    server_a.shutdown().unwrap();
+
+    // Phase 2: the rest against a 5-shard server restored from the
+    // snapshot — both protocols must continue the exact streams.
+    let server_b = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 5,
+        policy: spec(),
+        restore_path: Some(snap_path.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    replay_mixed(server_b.addr(), &merged[half..], &mut online);
+
+    // The binary path really ran: frames were served on both servers.
+    let proto = server_b.metrics().proto;
+    assert!(proto.frames > 0, "{label}: no frames served after restore");
+    assert!(proto.batched_decisions > 0, "{label}");
+    assert_eq!(proto.proto_errors, 0, "{label}");
+
+    server_b.shutdown().unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    assert_streams_match_offline(label, &online, &per_app, offline_fn);
 }
 
 /// Regression: one request header declaring a huge `Content-Length`

@@ -1,7 +1,8 @@
 //! The serving subsystem end to end, in process: start the sharded
 //! decision daemon, replay a small synthetic workload through it with
-//! the open-loop load generator, scrape `/metrics`, and shut down
-//! gracefully.
+//! the open-loop load generator — over JSON/HTTP *and* over the
+//! batched SITW-BIN binary protocol — scrape `/metrics` (including the
+//! frame counters), and shut down gracefully.
 //!
 //! Run with: `cargo run --release --example serve_quickstart`
 //!
@@ -10,6 +11,8 @@
 //! ```text
 //! cargo run --release --bin sitw-serve    -- --shards 4 --policy hybrid
 //! cargo run --release --bin sitw-loadgen  -- --addr 127.0.0.1:7071 --max-speed
+//! cargo run --release --bin sitw-loadgen  -- --addr 127.0.0.1:7071 \
+//!     --max-speed --proto bin:batch=64
 //! curl -s  http://127.0.0.1:7071/metrics
 //! curl -XPOST http://127.0.0.1:7071/admin/shutdown
 //! ```
@@ -66,4 +69,56 @@ fn main() {
         snapshot.apps.len(),
         snapshot.policy_label
     );
+
+    // 5. The same replay over SITW-BIN frames (batch 64) on a fresh
+    // daemon: the binary path end to end, with its frame counters.
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 4,
+        policy: PolicySpec::Hybrid(HybridConfig::default()),
+        ..ServeConfig::default()
+    })
+    .expect("server start");
+    let bin_report = run_loadgen(
+        server.addr(),
+        &LoadGenConfig {
+            apps: 300,
+            horizon_ms: DAY_MS,
+            cap_per_day: 500.0,
+            connections: 2,
+            window: 128,
+            max_events: 50_000,
+            proto: Proto::Bin { batch: 64 },
+            ..LoadGenConfig::default()
+        },
+    )
+    .expect("bin loadgen");
+    println!("SITW-BIN: {}", bin_report.summary());
+    println!(
+        "JSON {:.0}/s vs SITW-BIN(batch=64) {:.0}/s = {:.2}x",
+        report.throughput,
+        bin_report.throughput,
+        bin_report.throughput / report.throughput
+    );
+
+    let metrics = server.metrics();
+    println!(
+        "frames {} | batched decisions {} | protocol errors {}",
+        metrics.proto.frames, metrics.proto.batched_decisions, metrics.proto.proto_errors
+    );
+    assert_eq!(metrics.invocations(), bin_report.ok);
+    assert!(metrics.proto.frames > 0, "binary path must serve frames");
+    assert_eq!(metrics.proto.batched_decisions, bin_report.ok);
+    assert_eq!(metrics.proto.proto_errors, 0);
+    // The Prometheus rendering exposes the same counters.
+    let text = metrics.render();
+    assert!(text.contains("sitw_serve_frames_total"), "{text}");
+    assert!(
+        text.contains("sitw_serve_batched_decisions_total"),
+        "{text}"
+    );
+    assert!(text.contains("sitw_serve_proto_errors_total"), "{text}");
+
+    server.shutdown().expect("shutdown");
+    println!("binary-protocol quickstart ok");
 }

@@ -57,7 +57,7 @@ pub mod prelude {
         Windows,
     };
     pub use sitw_platform::{run_platform, PlatformConfig, PlatformReport};
-    pub use sitw_serve::{run_loadgen, LoadGenConfig, LoadGenReport, ServeConfig, Server};
+    pub use sitw_serve::{run_loadgen, LoadGenConfig, LoadGenReport, Proto, ServeConfig, Server};
     pub use sitw_sim::{
         pareto_points, production_verdict_trace, run_sweep, simulate_app, simulate_app_with_exec,
         verdict_trace, AppSimResult, InvocationVerdict, PolicyAggregate, PolicySpec,
