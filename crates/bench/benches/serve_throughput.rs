@@ -1,9 +1,12 @@
 //! Serving throughput: decisions per second through the full loopback
-//! wire path, across shard counts and both protocols (JSON/HTTP vs
-//! SITW-BIN at batch 1/16/128), measured by the open-loop load
-//! generator. The ISSUE-1 acceptance floor is 50k decisions/sec on a
-//! 4-shard daemon in release mode; the ISSUE-3 gate is SITW-BIN at
-//! batch ≥ 16 sustaining ≥ 1.5× the JSON rate on the same hardware.
+//! wire path, across shard counts, both protocols (JSON/HTTP vs
+//! SITW-BIN at batch 1/16/128), and tenant modes, measured by the
+//! open-loop load generator. The ISSUE-1 acceptance floor is 50k
+//! decisions/sec on a 4-shard daemon in release mode; the ISSUE-3 gate
+//! is SITW-BIN at batch ≥ 16 sustaining ≥ 1.5× the JSON rate on the
+//! same hardware; the ISSUE-4 gate is 4-tenant fleet mode sustaining
+//! ≥ 0.8× the single-tenant JSON rate (the memory ledger must not eat
+//! the serving path).
 //!
 //! Besides the human-readable report, this bench is the perf-trajectory
 //! recorder: with `SITW_BENCH_JSON=path` it writes every case's mean
@@ -17,7 +20,7 @@ use std::sync::Mutex;
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use sitw_core::{HybridConfig, ProductionConfig};
-use sitw_serve::{run_loadgen, LoadGenConfig, Proto, ServeConfig, Server};
+use sitw_serve::{run_loadgen, LoadGenConfig, Proto, ServeConfig, Server, TenantConfig};
 use sitw_sim::PolicySpec;
 use sitw_trace::DAY_MS;
 
@@ -26,12 +29,20 @@ const EVENTS: usize = 20_000;
 /// The ISSUE-3 acceptance floor: BIN at batch ≥ 16 vs JSON, same shards.
 const GATE_RATIO: f64 = 1.5;
 
+/// The ISSUE-4 acceptance floor: 4-tenant fleet mode vs single-tenant,
+/// same shards and protocol.
+const TENANT_GATE_RATIO: f64 = 0.8;
+
+/// Tenants in the fleet-mode cases.
+const TENANTS: usize = 4;
+
 /// One measured case, accumulated for the machine-readable report.
 struct CaseResult {
     proto: &'static str,
     policy: &'static str,
     shards: usize,
     batch: usize,
+    tenants: usize,
     samples: Vec<f64>,
 }
 
@@ -47,7 +58,7 @@ impl CaseResult {
 
 static RESULTS: Mutex<Vec<CaseResult>> = Mutex::new(Vec::new());
 
-fn loadgen_config(proto: Proto) -> LoadGenConfig {
+fn loadgen_config(proto: Proto, tenants: usize) -> LoadGenConfig {
     LoadGenConfig {
         apps: 300,
         seed: 42,
@@ -58,21 +69,34 @@ fn loadgen_config(proto: Proto) -> LoadGenConfig {
         window: 128,
         max_events: EVENTS,
         proto,
+        tenants,
+        zipf: if tenants > 0 { 1.0 } else { 0.0 },
     }
 }
 
-fn run_once(shards: usize, policy: PolicySpec, proto: Proto) -> f64 {
+fn run_once(shards: usize, policy: PolicySpec, proto: Proto, tenants: usize) -> f64 {
     // A fresh server per iteration: policy state is cumulative and
     // timestamps must stay monotone.
     let server = Server::start(ServeConfig {
         addr: "127.0.0.1:0".into(),
         shards,
-        policy,
+        policy: policy.clone(),
+        tenants: (0..tenants)
+            .map(|k| TenantConfig {
+                name: format!("t{k}"),
+                policy: policy.clone(),
+                budget_mb: 0,
+            })
+            .collect(),
         ..ServeConfig::default()
     })
     .expect("server start");
-    let report = run_loadgen(server.addr(), &loadgen_config(proto)).expect("loadgen");
+    let report = run_loadgen(server.addr(), &loadgen_config(proto, tenants)).expect("loadgen");
     assert_eq!(report.ok, EVENTS as u64, "lost responses");
+    if tenants > 0 {
+        let served: u64 = report.per_tenant.iter().map(|t| t.ok).sum();
+        assert_eq!(served, EVENTS as u64, "every decision tenant-attributed");
+    }
     server.shutdown().expect("shutdown");
     report.throughput
 }
@@ -82,18 +106,20 @@ fn bench_decisions_per_sec(c: &mut Criterion) {
     group.throughput(Throughput::Elements(EVENTS as u64));
     group.sample_size(10);
 
+    #[allow(clippy::too_many_arguments)]
     let case = |group: &mut criterion::BenchmarkGroup<'_>,
                 id: BenchmarkId,
                 proto_label: &'static str,
                 policy_label: &'static str,
                 shards: usize,
                 batch: usize,
+                tenants: usize,
                 policy: fn() -> PolicySpec,
                 proto: Proto| {
         let mut samples = Vec::new();
         group.bench_function(id, |b| {
             b.iter(|| {
-                let dec_per_sec = run_once(shards, policy(), proto);
+                let dec_per_sec = run_once(shards, policy(), proto, tenants);
                 samples.push(dec_per_sec);
                 dec_per_sec
             })
@@ -103,6 +129,7 @@ fn bench_decisions_per_sec(c: &mut Criterion) {
             policy: policy_label,
             shards,
             batch,
+            tenants,
             samples,
         });
     };
@@ -119,6 +146,7 @@ fn bench_decisions_per_sec(c: &mut Criterion) {
             "hybrid",
             shards,
             1,
+            0,
             hybrid,
             Proto::Json,
         );
@@ -131,6 +159,7 @@ fn bench_decisions_per_sec(c: &mut Criterion) {
         "production",
         4,
         1,
+        0,
         production,
         Proto::Json,
     );
@@ -144,10 +173,36 @@ fn bench_decisions_per_sec(c: &mut Criterion) {
             "hybrid",
             4,
             batch,
+            0,
             hybrid,
             Proto::Bin { batch },
         );
     }
+    // Fleet mode (ISSUE-4): the same 4-shard hybrid shapes with the
+    // replay spread over 4 tenants (zipf 1.0), ledger charging every
+    // decision — gated at >= 0.8x the single-tenant JSON rate.
+    case(
+        &mut group,
+        BenchmarkId::new("json/tenants", TENANTS),
+        "json",
+        "hybrid",
+        4,
+        1,
+        TENANTS,
+        hybrid,
+        Proto::Json,
+    );
+    case(
+        &mut group,
+        BenchmarkId::new("bin/tenants", TENANTS),
+        "bin",
+        "hybrid",
+        4,
+        128,
+        TENANTS,
+        hybrid,
+        Proto::Bin { batch: 128 },
+    );
     group.finish();
 }
 
@@ -173,11 +228,12 @@ fn report_and_gate() {
             }
             json.push_str(&format!(
                 "  {{\"proto\": \"{}\", \"policy\": \"{}\", \"shards\": {}, \"batch\": {}, \
-                 \"dec_per_sec\": {:.0}}}",
+                 \"tenants\": {}, \"dec_per_sec\": {:.0}}}",
                 r.proto,
                 r.policy,
                 r.shards,
                 r.batch,
+                r.tenants,
                 r.mean()
             ));
         }
@@ -192,12 +248,12 @@ fn report_and_gate() {
     }
     let json_4 = results
         .iter()
-        .find(|r| r.proto == "json" && r.policy == "hybrid" && r.shards == 4)
+        .find(|r| r.proto == "json" && r.policy == "hybrid" && r.shards == 4 && r.tenants == 0)
         .map(CaseResult::mean)
         .expect("json 4-shard baseline case");
     let bin_best = results
         .iter()
-        .filter(|r| r.proto == "bin" && r.batch >= 16)
+        .filter(|r| r.proto == "bin" && r.batch >= 16 && r.tenants == 0)
         .map(CaseResult::mean)
         .fold(0.0f64, f64::max);
     println!(
@@ -210,6 +266,23 @@ fn report_and_gate() {
         bin_best >= GATE_RATIO * json_4,
         "perf gate failed: SITW-BIN at batch>=16 must sustain >= {GATE_RATIO}x the JSON \
          rate ({bin_best:.0} vs {json_4:.0} dec/s)"
+    );
+    let tenants_json = results
+        .iter()
+        .find(|r| r.proto == "json" && r.tenants == TENANTS)
+        .map(CaseResult::mean)
+        .expect("json tenants case");
+    println!(
+        "gate: json {TENANTS}-tenant {:.0} dec/s vs single-tenant {:.0} dec/s = {:.2}x \
+         (floor {TENANT_GATE_RATIO}x)",
+        tenants_json,
+        json_4,
+        tenants_json / json_4
+    );
+    assert!(
+        tenants_json >= TENANT_GATE_RATIO * json_4,
+        "perf gate failed: fleet mode must sustain >= {TENANT_GATE_RATIO}x the single-tenant \
+         JSON rate ({tenants_json:.0} vs {json_4:.0} dec/s)"
     );
 }
 

@@ -45,6 +45,7 @@ pub mod fixed;
 pub mod hybrid;
 pub mod policy;
 pub mod production;
+pub mod spec;
 
 pub use fixed::{FixedKeepAlive, NoUnloading};
 pub use hybrid::{DecisionCounts, HybridConfig, HybridPolicy, HybridSnapshot};
@@ -55,3 +56,4 @@ pub use production::{
     AppKey, DayHistogram, PrewarmEvent, ProductionAppState, ProductionConfig, ProductionManager,
     ProductionPolicy, RecencyWeighting,
 };
+pub use spec::PolicySpec;

@@ -1,0 +1,100 @@
+//! The budgeted-eviction engine.
+//!
+//! Extracted from `sitw_platform`'s `Invoker::make_room` so the invoker
+//! pool (LRU-idle order) and the tenant memory ledger (earliest
+//! keep-alive expiry order) share one loop — and one set of semantics:
+//! evict victims in the caller's order until the budget fits, and report
+//! honestly when it cannot.
+
+/// Evicts victims from `state` until `fits(state)` holds.
+///
+/// * `fits` — whether the budget is currently satisfied;
+/// * `next_victim` — the next victim in the caller's eviction order
+///   (`None` when nothing evictable remains);
+/// * `evict` — performs the eviction (releases the victim's charge).
+///
+/// All three see the same `state`, which is what lets the ledger pass
+/// its warm set/heap and the invoker its container pool without any
+/// shared-borrow gymnastics.
+///
+/// Returns `true` when the budget fits (possibly without evicting
+/// anything), `false` when victims ran out first. Victims produced by
+/// `next_victim` are always passed to `evict` — the engine never drops
+/// one on the floor, so `next_victim` may mutate state (e.g. pop from a
+/// heap).
+pub fn evict_until<S, V>(
+    state: &mut S,
+    fits: impl Fn(&S) -> bool,
+    mut next_victim: impl FnMut(&mut S) -> Option<V>,
+    mut evict: impl FnMut(&mut S, V),
+) -> bool {
+    while !fits(state) {
+        match next_victim(state) {
+            Some(victim) => evict(state, victim),
+            None => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Pool {
+        victims: Vec<u64>,
+        used: u64,
+        evicted: Vec<u64>,
+    }
+
+    #[test]
+    fn evicts_in_order_until_budget_fits() {
+        let mut pool = Pool {
+            victims: vec![3, 5, 7],
+            used: 15,
+            evicted: Vec::new(),
+        };
+        let ok = evict_until(
+            &mut pool,
+            |p| p.used <= 8,
+            |p| (!p.victims.is_empty()).then(|| p.victims.remove(0)),
+            |p, v| {
+                p.used -= v;
+                p.evicted.push(v);
+            },
+        );
+        assert!(ok);
+        assert_eq!(pool.evicted, vec![3, 5]);
+        assert_eq!(pool.used, 7);
+        assert_eq!(pool.victims, vec![7], "stops as soon as it fits");
+    }
+
+    #[test]
+    fn reports_failure_when_victims_run_out() {
+        let mut pool = Pool {
+            victims: vec![1],
+            used: 10,
+            evicted: Vec::new(),
+        };
+        let ok = evict_until(
+            &mut pool,
+            |p| p.used <= 2,
+            |p| (!p.victims.is_empty()).then(|| p.victims.remove(0)),
+            |p, v| p.used -= v,
+        );
+        assert!(!ok);
+        assert_eq!(pool.used, 9, "the popped victim was still evicted");
+    }
+
+    #[test]
+    fn already_fitting_budget_evicts_nothing() {
+        let mut calls = 0u32;
+        assert!(evict_until(
+            &mut calls,
+            |_| true,
+            |_| -> Option<()> { None },
+            |c, _| *c += 1
+        ));
+        assert_eq!(calls, 0);
+    }
+}

@@ -1,0 +1,393 @@
+//! The offline fleet simulator: the ground truth a fleet-mode daemon is
+//! measured against.
+//!
+//! [`FleetSim`] replays a merged multi-tenant `(tenant, app, ts)` stream
+//! through per-tenant policies and [`crate::TenantLedger`]s, producing
+//! the exact verdict the daemon serves for each invocation — cold/warm,
+//! pre-warm load, decision branch, the next windows, **and** the
+//! eviction downgrades memory pressure forces. `sitw_sim` re-exports
+//! [`fleet_verdict_trace`] next to its single-policy `verdict_trace`.
+//!
+//! The composition rule per invocation (identical in the daemon's shard
+//! workers — the parity tests pin the two bit-for-bit):
+//!
+//! 1. classify the idle gap through
+//!    [`sitw_core::Windows::classify_gap`] (single source of truth);
+//! 2. if the app's image was **evicted during the gap**, downgrade the
+//!    verdict to cold (and suppress the phantom pre-warm load);
+//! 3. advance the tenant's policy to get the next windows;
+//! 4. charge the ledger: the app is warm until
+//!    [`sitw_core::Windows::loaded_until`], holding its deterministic
+//!    Burr footprint; any victims the budget forces out are marked
+//!    evicted for *their* next invocation.
+
+use std::collections::HashMap;
+
+use sitw_core::{AppKey, AppPolicy, DecisionKind, PolicySpec, ProductionManager, Windows};
+
+use crate::footprint::footprint_mb;
+use crate::ledger::TenantLedger;
+use crate::registry::{TenantId, TenantRegistry};
+
+/// One invocation of the merged multi-tenant stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetEvent {
+    /// Tenant the app belongs to.
+    pub tenant: TenantId,
+    /// Application id (namespaced per tenant).
+    pub app: String,
+    /// Invocation timestamp (trace milliseconds).
+    pub ts: u64,
+}
+
+/// The verdict for one fleet invocation — exactly what the daemon
+/// answers, so online and offline runs compare element by element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetVerdict {
+    /// The invocation found no loaded image.
+    pub cold: bool,
+    /// A pre-warm load occurred in the gap ending here.
+    pub prewarm_load: bool,
+    /// The image was evicted for memory pressure during the gap (the
+    /// verdict was downgraded to cold).
+    pub evicted: bool,
+    /// The policy branch that produced the windows.
+    pub kind: DecisionKind,
+    /// Windows governing the gap until the app's next invocation.
+    pub windows: Windows,
+}
+
+/// Why a fleet invocation was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetError {
+    /// The tenant id is not in the registry.
+    UnknownTenant(TenantId),
+    /// The timestamp is older than the app's last accepted one.
+    OutOfOrder {
+        /// The app's last accepted timestamp.
+        last_ts: u64,
+    },
+}
+
+/// Per-app offline state.
+struct AppSim {
+    /// Per-app policy instance (`None` in production mode, where state
+    /// lives in the tenant's manager).
+    policy: Option<Box<dyn AppPolicy + Send>>,
+    /// Key into the tenant's production manager (production mode only).
+    prod_key: AppKey,
+    last_kind: DecisionKind,
+    windows: Windows,
+    last_ts: u64,
+    /// The image was evicted during the gap in progress.
+    evicted: bool,
+    /// Deterministic Burr footprint, computed once at first sight
+    /// (mirrors the daemon's per-app cache).
+    footprint_mb: u64,
+}
+
+/// Per-tenant offline state.
+struct TenantSim {
+    name: String,
+    policy: PolicySpec,
+    ledger: TenantLedger,
+    apps: HashMap<String, AppSim>,
+    /// `Some` iff `policy` is [`PolicySpec::Production`].
+    production: Option<ProductionManager>,
+    next_key: AppKey,
+}
+
+/// The offline multi-tenant replay engine.
+pub struct FleetSim {
+    tenants: HashMap<TenantId, TenantSim>,
+}
+
+impl FleetSim {
+    /// Builds a simulator for every tenant in `registry`.
+    pub fn new(registry: &TenantRegistry) -> Self {
+        let tenants = registry
+            .tenants()
+            .iter()
+            .map(|spec| {
+                let production = match &spec.policy {
+                    PolicySpec::Production(cfg) => Some(ProductionManager::new(*cfg)),
+                    _ => None,
+                };
+                (
+                    spec.id,
+                    TenantSim {
+                        name: spec.name.clone(),
+                        policy: spec.policy.clone(),
+                        ledger: TenantLedger::new(spec.budget_mb),
+                        apps: HashMap::new(),
+                        production,
+                        next_key: 0,
+                    },
+                )
+            })
+            .collect();
+        Self { tenants }
+    }
+
+    /// Replays one invocation.
+    pub fn step(
+        &mut self,
+        tenant: TenantId,
+        app: &str,
+        ts: u64,
+    ) -> Result<FleetVerdict, FleetError> {
+        let t = self
+            .tenants
+            .get_mut(&tenant)
+            .ok_or(FleetError::UnknownTenant(tenant))?;
+
+        let (verdict, mb) = match t.apps.get_mut(app) {
+            None => {
+                // First invocation: cold by definition (§5.1).
+                let (policy, prod_key, windows, kind) = match &mut t.production {
+                    Some(manager) => {
+                        let key = t.next_key;
+                        t.next_key += 1;
+                        let (windows, kind) = manager.on_invocation(key, ts, None);
+                        (None, key, windows, kind)
+                    }
+                    None => {
+                        let mut policy = t.policy.new_policy();
+                        let windows = policy.on_invocation(None);
+                        let kind = policy.last_decision();
+                        (Some(policy), 0, windows, kind)
+                    }
+                };
+                let mb = footprint_mb(&t.name, app);
+                t.apps.insert(
+                    app.to_owned(),
+                    AppSim {
+                        policy,
+                        prod_key,
+                        last_kind: kind,
+                        windows,
+                        last_ts: ts,
+                        evicted: false,
+                        footprint_mb: mb,
+                    },
+                );
+                (
+                    FleetVerdict {
+                        cold: true,
+                        prewarm_load: false,
+                        evicted: false,
+                        kind,
+                        windows,
+                    },
+                    mb,
+                )
+            }
+            Some(state) => {
+                if ts < state.last_ts {
+                    return Err(FleetError::OutOfOrder {
+                        last_ts: state.last_ts,
+                    });
+                }
+                let idle = ts - state.last_ts;
+                let outcome = state.windows.classify_gap(idle);
+                let was_evicted = state.evicted;
+                state.evicted = false;
+                let (windows, kind) = match (&mut t.production, &mut state.policy) {
+                    (Some(manager), _) => manager.on_invocation(state.prod_key, ts, Some(idle)),
+                    (None, Some(policy)) => {
+                        let windows = policy.on_invocation(Some(idle));
+                        (windows, policy.last_decision())
+                    }
+                    (None, None) => unreachable!("non-production app has a policy"),
+                };
+                state.windows = windows;
+                state.last_kind = kind;
+                state.last_ts = ts;
+                (
+                    FleetVerdict {
+                        cold: outcome.cold || was_evicted,
+                        prewarm_load: outcome.prewarm_load && !was_evicted,
+                        evicted: was_evicted,
+                        kind,
+                        windows,
+                    },
+                    state.footprint_mb,
+                )
+            }
+        };
+
+        // Charge the ledger and apply budget pressure. The just-invoked
+        // app can itself be the victim when its footprint cannot fit.
+        let expiry = verdict.windows.loaded_until(ts);
+        for victim in t.ledger.charge(app, ts, expiry, mb) {
+            if let Some(v) = t.apps.get_mut(&victim) {
+                v.evicted = true;
+            }
+        }
+        Ok(verdict)
+    }
+
+    /// The ledger of one tenant (stats/assertions).
+    pub fn ledger(&self, tenant: TenantId) -> Option<&TenantLedger> {
+        self.tenants.get(&tenant).map(|t| &t.ledger)
+    }
+}
+
+/// Replays a merged multi-tenant event stream and returns one result per
+/// event, in stream order — the offline ground truth for the fleet-mode
+/// daemon (`sitw_serve`). Timestamps must be monotone non-decreasing per
+/// `(tenant, app)`; violations surface as [`FleetError::OutOfOrder`],
+/// exactly like the daemon's 409.
+pub fn fleet_verdict_trace(
+    events: &[FleetEvent],
+    registry: &TenantRegistry,
+) -> Vec<Result<FleetVerdict, FleetError>> {
+    let mut sim = FleetSim::new(registry);
+    events
+        .iter()
+        .map(|e| sim.step(e.tenant, &e.app, e.ts))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitw_core::MINUTE_MS;
+
+    fn registry(budget_mb: u64) -> TenantRegistry {
+        let mut r = TenantRegistry::new(PolicySpec::fixed_minutes(10));
+        r.register("metered", PolicySpec::fixed_minutes(10), budget_mb)
+            .unwrap();
+        r
+    }
+
+    #[test]
+    fn unbudgeted_tenant_matches_plain_policy_semantics() {
+        let r = registry(0);
+        let mut sim = FleetSim::new(&r);
+        let v0 = sim.step(0, "a", 0).unwrap();
+        assert!(v0.cold && !v0.evicted);
+        let v1 = sim.step(0, "a", 5 * MINUTE_MS).unwrap();
+        assert!(!v1.cold);
+        let v2 = sim.step(0, "a", 30 * MINUTE_MS).unwrap();
+        assert!(
+            v2.cold && !v2.evicted,
+            "keep-alive lapse is not an eviction"
+        );
+        assert_eq!(sim.ledger(0).unwrap().stats().evictions, 0);
+    }
+
+    #[test]
+    fn budget_pressure_downgrades_warm_to_cold_with_evicted_flag() {
+        // A budget that fits exactly one of the tenant's apps: every
+        // invocation of the other app evicts the first.
+        let mut r = TenantRegistry::new(PolicySpec::fixed_minutes(10));
+        let mb_a = footprint_mb("m", "a");
+        let mb_b = footprint_mb("m", "b");
+        let budget = mb_a.max(mb_b); // Holds either, never both.
+        r.register("m", PolicySpec::fixed_minutes(10), budget)
+            .unwrap();
+        let tid = r.resolve("m").unwrap();
+        let mut sim = FleetSim::new(&r);
+
+        assert!(sim.step(tid, "a", 0).unwrap().cold);
+        let vb = sim.step(tid, "b", 1_000).unwrap();
+        assert!(vb.cold && !vb.evicted, "b's first invocation: plain cold");
+        // a was evicted to fit b: its return inside the keep-alive window
+        // is downgraded to cold and flagged.
+        let va = sim.step(tid, "a", 2_000).unwrap();
+        assert!(va.cold, "would be warm, but the image was evicted");
+        assert!(va.evicted);
+        assert!(!va.prewarm_load);
+        assert!(sim.ledger(tid).unwrap().stats().evictions >= 1);
+    }
+
+    #[test]
+    fn out_of_order_and_unknown_tenant_surface_as_errors() {
+        let r = registry(0);
+        let mut sim = FleetSim::new(&r);
+        sim.step(0, "a", 10_000).unwrap();
+        assert_eq!(
+            sim.step(0, "a", 5_000),
+            Err(FleetError::OutOfOrder { last_ts: 10_000 })
+        );
+        assert_eq!(sim.step(9, "a", 0), Err(FleetError::UnknownTenant(9)));
+    }
+
+    #[test]
+    fn trace_matches_per_policy_verdict_trace_when_unbudgeted() {
+        // With no budgets, the fleet trace must equal the single-policy
+        // verdict trace app by app.
+        let r = registry(0);
+        let events: Vec<FleetEvent> = (0..120u64)
+            .map(|i| FleetEvent {
+                tenant: 0,
+                app: format!("app-{}", i % 3),
+                ts: i * 4 * MINUTE_MS,
+            })
+            .collect();
+        let fleet = fleet_verdict_trace(&events, &r);
+
+        for app_idx in 0..3u64 {
+            let app = format!("app-{app_idx}");
+            let stream: Vec<u64> = events
+                .iter()
+                .filter(|e| e.app == app)
+                .map(|e| e.ts)
+                .collect();
+            let mut policy = PolicySpec::fixed_minutes(10).new_policy();
+            let offline = sitw_sim_free_verdicts(&stream, policy.as_mut());
+            let fleet_app: Vec<&FleetVerdict> = events
+                .iter()
+                .zip(&fleet)
+                .filter(|(e, _)| e.app == app)
+                .map(|(_, v)| v.as_ref().unwrap())
+                .collect();
+            assert_eq!(fleet_app.len(), offline.len());
+            for (f, (cold, windows)) in fleet_app.iter().zip(&offline) {
+                assert_eq!(f.cold, *cold);
+                assert_eq!(f.windows, *windows);
+                assert!(!f.evicted);
+            }
+        }
+    }
+
+    /// A minimal inline reimplementation of `sitw_sim::verdict_trace`
+    /// (sim depends on this crate, not the other way around).
+    fn sitw_sim_free_verdicts(
+        events: &[u64],
+        policy: &mut (dyn AppPolicy + Send),
+    ) -> Vec<(bool, Windows)> {
+        let mut out = Vec::new();
+        let mut windows = policy.on_invocation(None);
+        out.push((true, windows));
+        let mut prev = events[0];
+        for &t in &events[1..] {
+            let outcome = windows.classify_gap(t - prev);
+            windows = policy.on_invocation(Some(t - prev));
+            out.push((outcome.cold, windows));
+            prev = t;
+        }
+        out
+    }
+
+    #[test]
+    fn production_tenant_day_aware_replay() {
+        let mut r = TenantRegistry::new(PolicySpec::fixed_minutes(10));
+        r.register("prod", PolicySpec::parse("production").unwrap(), 0)
+            .unwrap();
+        let tid = r.resolve("prod").unwrap();
+        let events: Vec<FleetEvent> = (0..(3 * 48) as u64)
+            .map(|i| FleetEvent {
+                tenant: tid,
+                app: "x".into(),
+                ts: i * 30 * MINUTE_MS,
+            })
+            .collect();
+        let verdicts = fleet_verdict_trace(&events, &r);
+        let tail_ok = verdicts[verdicts.len() / 2..]
+            .iter()
+            .all(|v| !v.as_ref().unwrap().cold);
+        assert!(tail_ok, "the 30-minute pattern must be learned");
+    }
+}

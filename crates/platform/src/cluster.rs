@@ -74,10 +74,14 @@ pub struct Invoker {
     pub capacity_mb: f64,
     /// Containers currently loaded (any state).
     pub containers: Vec<Container>,
-    /// Pre-initialized stem-cell containers available for adoption.
-    pub stemcells_free: usize,
-    /// Memory held by each stem cell, MB.
-    pub stemcell_memory_mb: f64,
+    /// Pre-initialized stem-cell containers available for adoption, each
+    /// holding its own memory size. Per-cell sizes (rather than a count
+    /// times one "current" size) are what keeps the held memory counted
+    /// exactly once when provisioning rounds use different sizes — the
+    /// old count×latest-size accounting re-priced every existing cell,
+    /// so `loaded_mb` drifted from the memory actually held and
+    /// `make_room` could double-book capacity against the ledger.
+    stemcells: Vec<f64>,
     /// Accounting.
     pub stats: InvokerStats,
     last_integral_at: TimeMs,
@@ -90,8 +94,7 @@ impl Invoker {
             id,
             capacity_mb,
             containers: Vec::new(),
-            stemcells_free: 0,
-            stemcell_memory_mb: 0.0,
+            stemcells: Vec::new(),
             stats: InvokerStats::default(),
             last_integral_at: 0,
         }
@@ -105,37 +108,40 @@ impl Invoker {
             if self.free_mb() < mb {
                 break;
             }
-            self.stemcells_free += 1;
-            self.stemcell_memory_mb = mb;
+            self.stemcells.push(mb);
             created += 1;
         }
         created
     }
 
     /// Takes one stem cell for adoption (skipping container init);
-    /// returns false when none is free.
+    /// returns false when none is free. The most recently provisioned
+    /// cell is adopted first, releasing exactly the memory it held.
     pub fn take_stemcell(&mut self) -> bool {
-        if self.stemcells_free > 0 {
-            self.stemcells_free -= 1;
-            true
-        } else {
-            false
-        }
+        self.stemcells.pop().is_some()
+    }
+
+    /// Pre-initialized stem cells available for adoption.
+    pub fn stemcells_free(&self) -> usize {
+        self.stemcells.len()
+    }
+
+    /// Memory currently held by the stem-cell pool, MB.
+    pub fn stemcell_mb(&self) -> f64 {
+        self.stemcells.iter().sum()
     }
 
     /// Replenishes the stem-cell pool back toward `target` if capacity
     /// allows (OpenWhisk re-creates prewarm containers in the background).
     pub fn replenish_stemcells(&mut self, target: usize, mb: f64) {
-        while self.stemcells_free < target && self.free_mb() >= mb {
-            self.stemcells_free += 1;
-            self.stemcell_memory_mb = mb;
+        while self.stemcells.len() < target && self.free_mb() >= mb {
+            self.stemcells.push(mb);
         }
     }
 
     /// Memory currently loaded (all container states + stem cells), MB.
     pub fn loaded_mb(&self) -> f64 {
-        self.containers.iter().map(|c| c.memory_mb).sum::<f64>()
-            + self.stemcells_free as f64 * self.stemcell_memory_mb
+        self.containers.iter().map(|c| c.memory_mb).sum::<f64>() + self.stemcell_mb()
     }
 
     /// Free capacity, MB.
@@ -185,30 +191,32 @@ impl Invoker {
     }
 
     /// Evicts idle containers (least recently used first) until
-    /// `needed_mb` fits. Returns false if the space cannot be freed
-    /// (busy/starting containers are not evictable).
+    /// `needed_mb` fits, through the shared budgeted-eviction engine
+    /// ([`sitw_fleet::evict_until`] — the same loop the tenant memory
+    /// ledger runs with earliest-expiry ordering). Returns false if the
+    /// space cannot be freed (busy/starting containers — and the
+    /// stem-cell pool's held memory — are not evictable).
     pub fn make_room(&mut self, needed_mb: f64, now: TimeMs) -> bool {
         if needed_mb > self.capacity_mb {
             return false;
         }
         self.advance_integrals(now);
-        while self.free_mb() < needed_mb {
-            let victim = self
-                .containers
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| matches!(c.state, ContainerState::Idle { .. }))
-                .min_by_key(|(_, c)| c.last_used)
-                .map(|(i, _)| i);
-            match victim {
-                Some(i) => {
-                    self.containers.swap_remove(i);
-                    self.stats.evictions += 1;
-                }
-                None => return false,
-            }
-        }
-        true
+        sitw_fleet::evict_until(
+            self,
+            |inv| inv.free_mb() >= needed_mb,
+            |inv| {
+                inv.containers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| matches!(c.state, ContainerState::Idle { .. }))
+                    .min_by_key(|(_, c)| c.last_used)
+                    .map(|(i, _)| i)
+            },
+            |inv, i| {
+                inv.containers.swap_remove(i);
+                inv.stats.evictions += 1;
+            },
+        )
     }
 
     /// Starts a container for `app`; the caller has ensured capacity.
@@ -372,6 +380,33 @@ mod tests {
         assert!((inv.stats.loaded_mb_ms - 300.0 * 1_000.0).abs() < 1e-6);
         assert!((inv.stats.idle_mb_ms - 100.0 * 1_000.0).abs() < 1e-6);
         assert_eq!(inv.stats.peak_loaded_mb, 300.0);
+    }
+
+    #[test]
+    fn stemcell_memory_counted_once_across_mixed_sizes() {
+        // Regression (failing before the per-cell accounting): the pool
+        // tracked `count × latest size`, so a provisioning round with a
+        // different size re-priced every existing cell. Two 300 MB cells
+        // followed by a 50 MB replenish used to report 3 × 50 = 150 MB
+        // held instead of 650 — and make_room, believing that phantom
+        // free memory, double-booked capacity the stem cells hold.
+        let mut inv = Invoker::new(0, 1000.0);
+        assert_eq!(inv.provision_stemcells(2, 300.0), 2);
+        inv.replenish_stemcells(3, 50.0);
+        assert_eq!(inv.stemcells_free(), 3);
+        assert_eq!(inv.loaded_mb(), 650.0, "2×300 + 1×50, each counted once");
+        assert_eq!(inv.free_mb(), 350.0);
+        // 400 MB does not fit and nothing is evictable: make_room must
+        // refuse instead of double-counting the stem-cell memory away.
+        assert!(!inv.make_room(400.0, 0));
+        assert!(inv.make_room(350.0, 0));
+        // Adoption releases exactly the adopted cell's memory (LIFO).
+        assert!(inv.take_stemcell());
+        assert_eq!(inv.loaded_mb(), 600.0);
+        assert!(inv.take_stemcell());
+        assert!(inv.take_stemcell());
+        assert!(!inv.take_stemcell());
+        assert_eq!(inv.loaded_mb(), 0.0);
     }
 
     #[test]

@@ -5,14 +5,18 @@
 //!              [--horizon-hours 24] [--cap-per-day 2000]
 //!              [--speedup N | --max-speed] [--connections 2]
 //!              [--window 64] [--max-events 0]
-//!              [--proto json|bin|bin:batch=N]
+//!              [--proto json|bin|bin:batch=N] [--tenants N[:zipf=S]]
 //! ```
 //!
 //! Generates the synthetic Azure-Functions-like workload of
 //! `sitw_trace` and replays it open-loop against a running daemon,
 //! then prints sustained throughput and exact latency percentiles.
-//! `--proto bin` speaks SITW-BIN v1 frames (default batch 16) instead
-//! of JSON-over-HTTP.
+//! `--proto bin` speaks SITW-BIN frames (default batch 16) instead of
+//! JSON-over-HTTP. `--tenants N[:zipf=S]` spreads the replayed apps
+//! across N tenants `t0..tN-1` (optionally Zipf-skewed by rank) — the
+//! server must have registered them (`sitw-serve --tenants N` or
+//! explicit `--tenant` flags) — and the summary adds one per-tenant
+//! throughput/verdict-mix line.
 
 use std::net::ToSocketAddrs;
 use std::process::exit;
@@ -25,7 +29,7 @@ fn usage() -> ! {
         "usage: sitw-loadgen --addr HOST:PORT [--apps N] [--seed N] \
          [--horizon-hours H] [--cap-per-day N] [--speedup N | --max-speed] \
          [--connections N] [--window N] [--max-events N] \
-         [--proto json|bin|bin:batch=N]"
+         [--proto json|bin|bin:batch=N] [--tenants N[:zipf=S]]"
     );
     exit(2)
 }
@@ -61,6 +65,22 @@ fn main() {
             "--max-events" => {
                 cfg.max_events = value("--max-events").parse().unwrap_or_else(|_| usage());
             }
+            "--tenants" => {
+                let spec = value("--tenants");
+                let (n, zipf) = match spec.split_once(":zipf=") {
+                    Some((n, s)) => (
+                        n.parse().unwrap_or_else(|_| usage()),
+                        s.parse().unwrap_or_else(|_| usage()),
+                    ),
+                    None => (spec.parse().unwrap_or_else(|_| usage()), 0.0),
+                };
+                if n == 0 || n > u16::MAX as usize || zipf < 0.0 {
+                    eprintln!("--tenants needs 1..=65535 tenants and zipf >= 0");
+                    usage();
+                }
+                cfg.tenants = n;
+                cfg.zipf = zipf;
+            }
             "--proto" => match Proto::parse(&value("--proto")) {
                 Ok(p) => cfg.proto = p,
                 Err(e) => {
@@ -85,7 +105,7 @@ fn main() {
     };
 
     println!(
-        "replaying {} apps over {}h (cap {}/day) at {} via {} connection(s), window {}, proto {}",
+        "replaying {} apps over {}h (cap {}/day) at {} via {} connection(s), window {}, proto {}{}",
         cfg.apps,
         cfg.horizon_ms / HOUR_MS,
         cfg.cap_per_day,
@@ -96,7 +116,12 @@ fn main() {
         },
         cfg.connections,
         cfg.window,
-        cfg.proto.label()
+        cfg.proto.label(),
+        if cfg.tenants > 0 {
+            format!(", {} tenant(s) zipf={}", cfg.tenants, cfg.zipf)
+        } else {
+            String::new()
+        }
     );
     match run_loadgen(addr, &cfg) {
         Ok(report) => println!("{}", report.summary()),

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! sitw-serve [--addr 127.0.0.1:7071] [--shards 4] [--policy hybrid]
+//!            [--tenant NAME=POLICY[,budget=MB]]... [--tenants N]
+//!            [--tenants-file PATH]
 //!            [--snapshot PATH] [--restore PATH]
 //! ```
 //!
@@ -13,6 +15,14 @@
 //! (retention), `production:<decay>` (per-day exponential decay, e.g.
 //! `production:0.5`), `production:uniform` (no recency weighting).
 //!
+//! Fleet mode: `--tenant acme=hybrid,budget=4096` registers a tenant
+//! with its own policy and keep-alive memory budget (MB; omit for
+//! unlimited); repeatable. `--tenants N` is shorthand for N tenants
+//! `t0..tN-1` under the global policy (matching `sitw-loadgen
+//! --tenants N`). `--tenants-file` reads `tenant <name> <policy>
+//! [budget <MB>]` lines. More tenants can be added at runtime via
+//! `POST /admin/tenants`.
+//!
 //! The daemon runs until `POST /admin/shutdown`; with `--snapshot` it
 //! writes its final state there on the way out (and on every
 //! `POST /admin/snapshot`).
@@ -20,57 +30,14 @@
 use std::path::PathBuf;
 use std::process::exit;
 
-use sitw_core::{HybridConfig, ProductionConfig, RecencyWeighting};
-use sitw_serve::{ServeConfig, Server};
+use sitw_fleet::registry::{parse_tenant_arg, parse_tenants_file};
+use sitw_serve::{ServeConfig, Server, TenantConfig};
 use sitw_sim::PolicySpec;
 
+/// The CLI policy grammar is [`PolicySpec::parse`] — one grammar for
+/// `--policy`, `--tenant`, tenants files, admin bodies, and snapshots.
 fn parse_policy(s: &str) -> Result<PolicySpec, String> {
-    if s == "production" {
-        return Ok(PolicySpec::Production(ProductionConfig::default()));
-    }
-    if let Some(rest) = s.strip_prefix("production:") {
-        let mut cfg = ProductionConfig::default();
-        if rest == "uniform" {
-            cfg.weighting = RecencyWeighting::Uniform;
-        } else if let Some(days) = rest.strip_suffix('d') {
-            cfg.retention_days = days
-                .parse()
-                .map_err(|_| format!("bad retention '{rest}'"))?;
-            if cfg.retention_days == 0 {
-                // Zero retention would expire even the current day: the
-                // aggregate stays empty and the policy never learns.
-                return Err("retention must be at least 1 day".into());
-            }
-        } else {
-            let decay: f64 = rest.parse().map_err(|_| format!("bad decay '{rest}'"))?;
-            if !(0.0..=1.0).contains(&decay) || decay == 0.0 {
-                return Err(format!("decay must be in (0, 1]: '{rest}'"));
-            }
-            cfg.weighting = RecencyWeighting::Exponential { decay };
-        }
-        return Ok(PolicySpec::Production(cfg));
-    }
-    if s == "hybrid" {
-        return Ok(PolicySpec::Hybrid(HybridConfig::default()));
-    }
-    if let Some(rest) = s.strip_prefix("hybrid:") {
-        let hours: usize = rest
-            .trim_end_matches('h')
-            .parse()
-            .map_err(|_| format!("bad hybrid range '{rest}'"))?;
-        return Ok(PolicySpec::Hybrid(HybridConfig::with_range_hours(hours)));
-    }
-    if let Some(rest) = s.strip_prefix("fixed:") {
-        let minutes: u64 = rest
-            .trim_end_matches("min")
-            .parse()
-            .map_err(|_| format!("bad fixed keep-alive '{rest}'"))?;
-        return Ok(PolicySpec::fixed_minutes(minutes));
-    }
-    if s == "no-unloading" {
-        return Ok(PolicySpec::NoUnloading);
-    }
-    Err(format!("unknown policy '{s}'"))
+    PolicySpec::parse(s)
 }
 
 fn usage() -> ! {
@@ -78,13 +45,17 @@ fn usage() -> ! {
         "usage: sitw-serve [--addr HOST:PORT] [--shards N] \
          [--policy hybrid|hybrid:<h>h|fixed:<min>|no-unloading|\
          production[:<days>d|:<decay>|:uniform]] \
-         [--snapshot PATH] [--restore PATH]"
+         [--tenant NAME=POLICY[,budget=MB]]... [--tenants N] \
+         [--tenants-file PATH] [--snapshot PATH] [--restore PATH]"
     );
     exit(2)
 }
 
 fn main() {
     let mut cfg = ServeConfig::default();
+    // `--tenants N` expands after parsing so it picks up `--policy`
+    // regardless of flag order.
+    let mut tenants_shorthand = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -108,6 +79,45 @@ fn main() {
                     }
                 }
             }
+            "--tenant" => {
+                let arg = value("--tenant");
+                match parse_tenant_arg(&arg) {
+                    Ok((name, policy, budget_mb)) => cfg.tenants.push(TenantConfig {
+                        name,
+                        policy,
+                        budget_mb,
+                    }),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        usage();
+                    }
+                }
+            }
+            "--tenants" => {
+                tenants_shorthand = value("--tenants").parse().unwrap_or_else(|_| usage());
+            }
+            "--tenants-file" => {
+                let path = value("--tenants-file");
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot read '{path}': {e}");
+                    exit(1);
+                });
+                match parse_tenants_file(&text) {
+                    Ok(entries) => {
+                        for (name, policy, budget_mb) in entries {
+                            cfg.tenants.push(TenantConfig {
+                                name,
+                                policy,
+                                budget_mb,
+                            });
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        exit(1);
+                    }
+                }
+            }
             "--snapshot" => cfg.snapshot_path = Some(PathBuf::from(value("--snapshot"))),
             "--restore" => cfg.restore_path = Some(PathBuf::from(value("--restore"))),
             "--help" | "-h" => usage(),
@@ -118,6 +128,14 @@ fn main() {
         }
     }
 
+    for k in 0..tenants_shorthand {
+        cfg.tenants.push(TenantConfig {
+            name: format!("t{k}"),
+            policy: cfg.policy.clone(),
+            budget_mb: 0,
+        });
+    }
+
     let server = match Server::start(cfg.clone()) {
         Ok(s) => s,
         Err(e) => {
@@ -126,18 +144,31 @@ fn main() {
         }
     };
     println!(
-        "sitw-serve listening on {} | policy {} | {} shards{}",
+        "sitw-serve listening on {} | policy {} | {} shards | {} tenant(s){}",
         server.addr(),
         cfg.policy.label(),
         cfg.shards,
+        cfg.tenants.len() + 1,
         cfg.snapshot_path
             .as_ref()
             .map(|p| format!(" | snapshot {}", p.display()))
             .unwrap_or_default()
     );
+    for t in &cfg.tenants {
+        println!(
+            "  tenant {} | policy {} | budget {}",
+            t.name,
+            t.policy.label(),
+            if t.budget_mb == 0 {
+                "unlimited".to_owned()
+            } else {
+                format!("{} MB", t.budget_mb)
+            }
+        );
+    }
     println!(
         "endpoints: POST /invoke, GET /metrics, GET /healthz, \
-         POST /admin/snapshot, POST /admin/shutdown"
+         GET|POST /admin/tenants, POST /admin/snapshot, POST /admin/shutdown"
     );
 
     server.wait();

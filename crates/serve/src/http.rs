@@ -15,7 +15,7 @@
 use std::io::{self, Read};
 use std::net::TcpStream;
 
-use crate::wire::{self, BinErrorCode, FrameDecode, InvokeRequest};
+use crate::wire::{self, BinErrorCode, BinInvoke, FrameDecode};
 
 /// Maximum accepted header block (request line + headers).
 const MAX_HEADER_BYTES: usize = 16 * 1024;
@@ -64,7 +64,12 @@ pub enum EventOutcome {
     /// A complete HTTP request.
     Request(Request),
     /// A complete SITW-BIN request frame.
-    Frame(Vec<InvokeRequest>),
+    Frame {
+        /// The batched invocations, in wire order.
+        records: Vec<BinInvoke>,
+        /// The frame's protocol version (replies must echo it).
+        version: u8,
+    },
     /// A SITW-BIN protocol error. When `recoverable`, the offending
     /// frame has been skipped (its envelope was intact) and the
     /// connection stays usable; otherwise the caller must answer the
@@ -198,9 +203,13 @@ impl ConnBuf {
     fn read_frame(&mut self) -> io::Result<EventOutcome> {
         loop {
             match wire::decode_request_frame(&self.buf[self.start..]) {
-                FrameDecode::Request { records, consumed } => {
+                FrameDecode::Request {
+                    records,
+                    version,
+                    consumed,
+                } => {
                     self.start += consumed;
-                    return Ok(EventOutcome::Frame(records));
+                    return Ok(EventOutcome::Frame { records, version });
                 }
                 FrameDecode::Error { code, detail, skip } => {
                     let recoverable = skip.is_some();
@@ -242,7 +251,7 @@ impl ConnBuf {
             EventOutcome::Eof => Ok(ReadOutcome::Eof),
             EventOutcome::Timeout => Ok(ReadOutcome::Timeout),
             EventOutcome::BodyTooLarge { declared } => Ok(ReadOutcome::BodyTooLarge { declared }),
-            EventOutcome::Frame(_) | EventOutcome::FrameError { .. } => Err(io::Error::new(
+            EventOutcome::Frame { .. } | EventOutcome::FrameError { .. } => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "unexpected binary frame on an http-only reader",
             )),
@@ -575,9 +584,11 @@ mod tests {
             other => panic!("{other:?}"),
         }
         match conn.read_event().unwrap() {
-            EventOutcome::Frame(records) => {
+            EventOutcome::Frame { records, version } => {
+                assert_eq!(version, wire::BIN_VERSION);
                 assert_eq!(records.len(), 2);
                 assert_eq!(records[0].app, "app-000001");
+                assert_eq!(records[0].tenant, 0);
                 assert_eq!(records[1].app, "caf\u{e9}");
             }
             other => panic!("{other:?}"),
@@ -609,7 +620,7 @@ mod tests {
             client.write_all(&frame[i..]).unwrap();
             loop {
                 match conn.read_event().unwrap() {
-                    EventOutcome::Frame(records) => {
+                    EventOutcome::Frame { records, .. } => {
                         assert_eq!(records.len(), 2, "split at {i}");
                         assert_eq!(records[0].app, "app-β-000001");
                         break;
@@ -656,7 +667,7 @@ mod tests {
         }
         loop {
             match conn.read_event().unwrap() {
-                EventOutcome::Frame(records) => {
+                EventOutcome::Frame { records, .. } => {
                     assert_eq!(records[0].app, "ok");
                     break;
                 }
@@ -707,7 +718,7 @@ mod tests {
         });
         loop {
             match conn.read_event().unwrap() {
-                EventOutcome::Frame(records) => {
+                EventOutcome::Frame { records, .. } => {
                     assert_eq!(records[0].app, "alive");
                     assert_eq!(records[0].ts, 9);
                     break;

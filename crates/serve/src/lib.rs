@@ -41,10 +41,21 @@
 //!   per-decision parse/format/syscall/wake cost is amortized over the
 //!   whole batch. Malformed frames get typed error frames; whenever the
 //!   length-prefixed envelope is intact the connection stays usable.
+//! * **Multi-tenant fleet** (`sitw_fleet` wired through [`shard`] /
+//!   [`server`]): per-tenant policies and keep-alive memory budgets, a
+//!   cluster memory ledger charging each warm container a deterministic
+//!   Burr-sampled footprint (§3.4/Figure 8), and budgeted eviction by
+//!   earliest keep-alive expiry — would-be-warm starts downgrade to
+//!   `evicted` cold verdicts instead of silently over-committing.
+//!   Named tenants route whole to one shard, so their ledgers stay
+//!   single-writer and their eviction streams are identical for every
+//!   shard count; `sitw_sim::fleet_verdict_trace` is the offline ground
+//!   truth.
 //! * **Load generator** ([`loadgen`]): replays `sitw_trace` workloads
 //!   open-loop at a configurable speedup (or flat out) over pipelined
-//!   connections — speaking JSON or SITW-BIN ([`loadgen::Proto`]) — and
-//!   reports sustained throughput and exact latency percentiles.
+//!   connections — speaking JSON or SITW-BIN ([`loadgen::Proto`]),
+//!   optionally spread across N tenants with Zipf skew — and reports
+//!   sustained throughput and exact latency percentiles.
 //!
 //! # Quickstart
 //!
@@ -77,7 +88,9 @@ pub mod snapshot;
 pub mod wire;
 
 pub use loadgen::{run_loadgen, LoadGenConfig, LoadGenReport, Proto};
-pub use metrics::{MetricsReport, ProtoStats, ShardStats};
-pub use server::{ServeConfig, Server};
-pub use shard::{shard_of, BatchItem, BatchReply, Decision, InvokeError, ServedPolicy};
-pub use snapshot::{AppRecord, PolicyState, ShardExport, Snapshot};
+pub use metrics::{MetricsReport, ProtoStats, ShardStats, TenantStats};
+pub use server::{ServeConfig, Server, TenantConfig};
+pub use shard::{
+    shard_of, BatchItem, BatchReply, Decision, InvokeError, ServedPolicy, TenantRestore,
+};
+pub use snapshot::{AppRecord, PolicyState, ShardExport, Snapshot, TenantExport, TenantSnapshot};

@@ -12,6 +12,15 @@
 //! ordered, and the server requires per-app timestamp monotonicity), and
 //! each connection pipelines up to a window of requests. Latencies are
 //! recorded per request and reported as exact percentiles.
+//!
+//! **Multi-tenant replay** ([`LoadGenConfig::tenants`]): each app is
+//! deterministically assigned to one of N tenants — optionally with
+//! Zipf-skewed popularity (`--tenants N:zipf=s`, rank r weighing
+//! `1/(r+1)^s`) — and every request carries the tenant: JSON bodies gain
+//! a `"tenant":"tK"` member, SITW-BIN frames switch to v2 records with
+//! the tenant id. Tenant names are `t0..tN-1`, wire ids `1..=N` (the
+//! server's registration order). The summary reports per-tenant
+//! throughput and verdict mix, including budget-eviction downgrades.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -21,6 +30,7 @@ use sitw_stats::percentile_sorted;
 use sitw_trace::{app_invocations, build_population, PopulationConfig, TraceConfig, HOUR_MS};
 
 use crate::wire::{self, BinReply, ServerFrameDecode};
+use sitw_fleet::{fnv1a, mix64};
 
 /// Which wire protocol the generator speaks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +95,11 @@ pub struct LoadGenConfig {
     pub max_events: usize,
     /// Wire protocol to speak.
     pub proto: Proto,
+    /// Replay across this many tenants (`t0..tN-1`, wire ids `1..=N`);
+    /// 0 = untenanted (default tenant only).
+    pub tenants: usize,
+    /// Zipf skew of the per-app tenant assignment (0 = uniform).
+    pub zipf: f64,
 }
 
 impl Default for LoadGenConfig {
@@ -99,6 +114,8 @@ impl Default for LoadGenConfig {
             window: 64,
             max_events: 0,
             proto: Proto::Json,
+            tenants: 0,
+            zipf: 0.0,
         }
     }
 }
@@ -123,6 +140,24 @@ pub struct LoadGenReport {
     /// Exact client-observed latency percentiles in microseconds
     /// (p50, p95, p99) and the maximum.
     pub latency_us: LatencySummary,
+    /// Eviction-downgraded cold verdicts among `ok` (budgeted tenants).
+    pub evicted: u64,
+    /// Per-tenant verdict mix, index k = tenant `tK` (empty when the
+    /// replay is untenanted).
+    pub per_tenant: Vec<TenantMix>,
+}
+
+/// Verdict mix of one tenant in a multi-tenant replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantMix {
+    /// 200 / verdict responses.
+    pub ok: u64,
+    /// Cold verdicts among `ok`.
+    pub cold: u64,
+    /// Eviction-downgraded colds among `cold`.
+    pub evicted: u64,
+    /// Errors (non-200 / out-of-order / error frames).
+    pub errors: u64,
 }
 
 /// Exact latency percentiles over all requests.
@@ -139,10 +174,12 @@ pub struct LatencySummary {
 }
 
 impl LoadGenReport {
-    /// One-line human-readable summary.
+    /// One-line human-readable summary (plus one line per tenant in a
+    /// multi-tenant replay: throughput share and verdict mix).
     pub fn summary(&self) -> String {
-        format!(
-            "{} decisions in {:.2}s = {:.0}/s | cold {} ({:.1}%) warm {} errors {} | \
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "{} decisions in {:.2}s = {:.0}/s | cold {} ({:.1}%) warm {} evicted {} errors {} | \
              latency µs p50 {:.0} p95 {:.0} p99 {:.0} max {:.0}",
             self.ok,
             self.elapsed.as_secs_f64(),
@@ -150,12 +187,26 @@ impl LoadGenReport {
             self.cold,
             100.0 * self.cold as f64 / (self.ok.max(1)) as f64,
             self.warm,
+            self.evicted,
             self.errors,
             self.latency_us.p50,
             self.latency_us.p95,
             self.latency_us.p99,
             self.latency_us.max,
-        )
+        );
+        for (k, t) in self.per_tenant.iter().enumerate() {
+            let _ = write!(
+                out,
+                "\n  t{k}: {} decisions = {:.0}/s | cold {} ({:.1}%) evicted {} errors {}",
+                t.ok,
+                t.ok as f64 / self.elapsed.as_secs_f64().max(1e-9),
+                t.cold,
+                100.0 * t.cold as f64 / (t.ok.max(1)) as f64,
+                t.evicted,
+                t.errors,
+            );
+        }
+        out
     }
 }
 
@@ -163,6 +214,27 @@ impl LoadGenReport {
 struct Event {
     ts: u64,
     app: u32,
+    /// Wire tenant id (0 = default tenant, i.e. untenanted replay).
+    tenant: u16,
+}
+
+/// Deterministically assigns an app to one of `n` tenants, rank-weighted
+/// by Zipf skew `s` (0 = uniform): weight of tenant rank r is
+/// `1/(r+1)^s`. Returns the wire id (`1..=n`).
+fn tenant_of(app: u32, n: usize, s: f64) -> u16 {
+    debug_assert!(n >= 1 && n <= u16::MAX as usize);
+    let weights: Vec<f64> = (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    // Hash the app id (same name the wire carries) to a uniform variate.
+    let h = mix64(fnv1a(app_name(app).as_bytes()));
+    let mut u = ((h >> 11) as f64 + 0.5) / (1u64 << 53) as f64 * total;
+    for (r, w) in weights.iter().enumerate() {
+        if u < *w || r + 1 == n {
+            return (r + 1) as u16;
+        }
+        u -= w;
+    }
+    1
 }
 
 /// Builds the merged, time-ordered schedule and partitions it across
@@ -179,8 +251,17 @@ fn build_schedules(cfg: &LoadGenConfig) -> Vec<Vec<Event>> {
     };
     let mut merged: Vec<Event> = Vec::new();
     for app in &population.apps {
+        let tenant = if cfg.tenants > 0 {
+            tenant_of(app.id.0, cfg.tenants.min(u16::MAX as usize), cfg.zipf)
+        } else {
+            0
+        };
         for ts in app_invocations(app, &trace_cfg) {
-            merged.push(Event { ts, app: app.id.0 });
+            merged.push(Event {
+                ts,
+                app: app.id.0,
+                tenant,
+            });
         }
     }
     // Stable global order; ties broken by app id for determinism.
@@ -202,6 +283,16 @@ fn build_schedules(cfg: &LoadGenConfig) -> Vec<Vec<Event>> {
 /// Replays the configured workload against `addr` and reports.
 pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenReport> {
     let schedules = build_schedules(cfg);
+    // BIN v2 records carry registry-assigned tenant ids, which are only
+    // 1..=N when t0..tN-1 were the first tenants registered — resolve
+    // the real ids up front so other registration orders route
+    // correctly. (JSON carries names and needs no mapping.)
+    let tenant_ids: Vec<u16> = if cfg.tenants > 0 && matches!(cfg.proto, Proto::Bin { .. }) {
+        resolve_tenant_ids(addr, cfg.tenants)?
+    } else {
+        Vec::new()
+    };
+    let tenant_ids = &tenant_ids;
     let start_ts = schedules
         .iter()
         .filter_map(|s| s.first().map(|e| e.ts))
@@ -217,9 +308,15 @@ pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenR
                 continue;
             }
             handles.push(scope.spawn(move || match cfg.proto {
-                Proto::Json => {
-                    drive_connection(addr, schedule, start_ts, cfg.speedup, cfg.window, started)
-                }
+                Proto::Json => drive_connection(
+                    addr,
+                    schedule,
+                    start_ts,
+                    cfg.speedup,
+                    cfg.window,
+                    cfg.tenants,
+                    started,
+                ),
                 Proto::Bin { batch } => drive_connection_bin(
                     addr,
                     schedule,
@@ -227,6 +324,8 @@ pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenR
                     cfg.speedup,
                     cfg.window,
                     batch,
+                    cfg.tenants,
+                    tenant_ids,
                     started,
                 ),
             }));
@@ -244,13 +343,22 @@ pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenR
     let mut sent = 0u64;
     let mut ok = 0u64;
     let mut cold = 0u64;
+    let mut evicted = 0u64;
     let mut errors = 0u64;
+    let mut per_tenant: Vec<TenantMix> = vec![TenantMix::default(); cfg.tenants];
     let mut latencies: Vec<f64> = Vec::new();
     for mut r in results {
         sent += r.sent;
         ok += r.ok;
         cold += r.cold;
+        evicted += r.evicted;
         errors += r.errors;
+        for (agg, t) in per_tenant.iter_mut().zip(&r.per_tenant) {
+            agg.ok += t.ok;
+            agg.cold += t.cold;
+            agg.evicted += t.evicted;
+            agg.errors += t.errors;
+        }
         latencies.append(&mut r.latencies_us);
     }
     latencies.sort_by(f64::total_cmp);
@@ -275,6 +383,8 @@ pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenR
             p99: lat(99.0),
             max: latencies.last().copied().unwrap_or(0.0),
         },
+        evicted,
+        per_tenant,
     })
 }
 
@@ -282,8 +392,55 @@ struct ConnResult {
     sent: u64,
     ok: u64,
     cold: u64,
+    evicted: u64,
     errors: u64,
+    /// Index k = tenant `tK` (wire id k + 1); empty when untenanted.
+    per_tenant: Vec<TenantMix>,
     latencies_us: Vec<f64>,
+}
+
+impl ConnResult {
+    fn new(capacity: usize, tenants: usize) -> ConnResult {
+        ConnResult {
+            sent: 0,
+            ok: 0,
+            cold: 0,
+            evicted: 0,
+            errors: 0,
+            per_tenant: vec![TenantMix::default(); tenants],
+            latencies_us: Vec::with_capacity(capacity),
+        }
+    }
+
+    fn record_verdict(&mut self, tenant: u16, cold: bool, evicted: bool) {
+        self.ok += 1;
+        if cold {
+            self.cold += 1;
+        }
+        if evicted {
+            self.evicted += 1;
+        }
+        if tenant > 0 {
+            if let Some(t) = self.per_tenant.get_mut(tenant as usize - 1) {
+                t.ok += 1;
+                if cold {
+                    t.cold += 1;
+                }
+                if evicted {
+                    t.evicted += 1;
+                }
+            }
+        }
+    }
+
+    fn record_error(&mut self, tenant: u16) {
+        self.errors += 1;
+        if tenant > 0 {
+            if let Some(t) = self.per_tenant.get_mut(tenant as usize - 1) {
+                t.errors += 1;
+            }
+        }
+    }
 }
 
 /// Sends one connection's schedule with pipelining; parses responses in
@@ -294,6 +451,7 @@ fn drive_connection(
     start_ts: u64,
     speedup: f64,
     window: usize,
+    tenants: usize,
     started: Instant,
 ) -> io::Result<ConnResult> {
     let mut stream = TcpStream::connect(addr)?;
@@ -302,33 +460,24 @@ fn drive_connection(
 
     let window = window.max(1);
     let paced = speedup.is_finite() && speedup > 0.0;
-    let mut result = ConnResult {
-        sent: 0,
-        ok: 0,
-        cold: 0,
-        errors: 0,
-        latencies_us: Vec::with_capacity(schedule.len()),
-    };
+    let mut result = ConnResult::new(schedule.len(), tenants);
     let mut out: Vec<u8> = Vec::with_capacity(64 * 1024);
-    let mut in_flight: std::collections::VecDeque<Instant> =
+    let mut in_flight: std::collections::VecDeque<(Instant, u16)> =
         std::collections::VecDeque::with_capacity(window);
 
     let read_one = |reader: &mut ResponseReader,
-                    in_flight: &mut std::collections::VecDeque<Instant>,
+                    in_flight: &mut std::collections::VecDeque<(Instant, u16)>,
                     result: &mut ConnResult|
      -> io::Result<()> {
         let response = reader.read_response()?;
-        let sent_at = in_flight.pop_front().expect("response without request");
+        let (sent_at, tenant) = in_flight.pop_front().expect("response without request");
         result
             .latencies_us
             .push(sent_at.elapsed().as_nanos() as f64 / 1_000.0);
         if response.status == 200 {
-            result.ok += 1;
-            if response.cold {
-                result.cold += 1;
-            }
+            result.record_verdict(tenant, response.cold, response.evicted);
         } else {
-            result.errors += 1;
+            result.record_error(tenant);
         }
         Ok(())
     };
@@ -360,7 +509,7 @@ fn drive_connection(
         crate::wire::push_u64(&mut out, body_len as u64);
         out.extend_from_slice(b"\r\n\r\n");
         write_invoke_body(&mut out, event);
-        in_flight.push_back(Instant::now());
+        in_flight.push_back((Instant::now(), event.tenant));
         result.sent += 1;
 
         if in_flight.len() >= window {
@@ -380,6 +529,7 @@ fn drive_connection(
 /// Sends one connection's schedule as SITW-BIN frames of `batch`
 /// records, keeping up to `window` records in flight across frames.
 /// Per-record latency is the latency of the frame that carried it.
+#[allow(clippy::too_many_arguments)]
 fn drive_connection_bin(
     addr: SocketAddr,
     schedule: &[Event],
@@ -387,6 +537,8 @@ fn drive_connection_bin(
     speedup: f64,
     window: usize,
     batch: usize,
+    tenants: usize,
+    tenant_ids: &[u16],
     started: Instant,
 ) -> io::Result<ConnResult> {
     let mut stream = TcpStream::connect(addr)?;
@@ -396,44 +548,57 @@ fn drive_connection_bin(
     let batch = batch.clamp(1, wire::MAX_BATCH);
     let window = window.max(batch);
     let paced = speedup.is_finite() && speedup > 0.0;
-    let mut result = ConnResult {
-        sent: 0,
-        ok: 0,
-        cold: 0,
-        errors: 0,
-        latencies_us: Vec::with_capacity(schedule.len()),
-    };
+    let tenanted = tenants > 0;
+    let mut result = ConnResult::new(schedule.len(), tenants);
     let mut out: Vec<u8> = Vec::with_capacity(64 * 1024);
     // The frame under construction (app names owned until encoded).
-    let mut building: Vec<(String, u64)> = Vec::with_capacity(batch);
-    // In-flight frames: when they were last written and their size.
-    let mut in_flight: std::collections::VecDeque<(Instant, usize)> =
+    let mut building: Vec<(u16, String, u64)> = Vec::with_capacity(batch);
+    // In-flight frames: when they were written and their records'
+    // tenants (one entry per record, in frame order).
+    let mut in_flight: std::collections::VecDeque<(Instant, Vec<u16>)> =
         std::collections::VecDeque::new();
     let mut in_flight_records = 0usize;
 
     fn flush_frame(
-        building: &mut Vec<(String, u64)>,
+        building: &mut Vec<(u16, String, u64)>,
+        tenanted: bool,
+        tenant_ids: &[u16],
         out: &mut Vec<u8>,
-        in_flight: &mut std::collections::VecDeque<(Instant, usize)>,
+        in_flight: &mut std::collections::VecDeque<(Instant, Vec<u16>)>,
         in_flight_records: &mut usize,
     ) {
         if building.is_empty() {
             return;
         }
-        let records: Vec<(&str, u64)> = building.iter().map(|(a, ts)| (a.as_str(), *ts)).collect();
-        wire::encode_request_frame(out, &records);
-        in_flight.push_back((Instant::now(), building.len()));
-        *in_flight_records += building.len();
+        if tenanted {
+            // Map the logical tenant index (1-based `tK`) to the wire
+            // id the server's registry assigned.
+            let records: Vec<(u16, &str, u64)> = building
+                .iter()
+                .map(|(t, a, ts)| (tenant_ids[*t as usize - 1], a.as_str(), *ts))
+                .collect();
+            wire::encode_request_frame_v2(out, &records);
+        } else {
+            let records: Vec<(&str, u64)> = building
+                .iter()
+                .map(|(_, a, ts)| (a.as_str(), *ts))
+                .collect();
+            wire::encode_request_frame(out, &records);
+        }
+        let tenants_of_frame: Vec<u16> = building.iter().map(|(t, _, _)| *t).collect();
+        *in_flight_records += tenants_of_frame.len();
+        in_flight.push_back((Instant::now(), tenants_of_frame));
         building.clear();
     }
 
     let read_one_frame = |reader: &mut ResponseReader,
-                          in_flight: &mut std::collections::VecDeque<(Instant, usize)>,
+                          in_flight: &mut std::collections::VecDeque<(Instant, Vec<u16>)>,
                           in_flight_records: &mut usize,
                           result: &mut ConnResult|
      -> io::Result<()> {
         let records = reader.read_bin_frame()?;
-        let (sent_at, count) = in_flight.pop_front().expect("reply without frame");
+        let (sent_at, frame_tenants) = in_flight.pop_front().expect("reply without frame");
+        let count = frame_tenants.len();
         *in_flight_records -= count;
         let latency_us = sent_at.elapsed().as_nanos() as f64 / 1_000.0;
         match records {
@@ -444,24 +609,21 @@ fn drive_connection_bin(
                         format!("reply of {} records for frame of {count}", records.len()),
                     ));
                 }
-                for r in records {
+                for (r, tenant) in records.into_iter().zip(frame_tenants) {
                     result.latencies_us.push(latency_us);
                     match r {
-                        BinReply::Verdict { cold, .. } => {
-                            result.ok += 1;
-                            if cold {
-                                result.cold += 1;
-                            }
+                        BinReply::Verdict { cold, evicted, .. } => {
+                            result.record_verdict(tenant, cold, evicted);
                         }
-                        BinReply::OutOfOrder { .. } => result.errors += 1,
+                        BinReply::OutOfOrder { .. } => result.record_error(tenant),
                     }
                 }
             }
             None => {
                 // A typed error frame answers the whole request frame.
-                for _ in 0..count {
+                for tenant in frame_tenants {
                     result.latencies_us.push(latency_us);
-                    result.errors += 1;
+                    result.record_error(tenant);
                 }
             }
         }
@@ -480,6 +642,8 @@ fn drive_connection_bin(
                 // replies, so measured latency is the server's.
                 flush_frame(
                     &mut building,
+                    tenanted,
+                    tenant_ids,
                     &mut out,
                     &mut in_flight,
                     &mut in_flight_records,
@@ -500,11 +664,13 @@ fn drive_connection_bin(
             }
         }
 
-        building.push((app_name(event.app), event.ts));
+        building.push((event.tenant, app_name(event.app), event.ts));
         result.sent += 1;
         if building.len() >= batch {
             flush_frame(
                 &mut building,
+                tenanted,
+                tenant_ids,
                 &mut out,
                 &mut in_flight,
                 &mut in_flight_records,
@@ -527,6 +693,8 @@ fn drive_connection_bin(
     }
     flush_frame(
         &mut building,
+        tenanted,
+        tenant_ids,
         &mut out,
         &mut in_flight,
         &mut in_flight_records,
@@ -550,14 +718,64 @@ fn app_name(app: u32) -> String {
     format!("app-{app:06}")
 }
 
+/// Resolves the wire ids of tenants `t0..tN-1` against the server's
+/// registry (`GET /admin/tenants`): index k → the id of tenant `tK`.
+/// Errors when any expected tenant is missing, instead of silently
+/// replaying into someone else's namespace.
+fn resolve_tenant_ids(addr: SocketAddr, n: usize) -> io::Result<Vec<u16>> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"GET /admin/tenants HTTP/1.1\r\nconnection: close\r\n\r\n")?;
+    let mut resp = String::new();
+    stream.read_to_string(&mut resp)?;
+    let body = resp
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or_default();
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut ids = Vec::with_capacity(n);
+    for k in 0..n {
+        let key = format!("\"name\":\"t{k}\"");
+        let pos = body.find(&key).ok_or_else(|| {
+            bad(format!(
+                "tenant 't{k}' is not registered on the server \
+                 (start it with --tenants {n} or matching --tenant flags)"
+            ))
+        })?;
+        // Each listing object is {"id":N,"name":"...",...}: the id
+        // immediately precedes the name.
+        let prefix = &body[..pos];
+        let id_pos = prefix
+            .rfind("\"id\":")
+            .ok_or_else(|| bad(format!("malformed tenant listing: {body}")))?;
+        let id: u16 = prefix[id_pos + 5..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .map_err(|_| bad(format!("malformed tenant id in listing: {body}")))?;
+        ids.push(id);
+    }
+    Ok(ids)
+}
+
+fn tenant_name(tenant: u16) -> String {
+    debug_assert!(tenant > 0);
+    format!("t{}", tenant - 1)
+}
+
 fn invoke_body_len(event: &Event) -> usize {
-    // {"app":"app-XXXXXX","ts":N}
+    // {"app":"app-XXXXXX","ts":N} [+ ,"tenant":"tK"]
     let ts_digits = if event.ts == 0 {
         1
     } else {
         (event.ts.ilog10() + 1) as usize
     };
-    8 + app_name(event.app).len() + 7 + ts_digits + 1
+    let tenant = if event.tenant > 0 {
+        11 + tenant_name(event.tenant).len() + 1
+    } else {
+        0
+    };
+    8 + app_name(event.app).len() + 7 + ts_digits + 1 + tenant
 }
 
 fn write_invoke_body(out: &mut Vec<u8>, event: &Event) {
@@ -565,6 +783,11 @@ fn write_invoke_body(out: &mut Vec<u8>, event: &Event) {
     out.extend_from_slice(app_name(event.app).as_bytes());
     out.extend_from_slice(b"\",\"ts\":");
     crate::wire::push_u64(out, event.ts);
+    if event.tenant > 0 {
+        out.extend_from_slice(b",\"tenant\":\"");
+        out.extend_from_slice(tenant_name(event.tenant).as_bytes());
+        out.push(b'"');
+    }
     out.push(b'}');
 }
 
@@ -572,6 +795,7 @@ fn write_invoke_body(out: &mut Vec<u8>, event: &Event) {
 struct Response {
     status: u16,
     cold: bool,
+    evicted: bool,
 }
 
 /// Buffered response parser (headers + `Content-Length` body).
@@ -662,8 +886,13 @@ impl ResponseReader {
                 let body_start = self.start + header_end + 4;
                 let body = &self.buf[body_start..body_start + content_length];
                 let cold = find_subslice(body, b"\"verdict\":\"cold\"");
+                let evicted = find_subslice(body, b"\"evicted\":true");
                 self.start += total;
-                return Ok(Response { status, cold });
+                return Ok(Response {
+                    status,
+                    cold,
+                    evicted,
+                });
             }
             self.fill()?;
         }
@@ -701,16 +930,59 @@ mod tests {
     #[test]
     fn body_length_precomputation_matches() {
         for event in [
-            Event { ts: 0, app: 0 },
-            Event { ts: 9, app: 1 },
+            Event {
+                ts: 0,
+                app: 0,
+                tenant: 0,
+            },
+            Event {
+                ts: 9,
+                app: 1,
+                tenant: 1,
+            },
             Event {
                 ts: 1_209_600_000,
                 app: 999_999,
+                tenant: 12,
             },
         ] {
             let mut body = Vec::new();
             write_invoke_body(&mut body, &event);
             assert_eq!(body.len(), invoke_body_len(&event), "{body:?}");
+        }
+    }
+
+    #[test]
+    fn tenant_assignment_is_deterministic_and_complete() {
+        for (n, s) in [(1usize, 0.0), (4, 0.0), (4, 1.2), (7, 2.0)] {
+            let mut seen = vec![0u64; n];
+            for app in 0..2_000u32 {
+                let t = tenant_of(app, n, s);
+                assert!((1..=n as u16).contains(&t));
+                assert_eq!(t, tenant_of(app, n, s), "deterministic");
+                seen[t as usize - 1] += 1;
+            }
+            assert!(seen.iter().all(|&c| c > 0), "every tenant drawn: {seen:?}");
+            if s > 0.0 && n > 1 {
+                assert!(seen[0] > seen[n - 1], "zipf skew favours rank 0: {seen:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tenanted_schedules_tag_every_event() {
+        let cfg = LoadGenConfig {
+            apps: 50,
+            connections: 2,
+            max_events: 2_000,
+            tenants: 3,
+            zipf: 1.0,
+            ..LoadGenConfig::default()
+        };
+        for schedule in build_schedules(&cfg) {
+            for event in schedule {
+                assert!((1..=3).contains(&event.tenant));
+            }
         }
     }
 

@@ -1,5 +1,32 @@
-//! Server metrics: per-shard counters plus decision-latency percentiles,
-//! rendered in the Prometheus text exposition format.
+//! Server metrics: per-shard counters, per-tenant fleet gauges, and
+//! decision-latency percentiles, rendered in the Prometheus text
+//! exposition format.
+
+/// One tenant's counters as seen by one shard (the default tenant's
+/// numbers are per-shard slices; named tenants live whole on one shard).
+/// `/metrics` aggregates these by tenant name — the lock-free per-shard
+/// sub-ledgers summed into cluster-level accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Registry id.
+    pub id: u16,
+    /// Tenant name (metrics label).
+    pub name: String,
+    /// Configured keep-alive memory budget (0 = unlimited).
+    pub budget_mb: u64,
+    /// Warm memory currently charged, MB.
+    pub warm_mb: u64,
+    /// Warm containers currently charged.
+    pub warm_apps: u64,
+    /// Budget evictions so far.
+    pub evictions: u64,
+    /// Loaded-memory integral, MB·ms (the §5.3 idle-memory metric).
+    pub idle_mb_ms: u64,
+    /// Accepted invocations.
+    pub invocations: u64,
+    /// Cold verdicts (including eviction downgrades).
+    pub cold: u64,
+}
 
 /// Counters and latency estimates reported by one shard.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,6 +53,8 @@ pub struct ShardStats {
     /// `(quantile, estimate_in_µs)` pairs from the shard's P² estimators
     /// (empty until the shard has observed at least one decision).
     pub latency_us: Vec<(f64, f64)>,
+    /// Per-tenant fleet counters on this shard, ordered by tenant id.
+    pub tenants: Vec<TenantStats>,
 }
 
 /// Server-wide wire-protocol counters (connections are not sharded, so
@@ -66,6 +95,30 @@ impl MetricsReport {
     /// Total apps with live state across shards.
     pub fn apps(&self) -> u64 {
         self.shards.iter().map(|s| s.apps).sum()
+    }
+
+    /// Per-tenant counters aggregated across shards, ordered by id:
+    /// the cluster memory ledger as `/metrics` exposes it. The default
+    /// tenant sums its per-shard sub-ledgers; named tenants are whole.
+    pub fn tenants(&self) -> Vec<TenantStats> {
+        let mut merged: Vec<TenantStats> = Vec::new();
+        for shard in &self.shards {
+            for t in &shard.tenants {
+                match merged.iter_mut().find(|m| m.id == t.id) {
+                    Some(m) => {
+                        m.warm_mb += t.warm_mb;
+                        m.warm_apps += t.warm_apps;
+                        m.evictions += t.evictions;
+                        m.idle_mb_ms = m.idle_mb_ms.saturating_add(t.idle_mb_ms);
+                        m.invocations += t.invocations;
+                        m.cold += t.cold;
+                    }
+                    None => merged.push(t.clone()),
+                }
+            }
+        }
+        merged.sort_by_key(|t| t.id);
+        merged
     }
 
     /// Renders the Prometheus text format.
@@ -134,6 +187,65 @@ impl MetricsReport {
                 );
             }
         }
+        // Per-tenant fleet metrics: the cluster memory ledger.
+        type TenantRow = (
+            &'static str,
+            &'static str,
+            &'static str,
+            fn(&TenantStats) -> u64,
+        );
+        let tenant_rows: [TenantRow; 7] = [
+            (
+                "sitw_serve_tenant_budget_mb",
+                "Configured keep-alive memory budget (0 = unlimited)",
+                "gauge",
+                |t| t.budget_mb,
+            ),
+            (
+                "sitw_serve_tenant_warm_mb",
+                "Warm memory currently charged to the tenant",
+                "gauge",
+                |t| t.warm_mb,
+            ),
+            (
+                "sitw_serve_tenant_warm_apps",
+                "Warm containers currently charged to the tenant",
+                "gauge",
+                |t| t.warm_apps,
+            ),
+            (
+                "sitw_serve_tenant_evictions_total",
+                "Budget evictions",
+                "counter",
+                |t| t.evictions,
+            ),
+            (
+                "sitw_serve_tenant_idle_mb_ms_total",
+                "Loaded-memory integral in MB*ms (the par.5.3 idle-memory metric)",
+                "counter",
+                |t| t.idle_mb_ms,
+            ),
+            (
+                "sitw_serve_tenant_invocations_total",
+                "Accepted invocations per tenant",
+                "counter",
+                |t| t.invocations,
+            ),
+            (
+                "sitw_serve_tenant_cold_total",
+                "Cold verdicts per tenant (incl. eviction downgrades)",
+                "counter",
+                |t| t.cold,
+            ),
+        ];
+        let tenants = self.tenants();
+        for (name, help, kind, get) in tenant_rows {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for t in &tenants {
+                let _ = writeln!(out, "{name}{{tenant=\"{}\"}} {}", t.name, get(t));
+            }
+        }
         let proto: [(&str, &str, u64); 3] = [
             (
                 "sitw_serve_frames_total",
@@ -179,6 +291,30 @@ mod tests {
             backups: 7,
             prewarm_scheduled: 11,
             latency_us: vec![(0.5, 1.5), (0.95, 3.0), (0.99, 9.0)],
+            tenants: vec![
+                TenantStats {
+                    id: 0,
+                    name: "default".into(),
+                    budget_mb: 0,
+                    warm_mb: 100,
+                    warm_apps: 2,
+                    evictions: 0,
+                    idle_mb_ms: 1_000,
+                    invocations: 90,
+                    cold: 15,
+                },
+                TenantStats {
+                    id: 1,
+                    name: "acme".into(),
+                    budget_mb: 512,
+                    warm_mb: 300,
+                    warm_apps: 1,
+                    evictions: 4,
+                    idle_mb_ms: 2_000,
+                    invocations: 10,
+                    cold: 5,
+                },
+            ],
         }
     }
 
@@ -192,6 +328,22 @@ mod tests {
         assert_eq!(r.invocations(), 200);
         assert_eq!(r.cold(), 40);
         assert_eq!(r.apps(), 6);
+    }
+
+    #[test]
+    fn tenant_aggregation_sums_sub_ledgers() {
+        let r = MetricsReport {
+            shards: vec![stats(0), stats(1)],
+            proto: ProtoStats::default(),
+            uptime_ms: 42,
+        };
+        let tenants = r.tenants();
+        assert_eq!(tenants.len(), 2);
+        assert_eq!(tenants[0].name, "default");
+        assert_eq!(tenants[0].warm_mb, 200, "per-shard sub-ledgers sum");
+        assert_eq!(tenants[0].idle_mb_ms, 2_000);
+        assert_eq!(tenants[1].evictions, 8);
+        assert_eq!(tenants[1].budget_mb, 512, "config gauge, not summed");
     }
 
     #[test]
@@ -216,5 +368,10 @@ mod tests {
         assert!(text.contains("sitw_serve_batched_decisions_total 1664"));
         assert!(text.contains("sitw_serve_proto_errors_total 2"));
         assert!(text.contains("sitw_serve_uptime_ms 42"));
+        assert!(text.contains("sitw_serve_tenant_warm_mb{tenant=\"default\"} 200"));
+        assert!(text.contains("sitw_serve_tenant_warm_mb{tenant=\"acme\"} 600"));
+        assert!(text.contains("sitw_serve_tenant_evictions_total{tenant=\"acme\"} 8"));
+        assert!(text.contains("sitw_serve_tenant_budget_mb{tenant=\"acme\"} 512"));
+        assert!(text.contains("sitw_serve_tenant_idle_mb_ms_total{tenant=\"default\"} 2000"));
     }
 }

@@ -2,41 +2,62 @@
 //! lifecycle (restore → serve → snapshot → shutdown).
 //!
 //! Threading model: one acceptor thread, one thread per connection, N
-//! shard worker threads. A connection thread parses requests, hashes the
-//! app id to a shard, and sends an `Invoke` message carrying a clone of
-//! its private reply channel; shards reply out of band and the
-//! connection reorders by sequence number before writing, preserving
-//! HTTP/1.1 response ordering under pipelining. Up to
-//! [`ServeConfig::pipeline_window`] decisions per connection are in
-//! flight at once, which is what amortizes syscalls and context
-//! switches enough to sustain >50k decisions/sec on loopback.
+//! shard worker threads. A connection thread parses requests, routes
+//! `(tenant, app)` to a shard — default-tenant apps by app hash, named
+//! tenants whole by tenant hash (see
+//! [`sitw_fleet::TenantRegistry::shard_of`]) — and sends an `Invoke`
+//! message carrying a clone of its private reply channel; shards reply
+//! out of band and the connection reorders by sequence number before
+//! writing, preserving HTTP/1.1 response ordering under pipelining. Up
+//! to [`ServeConfig::pipeline_window`] decisions per connection are in
+//! flight at once.
 //!
 //! SITW-BIN frames ride the same connections (sniffed per message, see
-//! [`crate::http::ConnBuf::read_event`]): a whole frame moves to each
-//! involved shard in one `InvokeBatch` mailbox message and is answered
-//! by one reply frame, so per-decision transport cost drops from one
-//! mpsc round trip + HTTP parse/format to `1/batch` of a frame's.
+//! [`crate::http::ConnBuf::read_event`]) and are **pipelined
+//! server-side**: a connection keeps decoding and dispatching new frames
+//! while earlier frames' batches are still in flight in the shards, and
+//! reassembles replies strictly in frame order (each in-flight frame is
+//! a `PendingFrame`; shard replies carry the frame sequence). That is
+//! what lets small batches (`bin:batch=1`) overlap shard work instead of
+//! paying a synchronous round trip per frame. The only serialization
+//! points are protocol switches: an HTTP request settles all pending
+//! frames first and vice versa, so one connection's responses always
+//! come back in send order across both protocols.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sitw_core::HybridConfig;
+use sitw_fleet::{LedgerExport, TenantId, TenantRegistry, TenantSpec, DEFAULT_TENANT};
 use sitw_sim::PolicySpec;
 
 use crate::http::{write_response, ConnBuf, EventOutcome, Request};
 use crate::metrics::{MetricsReport, ProtoStats, ShardStats};
 use crate::shard::{
-    shard_of, BatchItem, BatchReply, InvokeError, InvokeReply, ShardMsg, ShardWorker,
+    shard_of, BatchItem, BatchReply, Decision, InvokeError, InvokeReply, ShardMsg, ShardWorker,
+    TenantRestore,
 };
-use crate::snapshot::{AppRecord, ShardExport, Snapshot};
-use crate::wire::{self, push_u64, InvokeRequest};
+use crate::snapshot::{AppRecord, ShardExport, Snapshot, TenantSnapshot};
+use crate::wire::{self, push_u64, BinErrorCode, BinInvoke};
+
+/// One tenant in the server configuration (CLI `--tenant`, a tenants
+/// file, or programmatic [`ServeConfig::tenants`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantConfig {
+    /// Tenant name.
+    pub name: String,
+    /// The policy the tenant's apps are served under.
+    pub policy: PolicySpec,
+    /// Keep-alive memory budget in MB (0 = unlimited).
+    pub budget_mb: u64,
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -45,8 +66,12 @@ pub struct ServeConfig {
     pub addr: String,
     /// Number of shard worker threads (≥ 1).
     pub shards: usize,
-    /// The policy every application is served under.
+    /// The policy the default tenant's applications are served under.
     pub policy: PolicySpec,
+    /// Named tenants (each with its own policy and budget); registered
+    /// in order, ids 1..=N. More can be added at runtime via
+    /// `POST /admin/tenants`.
+    pub tenants: Vec<TenantConfig>,
     /// When set, a snapshot is written here on graceful shutdown and on
     /// `POST /admin/snapshot`.
     pub snapshot_path: Option<PathBuf>,
@@ -55,7 +80,8 @@ pub struct ServeConfig {
     /// Socket read timeout; bounds how quickly idle connections notice a
     /// shutdown.
     pub read_timeout: Duration,
-    /// Maximum in-flight decisions per connection.
+    /// Maximum in-flight decisions per connection (JSON requests, and
+    /// records across in-flight SITW-BIN frames).
     pub pipeline_window: usize,
 }
 
@@ -65,6 +91,7 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:7071".into(),
             shards: 4,
             policy: PolicySpec::Hybrid(HybridConfig::default()),
+            tenants: Vec::new(),
             snapshot_path: None,
             restore_path: None,
             read_timeout: Duration::from_millis(50),
@@ -78,6 +105,10 @@ struct ServerCtx {
     cfg: ServeConfig,
     addr: SocketAddr,
     shard_txs: Vec<Sender<ShardMsg>>,
+    /// The tenant registry. Read-locked briefly per message to resolve
+    /// names/ids and routes; write-locked only by the admin registration
+    /// path. Decision state itself stays lock-free in the shards.
+    registry: RwLock<TenantRegistry>,
     shutdown: AtomicBool,
     started: Instant,
     /// SITW-BIN frames served (server-wide; connections are unsharded).
@@ -124,6 +155,34 @@ impl ServerCtx {
         merge_exports(self.cfg.policy.label(), exports)
     }
 
+    /// Registers a tenant at runtime: the owning shard learns about it
+    /// (and acks) *before* the registry exposes the name, so no request
+    /// can race ahead of the shard's state.
+    fn register_tenant(
+        &self,
+        name: &str,
+        policy: PolicySpec,
+        budget_mb: u64,
+    ) -> Result<TenantSpec, String> {
+        let mut registry = self.registry.write().expect("registry poisoned");
+        let mut staged = registry.clone();
+        let id = staged.register(name, policy, budget_mb)?;
+        let spec = staged.get(id).expect("just registered").clone();
+        let home = staged.shard_of(id, "", self.shard_txs.len());
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.shard_txs[home]
+            .send(ShardMsg::AddTenant {
+                spec: spec.clone(),
+                ack: ack_tx,
+            })
+            .map_err(|_| "shard unavailable (shutting down)".to_owned())?;
+        ack_rx
+            .recv()
+            .map_err(|_| "shard unavailable (shutting down)".to_owned())?;
+        *registry = staged;
+        Ok(spec)
+    }
+
     /// Unblocks the acceptor's `accept()` after the shutdown flag flips.
     fn wake_acceptor(&self) {
         let _ = TcpStream::connect(self.addr);
@@ -137,21 +196,161 @@ pub struct Server {
     shard_handles: Vec<JoinHandle<ShardExport>>,
 }
 
-/// Merges per-shard exports into one snapshot (apps sorted by id, the
-/// production backup clock as the max over shards).
+/// Merges per-shard exports into one snapshot. Default-tenant state is
+/// the union of per-shard slices (apps concatenated, ledger counters
+/// summed, clocks as maxima); named tenants live whole on one shard.
 fn merge_exports(policy_label: String, exports: Vec<ShardExport>) -> Snapshot {
     let mut apps: Vec<AppRecord> = Vec::new();
-    let mut prod_clock = None;
-    for mut export in exports {
-        apps.append(&mut export.apps);
-        prod_clock = prod_clock.max(export.prod_clock);
+    let mut prod_clock: Option<u64> = None;
+    let mut default_ledger = LedgerExport::default();
+    let mut tenants: Vec<TenantSnapshot> = Vec::new();
+    for export in exports {
+        for te in export.tenants {
+            if te.id == DEFAULT_TENANT {
+                apps.extend(te.apps);
+                prod_clock = prod_clock.max(te.prod_clock);
+                default_ledger.warm.extend(te.ledger.warm);
+                default_ledger.evictions += te.ledger.evictions;
+                default_ledger.idle_mb_ms = default_ledger
+                    .idle_mb_ms
+                    .saturating_add(te.ledger.idle_mb_ms);
+                default_ledger.cursor_ms = default_ledger.cursor_ms.max(te.ledger.cursor_ms);
+            } else {
+                tenants.push(TenantSnapshot {
+                    id: te.id,
+                    name: te.name,
+                    policy_label: te.policy_label,
+                    spec_str: te.spec_str,
+                    budget_mb: te.budget_mb,
+                    prod_clock: te.prod_clock,
+                    ledger: te.ledger,
+                    apps: te.apps,
+                });
+            }
+        }
     }
     apps.sort_by(|a, b| a.app.cmp(&b.app));
+    default_ledger.warm.sort();
+    tenants.sort_by_key(|t| t.id);
     Snapshot {
         policy_label,
         prod_clock,
         apps,
+        default_ledger,
+        tenants,
     }
+}
+
+/// Builds the tenant registry for a start: snapshot tenants first (ids
+/// preserved), configured tenants verified against or appended to them.
+fn build_registry(cfg: &ServeConfig, snap: Option<&Snapshot>) -> Result<TenantRegistry, String> {
+    let mut registry = TenantRegistry::new(cfg.policy.clone());
+    if let Some(snap) = snap {
+        for t in &snap.tenants {
+            // Configured spec wins when present (it carries the actual
+            // PolicySpec; the snapshot only proves the label). A tenant
+            // the new process was not configured with is rebuilt from
+            // its canonical spec string.
+            let configured = cfg.tenants.iter().find(|c| c.name == t.name);
+            let (policy, budget_mb) = match configured {
+                Some(c) => {
+                    if c.policy.label() != t.policy_label {
+                        return Err(format!(
+                            "tenant '{}': snapshot policy '{}' does not match configured '{}'",
+                            t.name,
+                            t.policy_label,
+                            c.policy.label()
+                        ));
+                    }
+                    (c.policy.clone(), c.budget_mb)
+                }
+                None => {
+                    let spec_str = t.spec_str.as_ref().ok_or_else(|| {
+                        format!(
+                            "tenant '{}' has no canonical spec in the snapshot; \
+                             configure it explicitly to restore",
+                            t.name
+                        )
+                    })?;
+                    (PolicySpec::parse(spec_str)?, t.budget_mb)
+                }
+            };
+            let id = registry.register(&t.name, policy, budget_mb)?;
+            if id != t.id {
+                return Err(format!(
+                    "tenant '{}': snapshot id {} cannot be preserved (got {id})",
+                    t.name, t.id
+                ));
+            }
+        }
+    }
+    for c in &cfg.tenants {
+        if registry.resolve(&c.name).is_none() {
+            registry.register(&c.name, c.policy.clone(), c.budget_mb)?;
+        }
+    }
+    Ok(registry)
+}
+
+/// Partitions restored state across shards: default-tenant apps and
+/// warm entries by app hash, named tenants whole to their home shard.
+fn partition_restore(
+    registry: &TenantRegistry,
+    snap: Option<Snapshot>,
+    shards: usize,
+) -> Vec<Vec<TenantRestore>> {
+    let default_spec = registry
+        .get(DEFAULT_TENANT)
+        .expect("default tenant always exists")
+        .clone();
+    let mut per_shard: Vec<Vec<TenantRestore>> = (0..shards)
+        .map(|_| vec![TenantRestore::fresh(default_spec.clone())])
+        .collect();
+    let Some(snap) = snap else {
+        for spec in registry.tenants() {
+            if spec.id != DEFAULT_TENANT {
+                let home = registry.shard_of(spec.id, "", shards);
+                per_shard[home].push(TenantRestore::fresh(spec.clone()));
+            }
+        }
+        return per_shard;
+    };
+    for rec in snap.apps {
+        let shard = shard_of(&rec.app, shards);
+        per_shard[shard][0].apps.push(rec);
+    }
+    for (app, expiry, mb) in snap.default_ledger.warm {
+        let shard = shard_of(&app, shards);
+        per_shard[shard][0].ledger.warm.push((app, expiry, mb));
+    }
+    for shard in per_shard.iter_mut() {
+        shard[0].prod_clock = snap.prod_clock;
+        shard[0].ledger.cursor_ms = snap.default_ledger.cursor_ms;
+    }
+    // The merged integral/eviction counters are scalars; seed them on
+    // shard 0 so the aggregate `/metrics` view stays continuous.
+    per_shard[0][0].ledger.evictions = snap.default_ledger.evictions;
+    per_shard[0][0].ledger.idle_mb_ms = snap.default_ledger.idle_mb_ms;
+
+    let mut snap_tenants: std::collections::HashMap<TenantId, TenantSnapshot> =
+        snap.tenants.into_iter().map(|t| (t.id, t)).collect();
+    for spec in registry.tenants() {
+        if spec.id == DEFAULT_TENANT {
+            continue;
+        }
+        let home = registry.shard_of(spec.id, "", shards);
+        let restore = match snap_tenants.remove(&spec.id) {
+            Some(t) => TenantRestore {
+                spec: spec.clone(),
+                apps: t.apps,
+                ledger: t.ledger,
+                prod_clock: t.prod_clock,
+            },
+            None => TenantRestore::fresh(spec.clone()),
+        };
+        per_shard[home].push(restore);
+    }
+    per_shard
 }
 
 impl Server {
@@ -161,33 +360,32 @@ impl Server {
             return Err(io::Error::new(io::ErrorKind::InvalidInput, "shards == 0"));
         }
 
-        // Restore before any thread exists: partition records by shard.
-        let mut per_shard: Vec<Vec<AppRecord>> = (0..cfg.shards).map(|_| Vec::new()).collect();
-        let mut prod_clock = None;
+        // Restore before any thread exists.
+        let mut snap: Option<Snapshot> = None;
         if let Some(path) = &cfg.restore_path {
             if path.exists() {
-                let snap = Snapshot::read_from(path)?;
+                let loaded = Snapshot::read_from(path)?;
                 let expected = cfg.policy.label();
-                if snap.policy_label != expected {
+                if loaded.policy_label != expected {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
                         format!(
                             "snapshot policy '{}' does not match configured '{expected}'",
-                            snap.policy_label
+                            loaded.policy_label
                         ),
                     ));
                 }
-                prod_clock = snap.prod_clock;
-                for rec in snap.apps {
-                    per_shard[shard_of(&rec.app, cfg.shards)].push(rec);
-                }
+                snap = Some(loaded);
             }
         }
+        let registry = build_registry(&cfg, snap.as_ref())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let per_shard = partition_restore(&registry, snap, cfg.shards);
 
         let mut shard_txs = Vec::with_capacity(cfg.shards);
         let mut shard_handles = Vec::with_capacity(cfg.shards);
         for (id, restore) in per_shard.into_iter().enumerate() {
-            let worker = ShardWorker::new(id, cfg.policy.clone(), restore, prod_clock)
+            let worker = ShardWorker::new(id, restore)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
             let (tx, rx) = mpsc::channel();
             shard_txs.push(tx);
@@ -204,6 +402,7 @@ impl Server {
             cfg,
             addr,
             shard_txs,
+            registry: RwLock::new(registry),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             frames: AtomicU64::new(0),
@@ -236,6 +435,17 @@ impl Server {
     /// Captures a snapshot of all shards without stopping the server.
     pub fn snapshot(&self) -> Snapshot {
         self.ctx.snapshot()
+    }
+
+    /// Registers a tenant at runtime (in-process equivalent of
+    /// `POST /admin/tenants`).
+    pub fn register_tenant(
+        &self,
+        name: &str,
+        policy: PolicySpec,
+        budget_mb: u64,
+    ) -> Result<TenantSpec, String> {
+        self.ctx.register_tenant(name, policy, budget_mb)
     }
 
     /// True once a shutdown has been requested (e.g. via
@@ -306,6 +516,138 @@ fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>) {
 /// Flush threshold for the per-connection output buffer.
 const OUT_FLUSH_BYTES: usize = 64 * 1024;
 
+/// One SITW-BIN frame in flight on a connection: dispatched to the
+/// shards, awaiting (some of) its batch replies. Completed frames are
+/// written strictly in arrival order — the server-side pipelining
+/// ordering invariant.
+enum PendingFrame {
+    /// A dispatched request frame.
+    Batch {
+        /// The request frame's version (the reply echoes it).
+        version: u8,
+        /// Results slotted by frame index as shard replies arrive.
+        results: Vec<Option<Result<Decision, InvokeError>>>,
+        /// Shards still owing a reply.
+        remaining: usize,
+    },
+    /// A typed protocol error queued behind earlier frames.
+    Error {
+        /// The error code to answer.
+        code: BinErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl PendingFrame {
+    fn is_complete(&self) -> bool {
+        match self {
+            PendingFrame::Batch { remaining, .. } => *remaining == 0,
+            PendingFrame::Error { .. } => true,
+        }
+    }
+}
+
+/// Per-connection SITW-BIN pipelining state.
+struct FramePipeline {
+    /// In-flight frames, oldest first, keyed by frame sequence.
+    pending: VecDeque<(u64, PendingFrame)>,
+    next_seq: u64,
+    /// Records across all in-flight batches (backpressure unit).
+    inflight_records: usize,
+}
+
+impl FramePipeline {
+    fn new() -> Self {
+        Self {
+            pending: VecDeque::new(),
+            next_seq: 0,
+            inflight_records: 0,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Slots one shard reply into its frame. Frame sequences are
+    /// contiguous and the deque is ordered, so the slot is an O(1)
+    /// index from the front — the reply path stays flat no matter how
+    /// many frames are in flight.
+    fn absorb(&mut self, reply: BatchReply) {
+        let Some(&(front_seq, _)) = self.pending.front() else {
+            return;
+        };
+        let slot = reply.frame_seq.wrapping_sub(front_seq) as usize;
+        if let Some((
+            seq,
+            PendingFrame::Batch {
+                results, remaining, ..
+            },
+        )) = self.pending.get_mut(slot)
+        {
+            debug_assert_eq!(*seq, reply.frame_seq);
+            for (idx, result) in reply.results {
+                results[idx as usize] = Some(result);
+            }
+            *remaining -= 1;
+        }
+    }
+
+    /// Writes every complete frame at the queue front, in order.
+    fn flush_ready(&mut self, out: &mut Vec<u8>, ctx: &ServerCtx) {
+        while self.pending.front().is_some_and(|(_, f)| f.is_complete()) {
+            let (_, frame) = self.pending.pop_front().expect("checked front");
+            match frame {
+                PendingFrame::Batch {
+                    version, results, ..
+                } => {
+                    let ordered: Vec<Result<Decision, InvokeError>> = results
+                        .into_iter()
+                        .map(|r| r.expect("complete frame has every record"))
+                        .collect();
+                    self.inflight_records -= ordered.len();
+                    wire::encode_reply_frame(out, version, &ordered);
+                    ctx.batched_decisions
+                        .fetch_add(ordered.len() as u64, Ordering::Relaxed);
+                }
+                PendingFrame::Error { code, detail } => {
+                    ctx.proto_errors.fetch_add(1, Ordering::Relaxed);
+                    wire::encode_error_frame(out, code, &detail);
+                }
+            }
+        }
+    }
+
+    /// Blocks until every in-flight frame has been written. Returns
+    /// false when the batch channel died (server shutting down).
+    fn drain(
+        &mut self,
+        batch_rx: &Receiver<BatchReply>,
+        out: &mut Vec<u8>,
+        ctx: &ServerCtx,
+    ) -> bool {
+        loop {
+            self.flush_ready(out, ctx);
+            if self.pending.is_empty() {
+                return true;
+            }
+            let Ok(reply) = batch_rx.recv() else {
+                return false;
+            };
+            self.absorb(reply);
+        }
+    }
+
+    /// Absorbs whatever replies already arrived without blocking.
+    fn poll(&mut self, batch_rx: &Receiver<BatchReply>, out: &mut Vec<u8>, ctx: &ServerCtx) {
+        while let Ok(reply) = batch_rx.try_recv() {
+            self.absorb(reply);
+        }
+        self.flush_ready(out, ctx);
+    }
+}
+
 fn handle_conn(stream: TcpStream, ctx: Arc<ServerCtx>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(ctx.cfg.read_timeout));
@@ -317,17 +659,19 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ServerCtx>) {
     let (reply_tx, reply_rx) = mpsc::channel::<InvokeReply>();
     let (batch_tx, batch_rx) = mpsc::channel::<BatchReply>();
     let mut out: Vec<u8> = Vec::with_capacity(OUT_FLUSH_BYTES + 4 * 1024);
-    // Pipelining state: decisions in flight, reordering by sequence.
+    // JSON pipelining state: decisions in flight, reordering by sequence.
     let mut pending: usize = 0;
     let mut next_seq: u64 = 0;
     let mut next_write: u64 = 0;
-    let mut reorder: BTreeMap<u64, Result<crate::shard::Decision, InvokeError>> = BTreeMap::new();
+    let mut reorder: BTreeMap<u64, Result<Decision, InvokeError>> = BTreeMap::new();
+    // SITW-BIN pipelining state: frames in flight, written in order.
+    let mut frames = FramePipeline::new();
     let mut close = false;
 
     'conn: loop {
         // Write everything we owe before potentially blocking on the
         // socket with nothing in flight.
-        if pending == 0 {
+        if pending == 0 && frames.is_empty() {
             if !out.is_empty() && write_half.write_all(&out).is_err() {
                 break 'conn;
             }
@@ -338,7 +682,7 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ServerCtx>) {
         }
 
         match conn.read_event() {
-            Ok(EventOutcome::Frame(records)) => {
+            Ok(EventOutcome::Frame { records, version }) => {
                 // Settle in-flight pipelined JSON decisions first, so a
                 // client mixing protocols sees responses in send order.
                 if !drain_pending(
@@ -350,8 +694,17 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ServerCtx>) {
                 ) {
                     break 'conn;
                 }
-                if !submit_batch(records, &ctx, &batch_tx, &batch_rx, &mut out) {
+                if !submit_frame(records, version, &ctx, &batch_tx, &mut frames) {
                     break 'conn; // Shards gone: shutting down.
+                }
+                frames.poll(&batch_rx, &mut out, &ctx);
+                // Backpressure: cap in-flight records per connection.
+                while frames.inflight_records >= ctx.cfg.pipeline_window && !frames.is_empty() {
+                    let Ok(reply) = batch_rx.recv() else {
+                        break 'conn;
+                    };
+                    frames.absorb(reply);
+                    frames.flush_ready(&mut out, &ctx);
                 }
             }
             Ok(EventOutcome::FrameError {
@@ -368,13 +721,24 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ServerCtx>) {
                 ) {
                     break 'conn;
                 }
-                ctx.proto_errors.fetch_add(1, Ordering::Relaxed);
-                wire::encode_error_frame(&mut out, code, &detail);
-                if !recoverable {
-                    // The framing itself is broken: answer, then close
-                    // with a drained receive queue so the error frame
-                    // arrives as data + FIN, not an RST (same rationale
-                    // as the HTTP 413 path).
+                if recoverable {
+                    // Queued behind earlier frames so error replies keep
+                    // frame order under pipelining.
+                    frames
+                        .pending
+                        .push_back((frames.next_seq, PendingFrame::Error { code, detail }));
+                    frames.next_seq += 1;
+                    frames.flush_ready(&mut out, &ctx);
+                } else {
+                    // The framing itself is broken: settle everything,
+                    // answer, then close with a drained receive queue so
+                    // the error frame arrives as data + FIN, not an RST
+                    // (same rationale as the HTTP 413 path).
+                    if !frames.drain(&batch_rx, &mut out, &ctx) {
+                        break 'conn;
+                    }
+                    ctx.proto_errors.fetch_add(1, Ordering::Relaxed);
+                    wire::encode_error_frame(&mut out, code, &detail);
                     let _ = write_half.write_all(&out);
                     out.clear();
                     conn.drain_for_close(2 * crate::http::MAX_BODY_BYTES);
@@ -382,14 +746,19 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ServerCtx>) {
                 }
             }
             Ok(EventOutcome::Request(req)) => {
+                // Protocol switch: settle all in-flight frames before
+                // any HTTP response may be written.
+                if !frames.drain(&batch_rx, &mut out, &ctx) {
+                    break 'conn;
+                }
                 if req.close {
                     close = true;
                 }
                 if req.method == "POST" && req.path == "/invoke" {
-                    match wire::parse_invoke(&req.body) {
-                        Ok(inv) => {
-                            let shard = shard_of(&inv.app, ctx.shard_txs.len());
+                    match parse_and_route(&req.body, &ctx) {
+                        Ok((tenant, shard, inv)) => {
                             let msg = ShardMsg::Invoke {
+                                tenant,
                                 app: inv.app,
                                 ts: inv.ts,
                                 seq: next_seq,
@@ -415,7 +784,7 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ServerCtx>) {
                             }
                             let mut body = Vec::with_capacity(64);
                             body.extend_from_slice(b"{\"error\":\"");
-                            body.extend_from_slice(e.replace('"', "'").as_bytes());
+                            body.extend_from_slice(wire::json_escape(&e).as_bytes());
                             body.extend_from_slice(b"\"}");
                             write_response(&mut out, 400, "application/json", &body);
                         }
@@ -435,7 +804,7 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ServerCtx>) {
             }
             Ok(EventOutcome::Eof) => {
                 close = true;
-                if pending == 0 {
+                if pending == 0 && frames.is_empty() {
                     break 'conn;
                 }
             }
@@ -448,7 +817,8 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ServerCtx>) {
                     &mut pending,
                     &mut next_write,
                     &mut out,
-                ) {
+                ) || !frames.drain(&batch_rx, &mut out, &ctx)
+                {
                     break 'conn;
                 }
                 write_response(
@@ -481,6 +851,9 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ServerCtx>) {
                 {
                     break 'conn;
                 }
+                if !frames.is_empty() && !frames.drain(&batch_rx, &mut out, &ctx) {
+                    break 'conn;
+                }
                 continue 'conn;
             }
             Err(_) => break 'conn, // Malformed request or I/O error.
@@ -491,8 +864,9 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ServerCtx>) {
             reorder.insert(reply.seq, reply.result);
         }
         write_ready(&mut reorder, &mut next_write, &mut pending, &mut out);
+        frames.poll(&batch_rx, &mut out, &ctx);
 
-        // Backpressure: cap in-flight decisions per connection.
+        // Backpressure: cap in-flight JSON decisions per connection.
         while pending >= ctx.cfg.pipeline_window {
             let Ok(reply) = reply_rx.recv() else {
                 break 'conn;
@@ -501,18 +875,21 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ServerCtx>) {
             write_ready(&mut reorder, &mut next_write, &mut pending, &mut out);
         }
 
-        // No more buffered requests: settle all in-flight decisions so
-        // the client is never left waiting on responses we could send.
-        if conn.buffered() == 0
-            && !drain_pending(
+        // No more buffered requests: settle everything in flight so the
+        // client is never left waiting on responses we could send.
+        if conn.buffered() == 0 {
+            if !drain_pending(
                 &reply_rx,
                 &mut reorder,
                 &mut pending,
                 &mut next_write,
                 &mut out,
-            )
-        {
-            break 'conn;
+            ) {
+                break 'conn;
+            }
+            if !frames.drain(&batch_rx, &mut out, &ctx) {
+                break 'conn;
+            }
         }
 
         if out.len() >= OUT_FLUSH_BYTES {
@@ -528,32 +905,64 @@ fn handle_conn(stream: TcpStream, ctx: Arc<ServerCtx>) {
     }
 }
 
-/// Moves one SITW-BIN frame through the shards and appends the reply
-/// frame to `out`: records are partitioned by shard, each shard gets its
-/// whole slice in **one** mailbox message, and the replies are
-/// reassembled in frame order. Returns false when a shard is gone
-/// (server shutting down) and the connection should close.
-fn submit_batch(
-    records: Vec<InvokeRequest>,
+/// Parses an `/invoke` body and resolves its tenant and shard.
+fn parse_and_route(
+    body: &[u8],
+    ctx: &ServerCtx,
+) -> Result<(TenantId, usize, wire::InvokeRequest), String> {
+    let inv = wire::parse_invoke(body)?;
+    let registry = ctx.registry.read().expect("registry poisoned");
+    let tenant = match &inv.tenant {
+        None => DEFAULT_TENANT,
+        Some(name) => registry
+            .resolve(name)
+            .ok_or_else(|| format!("unknown tenant '{name}'"))?,
+    };
+    let shard = registry.shard_of(tenant, &inv.app, ctx.shard_txs.len());
+    Ok((tenant, shard, inv))
+}
+
+/// Dispatches one SITW-BIN frame to the shards without waiting for the
+/// replies: records are partitioned by `(tenant, app)` route, each shard
+/// gets its whole slice in **one** mailbox message, and a
+/// [`PendingFrame`] joins the connection's pipeline to be reassembled in
+/// frame order when the [`BatchReply`]s come back. Returns false when a
+/// shard is gone (server shutting down).
+fn submit_frame(
+    records: Vec<BinInvoke>,
+    version: u8,
     ctx: &ServerCtx,
     batch_tx: &Sender<BatchReply>,
-    batch_rx: &Receiver<BatchReply>,
-    out: &mut Vec<u8>,
+    frames: &mut FramePipeline,
 ) -> bool {
     let n = records.len();
     ctx.frames.fetch_add(1, Ordering::Relaxed);
-    if n == 0 {
-        wire::encode_reply_frame(out, &[]);
-        return true;
-    }
+    let frame_seq = frames.next_seq;
+    frames.next_seq += 1;
+
     let shards = ctx.shard_txs.len();
     let mut per_shard: Vec<Vec<BatchItem>> = vec![Vec::new(); shards];
-    for (idx, rec) in records.into_iter().enumerate() {
-        per_shard[shard_of(&rec.app, shards)].push(BatchItem {
-            idx: idx as u32,
-            app: rec.app,
-            ts: rec.ts,
-        });
+    {
+        let registry = ctx.registry.read().expect("registry poisoned");
+        for (idx, rec) in records.into_iter().enumerate() {
+            if registry.get(rec.tenant).is_none() {
+                frames.pending.push_back((
+                    frame_seq,
+                    PendingFrame::Error {
+                        code: BinErrorCode::Malformed,
+                        detail: format!("record {idx}: unknown tenant id {}", rec.tenant),
+                    },
+                ));
+                return true;
+            }
+            let shard = registry.shard_of(rec.tenant, &rec.app, shards);
+            per_shard[shard].push(BatchItem {
+                idx: idx as u32,
+                tenant: rec.tenant,
+                app: rec.app,
+                ts: rec.ts,
+            });
+        }
     }
     let mut expected = 0usize;
     for (shard, items) in per_shard.into_iter().enumerate() {
@@ -561,6 +970,7 @@ fn submit_batch(
             continue;
         }
         let msg = ShardMsg::InvokeBatch {
+            frame_seq,
             items,
             reply: batch_tx.clone(),
         };
@@ -569,21 +979,15 @@ fn submit_batch(
         }
         expected += 1;
     }
-    let mut results: Vec<Option<Result<crate::shard::Decision, InvokeError>>> = vec![None; n];
-    for _ in 0..expected {
-        let Ok(reply) = batch_rx.recv() else {
-            return false;
-        };
-        for (idx, result) in reply.results {
-            results[idx as usize] = Some(result);
-        }
-    }
-    let ordered: Vec<Result<crate::shard::Decision, InvokeError>> = results
-        .into_iter()
-        .map(|r| r.expect("every frame record gets exactly one shard answer"))
-        .collect();
-    wire::encode_reply_frame(out, &ordered);
-    ctx.batched_decisions.fetch_add(n as u64, Ordering::Relaxed);
+    frames.inflight_records += n;
+    frames.pending.push_back((
+        frame_seq,
+        PendingFrame::Batch {
+            version,
+            results: vec![None; n],
+            remaining: expected,
+        },
+    ));
     true
 }
 
@@ -591,7 +995,7 @@ fn submit_batch(
 /// Returns false when the reply channel died (server shutting down).
 fn drain_pending(
     reply_rx: &Receiver<InvokeReply>,
-    reorder: &mut BTreeMap<u64, Result<crate::shard::Decision, InvokeError>>,
+    reorder: &mut BTreeMap<u64, Result<Decision, InvokeError>>,
     pending: &mut usize,
     next_write: &mut u64,
     out: &mut Vec<u8>,
@@ -608,7 +1012,7 @@ fn drain_pending(
 
 /// Writes every reply that is next in sequence order.
 fn write_ready(
-    reorder: &mut BTreeMap<u64, Result<crate::shard::Decision, InvokeError>>,
+    reorder: &mut BTreeMap<u64, Result<Decision, InvokeError>>,
     next_write: &mut u64,
     pending: &mut usize,
     out: &mut Vec<u8>,
@@ -629,6 +1033,15 @@ fn write_ready(
                 body.push(b'}');
                 write_response(out, 409, "application/json", &body);
             }
+            Err(InvokeError::UnknownTenant) => {
+                // Unreachable: tenants are resolved before dispatch.
+                write_response(
+                    out,
+                    400,
+                    "application/json",
+                    b"{\"error\":\"unknown tenant\"}",
+                );
+            }
         }
     }
 }
@@ -642,6 +1055,11 @@ fn handle_control(req: &Request, ctx: &Arc<ServerCtx>, out: &mut Vec<u8>) {
             body.extend_from_slice(ctx.cfg.policy.label().as_bytes());
             body.extend_from_slice(b"\",\"shards\":");
             push_u64(&mut body, ctx.shard_txs.len() as u64);
+            body.extend_from_slice(b",\"tenants\":");
+            push_u64(
+                &mut body,
+                ctx.registry.read().expect("registry poisoned").len() as u64,
+            );
             body.extend_from_slice(b",\"uptime_ms\":");
             push_u64(&mut body, ctx.started.elapsed().as_millis() as u64);
             body.push(b'}');
@@ -656,6 +1074,48 @@ fn handle_control(req: &Request, ctx: &Arc<ServerCtx>, out: &mut Vec<u8>) {
                 report.render().as_bytes(),
             );
         }
+        ("GET", "/admin/tenants") => {
+            let registry = ctx.registry.read().expect("registry poisoned");
+            let mut body = Vec::with_capacity(128);
+            body.push(b'[');
+            for (i, t) in registry.tenants().iter().enumerate() {
+                if i > 0 {
+                    body.push(b',');
+                }
+                body.extend_from_slice(b"{\"id\":");
+                push_u64(&mut body, t.id as u64);
+                body.extend_from_slice(b",\"name\":\"");
+                body.extend_from_slice(t.name.as_bytes());
+                body.extend_from_slice(b"\",\"policy\":\"");
+                body.extend_from_slice(t.policy.label().as_bytes());
+                body.extend_from_slice(b"\",\"budget_mb\":");
+                push_u64(&mut body, t.budget_mb);
+                body.push(b'}');
+            }
+            body.push(b']');
+            write_response(out, 200, "application/json", &body);
+        }
+        ("POST", "/admin/tenants") => {
+            // Body: the CLI argument grammar, `NAME=POLICY[,budget=MB]`.
+            let arg = String::from_utf8_lossy(&req.body);
+            let result = sitw_fleet::registry::parse_tenant_arg(arg.trim())
+                .and_then(|(name, policy, budget)| ctx.register_tenant(&name, policy, budget));
+            match result {
+                Ok(spec) => {
+                    let mut body = Vec::with_capacity(64);
+                    body.extend_from_slice(b"{\"id\":");
+                    push_u64(&mut body, spec.id as u64);
+                    body.extend_from_slice(b",\"name\":\"");
+                    body.extend_from_slice(spec.name.as_bytes());
+                    body.extend_from_slice(b"\"}");
+                    write_response(out, 200, "application/json", &body);
+                }
+                Err(e) => {
+                    let body = format!("{{\"error\":\"{}\"}}", wire::json_escape(&e));
+                    write_response(out, 400, "application/json", body.as_bytes());
+                }
+            }
+        }
         ("POST", "/admin/snapshot") => match &ctx.cfg.snapshot_path {
             Some(path) => {
                 let snapshot = ctx.snapshot();
@@ -668,7 +1128,8 @@ fn handle_control(req: &Request, ctx: &Arc<ServerCtx>, out: &mut Vec<u8>) {
                         write_response(out, 200, "application/json", &body);
                     }
                     Err(e) => {
-                        let body = format!("{{\"error\":\"{}\"}}", e.to_string().replace('"', "'"));
+                        let body =
+                            format!("{{\"error\":\"{}\"}}", wire::json_escape(&e.to_string()));
                         write_response(out, 500, "application/json", body.as_bytes());
                     }
                 }
@@ -688,7 +1149,11 @@ fn handle_control(req: &Request, ctx: &Arc<ServerCtx>, out: &mut Vec<u8>) {
             write_response(out, 200, "application/json", b"{\"status\":\"stopping\"}");
         }
         ("POST", "/invoke") => unreachable!("handled by the caller"),
-        (_, "/invoke" | "/healthz" | "/metrics" | "/admin/snapshot" | "/admin/shutdown") => {
+        (
+            _,
+            "/invoke" | "/healthz" | "/metrics" | "/admin/tenants" | "/admin/snapshot"
+            | "/admin/shutdown",
+        ) => {
             write_response(
                 out,
                 405,

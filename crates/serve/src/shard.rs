@@ -1,12 +1,25 @@
-//! Shard workers: each worker thread exclusively owns the per-application
-//! policy state for its hash slice of the app space.
+//! Shard workers: each worker thread exclusively owns the per-tenant,
+//! per-application policy state for its slice of the fleet.
 //!
 //! The decision path is lock-free by construction — connection threads
-//! hash the app id to a shard and exchange messages over `mpsc`
-//! channels, so a shard's `HashMap` of policies is touched by exactly
-//! one thread. This is the same isolation argument the sweep driver
-//! makes for parallel simulation: applications are independent under
-//! every policy (§5.1), so partitioning them partitions all state.
+//! route `(tenant, app)` to a shard and exchange messages over `mpsc`
+//! channels, so a shard's state is touched by exactly one thread. The
+//! fleet extends the PR-1 isolation argument one level up: default-tenant
+//! apps spread over shards by app hash (apps are independent, §5.1), and
+//! each *named* tenant lands whole on one shard (tenant-name hash), so
+//! its memory ledger — whose eviction decisions couple apps to each
+//! other — has a single writer and a shard-count-independent event
+//! order.
+//!
+//! Every tenant owns: its [`PolicySpec`]'s per-app policy state (or a
+//! tenant-local [`ProductionManager`] in production mode), a
+//! [`TenantLedger`] charging each warm container its deterministic Burr
+//! footprint, and eviction bookkeeping. When a charge pushes a budgeted
+//! tenant over its limit, victims (earliest keep-alive expiry first) are
+//! marked evicted; their next invocation is downgraded to a cold start
+//! with the `evicted` flag set — the memory-pressure dimension the
+//! paper's §3.4 trade-off implies but a stateless verdict oracle cannot
+//! express.
 
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
@@ -16,11 +29,12 @@ use sitw_core::{
     AppKey, AppPolicy, DecisionKind, FixedKeepAlive, HybridPolicy, NoUnloading, ProductionManager,
     Windows,
 };
+use sitw_fleet::{footprint_mb, LedgerExport, TenantId, TenantLedger, TenantSpec};
 use sitw_sim::PolicySpec;
 use sitw_stats::StreamingPercentiles;
 
-use crate::metrics::ShardStats;
-use crate::snapshot::{AppRecord, PolicyState, ShardExport};
+use crate::metrics::{ShardStats, TenantStats};
+use crate::snapshot::{AppRecord, PolicyState, ShardExport, TenantExport};
 
 /// Latency quantiles the shard tracks (P², O(1) memory per quantile).
 pub const LATENCY_QUANTILES: [f64; 3] = [0.50, 0.95, 0.99];
@@ -43,10 +57,10 @@ pub enum ServedPolicy {
     /// The hybrid histogram policy.
     Hybrid(HybridPolicy),
     /// Production-manager mode (§6): the per-app state lives in the
-    /// shard's fleet-wide [`ProductionManager`]; this variant holds the
+    /// tenant's fleet-wide [`ProductionManager`]; this variant holds the
     /// app's key into it plus the branch that served its last decision.
     Production {
-        /// Key of this app inside the shard's manager.
+        /// Key of this app inside the tenant's manager.
         key: AppKey,
         /// The branch that produced the most recent decision.
         last: DecisionKind,
@@ -59,15 +73,15 @@ impl ServedPolicy {
     /// # Panics
     ///
     /// Panics for [`PolicySpec::Production`]: production apps are
-    /// registered with the shard's manager (see [`ShardWorker::invoke`]),
-    /// not built standalone.
+    /// registered with their tenant's manager (see
+    /// [`ShardWorker::invoke`]), not built standalone.
     pub fn new(spec: &PolicySpec) -> ServedPolicy {
         match spec {
             PolicySpec::Fixed(f) => ServedPolicy::Fixed(*f),
             PolicySpec::NoUnloading => ServedPolicy::NoUnload(NoUnloading),
             PolicySpec::Hybrid(cfg) => ServedPolicy::Hybrid(HybridPolicy::new(cfg.clone())),
             PolicySpec::Production(_) => {
-                unreachable!("production apps are created by the shard's manager")
+                unreachable!("production apps are created by the tenant's manager")
             }
         }
     }
@@ -78,7 +92,7 @@ impl ServedPolicy {
             ServedPolicy::NoUnload(p) => p.on_invocation(idle_time_ms),
             ServedPolicy::Hybrid(p) => p.on_invocation(idle_time_ms),
             ServedPolicy::Production { .. } => {
-                unreachable!("production decisions go through the shard's manager")
+                unreachable!("production decisions go through the tenant's manager")
             }
         }
     }
@@ -93,8 +107,8 @@ impl ServedPolicy {
     }
 }
 
-/// Shard-local production state: one fleet-wide manager covering the
-/// shard's hash slice of the app space, plus §6 bookkeeping counters.
+/// Tenant-local production state: one manager covering the tenant's
+/// shard slice of the app space, plus §6 bookkeeping counters.
 struct ProductionShard {
     manager: ProductionManager,
     /// Next key to hand to a newly seen app. Keys are shard-local and
@@ -125,6 +139,10 @@ pub struct Decision {
     pub cold: bool,
     /// A pre-warm load occurred in the gap ending at this invocation.
     pub prewarm_load: bool,
+    /// The image was evicted for memory pressure during the gap: a
+    /// would-be warm start was downgraded to cold (the fleet's budget
+    /// dimension; always false for unbudgeted tenants).
+    pub evicted: bool,
     /// The policy branch that produced the new windows.
     pub kind: DecisionKind,
     /// Windows governing the gap until the app's next invocation.
@@ -141,6 +159,11 @@ pub enum InvokeError {
         /// The app's last accepted timestamp.
         last_ts: u64,
     },
+    /// The tenant id is not registered on this shard. Unreachable from
+    /// the daemon's connection path (ids are validated against the
+    /// registry before dispatch); kept as a typed error so the shard
+    /// never panics on a protocol-level race.
+    UnknownTenant,
 }
 
 /// A reply to one `Invoke` message.
@@ -160,6 +183,8 @@ pub struct BatchItem {
     /// Position of this record in its frame (replies are reassembled in
     /// frame order across shards).
     pub idx: u32,
+    /// Tenant the app belongs to.
+    pub tenant: TenantId,
     /// Application id.
     pub app: String,
     /// Invocation timestamp (trace milliseconds).
@@ -167,9 +192,13 @@ pub struct BatchItem {
 }
 
 /// A shard's answers to one [`ShardMsg::InvokeBatch`]: `(idx, result)`
-/// pairs in submission order.
+/// pairs in submission order, tagged with the frame they belong to so
+/// connections can keep several frames in flight (server-side frame
+/// pipelining).
 #[derive(Debug)]
 pub struct BatchReply {
+    /// The connection-local frame sequence this reply answers.
+    pub frame_seq: u64,
     /// One result per submitted item, tagged with its frame index.
     pub results: Vec<(u32, Result<Decision, InvokeError>)>,
 }
@@ -178,6 +207,8 @@ pub struct BatchReply {
 pub enum ShardMsg {
     /// One invocation to classify.
     Invoke {
+        /// Tenant the app belongs to.
+        tenant: TenantId,
         /// Application id.
         app: String,
         /// Invocation timestamp (trace milliseconds).
@@ -191,10 +222,21 @@ pub enum ShardMsg {
     /// frame that hashed to this shard. Amortizes mailbox and wake costs
     /// across the batch — the point of the binary protocol.
     InvokeBatch {
+        /// Connection-local frame sequence (echoed in the reply so the
+        /// connection can pipeline frames).
+        frame_seq: u64,
         /// The shard's slice of the frame, in frame order.
         items: Vec<BatchItem>,
         /// Where to send the batched reply.
         reply: Sender<BatchReply>,
+    },
+    /// Registers a tenant on this shard (admin path). Acked so the
+    /// registry only exposes the tenant once its shard can serve it.
+    AddTenant {
+        /// The tenant to create (empty state).
+        spec: TenantSpec,
+        /// Acked once the tenant exists.
+        ack: Sender<()>,
     },
     /// Report counters and latency percentiles.
     Scrape(Sender<ShardStats>),
@@ -209,34 +251,29 @@ struct AppState {
     policy: ServedPolicy,
     windows: Windows,
     last_ts: u64,
+    /// The image was evicted for memory pressure during the gap in
+    /// progress; the next invocation is downgraded to cold.
+    evicted: bool,
+    /// The app's deterministic Burr footprint, computed once at first
+    /// sight — a pure function of `(tenant, app)`, so the hot path
+    /// never re-runs the quantile transform.
+    footprint_mb: u64,
 }
 
-/// The state owned by one shard worker thread.
-pub struct ShardWorker {
-    id: usize,
-    spec: PolicySpec,
+/// One tenant's complete state on this shard.
+struct TenantShard {
+    spec: TenantSpec,
     apps: HashMap<String, AppState>,
-    /// `Some` iff `spec` is [`PolicySpec::Production`].
+    /// `Some` iff the tenant's policy is [`PolicySpec::Production`].
     production: Option<ProductionShard>,
+    ledger: TenantLedger,
     invocations: u64,
     cold: u64,
-    prewarm_loads: u64,
-    out_of_order: u64,
-    latency: StreamingPercentiles,
 }
 
-impl ShardWorker {
-    /// Creates a worker for shard `id`, optionally restoring state.
-    ///
-    /// `prod_clock` seeds the production manager's backup clock when
-    /// restoring mid-stream (ignored for per-app policies).
-    pub fn new(
-        id: usize,
-        spec: PolicySpec,
-        restore: Vec<AppRecord>,
-        prod_clock: Option<u64>,
-    ) -> Result<Self, String> {
-        let mut production = match &spec {
+impl TenantShard {
+    fn new(spec: TenantSpec, ledger: TenantLedger, prod_clock: Option<u64>) -> TenantShard {
+        let production = match &spec.policy {
             PolicySpec::Production(cfg) => {
                 let mut manager = ProductionManager::new(*cfg);
                 if let Some(at_ms) = prod_clock {
@@ -250,31 +287,95 @@ impl ShardWorker {
             }
             _ => None,
         };
-        let mut apps = HashMap::with_capacity(restore.len().max(64));
-        for rec in restore {
-            let policy = match (rec.state, &mut production) {
-                (PolicyState::Production { last, state }, Some(prod)) => {
-                    let key = prod.next_key;
-                    prod.next_key += 1;
-                    prod.manager.import_app(key, state)?;
-                    ServedPolicy::Production { key, last }
-                }
-                (state, _) => state.into_policy(&spec)?,
-            };
-            apps.insert(
-                rec.app,
-                AppState {
-                    policy,
-                    windows: rec.windows,
-                    last_ts: rec.last_ts,
-                },
+        TenantShard {
+            spec,
+            apps: HashMap::new(),
+            production,
+            ledger,
+            invocations: 0,
+            cold: 0,
+        }
+    }
+}
+
+/// Restore payload for one tenant on one shard: its spec plus the app
+/// records and ledger slice routed here.
+pub struct TenantRestore {
+    /// The tenant's configuration.
+    pub spec: TenantSpec,
+    /// This shard's app records (tenant-filtered, app-routed).
+    pub apps: Vec<AppRecord>,
+    /// This shard's slice of the tenant's ledger.
+    pub ledger: LedgerExport,
+    /// Production backup clock, when the tenant serves production mode.
+    pub prod_clock: Option<u64>,
+}
+
+impl TenantRestore {
+    /// An empty-state restore for `spec`.
+    pub fn fresh(spec: TenantSpec) -> TenantRestore {
+        TenantRestore {
+            spec,
+            apps: Vec::new(),
+            ledger: LedgerExport::default(),
+            prod_clock: None,
+        }
+    }
+}
+
+/// The state owned by one shard worker thread.
+pub struct ShardWorker {
+    id: usize,
+    tenants: HashMap<TenantId, TenantShard>,
+    invocations: u64,
+    cold: u64,
+    prewarm_loads: u64,
+    out_of_order: u64,
+    latency: StreamingPercentiles,
+}
+
+impl ShardWorker {
+    /// Creates a worker for shard `id` serving `tenants` (the default
+    /// tenant plus every named tenant routed to this shard), optionally
+    /// restoring their state.
+    pub fn new(id: usize, tenants: Vec<TenantRestore>) -> Result<Self, String> {
+        let mut map = HashMap::with_capacity(tenants.len());
+        for restore in tenants {
+            let budget = restore.spec.budget_mb;
+            let tid = restore.spec.id;
+            let mut shard = TenantShard::new(
+                restore.spec,
+                TenantLedger::restore(budget, restore.ledger),
+                restore.prod_clock,
             );
+            shard.apps.reserve(restore.apps.len().max(16));
+            for rec in restore.apps {
+                let policy = match (rec.state, &mut shard.production) {
+                    (PolicyState::Production { last, state }, Some(prod)) => {
+                        let key = prod.next_key;
+                        prod.next_key += 1;
+                        prod.manager.import_app(key, state)?;
+                        ServedPolicy::Production { key, last }
+                    }
+                    (state, _) => state.into_policy(&shard.spec.policy)?,
+                };
+                let footprint_mb = footprint_mb(&shard.spec.name, &rec.app);
+                shard.apps.insert(
+                    rec.app,
+                    AppState {
+                        policy,
+                        windows: rec.windows,
+                        last_ts: rec.last_ts,
+                        evicted: rec.evicted,
+                        footprint_mb,
+                    },
+                );
+            }
+            map.insert(tid, shard);
         }
         Ok(Self {
             id,
-            spec,
-            apps,
-            production,
+            tenants: map,
             invocations: 0,
             cold: 0,
             prewarm_loads: 0,
@@ -283,14 +384,32 @@ impl ShardWorker {
         })
     }
 
-    /// Classifies one invocation. Mirrors `sitw_sim::verdict_trace`
+    /// Registers a fresh tenant (admin path).
+    pub fn add_tenant(&mut self, spec: TenantSpec) {
+        let budget = spec.budget_mb;
+        self.tenants
+            .entry(spec.id)
+            .or_insert_with(|| TenantShard::new(spec, TenantLedger::new(budget), None));
+    }
+
+    /// Classifies one invocation. Mirrors `sitw_sim::fleet_verdict_trace`
     /// exactly: both paths classify through
-    /// [`sitw_core::Windows::classify_gap`] and then advance the policy.
-    pub fn invoke(&mut self, app: &str, ts: u64) -> Result<Decision, InvokeError> {
-        match self.apps.get_mut(app) {
+    /// [`sitw_core::Windows::classify_gap`], apply the same eviction
+    /// downgrade, advance the policy, and charge the same ledger.
+    pub fn invoke(
+        &mut self,
+        tenant: TenantId,
+        app: &str,
+        ts: u64,
+    ) -> Result<Decision, InvokeError> {
+        let t = self
+            .tenants
+            .get_mut(&tenant)
+            .ok_or(InvokeError::UnknownTenant)?;
+        let (decision, mb) = match t.apps.get_mut(app) {
             None => {
                 // First invocation of this app: cold by definition (§5.1).
-                let (policy, windows, kind) = match &mut self.production {
+                let (policy, windows, kind) = match &mut t.production {
                     Some(prod) => {
                         let key = prod.next_key;
                         prod.next_key += 1;
@@ -298,28 +417,33 @@ impl ShardWorker {
                         (ServedPolicy::Production { key, last: kind }, windows, kind)
                     }
                     None => {
-                        let mut policy = ServedPolicy::new(&self.spec);
+                        let mut policy = ServedPolicy::new(&t.spec.policy);
                         let windows = policy.on_invocation(None);
                         let kind = policy.last_decision();
                         (policy, windows, kind)
                     }
                 };
-                self.apps.insert(
+                let mb = footprint_mb(&t.spec.name, app);
+                t.apps.insert(
                     app.to_owned(),
                     AppState {
                         policy,
                         windows,
                         last_ts: ts,
+                        evicted: false,
+                        footprint_mb: mb,
                     },
                 );
-                self.invocations += 1;
-                self.cold += 1;
-                Ok(Decision {
-                    cold: true,
-                    prewarm_load: false,
-                    kind,
-                    windows,
-                })
+                (
+                    Decision {
+                        cold: true,
+                        prewarm_load: false,
+                        evicted: false,
+                        kind,
+                        windows,
+                    },
+                    mb,
+                )
             }
             Some(state) => {
                 if ts < state.last_ts {
@@ -330,7 +454,12 @@ impl ShardWorker {
                 }
                 let idle = ts - state.last_ts;
                 let outcome = state.windows.classify_gap(idle);
-                state.windows = match (&mut self.production, &mut state.policy) {
+                // The memory-pressure downgrade: a gap the policy would
+                // have served warm is cold when the budget evicted the
+                // image mid-gap (and the phantom pre-warm load with it).
+                let was_evicted = state.evicted;
+                state.evicted = false;
+                state.windows = match (&mut t.production, &mut state.policy) {
                     (Some(prod), ServedPolicy::Production { key, last }) => {
                         let (windows, kind) = prod.decide(*key, ts, Some(idle));
                         *last = kind;
@@ -339,21 +468,41 @@ impl ShardWorker {
                     (_, policy) => policy.on_invocation(Some(idle)),
                 };
                 state.last_ts = ts;
-                self.invocations += 1;
-                if outcome.cold {
-                    self.cold += 1;
-                }
-                if outcome.prewarm_load {
-                    self.prewarm_loads += 1;
-                }
-                Ok(Decision {
-                    cold: outcome.cold,
-                    prewarm_load: outcome.prewarm_load,
-                    kind: state.policy.last_decision(),
-                    windows: state.windows,
-                })
+                (
+                    Decision {
+                        cold: outcome.cold || was_evicted,
+                        prewarm_load: outcome.prewarm_load && !was_evicted,
+                        evicted: was_evicted,
+                        kind: state.policy.last_decision(),
+                        windows: state.windows,
+                    },
+                    state.footprint_mb,
+                )
+            }
+        };
+
+        // Charge the ledger: the app is warm until its windows lapse,
+        // holding its deterministic Burr footprint (computed once at
+        // first sight, cached in its AppState). Budget overflows evict
+        // by earliest expiry — possibly the just-charged app itself,
+        // when its footprint cannot fit at all.
+        let expiry = decision.windows.loaded_until(ts);
+        for victim in t.ledger.charge(app, ts, expiry, mb) {
+            if let Some(v) = t.apps.get_mut(&victim) {
+                v.evicted = true;
             }
         }
+
+        t.invocations += 1;
+        self.invocations += 1;
+        if decision.cold {
+            t.cold += 1;
+            self.cold += 1;
+        }
+        if decision.prewarm_load {
+            self.prewarm_loads += 1;
+        }
+        Ok(decision)
     }
 
     /// Classifies a whole batch in order. Decisions are identical to
@@ -362,12 +511,12 @@ impl ShardWorker {
     /// batch and observed per record at the batch mean, so the P²
     /// quantiles stay invocation-weighted without an `Instant` syscall
     /// per record.
-    pub fn invoke_batch(&mut self, items: Vec<BatchItem>) -> BatchReply {
+    pub fn invoke_batch(&mut self, frame_seq: u64, items: Vec<BatchItem>) -> BatchReply {
         let n = items.len();
         let t0 = Instant::now();
         let results: Vec<(u32, Result<Decision, InvokeError>)> = items
             .into_iter()
-            .map(|item| (item.idx, self.invoke(&item.app, item.ts)))
+            .map(|item| (item.idx, self.invoke(item.tenant, &item.app, item.ts)))
             .collect();
         if n > 0 {
             let per_record_us = t0.elapsed().as_nanos() as f64 / 1_000.0 / n as f64;
@@ -375,51 +524,93 @@ impl ShardWorker {
                 self.latency.observe(per_record_us);
             }
         }
-        BatchReply { results }
+        BatchReply { frame_seq, results }
     }
 
     fn stats(&self) -> ShardStats {
+        let mut tenants: Vec<TenantStats> = self
+            .tenants
+            .values()
+            .map(|t| {
+                let ledger = t.ledger.stats();
+                TenantStats {
+                    id: t.spec.id,
+                    name: t.spec.name.clone(),
+                    budget_mb: t.spec.budget_mb,
+                    warm_mb: ledger.warm_mb,
+                    warm_apps: ledger.warm_apps,
+                    evictions: ledger.evictions,
+                    idle_mb_ms: ledger.idle_mb_ms,
+                    invocations: t.invocations,
+                    cold: t.cold,
+                }
+            })
+            .collect();
+        tenants.sort_by_key(|t| t.id);
         ShardStats {
             shard: self.id,
-            apps: self.apps.len() as u64,
+            apps: self.tenants.values().map(|t| t.apps.len() as u64).sum(),
             invocations: self.invocations,
             cold: self.cold,
             warm: self.invocations - self.cold,
             prewarm_loads: self.prewarm_loads,
             out_of_order: self.out_of_order,
             backups: self
-                .production
-                .as_ref()
-                .map_or(0, |p| p.manager.backups_taken()),
-            prewarm_scheduled: self.production.as_ref().map_or(0, |p| p.prewarm_scheduled),
+                .tenants
+                .values()
+                .filter_map(|t| t.production.as_ref())
+                .map(|p| p.manager.backups_taken())
+                .sum(),
+            prewarm_scheduled: self
+                .tenants
+                .values()
+                .filter_map(|t| t.production.as_ref())
+                .map(|p| p.prewarm_scheduled)
+                .sum(),
             latency_us: self.latency.estimates(),
+            tenants,
         }
     }
 
     fn export(&self) -> ShardExport {
-        let mut apps: Vec<AppRecord> = self
-            .apps
-            .iter()
-            .map(|(app, state)| AppRecord {
-                app: app.clone(),
-                last_ts: state.last_ts,
-                windows: state.windows,
-                state: match (&state.policy, &self.production) {
-                    (ServedPolicy::Production { key, last }, Some(prod)) => {
-                        PolicyState::Production {
-                            last: *last,
-                            state: prod.manager.export_app(*key).unwrap_or_default(),
-                        }
-                    }
-                    (policy, _) => PolicyState::export(policy),
-                },
+        let mut tenants: Vec<TenantExport> = self
+            .tenants
+            .values()
+            .map(|t| {
+                let mut apps: Vec<AppRecord> = t
+                    .apps
+                    .iter()
+                    .map(|(app, state)| AppRecord {
+                        app: app.clone(),
+                        last_ts: state.last_ts,
+                        windows: state.windows,
+                        evicted: state.evicted,
+                        state: match (&state.policy, &t.production) {
+                            (ServedPolicy::Production { key, last }, Some(prod)) => {
+                                PolicyState::Production {
+                                    last: *last,
+                                    state: prod.manager.export_app(*key).unwrap_or_default(),
+                                }
+                            }
+                            (policy, _) => PolicyState::export(policy),
+                        },
+                    })
+                    .collect();
+                apps.sort_by(|a, b| a.app.cmp(&b.app));
+                TenantExport {
+                    id: t.spec.id,
+                    name: t.spec.name.clone(),
+                    policy_label: t.spec.policy.label(),
+                    spec_str: t.spec.policy.spec_str(),
+                    budget_mb: t.spec.budget_mb,
+                    prod_clock: t.production.as_ref().map(|p| p.manager.last_backup_ms()),
+                    ledger: t.ledger.export(),
+                    apps,
+                }
             })
             .collect();
-        apps.sort_by(|a, b| a.app.cmp(&b.app));
-        ShardExport {
-            apps,
-            prod_clock: self.production.as_ref().map(|p| p.manager.last_backup_ms()),
-        }
+        tenants.sort_by_key(|t| t.id);
+        ShardExport { tenants }
     }
 
     /// The worker loop: drains the mailbox until `Shutdown`, then
@@ -428,13 +619,14 @@ impl ShardWorker {
         while let Ok(msg) = mailbox.recv() {
             match msg {
                 ShardMsg::Invoke {
+                    tenant,
                     app,
                     ts,
                     seq,
                     reply,
                 } => {
                     let t0 = Instant::now();
-                    let result = self.invoke(&app, ts);
+                    let result = self.invoke(tenant, &app, ts);
                     self.latency
                         .observe(t0.elapsed().as_nanos() as f64 / 1_000.0);
                     // A dropped reply channel means the connection died;
@@ -442,8 +634,16 @@ impl ShardWorker {
                     // (the invocation happened).
                     let _ = reply.send(InvokeReply { seq, result });
                 }
-                ShardMsg::InvokeBatch { items, reply } => {
-                    let _ = reply.send(self.invoke_batch(items));
+                ShardMsg::InvokeBatch {
+                    frame_seq,
+                    items,
+                    reply,
+                } => {
+                    let _ = reply.send(self.invoke_batch(frame_seq, items));
+                }
+                ShardMsg::AddTenant { spec, ack } => {
+                    self.add_tenant(spec);
+                    let _ = ack.send(());
                 }
                 ShardMsg::Scrape(reply) => {
                     let _ = reply.send(self.stats());
@@ -460,34 +660,48 @@ impl ShardWorker {
 
 /// Maps an app id to its shard: FNV-1a over the id bytes, mod `shards`.
 /// Stable across restarts (snapshots record app ids, not shard indexes,
-/// so a restore can even change the shard count).
+/// so a restore can even change the shard count). Default-tenant
+/// routing; named tenants route whole via
+/// [`sitw_fleet::TenantRegistry::shard_of`].
 pub fn shard_of(app: &str, shards: usize) -> usize {
-    let mut h = 0xCBF2_9CE4_8422_2325u64;
-    for b in app.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    (h % shards as u64) as usize
+    (sitw_fleet::fnv1a(app.as_bytes()) % shards as u64) as usize
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use sitw_core::MINUTE_MS;
+    use sitw_fleet::{DEFAULT_TENANT, DEFAULT_TENANT_NAME};
+
+    fn default_spec(spec: PolicySpec) -> TenantSpec {
+        TenantSpec {
+            id: DEFAULT_TENANT,
+            name: DEFAULT_TENANT_NAME.to_owned(),
+            policy: spec,
+            budget_mb: 0,
+        }
+    }
 
     fn worker(spec: PolicySpec) -> ShardWorker {
-        ShardWorker::new(0, spec, Vec::new(), None).unwrap()
+        ShardWorker::new(0, vec![TenantRestore::fresh(default_spec(spec))]).unwrap()
+    }
+
+    impl ShardWorker {
+        fn invoke0(&mut self, app: &str, ts: u64) -> Result<Decision, InvokeError> {
+            self.invoke(DEFAULT_TENANT, app, ts)
+        }
     }
 
     #[test]
     fn first_invocation_cold_then_warm_within_keep_alive() {
         let mut w = worker(PolicySpec::fixed_minutes(10));
-        let d0 = w.invoke("a", 0).unwrap();
+        let d0 = w.invoke0("a", 0).unwrap();
         assert!(d0.cold);
-        let d1 = w.invoke("a", 5 * MINUTE_MS).unwrap();
+        let d1 = w.invoke0("a", 5 * MINUTE_MS).unwrap();
         assert!(!d1.cold);
-        let d2 = w.invoke("a", 30 * MINUTE_MS).unwrap();
+        let d2 = w.invoke0("a", 30 * MINUTE_MS).unwrap();
         assert!(d2.cold, "25-minute gap exceeds the 10-minute keep-alive");
+        assert!(!d2.evicted, "keep-alive lapse is not an eviction");
         assert_eq!(w.stats().invocations, 3);
         assert_eq!(w.stats().cold, 2);
     }
@@ -495,17 +709,77 @@ mod tests {
     #[test]
     fn apps_are_isolated() {
         let mut w = worker(PolicySpec::fixed_minutes(10));
-        w.invoke("a", 0).unwrap();
-        let db = w.invoke("b", MINUTE_MS).unwrap();
+        w.invoke0("a", 0).unwrap();
+        let db = w.invoke0("b", MINUTE_MS).unwrap();
         assert!(db.cold, "b's first invocation is cold regardless of a");
         assert_eq!(w.stats().apps, 2);
     }
 
     #[test]
+    fn tenants_are_isolated_namespaces() {
+        let mut w = ShardWorker::new(
+            0,
+            vec![
+                TenantRestore::fresh(default_spec(PolicySpec::fixed_minutes(10))),
+                TenantRestore::fresh(TenantSpec {
+                    id: 1,
+                    name: "acme".into(),
+                    policy: PolicySpec::fixed_minutes(20),
+                    budget_mb: 0,
+                }),
+            ],
+        )
+        .unwrap();
+        // The same app id under two tenants is two independent apps
+        // under two different policies.
+        let d0 = w.invoke(0, "a", 0).unwrap();
+        let d1 = w.invoke(1, "a", 0).unwrap();
+        assert!(d0.cold && d1.cold);
+        assert_eq!(d0.windows, Windows::keep_loaded(10 * MINUTE_MS));
+        assert_eq!(d1.windows, Windows::keep_loaded(20 * MINUTE_MS));
+        // 15-minute gap: cold under 10-minute KA, warm under 20.
+        assert!(w.invoke(0, "a", 15 * MINUTE_MS).unwrap().cold);
+        assert!(!w.invoke(1, "a", 15 * MINUTE_MS).unwrap().cold);
+        assert_eq!(w.invoke(7, "a", 0), Err(InvokeError::UnknownTenant));
+        let stats = w.stats();
+        assert_eq!(stats.tenants.len(), 2);
+        assert_eq!(stats.tenants[1].name, "acme");
+        assert_eq!(stats.tenants[1].invocations, 2);
+    }
+
+    #[test]
+    fn budget_pressure_evicts_and_downgrades() {
+        // A budget that holds exactly one of the two apps' footprints.
+        let name = "metered";
+        let mb_a = footprint_mb(name, "a");
+        let mb_b = footprint_mb(name, "b");
+        let mut w = ShardWorker::new(
+            0,
+            vec![TenantRestore::fresh(TenantSpec {
+                id: 1,
+                name: name.into(),
+                policy: PolicySpec::fixed_minutes(10),
+                budget_mb: mb_a.max(mb_b),
+            })],
+        )
+        .unwrap();
+        assert!(w.invoke(1, "a", 0).unwrap().cold);
+        let db = w.invoke(1, "b", 1_000).unwrap();
+        assert!(db.cold && !db.evicted);
+        // a was evicted to fit b: its return within the keep-alive
+        // window is downgraded to cold and flagged.
+        let da = w.invoke(1, "a", 2_000).unwrap();
+        assert!(da.cold && da.evicted && !da.prewarm_load);
+        let stats = w.stats();
+        assert!(stats.tenants[0].evictions >= 1);
+        assert!(stats.tenants[0].warm_mb <= mb_a.max(mb_b));
+    }
+
+    #[test]
     fn out_of_order_rejected_without_state_change() {
         let mut w = worker(PolicySpec::fixed_minutes(10));
-        w.invoke("a", 10 * MINUTE_MS).unwrap();
-        let err = w.invoke("a", 5 * MINUTE_MS).unwrap_err();
+        w.invoke0("a", 10 * MINUTE_MS).unwrap();
+        let err = w.invoke0("a", 5 * MINUTE_MS).unwrap_err();
         assert_eq!(
             err,
             InvokeError::OutOfOrder {
@@ -513,7 +787,7 @@ mod tests {
             }
         );
         // Equal timestamps are fine (concurrent arrivals): warm.
-        let d = w.invoke("a", 10 * MINUTE_MS).unwrap();
+        let d = w.invoke0("a", 10 * MINUTE_MS).unwrap();
         assert!(!d.cold);
         assert_eq!(w.stats().out_of_order, 1);
     }
@@ -527,7 +801,7 @@ mod tests {
 
         let spec = PolicySpec::Hybrid(HybridConfig::default());
         let mut w = worker(spec);
-        let online: Vec<Decision> = events.iter().map(|&t| w.invoke("x", t).unwrap()).collect();
+        let online: Vec<Decision> = events.iter().map(|&t| w.invoke0("x", t).unwrap()).collect();
 
         let mut policy = HybridConfig::default().new_policy();
         let offline = sitw_sim::verdict_trace(&events, &mut policy);
@@ -550,7 +824,7 @@ mod tests {
             .collect();
 
         let mut w = worker(PolicySpec::Production(ProductionConfig::default()));
-        let online: Vec<Decision> = events.iter().map(|&t| w.invoke("x", t).unwrap()).collect();
+        let online: Vec<Decision> = events.iter().map(|&t| w.invoke0("x", t).unwrap()).collect();
 
         let mut manager = sitw_core::ProductionManager::new(ProductionConfig::default());
         let offline = sitw_sim::production_verdict_trace(&events, &mut manager, 0);
@@ -577,11 +851,11 @@ mod tests {
         // Regression: ts == last_ts (concurrent arrivals) must be
         // accepted and classified warm, exactly like per-app policies.
         let mut w = worker(PolicySpec::Production(ProductionConfig::default()));
-        w.invoke("a", 5 * MINUTE_MS).unwrap();
-        let d = w.invoke("a", 5 * MINUTE_MS).unwrap();
+        w.invoke0("a", 5 * MINUTE_MS).unwrap();
+        let d = w.invoke0("a", 5 * MINUTE_MS).unwrap();
         assert!(!d.cold, "zero idle gap is warm by definition");
         assert_eq!(w.stats().out_of_order, 0);
-        let err = w.invoke("a", 5 * MINUTE_MS - 1).unwrap_err();
+        let err = w.invoke0("a", 5 * MINUTE_MS - 1).unwrap_err();
         assert_eq!(
             err,
             InvokeError::OutOfOrder {
@@ -600,23 +874,25 @@ mod tests {
         let mut seq = worker(PolicySpec::Hybrid(sitw_core::HybridConfig::default()));
         let expected: Vec<Result<Decision, InvokeError>> = events
             .iter()
-            .map(|(app, ts)| seq.invoke(app, *ts))
+            .map(|(app, ts)| seq.invoke0(app, *ts))
             .collect();
 
         // The same stream in batches of 33 (crossing app boundaries).
         let mut batched = worker(PolicySpec::Hybrid(sitw_core::HybridConfig::default()));
         let mut got: Vec<Result<Decision, InvokeError>> = Vec::new();
-        for chunk in events.chunks(33) {
+        for (frame_seq, chunk) in events.chunks(33).enumerate() {
             let items: Vec<BatchItem> = chunk
                 .iter()
                 .enumerate()
                 .map(|(i, (app, ts))| BatchItem {
                     idx: i as u32,
+                    tenant: DEFAULT_TENANT,
                     app: app.clone(),
                     ts: *ts,
                 })
                 .collect();
-            let reply = batched.invoke_batch(items);
+            let reply = batched.invoke_batch(frame_seq as u64, items);
+            assert_eq!(reply.frame_seq, frame_seq as u64);
             // Replies come back in submission order.
             for (i, (idx, result)) in reply.results.into_iter().enumerate() {
                 assert_eq!(idx as usize, i);
@@ -631,19 +907,24 @@ mod tests {
     #[test]
     fn invoke_batch_reports_per_record_errors_and_continues() {
         let mut w = worker(PolicySpec::fixed_minutes(10));
-        w.invoke("a", 10 * MINUTE_MS).unwrap();
-        let reply = w.invoke_batch(vec![
-            BatchItem {
-                idx: 0,
-                app: "a".into(),
-                ts: MINUTE_MS, // Out of order.
-            },
-            BatchItem {
-                idx: 1,
-                app: "a".into(),
-                ts: 12 * MINUTE_MS, // Still served.
-            },
-        ]);
+        w.invoke0("a", 10 * MINUTE_MS).unwrap();
+        let reply = w.invoke_batch(
+            0,
+            vec![
+                BatchItem {
+                    idx: 0,
+                    tenant: DEFAULT_TENANT,
+                    app: "a".into(),
+                    ts: MINUTE_MS, // Out of order.
+                },
+                BatchItem {
+                    idx: 1,
+                    tenant: DEFAULT_TENANT,
+                    app: "a".into(),
+                    ts: 12 * MINUTE_MS, // Still served.
+                },
+            ],
+        );
         assert_eq!(
             reply.results[0].1,
             Err(InvokeError::OutOfOrder {

@@ -1,17 +1,31 @@
 //! State snapshot/restore: the daemon's analogue of the paper's hourly
-//! histogram backups (§6).
+//! histogram backups (§6), extended with the fleet's tenant state.
 //!
 //! A snapshot captures, per application, everything its policy decision
-//! depends on — last accepted timestamp, current windows, and for the
-//! hybrid policy the full [`sitw_core::HybridSnapshot`] (histogram bins,
-//! out-of-bounds count, capped ARIMA history, decision counters). A
-//! server restored from a snapshot therefore continues the decision
-//! stream **bit-for-bit** where the snapshotting server left off; the
+//! depends on — last accepted timestamp, current windows, the
+//! memory-pressure eviction flag, and for the hybrid policy the full
+//! [`sitw_core::HybridSnapshot`] (histogram bins, out-of-bounds count,
+//! capped ARIMA history, decision counters). Fleet mode adds, per
+//! tenant: the registry entry (name, policy, budget), the production
+//! backup clock, and the memory ledger (warm set with expiries and
+//! footprints, eviction count, loaded-memory integral). A server
+//! restored from a snapshot therefore continues the decision stream —
+//! including every budget eviction — **bit-for-bit** where the
+//! snapshotting server left off, even when the shard count changes; the
 //! integration tests assert exactly that.
 //!
-//! The format is a line-oriented text file (one `app` line per
-//! application, floating-point values as IEEE-754 bit patterns in hex so
-//! round trips are exact), versioned by its header line.
+//! The format is a line-oriented text file (floating-point values as
+//! IEEE-754 bit patterns in hex so round trips are exact), versioned by
+//! its header line. Pre-fleet files (no tenant lines) decode as a
+//! default-tenant-only snapshot, unchanged.
+//!
+//! One deliberate imprecision: the default tenant's ledger is sharded by
+//! app hash, so its *integral* is merged (summed, cursor = max) at
+//! snapshot time and re-seeded on shard 0 at restore. Decisions are
+//! unaffected (the default tenant is unbudgeted and never evicts) — only
+//! the fleet-wide idle-MB·ms metric can undercount across a restart that
+//! also changes the shard count. Budgeted tenants live whole on one
+//! shard, so their ledgers restore exactly.
 
 use std::io::{self, Write};
 use std::path::Path;
@@ -20,6 +34,7 @@ use sitw_core::{
     DayHistogram, DecisionCounts, DecisionKind, HybridPolicy, HybridSnapshot, ProductionAppState,
     Windows,
 };
+use sitw_fleet::{LedgerExport, TenantId};
 use sitw_sim::PolicySpec;
 
 use crate::shard::ServedPolicy;
@@ -28,14 +43,37 @@ use crate::wire::{kind_from_str, kind_str};
 /// Magic first line of a snapshot file.
 const HEADER: &str = "sitw-serve-snapshot v1";
 
-/// One shard's complete exported state: its app records plus (in
-/// production mode) the manager's backup clock.
+/// One shard's complete exported state: one entry per tenant living on
+/// the shard (the default tenant always, named tenants when routed
+/// here).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardExport {
+    /// Per-tenant state, sorted by tenant id.
+    pub tenants: Vec<TenantExport>,
+}
+
+/// One tenant's state on one shard (also the merged per-tenant snapshot
+/// unit — named tenants live whole on one shard).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantExport {
+    /// Registry id.
+    pub id: TenantId,
+    /// Tenant name.
+    pub name: String,
+    /// The tenant policy's label (restore refuses a mismatch).
+    pub policy_label: String,
+    /// The canonical parseable policy string, when one exists — lets a
+    /// restore reconstruct tenants the new process was not configured
+    /// with (e.g. admin-registered ones).
+    pub spec_str: Option<String>,
+    /// Keep-alive memory budget (0 = unlimited).
+    pub budget_mb: u64,
+    /// `Some(last_backup_ms)` when the tenant serves production mode.
+    pub prod_clock: Option<u64>,
+    /// The tenant's memory ledger slice.
+    pub ledger: LedgerExport,
     /// Per-app records, sorted by app id.
     pub apps: Vec<AppRecord>,
-    /// `Some(last_backup_ms)` when the shard serves production mode.
-    pub prod_clock: Option<u64>,
 }
 
 /// Serializable policy state of one application.
@@ -61,14 +99,14 @@ impl PolicyState {
     /// # Panics
     ///
     /// Panics for [`ServedPolicy::Production`]: production state lives in
-    /// the shard's manager, which exports it directly (the app-local
+    /// the tenant's manager, which exports it directly (the app-local
     /// variant only holds a key into it).
     pub fn export(policy: &ServedPolicy) -> PolicyState {
         match policy {
             ServedPolicy::Fixed(_) | ServedPolicy::NoUnload(_) => PolicyState::Stateless,
             ServedPolicy::Hybrid(h) => PolicyState::Hybrid(h.snapshot()),
             ServedPolicy::Production { .. } => {
-                unreachable!("production state is exported by the shard's manager")
+                unreachable!("production state is exported by the tenant's manager")
             }
         }
     }
@@ -114,22 +152,50 @@ pub struct AppRecord {
     pub last_ts: u64,
     /// Windows governing the gap in progress.
     pub windows: Windows,
+    /// The image was evicted for memory pressure during the gap in
+    /// progress (the next invocation is downgraded to cold).
+    pub evicted: bool,
     /// Policy-internal state.
     pub state: PolicyState,
+}
+
+/// A named tenant's complete snapshot state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSnapshot {
+    /// Registry id (contiguous from 1, in registration order).
+    pub id: TenantId,
+    /// Tenant name.
+    pub name: String,
+    /// The tenant policy's label.
+    pub policy_label: String,
+    /// The canonical parseable policy string, when one exists.
+    pub spec_str: Option<String>,
+    /// Keep-alive memory budget (0 = unlimited).
+    pub budget_mb: u64,
+    /// Production backup clock.
+    pub prod_clock: Option<u64>,
+    /// The tenant's memory ledger.
+    pub ledger: LedgerExport,
+    /// Per-app records, sorted by app id.
+    pub apps: Vec<AppRecord>,
 }
 
 /// A complete server snapshot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
-    /// Label of the policy that produced the snapshot
-    /// ([`PolicySpec::label`]); restore refuses a mismatch.
+    /// Label of the default tenant's policy ([`PolicySpec::label`]);
+    /// restore refuses a mismatch.
     pub policy_label: String,
-    /// Production-mode backup clock (`last_backup_ms`, the maximum over
-    /// shards); restoring seeds every shard's manager with it so the
-    /// hourly cadence continues instead of "catching up" on downtime.
+    /// Default tenant's production backup clock (`last_backup_ms`, the
+    /// maximum over shards); restoring seeds every shard's manager with
+    /// it so the hourly cadence continues instead of "catching up".
     pub prod_clock: Option<u64>,
-    /// All applications, sorted by id.
+    /// Default-tenant applications, sorted by id.
     pub apps: Vec<AppRecord>,
+    /// Default tenant's merged memory ledger (metrics continuity).
+    pub default_ledger: LedgerExport,
+    /// Named tenants, sorted by id.
+    pub tenants: Vec<TenantSnapshot>,
 }
 
 /// Percent-encodes the characters that would break the line format.
@@ -165,6 +231,178 @@ fn decode_app(enc: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// Writes one app record's line payload (everything after the leading
+/// keyword and optional tenant id).
+fn encode_app_record(out: &mut String, rec: &AppRecord) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "{} {} {} {}",
+        encode_app(&rec.app),
+        rec.last_ts,
+        rec.windows.pre_warm_ms,
+        rec.windows.keep_alive_ms
+    );
+    if rec.evicted {
+        out.push_str(" evicted");
+    }
+    match &rec.state {
+        PolicyState::Stateless => {}
+        PolicyState::Production { last, state } => {
+            let _ = write!(
+                out,
+                " production {} days {}",
+                kind_str(*last),
+                state.days.len()
+            );
+            for d in &state.days {
+                let _ = write!(out, " {}:{}:", d.day, d.oob);
+                for (i, b) in d.bins.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{b}");
+                }
+            }
+        }
+        PolicyState::Hybrid(h) => {
+            let _ = write!(
+                out,
+                " hybrid {} {} {} {} {}",
+                h.oob_count,
+                h.counts.histogram,
+                h.counts.standard,
+                h.counts.arima,
+                kind_str(h.last_decision)
+            );
+            let _ = write!(out, " bins ");
+            if h.bins.is_empty() {
+                out.push('-');
+            } else {
+                for (i, b) in h.bins.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{b}");
+                }
+            }
+            let _ = write!(out, " hist ");
+            if h.history.is_empty() {
+                out.push('-');
+            } else {
+                for (i, v) in h.history.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{:016x}", v.to_bits());
+                }
+            }
+        }
+    }
+}
+
+/// Parses one app record from its tokens (everything after the leading
+/// keyword and optional tenant id).
+fn decode_app_record<'a>(mut tok: impl Iterator<Item = &'a str>) -> Result<AppRecord, String> {
+    let app = decode_app(tok.next().ok_or("missing app id")?)?;
+    let last_ts = parse_field::<u64>(tok.next(), "last_ts")?;
+    let pre_warm_ms = parse_field::<u64>(tok.next(), "pre_warm_ms")?;
+    let keep_alive_ms = parse_field::<u64>(tok.next(), "keep_alive_ms")?;
+    let mut next = tok.next();
+    let evicted = next == Some("evicted");
+    if evicted {
+        next = tok.next();
+    }
+    let state = match next {
+        None => PolicyState::Stateless,
+        Some("production") => {
+            let last = kind_from_str(tok.next().ok_or("missing kind")?)?;
+            if tok.next() != Some("days") {
+                return Err("expected 'days'".into());
+            }
+            let num_days: usize = parse_field(tok.next(), "day count")?;
+            let mut days = Vec::with_capacity(num_days);
+            for _ in 0..num_days {
+                let group = tok.next().ok_or("missing day group")?;
+                let mut parts = group.splitn(3, ':');
+                let day = parse_field::<u64>(parts.next(), "day index")?;
+                let oob = parse_field::<u64>(parts.next(), "day oob")?;
+                let bins = parts
+                    .next()
+                    .ok_or("missing day bins")?
+                    .split(',')
+                    .map(|s| s.parse::<u32>().map_err(|_| format!("bad bin '{s}'")))
+                    .collect::<Result<_, _>>()?;
+                days.push(DayHistogram { day, bins, oob });
+            }
+            PolicyState::Production {
+                last,
+                state: ProductionAppState { days },
+            }
+        }
+        Some("hybrid") => {
+            let oob_count = parse_field::<u64>(tok.next(), "oob")?;
+            let counts = DecisionCounts {
+                histogram: parse_field::<u64>(tok.next(), "hist count")?,
+                standard: parse_field::<u64>(tok.next(), "std count")?,
+                arima: parse_field::<u64>(tok.next(), "arima count")?,
+            };
+            let last_decision = kind_from_str(tok.next().ok_or("missing kind")?)?;
+            if tok.next() != Some("bins") {
+                return Err("expected 'bins'".into());
+            }
+            let bins_tok = tok.next().ok_or("missing bins")?;
+            let bins = if bins_tok == "-" {
+                Vec::new()
+            } else {
+                bins_tok
+                    .split(',')
+                    .map(|s| s.parse::<u32>().map_err(|_| format!("bad bin '{s}'")))
+                    .collect::<Result<_, _>>()?
+            };
+            if tok.next() != Some("hist") {
+                return Err("expected 'hist'".into());
+            }
+            let hist_tok = tok.next().ok_or("missing history")?;
+            let history = if hist_tok == "-" {
+                Vec::new()
+            } else {
+                hist_tok
+                    .split(',')
+                    .map(|s| {
+                        u64::from_str_radix(s, 16)
+                            .map(f64::from_bits)
+                            .map_err(|_| format!("bad history value '{s}'"))
+                    })
+                    .collect::<Result<_, _>>()?
+            };
+            PolicyState::Hybrid(HybridSnapshot {
+                bins,
+                oob_count,
+                history,
+                counts,
+                last_decision,
+            })
+        }
+        Some(other) => return Err(format!("unknown state kind '{other}'")),
+    };
+    Ok(AppRecord {
+        app,
+        last_ts,
+        windows: Windows {
+            pre_warm_ms,
+            keep_alive_ms,
+        },
+        evicted,
+        state,
+    })
+}
+
+/// Whether a ledger export carries any information worth a line.
+fn ledger_is_empty(l: &LedgerExport) -> bool {
+    l.warm.is_empty() && l.evictions == 0 && l.idle_mb_ms == 0 && l.cursor_ms == 0
+}
+
 impl Snapshot {
     /// Serializes to the text format.
     pub fn encode(&self) -> String {
@@ -175,70 +413,57 @@ impl Snapshot {
         if let Some(clock) = self.prod_clock {
             let _ = writeln!(out, "clock {clock}");
         }
-        let _ = writeln!(out, "apps {}", self.apps.len());
-        for rec in &self.apps {
+        if !ledger_is_empty(&self.default_ledger) {
+            let l = &self.default_ledger;
+            let _ = writeln!(
+                out,
+                "dledger {} {} {}",
+                l.evictions, l.idle_mb_ms, l.cursor_ms
+            );
+            for (app, expiry, mb) in &l.warm {
+                let _ = writeln!(out, "dwarm {} {expiry} {mb}", encode_app(app));
+            }
+        }
+        for t in &self.tenants {
             let _ = write!(
                 out,
-                "app {} {} {} {}",
-                encode_app(&rec.app),
-                rec.last_ts,
-                rec.windows.pre_warm_ms,
-                rec.windows.keep_alive_ms
+                "tenant {} {} {} {} {}",
+                t.id,
+                t.name,
+                t.budget_mb,
+                t.apps.len(),
+                t.policy_label
             );
-            match &rec.state {
-                PolicyState::Stateless => {}
-                PolicyState::Production { last, state } => {
-                    let _ = write!(
-                        out,
-                        " production {} days {}",
-                        kind_str(*last),
-                        state.days.len()
-                    );
-                    for d in &state.days {
-                        let _ = write!(out, " {}:{}:", d.day, d.oob);
-                        for (i, b) in d.bins.iter().enumerate() {
-                            if i > 0 {
-                                out.push(',');
-                            }
-                            let _ = write!(out, "{b}");
-                        }
-                    }
-                }
-                PolicyState::Hybrid(h) => {
-                    let _ = write!(
-                        out,
-                        " hybrid {} {} {} {} {}",
-                        h.oob_count,
-                        h.counts.histogram,
-                        h.counts.standard,
-                        h.counts.arima,
-                        kind_str(h.last_decision)
-                    );
-                    let _ = write!(out, " bins ");
-                    if h.bins.is_empty() {
-                        out.push('-');
-                    } else {
-                        for (i, b) in h.bins.iter().enumerate() {
-                            if i > 0 {
-                                out.push(',');
-                            }
-                            let _ = write!(out, "{b}");
-                        }
-                    }
-                    let _ = write!(out, " hist ");
-                    if h.history.is_empty() {
-                        out.push('-');
-                    } else {
-                        for (i, v) in h.history.iter().enumerate() {
-                            if i > 0 {
-                                out.push(',');
-                            }
-                            let _ = write!(out, "{:016x}", v.to_bits());
-                        }
-                    }
-                }
+            if let Some(spec) = &t.spec_str {
+                let _ = write!(out, " spec {spec}");
             }
             out.push('\n');
+            if let Some(clock) = t.prod_clock {
+                let _ = writeln!(out, "tclock {} {clock}", t.id);
+            }
+            if !ledger_is_empty(&t.ledger) {
+                let _ = writeln!(
+                    out,
+                    "tledger {} {} {} {}",
+                    t.id, t.ledger.evictions, t.ledger.idle_mb_ms, t.ledger.cursor_ms
+                );
+                for (app, expiry, mb) in &t.ledger.warm {
+                    let _ = writeln!(out, "twarm {} {} {expiry} {mb}", t.id, encode_app(app));
+                }
+            }
+        }
+        let _ = writeln!(out, "apps {}", self.apps.len());
+        for rec in &self.apps {
+            out.push_str("app ");
+            encode_app_record(&mut out, rec);
+            out.push('\n');
+        }
+        for t in &self.tenants {
+            for rec in &t.apps {
+                let _ = write!(out, "tapp {} ", t.id);
+                encode_app_record(&mut out, rec);
+                out.push('\n');
+            }
         }
         out
     }
@@ -255,125 +480,131 @@ impl Snapshot {
             .strip_prefix("policy ")
             .ok_or("missing policy line")?
             .to_owned();
-        // Optional production backup-clock line between policy and apps.
-        let mut count_line = lines.next().ok_or("missing apps line")?;
-        let mut prod_clock = None;
-        if let Some(clock) = count_line.strip_prefix("clock ") {
-            prod_clock = Some(clock.parse::<u64>().map_err(|_| "bad clock")?);
-            count_line = lines.next().ok_or("missing apps line")?;
-        }
-        let declared: usize = count_line
-            .strip_prefix("apps ")
-            .ok_or("missing apps line")?
-            .parse()
-            .map_err(|_| "bad app count")?;
 
-        let mut apps = Vec::with_capacity(declared);
+        let mut prod_clock = None;
+        let mut apps: Vec<AppRecord> = Vec::new();
+        let mut declared: Option<usize> = None;
+        let mut default_ledger = LedgerExport::default();
+        let mut tenants: Vec<TenantSnapshot> = Vec::new();
+        let mut tenant_declared: Vec<(TenantId, usize)> = Vec::new();
+
+        fn tenant_mut(
+            tenants: &mut [TenantSnapshot],
+            id: TenantId,
+        ) -> Result<&mut TenantSnapshot, String> {
+            tenants
+                .iter_mut()
+                .find(|t| t.id == id)
+                .ok_or_else(|| format!("unknown tenant id {id}"))
+        }
+
         for line in lines {
             if line.is_empty() {
                 continue;
             }
             let mut tok = line.split(' ');
-            if tok.next() != Some("app") {
-                return Err(format!("unexpected line '{line}'"));
+            match tok.next() {
+                Some("clock") => {
+                    prod_clock = Some(parse_field::<u64>(tok.next(), "clock")?);
+                }
+                Some("dledger") => {
+                    default_ledger.evictions = parse_field(tok.next(), "evictions")?;
+                    default_ledger.idle_mb_ms = parse_field(tok.next(), "idle_mb_ms")?;
+                    default_ledger.cursor_ms = parse_field(tok.next(), "cursor_ms")?;
+                }
+                Some("dwarm") => {
+                    let app = decode_app(tok.next().ok_or("missing warm app")?)?;
+                    let expiry = parse_field::<u64>(tok.next(), "warm expiry")?;
+                    let mb = parse_field::<u64>(tok.next(), "warm mb")?;
+                    default_ledger.warm.push((app, expiry, mb));
+                }
+                Some("tenant") => {
+                    let id = parse_field::<TenantId>(tok.next(), "tenant id")?;
+                    let name = tok.next().ok_or("missing tenant name")?.to_owned();
+                    let budget_mb = parse_field::<u64>(tok.next(), "tenant budget")?;
+                    let napps = parse_field::<usize>(tok.next(), "tenant app count")?;
+                    let policy_label = tok.next().ok_or("missing tenant policy")?.to_owned();
+                    let spec_str = match tok.next() {
+                        None => None,
+                        Some("spec") => Some(tok.next().ok_or("missing spec")?.to_owned()),
+                        Some(other) => return Err(format!("unexpected token '{other}'")),
+                    };
+                    if tenant_declared.iter().any(|(i, _)| *i == id) {
+                        return Err(format!("duplicate tenant id {id}"));
+                    }
+                    tenant_declared.push((id, napps));
+                    tenants.push(TenantSnapshot {
+                        id,
+                        name,
+                        policy_label,
+                        spec_str,
+                        budget_mb,
+                        prod_clock: None,
+                        ledger: LedgerExport::default(),
+                        apps: Vec::with_capacity(napps),
+                    });
+                }
+                Some("tclock") => {
+                    let id = parse_field::<TenantId>(tok.next(), "tenant id")?;
+                    let clock = parse_field::<u64>(tok.next(), "tclock")?;
+                    tenant_mut(&mut tenants, id)?.prod_clock = Some(clock);
+                }
+                Some("tledger") => {
+                    let id = parse_field::<TenantId>(tok.next(), "tenant id")?;
+                    let t = tenant_mut(&mut tenants, id)?;
+                    t.ledger.evictions = parse_field(tok.next(), "evictions")?;
+                    t.ledger.idle_mb_ms = parse_field(tok.next(), "idle_mb_ms")?;
+                    t.ledger.cursor_ms = parse_field(tok.next(), "cursor_ms")?;
+                }
+                Some("twarm") => {
+                    let id = parse_field::<TenantId>(tok.next(), "tenant id")?;
+                    let app = decode_app(tok.next().ok_or("missing warm app")?)?;
+                    let expiry = parse_field::<u64>(tok.next(), "warm expiry")?;
+                    let mb = parse_field::<u64>(tok.next(), "warm mb")?;
+                    tenant_mut(&mut tenants, id)?
+                        .ledger
+                        .warm
+                        .push((app, expiry, mb));
+                }
+                Some("apps") => {
+                    declared = Some(parse_field::<usize>(tok.next(), "app count")?);
+                }
+                Some("app") => {
+                    apps.push(decode_app_record(tok)?);
+                }
+                Some("tapp") => {
+                    let id = parse_field::<TenantId>(tok.next(), "tenant id")?;
+                    let rec = decode_app_record(tok)?;
+                    tenant_mut(&mut tenants, id)?.apps.push(rec);
+                }
+                _ => return Err(format!("unexpected line '{line}'")),
             }
-            let app = decode_app(tok.next().ok_or("missing app id")?)?;
-            let last_ts = parse_field::<u64>(tok.next(), "last_ts")?;
-            let pre_warm_ms = parse_field::<u64>(tok.next(), "pre_warm_ms")?;
-            let keep_alive_ms = parse_field::<u64>(tok.next(), "keep_alive_ms")?;
-            let state = match tok.next() {
-                None => PolicyState::Stateless,
-                Some("production") => {
-                    let last = kind_from_str(tok.next().ok_or("missing kind")?)?;
-                    if tok.next() != Some("days") {
-                        return Err("expected 'days'".into());
-                    }
-                    let num_days: usize = parse_field(tok.next(), "day count")?;
-                    let mut days = Vec::with_capacity(num_days);
-                    for _ in 0..num_days {
-                        let group = tok.next().ok_or("missing day group")?;
-                        let mut parts = group.splitn(3, ':');
-                        let day = parse_field::<u64>(parts.next(), "day index")?;
-                        let oob = parse_field::<u64>(parts.next(), "day oob")?;
-                        let bins = parts
-                            .next()
-                            .ok_or("missing day bins")?
-                            .split(',')
-                            .map(|s| s.parse::<u32>().map_err(|_| format!("bad bin '{s}'")))
-                            .collect::<Result<_, _>>()?;
-                        days.push(DayHistogram { day, bins, oob });
-                    }
-                    PolicyState::Production {
-                        last,
-                        state: ProductionAppState { days },
-                    }
-                }
-                Some("hybrid") => {
-                    let oob_count = parse_field::<u64>(tok.next(), "oob")?;
-                    let counts = DecisionCounts {
-                        histogram: parse_field::<u64>(tok.next(), "hist count")?,
-                        standard: parse_field::<u64>(tok.next(), "std count")?,
-                        arima: parse_field::<u64>(tok.next(), "arima count")?,
-                    };
-                    let last_decision = kind_from_str(tok.next().ok_or("missing kind")?)?;
-                    if tok.next() != Some("bins") {
-                        return Err("expected 'bins'".into());
-                    }
-                    let bins_tok = tok.next().ok_or("missing bins")?;
-                    let bins = if bins_tok == "-" {
-                        Vec::new()
-                    } else {
-                        bins_tok
-                            .split(',')
-                            .map(|s| s.parse::<u32>().map_err(|_| format!("bad bin '{s}'")))
-                            .collect::<Result<_, _>>()?
-                    };
-                    if tok.next() != Some("hist") {
-                        return Err("expected 'hist'".into());
-                    }
-                    let hist_tok = tok.next().ok_or("missing history")?;
-                    let history = if hist_tok == "-" {
-                        Vec::new()
-                    } else {
-                        hist_tok
-                            .split(',')
-                            .map(|s| {
-                                u64::from_str_radix(s, 16)
-                                    .map(f64::from_bits)
-                                    .map_err(|_| format!("bad history value '{s}'"))
-                            })
-                            .collect::<Result<_, _>>()?
-                    };
-                    PolicyState::Hybrid(HybridSnapshot {
-                        bins,
-                        oob_count,
-                        history,
-                        counts,
-                        last_decision,
-                    })
-                }
-                Some(other) => return Err(format!("unknown state kind '{other}'")),
-            };
-            apps.push(AppRecord {
-                app,
-                last_ts,
-                windows: Windows {
-                    pre_warm_ms,
-                    keep_alive_ms,
-                },
-                state,
-            });
         }
+        let declared = declared.ok_or("missing apps line")?;
         if apps.len() != declared {
             return Err(format!(
                 "app count mismatch: declared {declared}, found {}",
                 apps.len()
             ));
         }
+        for (id, napps) in tenant_declared {
+            let t = tenants
+                .iter()
+                .find(|t| t.id == id)
+                .expect("declared tenants were pushed");
+            if t.apps.len() != napps {
+                return Err(format!(
+                    "tenant {id} app count mismatch: declared {napps}, found {}",
+                    t.apps.len()
+                ));
+            }
+        }
         Ok(Snapshot {
             policy_label,
             prod_clock,
             apps,
+            default_ledger,
+            tenants,
         })
     }
 
@@ -417,20 +648,31 @@ mod tests {
             app: "app-000001".into(),
             last_ts: 123_456_789,
             windows,
+            evicted: false,
             state: PolicyState::Hybrid(p.snapshot()),
+        }
+    }
+
+    fn empty_default(policy_label: &str, apps: Vec<AppRecord>) -> Snapshot {
+        Snapshot {
+            policy_label: policy_label.into(),
+            prod_clock: None,
+            apps,
+            default_ledger: LedgerExport::default(),
+            tenants: Vec::new(),
         }
     }
 
     #[test]
     fn encode_decode_round_trips_exactly() {
-        let snap = Snapshot {
-            policy_label: "hybrid-4h[5,99]cv2".into(),
-            prod_clock: None,
-            apps: vec![
+        let snap = empty_default(
+            "hybrid-4h[5,99]cv2",
+            vec![
                 AppRecord {
                     app: "plain".into(),
                     last_ts: 7,
                     windows: Windows::keep_loaded(600_000),
+                    evicted: false,
                     state: PolicyState::Stateless,
                 },
                 hybrid_record(),
@@ -438,24 +680,118 @@ mod tests {
                     app: "odd name %20\nwith\rbad chars".into(),
                     last_ts: 0,
                     windows: Windows::pre_warmed(1, 2),
+                    evicted: true,
                     state: PolicyState::Stateless,
                 },
             ],
-        };
+        );
         let decoded = Snapshot::decode(&snap.encode()).unwrap();
         assert_eq!(decoded, snap);
     }
 
     #[test]
-    fn history_floats_round_trip_bit_exactly() {
-        let values = [0.1f64, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, 300.0];
+    fn tenant_sections_round_trip_exactly() {
         let snap = Snapshot {
-            policy_label: "hybrid-4h[5,99]cv2".into(),
+            policy_label: "fixed-10min".into(),
             prod_clock: None,
             apps: vec![AppRecord {
+                app: "d".into(),
+                last_ts: 3,
+                windows: Windows::keep_loaded(600_000),
+                evicted: false,
+                state: PolicyState::Stateless,
+            }],
+            default_ledger: LedgerExport {
+                warm: vec![("d".into(), 600_003, 171)],
+                evictions: 0,
+                idle_mb_ms: 513,
+                cursor_ms: 3,
+            },
+            tenants: vec![
+                TenantSnapshot {
+                    id: 1,
+                    name: "acme".into(),
+                    policy_label: "hybrid-4h[5,99]cv2".into(),
+                    spec_str: Some("hybrid".into()),
+                    budget_mb: 4096,
+                    prod_clock: None,
+                    ledger: LedgerExport {
+                        warm: vec![("a".into(), 1_000, 100), ("b".into(), 2_000, 50)],
+                        evictions: 7,
+                        idle_mb_ms: 12_345,
+                        cursor_ms: 900,
+                    },
+                    apps: vec![AppRecord {
+                        app: "a".into(),
+                        last_ts: 900,
+                        windows: Windows::keep_loaded(100),
+                        evicted: true,
+                        state: PolicyState::Hybrid(HybridSnapshot {
+                            bins: vec![0; 240],
+                            oob_count: 1,
+                            history: vec![0.5],
+                            counts: DecisionCounts::default(),
+                            last_decision: DecisionKind::StandardKeepAlive,
+                        }),
+                    }],
+                },
+                TenantSnapshot {
+                    id: 2,
+                    name: "batch".into(),
+                    policy_label: "production-240m-14d[5,99]exp0.85".into(),
+                    spec_str: Some("production".into()),
+                    budget_mb: 0,
+                    prod_clock: Some(7_200_000),
+                    ledger: LedgerExport::default(),
+                    apps: vec![AppRecord {
+                        app: "p".into(),
+                        last_ts: 100,
+                        windows: Windows::pre_warmed(60_000, 120_000),
+                        evicted: false,
+                        state: PolicyState::Production {
+                            last: DecisionKind::Histogram,
+                            state: ProductionAppState {
+                                days: vec![DayHistogram {
+                                    day: 1,
+                                    bins: vec![0; 240],
+                                    oob: 3,
+                                }],
+                            },
+                        },
+                    }],
+                },
+            ],
+        };
+        let text = snap.encode();
+        assert!(text.contains("tenant 1 acme 4096 1 hybrid-4h[5,99]cv2 spec hybrid"));
+        assert!(text.contains("tledger 1 7 12345 900"));
+        assert!(text.contains("twarm 1 a 1000 100"));
+        assert!(text.contains("tclock 2 7200000"));
+        assert!(text.contains("tapp 1 a 900 0 100 evicted hybrid"));
+        let decoded = Snapshot::decode(&text).unwrap();
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn pre_fleet_files_decode_with_empty_tenant_state() {
+        let text = format!("{HEADER}\npolicy fixed-10min\napps 1\napp a 5 0 600000\n");
+        let snap = Snapshot::decode(&text).unwrap();
+        assert!(snap.tenants.is_empty());
+        assert_eq!(snap.default_ledger, LedgerExport::default());
+        assert_eq!(snap.apps.len(), 1);
+        assert!(!snap.apps[0].evicted);
+    }
+
+    #[test]
+    fn history_floats_round_trip_bit_exactly() {
+        let values = [0.1f64, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, 300.0];
+        let snap = empty_default(
+            "hybrid-4h[5,99]cv2",
+            vec![AppRecord {
                 app: "a".into(),
                 last_ts: 1,
                 windows: Windows::keep_loaded(1),
+                evicted: false,
                 state: PolicyState::Hybrid(HybridSnapshot {
                     bins: vec![0; 240],
                     oob_count: 3,
@@ -464,7 +800,7 @@ mod tests {
                     last_decision: sitw_core::DecisionKind::Arima,
                 }),
             }],
-        };
+        );
         let decoded = Snapshot::decode(&snap.encode()).unwrap();
         match &decoded.apps[0].state {
             PolicyState::Hybrid(h) => {
@@ -481,13 +817,13 @@ mod tests {
         let mut bins = vec![0u32; 240];
         bins[30] = 12;
         bins[31] = 3;
-        let snap = Snapshot {
-            policy_label: "production-240m-14d[5,99]exp0.85".into(),
-            prod_clock: Some(7 * 3_600_000),
-            apps: vec![AppRecord {
+        let mut snap = empty_default(
+            "production-240m-14d[5,99]exp0.85",
+            vec![AppRecord {
                 app: "app-000009".into(),
                 last_ts: 999_000,
                 windows: Windows::pre_warmed(27 * 60_000, 9 * 60_000),
+                evicted: false,
                 state: PolicyState::Production {
                     last: DecisionKind::Histogram,
                     state: ProductionAppState {
@@ -506,7 +842,8 @@ mod tests {
                     },
                 },
             }],
-        };
+        );
+        snap.prod_clock = Some(7 * 3_600_000);
         let text = snap.encode();
         assert!(text.contains("clock 25200000"), "{text}");
         assert!(text.contains(" production histogram days 2 "), "{text}");
@@ -517,7 +854,7 @@ mod tests {
     #[test]
     fn production_state_restores_only_into_production_shards() {
         // into_policy cannot rebuild a production app (the state lives in
-        // the shard's manager), so it must fail loudly for any spec.
+        // the tenant's manager), so it must fail loudly for any spec.
         let state = PolicyState::Production {
             last: DecisionKind::StandardKeepAlive,
             state: ProductionAppState::default(),
@@ -541,20 +878,29 @@ mod tests {
         assert!(
             Snapshot::decode(&format!("{HEADER}\npolicy x\napps 1\napp a notanum 0 0\n")).is_err()
         );
+        // A tapp line naming an undeclared tenant id.
+        assert!(
+            Snapshot::decode(&format!("{HEADER}\npolicy x\napps 0\ntapp 3 a 1 0 0\n")).is_err()
+        );
+        // Declared tenant app count mismatch.
+        assert!(Snapshot::decode(&format!(
+            "{HEADER}\npolicy x\ntenant 1 t 0 2 fixed-10min\napps 0\ntapp 1 a 1 0 0\n"
+        ))
+        .is_err());
     }
 
     #[test]
     fn file_round_trip() {
-        let snap = Snapshot {
-            policy_label: "fixed-10min".into(),
-            prod_clock: None,
-            apps: vec![AppRecord {
+        let snap = empty_default(
+            "fixed-10min",
+            vec![AppRecord {
                 app: "a".into(),
                 last_ts: 5,
                 windows: Windows::keep_loaded(600_000),
+                evicted: false,
                 state: PolicyState::Stateless,
             }],
-        };
+        );
         let dir = std::env::temp_dir().join("sitw-serve-snapshot-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("snap.txt");

@@ -28,12 +28,17 @@ pub struct InvokeRequest {
     /// Invocation timestamp in trace milliseconds. Must be monotone
     /// non-decreasing per application.
     pub ts: u64,
+    /// Tenant name (`None` = the default tenant). JSON carries the name;
+    /// the binary protocol carries the registry-assigned `u16` id.
+    pub tenant: Option<String>,
 }
 
-/// Parses an `/invoke` body: `{"app":"app-000123","ts":86400000}`.
+/// Parses an `/invoke` body: `{"app":"app-000123","ts":86400000}`, with
+/// an optional `"tenant":"acme"` member naming the fleet tenant.
 pub fn parse_invoke(body: &[u8]) -> Result<InvokeRequest, String> {
     let mut app: Option<String> = None;
     let mut ts: Option<u64> = None;
+    let mut tenant: Option<String> = None;
     let mut i = 0usize;
 
     fn skip_ws(b: &[u8], mut i: usize) -> usize {
@@ -215,6 +220,11 @@ pub fn parse_invoke(body: &[u8]) -> Result<InvokeRequest, String> {
                     ts = Some(v);
                     i = next;
                 }
+                "tenant" => {
+                    let (v, next) = parse_string(body, i)?;
+                    tenant = Some(v);
+                    i = next;
+                }
                 _ => {
                     i = skip_value(body, i)?;
                 }
@@ -232,8 +242,11 @@ pub fn parse_invoke(body: &[u8]) -> Result<InvokeRequest, String> {
     if app.is_empty() {
         return Err("empty \"app\"".into());
     }
+    if tenant.as_deref() == Some("") {
+        return Err("empty \"tenant\"".into());
+    }
     let ts = ts.ok_or("missing \"ts\"")?;
-    Ok(InvokeRequest { app, ts })
+    Ok(InvokeRequest { app, ts, tenant })
 }
 
 /// Short stable name of a decision branch, used in responses and
@@ -270,7 +283,31 @@ pub fn render_decision(out: &mut Vec<u8>, d: &Decision) {
     push_u64(out, d.windows.keep_alive_ms);
     out.extend_from_slice(b",\"prewarm_load\":");
     out.extend_from_slice(if d.prewarm_load { b"true" } else { b"false" });
+    out.extend_from_slice(b",\"evicted\":");
+    out.extend_from_slice(if d.evicted { b"true" } else { b"false" });
     out.push(b'}');
+}
+
+/// Escapes a string for embedding inside a JSON string literal:
+/// backslashes, double quotes, and control characters (the server's
+/// error bodies echo client-controlled text, which must never produce
+/// malformed JSON).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Appends the decimal representation of `v` without allocating.
@@ -290,25 +327,32 @@ pub fn push_u64(out: &mut Vec<u8>, v: u64) {
 }
 
 // ---------------------------------------------------------------------
-// SITW-BIN v1: the length-prefixed batched binary protocol.
+// SITW-BIN: the length-prefixed batched binary protocol.
 //
 // Frame layout (all integers little-endian):
 //
 // ```text
 // offset  size  field
 //      0     1  magic        0x5B (one past ASCII 'Z': never a method)
-//      1     1  version      1
+//      1     1  version      1 or 2
 //      2     1  kind         1 = request, 2 = reply, 3 = error
 //      3     4  payload_len  u32, bytes after the 11-byte header
 //      7     4  count        u32, records in the payload
 //     11     …  payload
 // ```
 //
-// Request payload: `count` records of `{u16 app_len, app bytes, u64 ts}`.
-// Reply payload: `count` fixed 9-byte records — one verdict byte, then
-// either two u32 windows (pre-warm, keep-alive; saturated at u32::MAX
-// meaning "never") or, when the out-of-order bit is set, the u64
-// `last_ts` of the rejection.
+// Request payload, v1: `count` records of
+// `{u16 app_len, app bytes, u64 ts}` — always the default tenant.
+// Request payload, v2 (the fleet extension, version-gated): `count`
+// records of `{u16 tenant_id, u16 app_len, app bytes, u64 ts}`.
+// Reply payload (both versions): `count` fixed 9-byte records — one
+// verdict byte, then either two u32 windows (pre-warm, keep-alive;
+// saturated at u32::MAX meaning "never") or, when the out-of-order bit
+// is set, the u64 `last_ts` of the rejection. Verdict-byte bit 4 —
+// reserved (always 0) in v1 — is the v2 *evicted* flag: the warm
+// classification was downgraded to cold because the tenant's memory
+// budget evicted the image during the gap. Replies echo the request
+// frame's version.
 // Error payload: `{u8 code, u16 detail_len, detail bytes}` (count = 0).
 //
 // The `payload_len` prefix is what keeps a connection usable after a
@@ -322,8 +366,11 @@ pub fn push_u64(out: &mut Vec<u8>, v: u64) {
 /// it can never start an HTTP method token — that single byte is the
 /// whole protocol sniff.
 pub const BIN_MAGIC: u8 = 0x5B;
-/// Protocol version this codec speaks.
+/// Protocol version 1: records without tenant ids (default tenant).
 pub const BIN_VERSION: u8 = 1;
+/// Protocol version 2: records carry a `u16` tenant id; replies may set
+/// the evicted verdict bit.
+pub const BIN_VERSION_2: u8 = 2;
 /// Bytes in a frame header (magic, version, kind, payload_len, count).
 pub const BIN_HEADER_LEN: usize = 11;
 /// Frame kind: a batched invoke request (client → server).
@@ -338,13 +385,16 @@ pub const MAX_FRAME_PAYLOAD: usize = crate::http::MAX_BODY_BYTES;
 pub const MAX_BATCH: usize = 8192;
 /// Bytes per reply record (verdict byte + 8 bytes of payload).
 pub const REPLY_RECORD_LEN: usize = 9;
-/// Smallest possible request record: non-empty app of 1 byte + u64 ts.
+/// Smallest possible v1 request record: non-empty app of 1 byte + u64 ts.
 const MIN_REQUEST_RECORD_LEN: usize = 2 + 1 + 8;
+/// Smallest possible v2 request record: tenant id + v1 minimum.
+const MIN_REQUEST_RECORD_LEN_V2: usize = 2 + MIN_REQUEST_RECORD_LEN;
 
 // Verdict-byte bits.
 const VB_COLD: u8 = 1 << 0;
 const VB_PREWARM_LOAD: u8 = 1 << 1;
 const VB_KIND_SHIFT: u8 = 2; // Bits 2–3: DecisionKind.
+const VB_EVICTED: u8 = 1 << 4; // v2 only; reserved (0) in v1.
 const VB_OUT_OF_ORDER: u8 = 1 << 7;
 
 /// Typed SITW-BIN protocol errors, carried in [`FRAME_ERROR`] frames.
@@ -376,6 +426,19 @@ impl BinErrorCode {
     }
 }
 
+/// One batched binary invocation: the record of a SITW-BIN request
+/// frame. v1 records always name the default tenant (id 0); v2 records
+/// carry the registry-assigned tenant id on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinInvoke {
+    /// Tenant id (0 = default tenant).
+    pub tenant: u16,
+    /// Application id.
+    pub app: String,
+    /// Invocation timestamp (trace milliseconds).
+    pub ts: u64,
+}
+
 /// Outcome of decoding one request frame from a byte buffer that starts
 /// at a frame boundary.
 #[derive(Debug)]
@@ -384,7 +447,9 @@ pub enum FrameDecode {
     /// header and payload.
     Request {
         /// The batched invocations, in wire order.
-        records: Vec<InvokeRequest>,
+        records: Vec<BinInvoke>,
+        /// The frame's protocol version (replies must echo it).
+        version: u8,
         /// Total frame length in bytes.
         consumed: usize,
     },
@@ -414,15 +479,15 @@ fn u64_at(buf: &[u8], i: usize) -> u64 {
     u64::from_le_bytes(b)
 }
 
-fn frame_header(out: &mut Vec<u8>, kind: u8, payload_len: usize, count: usize) {
+fn frame_header(out: &mut Vec<u8>, version: u8, kind: u8, payload_len: usize, count: usize) {
     out.push(BIN_MAGIC);
-    out.push(BIN_VERSION);
+    out.push(version);
     out.push(kind);
     out.extend_from_slice(&(payload_len as u32).to_le_bytes());
     out.extend_from_slice(&(count as u32).to_le_bytes());
 }
 
-/// Encodes one request frame of `(app, ts)` records.
+/// Encodes one v1 request frame of `(app, ts)` records (default tenant).
 ///
 /// # Panics
 ///
@@ -432,9 +497,39 @@ pub fn encode_request_frame(out: &mut Vec<u8>, records: &[(&str, u64)]) {
     assert!(records.len() <= MAX_BATCH, "batch exceeds MAX_BATCH");
     let payload_len: usize = records.iter().map(|(app, _)| 2 + app.len() + 8).sum();
     out.reserve(BIN_HEADER_LEN + payload_len);
-    frame_header(out, FRAME_REQUEST, payload_len, records.len());
+    frame_header(out, BIN_VERSION, FRAME_REQUEST, payload_len, records.len());
     for (app, ts) in records {
         assert!(app.len() <= u16::MAX as usize, "app name too long");
+        out.extend_from_slice(&(app.len() as u16).to_le_bytes());
+        out.extend_from_slice(app.as_bytes());
+        out.extend_from_slice(&ts.to_le_bytes());
+    }
+}
+
+/// Encodes one v2 request frame of `(tenant, app, ts)` records — the
+/// fleet extension carrying a `u16` tenant id per record.
+///
+/// # Panics
+///
+/// Panics if an app name exceeds `u16::MAX` bytes or the batch exceeds
+/// [`MAX_BATCH`].
+pub fn encode_request_frame_v2(out: &mut Vec<u8>, records: &[(u16, &str, u64)]) {
+    assert!(records.len() <= MAX_BATCH, "batch exceeds MAX_BATCH");
+    let payload_len: usize = records
+        .iter()
+        .map(|(_, app, _)| 2 + 2 + app.len() + 8)
+        .sum();
+    out.reserve(BIN_HEADER_LEN + payload_len);
+    frame_header(
+        out,
+        BIN_VERSION_2,
+        FRAME_REQUEST,
+        payload_len,
+        records.len(),
+    );
+    for (tenant, app, ts) in records {
+        assert!(app.len() <= u16::MAX as usize, "app name too long");
+        out.extend_from_slice(&tenant.to_le_bytes());
         out.extend_from_slice(&(app.len() as u16).to_le_bytes());
         out.extend_from_slice(app.as_bytes());
         out.extend_from_slice(&ts.to_le_bytes());
@@ -455,10 +550,11 @@ pub fn decode_request_frame(buf: &[u8]) -> FrameDecode {
             skip: None,
         };
     }
-    if buf[1] != BIN_VERSION {
+    let version = buf[1];
+    if version != BIN_VERSION && version != BIN_VERSION_2 {
         return FrameDecode::Error {
             code: BinErrorCode::BadVersion,
-            detail: format!("unsupported version {}", buf[1]),
+            detail: format!("unsupported version {version}"),
             skip: None,
         };
     }
@@ -489,7 +585,12 @@ pub fn decode_request_frame(buf: &[u8]) -> FrameDecode {
             skip: Some(total),
         };
     }
-    if count * MIN_REQUEST_RECORD_LEN > payload_len {
+    let min_record_len = if version == BIN_VERSION_2 {
+        MIN_REQUEST_RECORD_LEN_V2
+    } else {
+        MIN_REQUEST_RECORD_LEN
+    };
+    if count * min_record_len > payload_len {
         // Decidable from the header alone — fail before buffering the
         // (possibly large) payload.
         return malformed(format!("count {count} cannot fit payload {payload_len}"));
@@ -503,10 +604,18 @@ pub fn decode_request_frame(buf: &[u8]) -> FrameDecode {
     for r in 0..count {
         // The aggregate count*MIN check above cannot guarantee this:
         // one oversized record can consume other records' minimum
-        // budget, leaving fewer than 2 bytes here.
-        if i + 2 > payload.len() {
+        // budget, leaving fewer than the fixed prefix here.
+        let prefix = if version == BIN_VERSION_2 { 4 } else { 2 };
+        if i + prefix > payload.len() {
             return malformed(format!("record {r} truncated"));
         }
+        let tenant = if version == BIN_VERSION_2 {
+            let t = u16::from_le_bytes([payload[i], payload[i + 1]]);
+            i += 2;
+            t
+        } else {
+            0
+        };
         let app_len = u16::from_le_bytes([payload[i], payload[i + 1]]) as usize;
         i += 2;
         if app_len == 0 {
@@ -522,7 +631,7 @@ pub fn decode_request_frame(buf: &[u8]) -> FrameDecode {
         i += app_len;
         let ts = u64_at(payload, i);
         i += 8;
-        records.push(InvokeRequest { app, ts });
+        records.push(BinInvoke { tenant, app, ts });
     }
     if i != payload.len() {
         return malformed(format!(
@@ -532,6 +641,7 @@ pub fn decode_request_frame(buf: &[u8]) -> FrameDecode {
     }
     FrameDecode::Request {
         records,
+        version,
         consumed: total,
     }
 }
@@ -561,11 +671,17 @@ fn sat_u32(ms: u64) -> u32 {
 }
 
 /// Encodes one reply frame, one 9-byte record per decision, in request
-/// order.
-pub fn encode_reply_frame(out: &mut Vec<u8>, results: &[Result<Decision, InvokeError>]) {
+/// order. `version` echoes the request frame's version; the evicted
+/// verdict bit is emitted only on v2 (it is reserved in v1, where the
+/// default tenant is unbudgeted and can never evict).
+pub fn encode_reply_frame(
+    out: &mut Vec<u8>,
+    version: u8,
+    results: &[Result<Decision, InvokeError>],
+) {
     let payload_len = results.len() * REPLY_RECORD_LEN;
     out.reserve(BIN_HEADER_LEN + payload_len);
-    frame_header(out, FRAME_REPLY, payload_len, results.len());
+    frame_header(out, version, FRAME_REPLY, payload_len, results.len());
     for result in results {
         match result {
             Ok(d) => {
@@ -576,6 +692,9 @@ pub fn encode_reply_frame(out: &mut Vec<u8>, results: &[Result<Decision, InvokeE
                 if d.prewarm_load {
                     vb |= VB_PREWARM_LOAD;
                 }
+                if d.evicted && version >= BIN_VERSION_2 {
+                    vb |= VB_EVICTED;
+                }
                 out.push(vb);
                 out.extend_from_slice(&sat_u32(d.windows.pre_warm_ms).to_le_bytes());
                 out.extend_from_slice(&sat_u32(d.windows.keep_alive_ms).to_le_bytes());
@@ -583,6 +702,15 @@ pub fn encode_reply_frame(out: &mut Vec<u8>, results: &[Result<Decision, InvokeE
             Err(InvokeError::OutOfOrder { last_ts }) => {
                 out.push(VB_OUT_OF_ORDER);
                 out.extend_from_slice(&last_ts.to_le_bytes());
+            }
+            Err(InvokeError::UnknownTenant) => {
+                // Unreachable in the daemon: tenant ids are validated
+                // against the registry before a frame is dispatched, and
+                // an unknown id rejects the whole frame with a typed
+                // error. Encoded defensively as an out-of-order record
+                // with a sentinel timestamp.
+                out.push(VB_OUT_OF_ORDER);
+                out.extend_from_slice(&u64::MAX.to_le_bytes());
             }
         }
     }
@@ -595,7 +723,7 @@ pub fn encode_error_frame(out: &mut Vec<u8>, code: BinErrorCode, detail: &str) {
         end -= 1;
     }
     let detail = &detail.as_bytes()[..end];
-    frame_header(out, FRAME_ERROR, 1 + 2 + detail.len(), 0);
+    frame_header(out, BIN_VERSION, FRAME_ERROR, 1 + 2 + detail.len(), 0);
     out.push(code.as_u8());
     out.extend_from_slice(&(detail.len() as u16).to_le_bytes());
     out.extend_from_slice(detail);
@@ -610,6 +738,9 @@ pub enum BinReply {
         cold: bool,
         /// A pre-warm load occurred in the gap ending at this invocation.
         prewarm_load: bool,
+        /// The image was evicted for memory pressure during the gap
+        /// (v2 frames only; always false on v1).
+        evicted: bool,
         /// The policy branch that produced the windows.
         kind: DecisionKind,
         /// Pre-warm window in ms (saturated at `u32::MAX`).
@@ -656,7 +787,7 @@ pub fn decode_server_frame(buf: &[u8]) -> ServerFrameDecode {
     if buf.len() < BIN_HEADER_LEN {
         return ServerFrameDecode::Incomplete;
     }
-    if buf[0] != BIN_MAGIC || buf[1] != BIN_VERSION {
+    if buf[0] != BIN_MAGIC || (buf[1] != BIN_VERSION && buf[1] != BIN_VERSION_2) {
         return ServerFrameDecode::Malformed(format!(
             "bad frame start {:02x} {:02x}",
             buf[0], buf[1]
@@ -692,6 +823,7 @@ pub fn decode_server_frame(buf: &[u8]) -> ServerFrameDecode {
                     records.push(BinReply::Verdict {
                         cold: vb & VB_COLD != 0,
                         prewarm_load: vb & VB_PREWARM_LOAD != 0,
+                        evicted: vb & VB_EVICTED != 0,
                         kind: kind_from_bits(vb >> VB_KIND_SHIFT),
                         pre_warm_ms: u32_at(payload, i + 1),
                         keep_alive_ms: u32_at(payload, i + 5),
@@ -808,6 +940,7 @@ mod tests {
             &Decision {
                 cold: true,
                 prewarm_load: false,
+                evicted: false,
                 kind: sitw_core::DecisionKind::StandardKeepAlive,
                 windows: Windows::keep_loaded(14_400_000),
             },
@@ -815,8 +948,17 @@ mod tests {
         assert_eq!(
             String::from_utf8(out).unwrap(),
             "{\"verdict\":\"cold\",\"kind\":\"standard\",\"pre_warm_ms\":0,\
-             \"keep_alive_ms\":14400000,\"prewarm_load\":false}"
+             \"keep_alive_ms\":14400000,\"prewarm_load\":false,\"evicted\":false}"
         );
+    }
+
+    #[test]
+    fn parse_reads_optional_tenant() {
+        let r = parse_invoke(br#"{"app":"a","ts":1}"#).unwrap();
+        assert_eq!(r.tenant, None);
+        let r = parse_invoke(br#"{"tenant":"acme","app":"a","ts":2}"#).unwrap();
+        assert_eq!(r.tenant.as_deref(), Some("acme"));
+        assert!(parse_invoke(br#"{"tenant":"","app":"a","ts":1}"#).is_err());
     }
 
     #[test]
@@ -826,6 +968,16 @@ mod tests {
             assert_eq!(kind_from_str(kind_str(k)).unwrap(), k);
         }
         assert!(kind_from_str("nope").is_err());
+    }
+
+    #[test]
+    fn json_escape_neutralizes_hostile_strings() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\\x"), "a\\\\x");
+        assert_eq!(json_escape("q\"q"), "q\\\"q");
+        assert_eq!(json_escape("n\nl"), "n\\nl");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("café"), "café");
     }
 
     #[test]
@@ -855,13 +1007,16 @@ mod tests {
         match decode_request_frame(&out) {
             FrameDecode::Request {
                 records: r,
+                version,
                 consumed,
             } => {
                 assert_eq!(consumed, out.len());
+                assert_eq!(version, BIN_VERSION);
                 assert_eq!(r.len(), 3);
                 assert_eq!(
                     r[0],
-                    InvokeRequest {
+                    BinInvoke {
+                        tenant: 0,
                         app: "app-000001".into(),
                         ts: 0
                     }
@@ -875,12 +1030,60 @@ mod tests {
     }
 
     #[test]
+    fn v2_request_frame_roundtrips_tenant_ids() {
+        let records = [
+            (0u16, "app-000001", 7u64),
+            (513, "café", 9),
+            (u16::MAX, "x", 0),
+        ];
+        let mut out = Vec::new();
+        encode_request_frame_v2(&mut out, &records);
+        assert_eq!(out[1], BIN_VERSION_2);
+        match decode_request_frame(&out) {
+            FrameDecode::Request {
+                records: r,
+                version,
+                consumed,
+            } => {
+                assert_eq!(version, BIN_VERSION_2);
+                assert_eq!(consumed, out.len());
+                for ((tenant, app, ts), got) in records.iter().zip(&r) {
+                    assert_eq!(got.tenant, *tenant);
+                    assert_eq!(got.app, *app);
+                    assert_eq!(got.ts, *ts);
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        // Every proper prefix is Incomplete, exactly like v1.
+        for i in 0..out.len() {
+            assert!(matches!(
+                decode_request_frame(&out[..i]),
+                FrameDecode::Incomplete
+            ));
+        }
+        // A v2 count that cannot fit the 13-byte minimum records is
+        // caught from the header alone.
+        let mut f = Vec::new();
+        frame_header(&mut f, BIN_VERSION_2, FRAME_REQUEST, 20, 2);
+        match decode_request_frame(&f) {
+            FrameDecode::Error { code, skip, .. } => {
+                assert_eq!(code, BinErrorCode::Malformed);
+                assert_eq!(skip, Some(BIN_HEADER_LEN + 20));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn empty_request_frame_roundtrips() {
         let mut out = Vec::new();
         encode_request_frame(&mut out, &[]);
         assert_eq!(out.len(), BIN_HEADER_LEN);
         match decode_request_frame(&out) {
-            FrameDecode::Request { records, consumed } => {
+            FrameDecode::Request {
+                records, consumed, ..
+            } => {
                 assert!(records.is_empty());
                 assert_eq!(consumed, BIN_HEADER_LEN);
             }
@@ -923,7 +1126,7 @@ mod tests {
 
         // Oversized payload: unrecoverable.
         let mut f = Vec::new();
-        frame_header(&mut f, FRAME_REQUEST, MAX_FRAME_PAYLOAD + 1, 1);
+        frame_header(&mut f, BIN_VERSION, FRAME_REQUEST, MAX_FRAME_PAYLOAD + 1, 1);
         match decode_request_frame(&f) {
             FrameDecode::Error { code, skip, .. } => {
                 assert_eq!(code, BinErrorCode::Oversized);
@@ -934,7 +1137,7 @@ mod tests {
 
         // Oversized batch with an intact envelope: skippable.
         let mut f = Vec::new();
-        frame_header(&mut f, FRAME_REQUEST, 4, MAX_BATCH + 1);
+        frame_header(&mut f, BIN_VERSION, FRAME_REQUEST, 4, MAX_BATCH + 1);
         f.extend_from_slice(&[0u8; 4]);
         match decode_request_frame(&f) {
             FrameDecode::Error { code, skip, .. } => {
@@ -946,7 +1149,7 @@ mod tests {
 
         // Count that cannot fit the payload: caught from the header.
         let mut f = Vec::new();
-        frame_header(&mut f, FRAME_REQUEST, 12, 1000);
+        frame_header(&mut f, BIN_VERSION, FRAME_REQUEST, 12, 1000);
         match decode_request_frame(&f) {
             FrameDecode::Error { code, skip, .. } => {
                 assert_eq!(code, BinErrorCode::Malformed);
@@ -964,7 +1167,7 @@ mod tests {
         payload.extend_from_slice(&7u64.to_le_bytes());
         assert_eq!(payload.len(), 22);
         let mut f = Vec::new();
-        frame_header(&mut f, FRAME_REQUEST, payload.len(), 2);
+        frame_header(&mut f, BIN_VERSION, FRAME_REQUEST, payload.len(), 2);
         f.extend_from_slice(&payload);
         match decode_request_frame(&f) {
             FrameDecode::Error { code, skip, .. } => {
@@ -1005,7 +1208,7 @@ mod tests {
         ];
         for payload in cases {
             let mut f = Vec::new();
-            frame_header(&mut f, FRAME_REQUEST, payload.len(), 1);
+            frame_header(&mut f, BIN_VERSION, FRAME_REQUEST, payload.len(), 1);
             f.extend_from_slice(&payload);
             match decode_request_frame(&f) {
                 FrameDecode::Error { code, skip, .. } => {
@@ -1023,6 +1226,7 @@ mod tests {
             Ok(Decision {
                 cold: true,
                 prewarm_load: false,
+                evicted: false,
                 kind: DecisionKind::Histogram,
                 windows: Windows::pre_warmed(120_000, 600_000),
             }),
@@ -1032,13 +1236,14 @@ mod tests {
             Ok(Decision {
                 cold: false,
                 prewarm_load: true,
+                evicted: true, // Dropped on the v1 wire (reserved bit).
                 kind: DecisionKind::Static,
                 // Saturates: the wire says u32::MAX, i.e. "never".
                 windows: Windows::keep_loaded(u64::MAX),
             }),
         ];
         let mut out = Vec::new();
-        encode_reply_frame(&mut out, &results);
+        encode_reply_frame(&mut out, BIN_VERSION, &results);
         assert_eq!(out.len(), BIN_HEADER_LEN + 3 * REPLY_RECORD_LEN);
         match decode_server_frame(&out) {
             ServerFrameDecode::Reply { records, consumed } => {
@@ -1048,6 +1253,7 @@ mod tests {
                     BinReply::Verdict {
                         cold: true,
                         prewarm_load: false,
+                        evicted: false,
                         kind: DecisionKind::Histogram,
                         pre_warm_ms: 120_000,
                         keep_alive_ms: 600_000,
@@ -1064,6 +1270,7 @@ mod tests {
                     BinReply::Verdict {
                         cold: false,
                         prewarm_load: true,
+                        evicted: false, // v1 cannot carry the bit.
                         kind: DecisionKind::Static,
                         pre_warm_ms: 0,
                         keep_alive_ms: u32::MAX,

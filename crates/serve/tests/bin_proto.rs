@@ -68,7 +68,7 @@ proptest! {
         let mut frame = Vec::new();
         encode_request_frame(&mut frame, &borrowed);
         match decode_request_frame(&frame) {
-            FrameDecode::Request { records: got, consumed } => {
+            FrameDecode::Request { records: got, consumed, .. } => {
                 prop_assert_eq!(consumed, frame.len());
                 prop_assert_eq!(got.len(), records.len());
                 for (g, (app, ts)) in got.iter().zip(&records) {
@@ -119,7 +119,7 @@ proptest! {
         frame.extend_from_slice(&(count as u32).to_le_bytes());
         frame.extend(payload.iter().map(|&b| b as u8));
         match decode_request_frame(&frame) {
-            FrameDecode::Request { records, consumed } => {
+            FrameDecode::Request { records, consumed, .. } => {
                 prop_assert_eq!(consumed, frame.len());
                 prop_assert_eq!(records.len(), count as usize);
             }
@@ -141,7 +141,7 @@ proptest! {
         let mut frame = vec![wire::BIN_MAGIC];
         frame.extend(body.iter().map(|&b| b as u8));
         match decode_request_frame(&frame) {
-            FrameDecode::Request { records, consumed } => {
+            FrameDecode::Request { records, consumed, .. } => {
                 // Only reachable when the bytes happen to form a valid
                 // frame; sanity-check the invariants.
                 prop_assert!(consumed <= frame.len());
@@ -446,6 +446,97 @@ fn unrecoverable_frame_errors_answer_then_close() {
     }
 
     assert_eq!(server.metrics().proto.proto_errors, 2);
+    server.shutdown().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Server-side frame pipelining: many frames written back-to-back without
+// reading a single reply; the server decodes and dispatches them while
+// earlier batches are still in flight, and replies MUST come back in
+// frame order (the pipelining ordering invariant).
+
+#[test]
+fn pipelined_frames_get_replies_in_frame_order() {
+    let server = start_server(4);
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    // 60 single-record frames (the bin:batch=1 shape that used to pay a
+    // synchronous round trip each), all written before any read. Each
+    // frame uses its own app with a strictly increasing timestamp, so
+    // frame k's verdict is uniquely identifiable: the first invocation
+    // of app k is cold, the second (sent in frame k + 30) is warm with
+    // app k's keep-alive — distinct per k via fixed policy? One policy
+    // for all; identify by cold/warm sequence instead: frames 0..30 are
+    // first-sight colds, frames 30..60 revisit the same apps in order
+    // and must be warm.
+    let n = 30u64;
+    let mut batch = Vec::new();
+    for k in 0..n {
+        encode_request_frame(&mut batch, &[(format!("pipe-{k:02}").as_str(), 0)]);
+    }
+    for k in 0..n {
+        encode_request_frame(&mut batch, &[(format!("pipe-{k:02}").as_str(), 60_000 + k)]);
+    }
+    stream.write_all(&batch).unwrap();
+
+    let mut buf = Vec::new();
+    for k in 0..n {
+        let records = expect_reply(&mut stream, &mut buf);
+        assert_eq!(records.len(), 1, "frame {k}");
+        assert!(
+            matches!(records[0], BinReply::Verdict { cold: true, .. }),
+            "frame {k} must be the cold first sight of app {k}: {:?}",
+            records[0]
+        );
+    }
+    for k in 0..n {
+        let records = expect_reply(&mut stream, &mut buf);
+        assert!(
+            matches!(records[0], BinReply::Verdict { cold: false, .. }),
+            "frame {} must be the warm revisit of app {k}: {:?}",
+            n + k,
+            records[0]
+        );
+    }
+    let proto = server.metrics().proto;
+    assert_eq!(proto.frames, 2 * n);
+    assert_eq!(proto.batched_decisions, 2 * n);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn pipelined_frames_interleave_with_errors_in_order() {
+    // A malformed frame sandwiched between good frames, all written
+    // back-to-back: the typed error frame must come back exactly between
+    // the two replies (errors join the pipeline queue, they do not jump
+    // it).
+    let server = start_server(2);
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    let mut batch = Vec::new();
+    encode_request_frame(&mut batch, &[("inter-a", 1)]);
+    // Malformed-but-delimited: empty app with an intact envelope.
+    let mut payload = vec![0u8, 0];
+    payload.extend_from_slice(&7u64.to_le_bytes());
+    payload.push(0xAA);
+    batch.extend_from_slice(&[wire::BIN_MAGIC, wire::BIN_VERSION, wire::FRAME_REQUEST]);
+    batch.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    batch.extend_from_slice(&1u32.to_le_bytes());
+    batch.extend_from_slice(&payload);
+    encode_request_frame(&mut batch, &[("inter-b", 2)]);
+    stream.write_all(&batch).unwrap();
+
+    let mut buf = Vec::new();
+    let first = expect_reply(&mut stream, &mut buf);
+    assert!(matches!(first[0], BinReply::Verdict { cold: true, .. }));
+    match read_frame(&mut stream, &mut buf) {
+        ServerFrameDecode::Error { code, .. } => assert_eq!(code, BinErrorCode::Malformed),
+        other => panic!("expected the error frame second, got {other:?}"),
+    }
+    let third = expect_reply(&mut stream, &mut buf);
+    assert!(matches!(third[0], BinReply::Verdict { cold: true, .. }));
     server.shutdown().unwrap();
 }
 

@@ -502,6 +502,7 @@ fn replay_mixed(
                         kind,
                         pre_warm_ms,
                         keep_alive_ms,
+                        ..
                     } => online.entry(app.clone()).or_default().push((
                         *cold,
                         *pre_warm_ms as u64,

@@ -37,3 +37,8 @@ pub use engine::{
 };
 pub use metrics::{pareto_points, ParetoPoint, PolicyAggregate};
 pub use sweep::{run_sweep, PolicySpec};
+
+// The multi-tenant ground truth lives in `sitw_fleet` (shared with the
+// serving daemon); re-exported here next to the single-policy traces so
+// parity tests find every offline oracle in one place.
+pub use sitw_fleet::{fleet_verdict_trace, FleetError, FleetEvent, FleetSim, FleetVerdict};

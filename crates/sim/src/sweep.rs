@@ -7,59 +7,14 @@
 //! amortized. Merging is deterministic (chunk order), so sweeps are
 //! reproducible bit-for-bit.
 
-use sitw_core::{
-    AppPolicy, FixedKeepAlive, HybridConfig, NoUnloading, PolicyFactory, ProductionConfig,
-};
 use sitw_trace::{app_invocations, Population, TraceConfig};
 
 use crate::engine::simulate_app;
 use crate::metrics::PolicyAggregate;
 
-/// A heterogeneous policy configuration for sweeps.
-#[derive(Debug, Clone, PartialEq)]
-pub enum PolicySpec {
-    /// Fixed keep-alive baseline.
-    Fixed(FixedKeepAlive),
-    /// Never unload (upper bound).
-    NoUnloading,
-    /// The hybrid histogram policy.
-    Hybrid(HybridConfig),
-    /// The production-manager scheme (§6): daily histograms with
-    /// retention and recency-weighted aggregation.
-    Production(ProductionConfig),
-}
-
-impl PolicySpec {
-    /// Convenience constructor: fixed keep-alive in minutes.
-    pub fn fixed_minutes(minutes: u64) -> Self {
-        PolicySpec::Fixed(FixedKeepAlive::minutes(minutes))
-    }
-
-    /// The label used in aggregates and reports.
-    pub fn label(&self) -> String {
-        match self {
-            PolicySpec::Fixed(f) => f.label(),
-            PolicySpec::NoUnloading => NoUnloading.label(),
-            PolicySpec::Hybrid(h) => h.label(),
-            PolicySpec::Production(p) => p.label(),
-        }
-    }
-
-    /// Creates the per-app policy instance.
-    ///
-    /// For [`PolicySpec::Production`] this is the single-app
-    /// [`sitw_core::ProductionPolicy`] adapter (trace-relative day
-    /// boundaries); daemon-parity replays use
-    /// [`crate::production_verdict_trace`] with absolute timestamps.
-    pub fn new_policy(&self) -> Box<dyn AppPolicy + Send> {
-        match self {
-            PolicySpec::Fixed(f) => Box::new(f.new_policy()),
-            PolicySpec::NoUnloading => Box::new(NoUnloading),
-            PolicySpec::Hybrid(h) => Box::new(h.new_policy()),
-            PolicySpec::Production(p) => Box::new(p.new_policy()),
-        }
-    }
-}
+// The spec type moved to `sitw_core::spec` (the fleet subsystem shares
+// it); re-exported here so `sitw_sim::PolicySpec` keeps working.
+pub use sitw_core::PolicySpec;
 
 /// Runs every policy over every application of the population.
 ///
@@ -140,6 +95,7 @@ fn simulate_chunk(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sitw_core::{HybridConfig, ProductionConfig};
     use sitw_trace::{build_population, PopulationConfig, DAY_MS};
 
     fn setup() -> (Population, TraceConfig) {

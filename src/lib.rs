@@ -11,6 +11,9 @@
 //!   analysis;
 //! * [`core`] — the keep-alive policies: fixed, no-unloading, the
 //!   **hybrid histogram policy**, and the §6 production-style manager;
+//! * [`fleet`] — the multi-tenant fleet subsystem: tenant registry,
+//!   Burr-sampled memory footprints, the cluster memory ledger, and
+//!   budgeted eviction;
 //! * [`sim`] — the §5.1 cold-start simulator and policy sweep driver;
 //! * [`platform`] — the OpenWhisk-model discrete-event platform for the
 //!   §5.3 experiments;
@@ -43,6 +46,7 @@
 
 pub use sitw_arima as arima;
 pub use sitw_core as core;
+pub use sitw_fleet as fleet;
 pub use sitw_platform as platform;
 pub use sitw_serve as serve;
 pub use sitw_sim as sim;
@@ -55,6 +59,10 @@ pub mod prelude {
         AppPolicy, DecisionKind, FixedKeepAlive, HybridConfig, HybridPolicy, NoUnloading,
         PolicyFactory, ProductionConfig, ProductionManager, ProductionPolicy, RecencyWeighting,
         Windows,
+    };
+    pub use sitw_fleet::{
+        fleet_verdict_trace, footprint_mb, FleetEvent, FleetSim, FleetVerdict, TenantLedger,
+        TenantRegistry, TenantSpec,
     };
     pub use sitw_platform::{run_platform, PlatformConfig, PlatformReport};
     pub use sitw_serve::{run_loadgen, LoadGenConfig, LoadGenReport, Proto, ServeConfig, Server};
