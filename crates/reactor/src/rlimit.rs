@@ -1,0 +1,31 @@
+//! File-descriptor limit helper for high-fan-in deployments and stress
+//! tests.
+
+use std::io;
+
+use crate::sys;
+
+/// Raises the soft `RLIMIT_NOFILE` toward `min(target, hard limit)` and
+/// returns the soft limit now in effect (which may already have been
+/// higher). Holding thousands of keep-alive sockets needs more than the
+/// classic 1024-descriptor default.
+pub fn raise_nofile_limit(target: u64) -> io::Result<u64> {
+    sys::sys_raise_nofile(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raise_is_idempotent_and_capped_by_hard_limit() {
+        let first = raise_nofile_limit(4_096).unwrap();
+        assert!(first > 0);
+        // Asking again for no more than we have changes nothing.
+        let second = raise_nofile_limit(first).unwrap();
+        assert_eq!(first, second);
+        // An absurd target is clamped to the hard limit, not an error.
+        let clamped = raise_nofile_limit(u64::MAX).unwrap();
+        assert!(clamped >= first);
+    }
+}

@@ -1,0 +1,170 @@
+//! A generational slab: O(1) insert/lookup/remove with ABA-safe tokens.
+
+/// Arena of per-connection state. Each slot carries a generation that
+/// bumps on removal; tokens embed `(generation << 32) | index`, so a
+/// message addressed to a connection that died — even if its slot was
+/// reused — fails the generation check and is dropped instead of being
+/// delivered to the slot's new occupant.
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+struct Entry<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Slab<T> {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Inserts a value, returning its token.
+    pub fn insert(&mut self, value: T) -> u64 {
+        self.live += 1;
+        match self.free.pop() {
+            Some(index) => {
+                let entry = &mut self.entries[index as usize];
+                entry.value = Some(value);
+                token(entry.generation, index)
+            }
+            None => {
+                let index = self.entries.len() as u32;
+                self.entries.push(Entry {
+                    generation: 0,
+                    value: Some(value),
+                });
+                token(0, index)
+            }
+        }
+    }
+
+    fn entry(&self, tok: u64) -> Option<&Entry<T>> {
+        let (generation, index) = split(tok);
+        self.entries
+            .get(index as usize)
+            .filter(|e| e.generation == generation && e.value.is_some())
+    }
+
+    /// Looks a token up; `None` for stale or never-issued tokens.
+    pub fn get(&self, tok: u64) -> Option<&T> {
+        self.entry(tok).and_then(|e| e.value.as_ref())
+    }
+
+    /// Mutable lookup; `None` for stale or never-issued tokens.
+    pub fn get_mut(&mut self, tok: u64) -> Option<&mut T> {
+        let (generation, index) = split(tok);
+        self.entries
+            .get_mut(index as usize)
+            .filter(|e| e.generation == generation)
+            .and_then(|e| e.value.as_mut())
+    }
+
+    /// Removes and returns the value; bumps the slot's generation so the
+    /// token (and any copy of it in flight) goes stale.
+    pub fn remove(&mut self, tok: u64) -> Option<T> {
+        let (generation, index) = split(tok);
+        let entry = self.entries.get_mut(index as usize)?;
+        if entry.generation != generation || entry.value.is_none() {
+            return None;
+        }
+        entry.generation = entry.generation.wrapping_add(1);
+        self.live -= 1;
+        self.free.push(index);
+        entry.value.take()
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no entry is live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Tokens of all live entries (in slot order).
+    pub fn tokens(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.value.as_ref().map(|_| token(e.generation, i as u32)))
+    }
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+fn token(generation: u32, index: u32) -> u64 {
+    ((generation as u64) << 32) | index as u64
+}
+
+fn split(tok: u64) -> (u32, u32) {
+    ((tok >> 32) as u32, tok as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut slab: Slab<&'static str> = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        *slab.get_mut(b).unwrap() = "b2";
+        assert_eq!(slab.remove(b), Some("b2"));
+        assert_eq!(slab.len(), 1);
+        assert_eq!(slab.get(b), None);
+        assert_eq!(slab.remove(b), None, "double remove is a no-op");
+    }
+
+    #[test]
+    fn stale_tokens_do_not_reach_slot_reusers() {
+        let mut slab: Slab<u32> = Slab::new();
+        let first = slab.insert(1);
+        slab.remove(first).unwrap();
+        let second = slab.insert(2);
+        // Same slot, new generation: the old token is dead.
+        assert_eq!(first as u32, second as u32, "slot reused");
+        assert_eq!(slab.get(first), None);
+        assert_eq!(slab.get_mut(first), None);
+        assert_eq!(slab.get(second), Some(&2));
+    }
+
+    #[test]
+    fn tokens_enumerates_live_entries() {
+        let mut slab: Slab<u32> = Slab::new();
+        let a = slab.insert(1);
+        let b = slab.insert(2);
+        let c = slab.insert(3);
+        slab.remove(b);
+        let live: Vec<u64> = slab.tokens().collect();
+        assert_eq!(live, vec![a, c]);
+        assert!(slab.len() == 2 && !slab.is_empty());
+    }
+
+    #[test]
+    fn churn_reuses_slots_without_growth() {
+        let mut slab: Slab<u64> = Slab::new();
+        for round in 0..1_000u64 {
+            let tok = slab.insert(round);
+            assert_eq!(slab.remove(tok), Some(round));
+        }
+        assert!(slab.is_empty());
+        assert_eq!(slab.entries.len(), 1, "one slot recycled throughout");
+    }
+}

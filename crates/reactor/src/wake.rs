@@ -1,0 +1,125 @@
+//! Cross-thread event-loop wakeups over an `eventfd`, with an *armed*
+//! flag that keeps the hot path syscall-free.
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::sys;
+
+/// An `eventfd`-backed waker for one event-loop thread.
+///
+/// Protocol: producers enqueue work on a normal channel, then call
+/// [`Waker::wake`]. The loop thread calls [`Waker::arm`] *before* its
+/// final emptiness check and `epoll_wait`; [`Waker::wake`] only writes
+/// the eventfd when it observes the armed flag (and atomically clears
+/// it, so N concurrent producers pay one syscall). A producer that runs
+/// entirely while the loop is awake pays nothing — the loop will drain
+/// the queue anyway before arming, and the arm-then-recheck ordering
+/// closes the sleep race.
+pub struct Waker {
+    fd: RawFd,
+    armed: AtomicBool,
+}
+
+impl Waker {
+    /// Creates a non-blocking eventfd waker.
+    pub fn new() -> io::Result<Waker> {
+        Ok(Waker {
+            fd: sys::sys_eventfd()?,
+            armed: AtomicBool::new(false),
+        })
+    }
+
+    /// The descriptor to register with the loop's epoll (read interest).
+    pub fn raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Wakes the loop if it is (about to be) asleep; no-op otherwise.
+    pub fn wake(&self) {
+        if self.armed.swap(false, Ordering::AcqRel) {
+            sys::sys_eventfd_signal(self.fd);
+        }
+    }
+
+    /// Wakes the loop unconditionally (shutdown paths, where a missed
+    /// wakeup must be impossible rather than merely bounded by the poll
+    /// tick).
+    pub fn wake_force(&self) {
+        sys::sys_eventfd_signal(self.fd);
+    }
+
+    /// Declares the loop about to sleep. The loop must re-check its
+    /// queues *after* arming and before blocking.
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Declares the loop awake again.
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::SeqCst);
+    }
+
+    /// Zeroes the eventfd counter after a wakeup delivered it.
+    pub fn drain(&self) {
+        sys::sys_eventfd_drain(self.fd);
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        sys::sys_close(self.fd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Epoll, Events, Interest};
+
+    #[test]
+    fn wake_only_fires_while_armed() {
+        let waker = Waker::new().unwrap();
+        let epoll = Epoll::new().unwrap();
+        epoll.add(waker.raw_fd(), 9, Interest::READ).unwrap();
+        let mut events = Events::with_capacity(4);
+
+        // Not armed: wake is a no-op, nothing becomes readable.
+        waker.wake();
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+
+        // Armed: one write; readable until drained.
+        waker.arm();
+        waker.wake();
+        waker.wake(); // Second producer: flag already cleared, no-op.
+        assert_eq!(epoll.wait(&mut events, 1_000).unwrap(), 1);
+        assert_eq!(events.iter().next().unwrap().token, 9);
+        waker.drain();
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn wake_force_bypasses_the_flag() {
+        let waker = Waker::new().unwrap();
+        let epoll = Epoll::new().unwrap();
+        epoll.add(waker.raw_fd(), 1, Interest::READ).unwrap();
+        let mut events = Events::with_capacity(4);
+        waker.wake_force();
+        assert_eq!(epoll.wait(&mut events, 1_000).unwrap(), 1);
+        waker.drain();
+    }
+
+    #[test]
+    fn cross_thread_wakeup() {
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        let epoll = Epoll::new().unwrap();
+        epoll.add(waker.raw_fd(), 5, Interest::READ).unwrap();
+        let mut events = Events::with_capacity(4);
+        waker.arm();
+        let w = std::sync::Arc::clone(&waker);
+        let t = std::thread::spawn(move || w.wake());
+        assert_eq!(epoll.wait(&mut events, 2_000).unwrap(), 1);
+        t.join().unwrap();
+    }
+}

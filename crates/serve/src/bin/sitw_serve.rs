@@ -2,10 +2,18 @@
 //!
 //! ```text
 //! sitw-serve [--addr 127.0.0.1:7071] [--shards 4] [--policy hybrid]
+//!            [--reactor-threads 2] [--idle-timeout-ms 10000]
 //!            [--tenant NAME=POLICY[,budget=MB]]... [--tenants N]
 //!            [--tenants-file PATH]
 //!            [--snapshot PATH] [--restore PATH]
 //! ```
+//!
+//! `--reactor-threads` sizes the epoll event-loop pool that multiplexes
+//! every client connection (a handful of threads serves thousands of
+//! mostly idle keep-alive connections; `--shards` sets decision
+//! throughput). `--idle-timeout-ms` bounds how long a *half-received*
+//! message may stall before the connection is dropped (slowloris
+//! defense); fully idle keep-alive connections are never timed out.
 //!
 //! Policies: `hybrid` (paper defaults), `hybrid:<hours>h` (histogram
 //! range), `fixed:<minutes>` (fixed keep-alive), `no-unloading`, and
@@ -43,6 +51,7 @@ fn parse_policy(s: &str) -> Result<PolicySpec, String> {
 fn usage() -> ! {
     eprintln!(
         "usage: sitw-serve [--addr HOST:PORT] [--shards N] \
+         [--reactor-threads N] [--idle-timeout-ms N] \
          [--policy hybrid|hybrid:<h>h|fixed:<min>|no-unloading|\
          production[:<days>d|:<decay>|:uniform]] \
          [--tenant NAME=POLICY[,budget=MB]]... [--tenants N] \
@@ -68,6 +77,17 @@ fn main() {
             "--addr" => cfg.addr = value("--addr"),
             "--shards" => {
                 cfg.shards = value("--shards").parse().unwrap_or_else(|_| usage());
+            }
+            "--reactor-threads" => {
+                cfg.reactor_threads = value("--reactor-threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+            }
+            "--idle-timeout-ms" => {
+                let ms: u64 = value("--idle-timeout-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                cfg.idle_timeout = std::time::Duration::from_millis(ms);
             }
             "--policy" => {
                 let spec = value("--policy");
@@ -144,10 +164,11 @@ fn main() {
         }
     };
     println!(
-        "sitw-serve listening on {} | policy {} | {} shards | {} tenant(s){}",
+        "sitw-serve listening on {} | policy {} | {} shards | {} reactor thread(s) | {} tenant(s){}",
         server.addr(),
         cfg.policy.label(),
         cfg.shards,
+        cfg.reactor_threads,
         cfg.tenants.len() + 1,
         cfg.snapshot_path
             .as_ref()

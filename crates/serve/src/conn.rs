@@ -1,0 +1,713 @@
+//! Per-connection state machine, driven by a reactor thread over a
+//! non-blocking socket.
+//!
+//! One [`Conn`] owns everything a connection needs between readiness
+//! events: the incremental parse buffer ([`ConnBuf`]), the output buffer
+//! with a partial-write cursor, and the **response pipeline** — a single
+//! ordered queue of [`Slot`]s, one per inbound message, that unifies
+//! what used to be two mechanisms (the JSON reorder map and the SITW-BIN
+//! `FramePipeline`). Every message — JSON decision, binary frame,
+//! control request, protocol error — occupies one slot in arrival
+//! order; shard replies complete their slot out of band; responses are
+//! rendered strictly from the head. Response ordering across protocol
+//! switches therefore holds *by construction*, with no blocking drains:
+//! the old thread-per-connection code had to settle all in-flight frames
+//! before an HTTP response could be written, the pipeline just queues
+//! the HTTP response behind them.
+//!
+//! The hot paths allocate nothing in steady state: the request scratch
+//! and record buffer are reused across messages, decisions render
+//! through a reusable body scratch straight into the output buffer, and
+//! the output buffer itself persists across requests (shrunk when a
+//! burst inflates it). The per-record app-id `String` handed to the
+//! shard is the one remaining allocation — the shard map needs an owned
+//! key — and it is part of the dispatched message, not the connection.
+//!
+//! Failure handling mirrors the blocking server exactly, restated for an
+//! event loop:
+//! * recoverable SITW-BIN errors join the pipeline as typed error
+//!   frames;
+//! * fatal errors (bad version, oversized payload, HTTP 413) queue
+//!   their response, then put the connection in **lame-duck**: the
+//!   response is flushed, the write side is shut down (response + FIN,
+//!   never an RST racing the response), and reads are discarded until
+//!   the peer closes, a byte budget runs out, or a deadline passes;
+//! * a half-received message that stops making progress for
+//!   [`crate::server::ServeConfig::idle_timeout`] is a slowloris and is
+//!   disconnected by the reactor's sweep. Fully idle keep-alive
+//!   connections are never timed out — mostly idle fleets are the
+//!   workload this server exists for.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::{Shutdown, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use sitw_reactor::Interest;
+
+use crate::http::{write_response, ConnBuf, DrainOutcome, ReadEvent, Request};
+use crate::reactor::ReactorIo;
+use crate::server::{handle_control, parse_and_route, ServerCtx};
+use crate::shard::BatchReply;
+use crate::shard::{BatchItem, Decision, InvokeError, InvokeReply, ShardMsg};
+use crate::wire::{self, push_u64, BinErrorCode, BinInvoke};
+
+/// Stop reading a connection whose un-written output backlog exceeds
+/// this (a client that pipelines but never reads must not buffer
+/// unbounded responses server-side).
+const OUT_BACKPRESSURE_BYTES: usize = 256 * 1024;
+
+/// Defer the socket write while responses are still completing and the
+/// backlog is below this. Shard replies arrive a few at a time; writing
+/// on every reply wake costs a `write(2)` per decision where the
+/// blocking server paid one per pipelined burst. Deferral is safe
+/// because a non-empty pipeline always receives its remaining replies —
+/// the flush is only postponed, never lost — and a drained pipeline
+/// (the client is now waiting on us) always flushes immediately.
+const WRITE_COALESCE_BYTES: usize = 32 * 1024;
+
+/// Shrink thresholds for the output buffer after a burst.
+const OUT_SHRINK_ABOVE: usize = 256 * 1024;
+const OUT_SHRINK_TO: usize = 64 * 1024;
+
+/// Lame-duck discard budget: how many request bytes we absorb after a
+/// fatal error so the close delivers the error response + FIN instead of
+/// an RST (same rationale as the blocking `drain_for_close`).
+const LAME_BUDGET: usize = 2 * crate::http::MAX_BODY_BYTES;
+
+/// Lame-duck linger: how long we wait for the peer to take the FIN.
+const LAME_LINGER: Duration = Duration::from_secs(1);
+
+/// What the reactor should do with the connection after a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Flow {
+    /// Keep serving.
+    Keep,
+    /// Retire the connection (drop closes the socket).
+    Close,
+}
+
+/// One response slot: an inbound message awaiting (or holding) its
+/// response. Completed in place, rendered strictly in arrival order.
+enum Slot {
+    /// A dispatched JSON `/invoke` decision; completed by the shard's
+    /// [`InvokeReply`].
+    Json(Option<Result<Decision, InvokeError>>),
+    /// A dispatched SITW-BIN frame; each shard's [`BatchReply`] fills
+    /// its records, `remaining` counts shards still owing one.
+    Frame {
+        version: u8,
+        remaining: usize,
+        results: Vec<Option<Result<Decision, InvokeError>>>,
+    },
+    /// A typed SITW-BIN error frame queued behind earlier messages.
+    BinError { code: BinErrorCode, detail: String },
+    /// A control request (health, metrics, admin), *executed at flush
+    /// time* — exactly when every earlier message has answered — so
+    /// admin side effects and scrape visibility keep the blocking
+    /// server's settle-then-serve semantics.
+    Control(Request),
+    /// A fully rendered HTTP response (invoke parse errors, 413s).
+    Http(Vec<u8>),
+}
+
+impl Slot {
+    fn is_complete(&self) -> bool {
+        match self {
+            Slot::Json(done) => done.is_some(),
+            Slot::Frame { remaining, .. } => *remaining == 0,
+            Slot::BinError { .. } | Slot::Control(_) | Slot::Http(_) => true,
+        }
+    }
+}
+
+/// The ordered response pipeline (see the module docs).
+struct Pipeline {
+    /// In-flight slots, oldest first; `slots[i]` has sequence
+    /// `front_seq + i` (sequences are dense, so reply slotting is O(1)).
+    slots: VecDeque<Slot>,
+    front_seq: u64,
+    next_seq: u64,
+    /// Decisions in flight: one per JSON request, one per record across
+    /// frames — the `pipeline_window` backpressure unit.
+    inflight: usize,
+}
+
+impl Pipeline {
+    fn new() -> Pipeline {
+        Pipeline {
+            slots: VecDeque::new(),
+            front_seq: 0,
+            next_seq: 0,
+            inflight: 0,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Appends a slot, returning its sequence number.
+    fn push(&mut self, slot: Slot) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.slots.push_back(slot);
+        seq
+    }
+
+    fn absorb_invoke(&mut self, reply: InvokeReply) {
+        let Some(idx) = reply.seq.checked_sub(self.front_seq) else {
+            return;
+        };
+        if let Some(Slot::Json(done)) = self.slots.get_mut(idx as usize) {
+            *done = Some(reply.result);
+        }
+    }
+
+    fn absorb_batch(&mut self, reply: BatchReply) {
+        let Some(idx) = reply.frame_seq.checked_sub(self.front_seq) else {
+            return;
+        };
+        if let Some(Slot::Frame {
+            results, remaining, ..
+        }) = self.slots.get_mut(idx as usize)
+        {
+            for (i, result) in reply.results {
+                results[i as usize] = Some(result);
+            }
+            *remaining -= 1;
+        }
+    }
+}
+
+/// Lame-duck drain state after a fatal error's response went out.
+struct Lame {
+    deadline: Instant,
+    budget: usize,
+}
+
+/// One connection owned by a reactor thread.
+pub(crate) struct Conn {
+    buf: ConnBuf,
+    token: u64,
+    /// Pending output and the partial-write cursor into it.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Reusable parse targets (see [`ConnBuf::read_event_into`]).
+    req: Request,
+    records: Vec<BinInvoke>,
+    pipeline: Pipeline,
+    /// Interest currently registered with epoll.
+    read_armed: bool,
+    write_armed: bool,
+    /// The peer half-closed cleanly; settle and retire.
+    read_eof: bool,
+    /// Stop reading new requests (client `Connection: close`, or server
+    /// shutdown); settle and retire.
+    close_requested: bool,
+    /// A fatal response is queued: once it flushes, half-close and go
+    /// lame-duck.
+    fatal: bool,
+    lame: Option<Lame>,
+    /// When the buffered partial message stopped making progress — the
+    /// slowloris clock. `None` while no partial message is pending.
+    partial_since: Option<Instant>,
+    /// Read backpressure latch. Set when in-flight decisions or the
+    /// output backlog hit their high-water marks, cleared only at the
+    /// low-water marks: without the hysteresis, a client that pins its
+    /// pipeline window full would toggle epoll read interest (two
+    /// `epoll_ctl` syscalls) around *every* decision.
+    paused: bool,
+    /// A write hit `WouldBlock` with bytes left: EPOLLOUT is wanted and
+    /// writes flush on writability instead of waiting for coalescing.
+    write_blocked: bool,
+    /// Set while the connection sits on the reactor's touched list.
+    pub(crate) dirty: bool,
+}
+
+impl Conn {
+    /// Adopts an accepted stream: non-blocking, no delay, empty state.
+    pub fn new(stream: TcpStream) -> io::Result<Conn> {
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        Ok(Conn {
+            buf: ConnBuf::new(stream),
+            token: 0,
+            out: Vec::new(),
+            out_pos: 0,
+            req: Request::default(),
+            records: Vec::new(),
+            pipeline: Pipeline::new(),
+            read_armed: true,
+            write_armed: false,
+            read_eof: false,
+            close_requested: false,
+            fatal: false,
+            lame: None,
+            partial_since: None,
+            paused: false,
+            write_blocked: false,
+            dirty: false,
+        })
+    }
+
+    /// Records the slab token the reactor filed this connection under.
+    pub fn set_token(&mut self, token: u64) {
+        self.token = token;
+    }
+
+    /// The socket descriptor (for epoll registration).
+    pub fn raw_fd(&self) -> RawFd {
+        self.buf.stream().as_raw_fd()
+    }
+
+    /// Interest the reactor registered at `add` time.
+    pub fn initial_interest(&self) -> Interest {
+        Interest::READ
+    }
+
+    /// Absorbs one shard reply to a JSON decision.
+    pub fn on_invoke_reply(&mut self, reply: InvokeReply) {
+        self.pipeline.absorb_invoke(reply);
+    }
+
+    /// Absorbs one shard reply to (a slice of) a SITW-BIN frame.
+    pub fn on_batch_reply(&mut self, reply: BatchReply) {
+        self.pipeline.absorb_batch(reply);
+    }
+
+    /// Handles one epoll readiness event.
+    pub fn on_event(&mut self, readable: bool, hangup: bool, io: &mut ReactorIo<'_>) -> Flow {
+        if hangup && !readable {
+            // Error/full hang-up with nothing left to deliver.
+            return Flow::Close;
+        }
+        if readable {
+            if let Flow::Close = self.on_readable(io) {
+                return Flow::Close;
+            }
+        }
+        self.pump(io)
+    }
+
+    /// True once nothing is owed in either direction.
+    pub fn settled(&self) -> bool {
+        self.pipeline.is_empty() && self.out_pos == self.out.len()
+    }
+
+    /// Server shutdown: stop taking new requests; the reactor keeps
+    /// pumping until the connection settles (or its grace runs out).
+    pub fn begin_shutdown(&mut self) {
+        self.close_requested = true;
+    }
+
+    /// Periodic check: enforce the slowloris idle timeout and the
+    /// lame-duck linger.
+    pub fn sweep(&mut self, now: Instant, idle_timeout: Duration) -> Flow {
+        if let Some(lame) = &self.lame {
+            if now >= lame.deadline {
+                return Flow::Close;
+            }
+        }
+        if let Some(since) = self.partial_since {
+            if now.duration_since(since) >= idle_timeout {
+                return Flow::Close;
+            }
+        }
+        Flow::Keep
+    }
+
+    /// The readiness the connection wants right now (`paused` is the
+    /// backpressure latch maintained by [`Conn::read_paused`]).
+    pub fn desired_interest(&self) -> Interest {
+        let readable = if self.lame.is_some() {
+            true // Keep absorbing until EOF/budget/deadline.
+        } else {
+            !self.read_eof && !self.close_requested && !self.fatal && !self.paused
+        };
+        Interest {
+            readable,
+            // Write readiness only helps a *blocked* write; a deferred
+            // (coalescing) write must not arm EPOLLOUT, or the instantly
+            // writable socket would defeat the deferral.
+            writable: self.write_blocked,
+        }
+    }
+
+    /// Syncs `desired` against what epoll last heard; returns the new
+    /// interest when a `modify` is needed.
+    pub fn interest_change(&mut self) -> Option<Interest> {
+        let desired = self.desired_interest();
+        if desired.readable == self.read_armed && desired.writable == self.write_armed {
+            return None;
+        }
+        self.read_armed = desired.readable;
+        self.write_armed = desired.writable;
+        Some(desired)
+    }
+
+    /// Updates the backpressure latch and reports it. Pauses at the
+    /// high-water marks, resumes at half of them.
+    fn read_paused(&mut self, ctx: &ServerCtx) -> bool {
+        let inflight = self.pipeline.inflight;
+        let backlog = self.out.len() - self.out_pos;
+        if self.paused {
+            if inflight <= ctx.cfg.pipeline_window / 2 && backlog < OUT_BACKPRESSURE_BYTES / 2 {
+                self.paused = false;
+            }
+        } else if inflight >= ctx.cfg.pipeline_window || backlog >= OUT_BACKPRESSURE_BYTES {
+            self.paused = true;
+        }
+        self.paused
+    }
+
+    /// Parses and dispatches everything the socket has for us.
+    fn on_readable(&mut self, io: &mut ReactorIo<'_>) -> Flow {
+        if self.lame.is_some() {
+            return self.drain_lame();
+        }
+        if self.read_eof || self.close_requested || self.fatal {
+            return Flow::Keep;
+        }
+        loop {
+            if self.read_paused(io.ctx) {
+                break;
+            }
+            match self.buf.read_event_into(&mut self.req, &mut self.records) {
+                Ok(ReadEvent::Request) => {
+                    self.partial_since = None;
+                    if let Flow::Close = self.handle_request(io) {
+                        return Flow::Close;
+                    }
+                    if self.close_requested {
+                        break;
+                    }
+                }
+                Ok(ReadEvent::Frame { version }) => {
+                    self.partial_since = None;
+                    if let Flow::Close = self.submit_frame(version, io) {
+                        return Flow::Close;
+                    }
+                }
+                Ok(ReadEvent::FrameError {
+                    code,
+                    detail,
+                    recoverable,
+                }) => {
+                    self.partial_since = None;
+                    self.pipeline.push(Slot::BinError { code, detail });
+                    if !recoverable {
+                        // The stream cannot be resynchronized: answer in
+                        // order, then half-close and drain (lame-duck).
+                        self.fatal = true;
+                        break;
+                    }
+                }
+                Ok(ReadEvent::Eof) => {
+                    self.read_eof = true;
+                    break;
+                }
+                Ok(ReadEvent::Timeout) => {
+                    // Socket drained. A leftover partial message — or an
+                    // unfinished malformed-frame skip, whose bytes the
+                    // peer still owes us — starts the slowloris clock;
+                    // progress resets it above.
+                    if self.buf.buffered() > 0 || self.buf.skipping() {
+                        self.partial_since.get_or_insert_with(Instant::now);
+                    } else {
+                        self.partial_since = None;
+                    }
+                    break;
+                }
+                Ok(ReadEvent::BodyTooLarge { .. }) => {
+                    // The body was never read, so the stream cannot be
+                    // resynchronized: 413 (in order), then lame-duck.
+                    let mut resp = Vec::with_capacity(128);
+                    write_response(
+                        &mut resp,
+                        413,
+                        "application/json",
+                        b"{\"error\":\"payload too large\"}",
+                    );
+                    self.pipeline.push(Slot::Http(resp));
+                    self.fatal = true;
+                    break;
+                }
+                Err(_) => return Flow::Close, // Malformed request or I/O error.
+            }
+        }
+        Flow::Keep
+    }
+
+    /// Queues (and for `/invoke`, dispatches) one parsed HTTP request.
+    fn handle_request(&mut self, io: &mut ReactorIo<'_>) -> Flow {
+        if self.req.close {
+            self.close_requested = true;
+        }
+        if self.req.method == "POST" && self.req.path == "/invoke" {
+            match parse_and_route(&self.req.body, io.ctx) {
+                Ok((tenant, shard, inv)) => {
+                    let seq = self.pipeline.push(Slot::Json(None));
+                    self.pipeline.inflight += 1;
+                    let msg = ShardMsg::Invoke {
+                        tenant,
+                        app: inv.app,
+                        ts: inv.ts,
+                        seq,
+                        reply: io.reply_sink(self.token),
+                    };
+                    if io.ctx.shard_txs[shard].send(msg).is_err() {
+                        return Flow::Close; // Shard gone: shutting down.
+                    }
+                }
+                Err(e) => {
+                    let mut body = Vec::with_capacity(64);
+                    body.extend_from_slice(b"{\"error\":\"");
+                    body.extend_from_slice(wire::json_escape(&e).as_bytes());
+                    body.extend_from_slice(b"\"}");
+                    let mut resp = Vec::with_capacity(body.len() + 64);
+                    write_response(&mut resp, 400, "application/json", &body);
+                    self.pipeline.push(Slot::Http(resp));
+                }
+            }
+        } else {
+            // Control requests execute when they reach the pipeline
+            // head; queue the request itself (rare path, one clone).
+            let queued = self.req.clone();
+            self.pipeline.push(Slot::Control(queued));
+        }
+        Flow::Keep
+    }
+
+    /// Dispatches one SITW-BIN frame to the shards without waiting:
+    /// records are partitioned by `(tenant, app)` route, each shard gets
+    /// its whole slice in **one** mailbox message, and a frame slot
+    /// joins the pipeline to be reassembled in order as the
+    /// [`BatchReply`]s come back.
+    fn submit_frame(&mut self, version: u8, io: &mut ReactorIo<'_>) -> Flow {
+        let ctx = io.ctx;
+        let n = self.records.len();
+        ctx.frames.fetch_add(1, Ordering::Relaxed);
+        let shards = ctx.shard_txs.len();
+        if io.per_shard.len() < shards {
+            io.per_shard.resize_with(shards, Vec::new);
+        }
+        {
+            let registry = ctx.registry.read().expect("registry poisoned");
+            for (idx, rec) in self.records.drain(..).enumerate() {
+                if registry.get(rec.tenant).is_none() {
+                    for slice in io.per_shard.iter_mut() {
+                        slice.clear();
+                    }
+                    self.pipeline.push(Slot::BinError {
+                        code: BinErrorCode::Malformed,
+                        detail: format!("record {idx}: unknown tenant id {}", rec.tenant),
+                    });
+                    return Flow::Keep;
+                }
+                let shard = registry.shard_of(rec.tenant, &rec.app, shards);
+                io.per_shard[shard].push(BatchItem {
+                    idx: idx as u32,
+                    tenant: rec.tenant,
+                    app: rec.app,
+                    ts: rec.ts,
+                });
+            }
+        }
+        // The frame's sequence is fixed before dispatch; replies cannot
+        // overtake the push below because this thread processes them.
+        let frame_seq = self.pipeline.next_seq;
+        let mut expected = 0usize;
+        for shard in 0..shards {
+            if io.per_shard[shard].is_empty() {
+                continue;
+            }
+            let msg = ShardMsg::InvokeBatch {
+                frame_seq,
+                items: std::mem::take(&mut io.per_shard[shard]),
+                reply: io.reply_sink(self.token),
+            };
+            if ctx.shard_txs[shard].send(msg).is_err() {
+                // Shard gone (shutting down / panicked). The scratch is
+                // reactor-wide: clear the not-yet-taken slices so this
+                // dead frame's records cannot leak into the next frame
+                // dispatched on this reactor.
+                for slice in io.per_shard.iter_mut() {
+                    slice.clear();
+                }
+                return Flow::Close;
+            }
+            expected += 1;
+        }
+        let seq = self.pipeline.push(Slot::Frame {
+            version,
+            remaining: expected,
+            results: vec![None; n],
+        });
+        debug_assert_eq!(seq, frame_seq);
+        self.pipeline.inflight += n;
+        Flow::Keep
+    }
+
+    /// Renders every complete slot at the pipeline head, writes, and
+    /// decides the connection's fate.
+    pub fn pump(&mut self, io: &mut ReactorIo<'_>) -> Flow {
+        loop {
+            self.flush_ready(io);
+            let backlog = self.out.len() - self.out_pos;
+            if backlog > 0
+                && (self.pipeline.is_empty()
+                    || backlog >= WRITE_COALESCE_BYTES
+                    || self.write_blocked)
+            {
+                if let Flow::Close = self.write_out() {
+                    return Flow::Close;
+                }
+            }
+            if self.fatal && self.lame.is_none() && self.settled() {
+                // Fatal response delivered: FIN the write side, absorb
+                // the rest so the response survives, then retire.
+                let _ = self.buf.stream().shutdown(Shutdown::Write);
+                self.lame = Some(Lame {
+                    deadline: Instant::now() + LAME_LINGER,
+                    budget: LAME_BUDGET,
+                });
+                return self.drain_lame();
+            }
+            if (self.read_eof || self.close_requested) && self.lame.is_none() && self.settled() {
+                return Flow::Close;
+            }
+            // Backpressure can pause parsing with complete messages
+            // already pulled off the socket into the connection buffer;
+            // level-triggered epoll will never re-signal those bytes.
+            // Once flushing makes room again, resume parsing here — but
+            // only while it makes progress (a half-received message
+            // legitimately stays buffered).
+            let resumable = self.lame.is_none()
+                && !self.read_eof
+                && !self.close_requested
+                && !self.fatal
+                && !self.read_paused(io.ctx)
+                && self.buf.buffered() > 0;
+            if !resumable {
+                return Flow::Keep;
+            }
+            let before = (self.pipeline.next_seq, self.buf.buffered());
+            if let Flow::Close = self.on_readable(io) {
+                return Flow::Close;
+            }
+            if (self.pipeline.next_seq, self.buf.buffered()) == before {
+                return Flow::Keep;
+            }
+        }
+    }
+
+    fn flush_ready(&mut self, io: &mut ReactorIo<'_>) {
+        while self.pipeline.slots.front().is_some_and(Slot::is_complete) {
+            let slot = self.pipeline.slots.pop_front().expect("checked front");
+            self.pipeline.front_seq += 1;
+            match slot {
+                Slot::Json(done) => {
+                    self.pipeline.inflight -= 1;
+                    render_json(&mut self.out, io.scratch, done.expect("complete decision"));
+                }
+                Slot::Frame {
+                    version, results, ..
+                } => {
+                    self.pipeline.inflight -= results.len();
+                    io.results.clear();
+                    io.results.extend(
+                        results
+                            .into_iter()
+                            .map(|r| r.expect("complete frame has every record")),
+                    );
+                    wire::encode_reply_frame(&mut self.out, version, io.results);
+                    io.ctx
+                        .batched_decisions
+                        .fetch_add(io.results.len() as u64, Ordering::Relaxed);
+                }
+                Slot::BinError { code, detail } => {
+                    io.ctx.proto_errors.fetch_add(1, Ordering::Relaxed);
+                    wire::encode_error_frame(&mut self.out, code, &detail);
+                }
+                Slot::Control(req) => {
+                    // Executed only now — once every earlier message on
+                    // the connection has fully answered.
+                    handle_control(&req, io.ctx, &mut self.out);
+                }
+                Slot::Http(bytes) => self.out.extend_from_slice(&bytes),
+            }
+        }
+    }
+
+    /// Writes as much pending output as the socket takes; keeps the
+    /// cursor for resumption when the kernel buffer fills.
+    fn write_out(&mut self) -> Flow {
+        while self.out_pos < self.out.len() {
+            let mut stream = self.buf.stream();
+            match stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Flow::Close,
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.write_blocked = true;
+                    return Flow::Keep;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Flow::Close,
+            }
+        }
+        self.write_blocked = false;
+        if self.out_pos > 0 {
+            self.out.clear();
+            self.out_pos = 0;
+            if self.out.capacity() > OUT_SHRINK_ABOVE {
+                self.out.shrink_to(OUT_SHRINK_TO);
+            }
+        }
+        Flow::Keep
+    }
+
+    fn drain_lame(&mut self) -> Flow {
+        let lame = self.lame.as_mut().expect("lame-duck state");
+        match self.buf.drain_nonblocking(&mut lame.budget) {
+            DrainOutcome::Eof | DrainOutcome::Overflow => Flow::Close,
+            DrainOutcome::Pending => {
+                if Instant::now() >= lame.deadline {
+                    Flow::Close
+                } else {
+                    Flow::Keep
+                }
+            }
+        }
+    }
+}
+
+/// Renders one JSON decision (or rejection) as a full HTTP response,
+/// through the reactor's reusable body scratch.
+fn render_json(out: &mut Vec<u8>, scratch: &mut Vec<u8>, result: Result<Decision, InvokeError>) {
+    match result {
+        Ok(decision) => {
+            scratch.clear();
+            wire::render_decision(scratch, &decision);
+            write_response(out, 200, "application/json", scratch);
+        }
+        Err(InvokeError::OutOfOrder { last_ts }) => {
+            scratch.clear();
+            scratch.extend_from_slice(b"{\"error\":\"out-of-order\",\"last_ts\":");
+            push_u64(scratch, last_ts);
+            scratch.push(b'}');
+            write_response(out, 409, "application/json", scratch);
+        }
+        Err(InvokeError::UnknownTenant) => {
+            // Unreachable: tenants are resolved before dispatch.
+            write_response(
+                out,
+                400,
+                "application/json",
+                b"{\"error\":\"unknown tenant\"}",
+            );
+        }
+    }
+}

@@ -15,7 +15,7 @@
 use std::io::{self, Read};
 use std::net::TcpStream;
 
-use crate::wire::{self, BinErrorCode, BinInvoke, FrameDecode};
+use crate::wire::{self, BinErrorCode, BinInvoke, FrameDecodeInto};
 
 /// Maximum accepted header block (request line + headers).
 const MAX_HEADER_BYTES: usize = 16 * 1024;
@@ -25,7 +25,12 @@ const MAX_HEADER_BYTES: usize = 16 * 1024;
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 
 /// One parsed request, borrowing nothing (bodies are small).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// On the reactor's hot path a `Request` is a per-connection scratch
+/// that [`ConnBuf::read_event_into`] refills in place — the `String`s
+/// and the body `Vec` keep their capacity across requests, so a
+/// steady-state connection parses without allocating.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Request {
     /// Request method, upper-case as received (`GET`, `POST`, ...).
     pub method: String,
@@ -95,6 +100,58 @@ pub enum EventOutcome {
     },
 }
 
+/// Outcome of one [`ConnBuf::read_event_into`] call. Unlike
+/// [`EventOutcome`] this carries no payload: request fields land in the
+/// caller's reusable [`Request`] and frame records in the caller's
+/// reusable `Vec<BinInvoke>`, so the per-message parse allocates nothing
+/// once those buffers are warm.
+#[derive(Debug)]
+pub enum ReadEvent {
+    /// A complete HTTP request was written into the caller's `Request`.
+    Request,
+    /// A complete SITW-BIN request frame was written into the caller's
+    /// record buffer.
+    Frame {
+        /// The frame's protocol version (replies must echo it).
+        version: u8,
+    },
+    /// A SITW-BIN protocol error (see [`EventOutcome::FrameError`]).
+    FrameError {
+        /// The typed error to send back.
+        code: BinErrorCode,
+        /// Human-readable detail for the error frame.
+        detail: String,
+        /// The connection can continue after the error frame.
+        recoverable: bool,
+    },
+    /// The peer closed the connection cleanly (between messages).
+    Eof,
+    /// No complete message is buffered and the socket has nothing more
+    /// right now (read timeout on blocking sockets, `WouldBlock` on
+    /// non-blocking ones); partial bytes stay buffered and parsing
+    /// resumes on the next call.
+    Timeout,
+    /// An HTTP request declared a `Content-Length` beyond
+    /// [`MAX_BODY_BYTES`] (see [`ReadOutcome::BodyTooLarge`]).
+    BodyTooLarge {
+        /// The declared content length.
+        declared: u64,
+    },
+}
+
+/// Progress of a lame-duck drain (see [`ConnBuf::drain_nonblocking`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainOutcome {
+    /// The peer closed; the connection can now be dropped with a clean
+    /// FIN exchange.
+    Eof,
+    /// The socket has no more bytes right now; keep draining on the next
+    /// readiness event.
+    Pending,
+    /// The discard budget is spent; give up on politeness and drop.
+    Overflow,
+}
+
 /// Buffered reader over a [`TcpStream`] that survives read timeouts.
 pub struct ConnBuf {
     stream: TcpStream,
@@ -107,11 +164,13 @@ pub struct ConnBuf {
 }
 
 impl ConnBuf {
-    /// Wraps a stream (whose read timeout the caller configures).
+    /// Wraps a stream (whose read timeout the caller configures). The
+    /// buffer starts empty and unallocated — an accepted connection that
+    /// never sends costs no heap at all.
     pub fn new(stream: TcpStream) -> Self {
         Self {
             stream,
-            buf: Vec::with_capacity(16 * 1024),
+            buf: Vec::new(),
             start: 0,
             skip_remaining: 0,
         }
@@ -122,13 +181,37 @@ impl ConnBuf {
         self.buf.len() - self.start
     }
 
+    /// True while a malformed-but-delimited frame is still being
+    /// discarded. The connection is mid-message for timeout purposes —
+    /// the buffer may be empty, but the peer owes us skip bytes.
+    pub fn skipping(&self) -> bool {
+        self.skip_remaining > 0
+    }
+
+    /// The underlying stream. The reactor writes responses through it
+    /// (`Write` is implemented for `&TcpStream`), so a non-blocking
+    /// connection needs no `try_clone`.
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
     /// Reads more bytes from the socket into the buffer.
     ///
     /// Returns `Ok(0)` on EOF, `Err` with `WouldBlock`/`TimedOut` on a
     /// read timeout.
     fn fill(&mut self) -> io::Result<usize> {
-        // Compact once the consumed prefix dominates.
-        if self.start > 4096 && self.start * 2 > self.buf.len() {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+            // A burst (one big frame) must not pin its buffer for the
+            // rest of a long-lived keep-alive connection: thousands of
+            // mostly idle sockets only stay cheap if quiescent buffers
+            // return to a small footprint.
+            if self.buf.capacity() > 256 * 1024 {
+                self.buf.shrink_to(16 * 1024);
+            }
+        } else if self.start > 4096 && self.start * 2 > self.buf.len() {
+            // Compact once the consumed prefix dominates.
             self.buf.drain(..self.start);
             self.start = 0;
         }
@@ -136,6 +219,33 @@ impl ConnBuf {
         let n = self.stream.read(&mut chunk)?;
         self.buf.extend_from_slice(&chunk[..n]);
         Ok(n)
+    }
+
+    /// Non-blocking flavour of [`ConnBuf::drain_for_close`] for the
+    /// reactor's lame-duck state: discards everything buffered plus
+    /// whatever the socket can deliver right now, decrementing `budget`.
+    /// The caller keeps the connection registered for reads and calls
+    /// this again until EOF (clean close), an exhausted budget, or its
+    /// own deadline.
+    pub fn drain_nonblocking(&mut self, budget: &mut usize) -> DrainOutcome {
+        *budget = budget.saturating_sub(self.buffered() + self.skip_remaining);
+        self.buf.clear();
+        self.start = 0;
+        self.skip_remaining = 0;
+        loop {
+            if *budget == 0 {
+                return DrainOutcome::Overflow;
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return DrainOutcome::Eof,
+                Ok(n) => *budget = budget.saturating_sub(n),
+                Err(e) if is_timeout(&e) => return DrainOutcome::Pending,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // The connection is unusable either way; treat as gone.
+                Err(_) => return DrainOutcome::Eof,
+            }
+        }
     }
 
     /// Best-effort discard of unread request bytes before closing the
@@ -160,8 +270,39 @@ impl ConnBuf {
 
     /// Parses the next pipelined message — HTTP request or SITW-BIN
     /// frame, sniffed on the first unconsumed byte — reading from the
-    /// socket as needed.
+    /// socket as needed. Allocating convenience wrapper around
+    /// [`ConnBuf::read_event_into`].
     pub fn read_event(&mut self) -> io::Result<EventOutcome> {
+        let mut req = Request::default();
+        let mut records = Vec::new();
+        Ok(match self.read_event_into(&mut req, &mut records)? {
+            ReadEvent::Request => EventOutcome::Request(req),
+            ReadEvent::Frame { version } => EventOutcome::Frame { records, version },
+            ReadEvent::FrameError {
+                code,
+                detail,
+                recoverable,
+            } => EventOutcome::FrameError {
+                code,
+                detail,
+                recoverable,
+            },
+            ReadEvent::Eof => EventOutcome::Eof,
+            ReadEvent::Timeout => EventOutcome::Timeout,
+            ReadEvent::BodyTooLarge { declared } => EventOutcome::BodyTooLarge { declared },
+        })
+    }
+
+    /// Parses the next pipelined message into caller-owned buffers:
+    /// request fields into `req`, frame records into `records` (both
+    /// overwritten, reused across calls — the zero-allocation entry
+    /// point the reactor drives). Semantics otherwise match
+    /// [`ConnBuf::read_event`].
+    pub fn read_event_into(
+        &mut self,
+        req: &mut Request,
+        records: &mut Vec<BinInvoke>,
+    ) -> io::Result<ReadEvent> {
         // Finish discarding a malformed-but-delimited frame first, so a
         // skip larger than the buffer never has to be buffered whole.
         while self.skip_remaining > 0 {
@@ -172,46 +313,37 @@ impl ConnBuf {
                 break;
             }
             match self.fill() {
-                Ok(0) => return Ok(EventOutcome::Eof),
+                Ok(0) => return Ok(ReadEvent::Eof),
                 Ok(_) => {}
-                Err(e) if is_timeout(&e) => return Ok(EventOutcome::Timeout),
+                Err(e) if is_timeout(&e) => return Ok(ReadEvent::Timeout),
                 Err(e) => return Err(e),
             }
         }
         while self.buffered() == 0 {
             match self.fill() {
-                Ok(0) => return Ok(EventOutcome::Eof),
+                Ok(0) => return Ok(ReadEvent::Eof),
                 Ok(_) => {}
-                Err(e) if is_timeout(&e) => return Ok(EventOutcome::Timeout),
+                Err(e) if is_timeout(&e) => return Ok(ReadEvent::Timeout),
                 Err(e) => return Err(e),
             }
         }
         if self.buf[self.start] == wire::BIN_MAGIC {
-            self.read_frame()
+            self.read_frame_into(records)
         } else {
-            Ok(match self.read_http()? {
-                ReadOutcome::Request(r) => EventOutcome::Request(r),
-                ReadOutcome::Eof => EventOutcome::Eof,
-                ReadOutcome::Timeout => EventOutcome::Timeout,
-                ReadOutcome::BodyTooLarge { declared } => EventOutcome::BodyTooLarge { declared },
-            })
+            self.read_http_into(req)
         }
     }
 
-    /// Parses the next SITW-BIN frame. The first unconsumed byte is
-    /// already known to be [`wire::BIN_MAGIC`].
-    fn read_frame(&mut self) -> io::Result<EventOutcome> {
+    /// Parses the next SITW-BIN frame into `records`. The first
+    /// unconsumed byte is already known to be [`wire::BIN_MAGIC`].
+    fn read_frame_into(&mut self, records: &mut Vec<BinInvoke>) -> io::Result<ReadEvent> {
         loop {
-            match wire::decode_request_frame(&self.buf[self.start..]) {
-                FrameDecode::Request {
-                    records,
-                    version,
-                    consumed,
-                } => {
+            match wire::decode_request_frame_into(&self.buf[self.start..], records) {
+                FrameDecodeInto::Request { version, consumed } => {
                     self.start += consumed;
-                    return Ok(EventOutcome::Frame { records, version });
+                    return Ok(ReadEvent::Frame { version });
                 }
-                FrameDecode::Error { code, detail, skip } => {
+                FrameDecodeInto::Error { code, detail, skip } => {
                     let recoverable = skip.is_some();
                     if let Some(total) = skip {
                         // Consume what is buffered now; the rest is
@@ -220,13 +352,13 @@ impl ConnBuf {
                         self.start += have;
                         self.skip_remaining = total - have;
                     }
-                    return Ok(EventOutcome::FrameError {
+                    return Ok(ReadEvent::FrameError {
                         code,
                         detail,
                         recoverable,
                     });
                 }
-                FrameDecode::Incomplete => match self.fill() {
+                FrameDecodeInto::Incomplete => match self.fill() {
                     Ok(0) => {
                         return Err(io::Error::new(
                             io::ErrorKind::UnexpectedEof,
@@ -234,7 +366,7 @@ impl ConnBuf {
                         ))
                     }
                     Ok(_) => {}
-                    Err(e) if is_timeout(&e) => return Ok(EventOutcome::Timeout),
+                    Err(e) if is_timeout(&e) => return Ok(ReadEvent::Timeout),
                     Err(e) => return Err(e),
                 },
             }
@@ -258,21 +390,20 @@ impl ConnBuf {
         }
     }
 
-    /// Parses the next HTTP request from the buffer.
-    fn read_http(&mut self) -> io::Result<ReadOutcome> {
+    /// Parses the next HTTP request from the buffer into `req`.
+    fn read_http_into(&mut self, req: &mut Request) -> io::Result<ReadEvent> {
         loop {
             // 1. Find the end of the header block in the buffered bytes.
             let window = &self.buf[self.start..];
             if let Some(header_end) = find_crlfcrlf(window) {
-                let header = &window[..header_end];
-                let parsed = parse_header(header)
+                let content_length = parse_header(&window[..header_end], req)
                     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-                if parsed.content_length > MAX_BODY_BYTES as u64 {
-                    return Ok(ReadOutcome::BodyTooLarge {
-                        declared: parsed.content_length,
+                if content_length > MAX_BODY_BYTES as u64 {
+                    return Ok(ReadEvent::BodyTooLarge {
+                        declared: content_length,
                     });
                 }
-                let body_len = parsed.content_length as usize;
+                let body_len = content_length as usize;
                 let total = header_end + 4 + body_len;
                 // 2. Ensure the body is fully buffered. A timeout here
                 // surfaces as `Timeout` just like the mid-header path
@@ -289,19 +420,16 @@ impl ConnBuf {
                             ))
                         }
                         Ok(_) => {}
-                        Err(e) if is_timeout(&e) => return Ok(ReadOutcome::Timeout),
+                        Err(e) if is_timeout(&e) => return Ok(ReadEvent::Timeout),
                         Err(e) => return Err(e),
                     }
                 }
                 let body_start = self.start + header_end + 4;
-                let body = self.buf[body_start..body_start + body_len].to_vec();
+                req.body.clear();
+                req.body
+                    .extend_from_slice(&self.buf[body_start..body_start + body_len]);
                 self.start += total;
-                return Ok(ReadOutcome::Request(Request {
-                    method: parsed.method,
-                    path: parsed.path,
-                    body,
-                    close: parsed.close,
-                }));
+                return Ok(ReadEvent::Request);
             }
             if self.buffered() > MAX_HEADER_BYTES {
                 return Err(io::Error::new(
@@ -313,7 +441,7 @@ impl ConnBuf {
             match self.fill() {
                 Ok(0) => {
                     return if self.buffered() == 0 {
-                        Ok(ReadOutcome::Eof)
+                        Ok(ReadEvent::Eof)
                     } else {
                         Err(io::Error::new(
                             io::ErrorKind::UnexpectedEof,
@@ -322,7 +450,7 @@ impl ConnBuf {
                     }
                 }
                 Ok(_) => {}
-                Err(e) if is_timeout(&e) => return Ok(ReadOutcome::Timeout),
+                Err(e) if is_timeout(&e) => return Ok(ReadEvent::Timeout),
                 Err(e) => return Err(e),
             }
         }
@@ -340,24 +468,25 @@ fn find_crlfcrlf(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-struct ParsedHeader {
-    method: String,
-    path: String,
-    content_length: u64,
-    close: bool,
-}
-
-fn parse_header(header: &[u8]) -> Result<ParsedHeader, String> {
+/// Parses a header block into `req` (method, path, close flag; the body
+/// is the caller's job) and returns the declared content length. Writes
+/// into `req`'s existing `String`s so a reused `Request` parses without
+/// allocating.
+fn parse_header(header: &[u8], req: &mut Request) -> Result<u64, String> {
     let text = std::str::from_utf8(header).map_err(|_| "non-utf8 header")?;
     let mut lines = text.split("\r\n");
     let request_line = lines.next().ok_or("empty request")?;
     let mut parts = request_line.split_ascii_whitespace();
-    let method = parts.next().ok_or("missing method")?.to_owned();
-    let path = parts.next().ok_or("missing path")?.to_owned();
+    let method = parts.next().ok_or("missing method")?;
+    let path = parts.next().ok_or("missing path")?;
     let version = parts.next().ok_or("missing version")?;
     if !version.starts_with("HTTP/1.") {
         return Err(format!("unsupported version {version}"));
     }
+    req.method.clear();
+    req.method.push_str(method);
+    req.path.clear();
+    req.path.push_str(path);
 
     let mut content_length = 0u64;
     let mut close = version == "HTTP/1.0";
@@ -381,12 +510,8 @@ fn parse_header(header: &[u8]) -> Result<ParsedHeader, String> {
             }
         }
     }
-    Ok(ParsedHeader {
-        method,
-        path,
-        content_length,
-        close,
-    })
+    req.close = close;
+    Ok(content_length)
 }
 
 /// Appends a full response (status line, headers, body) to `out`.

@@ -5,10 +5,16 @@
 //! workspace's policy engine into that shape — a long-running daemon a
 //! FaaS control plane would consult on every function execution:
 //!
-//! * **HTTP/1.1 over `TcpListener`** ([`http`], [`server`]): std-only,
-//!   persistent connections, request pipelining; one OS thread per
-//!   connection, sized for control-plane fan-in (tens of front-end
-//!   connections), not the data plane.
+//! * **HTTP/1.1 over an epoll reactor** ([`http`], [`server`],
+//!   [`reactor`], `conn`): std-only, persistent connections, request
+//!   pipelining. A fixed pool of event-loop threads multiplexes every
+//!   connection over `sitw_reactor`'s raw epoll/eventfd bindings —
+//!   thousands of mostly idle keep-alive clients cost a slab entry
+//!   each, not a thread — with per-connection buffer reuse (the
+//!   steady-state hot path allocates only the app-id `String` the
+//!   shard map needs), coalesced response writes, read-backpressure
+//!   hysteresis, a slowloris idle timeout, and connection gauges in
+//!   `/metrics`.
 //! * **Sharded policy state** ([`shard`]): N worker threads each own the
 //!   per-application policy state for their hash slice of the app space.
 //!   Requests reach shards through mailbox channels; there are **no
@@ -79,16 +85,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod conn;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
+pub mod reactor;
 pub mod server;
 pub mod shard;
 pub mod snapshot;
 pub mod wire;
 
 pub use loadgen::{run_loadgen, LoadGenConfig, LoadGenReport, Proto};
-pub use metrics::{MetricsReport, ProtoStats, ShardStats, TenantStats};
+pub use metrics::{ConnStats, MetricsReport, ProtoStats, ShardStats, TenantStats};
+pub use reactor::ReplySink;
 pub use server::{ServeConfig, Server, TenantConfig};
 pub use shard::{
     shard_of, BatchItem, BatchReply, Decision, InvokeError, ServedPolicy, TenantRestore,

@@ -8,10 +8,14 @@
 //! match — they queue — so sustained throughput and tail latency reflect
 //! server capacity, not a closed feedback loop flattering it.
 //!
-//! Apps are partitioned across connections (an app's requests must stay
-//! ordered, and the server requires per-app timestamp monotonicity), and
-//! each connection pipelines up to a window of requests. Latencies are
-//! recorded per request and reported as exact percentiles.
+//! Apps are assigned to connections round-robin by first appearance (an
+//! app's requests must stay ordered, and the server requires per-app
+//! timestamp monotonicity, so an app sticks to one connection — but the
+//! dense assignment keeps all `--connections N` sockets busy at high
+//! fan-in), and each connection pipelines up to a window of requests.
+//! Latencies are recorded per request and reported as exact percentiles;
+//! the summary's `max_live_conns=` line reports how many connections the
+//! run actually drove (the reactor's high-fan-in smoke asserts it).
 //!
 //! **Multi-tenant replay** ([`LoadGenConfig::tenants`]): each app is
 //! deterministically assigned to one of N tenants — optionally with
@@ -145,6 +149,9 @@ pub struct LoadGenReport {
     /// Per-tenant verdict mix, index k = tenant `tK` (empty when the
     /// replay is untenanted).
     pub per_tenant: Vec<TenantMix>,
+    /// Connections actually driven concurrently (non-empty schedules;
+    /// `--connections N` with fewer than N active apps drives fewer).
+    pub max_live_conns: u64,
 }
 
 /// Verdict mix of one tenant in a multi-tenant replay.
@@ -206,6 +213,7 @@ impl LoadGenReport {
                 t.errors,
             );
         }
+        let _ = write!(out, "\nmax_live_conns={}", self.max_live_conns);
         out
     }
 }
@@ -270,12 +278,26 @@ fn build_schedules(cfg: &LoadGenConfig) -> Vec<Vec<Event>> {
         merged.truncate(cfg.max_events);
     }
 
+    // Apps are assigned to connections round-robin in order of first
+    // appearance (an app's requests must stay on one connection for
+    // per-app ordering). The dense assignment replaces the old
+    // `app_id % connections` partition, whose cost showed at high fan-in:
+    // id-hash gaps left many connections empty and others hot, so
+    // `--connections 256` neither opened 256 sockets nor spread load.
+    // First-appearance order keeps *active* apps balanced for any N.
     let connections = cfg.connections.max(1);
     let mut schedules: Vec<Vec<Event>> = (0..connections).map(|_| Vec::new()).collect();
+    let mut conn_of: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    let mut next = 0usize;
     for event in merged {
+        let conn = *conn_of.entry(event.app).or_insert_with(|| {
+            let assigned = next;
+            next = (next + 1) % connections;
+            assigned
+        });
         // Per-app ordering is preserved because an app always maps to
         // the same connection and the merged stream is time-ordered.
-        schedules[event.app as usize % connections].push(event);
+        schedules[conn].push(event);
     }
     schedules
 }
@@ -283,6 +305,22 @@ fn build_schedules(cfg: &LoadGenConfig) -> Vec<Vec<Event>> {
 /// Replays the configured workload against `addr` and reports.
 pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenReport> {
     let schedules = build_schedules(cfg);
+    let max_live_conns = schedules.iter().filter(|s| !s.is_empty()).count() as u64;
+    // Open every connection up front: `--connections N` is the
+    // high-fan-in drive mode, so all N sockets must be concurrently
+    // live before the replay starts (lazy per-thread connects let fast
+    // connections finish before slow ones even open, understating the
+    // server's true fan-in).
+    let mut streams: Vec<Option<TcpStream>> = Vec::with_capacity(schedules.len());
+    for schedule in &schedules {
+        streams.push(if schedule.is_empty() {
+            None
+        } else {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            Some(stream)
+        });
+    }
     // BIN v2 records carry registry-assigned tenant ids, which are only
     // 1..=N when t0..tN-1 were the first tenants registered — resolve
     // the real ids up front so other registration orders route
@@ -303,13 +341,11 @@ pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenR
     let mut results: Vec<ConnResult> = Vec::new();
     std::thread::scope(|scope| -> io::Result<()> {
         let mut handles = Vec::new();
-        for schedule in &schedules {
-            if schedule.is_empty() {
-                continue;
-            }
+        for (schedule, stream) in schedules.iter().zip(streams.into_iter()) {
+            let Some(stream) = stream else { continue };
             handles.push(scope.spawn(move || match cfg.proto {
                 Proto::Json => drive_connection(
-                    addr,
+                    stream,
                     schedule,
                     start_ts,
                     cfg.speedup,
@@ -318,7 +354,7 @@ pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenR
                     started,
                 ),
                 Proto::Bin { batch } => drive_connection_bin(
-                    addr,
+                    stream,
                     schedule,
                     start_ts,
                     cfg.speedup,
@@ -385,6 +421,7 @@ pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenR
         },
         evicted,
         per_tenant,
+        max_live_conns,
     })
 }
 
@@ -446,7 +483,7 @@ impl ConnResult {
 /// Sends one connection's schedule with pipelining; parses responses in
 /// order (HTTP/1.1 guarantees response ordering per connection).
 fn drive_connection(
-    addr: SocketAddr,
+    mut stream: TcpStream,
     schedule: &[Event],
     start_ts: u64,
     speedup: f64,
@@ -454,8 +491,6 @@ fn drive_connection(
     tenants: usize,
     started: Instant,
 ) -> io::Result<ConnResult> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
     let mut reader = ResponseReader::new(stream.try_clone()?);
 
     let window = window.max(1);
@@ -531,7 +566,7 @@ fn drive_connection(
 /// Per-record latency is the latency of the frame that carried it.
 #[allow(clippy::too_many_arguments)]
 fn drive_connection_bin(
-    addr: SocketAddr,
+    mut stream: TcpStream,
     schedule: &[Event],
     start_ts: u64,
     speedup: f64,
@@ -541,8 +576,6 @@ fn drive_connection_bin(
     tenant_ids: &[u16],
     started: Instant,
 ) -> io::Result<ConnResult> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
     let mut reader = ResponseReader::new(stream.try_clone()?);
 
     let batch = batch.clamp(1, wire::MAX_BATCH);
@@ -919,12 +952,61 @@ mod tests {
         assert_eq!(schedules.len(), 3);
         let total: usize = schedules.iter().map(|s| s.len()).sum();
         assert!(total > 0 && total <= 5_000);
+        // Every app lives on exactly one connection (per-app ordering),
+        // every connection stays time-ordered, and the round-robin
+        // assignment leaves no connection empty when apps outnumber
+        // connections.
+        let mut owner: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
         for (conn, schedule) in schedules.iter().enumerate() {
+            assert!(!schedule.is_empty(), "connection {conn} got no apps");
             assert!(schedule.windows(2).all(|w| w[0].ts <= w[1].ts));
             for event in schedule {
-                assert_eq!(event.app as usize % 3, conn);
+                assert_eq!(*owner.entry(event.app).or_insert(conn), conn);
             }
         }
+    }
+
+    #[test]
+    fn high_connection_counts_spread_apps_densely() {
+        // The old `app_id % connections` partition left most of 64
+        // connections empty for 40 apps with gappy ids; first-appearance
+        // round-robin drives exactly min(apps, connections) sockets and
+        // balances them.
+        let cfg = LoadGenConfig {
+            apps: 40,
+            connections: 64,
+            max_events: 4_000,
+            ..LoadGenConfig::default()
+        };
+        let schedules = build_schedules(&cfg);
+        assert_eq!(schedules.len(), 64);
+        let driven = schedules.iter().filter(|s| !s.is_empty()).count();
+        let distinct: std::collections::HashSet<u32> =
+            schedules.iter().flatten().map(|e| e.app).collect();
+        assert_eq!(
+            driven,
+            distinct.len().min(64),
+            "one connection per active app"
+        );
+        assert!(driven > 16, "spread beyond the modulo partition's reach");
+
+        // With more apps than connections, every connection is driven
+        // and no connection hoards: spread stays within a factor of the
+        // even share.
+        let cfg = LoadGenConfig {
+            apps: 300,
+            connections: 16,
+            max_events: 8_000,
+            ..LoadGenConfig::default()
+        };
+        let schedules = build_schedules(&cfg);
+        let sizes: Vec<usize> = schedules.iter().map(|s| s.len()).collect();
+        assert!(sizes.iter().all(|&n| n > 0), "{sizes:?}");
+        let mean = sizes.iter().sum::<usize>() / sizes.len();
+        assert!(
+            sizes.iter().all(|&n| n < mean * 4),
+            "no hot connection: {sizes:?}"
+        );
     }
 
     #[test]

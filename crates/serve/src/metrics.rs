@@ -70,6 +70,22 @@ pub struct ProtoStats {
     pub proto_errors: u64,
 }
 
+/// Connection-level gauges (server-wide; maintained by the acceptor and
+/// the reactor pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConnStats {
+    /// Connections currently open (reactor slab entries plus any still
+    /// in flight from the acceptor). Returns to 0 when every client
+    /// disconnects — the leak-freedom invariant the churn tests assert.
+    pub live: u64,
+    /// Connections accepted since start.
+    pub accepted: u64,
+    /// High-water mark of `live`.
+    pub peak: u64,
+    /// Reactor threads serving the connections.
+    pub reactor_threads: u64,
+}
+
 /// A full `/metrics` scrape: one entry per shard, plus uptime.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsReport {
@@ -77,6 +93,8 @@ pub struct MetricsReport {
     pub shards: Vec<ShardStats>,
     /// Server-wide SITW-BIN protocol counters.
     pub proto: ProtoStats,
+    /// Server-wide connection gauges.
+    pub conns: ConnStats,
     /// Milliseconds since the server started.
     pub uptime_ms: u64,
 }
@@ -268,6 +286,37 @@ impl MetricsReport {
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {value}");
         }
+        let conns: [(&str, &str, &str, u64); 4] = [
+            (
+                "sitw_serve_connections_live",
+                "Connections currently open",
+                "gauge",
+                self.conns.live,
+            ),
+            (
+                "sitw_serve_connections_accepted_total",
+                "Connections accepted since start",
+                "counter",
+                self.conns.accepted,
+            ),
+            (
+                "sitw_serve_connections_peak",
+                "High-water mark of live connections",
+                "gauge",
+                self.conns.peak,
+            ),
+            (
+                "sitw_serve_reactor_threads",
+                "Reactor (event-loop) threads serving the connections",
+                "gauge",
+                self.conns.reactor_threads,
+            ),
+        ];
+        for (name, help, kind, value) in conns {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {value}");
+        }
         let _ = writeln!(out, "# HELP sitw_serve_uptime_ms Time since server start");
         let _ = writeln!(out, "# TYPE sitw_serve_uptime_ms gauge");
         let _ = writeln!(out, "sitw_serve_uptime_ms {}", self.uptime_ms);
@@ -323,6 +372,7 @@ mod tests {
         let r = MetricsReport {
             shards: vec![stats(0), stats(1)],
             proto: ProtoStats::default(),
+            conns: ConnStats::default(),
             uptime_ms: 42,
         };
         assert_eq!(r.invocations(), 200);
@@ -335,6 +385,7 @@ mod tests {
         let r = MetricsReport {
             shards: vec![stats(0), stats(1)],
             proto: ProtoStats::default(),
+            conns: ConnStats::default(),
             uptime_ms: 42,
         };
         let tenants = r.tenants();
@@ -355,6 +406,12 @@ mod tests {
                 batched_decisions: 1664,
                 proto_errors: 2,
             },
+            conns: ConnStats {
+                live: 3,
+                accepted: 1200,
+                peak: 257,
+                reactor_threads: 2,
+            },
             uptime_ms: 42,
         };
         let text = r.render();
@@ -367,6 +424,12 @@ mod tests {
         assert!(text.contains("sitw_serve_frames_total 13"));
         assert!(text.contains("sitw_serve_batched_decisions_total 1664"));
         assert!(text.contains("sitw_serve_proto_errors_total 2"));
+        assert!(text.contains("# TYPE sitw_serve_connections_live gauge"));
+        assert!(text.contains("sitw_serve_connections_live 3"));
+        assert!(text.contains("# TYPE sitw_serve_connections_accepted_total counter"));
+        assert!(text.contains("sitw_serve_connections_accepted_total 1200"));
+        assert!(text.contains("sitw_serve_connections_peak 257"));
+        assert!(text.contains("sitw_serve_reactor_threads 2"));
         assert!(text.contains("sitw_serve_uptime_ms 42"));
         assert!(text.contains("sitw_serve_tenant_warm_mb{tenant=\"default\"} 200"));
         assert!(text.contains("sitw_serve_tenant_warm_mb{tenant=\"acme\"} 600"));

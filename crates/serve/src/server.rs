@@ -1,51 +1,48 @@
-//! The daemon: listener, acceptor, pipelined connection handlers, and
-//! lifecycle (restore → serve → snapshot → shutdown).
+//! The daemon: listener, acceptor, the reactor pool, and lifecycle
+//! (restore → serve → snapshot → shutdown).
 //!
-//! Threading model: one acceptor thread, one thread per connection, N
-//! shard worker threads. A connection thread parses requests, routes
+//! Threading model: **one acceptor thread, a small fixed pool of
+//! reactor threads** ([`ServeConfig::reactor_threads`], see
+//! [`crate::reactor`]), **and N shard worker threads**. The acceptor
+//! only accepts: each new socket is made non-blocking and handed
+//! round-robin to a reactor, which multiplexes all of its connections
+//! over epoll — thousands of mostly idle keep-alive clients cost a slab
+//! entry each, not an OS thread and stack. A reactor parses messages
+//! incrementally ([`crate::http::ConnBuf::read_event_into`]), routes
 //! `(tenant, app)` to a shard — default-tenant apps by app hash, named
 //! tenants whole by tenant hash (see
-//! [`sitw_fleet::TenantRegistry::shard_of`]) — and sends an `Invoke`
-//! message carrying a clone of its private reply channel; shards reply
-//! out of band and the connection reorders by sequence number before
-//! writing, preserving HTTP/1.1 response ordering under pipelining. Up
-//! to [`ServeConfig::pipeline_window`] decisions per connection are in
-//! flight at once.
+//! [`sitw_fleet::TenantRegistry::shard_of`]) — and dispatches with a
+//! [`crate::reactor::ReplySink`] naming the connection's slab token;
+//! shards reply out of band into the reactor's eventfd-woken queue.
 //!
-//! SITW-BIN frames ride the same connections (sniffed per message, see
-//! [`crate::http::ConnBuf::read_event`]) and are **pipelined
-//! server-side**: a connection keeps decoding and dispatching new frames
-//! while earlier frames' batches are still in flight in the shards, and
-//! reassembles replies strictly in frame order (each in-flight frame is
-//! a `PendingFrame`; shard replies carry the frame sequence). That is
-//! what lets small batches (`bin:batch=1`) overlap shard work instead of
-//! paying a synchronous round trip per frame. The only serialization
-//! points are protocol switches: an HTTP request settles all pending
-//! frames first and vice versa, so one connection's responses always
-//! come back in send order across both protocols.
+//! Per connection, every inbound message (JSON request, SITW-BIN frame,
+//! control request) occupies one slot in an ordered response pipeline
+//! ([`crate::conn`]); responses render strictly from the head, so
+//! HTTP/1.1 response ordering — and frame ordering under server-side
+//! SITW-BIN pipelining, and ordering across protocol switches — holds by
+//! construction while any number of decisions are in flight (bounded by
+//! [`ServeConfig::pipeline_window`] per connection).
 
-use std::collections::{BTreeMap, VecDeque};
-use std::io::{self, Write};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sitw_core::HybridConfig;
 use sitw_fleet::{LedgerExport, TenantId, TenantRegistry, TenantSpec, DEFAULT_TENANT};
+use sitw_reactor::Waker;
 use sitw_sim::PolicySpec;
 
-use crate::http::{write_response, ConnBuf, EventOutcome, Request};
-use crate::metrics::{MetricsReport, ProtoStats, ShardStats};
-use crate::shard::{
-    shard_of, BatchItem, BatchReply, Decision, InvokeError, InvokeReply, ShardMsg, ShardWorker,
-    TenantRestore,
-};
+use crate::http::{write_response, Request};
+use crate::metrics::{ConnStats, MetricsReport, ProtoStats, ShardStats};
+use crate::reactor::{reactor_loop, ReactorMsg, ReactorRef};
+use crate::shard::{shard_of, ShardMsg, ShardWorker, TenantRestore};
 use crate::snapshot::{AppRecord, ShardExport, Snapshot, TenantSnapshot};
-use crate::wire::{self, push_u64, BinErrorCode, BinInvoke};
+use crate::wire::{self, push_u64};
 
 /// One tenant in the server configuration (CLI `--tenant`, a tenants
 /// file, or programmatic [`ServeConfig::tenants`]).
@@ -77,12 +74,22 @@ pub struct ServeConfig {
     pub snapshot_path: Option<PathBuf>,
     /// When set and the file exists, state is restored from it at start.
     pub restore_path: Option<PathBuf>,
-    /// Socket read timeout; bounds how quickly idle connections notice a
-    /// shutdown.
+    /// The reactor poll tick: bounds how quickly shutdowns propagate and
+    /// how often the slowloris sweep runs. (Historically the per-socket
+    /// read timeout, which bounded the same things.)
     pub read_timeout: Duration,
     /// Maximum in-flight decisions per connection (JSON requests, and
     /// records across in-flight SITW-BIN frames).
     pub pipeline_window: usize,
+    /// Event-loop threads multiplexing the connections (≥ 1). A handful
+    /// serves thousands of mostly idle keep-alive connections; the shard
+    /// count, not this, sets decision throughput.
+    pub reactor_threads: usize,
+    /// How long a *half-received* message may sit without progress
+    /// before the connection is closed (slowloris defense, and the bound
+    /// on how long a dead client can hold a slab slot mid-message).
+    /// Fully idle keep-alive connections are never timed out.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -96,27 +103,40 @@ impl Default for ServeConfig {
             restore_path: None,
             read_timeout: Duration::from_millis(50),
             pipeline_window: 128,
+            reactor_threads: 2,
+            idle_timeout: Duration::from_secs(10),
         }
     }
 }
 
-/// Shared state every connection thread sees.
-struct ServerCtx {
-    cfg: ServeConfig,
+/// Shared state every reactor thread sees.
+pub(crate) struct ServerCtx {
+    pub(crate) cfg: ServeConfig,
     addr: SocketAddr,
-    shard_txs: Vec<Sender<ShardMsg>>,
+    pub(crate) shard_txs: Vec<Sender<ShardMsg>>,
     /// The tenant registry. Read-locked briefly per message to resolve
     /// names/ids and routes; write-locked only by the admin registration
     /// path. Decision state itself stays lock-free in the shards.
-    registry: RwLock<TenantRegistry>,
-    shutdown: AtomicBool,
+    pub(crate) registry: RwLock<TenantRegistry>,
+    pub(crate) shutdown: AtomicBool,
     started: Instant,
     /// SITW-BIN frames served (server-wide; connections are unsharded).
-    frames: AtomicU64,
+    pub(crate) frames: AtomicU64,
     /// Decisions delivered through batched binary frames.
-    batched_decisions: AtomicU64,
+    pub(crate) batched_decisions: AtomicU64,
     /// Typed SITW-BIN protocol errors answered.
-    proto_errors: AtomicU64,
+    pub(crate) proto_errors: AtomicU64,
+    /// Connections accepted since start.
+    pub(crate) conns_accepted: AtomicU64,
+    /// Connections currently registered with a reactor (or in flight to
+    /// one). Incremented by the acceptor, decremented when a reactor
+    /// retires the slab entry — so "live returns to 0" proves the slab
+    /// leaked nothing.
+    pub(crate) conns_live: AtomicU64,
+    /// High-water mark of `conns_live`.
+    pub(crate) conns_peak: AtomicU64,
+    /// The reactor pool's queues and wakers.
+    pub(crate) reactors: Vec<ReactorRef>,
 }
 
 impl ServerCtx {
@@ -137,6 +157,12 @@ impl ServerCtx {
                 frames: self.frames.load(Ordering::Relaxed),
                 batched_decisions: self.batched_decisions.load(Ordering::Relaxed),
                 proto_errors: self.proto_errors.load(Ordering::Relaxed),
+            },
+            conns: ConnStats {
+                live: self.conns_live.load(Ordering::Relaxed),
+                accepted: self.conns_accepted.load(Ordering::Relaxed),
+                peak: self.conns_peak.load(Ordering::Relaxed),
+                reactor_threads: self.reactors.len() as u64,
             },
             uptime_ms: self.started.elapsed().as_millis() as u64,
         }
@@ -187,12 +213,21 @@ impl ServerCtx {
     fn wake_acceptor(&self) {
         let _ = TcpStream::connect(self.addr);
     }
+
+    /// Wakes every reactor unconditionally (shutdown must not wait out
+    /// a poll tick).
+    pub(crate) fn wake_reactors(&self) {
+        for reactor in &self.reactors {
+            reactor.waker.wake_force();
+        }
+    }
 }
 
 /// A running decision service.
 pub struct Server {
     ctx: Arc<ServerCtx>,
     acceptor: Option<JoinHandle<()>>,
+    reactor_handles: Vec<JoinHandle<()>>,
     shard_handles: Vec<JoinHandle<ShardExport>>,
 }
 
@@ -359,6 +394,12 @@ impl Server {
         if cfg.shards == 0 {
             return Err(io::Error::new(io::ErrorKind::InvalidInput, "shards == 0"));
         }
+        if cfg.reactor_threads == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "reactor_threads == 0",
+            ));
+        }
 
         // Restore before any thread exists.
         let mut snap: Option<Snapshot> = None;
@@ -396,6 +437,20 @@ impl Server {
             );
         }
 
+        // The reactor pool's plumbing exists before the context so the
+        // context can carry every reactor's queue and waker.
+        let mut reactors: Vec<ReactorRef> = Vec::with_capacity(cfg.reactor_threads);
+        let mut reactor_parts = Vec::with_capacity(cfg.reactor_threads);
+        for _ in 0..cfg.reactor_threads {
+            let (tx, rx) = mpsc::channel::<ReactorMsg>();
+            let waker = Arc::new(Waker::new()?);
+            reactors.push(ReactorRef {
+                tx: tx.clone(),
+                waker: Arc::clone(&waker),
+            });
+            reactor_parts.push((rx, tx, waker));
+        }
+
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let ctx = Arc::new(ServerCtx {
@@ -408,7 +463,21 @@ impl Server {
             frames: AtomicU64::new(0),
             batched_decisions: AtomicU64::new(0),
             proto_errors: AtomicU64::new(0),
+            conns_accepted: AtomicU64::new(0),
+            conns_live: AtomicU64::new(0),
+            conns_peak: AtomicU64::new(0),
+            reactors,
         });
+
+        let mut reactor_handles = Vec::with_capacity(reactor_parts.len());
+        for (id, (rx, tx, waker)) in reactor_parts.into_iter().enumerate() {
+            let reactor_ctx = Arc::clone(&ctx);
+            reactor_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("sitw-reactor-{id}"))
+                    .spawn(move || reactor_loop(reactor_ctx, rx, tx, waker))?,
+            );
+        }
 
         let acceptor_ctx = Arc::clone(&ctx);
         let acceptor = std::thread::Builder::new()
@@ -418,6 +487,7 @@ impl Server {
         Ok(Server {
             ctx,
             acceptor: Some(acceptor),
+            reactor_handles,
             shard_handles,
         })
     }
@@ -461,14 +531,22 @@ impl Server {
         }
     }
 
-    /// Gracefully stops: drains connections, stops shards, and writes
+    /// Gracefully stops: settles and closes connections (bounded — a
+    /// client that never drains its responses is cut off after a grace
+    /// period instead of hanging the daemon), stops shards, and writes
     /// the final snapshot to [`ServeConfig::snapshot_path`] when set.
     /// Returns the final state.
     pub fn shutdown(mut self) -> io::Result<Snapshot> {
         self.ctx.shutdown.store(true, Ordering::SeqCst);
         self.ctx.wake_acceptor();
+        self.ctx.wake_reactors();
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
+        }
+        // Reactors keep the shards' reply sinks alive until every
+        // connection settles; only then may the shards stop.
+        for handle in self.reactor_handles.drain(..) {
+            let _ = handle.join();
         }
         for tx in &self.ctx.shard_txs {
             let _ = tx.send(ShardMsg::Shutdown);
@@ -490,423 +568,31 @@ impl Server {
     }
 }
 
+/// The acceptor: accepts, counts, and hands each connection round-robin
+/// to a reactor. No per-connection thread exists anywhere.
 fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>) {
-    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    let mut next = 0usize;
     for stream in listener.incoming() {
         if ctx.shutdown.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        let conn_ctx = Arc::clone(&ctx);
-        if let Ok(handle) = std::thread::Builder::new()
-            .name("sitw-conn".into())
-            .spawn(move || handle_conn(stream, conn_ctx))
-        {
-            // Opportunistically reap finished connections so the
-            // registry stays proportional to *live* connections.
-            conns.retain(|h| !h.is_finished());
-            conns.push(handle);
+        ctx.conns_accepted.fetch_add(1, Ordering::Relaxed);
+        let live = ctx.conns_live.fetch_add(1, Ordering::Relaxed) + 1;
+        ctx.conns_peak.fetch_max(live, Ordering::Relaxed);
+        let reactor = &ctx.reactors[next % ctx.reactors.len()];
+        next = next.wrapping_add(1);
+        if reactor.tx.send(ReactorMsg::Conn(stream)).is_err() {
+            // Reactor gone (shutting down): the stream just dropped.
+            ctx.conns_live.fetch_sub(1, Ordering::Relaxed);
+        } else {
+            reactor.waker.wake();
         }
-    }
-    for handle in conns {
-        let _ = handle.join();
-    }
-}
-
-/// Flush threshold for the per-connection output buffer.
-const OUT_FLUSH_BYTES: usize = 64 * 1024;
-
-/// One SITW-BIN frame in flight on a connection: dispatched to the
-/// shards, awaiting (some of) its batch replies. Completed frames are
-/// written strictly in arrival order — the server-side pipelining
-/// ordering invariant.
-enum PendingFrame {
-    /// A dispatched request frame.
-    Batch {
-        /// The request frame's version (the reply echoes it).
-        version: u8,
-        /// Results slotted by frame index as shard replies arrive.
-        results: Vec<Option<Result<Decision, InvokeError>>>,
-        /// Shards still owing a reply.
-        remaining: usize,
-    },
-    /// A typed protocol error queued behind earlier frames.
-    Error {
-        /// The error code to answer.
-        code: BinErrorCode,
-        /// Human-readable detail.
-        detail: String,
-    },
-}
-
-impl PendingFrame {
-    fn is_complete(&self) -> bool {
-        match self {
-            PendingFrame::Batch { remaining, .. } => *remaining == 0,
-            PendingFrame::Error { .. } => true,
-        }
-    }
-}
-
-/// Per-connection SITW-BIN pipelining state.
-struct FramePipeline {
-    /// In-flight frames, oldest first, keyed by frame sequence.
-    pending: VecDeque<(u64, PendingFrame)>,
-    next_seq: u64,
-    /// Records across all in-flight batches (backpressure unit).
-    inflight_records: usize,
-}
-
-impl FramePipeline {
-    fn new() -> Self {
-        Self {
-            pending: VecDeque::new(),
-            next_seq: 0,
-            inflight_records: 0,
-        }
-    }
-
-    fn is_empty(&self) -> bool {
-        self.pending.is_empty()
-    }
-
-    /// Slots one shard reply into its frame. Frame sequences are
-    /// contiguous and the deque is ordered, so the slot is an O(1)
-    /// index from the front — the reply path stays flat no matter how
-    /// many frames are in flight.
-    fn absorb(&mut self, reply: BatchReply) {
-        let Some(&(front_seq, _)) = self.pending.front() else {
-            return;
-        };
-        let slot = reply.frame_seq.wrapping_sub(front_seq) as usize;
-        if let Some((
-            seq,
-            PendingFrame::Batch {
-                results, remaining, ..
-            },
-        )) = self.pending.get_mut(slot)
-        {
-            debug_assert_eq!(*seq, reply.frame_seq);
-            for (idx, result) in reply.results {
-                results[idx as usize] = Some(result);
-            }
-            *remaining -= 1;
-        }
-    }
-
-    /// Writes every complete frame at the queue front, in order.
-    fn flush_ready(&mut self, out: &mut Vec<u8>, ctx: &ServerCtx) {
-        while self.pending.front().is_some_and(|(_, f)| f.is_complete()) {
-            let (_, frame) = self.pending.pop_front().expect("checked front");
-            match frame {
-                PendingFrame::Batch {
-                    version, results, ..
-                } => {
-                    let ordered: Vec<Result<Decision, InvokeError>> = results
-                        .into_iter()
-                        .map(|r| r.expect("complete frame has every record"))
-                        .collect();
-                    self.inflight_records -= ordered.len();
-                    wire::encode_reply_frame(out, version, &ordered);
-                    ctx.batched_decisions
-                        .fetch_add(ordered.len() as u64, Ordering::Relaxed);
-                }
-                PendingFrame::Error { code, detail } => {
-                    ctx.proto_errors.fetch_add(1, Ordering::Relaxed);
-                    wire::encode_error_frame(out, code, &detail);
-                }
-            }
-        }
-    }
-
-    /// Blocks until every in-flight frame has been written. Returns
-    /// false when the batch channel died (server shutting down).
-    fn drain(
-        &mut self,
-        batch_rx: &Receiver<BatchReply>,
-        out: &mut Vec<u8>,
-        ctx: &ServerCtx,
-    ) -> bool {
-        loop {
-            self.flush_ready(out, ctx);
-            if self.pending.is_empty() {
-                return true;
-            }
-            let Ok(reply) = batch_rx.recv() else {
-                return false;
-            };
-            self.absorb(reply);
-        }
-    }
-
-    /// Absorbs whatever replies already arrived without blocking.
-    fn poll(&mut self, batch_rx: &Receiver<BatchReply>, out: &mut Vec<u8>, ctx: &ServerCtx) {
-        while let Ok(reply) = batch_rx.try_recv() {
-            self.absorb(reply);
-        }
-        self.flush_ready(out, ctx);
-    }
-}
-
-fn handle_conn(stream: TcpStream, ctx: Arc<ServerCtx>) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(ctx.cfg.read_timeout));
-    let Ok(mut write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut conn = ConnBuf::new(stream);
-
-    let (reply_tx, reply_rx) = mpsc::channel::<InvokeReply>();
-    let (batch_tx, batch_rx) = mpsc::channel::<BatchReply>();
-    let mut out: Vec<u8> = Vec::with_capacity(OUT_FLUSH_BYTES + 4 * 1024);
-    // JSON pipelining state: decisions in flight, reordering by sequence.
-    let mut pending: usize = 0;
-    let mut next_seq: u64 = 0;
-    let mut next_write: u64 = 0;
-    let mut reorder: BTreeMap<u64, Result<Decision, InvokeError>> = BTreeMap::new();
-    // SITW-BIN pipelining state: frames in flight, written in order.
-    let mut frames = FramePipeline::new();
-    let mut close = false;
-
-    'conn: loop {
-        // Write everything we owe before potentially blocking on the
-        // socket with nothing in flight.
-        if pending == 0 && frames.is_empty() {
-            if !out.is_empty() && write_half.write_all(&out).is_err() {
-                break 'conn;
-            }
-            out.clear();
-            if close || ctx.shutdown.load(Ordering::SeqCst) {
-                break 'conn;
-            }
-        }
-
-        match conn.read_event() {
-            Ok(EventOutcome::Frame { records, version }) => {
-                // Settle in-flight pipelined JSON decisions first, so a
-                // client mixing protocols sees responses in send order.
-                if !drain_pending(
-                    &reply_rx,
-                    &mut reorder,
-                    &mut pending,
-                    &mut next_write,
-                    &mut out,
-                ) {
-                    break 'conn;
-                }
-                if !submit_frame(records, version, &ctx, &batch_tx, &mut frames) {
-                    break 'conn; // Shards gone: shutting down.
-                }
-                frames.poll(&batch_rx, &mut out, &ctx);
-                // Backpressure: cap in-flight records per connection.
-                while frames.inflight_records >= ctx.cfg.pipeline_window && !frames.is_empty() {
-                    let Ok(reply) = batch_rx.recv() else {
-                        break 'conn;
-                    };
-                    frames.absorb(reply);
-                    frames.flush_ready(&mut out, &ctx);
-                }
-            }
-            Ok(EventOutcome::FrameError {
-                code,
-                detail,
-                recoverable,
-            }) => {
-                if !drain_pending(
-                    &reply_rx,
-                    &mut reorder,
-                    &mut pending,
-                    &mut next_write,
-                    &mut out,
-                ) {
-                    break 'conn;
-                }
-                if recoverable {
-                    // Queued behind earlier frames so error replies keep
-                    // frame order under pipelining.
-                    frames
-                        .pending
-                        .push_back((frames.next_seq, PendingFrame::Error { code, detail }));
-                    frames.next_seq += 1;
-                    frames.flush_ready(&mut out, &ctx);
-                } else {
-                    // The framing itself is broken: settle everything,
-                    // answer, then close with a drained receive queue so
-                    // the error frame arrives as data + FIN, not an RST
-                    // (same rationale as the HTTP 413 path).
-                    if !frames.drain(&batch_rx, &mut out, &ctx) {
-                        break 'conn;
-                    }
-                    ctx.proto_errors.fetch_add(1, Ordering::Relaxed);
-                    wire::encode_error_frame(&mut out, code, &detail);
-                    let _ = write_half.write_all(&out);
-                    out.clear();
-                    conn.drain_for_close(2 * crate::http::MAX_BODY_BYTES);
-                    break 'conn;
-                }
-            }
-            Ok(EventOutcome::Request(req)) => {
-                // Protocol switch: settle all in-flight frames before
-                // any HTTP response may be written.
-                if !frames.drain(&batch_rx, &mut out, &ctx) {
-                    break 'conn;
-                }
-                if req.close {
-                    close = true;
-                }
-                if req.method == "POST" && req.path == "/invoke" {
-                    match parse_and_route(&req.body, &ctx) {
-                        Ok((tenant, shard, inv)) => {
-                            let msg = ShardMsg::Invoke {
-                                tenant,
-                                app: inv.app,
-                                ts: inv.ts,
-                                seq: next_seq,
-                                reply: reply_tx.clone(),
-                            };
-                            if ctx.shard_txs[shard].send(msg).is_err() {
-                                break 'conn; // Shard gone: shutting down.
-                            }
-                            next_seq += 1;
-                            pending += 1;
-                        }
-                        Err(e) => {
-                            // Responses must stay ordered: settle every
-                            // in-flight decision before the error.
-                            if !drain_pending(
-                                &reply_rx,
-                                &mut reorder,
-                                &mut pending,
-                                &mut next_write,
-                                &mut out,
-                            ) {
-                                break 'conn;
-                            }
-                            let mut body = Vec::with_capacity(64);
-                            body.extend_from_slice(b"{\"error\":\"");
-                            body.extend_from_slice(wire::json_escape(&e).as_bytes());
-                            body.extend_from_slice(b"\"}");
-                            write_response(&mut out, 400, "application/json", &body);
-                        }
-                    }
-                } else {
-                    if !drain_pending(
-                        &reply_rx,
-                        &mut reorder,
-                        &mut pending,
-                        &mut next_write,
-                        &mut out,
-                    ) {
-                        break 'conn;
-                    }
-                    handle_control(&req, &ctx, &mut out);
-                }
-            }
-            Ok(EventOutcome::Eof) => {
-                close = true;
-                if pending == 0 && frames.is_empty() {
-                    break 'conn;
-                }
-            }
-            Ok(EventOutcome::BodyTooLarge { .. }) => {
-                // The body was never read, so the stream cannot be
-                // resynchronized: answer 413 (in order) and close.
-                if !drain_pending(
-                    &reply_rx,
-                    &mut reorder,
-                    &mut pending,
-                    &mut next_write,
-                    &mut out,
-                ) || !frames.drain(&batch_rx, &mut out, &ctx)
-                {
-                    break 'conn;
-                }
-                write_response(
-                    &mut out,
-                    413,
-                    "application/json",
-                    b"{\"error\":\"payload too large\"}",
-                );
-                if write_half.write_all(&out).is_err() {
-                    break 'conn;
-                }
-                out.clear();
-                // Discard whatever body bytes are in flight (bounded)
-                // so the close sends FIN, not an RST that could destroy
-                // the 413 before the client reads it.
-                conn.drain_for_close(2 * crate::http::MAX_BODY_BYTES);
-                break 'conn;
-            }
-            Ok(EventOutcome::Timeout) => {
-                // Idle socket: settle anything in flight, then loop (the
-                // top of the loop flushes and checks the shutdown flag).
-                if pending > 0
-                    && !drain_pending(
-                        &reply_rx,
-                        &mut reorder,
-                        &mut pending,
-                        &mut next_write,
-                        &mut out,
-                    )
-                {
-                    break 'conn;
-                }
-                if !frames.is_empty() && !frames.drain(&batch_rx, &mut out, &ctx) {
-                    break 'conn;
-                }
-                continue 'conn;
-            }
-            Err(_) => break 'conn, // Malformed request or I/O error.
-        }
-
-        // Collect whatever replies already arrived (without blocking).
-        while let Ok(reply) = reply_rx.try_recv() {
-            reorder.insert(reply.seq, reply.result);
-        }
-        write_ready(&mut reorder, &mut next_write, &mut pending, &mut out);
-        frames.poll(&batch_rx, &mut out, &ctx);
-
-        // Backpressure: cap in-flight JSON decisions per connection.
-        while pending >= ctx.cfg.pipeline_window {
-            let Ok(reply) = reply_rx.recv() else {
-                break 'conn;
-            };
-            reorder.insert(reply.seq, reply.result);
-            write_ready(&mut reorder, &mut next_write, &mut pending, &mut out);
-        }
-
-        // No more buffered requests: settle everything in flight so the
-        // client is never left waiting on responses we could send.
-        if conn.buffered() == 0 {
-            if !drain_pending(
-                &reply_rx,
-                &mut reorder,
-                &mut pending,
-                &mut next_write,
-                &mut out,
-            ) {
-                break 'conn;
-            }
-            if !frames.drain(&batch_rx, &mut out, &ctx) {
-                break 'conn;
-            }
-        }
-
-        if out.len() >= OUT_FLUSH_BYTES {
-            if write_half.write_all(&out).is_err() {
-                break 'conn;
-            }
-            out.clear();
-        }
-    }
-
-    if !out.is_empty() {
-        let _ = write_half.write_all(&out);
     }
 }
 
 /// Parses an `/invoke` body and resolves its tenant and shard.
-fn parse_and_route(
+pub(crate) fn parse_and_route(
     body: &[u8],
     ctx: &ServerCtx,
 ) -> Result<(TenantId, usize, wire::InvokeRequest), String> {
@@ -922,132 +608,12 @@ fn parse_and_route(
     Ok((tenant, shard, inv))
 }
 
-/// Dispatches one SITW-BIN frame to the shards without waiting for the
-/// replies: records are partitioned by `(tenant, app)` route, each shard
-/// gets its whole slice in **one** mailbox message, and a
-/// [`PendingFrame`] joins the connection's pipeline to be reassembled in
-/// frame order when the [`BatchReply`]s come back. Returns false when a
-/// shard is gone (server shutting down).
-fn submit_frame(
-    records: Vec<BinInvoke>,
-    version: u8,
-    ctx: &ServerCtx,
-    batch_tx: &Sender<BatchReply>,
-    frames: &mut FramePipeline,
-) -> bool {
-    let n = records.len();
-    ctx.frames.fetch_add(1, Ordering::Relaxed);
-    let frame_seq = frames.next_seq;
-    frames.next_seq += 1;
-
-    let shards = ctx.shard_txs.len();
-    let mut per_shard: Vec<Vec<BatchItem>> = vec![Vec::new(); shards];
-    {
-        let registry = ctx.registry.read().expect("registry poisoned");
-        for (idx, rec) in records.into_iter().enumerate() {
-            if registry.get(rec.tenant).is_none() {
-                frames.pending.push_back((
-                    frame_seq,
-                    PendingFrame::Error {
-                        code: BinErrorCode::Malformed,
-                        detail: format!("record {idx}: unknown tenant id {}", rec.tenant),
-                    },
-                ));
-                return true;
-            }
-            let shard = registry.shard_of(rec.tenant, &rec.app, shards);
-            per_shard[shard].push(BatchItem {
-                idx: idx as u32,
-                tenant: rec.tenant,
-                app: rec.app,
-                ts: rec.ts,
-            });
-        }
-    }
-    let mut expected = 0usize;
-    for (shard, items) in per_shard.into_iter().enumerate() {
-        if items.is_empty() {
-            continue;
-        }
-        let msg = ShardMsg::InvokeBatch {
-            frame_seq,
-            items,
-            reply: batch_tx.clone(),
-        };
-        if ctx.shard_txs[shard].send(msg).is_err() {
-            return false;
-        }
-        expected += 1;
-    }
-    frames.inflight_records += n;
-    frames.pending.push_back((
-        frame_seq,
-        PendingFrame::Batch {
-            version,
-            results: vec![None; n],
-            remaining: expected,
-        },
-    ));
-    true
-}
-
-/// Blocks until every in-flight decision has been written to `out`.
-/// Returns false when the reply channel died (server shutting down).
-fn drain_pending(
-    reply_rx: &Receiver<InvokeReply>,
-    reorder: &mut BTreeMap<u64, Result<Decision, InvokeError>>,
-    pending: &mut usize,
-    next_write: &mut u64,
-    out: &mut Vec<u8>,
-) -> bool {
-    while *pending > 0 {
-        let Ok(reply) = reply_rx.recv() else {
-            return false;
-        };
-        reorder.insert(reply.seq, reply.result);
-        write_ready(reorder, next_write, pending, out);
-    }
-    true
-}
-
-/// Writes every reply that is next in sequence order.
-fn write_ready(
-    reorder: &mut BTreeMap<u64, Result<Decision, InvokeError>>,
-    next_write: &mut u64,
-    pending: &mut usize,
-    out: &mut Vec<u8>,
-) {
-    while let Some(result) = reorder.remove(next_write) {
-        *next_write += 1;
-        *pending -= 1;
-        match result {
-            Ok(decision) => {
-                let mut body = Vec::with_capacity(128);
-                wire::render_decision(&mut body, &decision);
-                write_response(out, 200, "application/json", &body);
-            }
-            Err(InvokeError::OutOfOrder { last_ts }) => {
-                let mut body = Vec::with_capacity(64);
-                body.extend_from_slice(b"{\"error\":\"out-of-order\",\"last_ts\":");
-                push_u64(&mut body, last_ts);
-                body.push(b'}');
-                write_response(out, 409, "application/json", &body);
-            }
-            Err(InvokeError::UnknownTenant) => {
-                // Unreachable: tenants are resolved before dispatch.
-                write_response(
-                    out,
-                    400,
-                    "application/json",
-                    b"{\"error\":\"unknown tenant\"}",
-                );
-            }
-        }
-    }
-}
-
 /// Non-invoke endpoints: health, metrics, admin.
-fn handle_control(req: &Request, ctx: &Arc<ServerCtx>, out: &mut Vec<u8>) {
+/// Runs on a reactor thread when the request reaches the head of its
+/// connection's response pipeline (i.e. once every earlier message has
+/// answered, preserving the settle-then-serve semantics of the
+/// thread-per-connection model).
+pub(crate) fn handle_control(req: &Request, ctx: &ServerCtx, out: &mut Vec<u8>) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             let mut body = Vec::with_capacity(96);
@@ -1146,6 +712,7 @@ fn handle_control(req: &Request, ctx: &Arc<ServerCtx>, out: &mut Vec<u8>) {
         ("POST", "/admin/shutdown") => {
             ctx.shutdown.store(true, Ordering::SeqCst);
             ctx.wake_acceptor();
+            ctx.wake_reactors();
             write_response(out, 200, "application/json", b"{\"status\":\"stopping\"}");
         }
         ("POST", "/invoke") => unreachable!("handled by the caller"),

@@ -34,6 +34,7 @@ use sitw_sim::PolicySpec;
 use sitw_stats::StreamingPercentiles;
 
 use crate::metrics::{ShardStats, TenantStats};
+use crate::reactor::ReplySink;
 use crate::snapshot::{AppRecord, PolicyState, ShardExport, TenantExport};
 
 /// Latency quantiles the shard tracks (P², O(1) memory per quantile).
@@ -213,10 +214,10 @@ pub enum ShardMsg {
         app: String,
         /// Invocation timestamp (trace milliseconds).
         ts: u64,
-        /// Client-side sequence number echoed in the reply.
+        /// Connection-local sequence number echoed in the reply.
         seq: u64,
-        /// Where to send the reply.
-        reply: Sender<InvokeReply>,
+        /// Where to send the reply (the owning reactor's queue).
+        reply: ReplySink,
     },
     /// A whole frame slice in one mpsc hop: every record of a SITW-BIN
     /// frame that hashed to this shard. Amortizes mailbox and wake costs
@@ -227,8 +228,8 @@ pub enum ShardMsg {
         frame_seq: u64,
         /// The shard's slice of the frame, in frame order.
         items: Vec<BatchItem>,
-        /// Where to send the batched reply.
-        reply: Sender<BatchReply>,
+        /// Where to send the batched reply (the owning reactor's queue).
+        reply: ReplySink,
     },
     /// Registers a tenant on this shard (admin path). Acked so the
     /// registry only exposes the tenant once its shard can serve it.
@@ -629,17 +630,18 @@ impl ShardWorker {
                     let result = self.invoke(tenant, &app, ts);
                     self.latency
                         .observe(t0.elapsed().as_nanos() as f64 / 1_000.0);
-                    // A dropped reply channel means the connection died;
-                    // the decision was still applied, which is correct
-                    // (the invocation happened).
-                    let _ = reply.send(InvokeReply { seq, result });
+                    // A reply to a connection that died is dropped by
+                    // the reactor's slab generation check; the decision
+                    // was still applied, which is correct (the
+                    // invocation happened).
+                    reply.invoke(InvokeReply { seq, result });
                 }
                 ShardMsg::InvokeBatch {
                     frame_seq,
                     items,
                     reply,
                 } => {
-                    let _ = reply.send(self.invoke_batch(frame_seq, items));
+                    reply.batch(self.invoke_batch(frame_seq, items));
                 }
                 ShardMsg::AddTenant { spec, ack } => {
                     self.add_tenant(spec);

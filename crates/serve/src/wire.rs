@@ -536,15 +536,58 @@ pub fn encode_request_frame_v2(out: &mut Vec<u8>, records: &[(u16, &str, u64)]) 
     }
 }
 
+/// Outcome of [`decode_request_frame_into`]: [`FrameDecode`] with the
+/// records written into a caller-owned, reusable buffer instead of a
+/// fresh allocation per frame (the reactor's per-connection hot path).
+#[derive(Debug)]
+pub enum FrameDecodeInto {
+    /// A complete, well-formed request frame; the records were appended
+    /// to the caller's buffer in wire order.
+    Request {
+        /// The frame's protocol version (replies must echo it).
+        version: u8,
+        /// Total frame length in bytes.
+        consumed: usize,
+    },
+    /// The buffer holds only part of a frame; read more and retry.
+    Incomplete,
+    /// A protocol error (see [`FrameDecode::Error`]).
+    Error {
+        /// The typed error.
+        code: BinErrorCode,
+        /// Human-readable detail for the error frame.
+        detail: String,
+        /// Bytes to discard (header + payload) to reach the next frame.
+        skip: Option<usize>,
+    },
+}
+
 /// Decodes one request frame. `buf` must start at a frame boundary (its
 /// first byte was sniffed as [`BIN_MAGIC`]).
 pub fn decode_request_frame(buf: &[u8]) -> FrameDecode {
+    let mut records = Vec::new();
+    match decode_request_frame_into(buf, &mut records) {
+        FrameDecodeInto::Request { version, consumed } => FrameDecode::Request {
+            records,
+            version,
+            consumed,
+        },
+        FrameDecodeInto::Incomplete => FrameDecode::Incomplete,
+        FrameDecodeInto::Error { code, detail, skip } => FrameDecode::Error { code, detail, skip },
+    }
+}
+
+/// Decodes one request frame into `records` (cleared first, reused
+/// across frames). See [`decode_request_frame`] for the boundary
+/// contract.
+pub fn decode_request_frame_into(buf: &[u8], records: &mut Vec<BinInvoke>) -> FrameDecodeInto {
+    records.clear();
     if buf.len() < BIN_HEADER_LEN {
-        return FrameDecode::Incomplete;
+        return FrameDecodeInto::Incomplete;
     }
     if buf[0] != BIN_MAGIC {
         // Unreachable behind the sniff, but the codec stands alone.
-        return FrameDecode::Error {
+        return FrameDecodeInto::Error {
             code: BinErrorCode::Malformed,
             detail: "bad magic".into(),
             skip: None,
@@ -552,7 +595,7 @@ pub fn decode_request_frame(buf: &[u8]) -> FrameDecode {
     }
     let version = buf[1];
     if version != BIN_VERSION && version != BIN_VERSION_2 {
-        return FrameDecode::Error {
+        return FrameDecodeInto::Error {
             code: BinErrorCode::BadVersion,
             detail: format!("unsupported version {version}"),
             skip: None,
@@ -562,7 +605,7 @@ pub fn decode_request_frame(buf: &[u8]) -> FrameDecode {
     let payload_len = u32_at(buf, 3) as usize;
     let count = u32_at(buf, 7) as usize;
     if payload_len > MAX_FRAME_PAYLOAD {
-        return FrameDecode::Error {
+        return FrameDecodeInto::Error {
             code: BinErrorCode::Oversized,
             detail: format!("payload {payload_len} exceeds {MAX_FRAME_PAYLOAD}"),
             skip: None,
@@ -570,7 +613,7 @@ pub fn decode_request_frame(buf: &[u8]) -> FrameDecode {
     }
     let total = BIN_HEADER_LEN + payload_len;
     // From here on the envelope is trusted: every error is skippable.
-    let malformed = |detail: String| FrameDecode::Error {
+    let malformed = |detail: String| FrameDecodeInto::Error {
         code: BinErrorCode::Malformed,
         detail,
         skip: Some(total),
@@ -579,7 +622,7 @@ pub fn decode_request_frame(buf: &[u8]) -> FrameDecode {
         return malformed(format!("unexpected frame kind {kind}"));
     }
     if count > MAX_BATCH {
-        return FrameDecode::Error {
+        return FrameDecodeInto::Error {
             code: BinErrorCode::Oversized,
             detail: format!("batch of {count} exceeds {MAX_BATCH}"),
             skip: Some(total),
@@ -596,10 +639,10 @@ pub fn decode_request_frame(buf: &[u8]) -> FrameDecode {
         return malformed(format!("count {count} cannot fit payload {payload_len}"));
     }
     if buf.len() < total {
-        return FrameDecode::Incomplete;
+        return FrameDecodeInto::Incomplete;
     }
     let payload = &buf[BIN_HEADER_LEN..total];
-    let mut records = Vec::with_capacity(count);
+    records.reserve(count);
     let mut i = 0usize;
     for r in 0..count {
         // The aggregate count*MIN check above cannot guarantee this:
@@ -607,6 +650,7 @@ pub fn decode_request_frame(buf: &[u8]) -> FrameDecode {
         // budget, leaving fewer than the fixed prefix here.
         let prefix = if version == BIN_VERSION_2 { 4 } else { 2 };
         if i + prefix > payload.len() {
+            records.clear();
             return malformed(format!("record {r} truncated"));
         }
         let tenant = if version == BIN_VERSION_2 {
@@ -619,12 +663,15 @@ pub fn decode_request_frame(buf: &[u8]) -> FrameDecode {
         let app_len = u16::from_le_bytes([payload[i], payload[i + 1]]) as usize;
         i += 2;
         if app_len == 0 {
+            records.clear();
             return malformed(format!("record {r}: empty app"));
         }
         if i + app_len + 8 > payload.len() {
+            records.clear();
             return malformed(format!("record {r} overruns payload"));
         }
         let Ok(app) = std::str::from_utf8(&payload[i..i + app_len]) else {
+            records.clear();
             return malformed(format!("record {r}: app is not utf-8"));
         };
         let app = app.to_owned();
@@ -634,13 +681,13 @@ pub fn decode_request_frame(buf: &[u8]) -> FrameDecode {
         records.push(BinInvoke { tenant, app, ts });
     }
     if i != payload.len() {
+        records.clear();
         return malformed(format!(
             "{} trailing bytes after records",
             payload.len() - i
         ));
     }
-    FrameDecode::Request {
-        records,
+    FrameDecodeInto::Request {
         version,
         consumed: total,
     }

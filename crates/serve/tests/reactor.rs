@@ -1,0 +1,372 @@
+//! Reactor-model integration tests: connection-churn leak-freedom, the
+//! slowloris idle-timeout regression, mid-frame disconnects while
+//! batches are in flight, high fan-in on a small reactor pool, and
+//! shutdown liveness with stuck clients.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use sitw_serve::wire::{self, encode_request_frame, BinReply, ServerFrameDecode};
+use sitw_serve::{ServeConfig, Server};
+use sitw_sim::PolicySpec;
+
+fn start_server(cfg: ServeConfig) -> Server {
+    Server::start(cfg).expect("server start")
+}
+
+fn base_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: 2,
+        policy: PolicySpec::fixed_minutes(10),
+        ..ServeConfig::default()
+    }
+}
+
+/// Polls `cond` until it holds or `timeout` passes.
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Reads one SITW-BIN reply frame (blocking stream).
+fn read_reply(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Vec<BinReply> {
+    loop {
+        match wire::decode_server_frame(buf) {
+            ServerFrameDecode::Reply { records, consumed } => {
+                buf.drain(..consumed);
+                return records;
+            }
+            ServerFrameDecode::Incomplete => {
+                let mut chunk = [0u8; 4096];
+                let n = stream.read(&mut chunk).expect("read");
+                assert!(n > 0, "server closed mid-reply");
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite bugfix regression: a slowloris client that sends half a
+// message and stalls used to hold its connection (and, at shutdown, its
+// thread) forever — there was no idle/read deadline at all. The reactor
+// enforces `idle_timeout` on half-received messages.
+
+#[test]
+fn slowloris_half_message_is_disconnected_after_idle_timeout() {
+    let server = start_server(ServeConfig {
+        idle_timeout: Duration::from_millis(200),
+        ..base_config()
+    });
+
+    // Half an HTTP header, then silence.
+    let mut http = TcpStream::connect(server.addr()).unwrap();
+    http.write_all(b"POST /inv").unwrap();
+    // Half a SITW-BIN frame (magic + version only), then silence.
+    let mut bin = TcpStream::connect(server.addr()).unwrap();
+    bin.write_all(&[wire::BIN_MAGIC, wire::BIN_VERSION])
+        .unwrap();
+    // A malformed-but-delimited frame whose declared payload is only
+    // partially sent, then silence: the typed error is answered but the
+    // connection is mid-*skip* (parse buffer empty, the peer still owes
+    // skip bytes) — the idle clock must cover that state too.
+    let mut skip = TcpStream::connect(server.addr()).unwrap();
+    let mut bad = vec![wire::BIN_MAGIC, wire::BIN_VERSION, wire::FRAME_REQUEST];
+    // 1000 declared records cannot fit a 4 KiB payload: malformed,
+    // decidable from the header alone, so the payload is a lazy skip.
+    bad.extend_from_slice(&4096u32.to_le_bytes()); // payload_len
+    bad.extend_from_slice(&1000u32.to_le_bytes()); // count
+    bad.extend_from_slice(&[0u8; 64]); // only 64 of the 4096 skip bytes
+    skip.write_all(&bad).unwrap();
+
+    // All three must be disconnected (FIN ⇒ read reaches 0, after any
+    // queued error frame) well within a few sweep ticks of the 200 ms
+    // timeout. Before the reactor, these reads would sit here until the
+    // test harness gave up.
+    for stream in [&mut http, &mut bin, &mut skip] {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut chunk = [0u8; 256];
+        loop {
+            let n = stream.read(&mut chunk).expect("expected FIN, got timeout");
+            if n == 0 {
+                break; // Closed — possibly after a typed error frame.
+            }
+        }
+    }
+    assert!(
+        wait_until(Duration::from_secs(2), || server.metrics().conns.live == 0),
+        "slowloris connections must release their slab entries"
+    );
+
+    // A *fully idle* keep-alive connection is never timed out: after
+    // sitting well past the idle timeout it still serves.
+    let mut idle = TcpStream::connect(server.addr()).unwrap();
+    std::thread::sleep(Duration::from_millis(600));
+    let body = br#"{"app":"patient","ts":1}"#;
+    idle.write_all(
+        format!(
+            "POST /invoke HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    idle.write_all(body).unwrap();
+    let mut resp = [0u8; 512];
+    let n = idle.read(&mut resp).unwrap();
+    let text = String::from_utf8_lossy(&resp[..n]);
+    assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+
+    // A slowloris that *resumes* within the timeout is served normally.
+    let mut slow = TcpStream::connect(server.addr()).unwrap();
+    slow.write_all(b"GET /heal").unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    slow.write_all(b"thz HTTP/1.1\r\n\r\n").unwrap();
+    let n = slow.read(&mut resp).unwrap();
+    let text = String::from_utf8_lossy(&resp[..n]);
+    assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+
+    server.shutdown().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Connection-churn correctness: sequential connect/request/disconnect
+// cycles must leak no reactor slab entries.
+
+#[test]
+fn thousand_connection_churn_leaks_nothing() {
+    let server = start_server(base_config());
+    let cycles = 1_000u64;
+    for i in 0..cycles {
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let mut frame = Vec::new();
+        encode_request_frame(
+            &mut frame,
+            &[(format!("churn-{:03}", i % 500).as_str(), i * 7)],
+        );
+        stream.write_all(&frame).unwrap();
+        let mut buf = Vec::new();
+        let records = read_reply(&mut stream, &mut buf);
+        assert_eq!(records.len(), 1);
+        // Drop without shutdown: the reactor sees EOF (or RST) and must
+        // retire the slab entry either way.
+    }
+    assert!(
+        wait_until(Duration::from_secs(5), || server.metrics().conns.live == 0),
+        "live connections must return to 0 after churn; got {}",
+        server.metrics().conns.live
+    );
+    let m = server.metrics();
+    assert!(m.conns.accepted >= cycles, "accepted {}", m.conns.accepted);
+    assert!(
+        m.conns.peak < 50,
+        "sequential churn must not accumulate live connections (peak {})",
+        m.conns.peak
+    );
+    assert_eq!(m.invocations(), cycles);
+    server.shutdown().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Mid-frame disconnects: a client that dies while its batch is in
+// flight must drop the pending frame without poisoning the shard reply
+// path or the slab slot's next occupant.
+
+#[test]
+fn mid_frame_disconnect_drops_pending_batch_without_poisoning() {
+    let server = start_server(base_config());
+
+    // Scenario A: a full 1000-record frame, connection torn down
+    // immediately — replies land after the connection is gone and must
+    // be dropped by the slab generation check.
+    {
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let records: Vec<(String, u64)> = (0..1_000)
+            .map(|i| (format!("gone-{:03}", i % 200), 1_000 + i as u64))
+            .collect();
+        let borrowed: Vec<(&str, u64)> = records.iter().map(|(a, t)| (a.as_str(), *t)).collect();
+        let mut frame = Vec::new();
+        encode_request_frame(&mut frame, &borrowed);
+        stream.write_all(&frame).unwrap();
+        drop(stream); // No read: the reply hits a dead connection.
+    }
+
+    // Scenario B: half a frame, then disconnect mid-message.
+    {
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let mut frame = Vec::new();
+        encode_request_frame(&mut frame, &[("half", 1), ("frame", 2)]);
+        stream.write_all(&frame[..frame.len() / 2]).unwrap();
+        drop(stream);
+    }
+
+    assert!(
+        wait_until(Duration::from_secs(5), || server.metrics().conns.live == 0),
+        "dead connections must be retired"
+    );
+
+    // The server is fully healthy: new connections serve, the same apps
+    // keep their (already applied) state, and churned slab slots serve
+    // their new occupants correctly.
+    for round in 0..20 {
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let mut frame = Vec::new();
+        encode_request_frame(
+            &mut frame,
+            &[("gone-000", 1_000_000 + round), ("fresh", 5 + round)],
+        );
+        stream.write_all(&frame).unwrap();
+        let mut buf = Vec::new();
+        let records = read_reply(&mut stream, &mut buf);
+        assert_eq!(records.len(), 2, "round {round}");
+        assert!(matches!(records[0], BinReply::Verdict { .. }));
+    }
+
+    // Scenario A's decisions were applied (the invocation happened even
+    // though the reply was undeliverable) — the ledger of record is the
+    // shard, not the connection.
+    let m = server.metrics();
+    assert!(m.invocations() >= 1_000 + 40);
+    assert_eq!(m.proto.proto_errors, 0);
+    server.shutdown().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// High fan-in: hundreds of concurrent keep-alive connections on the
+// default two reactor threads (the CI smoke drives 256 via
+// sitw-loadgen; the ignored stress below goes to 2048).
+
+#[test]
+fn two_hundred_fifty_six_concurrent_keepalive_connections() {
+    let server = start_server(base_config());
+    let n = 256usize;
+    let mut conns: Vec<TcpStream> = (0..n)
+        .map(|_| TcpStream::connect(server.addr()).unwrap())
+        .collect();
+
+    // All connections send one single-record frame...
+    for (i, stream) in conns.iter_mut().enumerate() {
+        let mut frame = Vec::new();
+        encode_request_frame(&mut frame, &[(format!("fan-{i:03}").as_str(), 9)]);
+        stream.write_all(&frame).unwrap();
+    }
+    // ...and all replies come back while every connection stays open.
+    for stream in conns.iter_mut() {
+        let mut buf = Vec::new();
+        let records = read_reply(stream, &mut buf);
+        assert!(matches!(records[0], BinReply::Verdict { cold: true, .. }));
+    }
+    let m = server.metrics();
+    assert_eq!(m.conns.live as usize, n);
+    assert!(m.conns.peak as usize >= n);
+    assert_eq!(m.conns.reactor_threads, 2);
+    assert_eq!(m.invocations(), n as u64);
+
+    drop(conns);
+    assert!(
+        wait_until(Duration::from_secs(5), || server.metrics().conns.live == 0),
+        "disconnects must drain the live gauge"
+    );
+    server.shutdown().unwrap();
+}
+
+/// The acceptance-scale stress: 2048 concurrent keep-alive connections
+/// served by 4 reactor threads. Ignored in the default run (it wants a
+/// raised file-descriptor limit and a few seconds); run with
+/// `cargo test -p sitw-serve --test reactor -- --ignored`.
+#[test]
+#[ignore = "2048-connection stress; needs ~4300 fds and a few seconds"]
+fn stress_2048_concurrent_connections_on_4_reactor_threads() {
+    let fds = sitw_reactor_nofile(16_384);
+    assert!(fds >= 6_000, "could not raise RLIMIT_NOFILE (got {fds})");
+    let server = start_server(ServeConfig {
+        reactor_threads: 4,
+        ..base_config()
+    });
+    let n = 2_048usize;
+    let mut conns: Vec<TcpStream> = (0..n)
+        .map(|_| TcpStream::connect(server.addr()).unwrap())
+        .collect();
+    for (i, stream) in conns.iter_mut().enumerate() {
+        let mut frame = Vec::new();
+        encode_request_frame(&mut frame, &[(format!("mass-{i:04}").as_str(), 1)]);
+        stream.write_all(&frame).unwrap();
+    }
+    for stream in conns.iter_mut() {
+        let mut buf = Vec::new();
+        let records = read_reply(stream, &mut buf);
+        assert!(matches!(records[0], BinReply::Verdict { cold: true, .. }));
+    }
+    let m = server.metrics();
+    assert_eq!(m.conns.live as usize, n);
+    assert_eq!(m.conns.reactor_threads, 4);
+    assert_eq!(m.invocations(), n as u64);
+
+    // Mostly idle from here on: hold everything open a moment, then one
+    // more request over a random survivor to prove the pool still
+    // serves while loaded with idle sockets.
+    std::thread::sleep(Duration::from_millis(300));
+    let mut frame = Vec::new();
+    encode_request_frame(&mut frame, &[("mass-0000", 120_000)]);
+    conns[1_024].write_all(&frame).unwrap();
+    let mut buf = Vec::new();
+    let records = read_reply(&mut conns[1_024], &mut buf);
+    assert!(matches!(records[0], BinReply::Verdict { .. }));
+
+    drop(conns);
+    assert!(
+        wait_until(Duration::from_secs(10), || server.metrics().conns.live == 0),
+        "2048 disconnects must drain the live gauge"
+    );
+    server.shutdown().unwrap();
+}
+
+/// Raises RLIMIT_NOFILE via the reactor crate (kept out of the test
+/// body so the ignored test reads cleanly).
+fn sitw_reactor_nofile(target: u64) -> u64 {
+    sitw_reactor::raise_nofile_limit(target).unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------
+// Shutdown liveness: stuck clients (idle or slowloris) cannot hang a
+// graceful shutdown.
+
+#[test]
+fn shutdown_completes_under_idle_and_slowloris_connections() {
+    let server = start_server(base_config());
+    let idle: Vec<TcpStream> = (0..50)
+        .map(|_| TcpStream::connect(server.addr()).unwrap())
+        .collect();
+    let mut slow = TcpStream::connect(server.addr()).unwrap();
+    slow.write_all(b"POST /invoke HTTP/1.1\r\ncontent-le")
+        .unwrap();
+    assert!(
+        wait_until(Duration::from_secs(2), || {
+            server.metrics().conns.live == 51
+        }),
+        "all test connections registered"
+    );
+
+    let started = Instant::now();
+    server.shutdown().unwrap();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "shutdown must not wait on stuck clients (took {:?})",
+        started.elapsed()
+    );
+    drop(idle);
+    drop(slow);
+}
