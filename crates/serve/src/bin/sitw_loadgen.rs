@@ -6,6 +6,7 @@
 //!              [--speedup N | --max-speed] [--connections 2]
 //!              [--window 64] [--max-events 0]
 //!              [--proto json|bin|bin:batch=N] [--tenants N[:zipf=S]]
+//!              [--out FILE]
 //! ```
 //!
 //! Generates the synthetic Azure-Functions-like workload of
@@ -16,7 +17,10 @@
 //! across N tenants `t0..tN-1` (optionally Zipf-skewed by rank) — the
 //! server must have registered them (`sitw-serve --tenants N` or
 //! explicit `--tenant` flags) — and the summary adds one per-tenant
-//! throughput/verdict-mix line.
+//! throughput/verdict-mix line. `--out FILE` additionally writes a
+//! machine-readable JSON run summary (throughput, cold rate, exact
+//! percentiles, and the full log2 RTT histogram — the same bucket
+//! boundaries the server's `/metrics` histograms use).
 
 use std::net::ToSocketAddrs;
 use std::process::exit;
@@ -29,7 +33,7 @@ fn usage() -> ! {
         "usage: sitw-loadgen --addr HOST:PORT [--apps N] [--seed N] \
          [--horizon-hours H] [--cap-per-day N] [--speedup N | --max-speed] \
          [--connections N] [--window N] [--max-events N] \
-         [--proto json|bin|bin:batch=N] [--tenants N[:zipf=S]]"
+         [--proto json|bin|bin:batch=N] [--tenants N[:zipf=S]] [--out FILE]"
     );
     exit(2)
 }
@@ -37,6 +41,7 @@ fn usage() -> ! {
 fn main() {
     let mut cfg = LoadGenConfig::default();
     let mut addr_arg: Option<String> = None;
+    let mut out_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -88,6 +93,7 @@ fn main() {
                     usage();
                 }
             },
+            "--out" => out_path = Some(value("--out")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -124,7 +130,17 @@ fn main() {
         }
     );
     match run_loadgen(addr, &cfg) {
-        Ok(report) => println!("{}", report.summary()),
+        Ok(report) => {
+            println!("{}", report.summary());
+            if let Some(path) = out_path {
+                let json = report.to_json(&cfg.proto.label());
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("cannot write '{path}': {e}");
+                    exit(1);
+                }
+                println!("run summary written to {path}");
+            }
+        }
         Err(e) => {
             eprintln!("loadgen failed: {e}");
             exit(1);

@@ -5,8 +5,13 @@
 //!            [--reactor-threads 2] [--idle-timeout-ms 10000]
 //!            [--tenant NAME=POLICY[,budget=MB]]... [--tenants N]
 //!            [--tenants-file PATH]
-//!            [--snapshot PATH] [--restore PATH]
+//!            [--snapshot PATH] [--restore PATH] [--no-telemetry]
 //! ```
+//!
+//! `--no-telemetry` disables the flight recorder and per-stage latency
+//! histograms (`/metrics` keeps its throughput counters; the
+//! `/debug/*` endpoints come back empty). The default-on overhead is a
+//! few clock reads per request; disable only to measure it.
 //!
 //! `--reactor-threads` sizes the epoll event-loop pool that multiplexes
 //! every client connection (a handful of threads serves thousands of
@@ -55,7 +60,8 @@ fn usage() -> ! {
          [--policy hybrid|hybrid:<h>h|fixed:<min>|no-unloading|\
          production[:<days>d|:<decay>|:uniform]] \
          [--tenant NAME=POLICY[,budget=MB]]... [--tenants N] \
-         [--tenants-file PATH] [--snapshot PATH] [--restore PATH]"
+         [--tenants-file PATH] [--snapshot PATH] [--restore PATH] \
+         [--no-telemetry]"
     );
     exit(2)
 }
@@ -140,6 +146,7 @@ fn main() {
             }
             "--snapshot" => cfg.snapshot_path = Some(PathBuf::from(value("--snapshot"))),
             "--restore" => cfg.restore_path = Some(PathBuf::from(value("--restore"))),
+            "--no-telemetry" => cfg.telemetry = false,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument '{other}'");
@@ -189,6 +196,7 @@ fn main() {
     }
     println!(
         "endpoints: POST /invoke, GET /metrics, GET /healthz, \
+         GET /debug/trace, GET /debug/threads, \
          GET|POST /admin/tenants, POST /admin/snapshot, POST /admin/shutdown"
     );
 

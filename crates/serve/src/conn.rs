@@ -46,12 +46,14 @@ use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use sitw_reactor::Interest;
+use sitw_telemetry::{SpanEvent, Stage};
 
 use crate::http::{write_response, ConnBuf, DrainOutcome, ReadEvent, Request};
 use crate::reactor::ReactorIo;
-use crate::server::{handle_control, parse_and_route, ServerCtx};
+use crate::server::{handle_control, parse_and_route};
 use crate::shard::BatchReply;
 use crate::shard::{BatchItem, Decision, InvokeError, InvokeReply, ShardMsg};
+use crate::telem::ReactorTelemHandle;
 use crate::wire::{self, push_u64, BinErrorCode, BinInvoke};
 
 /// Stop reading a connection whose un-written output backlog exceeds
@@ -94,12 +96,18 @@ pub(crate) enum Flow {
 enum Slot {
     /// A dispatched JSON `/invoke` decision; completed by the shard's
     /// [`InvokeReply`].
-    Json(Option<Result<Decision, InvokeError>>),
+    Json {
+        /// Telemetry span id (0 when disabled).
+        span: u64,
+        done: Option<Result<Decision, InvokeError>>,
+    },
     /// A dispatched SITW-BIN frame; each shard's [`BatchReply`] fills
     /// its records, `remaining` counts shards still owing one.
     Frame {
         version: u8,
         remaining: usize,
+        /// Telemetry span id of the frame (0 when disabled).
+        span: u64,
         results: Vec<Option<Result<Decision, InvokeError>>>,
     },
     /// A typed SITW-BIN error frame queued behind earlier messages.
@@ -116,7 +124,7 @@ enum Slot {
 impl Slot {
     fn is_complete(&self) -> bool {
         match self {
-            Slot::Json(done) => done.is_some(),
+            Slot::Json { done, .. } => done.is_some(),
             Slot::Frame { remaining, .. } => *remaining == 0,
             Slot::BinError { .. } | Slot::Control(_) | Slot::Http(_) => true,
         }
@@ -161,7 +169,7 @@ impl Pipeline {
         let Some(idx) = reply.seq.checked_sub(self.front_seq) else {
             return;
         };
-        if let Some(Slot::Json(done)) = self.slots.get_mut(idx as usize) {
+        if let Some(Slot::Json { done, .. }) = self.slots.get_mut(idx as usize) {
             *done = Some(reply.result);
         }
     }
@@ -223,6 +231,12 @@ pub(crate) struct Conn {
     /// A write hit `WouldBlock` with bytes left: EPOLLOUT is wanted and
     /// writes flush on writability instead of waiting for coalescing.
     write_blocked: bool,
+    /// Telemetry spans rendered into `out` but not yet flushed:
+    /// `(span, is_bin, decisions)`. Their write-stage spans are recorded
+    /// when the buffer fully flushes (partial writes keep them pending);
+    /// a frame's write cost is amortized over its `decisions` records so
+    /// every stage histogram stays invocation-weighted.
+    pending_spans: Vec<(u64, bool, u32)>,
     /// Set while the connection sits on the reactor's touched list.
     pub(crate) dirty: bool,
 }
@@ -249,6 +263,7 @@ impl Conn {
             partial_since: None,
             paused: false,
             write_blocked: false,
+            pending_spans: Vec::new(),
             dirty: false,
         })
     }
@@ -349,16 +364,19 @@ impl Conn {
     }
 
     /// Updates the backpressure latch and reports it. Pauses at the
-    /// high-water marks, resumes at half of them.
-    fn read_paused(&mut self, ctx: &ServerCtx) -> bool {
+    /// high-water marks, resumes at half of them. Transitions count on
+    /// the owning reactor's telemetry (`/debug/threads`).
+    fn read_paused(&mut self, io: &ReactorIo<'_>) -> bool {
         let inflight = self.pipeline.inflight;
         let backlog = self.out.len() - self.out_pos;
         if self.paused {
-            if inflight <= ctx.cfg.pipeline_window / 2 && backlog < OUT_BACKPRESSURE_BYTES / 2 {
+            if inflight <= io.ctx.cfg.pipeline_window / 2 && backlog < OUT_BACKPRESSURE_BYTES / 2 {
                 self.paused = false;
+                io.telem.with(|t| t.bp_resumes += 1);
             }
-        } else if inflight >= ctx.cfg.pipeline_window || backlog >= OUT_BACKPRESSURE_BYTES {
+        } else if inflight >= io.ctx.cfg.pipeline_window || backlog >= OUT_BACKPRESSURE_BYTES {
             self.paused = true;
+            io.telem.with(|t| t.bp_pauses += 1);
         }
         self.paused
     }
@@ -371,14 +389,18 @@ impl Conn {
         if self.read_eof || self.close_requested || self.fatal {
             return Flow::Keep;
         }
+        // The read-stage mark: everything between here and a message
+        // parsing out is that message's read time; dispatching advances
+        // the mark so back-to-back pipelined messages don't double-count.
+        let mut mark = io.telem.now();
         loop {
-            if self.read_paused(io.ctx) {
+            if self.read_paused(io) {
                 break;
             }
             match self.buf.read_event_into(&mut self.req, &mut self.records) {
                 Ok(ReadEvent::Request) => {
                     self.partial_since = None;
-                    if let Flow::Close = self.handle_request(io) {
+                    if let Flow::Close = self.handle_request(io, &mut mark) {
                         return Flow::Close;
                     }
                     if self.close_requested {
@@ -387,7 +409,7 @@ impl Conn {
                 }
                 Ok(ReadEvent::Frame { version }) => {
                     self.partial_since = None;
-                    if let Flow::Close = self.submit_frame(version, io) {
+                    if let Flow::Close = self.submit_frame(version, io, &mut mark) {
                         return Flow::Close;
                     }
                 }
@@ -442,20 +464,47 @@ impl Conn {
     }
 
     /// Queues (and for `/invoke`, dispatches) one parsed HTTP request.
-    fn handle_request(&mut self, io: &mut ReactorIo<'_>) -> Flow {
+    fn handle_request(&mut self, io: &mut ReactorIo<'_>, mark: &mut u64) -> Flow {
         if self.req.close {
             self.close_requested = true;
         }
         if self.req.method == "POST" && self.req.path == "/invoke" {
+            let t_read_end = io.telem.now();
             match parse_and_route(&self.req.body, io.ctx) {
                 Ok((tenant, shard, inv)) => {
-                    let seq = self.pipeline.push(Slot::Json(None));
+                    let (span, sent_ns) = if io.telem.enabled() {
+                        let span = io.telem.new_span();
+                        let sent_ns = io.telem.now();
+                        io.telem.with(|t| {
+                            t.read.json.record(t_read_end.saturating_sub(*mark));
+                            t.decode.json.record(sent_ns.saturating_sub(t_read_end));
+                            t.recorder.push(SpanEvent {
+                                span,
+                                stage: Stage::Read,
+                                start_ns: *mark,
+                                end_ns: t_read_end,
+                            });
+                            t.recorder.push(SpanEvent {
+                                span,
+                                stage: Stage::Decode,
+                                start_ns: t_read_end,
+                                end_ns: sent_ns,
+                            });
+                        });
+                        *mark = sent_ns;
+                        (span, sent_ns)
+                    } else {
+                        (0, 0)
+                    };
+                    let seq = self.pipeline.push(Slot::Json { span, done: None });
                     self.pipeline.inflight += 1;
                     let msg = ShardMsg::Invoke {
                         tenant,
                         app: inv.app,
                         ts: inv.ts,
                         seq,
+                        span,
+                        sent_ns,
                         reply: io.reply_sink(self.token),
                     };
                     if io.ctx.shard_txs[shard].send(msg).is_err() {
@@ -486,9 +535,10 @@ impl Conn {
     /// its whole slice in **one** mailbox message, and a frame slot
     /// joins the pipeline to be reassembled in order as the
     /// [`BatchReply`]s come back.
-    fn submit_frame(&mut self, version: u8, io: &mut ReactorIo<'_>) -> Flow {
+    fn submit_frame(&mut self, version: u8, io: &mut ReactorIo<'_>, mark: &mut u64) -> Flow {
         let ctx = io.ctx;
         let n = self.records.len();
+        let t_read_end = io.telem.now();
         ctx.frames.fetch_add(1, Ordering::Relaxed);
         let shards = ctx.shard_txs.len();
         if io.per_shard.len() < shards {
@@ -516,6 +566,39 @@ impl Conn {
                 });
             }
         }
+        // One span covers the whole frame: read ends where decode
+        // (partitioning) starts, and decode ends at dispatch.
+        let (span, sent_ns) = if io.telem.enabled() {
+            let span = io.telem.new_span();
+            let sent_ns = io.telem.now();
+            // Frame costs are amortized per record so the bin stage
+            // histograms stay invocation-weighted like the json ones.
+            let per = |dt: u64| dt / n.max(1) as u64;
+            io.telem.with(|t| {
+                t.read
+                    .bin
+                    .record_n(per(t_read_end.saturating_sub(*mark)), n as u64);
+                t.decode
+                    .bin
+                    .record_n(per(sent_ns.saturating_sub(t_read_end)), n as u64);
+                t.recorder.push(SpanEvent {
+                    span,
+                    stage: Stage::Read,
+                    start_ns: *mark,
+                    end_ns: t_read_end,
+                });
+                t.recorder.push(SpanEvent {
+                    span,
+                    stage: Stage::Decode,
+                    start_ns: t_read_end,
+                    end_ns: sent_ns,
+                });
+            });
+            *mark = sent_ns;
+            (span, sent_ns)
+        } else {
+            (0, 0)
+        };
         // The frame's sequence is fixed before dispatch; replies cannot
         // overtake the push below because this thread processes them.
         let frame_seq = self.pipeline.next_seq;
@@ -527,6 +610,8 @@ impl Conn {
             let msg = ShardMsg::InvokeBatch {
                 frame_seq,
                 items: std::mem::take(&mut io.per_shard[shard]),
+                span,
+                sent_ns,
                 reply: io.reply_sink(self.token),
             };
             if ctx.shard_txs[shard].send(msg).is_err() {
@@ -544,6 +629,7 @@ impl Conn {
         let seq = self.pipeline.push(Slot::Frame {
             version,
             remaining: expected,
+            span,
             results: vec![None; n],
         });
         debug_assert_eq!(seq, frame_seq);
@@ -555,14 +641,14 @@ impl Conn {
     /// decides the connection's fate.
     pub fn pump(&mut self, io: &mut ReactorIo<'_>) -> Flow {
         loop {
-            self.flush_ready(io);
+            let t_render_end = self.flush_ready(io);
             let backlog = self.out.len() - self.out_pos;
             if backlog > 0
                 && (self.pipeline.is_empty()
                     || backlog >= WRITE_COALESCE_BYTES
                     || self.write_blocked)
             {
-                if let Flow::Close = self.write_out() {
+                if let Flow::Close = self.write_out(io.telem, t_render_end) {
                     return Flow::Close;
                 }
             }
@@ -589,7 +675,7 @@ impl Conn {
                 && !self.read_eof
                 && !self.close_requested
                 && !self.fatal
-                && !self.read_paused(io.ctx)
+                && !self.read_paused(io)
                 && self.buf.buffered() > 0;
             if !resumable {
                 return Flow::Keep;
@@ -604,18 +690,62 @@ impl Conn {
         }
     }
 
-    fn flush_ready(&mut self, io: &mut ReactorIo<'_>) {
+    /// Records the render run of `k` consecutive JSON slots ending now:
+    /// one clock read and one recorder lock for the whole run, every
+    /// decision recorded at the run mean (counts stay exact). The run's
+    /// spans are the last `k` entries of `pending_spans` — nothing else
+    /// is pushed between a run's first slot and its boundary.
+    fn flush_render_run(&self, io: &ReactorIo<'_>, t0: u64, k: u32) -> u64 {
+        let t1 = io.telem.now();
+        let n = k as u64;
+        let mean = t1.saturating_sub(t0).checked_div(n).unwrap_or(0);
+        let spans = &self.pending_spans[self.pending_spans.len() - k as usize..];
+        io.telem.with(|t| {
+            t.render.json.record_n(mean, n);
+            for &(span, _, _) in spans {
+                t.recorder.push(SpanEvent {
+                    span,
+                    stage: Stage::Render,
+                    start_ns: t0,
+                    end_ns: t1,
+                });
+            }
+        });
+        t1
+    }
+
+    /// Returns the last timestamp it read (0 when it read none), so the
+    /// caller can seed the write stage without a redundant clock call.
+    fn flush_ready(&mut self, io: &mut ReactorIo<'_>) -> u64 {
+        if !self.pipeline.slots.front().is_some_and(Slot::is_complete) {
+            return 0;
+        }
+        let mut t0 = io.telem.now();
+        // Consecutive JSON slots accumulate and are clocked as one run
+        // at the next boundary (frame/control/loop end).
+        let mut json_run: u32 = 0;
         while self.pipeline.slots.front().is_some_and(Slot::is_complete) {
             let slot = self.pipeline.slots.pop_front().expect("checked front");
             self.pipeline.front_seq += 1;
             match slot {
-                Slot::Json(done) => {
+                Slot::Json { span, done } => {
                     self.pipeline.inflight -= 1;
                     render_json(&mut self.out, io.scratch, done.expect("complete decision"));
+                    if io.telem.enabled() {
+                        self.pending_spans.push((span, false, 1));
+                        json_run += 1;
+                    }
                 }
                 Slot::Frame {
-                    version, results, ..
+                    version,
+                    span,
+                    results,
+                    ..
                 } => {
+                    if json_run > 0 {
+                        t0 = self.flush_render_run(io, t0, json_run);
+                        json_run = 0;
+                    }
                     self.pipeline.inflight -= results.len();
                     io.results.clear();
                     io.results.extend(
@@ -627,24 +757,71 @@ impl Conn {
                     io.ctx
                         .batched_decisions
                         .fetch_add(io.results.len() as u64, Ordering::Relaxed);
+                    if io.telem.enabled() {
+                        let t1 = io.telem.now();
+                        let n = io.results.len() as u64;
+                        io.telem.with(|t| {
+                            t.render.bin.record_n(t1.saturating_sub(t0) / n.max(1), n);
+                            t.recorder.push(SpanEvent {
+                                span,
+                                stage: Stage::Render,
+                                start_ns: t0,
+                                end_ns: t1,
+                            });
+                        });
+                        self.pending_spans.push((span, true, n as u32));
+                        t0 = t1;
+                    }
                 }
                 Slot::BinError { code, detail } => {
+                    if json_run > 0 {
+                        self.flush_render_run(io, t0, json_run);
+                        json_run = 0;
+                    }
                     io.ctx.proto_errors.fetch_add(1, Ordering::Relaxed);
                     wire::encode_error_frame(&mut self.out, code, &detail);
+                    t0 = io.telem.now();
                 }
                 Slot::Control(req) => {
+                    if json_run > 0 {
+                        self.flush_render_run(io, t0, json_run);
+                        json_run = 0;
+                    }
                     // Executed only now — once every earlier message on
-                    // the connection has fully answered.
+                    // the connection has fully answered. A scrape can
+                    // take a while; refresh the render mark after it so
+                    // the next slot isn't charged for the control work.
                     handle_control(&req, io.ctx, &mut self.out);
+                    t0 = io.telem.now();
                 }
-                Slot::Http(bytes) => self.out.extend_from_slice(&bytes),
+                Slot::Http(bytes) => {
+                    if json_run > 0 {
+                        self.flush_render_run(io, t0, json_run);
+                        json_run = 0;
+                    }
+                    self.out.extend_from_slice(&bytes);
+                    t0 = io.telem.now();
+                }
             }
         }
+        if json_run > 0 {
+            t0 = self.flush_render_run(io, t0, json_run);
+        }
+        t0
     }
 
     /// Writes as much pending output as the socket takes; keeps the
-    /// cursor for resumption when the kernel buffer fills.
-    fn write_out(&mut self) -> Flow {
+    /// cursor for resumption when the kernel buffer fills. Write-stage
+    /// spans settle only on a full flush: a partial write keeps its
+    /// spans pending so they are charged the whole (resumed) drain.
+    ///
+    /// `t_hint` is the caller's last clock reading (the render-stage
+    /// end, from [`Conn::flush_ready`]); when nonzero it seeds the
+    /// write-stage start so the common pump path reads the clock once
+    /// less per flush.
+    fn write_out(&mut self, telem: &ReactorTelemHandle, t_hint: u64) -> Flow {
+        let t0 = if t_hint != 0 { t_hint } else { telem.now() };
+        let start_pos = self.out_pos;
         while self.out_pos < self.out.len() {
             let mut stream = self.buf.stream();
             match stream.write(&self.out[self.out_pos..]) {
@@ -660,6 +837,29 @@ impl Conn {
         }
         self.write_blocked = false;
         if self.out_pos > 0 {
+            if telem.enabled() {
+                let t1 = telem.now();
+                let dt = t1.saturating_sub(t0);
+                let written = (self.out_pos - start_pos) as u64;
+                telem.with(|t| {
+                    t.write_bursts.record(written);
+                    for &(span, is_bin, n) in &self.pending_spans {
+                        let n = n as u64;
+                        if is_bin {
+                            t.write.bin.record_n(dt / n.max(1), n);
+                        } else {
+                            t.write.json.record(dt);
+                        }
+                        t.recorder.push(SpanEvent {
+                            span,
+                            stage: Stage::Write,
+                            start_ns: t0,
+                            end_ns: t1,
+                        });
+                    }
+                });
+                self.pending_spans.clear();
+            }
             self.out.clear();
             self.out_pos = 0;
             if self.out.capacity() > OUT_SHRINK_ABOVE {

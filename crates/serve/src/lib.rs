@@ -26,9 +26,20 @@
 //!   scheduled 90 s early, hourly backup accounting (§6).
 //! * **Endpoints**: `POST /invoke` (app id + timestamp → cold/warm
 //!   verdict and the next pre-warm/keep-alive windows), `GET /metrics`
-//!   (per-shard counters and p50/p95/p99 decision latency via the P²
-//!   estimators of `sitw_stats::quantile_stream`), `GET /healthz`, and
-//!   admin verbs for snapshotting and graceful shutdown.
+//!   (per-shard counters plus per-stage/per-tenant decision-latency
+//!   **histograms** — mergeable log2 buckets from `sitw_telemetry`,
+//!   exported as real Prometheus `histogram` series), `GET /healthz`,
+//!   the flight-recorder debug endpoints `GET /debug/trace` and
+//!   `GET /debug/threads` ([`telem`]), and admin verbs for snapshotting
+//!   and graceful shutdown.
+//! * **Flight-recorder telemetry** ([`telem`]): every request is traced
+//!   through six stages — read → decode → queue → decide → render →
+//!   write — into per-thread span rings and per-stage histograms, with
+//!   reactor introspection counters (epoll waits, wakeups, events per
+//!   wake, write-coalescing bursts, backpressure transitions, mailbox
+//!   depths). Recording is lock-light (`try_lock` per site) and
+//!   allocation-free in steady state; `telemetry: false` removes every
+//!   clock read from the hot path.
 //! * **Snapshot/restore** ([`snapshot`]): the complete per-app policy
 //!   state (histogram bins, out-of-bounds counts, ARIMA history) round
 //!   trips through a text file — the daemon can restart mid-stream and
@@ -93,13 +104,19 @@ pub mod reactor;
 pub mod server;
 pub mod shard;
 pub mod snapshot;
+pub mod telem;
 pub mod wire;
 
 pub use loadgen::{run_loadgen, LoadGenConfig, LoadGenReport, Proto};
-pub use metrics::{ConnStats, MetricsReport, ProtoStats, ShardStats, TenantStats};
+pub use metrics::{
+    ConnStats, MetricsReport, ProtoHists, ProtoStats, ReactorStats, ShardStats, TenantStats,
+};
 pub use reactor::ReplySink;
 pub use server::{ServeConfig, Server, TenantConfig};
 pub use shard::{
     shard_of, BatchItem, BatchReply, Decision, InvokeError, ServedPolicy, TenantRestore,
 };
 pub use snapshot::{AppRecord, PolicyState, ShardExport, Snapshot, TenantExport, TenantSnapshot};
+pub use telem::{
+    merge_spans, QueueGauge, ReactorTelem, ReactorTelemHandle, ShardTelem, TelemClock, TRACE_RING,
+};

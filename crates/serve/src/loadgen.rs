@@ -31,6 +31,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use sitw_stats::percentile_sorted;
+use sitw_telemetry::Log2Histogram;
 use sitw_trace::{app_invocations, build_population, PopulationConfig, TraceConfig, HOUR_MS};
 
 use crate::wire::{self, BinReply, ServerFrameDecode};
@@ -144,6 +145,10 @@ pub struct LoadGenReport {
     /// Exact client-observed latency percentiles in microseconds
     /// (p50, p95, p99) and the maximum.
     pub latency_us: LatencySummary,
+    /// Client-observed RTT histogram in nanoseconds — the same
+    /// mergeable log2-bucket type the server exports, so client and
+    /// server distributions compare bucket-for-bucket.
+    pub latency_hist: Log2Histogram,
     /// Eviction-downgraded cold verdicts among `ok` (budgeted tenants).
     pub evicted: u64,
     /// Per-tenant verdict mix, index k = tenant `tK` (empty when the
@@ -214,6 +219,82 @@ impl LoadGenReport {
             );
         }
         let _ = write!(out, "\nmax_live_conns={}", self.max_live_conns);
+        if !self.latency_hist.is_empty() {
+            let h = &self.latency_hist;
+            let q = |p: f64| h.quantile(p).unwrap_or(0.0) / 1_000.0;
+            let _ = write!(
+                out,
+                "\nrtt histogram: {} samples, mean {:.0} µs, p50/p95/p99 ≈ {:.0}/{:.0}/{:.0} µs, \
+                 max bucket ≤ {:.0} µs",
+                h.count(),
+                h.mean().unwrap_or(0.0) / 1_000.0,
+                q(0.50),
+                q(0.95),
+                q(0.99),
+                h.max_bound().unwrap_or(0) as f64 / 1_000.0,
+            );
+        }
+        out
+    }
+
+    /// Machine-readable run summary (the `--out` file of `sitw-loadgen`):
+    /// throughput, verdict mix, exact percentiles, and the full log2
+    /// latency histogram as `[bucket_upper_ns, count]` pairs.
+    pub fn to_json(&self, proto: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(512);
+        let _ = write!(
+            out,
+            "{{\"proto\":\"{proto}\",\"sent\":{},\"ok\":{},\"cold\":{},\"warm\":{},\
+             \"evicted\":{},\"errors\":{},\"elapsed_s\":{:.6},\"throughput\":{:.2},\
+             \"cold_rate\":{:.6},\"latency_us\":{{\"p50\":{:.1},\"p95\":{:.1},\"p99\":{:.1},\
+             \"max\":{:.1}}},\"max_live_conns\":{}",
+            self.sent,
+            self.ok,
+            self.cold,
+            self.warm,
+            self.evicted,
+            self.errors,
+            self.elapsed.as_secs_f64(),
+            self.throughput,
+            self.cold as f64 / (self.ok.max(1)) as f64,
+            self.latency_us.p50,
+            self.latency_us.p95,
+            self.latency_us.p99,
+            self.latency_us.max,
+            self.max_live_conns,
+        );
+        let h = &self.latency_hist;
+        let _ = write!(
+            out,
+            ",\"latency_hist\":{{\"count\":{},\"sum_ns\":{},\"buckets\":[",
+            h.count(),
+            h.sum()
+        );
+        let mut first = true;
+        for (i, &c) in h.buckets().iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "[{},{c}]", Log2Histogram::bucket_upper(i));
+        }
+        out.push_str("]}");
+        let _ = write!(out, ",\"per_tenant\":[");
+        for (k, t) in self.per_tenant.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"tenant\":\"t{k}\",\"ok\":{},\"cold\":{},\"evicted\":{},\"errors\":{}}}",
+                t.ok, t.cold, t.evicted, t.errors
+            );
+        }
+        out.push_str("]}");
         out
     }
 }
@@ -341,7 +422,7 @@ pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenR
     let mut results: Vec<ConnResult> = Vec::new();
     std::thread::scope(|scope| -> io::Result<()> {
         let mut handles = Vec::new();
-        for (schedule, stream) in schedules.iter().zip(streams.into_iter()) {
+        for (schedule, stream) in schedules.iter().zip(streams) {
             let Some(stream) = stream else { continue };
             handles.push(scope.spawn(move || match cfg.proto {
                 Proto::Json => drive_connection(
@@ -383,6 +464,7 @@ pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenR
     let mut errors = 0u64;
     let mut per_tenant: Vec<TenantMix> = vec![TenantMix::default(); cfg.tenants];
     let mut latencies: Vec<f64> = Vec::new();
+    let mut latency_hist = Log2Histogram::new();
     for mut r in results {
         sent += r.sent;
         ok += r.ok;
@@ -396,6 +478,7 @@ pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenR
             agg.errors += t.errors;
         }
         latencies.append(&mut r.latencies_us);
+        latency_hist.merge(&r.latency_ns);
     }
     latencies.sort_by(f64::total_cmp);
     let lat = |p: f64| {
@@ -419,6 +502,7 @@ pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenR
             p99: lat(99.0),
             max: latencies.last().copied().unwrap_or(0.0),
         },
+        latency_hist,
         evicted,
         per_tenant,
         max_live_conns,
@@ -434,6 +518,7 @@ struct ConnResult {
     /// Index k = tenant `tK` (wire id k + 1); empty when untenanted.
     per_tenant: Vec<TenantMix>,
     latencies_us: Vec<f64>,
+    latency_ns: Log2Histogram,
 }
 
 impl ConnResult {
@@ -446,6 +531,7 @@ impl ConnResult {
             errors: 0,
             per_tenant: vec![TenantMix::default(); tenants],
             latencies_us: Vec::with_capacity(capacity),
+            latency_ns: Log2Histogram::new(),
         }
     }
 
@@ -506,9 +592,9 @@ fn drive_connection(
      -> io::Result<()> {
         let response = reader.read_response()?;
         let (sent_at, tenant) = in_flight.pop_front().expect("response without request");
-        result
-            .latencies_us
-            .push(sent_at.elapsed().as_nanos() as f64 / 1_000.0);
+        let rtt_ns = sent_at.elapsed().as_nanos() as u64;
+        result.latencies_us.push(rtt_ns as f64 / 1_000.0);
+        result.latency_ns.record(rtt_ns);
         if response.status == 200 {
             result.record_verdict(tenant, response.cold, response.evicted);
         } else {
@@ -633,7 +719,9 @@ fn drive_connection_bin(
         let (sent_at, frame_tenants) = in_flight.pop_front().expect("reply without frame");
         let count = frame_tenants.len();
         *in_flight_records -= count;
-        let latency_us = sent_at.elapsed().as_nanos() as f64 / 1_000.0;
+        let rtt_ns = sent_at.elapsed().as_nanos() as u64;
+        let latency_us = rtt_ns as f64 / 1_000.0;
+        result.latency_ns.record_n(rtt_ns, count as u64);
         match records {
             Some(records) => {
                 if records.len() != count {

@@ -1,6 +1,72 @@
-//! Server metrics: per-shard counters, per-tenant fleet gauges, and
-//! decision-latency percentiles, rendered in the Prometheus text
-//! exposition format.
+//! Server metrics: per-shard counters, per-tenant fleet gauges,
+//! per-stage latency histograms, and reactor introspection, rendered in
+//! the Prometheus text exposition format.
+//!
+//! Latency is captured in [`Log2Histogram`]s on the recording threads
+//! and merged exactly at scrape time, so the exported
+//! `sitw_serve_decision_latency` histogram's bucket counts equal the
+//! sum of the per-shard (and per-reactor) recordings — no estimator
+//! drift. The legacy `sitw_serve_decision_latency_us` quantile gauges
+//! are kept for dashboard compatibility, derived from the same buckets.
+
+use sitw_telemetry::Log2Histogram;
+
+/// A latency histogram split by wire protocol (JSON/HTTP vs SITW-BIN).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProtoHists {
+    /// Samples from JSON/HTTP requests, nanoseconds.
+    pub json: Log2Histogram,
+    /// Samples from SITW-BIN frames, nanoseconds.
+    pub bin: Log2Histogram,
+}
+
+impl ProtoHists {
+    /// Adds every bucket of `other` into `self` (exact merge).
+    pub fn merge(&mut self, other: &Self) {
+        self.json.merge(&other.json);
+        self.bin.merge(&other.bin);
+    }
+
+    /// Both protocols merged into one histogram.
+    pub fn merged(&self) -> Log2Histogram {
+        let mut h = self.json.clone();
+        h.merge(&self.bin);
+        h
+    }
+}
+
+/// Introspection counters reported by one reactor (event-loop) thread.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Reactor index.
+    pub reactor: usize,
+    /// Read-stage latency (socket readable → bytes buffered), ns.
+    pub read: ProtoHists,
+    /// Decode-stage latency (bytes → parsed and dispatched), ns.
+    pub decode: ProtoHists,
+    /// Render-stage latency (reply complete → bytes serialized), ns.
+    pub render: ProtoHists,
+    /// Write-stage latency (bytes serialized → flushed to socket), ns.
+    pub write: ProtoHists,
+    /// Total `epoll_wait` calls (blocking and non-blocking).
+    pub epoll_waits: u64,
+    /// Nanoseconds spent inside blocking `epoll_wait` calls.
+    pub epoll_wait_ns: u64,
+    /// Eventfd waker fires observed.
+    pub wakeups: u64,
+    /// Events delivered per productive `epoll_wait` wake.
+    pub events_per_wake: Log2Histogram,
+    /// Bytes per completed coalesced socket write.
+    pub write_bursts: Log2Histogram,
+    /// Backpressure transitions into the read-paused state.
+    pub bp_pauses: u64,
+    /// Backpressure transitions out of the read-paused state.
+    pub bp_resumes: u64,
+    /// Inbox backlog drained at the most recent wave (drain-observed).
+    pub queue_depth: u64,
+    /// High-water mark of the drain-observed inbox backlog.
+    pub queue_peak: u64,
+}
 
 /// One tenant's counters as seen by one shard (the default tenant's
 /// numbers are per-shard slices; named tenants live whole on one shard).
@@ -26,6 +92,8 @@ pub struct TenantStats {
     pub invocations: u64,
     /// Cold verdicts (including eviction downgrades).
     pub cold: u64,
+    /// Decision latency for this tenant's invocations, nanoseconds.
+    pub decision_ns: Log2Histogram,
 }
 
 /// Counters and latency estimates reported by one shard.
@@ -50,9 +118,18 @@ pub struct ShardStats {
     pub backups: u64,
     /// Pre-warm events scheduled 90 s early (production mode only).
     pub prewarm_scheduled: u64,
-    /// `(quantile, estimate_in_µs)` pairs from the shard's P² estimators
-    /// (empty until the shard has observed at least one decision).
+    /// `(quantile, estimate_in_µs)` pairs derived from the shard's
+    /// decision-latency histogram (empty until the shard has observed
+    /// at least one decision).
     pub latency_us: Vec<(f64, f64)>,
+    /// Mailbox wait (dispatch → dequeue) on this shard, nanoseconds.
+    pub queue_ns: ProtoHists,
+    /// Policy decision latency on this shard, nanoseconds.
+    pub decide_ns: ProtoHists,
+    /// Mailbox backlog drained at the most recent wave (drain-observed).
+    pub mailbox_depth: u64,
+    /// High-water mark of the drain-observed mailbox backlog.
+    pub mailbox_peak: u64,
     /// Per-tenant fleet counters on this shard, ordered by tenant id.
     pub tenants: Vec<TenantStats>,
 }
@@ -91,6 +168,9 @@ pub struct ConnStats {
 pub struct MetricsReport {
     /// Per-shard statistics, ordered by shard index.
     pub shards: Vec<ShardStats>,
+    /// Per-reactor introspection, ordered by reactor index (empty when
+    /// telemetry is disabled).
+    pub reactors: Vec<ReactorStats>,
     /// Server-wide SITW-BIN protocol counters.
     pub proto: ProtoStats,
     /// Server-wide connection gauges.
@@ -130,6 +210,7 @@ impl MetricsReport {
                         m.idle_mb_ms = m.idle_mb_ms.saturating_add(t.idle_mb_ms);
                         m.invocations += t.invocations;
                         m.cold += t.cold;
+                        m.decision_ns.merge(&t.decision_ns);
                     }
                     None => merged.push(t.clone()),
                 }
@@ -137,6 +218,40 @@ impl MetricsReport {
         }
         merged.sort_by_key(|t| t.id);
         merged
+    }
+
+    /// Per-stage latency histograms merged exactly across every
+    /// recording thread: read/decode/render/write summed over reactors,
+    /// queue/decide summed over shards. In pipeline order.
+    ///
+    /// This is the data `sitw_serve_decision_latency` exports; the
+    /// telemetry integration test asserts its bucket counts equal the
+    /// sum of the per-shard recordings.
+    pub fn stage_hists(&self) -> [(&'static str, ProtoHists); 6] {
+        let mut read = ProtoHists::default();
+        let mut decode = ProtoHists::default();
+        let mut render = ProtoHists::default();
+        let mut write = ProtoHists::default();
+        for r in &self.reactors {
+            read.merge(&r.read);
+            decode.merge(&r.decode);
+            render.merge(&r.render);
+            write.merge(&r.write);
+        }
+        let mut queue = ProtoHists::default();
+        let mut decide = ProtoHists::default();
+        for s in &self.shards {
+            queue.merge(&s.queue_ns);
+            decide.merge(&s.decide_ns);
+        }
+        [
+            ("read", read),
+            ("decode", decode),
+            ("queue", queue),
+            ("decide", decide),
+            ("render", render),
+            ("write", write),
+        ]
     }
 
     /// Renders the Prometheus text format.
@@ -191,13 +306,50 @@ impl MetricsReport {
                 let _ = writeln!(out, "{name}{{shard=\"{}\"}} {}", s.shard, get(s));
             }
         }
+        let tenants = self.tenants();
+        // The per-stage latency histogram: true Prometheus `histogram`
+        // series with log2 bucket bounds in seconds, merged exactly
+        // across recording threads. One series per stage and protocol,
+        // plus per-tenant decide series.
         let _ = writeln!(
             out,
-            "# HELP sitw_serve_decision_latency_us Decision latency percentiles (P2 estimates)"
+            "# HELP sitw_serve_decision_latency Request latency by pipeline stage in seconds \
+             (log2 buckets)"
+        );
+        let _ = writeln!(out, "# TYPE sitw_serve_decision_latency histogram");
+        for (stage, hists) in self.stage_hists() {
+            for (proto, h) in [("json", &hists.json), ("bin", &hists.bin)] {
+                write_hist_series(
+                    &mut out,
+                    "sitw_serve_decision_latency",
+                    &format!("stage=\"{stage}\",proto=\"{proto}\""),
+                    h,
+                );
+            }
+        }
+        for t in &tenants {
+            write_hist_series(
+                &mut out,
+                "sitw_serve_decision_latency",
+                &format!("stage=\"decide\",tenant=\"{}\"", t.name),
+                &t.decision_ns,
+            );
+        }
+        // Legacy quantile gauges, now derived from the histogram
+        // buckets. Non-finite estimates are suppressed: NaN/inf are not
+        // valid Prometheus sample values, and an underfilled estimator
+        // must not export garbage.
+        let _ = writeln!(
+            out,
+            "# HELP sitw_serve_decision_latency_us Decision latency percentiles (derived from \
+             the log2 histogram buckets)"
         );
         let _ = writeln!(out, "# TYPE sitw_serve_decision_latency_us gauge");
         for s in &self.shards {
             for (q, v) in &s.latency_us {
+                if !v.is_finite() {
+                    continue;
+                }
                 let _ = writeln!(
                     out,
                     "sitw_serve_decision_latency_us{{shard=\"{}\",quantile=\"{q}\"}} {v:.3}",
@@ -256,7 +408,6 @@ impl MetricsReport {
                 |t| t.cold,
             ),
         ];
-        let tenants = self.tenants();
         for (name, help, kind, get) in tenant_rows {
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} {kind}");
@@ -317,6 +468,95 @@ impl MetricsReport {
             let _ = writeln!(out, "# TYPE {name} {kind}");
             let _ = writeln!(out, "{name} {value}");
         }
+        // Reactor introspection: event-loop behaviour per thread (the
+        // families render with no samples when telemetry is off).
+        type ReactorRow = (
+            &'static str,
+            &'static str,
+            &'static str,
+            fn(&ReactorStats) -> u64,
+        );
+        let reactor_rows: [ReactorRow; 6] = [
+            (
+                "sitw_serve_reactor_epoll_waits_total",
+                "epoll_wait calls (blocking and non-blocking)",
+                "counter",
+                |r| r.epoll_waits,
+            ),
+            (
+                "sitw_serve_reactor_wakeups_total",
+                "Eventfd waker fires observed",
+                "counter",
+                |r| r.wakeups,
+            ),
+            (
+                "sitw_serve_reactor_backpressure_pauses_total",
+                "Transitions into the read-paused backpressure state",
+                "counter",
+                |r| r.bp_pauses,
+            ),
+            (
+                "sitw_serve_reactor_backpressure_resumes_total",
+                "Transitions out of the read-paused backpressure state",
+                "counter",
+                |r| r.bp_resumes,
+            ),
+            (
+                "sitw_serve_reactor_queue_depth",
+                "Inbox backlog drained at the most recent wave",
+                "gauge",
+                |r| r.queue_depth,
+            ),
+            (
+                "sitw_serve_reactor_queue_peak",
+                "High-water mark of the drain-observed inbox backlog",
+                "gauge",
+                |r| r.queue_peak,
+            ),
+        ];
+        for (name, help, kind, get) in reactor_rows {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for r in &self.reactors {
+                let _ = writeln!(out, "{name}{{reactor=\"{}\"}} {}", r.reactor, get(r));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP sitw_serve_reactor_epoll_wait_seconds_total Time spent blocked in epoll_wait"
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE sitw_serve_reactor_epoll_wait_seconds_total counter"
+        );
+        for r in &self.reactors {
+            let _ = writeln!(
+                out,
+                "sitw_serve_reactor_epoll_wait_seconds_total{{reactor=\"{}\"}} {:.6}",
+                r.reactor,
+                r.epoll_wait_ns as f64 / 1e9
+            );
+        }
+        type ShardRow = (&'static str, &'static str, fn(&ShardStats) -> u64);
+        let mailbox_rows: [ShardRow; 2] = [
+            (
+                "sitw_serve_shard_mailbox_depth",
+                "Mailbox backlog drained at the most recent wave",
+                |s| s.mailbox_depth,
+            ),
+            (
+                "sitw_serve_shard_mailbox_peak",
+                "High-water mark of the drain-observed mailbox backlog",
+                |s| s.mailbox_peak,
+            ),
+        ];
+        for (name, help, get) in mailbox_rows {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for s in &self.shards {
+                let _ = writeln!(out, "{name}{{shard=\"{}\"}} {}", s.shard, get(s));
+            }
+        }
         let _ = writeln!(out, "# HELP sitw_serve_uptime_ms Time since server start");
         let _ = writeln!(out, "# TYPE sitw_serve_uptime_ms gauge");
         let _ = writeln!(out, "sitw_serve_uptime_ms {}", self.uptime_ms);
@@ -324,11 +564,41 @@ impl MetricsReport {
     }
 }
 
+/// Log2 buckets exported as `le` bounds, as bucket indices into the
+/// nanosecond histogram: 255 ns (index 8) up to ~68.7 s (index 36).
+/// Samples below the first bound are cumulative in it; samples above
+/// the last land only in `+Inf`.
+const LE_LO: usize = 8;
+const LE_HI: usize = 36;
+
+/// Writes one `histogram` series (`_bucket`/`_sum`/`_count`) for a
+/// nanosecond [`Log2Histogram`], bounds converted to seconds.
+fn write_hist_series(out: &mut String, name: &str, labels: &str, h: &Log2Histogram) {
+    use std::fmt::Write as _;
+    let buckets = h.buckets();
+    let mut cum: u64 = buckets[..LE_LO].iter().sum();
+    for (i, &count) in buckets.iter().enumerate().take(LE_HI + 1).skip(LE_LO) {
+        cum += count;
+        let le = Log2Histogram::bucket_upper(i) as f64 / 1e9;
+        let _ = writeln!(out, "{name}_bucket{{{labels},le=\"{le}\"}} {cum}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{{labels},le=\"+Inf\"}} {}", h.count());
+    let _ = writeln!(out, "{name}_sum{{{labels}}} {}", h.sum() as f64 / 1e9);
+    let _ = writeln!(out, "{name}_count{{{labels}}} {}", h.count());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn stats(shard: usize) -> ShardStats {
+        let mut decide_ns = ProtoHists::default();
+        decide_ns.json.record(1_500);
+        decide_ns.bin.record(9_000);
+        let mut queue_ns = ProtoHists::default();
+        queue_ns.json.record(700);
+        let mut tenant_decide = Log2Histogram::new();
+        tenant_decide.record(1_500);
         ShardStats {
             shard,
             apps: 3,
@@ -340,6 +610,10 @@ mod tests {
             backups: 7,
             prewarm_scheduled: 11,
             latency_us: vec![(0.5, 1.5), (0.95, 3.0), (0.99, 9.0)],
+            queue_ns,
+            decide_ns,
+            mailbox_depth: 1,
+            mailbox_peak: 6,
             tenants: vec![
                 TenantStats {
                     id: 0,
@@ -351,6 +625,7 @@ mod tests {
                     idle_mb_ms: 1_000,
                     invocations: 90,
                     cold: 15,
+                    decision_ns: tenant_decide,
                 },
                 TenantStats {
                     id: 1,
@@ -362,6 +637,7 @@ mod tests {
                     idle_mb_ms: 2_000,
                     invocations: 10,
                     cold: 5,
+                    decision_ns: Log2Histogram::new(),
                 },
             ],
         }
@@ -371,6 +647,7 @@ mod tests {
     fn totals_sum_over_shards() {
         let r = MetricsReport {
             shards: vec![stats(0), stats(1)],
+            reactors: vec![],
             proto: ProtoStats::default(),
             conns: ConnStats::default(),
             uptime_ms: 42,
@@ -384,6 +661,7 @@ mod tests {
     fn tenant_aggregation_sums_sub_ledgers() {
         let r = MetricsReport {
             shards: vec![stats(0), stats(1)],
+            reactors: vec![],
             proto: ProtoStats::default(),
             conns: ConnStats::default(),
             uptime_ms: 42,
@@ -399,8 +677,22 @@ mod tests {
 
     #[test]
     fn renders_prometheus_text() {
+        let mut reactor = ReactorStats {
+            reactor: 0,
+            epoll_waits: 500,
+            epoll_wait_ns: 2_000_000_000,
+            wakeups: 40,
+            bp_pauses: 2,
+            bp_resumes: 2,
+            queue_depth: 0,
+            queue_peak: 9,
+            ..ReactorStats::default()
+        };
+        reactor.read.json.record(300);
+        reactor.write.bin.record(12_000);
         let r = MetricsReport {
             shards: vec![stats(0), stats(1)],
+            reactors: vec![reactor],
             proto: ProtoStats {
                 frames: 13,
                 batched_decisions: 1664,
@@ -436,5 +728,123 @@ mod tests {
         assert!(text.contains("sitw_serve_tenant_evictions_total{tenant=\"acme\"} 8"));
         assert!(text.contains("sitw_serve_tenant_budget_mb{tenant=\"acme\"} 512"));
         assert!(text.contains("sitw_serve_tenant_idle_mb_ms_total{tenant=\"default\"} 2000"));
+        // The true histogram family: per stage and protocol, plus
+        // per-tenant decide series.
+        assert!(text.contains("# TYPE sitw_serve_decision_latency histogram"));
+        assert!(text.contains(
+            "sitw_serve_decision_latency_bucket{stage=\"decide\",proto=\"json\",le=\"+Inf\"} 2"
+        ));
+        assert!(
+            text.contains("sitw_serve_decision_latency_count{stage=\"decide\",proto=\"bin\"} 2")
+        );
+        assert!(text
+            .contains("sitw_serve_decision_latency_count{stage=\"decide\",tenant=\"default\"} 2"));
+        assert!(text.contains("sitw_serve_decision_latency_count{stage=\"read\",proto=\"json\"} 1"));
+        assert!(text.contains("sitw_serve_decision_latency_count{stage=\"write\",proto=\"bin\"} 1"));
+        // Reactor and shard introspection.
+        assert!(text.contains("sitw_serve_reactor_epoll_waits_total{reactor=\"0\"} 500"));
+        assert!(
+            text.contains("sitw_serve_reactor_epoll_wait_seconds_total{reactor=\"0\"} 2.000000")
+        );
+        assert!(text.contains("sitw_serve_reactor_wakeups_total{reactor=\"0\"} 40"));
+        assert!(text.contains("sitw_serve_reactor_backpressure_pauses_total{reactor=\"0\"} 2"));
+        assert!(text.contains("sitw_serve_reactor_queue_peak{reactor=\"0\"} 9"));
+        assert!(text.contains("sitw_serve_shard_mailbox_peak{shard=\"1\"} 6"));
+        assert!(text.contains("sitw_serve_shard_mailbox_depth{shard=\"0\"} 1"));
+    }
+
+    /// Regression (this PR's bugfix satellite): latency quantile gauges
+    /// from an empty or underfilled estimator used to leak `NaN`/`inf`
+    /// sample values — invalid Prometheus exposition. Non-finite
+    /// estimates must be suppressed, finite ones kept.
+    #[test]
+    fn non_finite_latency_quantiles_are_suppressed() {
+        let mut s = stats(0);
+        s.latency_us = vec![(0.5, f64::NAN), (0.95, f64::INFINITY), (0.99, 9.0)];
+        let r = MetricsReport {
+            shards: vec![s],
+            reactors: vec![],
+            proto: ProtoStats::default(),
+            conns: ConnStats::default(),
+            uptime_ms: 0,
+        };
+        let text = r.render();
+        // Every sample value in the whole exposition must parse finite
+        // (HELP text may legitimately contain words like "inferred").
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let val = line.rsplit(' ').next().expect("sample line has a value");
+            let v: f64 = val
+                .parse()
+                .unwrap_or_else(|_| panic!("unparsable sample '{val}' in line '{line}'"));
+            assert!(v.is_finite(), "non-finite sample leaked: {line}");
+        }
+        assert!(
+            text.contains("sitw_serve_decision_latency_us{shard=\"0\",quantile=\"0.99\"} 9.000")
+        );
+    }
+
+    /// Shard-merged bucket counts are exactly the sum of per-shard
+    /// recordings (the exactness the log2 histograms exist for).
+    #[test]
+    fn stage_hists_merge_exactly_across_shards() {
+        let mut a = stats(0);
+        let mut b = stats(1);
+        a.decide_ns.json.record(77);
+        b.decide_ns.json.record(1_000_000);
+        b.decide_ns.bin.record(3);
+        let mut expect = a.decide_ns.clone();
+        expect.merge(&b.decide_ns);
+        let r = MetricsReport {
+            shards: vec![a, b],
+            reactors: vec![],
+            proto: ProtoStats::default(),
+            conns: ConnStats::default(),
+            uptime_ms: 0,
+        };
+        let stages = r.stage_hists();
+        let (name, decide) = &stages[3];
+        assert_eq!(*name, "decide");
+        assert_eq!(decide, &expect);
+    }
+
+    /// Every exported sample belongs to a family announced with
+    /// `# HELP` and `# TYPE` lines (the exposition-audit satellite).
+    #[test]
+    fn every_series_has_help_and_type() {
+        let r = MetricsReport {
+            shards: vec![stats(0), stats(1)],
+            reactors: vec![ReactorStats {
+                reactor: 0,
+                ..ReactorStats::default()
+            }],
+            proto: ProtoStats::default(),
+            conns: ConnStats::default(),
+            uptime_ms: 1,
+        };
+        let text = r.render();
+        let mut typed = std::collections::HashSet::new();
+        let mut helped = std::collections::HashSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                helped.insert(rest.split(' ').next().unwrap().to_owned());
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                typed.insert(rest.split(' ').next().unwrap().to_owned());
+            } else if !line.is_empty() {
+                let name = line.split(['{', ' ']).next().unwrap();
+                // Histogram samples use the family name plus a
+                // _bucket/_sum/_count suffix.
+                let family = name
+                    .strip_suffix("_bucket")
+                    .or_else(|| name.strip_suffix("_sum"))
+                    .or_else(|| name.strip_suffix("_count"))
+                    .filter(|f| typed.contains(*f))
+                    .unwrap_or(name);
+                assert!(typed.contains(family), "sample without # TYPE: {line}");
+                assert!(helped.contains(family), "sample without # HELP: {line}");
+            }
+        }
     }
 }

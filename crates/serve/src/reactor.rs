@@ -42,6 +42,7 @@ use sitw_reactor::{Epoll, Events, Interest, Slab, Waker};
 use crate::conn::{Conn, Flow};
 use crate::server::ServerCtx;
 use crate::shard::{BatchItem, BatchReply, Decision, InvokeError, InvokeReply};
+use crate::telem::{QueueGauge, ReactorTelemHandle};
 
 /// Token reserved for the reactor's own waker fd.
 const WAKER_TOKEN: u64 = u64::MAX;
@@ -133,6 +134,8 @@ pub(crate) struct ReactorIo<'a> {
     pub results: &'a mut Vec<Result<Decision, InvokeError>>,
     /// Per-shard partition buffers for frame dispatch.
     pub per_shard: &'a mut Vec<Vec<BatchItem>>,
+    /// This reactor thread's telemetry handle (spans, stage hists).
+    pub telem: &'a ReactorTelemHandle,
 }
 
 impl ReactorIo<'_> {
@@ -148,11 +151,22 @@ impl ReactorIo<'_> {
 
 /// Runs one reactor thread until shutdown completes.
 pub(crate) fn reactor_loop(
+    id: usize,
     ctx: Arc<ServerCtx>,
     rx: Receiver<ReactorMsg>,
     tx: Sender<ReactorMsg>,
     waker: Arc<Waker>,
 ) {
+    let telem = ReactorTelemHandle::new(
+        ctx.telem.enabled,
+        ctx.telem.clock.clone(),
+        Arc::clone(&ctx.telem.reactors[id]),
+        id,
+    );
+    let gauge: Option<Arc<QueueGauge>> = ctx
+        .telem
+        .enabled
+        .then(|| Arc::clone(&ctx.telem.reactor_gauges[id]));
     let epoll = Epoll::new().expect("epoll_create1 failed");
     epoll
         .add(waker.raw_fd(), WAKER_TOKEN, Interest::READ)
@@ -181,24 +195,38 @@ pub(crate) fn reactor_loop(
                 scratch: &mut scratch,
                 results: &mut results,
                 per_shard: &mut per_shard,
+                telem: &telem,
             }
         };
     }
 
     let mut idle_spins = 0u32;
+    // Empty spin rounds buffer their epoll_wait count locally and flush
+    // it on the next eventful (or blocking) wait, so an idle-spinning
+    // reactor takes no telemetry lock per round. Totals stay exact.
+    let mut pending_waits = 0u64;
     loop {
         let mut worked = false;
         // 1. Drain the cross-thread queue, slotting replies and adopting
         // connections; defer pumping so a burst of replies costs one
-        // write per connection, not one per reply.
+        // write per connection, not one per reply. The inbox gauge is
+        // drain-observed: count the wave's backlog here, once — the
+        // senders (shards, acceptor) never touch the gauge.
+        let mut drained = 0u64;
         loop {
             match rx.try_recv() {
                 Ok(msg) => {
                     worked = true;
+                    drained += 1;
                     handle_msg(msg, &ctx, &epoll, &mut conns, &mut touched);
                 }
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => return,
+            }
+        }
+        if drained > 0 {
+            if let Some(g) = &gauge {
+                g.observe(drained);
             }
         }
 
@@ -261,7 +289,16 @@ pub(crate) fn reactor_loop(
         // armed flag and fires the eventfd, never losing the wakeup —
         // and block in `epoll_wait` for the tick.
         let n = if idle_spins < SPIN_ROUNDS {
-            epoll.wait(&mut events, 0).unwrap_or_default()
+            let n = epoll.wait(&mut events, 0).unwrap_or_default();
+            pending_waits += 1;
+            if n > 0 {
+                let waits = std::mem::take(&mut pending_waits);
+                telem.with(|t| {
+                    t.epoll_waits += waits;
+                    t.events_per_wake.record(n as u64);
+                });
+            }
+            n
         } else {
             waker.arm();
             match rx.try_recv() {
@@ -277,8 +314,21 @@ pub(crate) fn reactor_loop(
                     return;
                 }
             }
+            // The blocking wait is timed (epoll_wait_seconds_total on
+            // /metrics); the telemetry guard is NOT held across it — a
+            // scraper must never stall a tick behind a sleeping reactor.
+            let t0 = telem.now();
             let n = epoll.wait(&mut events, tick_ms).unwrap_or_default();
+            let t1 = telem.now();
             waker.disarm();
+            let waits = std::mem::take(&mut pending_waits) + 1;
+            telem.with(|t| {
+                t.epoll_waits += waits;
+                t.epoll_wait_ns += t1.saturating_sub(t0);
+                if n > 0 {
+                    t.events_per_wake.record(n as u64);
+                }
+            });
             n
         };
 
@@ -288,6 +338,7 @@ pub(crate) fn reactor_loop(
             for ev in events.iter() {
                 if ev.token == WAKER_TOKEN {
                     waker.drain();
+                    telem.with(|t| t.wakeups += 1);
                     continue;
                 }
                 let Some(conn) = conns.get_mut(ev.token) else {

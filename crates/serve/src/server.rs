@@ -37,11 +37,14 @@ use sitw_fleet::{LedgerExport, TenantId, TenantRegistry, TenantSpec, DEFAULT_TEN
 use sitw_reactor::Waker;
 use sitw_sim::PolicySpec;
 
+use sitw_telemetry::{FlightRecorder, WallClock};
+
 use crate::http::{write_response, Request};
-use crate::metrics::{ConnStats, MetricsReport, ProtoStats, ShardStats};
+use crate::metrics::{ConnStats, MetricsReport, ProtoStats, ReactorStats, ShardStats};
 use crate::reactor::{reactor_loop, ReactorMsg, ReactorRef};
 use crate::shard::{shard_of, ShardMsg, ShardWorker, TenantRestore};
 use crate::snapshot::{AppRecord, ShardExport, Snapshot, TenantSnapshot};
+use crate::telem::{merge_spans, ShardTelem, TelemClock, TelemCtx, TRACE_RING};
 use crate::wire::{self, push_u64};
 
 /// One tenant in the server configuration (CLI `--tenant`, a tenants
@@ -90,6 +93,11 @@ pub struct ServeConfig {
     /// on how long a dead client can hold a slab slot mid-message).
     /// Fully idle keep-alive connections are never timed out.
     pub idle_timeout: Duration,
+    /// Flight-recorder + per-stage histogram telemetry (on by default).
+    /// When off, the hot path does no clock reads at all; `/metrics`
+    /// still serves throughput counters, but stage histograms and the
+    /// `/debug/*` endpoints come back empty.
+    pub telemetry: bool,
 }
 
 impl Default for ServeConfig {
@@ -105,6 +113,7 @@ impl Default for ServeConfig {
             pipeline_window: 128,
             reactor_threads: 2,
             idle_timeout: Duration::from_secs(10),
+            telemetry: true,
         }
     }
 }
@@ -137,6 +146,9 @@ pub(crate) struct ServerCtx {
     pub(crate) conns_peak: AtomicU64,
     /// The reactor pool's queues and wakers.
     pub(crate) reactors: Vec<ReactorRef>,
+    /// Shared telemetry state: per-reactor flight recorders/histograms,
+    /// per-shard recorders, and inbox depth gauges.
+    pub(crate) telem: TelemCtx,
 }
 
 impl ServerCtx {
@@ -151,8 +163,34 @@ impl ServerCtx {
             }
         }
         shards.sort_by_key(|s| s.shard);
+        let mut reactors: Vec<ReactorStats> = Vec::new();
+        if self.telem.enabled {
+            for (i, shared) in self.telem.reactors.iter().enumerate() {
+                // Brief blocking lock: recording sites only try_lock and
+                // never hold the guard across a wait, so this settles fast.
+                let t = shared.lock().expect("reactor telemetry poisoned");
+                let (queue_depth, queue_peak) = self.telem.reactor_gauges[i].read();
+                reactors.push(ReactorStats {
+                    reactor: i,
+                    read: t.read.clone(),
+                    decode: t.decode.clone(),
+                    render: t.render.clone(),
+                    write: t.write.clone(),
+                    epoll_waits: t.epoll_waits,
+                    epoll_wait_ns: t.epoll_wait_ns,
+                    wakeups: t.wakeups,
+                    events_per_wake: t.events_per_wake.clone(),
+                    write_bursts: t.write_bursts.clone(),
+                    bp_pauses: t.bp_pauses,
+                    bp_resumes: t.bp_resumes,
+                    queue_depth,
+                    queue_peak,
+                });
+            }
+        }
         MetricsReport {
             shards,
+            reactors,
             proto: ProtoStats {
                 frames: self.frames.load(Ordering::Relaxed),
                 batched_decisions: self.batched_decisions.load(Ordering::Relaxed),
@@ -401,6 +439,20 @@ impl Server {
             ));
         }
 
+        // The telemetry epoch: span timestamps are nanoseconds since
+        // this instant, on every thread.
+        let started = Instant::now();
+        let telem = TelemCtx {
+            enabled: cfg.telemetry,
+            clock: TelemClock::Wall(WallClock::new(started)),
+            reactors: (0..cfg.reactor_threads).map(|_| Arc::default()).collect(),
+            reactor_gauges: (0..cfg.reactor_threads).map(|_| Arc::default()).collect(),
+            shard_recorders: (0..cfg.shards)
+                .map(|_| Arc::new(std::sync::Mutex::new(FlightRecorder::new(TRACE_RING))))
+                .collect(),
+            shard_gauges: (0..cfg.shards).map(|_| Arc::default()).collect(),
+        };
+
         // Restore before any thread exists.
         let mut snap: Option<Snapshot> = None;
         if let Some(path) = &cfg.restore_path {
@@ -427,7 +479,15 @@ impl Server {
         let mut shard_handles = Vec::with_capacity(cfg.shards);
         for (id, restore) in per_shard.into_iter().enumerate() {
             let worker = ShardWorker::new(id, restore)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+                .with_telem(ShardTelem {
+                    enabled: telem.enabled,
+                    clock: telem.clock.clone(),
+                    recorder: Arc::clone(&telem.shard_recorders[id]),
+                    gauge: Arc::clone(&telem.shard_gauges[id]),
+                    queue: Default::default(),
+                    decide: Default::default(),
+                });
             let (tx, rx) = mpsc::channel();
             shard_txs.push(tx);
             shard_handles.push(
@@ -459,7 +519,7 @@ impl Server {
             shard_txs,
             registry: RwLock::new(registry),
             shutdown: AtomicBool::new(false),
-            started: Instant::now(),
+            started,
             frames: AtomicU64::new(0),
             batched_decisions: AtomicU64::new(0),
             proto_errors: AtomicU64::new(0),
@@ -467,6 +527,7 @@ impl Server {
             conns_live: AtomicU64::new(0),
             conns_peak: AtomicU64::new(0),
             reactors,
+            telem,
         });
 
         let mut reactor_handles = Vec::with_capacity(reactor_parts.len());
@@ -475,7 +536,7 @@ impl Server {
             reactor_handles.push(
                 std::thread::Builder::new()
                     .name(format!("sitw-reactor-{id}"))
-                    .spawn(move || reactor_loop(reactor_ctx, rx, tx, waker))?,
+                    .spawn(move || reactor_loop(id, reactor_ctx, rx, tx, waker))?,
             );
         }
 
@@ -580,7 +641,8 @@ fn accept_loop(listener: TcpListener, ctx: Arc<ServerCtx>) {
         ctx.conns_accepted.fetch_add(1, Ordering::Relaxed);
         let live = ctx.conns_live.fetch_add(1, Ordering::Relaxed) + 1;
         ctx.conns_peak.fetch_max(live, Ordering::Relaxed);
-        let reactor = &ctx.reactors[next % ctx.reactors.len()];
+        let idx = next % ctx.reactors.len();
+        let reactor = &ctx.reactors[idx];
         next = next.wrapping_add(1);
         if reactor.tx.send(ReactorMsg::Conn(stream)).is_err() {
             // Reactor gone (shutting down): the stream just dropped.
@@ -614,7 +676,12 @@ pub(crate) fn parse_and_route(
 /// answered, preserving the settle-then-serve semantics of the
 /// thread-per-connection model).
 pub(crate) fn handle_control(req: &Request, ctx: &ServerCtx, out: &mut Vec<u8>) {
-    match (req.method.as_str(), req.path.as_str()) {
+    use std::fmt::Write as _;
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.path.as_str(), ""),
+    };
+    match (req.method.as_str(), path) {
         ("GET", "/healthz") => {
             let mut body = Vec::with_capacity(96);
             body.extend_from_slice(b"{\"status\":\"ok\",\"policy\":\"");
@@ -709,6 +776,125 @@ pub(crate) fn handle_control(req: &Request, ctx: &ServerCtx, out: &mut Vec<u8>) 
                 );
             }
         },
+        ("GET", "/debug/trace") => {
+            let mut last = 64usize;
+            let mut json = false;
+            for pair in query.split('&') {
+                if let Some(v) = pair.strip_prefix("n=") {
+                    if let Ok(k) = v.parse::<usize>() {
+                        last = k.min(4096);
+                    }
+                } else if pair == "format=json" {
+                    json = true;
+                }
+            }
+            // Blocking locks are safe here: recording sites only ever
+            // try_lock, and no guard is held while this control request
+            // executes. Holding all guards at once gives a consistent
+            // cross-thread snapshot to merge.
+            let mut reactor_guards = Vec::new();
+            let mut shard_guards = Vec::new();
+            if ctx.telem.enabled {
+                for shared in &ctx.telem.reactors {
+                    reactor_guards.push(shared.lock().expect("reactor telemetry poisoned"));
+                }
+                for rec in &ctx.telem.shard_recorders {
+                    shard_guards.push(rec.lock().expect("shard recorder poisoned"));
+                }
+            }
+            let mut sources: Vec<(String, &sitw_telemetry::FlightRecorder)> = Vec::new();
+            for (i, g) in reactor_guards.iter().enumerate() {
+                sources.push((format!("reactor-{i}"), &g.recorder));
+            }
+            for (i, g) in shard_guards.iter().enumerate() {
+                sources.push((format!("shard-{i}"), &**g));
+            }
+            let spans = merge_spans(&sources, last);
+            drop(reactor_guards);
+            drop(shard_guards);
+            if json {
+                let mut body = String::with_capacity(64 + spans.len() * 96);
+                body.push('[');
+                for (i, (source, ev)) in spans.iter().enumerate() {
+                    if i > 0 {
+                        body.push(',');
+                    }
+                    let _ = write!(
+                        body,
+                        "{{\"span\":{},\"stage\":\"{}\",\"start_ns\":{},\"end_ns\":{},\
+                         \"source\":\"{source}\"}}",
+                        ev.span,
+                        ev.stage.name(),
+                        ev.start_ns,
+                        ev.end_ns,
+                    );
+                }
+                body.push(']');
+                write_response(out, 200, "application/json", body.as_bytes());
+            } else {
+                let mut body = String::with_capacity(64 + spans.len() * 72);
+                body.push_str("# start_ns end_ns dur_ns span stage source\n");
+                for (source, ev) in &spans {
+                    let _ = writeln!(
+                        body,
+                        "{} {} {} {:#018x} {} {source}",
+                        ev.start_ns,
+                        ev.end_ns,
+                        ev.end_ns.saturating_sub(ev.start_ns),
+                        ev.span,
+                        ev.stage.name(),
+                    );
+                }
+                write_response(out, 200, "text/plain", body.as_bytes());
+            }
+        }
+        ("GET", "/debug/threads") => {
+            let mut body = String::with_capacity(512);
+            body.push_str("{\"reactors\":[");
+            if ctx.telem.enabled {
+                for (i, shared) in ctx.telem.reactors.iter().enumerate() {
+                    let t = shared.lock().expect("reactor telemetry poisoned");
+                    let (queue_depth, queue_peak) = ctx.telem.reactor_gauges[i].read();
+                    if i > 0 {
+                        body.push(',');
+                    }
+                    let _ = write!(
+                        body,
+                        "{{\"id\":{i},\"epoll_waits\":{},\"epoll_wait_ns\":{},\"wakeups\":{},\
+                         \"events_per_wake_mean\":{:.2},\"events_per_wake_max\":{},\
+                         \"write_burst_mean_bytes\":{:.0},\"bp_pauses\":{},\"bp_resumes\":{},\
+                         \"queue_depth\":{queue_depth},\"queue_peak\":{queue_peak}}}",
+                        t.epoll_waits,
+                        t.epoll_wait_ns,
+                        t.wakeups,
+                        t.events_per_wake.mean().unwrap_or(0.0),
+                        t.events_per_wake.max_bound().unwrap_or(0),
+                        t.write_bursts.mean().unwrap_or(0.0),
+                        t.bp_pauses,
+                        t.bp_resumes,
+                    );
+                }
+            }
+            body.push_str("],\"shards\":[");
+            if ctx.telem.enabled {
+                for (i, gauge) in ctx.telem.shard_gauges.iter().enumerate() {
+                    let (depth, peak) = gauge.read();
+                    if i > 0 {
+                        body.push(',');
+                    }
+                    let _ = write!(
+                        body,
+                        "{{\"id\":{i},\"mailbox_depth\":{depth},\"mailbox_peak\":{peak}}}"
+                    );
+                }
+            }
+            let _ = write!(
+                body,
+                "],\"conns\":{}}}",
+                ctx.conns_live.load(Ordering::Relaxed)
+            );
+            write_response(out, 200, "application/json", body.as_bytes());
+        }
         ("POST", "/admin/shutdown") => {
             ctx.shutdown.store(true, Ordering::SeqCst);
             ctx.wake_acceptor();
@@ -718,8 +904,8 @@ pub(crate) fn handle_control(req: &Request, ctx: &ServerCtx, out: &mut Vec<u8>) 
         ("POST", "/invoke") => unreachable!("handled by the caller"),
         (
             _,
-            "/invoke" | "/healthz" | "/metrics" | "/admin/tenants" | "/admin/snapshot"
-            | "/admin/shutdown",
+            "/invoke" | "/healthz" | "/metrics" | "/debug/trace" | "/debug/threads"
+            | "/admin/tenants" | "/admin/snapshot" | "/admin/shutdown",
         ) => {
             write_response(
                 out,

@@ -21,9 +21,8 @@
 //! paper's §3.4 trade-off implies but a stateless verdict oracle cannot
 //! express.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, Sender};
-use std::time::Instant;
 
 use sitw_core::{
     AppKey, AppPolicy, DecisionKind, FixedKeepAlive, HybridPolicy, NoUnloading, ProductionManager,
@@ -31,14 +30,21 @@ use sitw_core::{
 };
 use sitw_fleet::{footprint_mb, LedgerExport, TenantId, TenantLedger, TenantSpec};
 use sitw_sim::PolicySpec;
-use sitw_stats::StreamingPercentiles;
+use sitw_telemetry::{Log2Histogram, SpanEvent, Stage};
 
 use crate::metrics::{ShardStats, TenantStats};
 use crate::reactor::ReplySink;
 use crate::snapshot::{AppRecord, PolicyState, ShardExport, TenantExport};
+use crate::telem::ShardTelem;
 
-/// Latency quantiles the shard tracks (P², O(1) memory per quantile).
+/// Latency quantiles `/metrics` exports as compatibility gauges,
+/// derived from the shard's decision-latency log2 histogram.
 pub const LATENCY_QUANTILES: [f64; 3] = [0.50, 0.95, 0.99];
+
+/// Mailbox messages a worker pulls non-blockingly behind each blocking
+/// `recv` (one telemetry *drain wave*) — bounds the wave's memory and
+/// the reply delay a deep backlog can impose on its first message.
+const DRAIN_WAVE: usize = 128;
 
 /// A concrete per-application policy instance.
 ///
@@ -216,6 +222,11 @@ pub enum ShardMsg {
         ts: u64,
         /// Connection-local sequence number echoed in the reply.
         seq: u64,
+        /// Telemetry span id assigned at parse time (0 when disabled).
+        span: u64,
+        /// Dispatch timestamp (ns since server start; 0 when disabled).
+        /// The shard records dequeue-minus-dispatch as queue wait.
+        sent_ns: u64,
         /// Where to send the reply (the owning reactor's queue).
         reply: ReplySink,
     },
@@ -228,6 +239,10 @@ pub enum ShardMsg {
         frame_seq: u64,
         /// The shard's slice of the frame, in frame order.
         items: Vec<BatchItem>,
+        /// Telemetry span id of the frame (0 when disabled).
+        span: u64,
+        /// Dispatch timestamp (ns since server start; 0 when disabled).
+        sent_ns: u64,
         /// Where to send the batched reply (the owning reactor's queue).
         reply: ReplySink,
     },
@@ -270,6 +285,8 @@ struct TenantShard {
     ledger: TenantLedger,
     invocations: u64,
     cold: u64,
+    /// Decision latency for this tenant's invocations, nanoseconds.
+    decide_ns: Log2Histogram,
 }
 
 impl TenantShard {
@@ -295,6 +312,7 @@ impl TenantShard {
             ledger,
             invocations: 0,
             cold: 0,
+            decide_ns: Log2Histogram::new(),
         }
     }
 }
@@ -332,7 +350,24 @@ pub struct ShardWorker {
     cold: u64,
     prewarm_loads: u64,
     out_of_order: u64,
-    latency: StreamingPercentiles,
+    telem: ShardTelem,
+    /// Per-frame `(tenant, records)` counts, reused across batches so
+    /// per-tenant histogram attribution stays allocation-free.
+    tenant_scratch: Vec<(TenantId, u64)>,
+    /// Decided-but-unreplied JSON invokes of the current drain wave,
+    /// reused across waves (see [`ShardWorker::run`]).
+    json_wave: Vec<PendingInvoke>,
+}
+
+/// One JSON invocation decided inside a drain wave, awaiting its reply
+/// and telemetry records (all of which share the wave's clock pair).
+struct PendingInvoke {
+    tenant: TenantId,
+    span: u64,
+    sent_ns: u64,
+    seq: u64,
+    result: Result<Decision, InvokeError>,
+    reply: ReplySink,
 }
 
 impl ShardWorker {
@@ -381,8 +416,17 @@ impl ShardWorker {
             cold: 0,
             prewarm_loads: 0,
             out_of_order: 0,
-            latency: StreamingPercentiles::for_quantiles(&LATENCY_QUANTILES),
+            telem: ShardTelem::default(),
+            tenant_scratch: Vec::new(),
+            json_wave: Vec::new(),
         })
+    }
+
+    /// Replaces the worker's telemetry wiring (recorder, gauge, clock,
+    /// enable switch) — the server threads its shared handles in here.
+    pub fn with_telem(mut self, telem: ShardTelem) -> Self {
+        self.telem = telem;
+        self
     }
 
     /// Registers a fresh tenant (admin path).
@@ -508,23 +552,14 @@ impl ShardWorker {
 
     /// Classifies a whole batch in order. Decisions are identical to
     /// calling [`ShardWorker::invoke`] per item — batching only changes
-    /// transport cost, never outcomes. Latency is timed once for the
-    /// batch and observed per record at the batch mean, so the P²
-    /// quantiles stay invocation-weighted without an `Instant` syscall
-    /// per record.
+    /// transport cost, never outcomes. Timing lives in the mailbox loop
+    /// (the batch is clocked once and recorded per record at the batch
+    /// mean), so this method stays a pure decision function.
     pub fn invoke_batch(&mut self, frame_seq: u64, items: Vec<BatchItem>) -> BatchReply {
-        let n = items.len();
-        let t0 = Instant::now();
         let results: Vec<(u32, Result<Decision, InvokeError>)> = items
             .into_iter()
             .map(|item| (item.idx, self.invoke(item.tenant, &item.app, item.ts)))
             .collect();
-        if n > 0 {
-            let per_record_us = t0.elapsed().as_nanos() as f64 / 1_000.0 / n as f64;
-            for _ in 0..n {
-                self.latency.observe(per_record_us);
-            }
-        }
         BatchReply { frame_seq, results }
     }
 
@@ -544,6 +579,7 @@ impl ShardWorker {
                     idle_mb_ms: ledger.idle_mb_ms,
                     invocations: t.invocations,
                     cold: t.cold,
+                    decision_ns: t.decide_ns.clone(),
                 }
             })
             .collect();
@@ -568,7 +604,21 @@ impl ShardWorker {
                 .filter_map(|t| t.production.as_ref())
                 .map(|p| p.prewarm_scheduled)
                 .sum(),
-            latency_us: self.latency.estimates(),
+            latency_us: {
+                // Compatibility quantile gauges, derived from the same
+                // buckets the histogram family exports. Empty until the
+                // shard has observed a decision — an empty estimator
+                // must not export garbage (the NaN-suppression bugfix).
+                let decide = self.telem.decide.merged();
+                LATENCY_QUANTILES
+                    .iter()
+                    .filter_map(|&q| decide.quantile(q).map(|ns| (q, ns / 1_000.0)))
+                    .collect()
+            },
+            queue_ns: self.telem.queue.clone(),
+            decide_ns: self.telem.decide.clone(),
+            mailbox_depth: self.telem.gauge.read().0,
+            mailbox_peak: self.telem.gauge.read().1,
             tenants,
         }
     }
@@ -616,32 +666,184 @@ impl ShardWorker {
 
     /// The worker loop: drains the mailbox until `Shutdown`, then
     /// returns the final per-app state (for the shutdown snapshot).
+    ///
+    /// With telemetry on, each blocking `recv` starts a *drain wave*:
+    /// the backlog behind it is pulled non-blockingly (bounded by
+    /// [`DRAIN_WAVE`]), observed once on the mailbox gauge, and a run of
+    /// consecutive JSON invokes at the wave front shares one clock pair
+    /// and one recorder lock — per-message telemetry cost amortizes over
+    /// the backlog instead of taxing every decision. Every decision
+    /// still lands in every stage histogram (counts stay exact).
     pub fn run(mut self, mailbox: Receiver<ShardMsg>) -> ShardExport {
-        while let Ok(msg) = mailbox.recv() {
+        let mut pending: VecDeque<ShardMsg> = VecDeque::new();
+        loop {
+            let msg = match pending.pop_front() {
+                Some(msg) => msg,
+                None => {
+                    let Ok(msg) = mailbox.recv() else { break };
+                    if self.telem.enabled {
+                        while pending.len() < DRAIN_WAVE {
+                            match mailbox.try_recv() {
+                                Ok(m) => pending.push_back(m),
+                                Err(_) => break,
+                            }
+                        }
+                        self.telem.gauge.observe(1 + pending.len() as u64);
+                    }
+                    msg
+                }
+            };
             match msg {
                 ShardMsg::Invoke {
                     tenant,
                     app,
                     ts,
                     seq,
+                    span,
+                    sent_ns,
                     reply,
                 } => {
-                    let t0 = Instant::now();
+                    if !self.telem.enabled {
+                        // Telemetry off: no clock reads, no histogram
+                        // touches — the decision is the whole hot path.
+                        let result = self.invoke(tenant, &app, ts);
+                        reply.invoke(InvokeReply { seq, result });
+                        continue;
+                    }
+                    let mut wave = std::mem::take(&mut self.json_wave);
+                    let t0 = self.telem.clock.now_ns();
                     let result = self.invoke(tenant, &app, ts);
-                    self.latency
-                        .observe(t0.elapsed().as_nanos() as f64 / 1_000.0);
+                    wave.push(PendingInvoke {
+                        tenant,
+                        span,
+                        sent_ns,
+                        seq,
+                        result,
+                        reply,
+                    });
+                    while let Some(ShardMsg::Invoke { .. }) = pending.front() {
+                        let Some(ShardMsg::Invoke {
+                            tenant,
+                            app,
+                            ts,
+                            seq,
+                            span,
+                            sent_ns,
+                            reply,
+                        }) = pending.pop_front()
+                        else {
+                            unreachable!("front() said Invoke");
+                        };
+                        let result = self.invoke(tenant, &app, ts);
+                        wave.push(PendingInvoke {
+                            tenant,
+                            span,
+                            sent_ns,
+                            seq,
+                            result,
+                            reply,
+                        });
+                    }
+                    let t1 = self.telem.clock.now_ns();
+                    let k = wave.len() as u64;
+                    // The run is clocked once; every decision gets the
+                    // run mean (invocation-weighted, exact counts).
+                    let mean = t1.saturating_sub(t0).checked_div(k).unwrap_or(0);
+                    for p in &wave {
+                        self.telem.queue.json.record(t0.saturating_sub(p.sent_ns));
+                        if let Some(t) = self.tenants.get_mut(&p.tenant) {
+                            t.decide_ns.record(mean);
+                        }
+                    }
+                    self.telem.decide.json.record_n(mean, k);
+                    // try_lock: losing the race to a /debug/trace scrape
+                    // drops the spans, never blocks the decision path.
+                    if let Ok(mut rec) = self.telem.recorder.try_lock() {
+                        for p in &wave {
+                            rec.push(SpanEvent {
+                                span: p.span,
+                                stage: Stage::Queue,
+                                start_ns: p.sent_ns,
+                                end_ns: t0,
+                            });
+                            rec.push(SpanEvent {
+                                span: p.span,
+                                stage: Stage::Decide,
+                                start_ns: t0,
+                                end_ns: t1,
+                            });
+                        }
+                    }
                     // A reply to a connection that died is dropped by
                     // the reactor's slab generation check; the decision
                     // was still applied, which is correct (the
                     // invocation happened).
-                    reply.invoke(InvokeReply { seq, result });
+                    for p in wave.drain(..) {
+                        p.reply.invoke(InvokeReply {
+                            seq: p.seq,
+                            result: p.result,
+                        });
+                    }
+                    self.json_wave = wave;
                 }
                 ShardMsg::InvokeBatch {
                     frame_seq,
                     items,
+                    span,
+                    sent_ns,
                     reply,
                 } => {
-                    reply.batch(self.invoke_batch(frame_seq, items));
+                    if !self.telem.enabled {
+                        reply.batch(self.invoke_batch(frame_seq, items));
+                        continue;
+                    }
+                    // Per-tenant record counts, folded before `items`
+                    // moves into the decision loop (scratch is reused
+                    // across frames — no steady-state allocation).
+                    self.tenant_scratch.clear();
+                    for item in &items {
+                        match self
+                            .tenant_scratch
+                            .iter_mut()
+                            .find(|(tid, _)| *tid == item.tenant)
+                        {
+                            Some((_, c)) => *c += 1,
+                            None => self.tenant_scratch.push((item.tenant, 1)),
+                        }
+                    }
+                    let n = items.len() as u64;
+                    let t0 = self.telem.clock.now_ns();
+                    let batch = self.invoke_batch(frame_seq, items);
+                    let t1 = self.telem.clock.now_ns();
+                    // The batch is clocked once; every record gets the
+                    // batch mean, keeping the histograms
+                    // invocation-weighted without a clock read per
+                    // record.
+                    let mean = t1.saturating_sub(t0).checked_div(n).unwrap_or(0);
+                    self.telem.queue.bin.record_n(t0.saturating_sub(sent_ns), n);
+                    self.telem.decide.bin.record_n(mean, n);
+                    let scratch = std::mem::take(&mut self.tenant_scratch);
+                    for &(tid, c) in &scratch {
+                        if let Some(t) = self.tenants.get_mut(&tid) {
+                            t.decide_ns.record_n(mean, c);
+                        }
+                    }
+                    self.tenant_scratch = scratch;
+                    if let Ok(mut rec) = self.telem.recorder.try_lock() {
+                        rec.push(SpanEvent {
+                            span,
+                            stage: Stage::Queue,
+                            start_ns: sent_ns,
+                            end_ns: t0,
+                        });
+                        rec.push(SpanEvent {
+                            span,
+                            stage: Stage::Decide,
+                            start_ns: t0,
+                            end_ns: t1,
+                        });
+                    }
+                    reply.batch(batch);
                 }
                 ShardMsg::AddTenant { spec, ack } => {
                     self.add_tenant(spec);
@@ -935,6 +1137,23 @@ mod tests {
         );
         assert!(reply.results[1].1.as_ref().unwrap().cold.eq(&false));
         assert_eq!(w.stats().out_of_order, 1);
+    }
+
+    #[test]
+    fn latency_gauges_absent_until_observed() {
+        // Regression companion to the render-side NaN guard: a shard
+        // that has decided nothing exports no quantile pairs at all.
+        let mut w = worker(PolicySpec::fixed_minutes(10));
+        assert!(w.stats().latency_us.is_empty());
+        // Direct invokes are untimed (timing lives in the mailbox
+        // loop), so the quantiles stay absent rather than garbage.
+        w.invoke0("a", 0).unwrap();
+        assert!(w.stats().latency_us.is_empty());
+        // Once the decision histogram has a sample, quantiles appear.
+        w.telem.decide.json.record(1_500);
+        let lat = w.stats().latency_us;
+        assert_eq!(lat.len(), LATENCY_QUANTILES.len());
+        assert!(lat.iter().all(|(_, v)| v.is_finite()));
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Nanosecond time sources.
+//!
+//! Span timestamps are `u64` nanoseconds since an arbitrary epoch (the
+//! server's start instant in production). Threading a [`Clock`] through
+//! the recording sites instead of calling `Instant::now()` directly lets
+//! tests drive a [`ManualClock`] and assert exact span orderings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond time source.
+pub trait Clock {
+    /// Nanoseconds since this clock's epoch.
+    fn now_ns(&self) -> u64;
+}
+
+/// Production clock: nanoseconds since a shared base [`Instant`].
+///
+/// Cloning is cheap and every clone shares the same epoch, so timestamps
+/// taken on different threads are directly comparable.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    base: Instant,
+}
+
+impl WallClock {
+    /// Creates a clock whose epoch is `base`.
+    pub fn new(base: Instant) -> Self {
+        Self { base }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new(Instant::now())
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        self.base.elapsed().as_nanos() as u64
+    }
+}
+
+/// Test clock: returns whatever the test last set, shared across threads.
+///
+/// # Examples
+///
+/// ```
+/// use sitw_telemetry::{Clock, ManualClock};
+///
+/// let clock = ManualClock::new(100);
+/// assert_eq!(clock.now_ns(), 100);
+/// clock.advance(50);
+/// assert_eq!(clock.now_ns(), 150);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    ns: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// Creates a clock reading `ns` nanoseconds.
+    pub fn new(ns: u64) -> Self {
+        Self {
+            ns: Arc::new(AtomicU64::new(ns)),
+        }
+    }
+
+    /// Sets the absolute reading.
+    pub fn set(&self, ns: u64) {
+        self.ns.store(ns, Ordering::SeqCst);
+    }
+
+    /// Advances the reading by `delta` nanoseconds.
+    pub fn advance(&self, delta: u64) {
+        self.ns.fetch_add(delta, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::default();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn wall_clock_clones_share_epoch() {
+        let c = WallClock::default();
+        let d = c;
+        // Both read from the same base, so the later read is the larger.
+        let a = c.now_ns();
+        let b = d.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_is_shared_across_clones() {
+        let c = ManualClock::new(7);
+        let d = c.clone();
+        c.advance(3);
+        assert_eq!(d.now_ns(), 10);
+        d.set(42);
+        assert_eq!(c.now_ns(), 42);
+    }
+}

@@ -1,0 +1,35 @@
+//! Observability primitives for the serving daemon.
+//!
+//! The paper's methodology is distributional — the §6 policy is driven by
+//! idle-time histograms and the workload characterization (Figs. 3, 5, 8)
+//! is all percentile curves — so the daemon that reproduces it should
+//! report distributions too, not four point estimates. This crate holds
+//! the three std-only building blocks the serving stack records into:
+//!
+//! * [`Clock`] — a nanosecond time source ([`WallClock`] in production,
+//!   [`ManualClock`] in tests) so span timestamps are deterministic under
+//!   test.
+//! * [`Log2Histogram`] — a fixed 64-bucket power-of-two latency
+//!   histogram: O(1) record, u64 counts, and *exact* merge across shards
+//!   and reactors (merging two histograms is elementwise addition, so
+//!   shard-merged bucket counts equal the sum of per-shard recordings by
+//!   construction).
+//! * [`FlightRecorder`] — a fixed-size ring of timestamped
+//!   [`SpanEvent`]s covering the request pipeline stages
+//!   (read → decode → queue → decide → render → write), overwritten
+//!   oldest-first and drained on demand by the `/debug/trace` endpoint.
+//!
+//! Everything here is allocation-free after construction and does no
+//! syscalls, so recording on the hot path costs a clock read and a few
+//! arithmetic ops.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod hist;
+mod recorder;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use hist::{Log2Histogram, BUCKETS};
+pub use recorder::{FlightRecorder, SpanEvent, Stage, STAGES};

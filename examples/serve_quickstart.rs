@@ -119,6 +119,36 @@ fn main() {
     );
     assert!(text.contains("sitw_serve_proto_errors_total"), "{text}");
 
+    // 6. The flight-recorder telemetry riding the same report: exact
+    // log2 histograms per pipeline stage (invocation-weighted, so every
+    // stage's count equals decisions served) plus reactor introspection.
+    for (stage, h) in metrics.stage_hists() {
+        if let (Some(mean), Some(p99)) = (h.bin.mean(), h.bin.quantile(0.99)) {
+            println!(
+                "stage {stage:>6}: {:>6} decisions, mean {:>7.1} µs, p99 ≤ {:>7.1} µs",
+                h.bin.count(),
+                mean / 1_000.0,
+                p99 / 1_000.0
+            );
+        }
+    }
+    for r in &metrics.reactors {
+        println!(
+            "reactor {}: {} epoll_waits, {} wakeups, mean {:.1} events/wake",
+            r.reactor,
+            r.epoll_waits,
+            r.wakeups,
+            r.events_per_wake.mean().unwrap_or(0.0)
+        );
+    }
+    let (name, decide) = &metrics.stage_hists()[3];
+    assert_eq!(*name, "decide");
+    assert_eq!(
+        decide.bin.count(),
+        bin_report.ok,
+        "decide stage must count every decision exactly once"
+    );
+
     server.shutdown().expect("shutdown");
     println!("binary-protocol quickstart ok");
 }
