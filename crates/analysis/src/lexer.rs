@@ -1,0 +1,453 @@
+//! A hand-rolled Rust lexer, just deep enough to lint on: it separates
+//! code from string literals and comments (so a banned token inside a
+//! `"..."` or a `//` comment never fires), understands raw strings with
+//! arbitrary `#` fences, nested block comments, byte strings, and the
+//! `'a` lifetime vs `'a'` char-literal ambiguity, and tags every token
+//! with its 1-based source line.
+//!
+//! No `syn` exists in this offline workspace; none is needed — every
+//! rule in [`crate::rules`] works on this flat token stream plus brace
+//! tracking.
+
+/// What a token is. Punctuation is one character per token (`::` is two
+/// `Punct(':')` tokens); rules match short sequences instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw `r#ident`s).
+    Ident,
+    /// A string literal (`"…"`, `r#"…"#`, `b"…"`, `br"…"`); the token
+    /// text is the literal's *content*, quotes and fences stripped, raw.
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`); content text.
+    Char,
+    /// A lifetime (`'a`, `'static`); text without the tick.
+    Lifetime,
+    /// A numeric literal, consumed loosely (`0xFF_u64`, `1.5e3`).
+    Num,
+    /// One punctuation character.
+    Punct(char),
+    /// A `//…` or `/*…*/` comment; text without the delimiters.
+    Comment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token's class.
+    pub kind: TokenKind,
+    /// The token's text (see [`TokenKind`] for what is stripped).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True for this punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Lexes `src` into tokens. Never fails: unterminated literals consume
+/// to end-of-file (the lint then sees fewer tokens, which is safe — a
+/// file that does not parse does not compile either, and the compiler
+/// is the authority on that).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.b.len() {
+            let line = self.line;
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(line),
+                b'"' => self.string(line, self.i + 1, 0, false),
+                b'r' | b'b' => self.raw_or_byte_prefix(),
+                b'\'' => self.tick(line),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(line),
+                b'0'..=b'9' => self.number(line),
+                _ => {
+                    // Multi-byte UTF-8 only occurs inside literals,
+                    // comments, and idents in this workspace; a stray
+                    // byte becomes punctuation and is skipped whole.
+                    let ch = char::from(c);
+                    self.push(TokenKind::Punct(ch), ch.to_string(), line);
+                    self.i += 1;
+                    while self.i < self.b.len() && self.b[self.i] & 0xC0 == 0x80 {
+                        self.i += 1; // continuation bytes of the same char
+                    }
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let start = self.i + 2;
+        let mut j = start;
+        while j < self.b.len() && self.b[j] != b'\n' {
+            j += 1;
+        }
+        let text = String::from_utf8_lossy(&self.b[start..j]).into_owned();
+        self.push(TokenKind::Comment, text, line);
+        self.i = j;
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let start = self.i + 2;
+        let mut depth = 1usize;
+        let mut j = start;
+        while j < self.b.len() && depth > 0 {
+            if self.b[j] == b'\n' {
+                self.line += 1;
+                j += 1;
+            } else if self.b[j] == b'/' && self.b.get(j + 1) == Some(&b'*') {
+                depth += 1;
+                j += 2;
+            } else if self.b[j] == b'*' && self.b.get(j + 1) == Some(&b'/') {
+                depth -= 1;
+                j += 2;
+            } else {
+                j += 1;
+            }
+        }
+        let end = j.saturating_sub(2).max(start);
+        let text = String::from_utf8_lossy(&self.b[start..end]).into_owned();
+        self.push(TokenKind::Comment, text, line);
+        self.i = j;
+    }
+
+    /// A string literal starting at `content` (past the opening quote),
+    /// closed by `"` followed by `fence` `#` characters; `raw` strings
+    /// take backslashes literally.
+    fn string(&mut self, line: u32, content: usize, fence: usize, raw: bool) {
+        let mut j = content;
+        loop {
+            match self.b.get(j) {
+                None => break,
+                Some(b'\n') => {
+                    self.line += 1;
+                    j += 1;
+                }
+                Some(b'\\') if !raw => {
+                    // A `\<newline>` continuation still ends a source
+                    // line — count it, or every token after the string
+                    // reports a stale line number.
+                    if self.b.get(j + 1) == Some(&b'\n') {
+                        self.line += 1;
+                    }
+                    j += 2;
+                }
+                Some(b'"') => {
+                    let hashes = self.b[j + 1..]
+                        .iter()
+                        .take(fence)
+                        .take_while(|&&c| c == b'#')
+                        .count();
+                    if hashes == fence {
+                        let text = String::from_utf8_lossy(&self.b[content..j]).into_owned();
+                        self.push(TokenKind::Str, text, line);
+                        self.i = j + 1 + fence;
+                        return;
+                    }
+                    j += 1;
+                }
+                Some(_) => j += 1,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[content..]).into_owned();
+        self.push(TokenKind::Str, text, line);
+        self.i = self.b.len();
+    }
+
+    /// Dispatches `r"…"`, `r#"…"#`, `br#"…"#`, `b"…"`, `b'…'`, and raw
+    /// idents `r#ident`; anything else starting with `r`/`b` is a plain
+    /// identifier.
+    fn raw_or_byte_prefix(&mut self) {
+        let line = self.line;
+        let c0 = self.b[self.i];
+        let raw = c0 == b'r' || self.peek(1) == Some(b'r');
+        let mut j = self.i + 1;
+        if c0 == b'b' && self.peek(1) == Some(b'r') {
+            j += 1;
+        }
+        // Count the # fence (raw strings and raw idents only).
+        let fence_start = j;
+        while raw && self.b.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        let fence = j - fence_start;
+        match self.b.get(j) {
+            Some(b'"') if raw || fence == 0 => {
+                // r"…", r#"…"#, br"…", b"…".
+                self.string(line, j + 1, fence, raw);
+            }
+            Some(b'\'') if c0 == b'b' && fence == 0 && self.b[self.i + 1] == b'\'' => {
+                self.i = j;
+                self.tick(line);
+            }
+            _ if fence > 0 && c0 == b'r' => {
+                // Raw identifier r#ident.
+                self.i = fence_start + 1; // past r#
+                self.ident(line);
+            }
+            _ => self.ident(line),
+        }
+    }
+
+    /// `'` — a char literal or a lifetime.
+    fn tick(&mut self, line: u32) {
+        let mut j = self.i + 1;
+        match self.b.get(j) {
+            Some(b'\\') => {
+                // Escaped char literal: consume to the closing tick.
+                j += 2;
+                while j < self.b.len() && self.b[j] != b'\'' {
+                    j += 1;
+                }
+                let text = String::from_utf8_lossy(&self.b[self.i + 1..j]).into_owned();
+                self.push(TokenKind::Char, text, line);
+                self.i = (j + 1).min(self.b.len());
+            }
+            Some(c) if c.is_ascii_alphanumeric() || *c == b'_' || *c & 0x80 != 0 => {
+                // Identifier-ish run: `'x'` is a char, `'xyz` a lifetime.
+                let start = j;
+                while j < self.b.len()
+                    && (self.b[j].is_ascii_alphanumeric()
+                        || self.b[j] == b'_'
+                        || self.b[j] & 0x80 != 0)
+                {
+                    j += 1;
+                }
+                if self.b.get(j) == Some(&b'\'') {
+                    let text = String::from_utf8_lossy(&self.b[start..j]).into_owned();
+                    self.push(TokenKind::Char, text, line);
+                    self.i = j + 1;
+                } else {
+                    let text = String::from_utf8_lossy(&self.b[start..j]).into_owned();
+                    self.push(TokenKind::Lifetime, text, line);
+                    self.i = j;
+                }
+            }
+            _ => {
+                // `'(' )` etc. — a quoted punctuation char literal, or a
+                // stray tick; consume to the closing tick if adjacent.
+                if self.b.get(j + 1) == Some(&b'\'') {
+                    let text = String::from_utf8_lossy(&self.b[j..j + 1]).into_owned();
+                    self.push(TokenKind::Char, text, line);
+                    self.i = j + 2;
+                } else {
+                    self.push(TokenKind::Punct('\''), "'".to_string(), line);
+                    self.i = j;
+                }
+            }
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let start = self.i;
+        let mut j = self.i;
+        while j < self.b.len()
+            && (self.b[j].is_ascii_alphanumeric() || self.b[j] == b'_' || self.b[j] & 0x80 != 0)
+        {
+            j += 1;
+        }
+        let text = String::from_utf8_lossy(&self.b[start..j]).into_owned();
+        self.push(TokenKind::Ident, text, line);
+        self.i = j;
+    }
+
+    fn number(&mut self, line: u32) {
+        let start = self.i;
+        let mut j = self.i;
+        while j < self.b.len() && (self.b[j].is_ascii_alphanumeric() || self.b[j] == b'_') {
+            j += 1;
+        }
+        // A fractional part or exponent: `1.5`, `1.5e-3` — but never a
+        // range (`0..10`) or a method call on a literal (`1.max(2)`).
+        if self.b.get(j) == Some(&b'.') && self.b.get(j + 1).is_some_and(u8::is_ascii_digit) {
+            j += 1;
+            while j < self.b.len() && (self.b[j].is_ascii_alphanumeric() || self.b[j] == b'_') {
+                j += 1;
+            }
+            if (self.b.get(j.wrapping_sub(1)) == Some(&b'e')
+                || self.b.get(j.wrapping_sub(1)) == Some(&b'E'))
+                && (self.b.get(j) == Some(&b'+') || self.b.get(j) == Some(&b'-'))
+            {
+                j += 1;
+                while j < self.b.len() && self.b[j].is_ascii_digit() {
+                    j += 1;
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..j]).into_owned();
+        self.push(TokenKind::Num, text, line);
+        self.i = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let toks = lex("fn main() {\n    let x = 1;\n}");
+        assert!(toks[0].is_ident("fn"));
+        assert!(toks[1].is_ident("main"));
+        assert!(toks[2].is_punct('('));
+        assert_eq!(toks[0].line, 1);
+        let let_tok = toks.iter().find(|t| t.is_ident("let")).unwrap();
+        assert_eq!(let_tok.line, 2);
+        assert_eq!(toks.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn banned_words_inside_strings_and_comments_are_not_idents() {
+        let toks = lex(r#"let s = "unsafe unwrap()"; // unsafe here too"#);
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            1,
+            "one string literal"
+        );
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Comment).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let toks = kinds(r####"let a = r#"say "unsafe""#; let b = r"x";"####);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(strs, [r#"say "unsafe""#, "x"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"let a = b"GET "; let c = b'\n'; let r = br"raw";"#);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Str)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(strs, ["GET ", "raw"]);
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Char));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\''; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0], "x");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still outer */ fn f() {}");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Comment).count(),
+            1
+        );
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+        assert!(!toks.iter().any(|t| t.is_ident("inner")));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = lex("let r#fn = 1;");
+        assert!(
+            toks.iter().any(|t| t.is_ident("fn")),
+            "r#fn lexes as ident fn"
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = lex("for i in 0..10 { let x = 1.max(2); let f = 1.5e-3; }");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1", "2", "1.5e-3"]);
+        assert!(toks.iter().any(|t| t.is_ident("max")));
+    }
+
+    #[test]
+    fn unterminated_string_consumes_to_eof_without_panicking() {
+        let toks = lex("let s = \"never closed");
+        assert_eq!(toks.last().unwrap().kind, TokenKind::Str);
+    }
+
+    #[test]
+    fn multiline_string_advances_line_counter() {
+        let toks = lex("let s = \"a\nb\";\nfn f() {}");
+        let f = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 3);
+    }
+
+    #[test]
+    fn backslash_newline_continuation_advances_line_counter() {
+        // Regression: the `\<newline>` escape used to be skipped as two
+        // bytes without counting the newline, shifting every diagnostic
+        // after such a string up by one line.
+        let toks = lex("let s = \"a \\\n   b\";\nfn f() {}");
+        let f = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 3);
+    }
+}

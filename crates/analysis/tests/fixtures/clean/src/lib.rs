@@ -1,0 +1,17 @@
+//! The golden fixture: every rule satisfied, including one explicitly
+//! allowed clock read and a zero-allocation hot path.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// The wall-clock epoch for this toy crate.
+pub fn epoch() -> Instant {
+    // sitw-lint: allow(clock-discipline)
+    Instant::now()
+}
+
+// sitw-lint: hot-path
+pub fn push_frame(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}

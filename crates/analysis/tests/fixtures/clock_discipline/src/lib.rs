@@ -1,0 +1,9 @@
+//! Seeded violation for the `clock-discipline` rule.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,8 @@
+//! Seeded violation for the `hot-path-alloc` rule.
+
+#![forbid(unsafe_code)]
+
+// sitw-lint: hot-path
+pub fn render(id: u64) -> String {
+    id.to_string()
+}

@@ -1,0 +1,18 @@
+//! Seeded violations for the `metrics-registry` rule: a counter without
+//! the `_total` suffix (which is also never rendered), and a rendered
+//! series that no registry entry declares.
+
+#![forbid(unsafe_code)]
+
+// sitw-lint: metrics-registry
+pub const REGISTRY: &[(&str, &str, &str)] = &[
+    ("sitw_serve_queue_depth", "gauge", "Decisions queued."),
+    ("sitw_serve_requests", "counter", "Requests served."),
+];
+
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("sitw_serve_queue_depth 0\n");
+    out.push_str("sitw_serve_mystery_total 1\n");
+    out
+}

@@ -1,0 +1,8 @@
+//! Seeded violation for the `panic-freedom` rule.
+
+#![forbid(unsafe_code)]
+
+// sitw-lint: hot-path
+pub fn first(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}

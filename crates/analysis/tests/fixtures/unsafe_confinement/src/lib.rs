@@ -1,0 +1,6 @@
+//! Seeded violations for the `unsafe-confinement` rule: the crate root
+//! lacks `#![forbid(unsafe_code)]` and smuggles an `unsafe` block.
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -12,6 +12,8 @@
 //!          ablation-bins|ablation-minsamples|ablation-oob|all>...
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 
 use sitw_bench::{

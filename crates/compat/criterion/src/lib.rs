@@ -117,6 +117,8 @@ impl Bencher {
     /// Times repeated invocations of `routine` until the budget elapses.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         black_box(routine()); // Warm-up (fills caches, triggers lazy init).
+                              // Benchmark harness: measuring wall time IS the job.
+                              // sitw-lint: allow(clock-discipline)
         let start = Instant::now();
         let mut iters = 0u64;
         loop {
@@ -140,11 +142,13 @@ impl Bencher {
     {
         let mut warm = setup();
         black_box(routine(&mut warm));
+        // sitw-lint: allow(clock-discipline)
         let wall = Instant::now();
         let mut measured = Duration::ZERO;
         let mut iters = 0u64;
         loop {
             let mut input = setup();
+            // sitw-lint: allow(clock-discipline)
             let start = Instant::now();
             black_box(routine(&mut input));
             measured += start.elapsed();

@@ -22,6 +22,8 @@
 //! percentiles, and the full log2 RTT histogram — the same bucket
 //! boundaries the server's `/metrics` histograms use).
 
+#![forbid(unsafe_code)]
+
 use std::net::ToSocketAddrs;
 use std::process::exit;
 

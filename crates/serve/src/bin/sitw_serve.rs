@@ -40,6 +40,8 @@
 //! writes its final state there on the way out (and on every
 //! `POST /admin/snapshot`).
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::exit;
 

@@ -165,6 +165,7 @@ impl Pipeline {
         seq
     }
 
+    // sitw-lint: hot-path
     fn absorb_invoke(&mut self, reply: InvokeReply) {
         let Some(idx) = reply.seq.checked_sub(self.front_seq) else {
             return;
@@ -174,6 +175,7 @@ impl Pipeline {
         }
     }
 
+    // sitw-lint: hot-path
     fn absorb_batch(&mut self, reply: BatchReply) {
         let Some(idx) = reply.frame_seq.checked_sub(self.front_seq) else {
             return;
@@ -183,9 +185,17 @@ impl Pipeline {
         }) = self.slots.get_mut(idx as usize)
         {
             for (i, result) in reply.results {
-                results[i as usize] = Some(result);
+                // A record index beyond the frame is a malformed reply;
+                // indexing would panic the whole reactor thread for one
+                // bad message, so drop the record instead. The slot still
+                // completes and any hole renders as a typed error.
+                if let Some(r) = results.get_mut(i as usize) {
+                    *r = Some(result);
+                }
             }
-            *remaining -= 1;
+            // Saturate: a duplicate reply must not wrap `remaining` and
+            // resurrect a settled frame.
+            *remaining = remaining.saturating_sub(1);
         }
     }
 }
@@ -382,6 +392,7 @@ impl Conn {
     }
 
     /// Parses and dispatches everything the socket has for us.
+    // sitw-lint: hot-path
     fn on_readable(&mut self, io: &mut ReactorIo<'_>) -> Flow {
         if self.lame.is_some() {
             return self.drain_lame();
@@ -437,6 +448,9 @@ impl Conn {
                     // peer still owes us — starts the slowloris clock;
                     // progress resets it above.
                     if self.buf.buffered() > 0 || self.buf.skipping() {
+                        // Wall-clock bookkeeping: the slowloris deadline
+                        // is real time, not telemetry time.
+                        // sitw-lint: allow(clock-discipline)
                         self.partial_since.get_or_insert_with(Instant::now);
                     } else {
                         self.partial_since = None;
@@ -464,6 +478,7 @@ impl Conn {
     }
 
     /// Queues (and for `/invoke`, dispatches) one parsed HTTP request.
+    // sitw-lint: hot-path
     fn handle_request(&mut self, io: &mut ReactorIo<'_>, mark: &mut u64) -> Flow {
         if self.req.close {
             self.close_requested = true;
@@ -524,7 +539,7 @@ impl Conn {
         } else {
             // Control requests execute when they reach the pipeline
             // head; queue the request itself (rare path, one clone).
-            let queued = self.req.clone();
+            let queued = self.req.clone(); // sitw-lint: allow(hot-path-alloc)
             self.pipeline.push(Slot::Control(queued));
         }
         Flow::Keep
@@ -535,6 +550,7 @@ impl Conn {
     /// its whole slice in **one** mailbox message, and a frame slot
     /// joins the pipeline to be reassembled in order as the
     /// [`BatchReply`]s come back.
+    // sitw-lint: hot-path
     fn submit_frame(&mut self, version: u8, io: &mut ReactorIo<'_>, mark: &mut u64) -> Flow {
         let ctx = io.ctx;
         let n = self.records.len();
@@ -542,10 +558,19 @@ impl Conn {
         ctx.frames.fetch_add(1, Ordering::Relaxed);
         let shards = ctx.shard_txs.len();
         if io.per_shard.len() < shards {
+            // One-time per-reactor scratch warmup, not steady state.
+            // sitw-lint: allow(hot-path-alloc)
             io.per_shard.resize_with(shards, Vec::new);
         }
         {
-            let registry = ctx.registry.read().expect("registry poisoned");
+            // A poisoned registry lock means an admin writer panicked;
+            // reads are still coherent (the registry is append-only
+            // tenant config), so recover the guard instead of poisoning
+            // every reactor thread too.
+            let registry = match ctx.registry.read() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
             for (idx, rec) in self.records.drain(..).enumerate() {
                 if registry.get(rec.tenant).is_none() {
                     for slice in io.per_shard.iter_mut() {
@@ -553,6 +578,8 @@ impl Conn {
                     }
                     self.pipeline.push(Slot::BinError {
                         code: BinErrorCode::Malformed,
+                        // Cold error path: the frame is rejected anyway.
+                        // sitw-lint: allow(hot-path-alloc)
                         detail: format!("record {idx}: unknown tenant id {}", rec.tenant),
                     });
                     return Flow::Keep;
@@ -639,6 +666,7 @@ impl Conn {
 
     /// Renders every complete slot at the pipeline head, writes, and
     /// decides the connection's fate.
+    // sitw-lint: hot-path
     pub fn pump(&mut self, io: &mut ReactorIo<'_>) -> Flow {
         loop {
             let t_render_end = self.flush_ready(io);
@@ -657,6 +685,8 @@ impl Conn {
                 // the rest so the response survives, then retire.
                 let _ = self.buf.stream().shutdown(Shutdown::Write);
                 self.lame = Some(Lame {
+                    // Wall-clock bookkeeping: the linger deadline.
+                    // sitw-lint: allow(clock-discipline)
                     deadline: Instant::now() + LAME_LINGER,
                     budget: LAME_BUDGET,
                 });
@@ -695,6 +725,7 @@ impl Conn {
     /// decision recorded at the run mean (counts stay exact). The run's
     /// spans are the last `k` entries of `pending_spans` — nothing else
     /// is pushed between a run's first slot and its boundary.
+    // sitw-lint: hot-path
     fn flush_render_run(&self, io: &ReactorIo<'_>, t0: u64, k: u32) -> u64 {
         let t1 = io.telem.now();
         let n = k as u64;
@@ -716,6 +747,7 @@ impl Conn {
 
     /// Returns the last timestamp it read (0 when it read none), so the
     /// caller can seed the write stage without a redundant clock call.
+    // sitw-lint: hot-path
     fn flush_ready(&mut self, io: &mut ReactorIo<'_>) -> u64 {
         if !self.pipeline.slots.front().is_some_and(Slot::is_complete) {
             return 0;
@@ -725,16 +757,31 @@ impl Conn {
         // at the next boundary (frame/control/loop end).
         let mut json_run: u32 = 0;
         while self.pipeline.slots.front().is_some_and(Slot::is_complete) {
-            let slot = self.pipeline.slots.pop_front().expect("checked front");
+            let Some(slot) = self.pipeline.slots.pop_front() else {
+                break; // front() above proved non-empty; defensive.
+            };
             self.pipeline.front_seq += 1;
             match slot {
-                Slot::Json { span, done } => {
+                Slot::Json {
+                    span,
+                    done: Some(done),
+                } => {
                     self.pipeline.inflight -= 1;
-                    render_json(&mut self.out, io.scratch, done.expect("complete decision"));
+                    render_json(&mut self.out, io.scratch, done);
                     if io.telem.enabled() {
                         self.pending_spans.push((span, false, 1));
                         json_run += 1;
                     }
+                }
+                Slot::Json { span, done: None } => {
+                    // is_complete() gated the pop, so an undone slot here
+                    // means the pipeline invariant broke. Put it back and
+                    // stop flushing rather than panic a reactor thread.
+                    self.pipeline.front_seq -= 1;
+                    self.pipeline
+                        .slots
+                        .push_front(Slot::Json { span, done: None });
+                    break;
                 }
                 Slot::Frame {
                     version,
@@ -748,10 +795,13 @@ impl Conn {
                     }
                     self.pipeline.inflight -= results.len();
                     io.results.clear();
+                    // A record left unanswered (a malformed shard reply
+                    // was dropped by `absorb_batch`) renders as a typed
+                    // rejection instead of panicking mid-render.
                     io.results.extend(
                         results
                             .into_iter()
-                            .map(|r| r.expect("complete frame has every record")),
+                            .map(|r| r.unwrap_or(Err(InvokeError::UnknownTenant))),
                     );
                     wire::encode_reply_frame(&mut self.out, version, io.results);
                     io.ctx
@@ -819,6 +869,7 @@ impl Conn {
     /// end, from [`Conn::flush_ready`]); when nonzero it seeds the
     /// write-stage start so the common pump path reads the clock once
     /// less per flush.
+    // sitw-lint: hot-path
     fn write_out(&mut self, telem: &ReactorTelemHandle, t_hint: u64) -> Flow {
         let t0 = if t_hint != 0 { t_hint } else { telem.now() };
         let start_pos = self.out_pos;
@@ -870,10 +921,16 @@ impl Conn {
     }
 
     fn drain_lame(&mut self) -> Flow {
-        let lame = self.lame.as_mut().expect("lame-duck state");
+        // Callers only enter with lame set; a missing state just means
+        // the connection is not lame-duck after all.
+        let Some(lame) = self.lame.as_mut() else {
+            return Flow::Keep;
+        };
         match self.buf.drain_nonblocking(&mut lame.budget) {
             DrainOutcome::Eof | DrainOutcome::Overflow => Flow::Close,
             DrainOutcome::Pending => {
+                // Wall-clock bookkeeping: the linger deadline.
+                // sitw-lint: allow(clock-discipline)
                 if Instant::now() >= lame.deadline {
                     Flow::Close
                 } else {
@@ -886,6 +943,7 @@ impl Conn {
 
 /// Renders one JSON decision (or rejection) as a full HTTP response,
 /// through the reactor's reusable body scratch.
+// sitw-lint: hot-path
 fn render_json(out: &mut Vec<u8>, scratch: &mut Vec<u8>, result: Result<Decision, InvokeError>) {
     match result {
         Ok(decision) => {
@@ -909,5 +967,85 @@ fn render_json(out: &mut Vec<u8>, scratch: &mut Vec<u8>, result: Result<Decision
                 b"{\"error\":\"unknown tenant\"}",
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_pipeline(records: usize, remaining: usize) -> Pipeline {
+        let mut p = Pipeline::new();
+        p.push(Slot::Frame {
+            version: 1,
+            remaining,
+            span: 0,
+            results: vec![None; records],
+        });
+        p.inflight += records;
+        p
+    }
+
+    /// Regression (failing before this PR): a `BatchReply` carrying a
+    /// record index beyond the frame's record count indexed straight
+    /// into `results` and panicked the reactor thread. The malformed
+    /// record is now dropped; the in-range one still lands and the
+    /// slot still completes.
+    #[test]
+    fn absorb_batch_drops_out_of_range_record_index() {
+        let mut p = frame_pipeline(2, 1);
+        p.absorb_batch(BatchReply {
+            frame_seq: 0,
+            results: vec![
+                (1, Err(InvokeError::UnknownTenant)),
+                (9, Err(InvokeError::UnknownTenant)), // out of range
+            ],
+        });
+        let Some(Slot::Frame {
+            remaining, results, ..
+        }) = p.slots.front()
+        else {
+            panic!("frame slot");
+        };
+        assert_eq!(*remaining, 0);
+        assert!(results[1].is_some(), "in-range record landed");
+        assert!(results[0].is_none(), "untouched record stays open");
+        assert!(p.slots.front().is_some_and(Slot::is_complete));
+    }
+
+    /// Regression (failing before this PR): a duplicate `BatchReply`
+    /// for an already-settled frame underflowed `remaining`
+    /// (`usize` wrap; a panic under debug assertions). It now
+    /// saturates at zero and the frame stays complete.
+    #[test]
+    fn absorb_batch_tolerates_duplicate_reply() {
+        let mut p = frame_pipeline(1, 1);
+        let reply = || BatchReply {
+            frame_seq: 0,
+            results: vec![(0, Err(InvokeError::UnknownTenant))],
+        };
+        p.absorb_batch(reply());
+        p.absorb_batch(reply());
+        let Some(Slot::Frame { remaining, .. }) = p.slots.front() else {
+            panic!("frame slot");
+        };
+        assert_eq!(*remaining, 0, "duplicate reply must not wrap remaining");
+        assert!(p.slots.front().is_some_and(Slot::is_complete));
+    }
+
+    /// Replies addressed below the pipeline window (already-flushed
+    /// sequences) are ignored, not mis-slotted.
+    #[test]
+    fn absorb_batch_ignores_stale_sequence() {
+        let mut p = frame_pipeline(1, 1);
+        p.front_seq = 5;
+        p.absorb_batch(BatchReply {
+            frame_seq: 3,
+            results: vec![(0, Err(InvokeError::UnknownTenant))],
+        });
+        let Some(Slot::Frame { remaining, .. }) = p.slots.front() else {
+            panic!("frame slot");
+        };
+        assert_eq!(*remaining, 1, "stale reply must not touch a newer slot");
     }
 }

@@ -418,6 +418,9 @@ pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenR
         .min()
         .unwrap_or(0);
 
+    // The load generator is the client side of the wire: its whole
+    // output (throughput, RTT percentiles) is wall-clock measurement.
+    // sitw-lint: allow(clock-discipline)
     let started = Instant::now();
     let mut results: Vec<ConnResult> = Vec::new();
     std::thread::scope(|scope| -> io::Result<()> {
@@ -630,6 +633,7 @@ fn drive_connection(
         crate::wire::push_u64(&mut out, body_len as u64);
         out.extend_from_slice(b"\r\n\r\n");
         write_invoke_body(&mut out, event);
+        // sitw-lint: allow(clock-discipline)
         in_flight.push_back((Instant::now(), event.tenant));
         result.sent += 1;
 
@@ -706,6 +710,7 @@ fn drive_connection_bin(
         }
         let tenants_of_frame: Vec<u16> = building.iter().map(|(t, _, _)| *t).collect();
         *in_flight_records += tenants_of_frame.len();
+        // sitw-lint: allow(clock-discipline)
         in_flight.push_back((Instant::now(), tenants_of_frame));
         building.clear();
     }

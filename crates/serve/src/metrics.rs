@@ -11,6 +11,210 @@
 
 use sitw_telemetry::Log2Histogram;
 
+/// One declared Prometheus series family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesDecl {
+    /// Family name (`sitw_serve_*`, snake_case).
+    pub name: &'static str,
+    /// Prometheus type: `counter`, `gauge`, or `histogram`.
+    pub kind: &'static str,
+    /// `# HELP` text.
+    pub help: &'static str,
+}
+
+/// Every series family this server exports, declared once. `render()`
+/// sources its `# HELP`/`# TYPE` lines from here, the
+/// `registry_matches_rendered_families` test asserts the exposition and
+/// this table stay in lockstep, and `sitw-lint`'s `metrics-registry`
+/// rule checks naming, typing, and that no series is used undeclared
+/// or declared unused.
+// sitw-lint: metrics-registry
+pub const REGISTRY: &[SeriesDecl] = &[
+    SeriesDecl {
+        name: "sitw_serve_apps",
+        kind: "gauge",
+        help: "Applications with live policy state",
+    },
+    SeriesDecl {
+        name: "sitw_serve_invocations_total",
+        kind: "counter",
+        help: "Accepted invocations",
+    },
+    SeriesDecl {
+        name: "sitw_serve_cold_total",
+        kind: "counter",
+        help: "Cold verdicts",
+    },
+    SeriesDecl {
+        name: "sitw_serve_warm_total",
+        kind: "counter",
+        help: "Warm verdicts",
+    },
+    SeriesDecl {
+        name: "sitw_serve_prewarm_loads_total",
+        kind: "counter",
+        help: "Pre-warm loads inferred during gaps",
+    },
+    SeriesDecl {
+        name: "sitw_serve_out_of_order_total",
+        kind: "counter",
+        help: "Rejected out-of-order invocations",
+    },
+    SeriesDecl {
+        name: "sitw_serve_backups_total",
+        kind: "counter",
+        help: "Hourly histogram backups taken (production mode)",
+    },
+    SeriesDecl {
+        name: "sitw_serve_prewarm_scheduled_total",
+        kind: "counter",
+        help: "Pre-warm events scheduled 90s early (production mode)",
+    },
+    SeriesDecl {
+        name: "sitw_serve_decision_latency",
+        kind: "histogram",
+        help: "Request latency by pipeline stage in seconds (log2 buckets)",
+    },
+    SeriesDecl {
+        name: "sitw_serve_decision_latency_us",
+        kind: "gauge",
+        help: "Decision latency percentiles (derived from the log2 histogram buckets)",
+    },
+    SeriesDecl {
+        name: "sitw_serve_tenant_budget_mb",
+        kind: "gauge",
+        help: "Configured keep-alive memory budget (0 = unlimited)",
+    },
+    SeriesDecl {
+        name: "sitw_serve_tenant_warm_mb",
+        kind: "gauge",
+        help: "Warm memory currently charged to the tenant",
+    },
+    SeriesDecl {
+        name: "sitw_serve_tenant_warm_apps",
+        kind: "gauge",
+        help: "Warm containers currently charged to the tenant",
+    },
+    SeriesDecl {
+        name: "sitw_serve_tenant_evictions_total",
+        kind: "counter",
+        help: "Budget evictions",
+    },
+    SeriesDecl {
+        name: "sitw_serve_tenant_idle_mb_ms_total",
+        kind: "counter",
+        help: "Loaded-memory integral in MB*ms (the par.5.3 idle-memory metric)",
+    },
+    SeriesDecl {
+        name: "sitw_serve_tenant_invocations_total",
+        kind: "counter",
+        help: "Accepted invocations per tenant",
+    },
+    SeriesDecl {
+        name: "sitw_serve_tenant_cold_total",
+        kind: "counter",
+        help: "Cold verdicts per tenant (incl. eviction downgrades)",
+    },
+    SeriesDecl {
+        name: "sitw_serve_frames_total",
+        kind: "counter",
+        help: "Complete SITW-BIN request frames served",
+    },
+    SeriesDecl {
+        name: "sitw_serve_batched_decisions_total",
+        kind: "counter",
+        help: "Decisions delivered through batched binary frames",
+    },
+    SeriesDecl {
+        name: "sitw_serve_proto_errors_total",
+        kind: "counter",
+        help: "Typed SITW-BIN protocol errors answered",
+    },
+    SeriesDecl {
+        name: "sitw_serve_connections_live",
+        kind: "gauge",
+        help: "Connections currently open",
+    },
+    SeriesDecl {
+        name: "sitw_serve_connections_accepted_total",
+        kind: "counter",
+        help: "Connections accepted since start",
+    },
+    SeriesDecl {
+        name: "sitw_serve_connections_peak",
+        kind: "gauge",
+        help: "High-water mark of live connections",
+    },
+    SeriesDecl {
+        name: "sitw_serve_reactor_threads",
+        kind: "gauge",
+        help: "Reactor (event-loop) threads serving the connections",
+    },
+    SeriesDecl {
+        name: "sitw_serve_reactor_epoll_waits_total",
+        kind: "counter",
+        help: "epoll_wait calls (blocking and non-blocking)",
+    },
+    SeriesDecl {
+        name: "sitw_serve_reactor_wakeups_total",
+        kind: "counter",
+        help: "Eventfd waker fires observed",
+    },
+    SeriesDecl {
+        name: "sitw_serve_reactor_backpressure_pauses_total",
+        kind: "counter",
+        help: "Transitions into the read-paused backpressure state",
+    },
+    SeriesDecl {
+        name: "sitw_serve_reactor_backpressure_resumes_total",
+        kind: "counter",
+        help: "Transitions out of the read-paused backpressure state",
+    },
+    SeriesDecl {
+        name: "sitw_serve_reactor_queue_depth",
+        kind: "gauge",
+        help: "Inbox backlog drained at the most recent wave",
+    },
+    SeriesDecl {
+        name: "sitw_serve_reactor_queue_peak",
+        kind: "gauge",
+        help: "High-water mark of the drain-observed inbox backlog",
+    },
+    SeriesDecl {
+        name: "sitw_serve_reactor_epoll_wait_seconds_total",
+        kind: "counter",
+        help: "Time spent blocked in epoll_wait",
+    },
+    SeriesDecl {
+        name: "sitw_serve_shard_mailbox_depth",
+        kind: "gauge",
+        help: "Mailbox backlog drained at the most recent wave",
+    },
+    SeriesDecl {
+        name: "sitw_serve_shard_mailbox_peak",
+        kind: "gauge",
+        help: "High-water mark of the drain-observed mailbox backlog",
+    },
+    SeriesDecl {
+        name: "sitw_serve_uptime_ms",
+        kind: "gauge",
+        help: "Time since server start",
+    },
+];
+
+/// Writes the `# HELP`/`# TYPE` preamble for `name` from [`REGISTRY`].
+/// Lookups are total by construction: `sitw-lint` and the registry
+/// unit test both fail on a rendered family missing from the table.
+fn family(out: &mut String, name: &str) {
+    use std::fmt::Write as _;
+    let decl = REGISTRY.iter().find(|d| d.name == name);
+    debug_assert!(decl.is_some(), "family {name} missing from REGISTRY");
+    if let Some(d) = decl {
+        let _ = writeln!(out, "# HELP {} {}", d.name, d.help);
+        let _ = writeln!(out, "# TYPE {} {}", d.name, d.kind);
+    }
+}
+
 /// A latency histogram split by wire protocol (JSON/HTTP vs SITW-BIN).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ProtoHists {
@@ -254,54 +458,28 @@ impl MetricsReport {
         ]
     }
 
-    /// Renders the Prometheus text format.
+    /// Renders the Prometheus text format. Every family's
+    /// `# HELP`/`# TYPE` preamble comes from [`REGISTRY`]; this
+    /// function only decides layout and sample values.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
-        /// Name, help text, and per-shard value accessor of one metric.
-        type MetricRow = (&'static str, &'static str, fn(&ShardStats) -> u64);
+        /// Name and per-shard value accessor of one metric.
+        type MetricRow = (&'static str, fn(&ShardStats) -> u64);
         let mut out = String::with_capacity(1024);
         let counters: [MetricRow; 8] = [
-            (
-                "sitw_serve_apps",
-                "Applications with live policy state",
-                |s| s.apps,
-            ),
-            (
-                "sitw_serve_invocations_total",
-                "Accepted invocations",
-                |s| s.invocations,
-            ),
-            ("sitw_serve_cold_total", "Cold verdicts", |s| s.cold),
-            ("sitw_serve_warm_total", "Warm verdicts", |s| s.warm),
-            (
-                "sitw_serve_prewarm_loads_total",
-                "Pre-warm loads inferred during gaps",
-                |s| s.prewarm_loads,
-            ),
-            (
-                "sitw_serve_out_of_order_total",
-                "Rejected out-of-order invocations",
-                |s| s.out_of_order,
-            ),
-            (
-                "sitw_serve_backups_total",
-                "Hourly histogram backups taken (production mode)",
-                |s| s.backups,
-            ),
-            (
-                "sitw_serve_prewarm_scheduled_total",
-                "Pre-warm events scheduled 90s early (production mode)",
-                |s| s.prewarm_scheduled,
-            ),
+            ("sitw_serve_apps", |s| s.apps),
+            ("sitw_serve_invocations_total", |s| s.invocations),
+            ("sitw_serve_cold_total", |s| s.cold),
+            ("sitw_serve_warm_total", |s| s.warm),
+            ("sitw_serve_prewarm_loads_total", |s| s.prewarm_loads),
+            ("sitw_serve_out_of_order_total", |s| s.out_of_order),
+            ("sitw_serve_backups_total", |s| s.backups),
+            ("sitw_serve_prewarm_scheduled_total", |s| {
+                s.prewarm_scheduled
+            }),
         ];
-        for (name, help, get) in counters {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let kind = if name.ends_with("_total") {
-                "counter"
-            } else {
-                "gauge"
-            };
-            let _ = writeln!(out, "# TYPE {name} {kind}");
+        for (name, get) in counters {
+            family(&mut out, name);
             for s in &self.shards {
                 let _ = writeln!(out, "{name}{{shard=\"{}\"}} {}", s.shard, get(s));
             }
@@ -311,12 +489,7 @@ impl MetricsReport {
         // series with log2 bucket bounds in seconds, merged exactly
         // across recording threads. One series per stage and protocol,
         // plus per-tenant decide series.
-        let _ = writeln!(
-            out,
-            "# HELP sitw_serve_decision_latency Request latency by pipeline stage in seconds \
-             (log2 buckets)"
-        );
-        let _ = writeln!(out, "# TYPE sitw_serve_decision_latency histogram");
+        family(&mut out, "sitw_serve_decision_latency");
         for (stage, hists) in self.stage_hists() {
             for (proto, h) in [("json", &hists.json), ("bin", &hists.bin)] {
                 write_hist_series(
@@ -339,12 +512,7 @@ impl MetricsReport {
         // buckets. Non-finite estimates are suppressed: NaN/inf are not
         // valid Prometheus sample values, and an underfilled estimator
         // must not export garbage.
-        let _ = writeln!(
-            out,
-            "# HELP sitw_serve_decision_latency_us Decision latency percentiles (derived from \
-             the log2 histogram buckets)"
-        );
-        let _ = writeln!(out, "# TYPE sitw_serve_decision_latency_us gauge");
+        family(&mut out, "sitw_serve_decision_latency_us");
         for s in &self.shards {
             for (q, v) in &s.latency_us {
                 if !v.is_finite() {
@@ -358,177 +526,62 @@ impl MetricsReport {
             }
         }
         // Per-tenant fleet metrics: the cluster memory ledger.
-        type TenantRow = (
-            &'static str,
-            &'static str,
-            &'static str,
-            fn(&TenantStats) -> u64,
-        );
+        type TenantRow = (&'static str, fn(&TenantStats) -> u64);
         let tenant_rows: [TenantRow; 7] = [
-            (
-                "sitw_serve_tenant_budget_mb",
-                "Configured keep-alive memory budget (0 = unlimited)",
-                "gauge",
-                |t| t.budget_mb,
-            ),
-            (
-                "sitw_serve_tenant_warm_mb",
-                "Warm memory currently charged to the tenant",
-                "gauge",
-                |t| t.warm_mb,
-            ),
-            (
-                "sitw_serve_tenant_warm_apps",
-                "Warm containers currently charged to the tenant",
-                "gauge",
-                |t| t.warm_apps,
-            ),
-            (
-                "sitw_serve_tenant_evictions_total",
-                "Budget evictions",
-                "counter",
-                |t| t.evictions,
-            ),
-            (
-                "sitw_serve_tenant_idle_mb_ms_total",
-                "Loaded-memory integral in MB*ms (the par.5.3 idle-memory metric)",
-                "counter",
-                |t| t.idle_mb_ms,
-            ),
-            (
-                "sitw_serve_tenant_invocations_total",
-                "Accepted invocations per tenant",
-                "counter",
-                |t| t.invocations,
-            ),
-            (
-                "sitw_serve_tenant_cold_total",
-                "Cold verdicts per tenant (incl. eviction downgrades)",
-                "counter",
-                |t| t.cold,
-            ),
+            ("sitw_serve_tenant_budget_mb", |t| t.budget_mb),
+            ("sitw_serve_tenant_warm_mb", |t| t.warm_mb),
+            ("sitw_serve_tenant_warm_apps", |t| t.warm_apps),
+            ("sitw_serve_tenant_evictions_total", |t| t.evictions),
+            ("sitw_serve_tenant_idle_mb_ms_total", |t| t.idle_mb_ms),
+            ("sitw_serve_tenant_invocations_total", |t| t.invocations),
+            ("sitw_serve_tenant_cold_total", |t| t.cold),
         ];
-        for (name, help, kind, get) in tenant_rows {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} {kind}");
+        for (name, get) in tenant_rows {
+            family(&mut out, name);
             for t in &tenants {
                 let _ = writeln!(out, "{name}{{tenant=\"{}\"}} {}", t.name, get(t));
             }
         }
-        let proto: [(&str, &str, u64); 3] = [
-            (
-                "sitw_serve_frames_total",
-                "Complete SITW-BIN request frames served",
-                self.proto.frames,
-            ),
+        let proto: [(&str, u64); 3] = [
+            ("sitw_serve_frames_total", self.proto.frames),
             (
                 "sitw_serve_batched_decisions_total",
-                "Decisions delivered through batched binary frames",
                 self.proto.batched_decisions,
             ),
-            (
-                "sitw_serve_proto_errors_total",
-                "Typed SITW-BIN protocol errors answered",
-                self.proto.proto_errors,
-            ),
+            ("sitw_serve_proto_errors_total", self.proto.proto_errors),
         ];
-        for (name, help, value) in proto {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {value}");
-        }
-        let conns: [(&str, &str, &str, u64); 4] = [
-            (
-                "sitw_serve_connections_live",
-                "Connections currently open",
-                "gauge",
-                self.conns.live,
-            ),
-            (
-                "sitw_serve_connections_accepted_total",
-                "Connections accepted since start",
-                "counter",
-                self.conns.accepted,
-            ),
-            (
-                "sitw_serve_connections_peak",
-                "High-water mark of live connections",
-                "gauge",
-                self.conns.peak,
-            ),
-            (
-                "sitw_serve_reactor_threads",
-                "Reactor (event-loop) threads serving the connections",
-                "gauge",
-                self.conns.reactor_threads,
-            ),
+        let conns: [(&str, u64); 4] = [
+            ("sitw_serve_connections_live", self.conns.live),
+            ("sitw_serve_connections_accepted_total", self.conns.accepted),
+            ("sitw_serve_connections_peak", self.conns.peak),
+            ("sitw_serve_reactor_threads", self.conns.reactor_threads),
         ];
-        for (name, help, kind, value) in conns {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} {kind}");
+        for (name, value) in proto.into_iter().chain(conns) {
+            family(&mut out, name);
             let _ = writeln!(out, "{name} {value}");
         }
         // Reactor introspection: event-loop behaviour per thread (the
         // families render with no samples when telemetry is off).
-        type ReactorRow = (
-            &'static str,
-            &'static str,
-            &'static str,
-            fn(&ReactorStats) -> u64,
-        );
+        type ReactorRow = (&'static str, fn(&ReactorStats) -> u64);
         let reactor_rows: [ReactorRow; 6] = [
-            (
-                "sitw_serve_reactor_epoll_waits_total",
-                "epoll_wait calls (blocking and non-blocking)",
-                "counter",
-                |r| r.epoll_waits,
-            ),
-            (
-                "sitw_serve_reactor_wakeups_total",
-                "Eventfd waker fires observed",
-                "counter",
-                |r| r.wakeups,
-            ),
-            (
-                "sitw_serve_reactor_backpressure_pauses_total",
-                "Transitions into the read-paused backpressure state",
-                "counter",
-                |r| r.bp_pauses,
-            ),
-            (
-                "sitw_serve_reactor_backpressure_resumes_total",
-                "Transitions out of the read-paused backpressure state",
-                "counter",
-                |r| r.bp_resumes,
-            ),
-            (
-                "sitw_serve_reactor_queue_depth",
-                "Inbox backlog drained at the most recent wave",
-                "gauge",
-                |r| r.queue_depth,
-            ),
-            (
-                "sitw_serve_reactor_queue_peak",
-                "High-water mark of the drain-observed inbox backlog",
-                "gauge",
-                |r| r.queue_peak,
-            ),
+            ("sitw_serve_reactor_epoll_waits_total", |r| r.epoll_waits),
+            ("sitw_serve_reactor_wakeups_total", |r| r.wakeups),
+            ("sitw_serve_reactor_backpressure_pauses_total", |r| {
+                r.bp_pauses
+            }),
+            ("sitw_serve_reactor_backpressure_resumes_total", |r| {
+                r.bp_resumes
+            }),
+            ("sitw_serve_reactor_queue_depth", |r| r.queue_depth),
+            ("sitw_serve_reactor_queue_peak", |r| r.queue_peak),
         ];
-        for (name, help, kind, get) in reactor_rows {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} {kind}");
+        for (name, get) in reactor_rows {
+            family(&mut out, name);
             for r in &self.reactors {
                 let _ = writeln!(out, "{name}{{reactor=\"{}\"}} {}", r.reactor, get(r));
             }
         }
-        let _ = writeln!(
-            out,
-            "# HELP sitw_serve_reactor_epoll_wait_seconds_total Time spent blocked in epoll_wait"
-        );
-        let _ = writeln!(
-            out,
-            "# TYPE sitw_serve_reactor_epoll_wait_seconds_total counter"
-        );
+        family(&mut out, "sitw_serve_reactor_epoll_wait_seconds_total");
         for r in &self.reactors {
             let _ = writeln!(
                 out,
@@ -537,28 +590,18 @@ impl MetricsReport {
                 r.epoll_wait_ns as f64 / 1e9
             );
         }
-        type ShardRow = (&'static str, &'static str, fn(&ShardStats) -> u64);
+        type ShardRow = (&'static str, fn(&ShardStats) -> u64);
         let mailbox_rows: [ShardRow; 2] = [
-            (
-                "sitw_serve_shard_mailbox_depth",
-                "Mailbox backlog drained at the most recent wave",
-                |s| s.mailbox_depth,
-            ),
-            (
-                "sitw_serve_shard_mailbox_peak",
-                "High-water mark of the drain-observed mailbox backlog",
-                |s| s.mailbox_peak,
-            ),
+            ("sitw_serve_shard_mailbox_depth", |s| s.mailbox_depth),
+            ("sitw_serve_shard_mailbox_peak", |s| s.mailbox_peak),
         ];
-        for (name, help, get) in mailbox_rows {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} gauge");
+        for (name, get) in mailbox_rows {
+            family(&mut out, name);
             for s in &self.shards {
                 let _ = writeln!(out, "{name}{{shard=\"{}\"}} {}", s.shard, get(s));
             }
         }
-        let _ = writeln!(out, "# HELP sitw_serve_uptime_ms Time since server start");
-        let _ = writeln!(out, "# TYPE sitw_serve_uptime_ms gauge");
+        family(&mut out, "sitw_serve_uptime_ms");
         let _ = writeln!(out, "sitw_serve_uptime_ms {}", self.uptime_ms);
         out
     }
@@ -808,6 +851,55 @@ mod tests {
         let (name, decide) = &stages[3];
         assert_eq!(*name, "decide");
         assert_eq!(decide, &expect);
+    }
+
+    /// The declarative [`REGISTRY`] and the rendered exposition are in
+    /// exact lockstep: every registered family renders (with the
+    /// registered kind and help), every rendered family is registered,
+    /// and no name is registered twice. Together with `sitw-lint`'s
+    /// static `metrics-registry` rule this makes the registry the
+    /// single source of truth.
+    #[test]
+    fn registry_matches_rendered_families() {
+        let r = MetricsReport {
+            shards: vec![stats(0)],
+            reactors: vec![ReactorStats::default()],
+            proto: ProtoStats::default(),
+            conns: ConnStats::default(),
+            uptime_ms: 1,
+        };
+        let text = r.render();
+        let mut rendered: Vec<(&str, &str)> = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.splitn(2, ' ');
+                rendered.push((it.next().unwrap(), it.next().unwrap()));
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for d in REGISTRY {
+            assert!(seen.insert(d.name), "duplicate registry entry: {}", d.name);
+            assert!(
+                rendered.contains(&(d.name, d.kind)),
+                "registered family not rendered (or kind mismatch): {} {}",
+                d.name,
+                d.kind
+            );
+            assert!(
+                text.contains(&format!("# HELP {} {}", d.name, d.help)),
+                "help text drifted for {}",
+                d.name
+            );
+        }
+        assert_eq!(
+            rendered.len(),
+            REGISTRY.len(),
+            "rendered families not in the registry: {:?}",
+            rendered
+                .iter()
+                .filter(|(n, _)| !seen.contains(n))
+                .collect::<Vec<_>>()
+        );
     }
 
     /// Every exported sample belongs to a family announced with

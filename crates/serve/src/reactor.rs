@@ -140,9 +140,11 @@ pub(crate) struct ReactorIo<'a> {
 
 impl ReactorIo<'_> {
     /// A reply sink addressing connection `conn` on this reactor.
+    // sitw-lint: hot-path
     pub fn reply_sink(&self, conn: u64) -> ReplySink {
         ReplySink {
-            tx: self.tx.clone(),
+            // Sender::clone is an Arc bump, not a heap allocation.
+            tx: self.tx.clone(), // sitw-lint: allow(hot-path-alloc)
             waker: Arc::clone(self.waker),
             conn,
         }
@@ -183,6 +185,9 @@ pub(crate) fn reactor_loop(
     // the read timeout bounded them in the thread-per-connection model.
     let tick = ctx.cfg.read_timeout.max(Duration::from_millis(1));
     let tick_ms = tick.as_millis().min(i32::MAX as u128) as i32;
+    // Wall-clock deadlines (sweep cadence, shutdown grace) are real
+    // time by design, not simulated trace time.
+    // sitw-lint: allow(clock-discipline)
     let mut next_sweep = Instant::now() + tick;
     let mut shutdown_deadline: Option<Instant> = None;
 
@@ -243,6 +248,7 @@ pub(crate) fn reactor_loop(
 
         // 3. Shutdown wind-down.
         if ctx.shutdown.load(Ordering::SeqCst) {
+            // sitw-lint: allow(clock-discipline)
             let now = Instant::now();
             let deadline = *shutdown_deadline.get_or_insert(now + SHUTDOWN_GRACE);
             let force = now >= deadline;
@@ -266,6 +272,7 @@ pub(crate) fn reactor_loop(
         }
 
         // 4. Slowloris sweep on the tick.
+        // sitw-lint: allow(clock-discipline)
         let now = Instant::now();
         if now >= next_sweep {
             next_sweep = now + tick;
@@ -361,6 +368,7 @@ pub(crate) fn reactor_loop(
 }
 
 /// Handles one queue message; marks the owning connection touched.
+// sitw-lint: hot-path
 fn handle_msg(
     msg: ReactorMsg,
     ctx: &ServerCtx,
@@ -372,14 +380,24 @@ fn handle_msg(
         ReactorMsg::Conn(stream) => match Conn::new(stream) {
             Ok(conn) => {
                 let token = conns.insert(conn);
-                let conn = conns.get_mut(token).expect("just inserted");
-                conn.set_token(token);
-                if epoll
-                    .add(conn.raw_fd(), token, conn.initial_interest())
-                    .is_err()
-                {
-                    conns.remove(token);
-                    ctx.conns_live.fetch_sub(1, Ordering::Relaxed);
+                match conns.get_mut(token) {
+                    Some(conn) => {
+                        conn.set_token(token);
+                        if epoll
+                            .add(conn.raw_fd(), token, conn.initial_interest())
+                            .is_err()
+                        {
+                            conns.remove(token);
+                            ctx.conns_live.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                    // insert() just handed out this token, so the slot
+                    // exists; if the slab ever disagrees, shed the
+                    // connection instead of panicking the reactor.
+                    None => {
+                        conns.remove(token);
+                        ctx.conns_live.fetch_sub(1, Ordering::Relaxed);
+                    }
                 }
             }
             Err(_) => {
@@ -411,6 +429,7 @@ fn handle_msg(
 
 /// Applies a connection's post-activity fate: close, or re-sync epoll
 /// interest.
+// sitw-lint: hot-path
 fn finish(ctx: &ServerCtx, epoll: &Epoll, conns: &mut Slab<Conn>, token: u64, flow: Flow) {
     match flow {
         Flow::Close => close_conn(ctx, epoll, conns, token),

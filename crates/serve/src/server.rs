@@ -440,7 +440,9 @@ impl Server {
         }
 
         // The telemetry epoch: span timestamps are nanoseconds since
-        // this instant, on every thread.
+        // this instant, on every thread. The one place the serve crate
+        // reads the wall clock directly — to construct that epoch.
+        // sitw-lint: allow(clock-discipline)
         let started = Instant::now();
         let telem = TelemCtx {
             enabled: cfg.telemetry,

@@ -93,12 +93,18 @@ impl ServedPolicy {
         }
     }
 
+    // sitw-lint: hot-path
     fn on_invocation(&mut self, idle_time_ms: Option<u64>) -> Windows {
         match self {
             ServedPolicy::Fixed(p) => p.on_invocation(idle_time_ms),
             ServedPolicy::NoUnload(p) => p.on_invocation(idle_time_ms),
             ServedPolicy::Hybrid(p) => p.on_invocation(idle_time_ms),
             ServedPolicy::Production { .. } => {
+                // Production apps never reach this dispatcher: invoke()
+                // matches the Production variant first and routes through
+                // the tenant manager. A type-level split would duplicate
+                // the whole enum; the invariant is cheaper to state here.
+                // sitw-lint: allow(panic-freedom)
                 unreachable!("production decisions go through the tenant's manager")
             }
         }
@@ -441,6 +447,7 @@ impl ShardWorker {
     /// exactly: both paths classify through
     /// [`sitw_core::Windows::classify_gap`], apply the same eviction
     /// downgrade, advance the policy, and charge the same ledger.
+    // sitw-lint: hot-path
     pub fn invoke(
         &mut self,
         tenant: TenantId,
@@ -555,6 +562,7 @@ impl ShardWorker {
     /// transport cost, never outcomes. Timing lives in the mailbox loop
     /// (the batch is clocked once and recorded per record at the batch
     /// mean), so this method stays a pure decision function.
+    // sitw-lint: hot-path
     pub fn invoke_batch(&mut self, frame_seq: u64, items: Vec<BatchItem>) -> BatchReply {
         let results: Vec<(u32, Result<Decision, InvokeError>)> = items
             .into_iter()
@@ -722,27 +730,36 @@ impl ShardWorker {
                         reply,
                     });
                     while let Some(ShardMsg::Invoke { .. }) = pending.front() {
-                        let Some(ShardMsg::Invoke {
-                            tenant,
-                            app,
-                            ts,
-                            seq,
-                            span,
-                            sent_ns,
-                            reply,
-                        }) = pending.pop_front()
-                        else {
-                            unreachable!("front() said Invoke");
-                        };
-                        let result = self.invoke(tenant, &app, ts);
-                        wave.push(PendingInvoke {
-                            tenant,
-                            span,
-                            sent_ns,
-                            seq,
-                            result,
-                            reply,
-                        });
+                        match pending.pop_front() {
+                            Some(ShardMsg::Invoke {
+                                tenant,
+                                app,
+                                ts,
+                                seq,
+                                span,
+                                sent_ns,
+                                reply,
+                            }) => {
+                                let result = self.invoke(tenant, &app, ts);
+                                wave.push(PendingInvoke {
+                                    tenant,
+                                    span,
+                                    sent_ns,
+                                    seq,
+                                    result,
+                                    reply,
+                                });
+                            }
+                            // front() just matched Invoke, so these arms
+                            // are unreachable in practice — but if they
+                            // ever fire, requeue rather than drop a
+                            // message on the floor and keep serving.
+                            Some(other) => {
+                                pending.push_front(other);
+                                break;
+                            }
+                            None => break,
+                        }
                     }
                     let t1 = self.telem.clock.now_ns();
                     let k = wave.len() as u64;

@@ -272,6 +272,7 @@ pub fn kind_from_str(s: &str) -> Result<DecisionKind, String> {
 }
 
 /// Renders the `/invoke` response body for a decision.
+// sitw-lint: hot-path
 pub fn render_decision(out: &mut Vec<u8>, d: &Decision) {
     out.extend_from_slice(b"{\"verdict\":\"");
     out.extend_from_slice(if d.cold { b"cold" } else { b"warm" });
@@ -311,6 +312,7 @@ pub fn json_escape(s: &str) -> String {
 }
 
 /// Appends the decimal representation of `v` without allocating.
+// sitw-lint: hot-path
 pub fn push_u64(out: &mut Vec<u8>, v: u64) {
     let mut buf = [0u8; 20];
     let mut i = buf.len();
@@ -479,6 +481,7 @@ fn u64_at(buf: &[u8], i: usize) -> u64 {
     u64::from_le_bytes(b)
 }
 
+// sitw-lint: hot-path
 fn frame_header(out: &mut Vec<u8>, version: u8, kind: u8, payload_len: usize, count: usize) {
     out.push(BIN_MAGIC);
     out.push(version);
@@ -721,6 +724,7 @@ fn sat_u32(ms: u64) -> u32 {
 /// order. `version` echoes the request frame's version; the evicted
 /// verdict bit is emitted only on v2 (it is reserved in v1, where the
 /// default tenant is unbudgeted and can never evict).
+// sitw-lint: hot-path
 pub fn encode_reply_frame(
     out: &mut Vec<u8>,
     version: u8,

@@ -5,6 +5,8 @@
 //!
 //! Run with: `cargo run --release --example azure_schema_roundtrip`
 
+#![forbid(unsafe_code)]
+
 use serverless_in_the_wild::prelude::*;
 use serverless_in_the_wild::sim::simulate_app;
 use serverless_in_the_wild::trace::schema::{

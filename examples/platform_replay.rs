@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example platform_replay`
 
+#![forbid(unsafe_code)]
+
 use serverless_in_the_wild::prelude::*;
 use serverless_in_the_wild::trace::subset::{
     filter_by_weighted_exec, mid_popularity_subset, paper_mid_band,

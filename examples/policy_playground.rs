@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example policy_playground`
 
+#![forbid(unsafe_code)]
+
 use serverless_in_the_wild::prelude::*;
 
 fn show(policy: &mut HybridPolicy, name: &str, idle_times_min: &[u64]) {

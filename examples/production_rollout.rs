@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example production_rollout`
 
+#![forbid(unsafe_code)]
+
 use serverless_in_the_wild::prelude::*;
 
 const DAY: u64 = 24 * 60 * MINUTE_MS;

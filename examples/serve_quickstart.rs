@@ -17,6 +17,8 @@
 //! curl -XPOST http://127.0.0.1:7071/admin/shutdown
 //! ```
 
+#![forbid(unsafe_code)]
+
 use serverless_in_the_wild::prelude::*;
 
 fn main() {
