@@ -584,7 +584,7 @@ fn rule_metrics_registry(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
                 .filter(|t| t.kind == TokenKind::Str)
                 .map(|t| (t.text.clone(), t.line))
                 .collect();
-            if strs.len() % 3 != 0 {
+            if !strs.len().is_multiple_of(3) {
                 let line = strs.first().map_or(1, |(_, l)| *l);
                 emit(
                     diags,

@@ -1,0 +1,119 @@
+//! `sitw-router` — the cluster-mode routing daemon.
+//!
+//! One port in front of N `sitw-serve` nodes: tenant-keyed consistent
+//! routing, cluster-wide QoS admission, and epoch-based budget
+//! reconciliation. See the crate docs of `sitw-cluster` for the design.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use sitw_cluster::{Router, RouterConfig, RouterTenant};
+use sitw_core::PolicySpec;
+
+const USAGE: &str = "\
+sitw-router — route tenants across a cluster of sitw-serve nodes
+
+USAGE:
+    sitw-router --addr HOST:PORT --node HOST:PORT [--node HOST:PORT ...]
+                [--tenants N]
+                [--tenant NAME=POLICY[,budget=MB][,qos=SPEC]]
+                [--reconcile-ms MS]
+
+OPTIONS:
+    --addr HOST:PORT     Listen address (default 127.0.0.1:7180)
+    --node HOST:PORT     A sitw-serve node; repeat once per node.
+                         Argument order defines ring node indices.
+    --tenants N          Shorthand: register tenants t0..t{N-1} with the
+                         hybrid policy and no budget or rate limit.
+    --tenant SPEC        One tenant: NAME=POLICY[,budget=MB][,qos=SPEC],
+                         e.g. acme=hybrid,budget=64,qos=bronze:rate=50.
+                         Repeatable; combines with --tenants.
+    --reconcile-ms MS    Budget reconciliation interval (default 1000;
+                         0 disables the background reconciler).
+";
+
+fn parse_args() -> Result<RouterConfig, String> {
+    let mut cfg = RouterConfig {
+        addr: "127.0.0.1:7180".into(),
+        ..RouterConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--node" => cfg.nodes.push(value("--node")?),
+            "--tenants" => {
+                let n: usize = value("--tenants")?
+                    .parse()
+                    .map_err(|e| format!("--tenants: {e}"))?;
+                for i in 0..n {
+                    cfg.tenants.push(RouterTenant {
+                        name: format!("t{i}"),
+                        policy: PolicySpec::parse("hybrid").expect("hybrid parses"),
+                        budget_mb: 0,
+                        qos: None,
+                    });
+                }
+            }
+            "--tenant" => {
+                let t = RouterTenant::parse(&value("--tenant")?)?;
+                cfg.tenants.push(t);
+            }
+            "--reconcile-ms" => {
+                cfg.reconcile_ms = value("--reconcile-ms")?
+                    .parse()
+                    .map_err(|e| format!("--reconcile-ms: {e}"))?;
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 = value("--read-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--read-timeout-ms: {e}"))?;
+                cfg.read_timeout = Duration::from_millis(ms.max(1));
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if cfg.nodes.is_empty() {
+        return Err("at least one --node is required".into());
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let cfg = match parse_args() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("sitw-router: {e}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let nodes = cfg.nodes.clone();
+    let tenants = cfg.tenants.len();
+    let router = match Router::start(cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sitw-router: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "sitw-router listening on {} ({} nodes: {}; {} named tenants)",
+        router.addr(),
+        nodes.len(),
+        nodes.join(", "),
+        tenants,
+    );
+    router.wait();
+    ExitCode::SUCCESS
+}

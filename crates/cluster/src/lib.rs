@@ -1,0 +1,46 @@
+//! Cluster mode for the SITW serving fleet.
+//!
+//! A cluster is N independent `sitw-serve` nodes behind one thin
+//! `sitw-router` daemon. The router owns exactly the state a single node
+//! cannot: *placement* (which node serves which tenant), *admission*
+//! (cluster-wide QoS rate limits), and *budget reconciliation* (keeping
+//! per-tenant memory budgets meaningful fleet-wide). Everything else —
+//! policies, ledgers, histograms — stays on the nodes, so a cluster of
+//! one node behaves bit-for-bit like a bare node.
+//!
+//! The pieces:
+//!
+//! * [`ClusterRing`] — epoch-versioned tenant→node placement: named
+//!   tenants land whole on one node by name hash, the default tenant
+//!   spreads by app hash, and migrations pin overrides. Every change
+//!   advances the epoch.
+//! * [`Router`] — the routing daemon. Speaks both wire protocols on one
+//!   port (JSON over HTTP and SITW-BIN frames), splits batched frames
+//!   across nodes and reassembles replies in request order, answers
+//!   admission rejections itself (HTTP 429 / the `Throttled` verdict
+//!   bit), and surfaces a dead node as the typed
+//!   [`sitw_serve::wire::BinErrorCode::Unavailable`] error (HTTP 503)
+//!   rather than a hung or reset connection.
+//! * [`reconcile`] — the epoch-based budget reconciler: polls each
+//!   node's per-tenant ledger integrals over SITW-BIN control frames,
+//!   aggregates them cluster-wide, and pushes each tenant's budget to
+//!   its current ring owner.
+//! * [`ClusterSim`] — the offline model: QoS admission composed with
+//!   [`sitw_fleet::FleetSim`] over the union registry. Because
+//!   migration moves tenant state bit-for-bit, placement is invisible
+//!   to verdicts, and one `FleetSim` models the whole cluster.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod reconcile;
+pub mod ring;
+pub mod router;
+pub mod sim;
+
+pub use metrics::RouterMetrics;
+pub use reconcile::{aggregate_usage, control_roundtrip, reconcile_shares, NodeReport};
+pub use ring::ClusterRing;
+pub use router::{Router, RouterConfig, RouterTenant};
+pub use sim::{ClusterOutcome, ClusterSim};

@@ -1,0 +1,222 @@
+//! Router metrics: counters for the routing hot path, gauges for ring
+//! state, and the cluster-wide per-tenant usage from the last
+//! reconciliation, rendered in Prometheus text format at `/metrics`.
+//!
+//! All names are `sitw_router_*` — disjoint from the nodes'
+//! `sitw_serve_*` namespace, so one scrape config can collect both
+//! without relabeling.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use sitw_serve::wire::TenantUsage;
+
+/// Counters and gauges of one router process. All atomics are updated
+/// with relaxed ordering: each metric is an independent statistic, not a
+/// synchronization edge.
+#[derive(Debug)]
+pub struct RouterMetrics {
+    /// JSON `/invoke` requests accepted (forwarded or throttled).
+    pub json_requests: AtomicU64,
+    /// SITW-BIN request frames accepted.
+    pub bin_frames: AtomicU64,
+    /// SITW-BIN request records accepted (frames are batches).
+    pub bin_records: AtomicU64,
+    /// Per-node subframes forwarded upstream.
+    pub forwarded_subframes: AtomicU64,
+    /// Invocations rejected by QoS admission (both protocols).
+    pub throttled: AtomicU64,
+    /// Upstream failures per node slot (connect, write, or read).
+    pub node_errors: Vec<AtomicU64>,
+    /// The ring epoch as of the last change.
+    pub ring_epoch: AtomicU64,
+    /// Live node count.
+    pub nodes_live: AtomicU64,
+    /// Budget reconciliations completed.
+    pub reconcile_runs: AtomicU64,
+    /// Budget shares acknowledged by nodes, summed over reconciliations.
+    pub budget_pushes: AtomicU64,
+    /// Tenant migrations completed.
+    pub migrations: AtomicU64,
+    /// Cluster-aggregated per-tenant usage from the last reconciliation.
+    pub usage: Mutex<Vec<TenantUsage>>,
+}
+
+impl RouterMetrics {
+    /// Zeroed metrics for a cluster of `nodes` node slots.
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            json_requests: AtomicU64::new(0),
+            bin_frames: AtomicU64::new(0),
+            bin_records: AtomicU64::new(0),
+            forwarded_subframes: AtomicU64::new(0),
+            throttled: AtomicU64::new(0),
+            node_errors: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            ring_epoch: AtomicU64::new(0),
+            nodes_live: AtomicU64::new(nodes as u64),
+            reconcile_runs: AtomicU64::new(0),
+            budget_pushes: AtomicU64::new(0),
+            migrations: AtomicU64::new(0),
+            usage: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Bumps one per-node error counter (out-of-range slots are ignored).
+    pub fn node_error(&self, node: usize) {
+        if let Some(c) = self.node_errors.get(node) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Renders the Prometheus exposition text. `node_addrs` label the
+    /// per-node series (index order matches the ring's node slots).
+    pub fn render(&self, node_addrs: &[String]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        let gauge = |out: &mut String, name: &str, help: &str, v: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        };
+
+        let _ = writeln!(
+            out,
+            "# HELP sitw_router_requests_total Requests accepted by protocol."
+        );
+        let _ = writeln!(out, "# TYPE sitw_router_requests_total counter");
+        let _ = writeln!(
+            out,
+            "sitw_router_requests_total{{proto=\"json\"}} {}",
+            self.json_requests.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "sitw_router_requests_total{{proto=\"bin\"}} {}",
+            self.bin_frames.load(Ordering::Relaxed)
+        );
+        counter(
+            &mut out,
+            "sitw_router_records_total",
+            "SITW-BIN request records accepted.",
+            self.bin_records.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "sitw_router_forwarded_subframes_total",
+            "Per-node subframes forwarded upstream.",
+            self.forwarded_subframes.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "sitw_router_throttled_total",
+            "Invocations rejected by QoS admission.",
+            self.throttled.load(Ordering::Relaxed),
+        );
+        let _ = writeln!(
+            out,
+            "# HELP sitw_router_node_errors_total Upstream failures per node."
+        );
+        let _ = writeln!(out, "# TYPE sitw_router_node_errors_total counter");
+        for (i, c) in self.node_errors.iter().enumerate() {
+            let addr = node_addrs.get(i).map(String::as_str).unwrap_or("?");
+            let _ = writeln!(
+                out,
+                "sitw_router_node_errors_total{{node=\"{addr}\"}} {}",
+                c.load(Ordering::Relaxed)
+            );
+        }
+        gauge(
+            &mut out,
+            "sitw_router_ring_epoch",
+            "Ring epoch (bumps on membership or placement change).",
+            self.ring_epoch.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "sitw_router_nodes_live",
+            "Live node count.",
+            self.nodes_live.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "sitw_router_reconcile_runs_total",
+            "Budget reconciliations completed.",
+            self.reconcile_runs.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "sitw_router_budget_pushes_total",
+            "Budget shares acknowledged by nodes.",
+            self.budget_pushes.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "sitw_router_migrations_total",
+            "Tenant migrations completed.",
+            self.migrations.load(Ordering::Relaxed),
+        );
+
+        let usage = self.usage.lock().expect("usage poisoned");
+        for (name, help, get) in [
+            (
+                "sitw_router_tenant_budget_mb",
+                "Cluster budget per tenant, MB (last reconcile).",
+                (|t| t.budget_mb) as fn(&TenantUsage) -> u64,
+            ),
+            (
+                "sitw_router_tenant_warm_mb",
+                "Warm memory per tenant, MB (last reconcile).",
+                |t| t.warm_mb,
+            ),
+            (
+                "sitw_router_tenant_evictions_total",
+                "Budget evictions per tenant (last reconcile).",
+                |t| t.evictions,
+            ),
+            (
+                "sitw_router_tenant_invocations_total",
+                "Invocations served per tenant (last reconcile).",
+                |t| t.invocations,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for t in usage.iter() {
+                let _ = writeln!(out, "{name}{{tenant=\"{}\"}} {}", t.name, get(t));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_all_families_and_labels() {
+        let m = RouterMetrics::new(2);
+        m.json_requests.fetch_add(3, Ordering::Relaxed);
+        m.node_error(1);
+        m.node_error(7); // Out of range: ignored, not a panic.
+        m.usage.lock().unwrap().push(TenantUsage {
+            name: "t0".into(),
+            budget_mb: 64,
+            warm_mb: 10,
+            evictions: 2,
+            idle_mb_ms: 5,
+            invocations: 9,
+        });
+        let text = m.render(&["127.0.0.1:7101".into(), "127.0.0.1:7102".into()]);
+        assert!(text.contains("sitw_router_requests_total{proto=\"json\"} 3"));
+        assert!(text.contains("sitw_router_node_errors_total{node=\"127.0.0.1:7102\"} 1"));
+        assert!(text.contains("sitw_router_nodes_live 2"));
+        assert!(text.contains("sitw_router_tenant_budget_mb{tenant=\"t0\"} 64"));
+        assert!(text.contains("sitw_router_tenant_invocations_total{tenant=\"t0\"} 9"));
+    }
+}

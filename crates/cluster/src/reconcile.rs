@@ -1,0 +1,211 @@
+//! Epoch-based budget reconciliation.
+//!
+//! Each node enforces per-tenant memory budgets locally; the reconciler
+//! keeps those local budgets meaningful cluster-wide. Every cycle it
+//!
+//! 1. polls each live node's per-tenant ledger integrals
+//!    ([`ControlRequest::Report`] over a SITW-BIN control frame),
+//! 2. aggregates the reports name-keyed into one cluster view
+//!    ([`aggregate_usage`] — exported to `/metrics`), and
+//! 3. pushes each budgeted tenant's **full** budget to its current ring
+//!    owner ([`reconcile_shares`], a pure function of the ring epoch).
+//!
+//! Budget follows ownership: named tenants land whole on one node, so
+//! the owner gets the whole budget and nobody else needs a share — a
+//! node that loses a tenant loses its state with the take, and a node
+//! that never owns it skips unknown names in a `BudgetSet` (uncounted in
+//! the ack). Shares are recomputed from the ring on every cycle, so a
+//! migration or node drop is reconciled one cycle after its epoch
+//! advance, without any per-change bookkeeping.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use sitw_serve::wire::{
+    decode_server_frame, encode_control_frame, ControlReply, ControlRequest, ServerFrameDecode,
+    TenantUsage,
+};
+
+use crate::ring::ClusterRing;
+
+/// One node's control-plane report.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Node slot in the ring.
+    pub node: usize,
+    /// Per-tenant ledger integrals as reported by the node.
+    pub tenants: Vec<TenantUsage>,
+}
+
+/// Computes the per-node budget shares for one cycle: each budgeted
+/// tenant's full budget goes to its current ring owner. Unbudgeted
+/// tenants (0 = unlimited) are never pushed — a zero share would
+/// *lift* a limit, not enforce one. Pure in `(budgets, ring)`, so the
+/// shares are a function of the ring epoch.
+pub fn reconcile_shares(
+    budgets: &[(String, u64)],
+    ring: &ClusterRing,
+) -> Vec<(usize, Vec<(String, u64)>)> {
+    let mut per_node: BTreeMap<usize, Vec<(String, u64)>> = BTreeMap::new();
+    for (name, budget_mb) in budgets {
+        if *budget_mb == 0 {
+            continue;
+        }
+        if let Some(owner) = ring.node_of_tenant(name) {
+            per_node
+                .entry(owner)
+                .or_default()
+                .push((name.clone(), *budget_mb));
+        }
+    }
+    per_node.into_iter().collect()
+}
+
+/// Folds node reports into one name-keyed cluster view: budgets take the
+/// max (each named tenant has one enforcing owner; the default tenant's
+/// budget is replicated, not split), everything else sums.
+pub fn aggregate_usage(reports: &[NodeReport]) -> Vec<TenantUsage> {
+    let mut by_name: BTreeMap<String, TenantUsage> = BTreeMap::new();
+    for report in reports {
+        for t in &report.tenants {
+            let entry = by_name
+                .entry(t.name.clone())
+                .or_insert_with(|| TenantUsage {
+                    name: t.name.clone(),
+                    budget_mb: 0,
+                    warm_mb: 0,
+                    evictions: 0,
+                    idle_mb_ms: 0,
+                    invocations: 0,
+                });
+            entry.budget_mb = entry.budget_mb.max(t.budget_mb);
+            entry.warm_mb += t.warm_mb;
+            entry.evictions += t.evictions;
+            entry.idle_mb_ms = entry.idle_mb_ms.saturating_add(t.idle_mb_ms);
+            entry.invocations += t.invocations;
+        }
+    }
+    by_name.into_values().collect()
+}
+
+/// One control-plane round trip: connects to `addr`, sends `req` as a
+/// SITW-BIN control frame, and decodes the node's control reply. Used by
+/// the reconciler and by parity tests that read ledger integrals off
+/// live nodes.
+pub fn control_roundtrip(addr: SocketAddr, req: &ControlRequest) -> io::Result<ControlReply> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut frame = Vec::new();
+    encode_control_frame(&mut frame, req);
+    stream.write_all(&frame)?;
+
+    let mut buf = Vec::new();
+    loop {
+        match decode_server_frame(&buf) {
+            ServerFrameDecode::Control { reply, .. } => return Ok(reply),
+            ServerFrameDecode::Incomplete => {
+                let mut chunk = [0u8; 4096];
+                let n = stream.read(&mut chunk)?;
+                if n == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "eof mid control reply",
+                    ));
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            ServerFrameDecode::Error { code, detail, .. } => {
+                return Err(io::Error::other(format!(
+                    "control error {code:?}: {detail}"
+                )))
+            }
+            ServerFrameDecode::Reply { .. } => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unexpected reply frame to a control request",
+                ))
+            }
+            ServerFrameDecode::Malformed(detail) => {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, detail))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn usage(name: &str, budget: u64, warm: u64, ev: u64, idle: u64, inv: u64) -> TenantUsage {
+        TenantUsage {
+            name: name.into(),
+            budget_mb: budget,
+            warm_mb: warm,
+            evictions: ev,
+            idle_mb_ms: idle,
+            invocations: inv,
+        }
+    }
+
+    #[test]
+    fn shares_follow_the_ring_owner() {
+        let ring = ClusterRing::new(3);
+        let budgets = vec![
+            ("t0".to_owned(), 64),
+            ("t1".to_owned(), 0), // Unlimited: never pushed.
+            ("t2".to_owned(), 128),
+        ];
+        let shares = reconcile_shares(&budgets, &ring);
+        let pushed: Vec<(&str, u64, usize)> = shares
+            .iter()
+            .flat_map(|(node, s)| s.iter().map(move |(n, b)| (n.as_str(), *b, *node)))
+            .collect();
+        assert_eq!(pushed.len(), 2, "only budgeted tenants are pushed");
+        for (name, budget, node) in pushed {
+            assert_eq!(Some(node), ring.node_of_tenant(name));
+            assert_eq!(budget, if name == "t0" { 64 } else { 128 });
+        }
+    }
+
+    #[test]
+    fn shares_move_with_epoch_changes() {
+        let mut ring = ClusterRing::new(2);
+        let budgets = vec![("acme".to_owned(), 64)];
+        let before = reconcile_shares(&budgets, &ring);
+        let owner = before[0].0;
+        ring.set_override("acme", 1 - owner).unwrap();
+        let after = reconcile_shares(&budgets, &ring);
+        assert_eq!(after[0].0, 1 - owner, "share follows the migration");
+        ring.drop_node(1 - owner);
+        let rehomed = reconcile_shares(&budgets, &ring);
+        assert_eq!(rehomed[0].0, owner, "share follows the rehash");
+    }
+
+    #[test]
+    fn aggregation_maxes_budgets_and_sums_the_rest() {
+        let reports = vec![
+            NodeReport {
+                node: 0,
+                tenants: vec![
+                    usage("default", 0, 5, 0, 100, 7),
+                    usage("t0", 64, 10, 1, 50, 3),
+                ],
+            },
+            NodeReport {
+                node: 1,
+                tenants: vec![usage("default", 0, 2, 0, 30, 4)],
+            },
+        ];
+        let agg = aggregate_usage(&reports);
+        assert_eq!(agg.len(), 2);
+        let default = agg.iter().find(|t| t.name == "default").unwrap();
+        assert_eq!(
+            (default.warm_mb, default.idle_mb_ms, default.invocations),
+            (7, 130, 11)
+        );
+        let t0 = agg.iter().find(|t| t.name == "t0").unwrap();
+        assert_eq!((t0.budget_mb, t0.evictions), (64, 1));
+    }
+}

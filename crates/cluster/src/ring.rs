@@ -1,0 +1,184 @@
+//! The cluster ring: epoch-versioned tenant → node placement.
+//!
+//! One level up from `sitw_fleet`'s tenant → shard routing, and built on
+//! the same invariant: **named tenants land whole on one node**, by hash
+//! of the tenant name over the live node set, so each tenant's budget
+//! ledger keeps a single writer cluster-wide. The default tenant (id 0)
+//! spreads by app hash, exactly as it spreads over shards inside a node.
+//!
+//! The ring is versioned by an **epoch** that advances on every
+//! membership or placement change (a node dropped, a tenant migrated).
+//! Routing decisions are a pure function of `(epoch state, key)`, so the
+//! epoch is the cluster-wide cache-invalidation token: the reconciler
+//! stamps its budget pushes with it, and tests assert recovery by
+//! watching it advance.
+
+use std::collections::BTreeMap;
+
+use sitw_fleet::fnv1a;
+
+/// Epoch-versioned node membership plus per-tenant placement overrides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterRing {
+    epoch: u64,
+    /// Liveness per node index. Indices are stable for the life of the
+    /// router (dead nodes keep their slot so metrics and admin output
+    /// stay addressable); only the live subset receives traffic.
+    live: Vec<bool>,
+    /// Tenant name → node index, installed by migration. An override
+    /// pins the tenant regardless of the hash placement.
+    overrides: BTreeMap<String, usize>,
+}
+
+impl ClusterRing {
+    /// A ring of `nodes` live nodes (indices `0..nodes`).
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "a ring needs at least one node");
+        Self {
+            epoch: 0,
+            live: vec![true; nodes],
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// The current epoch (starts at 0, bumps on every change).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total node slots, live or not.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Always false (constructed non-empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Live node count.
+    pub fn live_count(&self) -> usize {
+        self.live.iter().filter(|l| **l).count()
+    }
+
+    /// Whether a node slot is live.
+    pub fn is_live(&self, node: usize) -> bool {
+        self.live.get(node).copied().unwrap_or(false)
+    }
+
+    /// The live node indices, ascending — the hash space.
+    fn live_nodes(&self) -> Vec<usize> {
+        (0..self.live.len()).filter(|&i| self.live[i]).collect()
+    }
+
+    /// Routes a named tenant: its override if migrated, else the hash of
+    /// its name over the live node list. Returns `None` when no node is
+    /// live (the caller surfaces a typed unavailable error).
+    pub fn node_of_tenant(&self, tenant: &str) -> Option<usize> {
+        if let Some(&node) = self.overrides.get(tenant) {
+            if self.is_live(node) {
+                return Some(node);
+            }
+            // The pinned node died: fall through to the hash placement
+            // (the same rehash an epoch advance applies to everyone).
+        }
+        let live = self.live_nodes();
+        if live.is_empty() {
+            return None;
+        }
+        Some(live[(fnv1a(tenant.as_bytes()) % live.len() as u64) as usize])
+    }
+
+    /// Routes a default-tenant invocation by app id — mirroring how the
+    /// default tenant spreads over shards inside a node.
+    pub fn node_of_app(&self, app: &str) -> Option<usize> {
+        let live = self.live_nodes();
+        if live.is_empty() {
+            return None;
+        }
+        Some(live[(fnv1a(app.as_bytes()) % live.len() as u64) as usize])
+    }
+
+    /// Marks a node dead and advances the epoch. Overrides pointing at
+    /// the dead node are removed (their tenants rehash with everyone
+    /// else). Returns false (no epoch change) when the node was already
+    /// dead or out of range.
+    pub fn drop_node(&mut self, node: usize) -> bool {
+        if !self.is_live(node) {
+            return false;
+        }
+        self.live[node] = false;
+        self.overrides.retain(|_, &mut n| n != node);
+        self.epoch += 1;
+        true
+    }
+
+    /// Pins `tenant` to `node` (migration landing) and advances the
+    /// epoch. Fails when the node is dead or out of range.
+    pub fn set_override(&mut self, tenant: &str, node: usize) -> Result<(), String> {
+        if !self.is_live(node) {
+            return Err(format!("node {node} is not live"));
+        }
+        self.overrides.insert(tenant.to_owned(), node);
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// The placement overrides, name-sorted.
+    pub fn overrides(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.overrides.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenants_route_whole_and_deterministically() {
+        let ring = ClusterRing::new(3);
+        for name in ["t0", "t1", "acme", "batch"] {
+            let n = ring.node_of_tenant(name).unwrap();
+            assert!(n < 3);
+            assert_eq!(ring.node_of_tenant(name), Some(n), "deterministic");
+            assert_eq!(n, (fnv1a(name.as_bytes()) % 3) as usize);
+        }
+    }
+
+    #[test]
+    fn drop_rehashes_and_advances_epoch() {
+        let mut ring = ClusterRing::new(3);
+        assert_eq!(ring.epoch(), 0);
+        // Find a tenant that hashes to node 1, then kill node 1.
+        let tenant = (0..100)
+            .map(|i| format!("t{i}"))
+            .find(|t| ring.node_of_tenant(t) == Some(1))
+            .unwrap();
+        assert!(ring.drop_node(1));
+        assert_eq!(ring.epoch(), 1);
+        assert!(!ring.drop_node(1), "double drop is a no-op");
+        assert_eq!(ring.live_count(), 2);
+        let rehashed = ring.node_of_tenant(&tenant).unwrap();
+        assert_ne!(rehashed, 1, "dead node receives nothing");
+        // Placement over the survivors is the hash over the live list.
+        assert_eq!(rehashed, [0, 2][(fnv1a(tenant.as_bytes()) % 2) as usize]);
+    }
+
+    #[test]
+    fn overrides_pin_until_their_node_dies() {
+        let mut ring = ClusterRing::new(3);
+        let home = ring.node_of_tenant("acme").unwrap();
+        let target = (home + 1) % 3;
+        ring.set_override("acme", target).unwrap();
+        assert_eq!(ring.epoch(), 1);
+        assert_eq!(ring.node_of_tenant("acme"), Some(target));
+        assert_eq!(ring.overrides().count(), 1);
+        // The pinned node dies: the tenant rehashes like everyone else.
+        ring.drop_node(target);
+        assert_eq!(ring.epoch(), 2);
+        let n = ring.node_of_tenant("acme").unwrap();
+        assert_ne!(n, target);
+        assert_eq!(ring.overrides().count(), 0, "stale override removed");
+        assert!(ring.set_override("acme", target).is_err(), "dead target");
+    }
+}

@@ -1,0 +1,1551 @@
+//! The `sitw-router` daemon: one port in front of N `sitw-serve` nodes.
+//!
+//! The router is deliberately thin. It terminates both wire protocols
+//! (JSON over HTTP and SITW-BIN, sniffed per message exactly like a
+//! node), applies cluster-wide QoS admission, consults the
+//! [`ClusterRing`] for placement, and forwards. It keeps **no policy
+//! state**: every verdict is produced by a node, so a one-node cluster
+//! answers bit-for-bit what the bare node would.
+//!
+//! Per client connection the router runs a single thread over a FIFO of
+//! pending responses: it parses and forwards every message the client
+//! has buffered, then drains the queue — reading node replies and
+//! answering the client — before blocking on the socket again. Request
+//! pipelining survives the extra hop as whole-burst batching (one
+//! upstream flush and one client write per burst rather than a
+//! syscall per request), with no cross-thread handoff on the hot path.
+//! A batched SITW-BIN frame is split into at most one subframe per
+//! owning node; the drain reassembles the per-node reply frames into
+//! one client frame in request order, splicing in locally generated
+//! `Throttled` records for the invocations admission rejected.
+//!
+//! Failure is typed, never silent: a dead node surfaces as the
+//! [`BinErrorCode::Unavailable`] error frame (or HTTP 503 with the node
+//! address in the body), and traffic keeps failing that way until an
+//! operator acknowledges the loss via `POST /admin/ring/drop` — an
+//! explicit epoch advance that rehashes the dead node's tenants over
+//! the survivors. Automatic failover would make placement depend on
+//! who-timed-out-when; the explicit drop keeps the ring a deterministic
+//! function of operator actions, which is what lets [`crate::sim`]
+//! model the cluster offline.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use sitw_core::PolicySpec;
+use sitw_fleet::{registry::parse_tenant_arg, Admission, QosPolicy};
+use sitw_serve::http::{write_response, ConnBuf, EventOutcome};
+use sitw_serve::wire::{
+    self, decode_server_frame, encode_error_frame, encode_reply_records, encode_request_frame_v2,
+    BinErrorCode, BinInvoke, BinReply, ControlReply, ControlRequest, ServerFrameDecode,
+};
+
+use crate::metrics::RouterMetrics;
+use crate::reconcile::{aggregate_usage, control_roundtrip, reconcile_shares, NodeReport};
+use crate::ring::ClusterRing;
+
+/// How long the router waits for an upstream TCP connect.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// One tenant as the router knows it: the cluster-wide name and budget,
+/// the policy nodes serve it under, and the optional QoS admission
+/// policy the router itself enforces.
+#[derive(Debug, Clone)]
+pub struct RouterTenant {
+    /// Tenant name — the stable cluster-wide key.
+    pub name: String,
+    /// Per-app policy, pushed to nodes that don't know the tenant yet.
+    pub policy: PolicySpec,
+    /// Cluster memory budget in MB (0 = unlimited). The reconciler
+    /// pushes it to the tenant's current ring owner.
+    pub budget_mb: u64,
+    /// QoS class and rate limit; `None` admits everything.
+    pub qos: Option<QosPolicy>,
+}
+
+impl RouterTenant {
+    /// Parses the CLI grammar `NAME=POLICY[,budget=MB][,qos=SPEC]` —
+    /// the node grammar plus an optional QoS suffix, e.g.
+    /// `t0=hybrid,budget=64,qos=bronze:rate=50`.
+    pub fn parse(arg: &str) -> Result<Self, String> {
+        let (base, qos) = match arg.split_once(",qos=") {
+            Some((base, spec)) => (base, Some(QosPolicy::parse(spec)?)),
+            None => (arg, None),
+        };
+        let (name, policy, budget_mb) = parse_tenant_arg(base)?;
+        Ok(Self {
+            name,
+            policy,
+            budget_mb,
+            qos,
+        })
+    }
+}
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Node addresses; slot order defines ring node indices.
+    pub nodes: Vec<String>,
+    /// The cluster tenant table. Wire id `k+1` is `tenants[k]`; id 0 is
+    /// the default tenant, exactly as on a node.
+    pub tenants: Vec<RouterTenant>,
+    /// Budget reconciliation interval in milliseconds; 0 disables the
+    /// background reconciler (`POST /admin/reconcile` still works).
+    pub reconcile_ms: u64,
+    /// Client-side read timeout — the shutdown poll interval of reader
+    /// threads.
+    pub read_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            nodes: Vec::new(),
+            tenants: Vec::new(),
+            reconcile_ms: 1_000,
+            read_timeout: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Shared state of a running router.
+struct RouterCtx {
+    cfg: RouterConfig,
+    /// Resolved node addresses, by ring slot.
+    nodes: Vec<SocketAddr>,
+    /// Display names for errors and metric labels, by ring slot.
+    node_names: Vec<String>,
+    /// The router's own listen address (used to wake the acceptor).
+    addr: SocketAddr,
+    ring: RwLock<ClusterRing>,
+    /// Cluster-wide QoS admission state, shared by every connection.
+    admission: Mutex<Admission>,
+    /// Whether any tenant carries a QoS policy. When false the hot
+    /// paths skip the admission mutex entirely — `admit` would answer
+    /// an unconditional yes for every tenant anyway.
+    has_qos: bool,
+    /// One-node cluster without QoS: every `/invoke` forwards to node 0
+    /// unparsed (the routing decision is a constant).
+    solo_target: bool,
+    /// Solo-target fast path for binary request frames: relay v1
+    /// frames byte-for-byte without decoding records. v1 carries no
+    /// tenant ids, so a constant routing decision is all it needs.
+    raw_v1: bool,
+    /// Same for v2 frames, which embed node-local tenant ids. Only
+    /// sound while node 0's id table is the identity mapping the
+    /// router itself provisioned (tenant `i` → id `i + 1`); migration
+    /// churn never perturbs a one-node ring, so this holds for the
+    /// life of a solo target.
+    raw_v2: bool,
+    /// Per-node tenant name → node-local wire id (ids diverge across
+    /// nodes once tenants migrate).
+    node_ids: RwLock<Vec<HashMap<String, u16>>>,
+    metrics: RouterMetrics,
+    shutdown: AtomicBool,
+}
+
+impl RouterCtx {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+    }
+
+    /// One budget reconciliation cycle: poll reports, aggregate for
+    /// `/metrics`, push budget shares to ring owners. Returns
+    /// `(nodes reporting, shares acknowledged)`.
+    fn reconcile_once(&self) -> (usize, u32) {
+        let ring = self.ring.read().expect("ring poisoned").clone();
+        let mut reports = Vec::new();
+        for node in 0..self.nodes.len() {
+            if !ring.is_live(node) {
+                continue;
+            }
+            match control_roundtrip(self.nodes[node], &ControlRequest::Report) {
+                Ok(ControlReply::Report(tenants)) => reports.push(NodeReport { node, tenants }),
+                Ok(ControlReply::BudgetAck { .. }) | Err(_) => self.metrics.node_error(node),
+            }
+        }
+        let budgets: Vec<(String, u64)> = self
+            .cfg
+            .tenants
+            .iter()
+            .map(|t| (t.name.clone(), t.budget_mb))
+            .collect();
+        let mut pushes = 0u32;
+        for (node, shares) in reconcile_shares(&budgets, &ring) {
+            match control_roundtrip(self.nodes[node], &ControlRequest::BudgetSet(shares)) {
+                Ok(ControlReply::BudgetAck { applied }) => pushes += applied,
+                Ok(ControlReply::Report(_)) | Err(_) => self.metrics.node_error(node),
+            }
+        }
+        let nodes_reporting = reports.len();
+        *self.metrics.usage.lock().expect("usage poisoned") = aggregate_usage(&reports);
+        self.metrics.reconcile_runs.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .budget_pushes
+            .fetch_add(pushes as u64, Ordering::Relaxed);
+        self.sync_ring_gauges(&ring);
+        (nodes_reporting, pushes)
+    }
+
+    fn sync_ring_gauges(&self, ring: &ClusterRing) {
+        self.metrics
+            .ring_epoch
+            .store(ring.epoch(), Ordering::Relaxed);
+        self.metrics
+            .nodes_live
+            .store(ring.live_count() as u64, Ordering::Relaxed);
+    }
+
+    /// Migrates `tenant` to node `to`: take on the current owner,
+    /// restore on the target, flip the ring epoch. Returns
+    /// `(from, to, new epoch)` or an HTTP-shaped error.
+    fn migrate(&self, tenant: &str, to: usize) -> Result<(usize, usize, u64), (u16, String)> {
+        if !self.cfg.tenants.iter().any(|t| t.name == tenant) {
+            return Err((404, format!("unknown tenant '{tenant}'")));
+        }
+        let from = {
+            let ring = self.ring.read().expect("ring poisoned");
+            if !ring.is_live(to) {
+                return Err((400, format!("target node {to} is not live")));
+            }
+            ring.node_of_tenant(tenant)
+                .ok_or_else(|| (503, "no live nodes".to_owned()))?
+        };
+        if from != to {
+            let take_path = format!("/admin/tenants/{tenant}/take");
+            let (status, payload) = http_request(self.nodes[from], "POST", &take_path, b"")
+                .map_err(|e| {
+                    self.metrics.node_error(from);
+                    (
+                        503,
+                        format!("take from node {}: {e}", self.node_names[from]),
+                    )
+                })?;
+            if status != 200 {
+                return Err((502, format!("take failed ({status}): {payload}")));
+            }
+            let restore_path = format!("/admin/tenants/{tenant}/restore");
+            let (status, resp) =
+                http_request(self.nodes[to], "POST", &restore_path, payload.as_bytes()).map_err(
+                    |e| {
+                        self.metrics.node_error(to);
+                        (503, format!("restore on node {}: {e}", self.node_names[to]))
+                    },
+                )?;
+            if status != 200 {
+                return Err((502, format!("restore failed ({status}): {resp}")));
+            }
+            let id = parse_id_field(&resp)
+                .ok_or_else(|| (502, format!("malformed restore response: {resp}")))?;
+            let mut ids = self.node_ids.write().expect("node_ids poisoned");
+            ids[to].insert(tenant.to_owned(), id);
+            ids[from].remove(tenant);
+        }
+        let epoch = {
+            let mut ring = self.ring.write().expect("ring poisoned");
+            ring.set_override(tenant, to).map_err(|e| (400, e))?;
+            let epoch = ring.epoch();
+            self.sync_ring_gauges(&ring);
+            epoch
+        };
+        self.metrics.migrations.fetch_add(1, Ordering::Relaxed);
+        Ok((from, to, epoch))
+    }
+}
+
+/// A running router daemon.
+pub struct Router {
+    ctx: Arc<RouterCtx>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    reconciler: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Starts the router: resolves and provisions the nodes (registering
+    /// any configured tenant a node doesn't know yet and learning each
+    /// node's tenant wire ids), binds the listen socket, and spawns the
+    /// acceptor and the background reconciler.
+    pub fn start(cfg: RouterConfig) -> io::Result<Router> {
+        if cfg.nodes.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a cluster needs at least one node",
+            ));
+        }
+        let mut nodes = Vec::with_capacity(cfg.nodes.len());
+        for spec in &cfg.nodes {
+            let addr = spec
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut a| a.next())
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("cannot resolve node '{spec}'"),
+                    )
+                })?;
+            nodes.push(addr);
+        }
+        let mut node_ids = Vec::with_capacity(nodes.len());
+        for (i, addr) in nodes.iter().enumerate() {
+            let ids = provision_node(*addr, &cfg.tenants)
+                .map_err(|e| io::Error::other(format!("node {}: {e}", cfg.nodes[i])))?;
+            node_ids.push(ids);
+        }
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let mut admission = Admission::new();
+        for t in &cfg.tenants {
+            if let Some(qos) = &t.qos {
+                admission.set_policy(&t.name, *qos);
+            }
+        }
+        let node_names = cfg.nodes.clone();
+        let metrics = RouterMetrics::new(nodes.len());
+        let reconcile_ms = cfg.reconcile_ms;
+        let has_qos = cfg.tenants.iter().any(|t| t.qos.is_some());
+        let solo_target = nodes.len() == 1 && !has_qos;
+        let raw_v1 = solo_target;
+        let raw_v2 = solo_target
+            && cfg
+                .tenants
+                .iter()
+                .enumerate()
+                .all(|(i, t)| node_ids[0].get(&t.name) == Some(&(i as u16 + 1)));
+        let ctx = Arc::new(RouterCtx {
+            ring: RwLock::new(ClusterRing::new(nodes.len())),
+            admission: Mutex::new(admission),
+            has_qos,
+            solo_target,
+            raw_v1,
+            raw_v2,
+            node_ids: RwLock::new(node_ids),
+            metrics,
+            shutdown: AtomicBool::new(false),
+            nodes,
+            node_names,
+            addr,
+            cfg,
+        });
+
+        let accept_ctx = ctx.clone();
+        let acceptor = thread::Builder::new()
+            .name("router-accept".into())
+            .spawn(move || accept_loop(accept_ctx, listener))?;
+        let reconciler = if reconcile_ms > 0 {
+            let rec_ctx = ctx.clone();
+            Some(
+                thread::Builder::new()
+                    .name("router-reconcile".into())
+                    .spawn(move || reconcile_loop(rec_ctx))?,
+            )
+        } else {
+            None
+        };
+        Ok(Router {
+            ctx,
+            addr,
+            acceptor: Some(acceptor),
+            reconciler,
+        })
+    }
+
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router's metrics (tests and embedding callers).
+    pub fn metrics(&self) -> &RouterMetrics {
+        &self.ctx.metrics
+    }
+
+    /// Runs one budget reconciliation cycle synchronously. Returns
+    /// `(nodes reporting, shares acknowledged)`.
+    pub fn reconcile_now(&self) -> (usize, u32) {
+        self.ctx.reconcile_once()
+    }
+
+    /// Whether `POST /admin/shutdown` (or [`Router::shutdown`]) has been
+    /// requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.ctx.shutting_down()
+    }
+
+    /// Blocks until shutdown is requested, then joins the daemon
+    /// threads.
+    pub fn wait(mut self) {
+        while !self.ctx.shutting_down() {
+            thread::sleep(Duration::from_millis(100));
+        }
+        self.join();
+    }
+
+    /// Requests shutdown and joins the daemon threads.
+    pub fn shutdown(mut self) {
+        self.ctx.request_shutdown();
+        self.join();
+    }
+
+    fn join(&mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.reconciler.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(ctx: Arc<RouterCtx>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if ctx.shutting_down() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_ctx = ctx.clone();
+        let _ = thread::Builder::new()
+            .name("router-conn".into())
+            .spawn(move || client_thread(conn_ctx, stream));
+    }
+}
+
+fn reconcile_loop(ctx: Arc<RouterCtx>) {
+    let interval = Duration::from_millis(ctx.cfg.reconcile_ms);
+    'outer: loop {
+        // Sleep in small slices so shutdown is honored promptly.
+        let mut remaining = interval;
+        while remaining > Duration::ZERO {
+            if ctx.shutting_down() {
+                break 'outer;
+            }
+            let slice = remaining.min(Duration::from_millis(50));
+            thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+        if ctx.shutting_down() {
+            break;
+        }
+        let _ = ctx.reconcile_once();
+    }
+}
+
+/// Where one record of a client frame goes.
+enum Slot {
+    /// Rejected by admission; the router answers `Throttled` itself.
+    Throttled,
+    /// Forwarded to this node's subframe.
+    Node(usize),
+}
+
+/// One queued response, drained in FIFO order.
+enum Pending {
+    /// A new upstream connection's read half. Always enqueued before any
+    /// pending that reads from it.
+    Register { node: usize, stream: TcpStream },
+    /// A locally produced response (admin, throttle, typed errors).
+    Local(Vec<u8>),
+    /// `count` consecutive JSON requests were forwarded to `node`;
+    /// relay their responses in order. A pipelined same-node run
+    /// coalesces into one pending.
+    Json { node: usize, count: u32 },
+    /// One client SITW-BIN v2 frame whose records all mapped to `node`
+    /// with nothing throttled locally: the node's reply (or typed
+    /// error) frame answers the client verbatim, no reassembly.
+    RawFrame { node: usize },
+    /// One client BIN frame, split across nodes.
+    Frame {
+        /// The client frame's protocol version (replies echo it).
+        version: u8,
+        /// Per-record destination, in request order.
+        slots: Vec<Slot>,
+        /// Nodes whose subframes were fully written, in send order.
+        sent: Vec<usize>,
+        /// An upstream write failed; answer `Unavailable` with this
+        /// detail after draining the nodes that did receive subframes.
+        failed: Option<String>,
+    },
+}
+
+/// Estimated client-facing bytes for one relayed JSON response, used
+/// only to bound the pending queue (below).
+const JSON_RESPONSE_ESTIMATE: usize = 256;
+
+/// Drain the pending queue once its estimated response bytes exceed
+/// this, even if the client is still streaming requests. Draining
+/// blocks on upstream reads, which is deadlock-free only while every
+/// undrained reply fits in the node→router socket buffers (~208 KiB
+/// each side on Linux): a node never needs the router to accept more
+/// requests in order to answer the ones it already read, so as long as
+/// its pending replies fit in kernel buffers, our buffered request
+/// writes can always make progress too.
+const QUEUED_RESPONSE_BYTES_CAP: usize = 128 * 1024;
+
+fn client_thread(ctx: Arc<RouterCtx>, stream: TcpStream) {
+    if stream.set_read_timeout(Some(ctx.cfg.read_timeout)).is_err() {
+        return;
+    }
+    // Writes are batched explicitly (flushed when the input drains), so
+    // Nagle only adds latency on the already-coalesced segments.
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let upstream = (0..ctx.nodes.len()).map(|_| None).collect();
+    let readers = (0..ctx.nodes.len()).map(|_| None).collect();
+    let mut buf = ConnBuf::new(stream);
+    buf.set_raw_request_frames(ctx.raw_v1, ctx.raw_v2);
+    let mut conn = ClientConn {
+        ctx,
+        conn: buf,
+        writer: write_half,
+        upstream,
+        readers,
+        pendings: VecDeque::new(),
+        queued_bytes: 0,
+        out_buf: Vec::new(),
+        json_run: None,
+    };
+    conn.run();
+}
+
+/// One client connection: parse, forward, drain — all on one thread.
+struct ClientConn {
+    ctx: Arc<RouterCtx>,
+    conn: ConnBuf,
+    /// The client socket's write half.
+    writer: TcpStream,
+    /// Upstream write halves, connected lazily per node. Buffered so a
+    /// pipelined burst of client messages coalesces into few upstream
+    /// segments; flushed whenever the client input drains.
+    upstream: Vec<Option<io::BufWriter<TcpStream>>>,
+    /// Upstream read halves, registered through the pending queue so a
+    /// reconnect never overtakes replies owed by the old connection.
+    readers: Vec<Option<NodeReader>>,
+    /// Responses owed to the client, in request order.
+    pendings: VecDeque<Pending>,
+    /// Estimated client-facing bytes of the queued responses; drained
+    /// at [`QUEUED_RESPONSE_BYTES_CAP`].
+    queued_bytes: usize,
+    /// Rendered-but-unwritten client bytes.
+    out_buf: Vec<u8>,
+    /// A not-yet-enqueued run of forwarded JSON requests, coalesced
+    /// while consecutive requests keep hitting the same node. Flushed
+    /// before any other pending is enqueued (the FIFO order is the
+    /// response order) and before draining.
+    json_run: Option<(usize, u32)>,
+}
+
+impl ClientConn {
+    fn run(&mut self) {
+        loop {
+            if self.ctx.shutting_down() {
+                break;
+            }
+            // About to block on the client socket: anything buffered for
+            // the nodes must go out first (or their replies — and thus
+            // the client's next request — never come), and everything
+            // owed to the client must be answered, or a request/reply
+            // lockstep client never sends the next burst.
+            if self.conn.buffered() == 0 && !self.settle() {
+                break;
+            }
+            let event = match self.conn.read_event() {
+                Ok(ev) => ev,
+                Err(_) => break,
+            };
+            match event {
+                EventOutcome::Timeout => {
+                    // A stalled mid-message client still gets the
+                    // responses it is owed, bounded by the read
+                    // timeout — it can't hold earlier replies hostage.
+                    if !self.settle() {
+                        break;
+                    }
+                    continue;
+                }
+                EventOutcome::Eof => break,
+                EventOutcome::Request(req) => {
+                    if !self.handle_request(&req) {
+                        break;
+                    }
+                }
+                EventOutcome::Frame { records, version } => {
+                    if !self.handle_frame(&records, version) {
+                        break;
+                    }
+                }
+                EventOutcome::RawFrame { count } => {
+                    if !self.handle_raw_frame(count) {
+                        break;
+                    }
+                }
+                EventOutcome::Ctrl(_) => {
+                    // The control plane flows router → node, never
+                    // client → router.
+                    if !self.send_error_frame(
+                        BinErrorCode::Malformed,
+                        "control frames terminate at nodes",
+                    ) {
+                        break;
+                    }
+                }
+                EventOutcome::FrameError {
+                    code,
+                    detail,
+                    recoverable,
+                } => {
+                    if !self.send_error_frame(code, &detail) || !recoverable {
+                        break;
+                    }
+                }
+                EventOutcome::BodyTooLarge { declared } => {
+                    let body = format!("{{\"error\":\"body of {declared} bytes too large\"}}");
+                    self.send_response(413, "application/json", body.as_bytes());
+                    break;
+                }
+            }
+            if self.queued_bytes >= QUEUED_RESPONSE_BYTES_CAP && !self.settle() {
+                break;
+            }
+        }
+        // Requests already forwarded still deserve their responses,
+        // even if the client half-closed mid-buffer.
+        let _ = self.settle();
+    }
+
+    /// Flushes buffered upstream requests, drains every owed response,
+    /// and answers the client. Returns false when the client write half
+    /// is beyond saving.
+    fn settle(&mut self) -> bool {
+        self.flush_json_run();
+        self.flush_upstream();
+        while let Some(pending) = self.pendings.pop_front() {
+            handle_pending(&self.ctx, pending, &mut self.readers, &mut self.out_buf);
+            if self.out_buf.len() >= 64 * 1024 && !self.flush_client() {
+                return false;
+            }
+        }
+        self.queued_bytes = 0;
+        self.flush_client()
+    }
+
+    fn flush_client(&mut self) -> bool {
+        if self.out_buf.is_empty() {
+            return true;
+        }
+        let ok = self.writer.write_all(&self.out_buf).is_ok();
+        self.out_buf.clear();
+        ok
+    }
+
+    fn send_local(&mut self, bytes: Vec<u8>) -> bool {
+        self.queued_bytes += bytes.len();
+        self.pendings.push_back(Pending::Local(bytes));
+        true
+    }
+
+    fn send_response(&mut self, status: u16, content_type: &str, body: &[u8]) -> bool {
+        self.flush_json_run();
+        let mut out = Vec::new();
+        write_response(&mut out, status, content_type, body);
+        self.send_local(out)
+    }
+
+    fn send_error_frame(&mut self, code: BinErrorCode, detail: &str) -> bool {
+        self.flush_json_run();
+        let mut out = Vec::new();
+        encode_error_frame(&mut out, code, detail);
+        self.send_local(out)
+    }
+
+    /// Records one forwarded JSON request for `node`, extending the
+    /// current same-node run or starting a new one.
+    fn queue_json(&mut self, node: usize) -> bool {
+        self.queued_bytes += JSON_RESPONSE_ESTIMATE;
+        match &mut self.json_run {
+            Some((n, count)) if *n == node => *count += 1,
+            _ => {
+                self.flush_json_run();
+                self.json_run = Some((node, 1));
+            }
+        }
+        true
+    }
+
+    /// Enqueues the coalesced JSON run (if any) behind earlier pendings.
+    fn flush_json_run(&mut self) {
+        if let Some((node, count)) = self.json_run.take() {
+            self.pendings.push_back(Pending::Json { node, count });
+        }
+    }
+
+    /// Flushes every buffered upstream writer. A flush failure drops the
+    /// writer and counts a node error; the reply thread turns the dead
+    /// connection into a typed `Unavailable` when it tries to read the
+    /// response.
+    fn flush_upstream(&mut self) {
+        for node in 0..self.upstream.len() {
+            if let Some(w) = self.upstream[node].as_mut() {
+                if w.flush().is_err() {
+                    self.ctx.metrics.node_error(node);
+                    self.upstream[node] = None;
+                }
+            }
+        }
+    }
+
+    /// Connects to `node` if this connection hasn't yet, queueing the
+    /// read half behind everything already owed.
+    fn ensure_node(&mut self, node: usize) -> io::Result<()> {
+        if self.upstream[node].is_some() {
+            return Ok(());
+        }
+        // A pending JSON run may still reference this node's *previous*
+        // connection (dropped on a flush failure); it must sit ahead of
+        // the `Register` that replaces that reader.
+        self.flush_json_run();
+        // Upstream reads stay blocking: a killed node surfaces as an
+        // immediate reset/EOF when the drain reads its reply.
+        let stream = TcpStream::connect_timeout(&self.ctx.nodes[node], CONNECT_TIMEOUT)?;
+        let _ = stream.set_nodelay(true);
+        let read_half = stream.try_clone()?;
+        self.pendings.push_back(Pending::Register {
+            node,
+            stream: read_half,
+        });
+        self.upstream[node] = Some(io::BufWriter::with_capacity(64 * 1024, stream));
+        Ok(())
+    }
+
+    /// Routes one HTTP request. Returns false to close the connection.
+    fn handle_request(&mut self, req: &sitw_serve::http::Request) -> bool {
+        let (path, query) = match req.path.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (req.path.as_str(), ""),
+        };
+        let ok = match (req.method.as_str(), path) {
+            ("POST", "/invoke") => self.forward_invoke(req),
+            ("GET", "/healthz") => {
+                let ring = self.ctx.ring.read().expect("ring poisoned");
+                let body = format!(
+                    "{{\"status\":\"ok\",\"role\":\"router\",\"nodes\":{},\"live\":{},\
+                     \"epoch\":{},\"tenants\":{}}}",
+                    ring.len(),
+                    ring.live_count(),
+                    ring.epoch(),
+                    self.ctx.cfg.tenants.len() + 1,
+                );
+                drop(ring);
+                self.send_response(200, "application/json", body.as_bytes())
+            }
+            ("GET", "/metrics") => {
+                let text = self.ctx.metrics.render(&self.ctx.node_names);
+                self.send_response(200, "text/plain; version=0.0.4", text.as_bytes())
+            }
+            ("GET", "/admin/ring") => {
+                let ring = self.ctx.ring.read().expect("ring poisoned");
+                let mut body = format!("{{\"epoch\":{},\"nodes\":[", ring.epoch());
+                for (i, name) in self.ctx.node_names.iter().enumerate() {
+                    if i > 0 {
+                        body.push(',');
+                    }
+                    body.push_str(&format!(
+                        "{{\"node\":{i},\"addr\":\"{name}\",\"live\":{}}}",
+                        ring.is_live(i)
+                    ));
+                }
+                body.push_str("],\"overrides\":[");
+                for (i, (tenant, node)) in ring.overrides().enumerate() {
+                    if i > 0 {
+                        body.push(',');
+                    }
+                    body.push_str(&format!("{{\"tenant\":\"{tenant}\",\"node\":{node}}}"));
+                }
+                body.push_str("]}");
+                drop(ring);
+                self.send_response(200, "application/json", body.as_bytes())
+            }
+            ("GET", "/admin/tenants") => {
+                // Same shape as a node's listing (id immediately before
+                // name), so `sitw-loadgen` resolves ids against the
+                // router transparently.
+                let mut body = String::from(
+                    "[{\"id\":0,\"name\":\"default\",\"policy\":\"-\",\"budget_mb\":0}",
+                );
+                for (i, t) in self.ctx.cfg.tenants.iter().enumerate() {
+                    body.push_str(&format!(
+                        ",{{\"id\":{},\"name\":\"{}\",\"policy\":\"{}\",\"budget_mb\":{},\
+                         \"qos\":\"{}\"}}",
+                        i + 1,
+                        t.name,
+                        t.policy.label(),
+                        t.budget_mb,
+                        t.qos
+                            .as_ref()
+                            .map(|q| q.label())
+                            .unwrap_or_else(|| "-".into()),
+                    ));
+                }
+                body.push(']');
+                self.send_response(200, "application/json", body.as_bytes())
+            }
+            ("POST", "/admin/ring/drop") => {
+                match query
+                    .strip_prefix("node=")
+                    .and_then(|v| v.parse::<usize>().ok())
+                {
+                    Some(node) if node < self.ctx.nodes.len() => {
+                        let (dropped, epoch, live) = {
+                            let mut ring = self.ctx.ring.write().expect("ring poisoned");
+                            let dropped = ring.drop_node(node);
+                            self.ctx.sync_ring_gauges(&ring);
+                            (dropped, ring.epoch(), ring.live_count())
+                        };
+                        let body =
+                            format!("{{\"dropped\":{dropped},\"epoch\":{epoch},\"live\":{live}}}");
+                        self.send_response(200, "application/json", body.as_bytes())
+                    }
+                    _ => self.send_response(
+                        400,
+                        "application/json",
+                        b"{\"error\":\"expected ?node=INDEX\"}",
+                    ),
+                }
+            }
+            ("POST", "/admin/migrate") => {
+                let mut tenant = None;
+                let mut to = None;
+                for pair in query.split('&') {
+                    if let Some(v) = pair.strip_prefix("tenant=") {
+                        tenant = Some(v);
+                    } else if let Some(v) = pair.strip_prefix("to=") {
+                        to = v.parse::<usize>().ok();
+                    }
+                }
+                match (tenant, to) {
+                    (Some(tenant), Some(to)) => match self.ctx.migrate(tenant, to) {
+                        Ok((from, to, epoch)) => {
+                            let body = format!(
+                                "{{\"tenant\":\"{tenant}\",\"from\":{from},\"to\":{to},\
+                                 \"epoch\":{epoch}}}"
+                            );
+                            self.send_response(200, "application/json", body.as_bytes())
+                        }
+                        Err((status, e)) => {
+                            let body = format!("{{\"error\":\"{}\"}}", wire::json_escape(&e));
+                            self.send_response(status, "application/json", body.as_bytes())
+                        }
+                    },
+                    _ => self.send_response(
+                        400,
+                        "application/json",
+                        b"{\"error\":\"expected ?tenant=NAME&to=INDEX\"}",
+                    ),
+                }
+            }
+            ("POST", "/admin/reconcile") => {
+                let (nodes, pushes) = self.ctx.reconcile_once();
+                let body = format!("{{\"nodes\":{nodes},\"pushes\":{pushes}}}");
+                self.send_response(200, "application/json", body.as_bytes())
+            }
+            ("POST", "/admin/shutdown") => {
+                let sent =
+                    self.send_response(200, "application/json", b"{\"status\":\"stopping\"}");
+                self.ctx.request_shutdown();
+                sent
+            }
+            (
+                _,
+                "/invoke" | "/healthz" | "/metrics" | "/admin/ring" | "/admin/ring/drop"
+                | "/admin/migrate" | "/admin/reconcile" | "/admin/tenants" | "/admin/shutdown",
+            ) => self.send_response(
+                405,
+                "application/json",
+                b"{\"error\":\"method not allowed\"}",
+            ),
+            _ => self.send_response(404, "application/json", b"{\"error\":\"not found\"}"),
+        };
+        ok && !req.close
+    }
+
+    /// Admission + placement + forward for one JSON `/invoke`.
+    fn forward_invoke(&mut self, req: &sitw_serve::http::Request) -> bool {
+        // One-node cluster without QoS admission: the routing decision
+        // is a constant, so the body needn't be parsed at all — the
+        // router degrades to a protocol-terminating relay and the node
+        // answers exactly what it would answer directly (including any
+        // 4xx for a body it rejects).
+        if self.ctx.solo_target {
+            let live = self.ctx.ring.read().expect("ring poisoned").is_live(0);
+            if !live {
+                return self.send_response(
+                    503,
+                    "application/json",
+                    b"{\"error\":\"no live nodes\"}",
+                );
+            }
+            self.ctx
+                .metrics
+                .json_requests
+                .fetch_add(1, Ordering::Relaxed);
+            return self.forward_invoke_to(0, req);
+        }
+        let inv = match wire::parse_invoke(&req.body) {
+            Ok(inv) => inv,
+            Err(e) => {
+                let body = format!("{{\"error\":\"{}\"}}", wire::json_escape(&e));
+                return self.send_response(400, "application/json", body.as_bytes());
+            }
+        };
+        self.ctx
+            .metrics
+            .json_requests
+            .fetch_add(1, Ordering::Relaxed);
+        if let Some(name) = inv.tenant.as_deref().filter(|_| self.ctx.has_qos) {
+            let admitted = self
+                .ctx
+                .admission
+                .lock()
+                .expect("admission poisoned")
+                .admit(name, inv.ts);
+            if !admitted {
+                self.ctx.metrics.throttled.fetch_add(1, Ordering::Relaxed);
+                let body = format!("{{\"error\":\"throttled\",\"tenant\":\"{name}\"}}");
+                return self.send_response(429, "application/json", body.as_bytes());
+            }
+        }
+        let node = {
+            let ring = self.ctx.ring.read().expect("ring poisoned");
+            match &inv.tenant {
+                Some(name) => ring.node_of_tenant(name),
+                None => ring.node_of_app(&inv.app),
+            }
+        };
+        let Some(node) = node else {
+            return self.send_response(503, "application/json", b"{\"error\":\"no live nodes\"}");
+        };
+        // Tenant names are the cluster-wide key, so the body forwards
+        // verbatim — no id rewrite on the JSON path.
+        self.forward_invoke_to(node, req)
+    }
+
+    /// Writes one `/invoke` forward for `node` into its buffered
+    /// upstream writer and queues the response relay.
+    fn forward_invoke_to(&mut self, node: usize, req: &sitw_serve::http::Request) -> bool {
+        let forwarded = self.ensure_node(node).and_then(|()| {
+            let Some(stream) = self.upstream[node].as_mut() else {
+                return Err(io::Error::other("upstream vanished"));
+            };
+            // Straight into the buffered writer — no intermediate
+            // allocation on the per-request path.
+            stream.write_all(b"POST /invoke HTTP/1.1\r\ncontent-length: ")?;
+            write!(stream, "{}", req.body.len())?;
+            stream.write_all(b"\r\n\r\n")?;
+            stream.write_all(&req.body)
+        });
+        match forwarded {
+            Ok(()) => self.queue_json(node),
+            Err(e) => {
+                self.ctx.metrics.node_error(node);
+                self.upstream[node] = None;
+                let body = format!(
+                    "{{\"error\":\"node {} down: {}\"}}",
+                    self.ctx.node_names[node],
+                    wire::json_escape(&e.to_string())
+                );
+                self.send_response(503, "application/json", body.as_bytes())
+            }
+        }
+    }
+
+    /// Admission + split + forward for one client SITW-BIN frame.
+    fn handle_frame(&mut self, records: &[BinInvoke], version: u8) -> bool {
+        self.flush_json_run();
+        self.ctx.metrics.bin_frames.fetch_add(1, Ordering::Relaxed);
+        self.ctx
+            .metrics
+            .bin_records
+            .fetch_add(records.len() as u64, Ordering::Relaxed);
+
+        let mut slots = Vec::with_capacity(records.len());
+        let mut batches: Vec<Vec<(u16, &str, u64)>> =
+            (0..self.ctx.nodes.len()).map(|_| Vec::new()).collect();
+        {
+            let ring = self.ctx.ring.read().expect("ring poisoned");
+            let node_ids = self.ctx.node_ids.read().expect("node_ids poisoned");
+            let mut admission = self
+                .ctx
+                .has_qos
+                .then(|| self.ctx.admission.lock().expect("admission poisoned"));
+            for rec in records {
+                let (name, node) = if rec.tenant == 0 {
+                    match ring.node_of_app(&rec.app) {
+                        Some(node) => (None, node),
+                        None => {
+                            drop((ring, node_ids, admission));
+                            return self
+                                .send_error_frame(BinErrorCode::Unavailable, "no live nodes");
+                        }
+                    }
+                } else {
+                    let Some(rt) = self.ctx.cfg.tenants.get(rec.tenant as usize - 1) else {
+                        drop((ring, node_ids, admission));
+                        return self.send_error_frame(
+                            BinErrorCode::Malformed,
+                            &format!("unknown tenant id {}", rec.tenant),
+                        );
+                    };
+                    let admitted = admission.as_mut().is_none_or(|a| a.admit(&rt.name, rec.ts));
+                    if !admitted {
+                        self.ctx.metrics.throttled.fetch_add(1, Ordering::Relaxed);
+                        slots.push(Slot::Throttled);
+                        continue;
+                    }
+                    match ring.node_of_tenant(&rt.name) {
+                        Some(node) => (Some(rt.name.as_str()), node),
+                        None => {
+                            drop((ring, node_ids, admission));
+                            return self
+                                .send_error_frame(BinErrorCode::Unavailable, "no live nodes");
+                        }
+                    }
+                };
+                let local_id = match name {
+                    None => 0,
+                    Some(name) => match node_ids[node].get(name) {
+                        Some(&id) => id,
+                        None => {
+                            drop((ring, node_ids, admission));
+                            return self.send_error_frame(
+                                BinErrorCode::Unavailable,
+                                &format!(
+                                    "tenant '{name}' not provisioned on node {}",
+                                    self.ctx.node_names[node]
+                                ),
+                            );
+                        }
+                    },
+                };
+                slots.push(Slot::Node(node));
+                batches[node].push((local_id, rec.app.as_str(), rec.ts));
+            }
+        }
+
+        // Pre-flight: connect every needed node before sending anything,
+        // so a dead node fails the frame without leaving half a batch in
+        // flight elsewhere.
+        let needed: Vec<usize> = (0..batches.len())
+            .filter(|&n| !batches[n].is_empty())
+            .collect();
+        for &node in &needed {
+            if let Err(e) = self.ensure_node(node) {
+                self.ctx.metrics.node_error(node);
+                return self.send_error_frame(
+                    BinErrorCode::Unavailable,
+                    &format!("node {} down: {e}", self.ctx.node_names[node]),
+                );
+            }
+        }
+        let mut sent = Vec::with_capacity(needed.len());
+        let mut failed = None;
+        for &node in &needed {
+            let mut frame = Vec::new();
+            encode_request_frame_v2(&mut frame, &batches[node]);
+            let result = match self.upstream[node].as_mut() {
+                Some(stream) => stream.write_all(&frame),
+                None => Err(io::Error::other("upstream vanished")),
+            };
+            match result {
+                Ok(()) => {
+                    self.ctx
+                        .metrics
+                        .forwarded_subframes
+                        .fetch_add(1, Ordering::Relaxed);
+                    sent.push(node);
+                }
+                Err(e) => {
+                    self.ctx.metrics.node_error(node);
+                    self.upstream[node] = None;
+                    failed = Some(format!("node {} down: {e}", self.ctx.node_names[node]));
+                    break;
+                }
+            }
+        }
+        // Fast path: a v2 frame that mapped whole onto one node with
+        // nothing throttled needs no reassembly — the node's reply (or
+        // typed error) frame IS the client's answer, byte for byte.
+        // (v1 clients stay on the slow path: the upstream always speaks
+        // v2, so their replies need re-encoding.)
+        self.queued_bytes += wire::BIN_HEADER_LEN + wire::REPLY_RECORD_LEN * slots.len();
+        if failed.is_none()
+            && version == wire::BIN_VERSION_2
+            && sent.len() == 1
+            && slots.len() == batches[sent[0]].len()
+        {
+            self.pendings.push_back(Pending::RawFrame { node: sent[0] });
+            return true;
+        }
+        self.pendings.push_back(Pending::Frame {
+            version,
+            slots,
+            sent,
+            failed,
+        });
+        true
+    }
+
+    /// Relays a captured request frame to node 0 byte-for-byte — the
+    /// solo-target fast path where routing is a constant and the
+    /// node-local tenant ids match the client's. The node's reply (or
+    /// typed error) frame is the client's answer verbatim, in either
+    /// protocol version: nodes echo the version they were sent.
+    fn handle_raw_frame(&mut self, count: u32) -> bool {
+        self.flush_json_run();
+        self.ctx.metrics.bin_frames.fetch_add(1, Ordering::Relaxed);
+        self.ctx
+            .metrics
+            .bin_records
+            .fetch_add(u64::from(count), Ordering::Relaxed);
+        if !self.ctx.ring.read().expect("ring poisoned").is_live(0) {
+            return self.send_error_frame(BinErrorCode::Unavailable, "no live nodes");
+        }
+        let result = self
+            .ensure_node(0)
+            .and_then(|()| match self.upstream[0].as_mut() {
+                Some(stream) => stream.write_all(self.conn.raw_frame()),
+                None => Err(io::Error::other("upstream vanished")),
+            });
+        match result {
+            Ok(()) => {
+                self.ctx
+                    .metrics
+                    .forwarded_subframes
+                    .fetch_add(1, Ordering::Relaxed);
+                self.queued_bytes += wire::BIN_HEADER_LEN + wire::REPLY_RECORD_LEN * count as usize;
+                self.pendings.push_back(Pending::RawFrame { node: 0 });
+                true
+            }
+            Err(e) => {
+                self.ctx.metrics.node_error(0);
+                self.upstream[0] = None;
+                self.send_error_frame(
+                    BinErrorCode::Unavailable,
+                    &format!("node {} down: {e}", self.ctx.node_names[0]),
+                )
+            }
+        }
+    }
+}
+
+/// One decoded node→router frame.
+enum UpstreamFrame {
+    Reply(Vec<BinReply>),
+    Error { code: BinErrorCode, detail: String },
+}
+
+/// Buffered reader over one upstream connection's read half.
+struct NodeReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl NodeReader {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            buf: Vec::new(),
+            start: 0,
+        }
+    }
+
+    /// Reads more bytes; EOF is an error (the router only reads while a
+    /// response is owed).
+    fn fill(&mut self) -> io::Result<()> {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "node closed the connection",
+            ));
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+
+    /// Reads one complete SITW-BIN reply or error frame.
+    fn read_server_frame(&mut self) -> io::Result<UpstreamFrame> {
+        loop {
+            match decode_server_frame(&self.buf[self.start..]) {
+                ServerFrameDecode::Reply { records, consumed } => {
+                    self.start += consumed;
+                    return Ok(UpstreamFrame::Reply(records));
+                }
+                ServerFrameDecode::Error {
+                    code,
+                    detail,
+                    consumed,
+                } => {
+                    self.start += consumed;
+                    return Ok(UpstreamFrame::Error { code, detail });
+                }
+                ServerFrameDecode::Control { .. } => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "unexpected control reply on the data path",
+                    ));
+                }
+                ServerFrameDecode::Incomplete => self.fill()?,
+                ServerFrameDecode::Malformed(detail) => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, detail));
+                }
+            }
+        }
+    }
+
+    /// Reads one complete HTTP response and returns its raw bytes
+    /// (status line through body), relayed to the client verbatim.
+    /// Frames one HTTP response and appends it to `out` verbatim. `out`
+    /// is untouched on error (the response is fully buffered first).
+    fn read_http_response_into(&mut self, out: &mut Vec<u8>) -> io::Result<()> {
+        loop {
+            let window = &self.buf[self.start..];
+            if let Some(header_end) = window.windows(4).position(|w| w == b"\r\n\r\n") {
+                let header = std::str::from_utf8(&window[..header_end])
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 header"))?;
+                let mut content_length = 0usize;
+                for line in header.split("\r\n").skip(1) {
+                    if let Some((name, value)) = line.split_once(':') {
+                        if name.eq_ignore_ascii_case("content-length") {
+                            content_length = value.trim().parse().map_err(|_| {
+                                io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                            })?;
+                        }
+                    }
+                }
+                let total = header_end + 4 + content_length;
+                while self.buf.len() - self.start < total {
+                    self.fill()?;
+                }
+                out.extend_from_slice(&self.buf[self.start..self.start + total]);
+                self.start += total;
+                return Ok(());
+            }
+            self.fill()?;
+        }
+    }
+
+    /// Frames one server BIN frame (reply or typed error) and appends it
+    /// to `out` verbatim — the `RawFrame` fast path's relay, no record
+    /// decode. `out` is untouched on error.
+    fn relay_reply_frame(&mut self, out: &mut Vec<u8>) -> io::Result<()> {
+        while self.buf.len() - self.start < wire::BIN_HEADER_LEN {
+            self.fill()?;
+        }
+        let h = &self.buf[self.start..];
+        if h[0] != wire::BIN_MAGIC || (h[2] != wire::FRAME_REPLY && h[2] != wire::FRAME_ERROR) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unexpected upstream frame",
+            ));
+        }
+        let payload_len = u32::from_le_bytes([h[3], h[4], h[5], h[6]]) as usize;
+        if payload_len > wire::MAX_FRAME_PAYLOAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "oversized upstream frame",
+            ));
+        }
+        let total = wire::BIN_HEADER_LEN + payload_len;
+        while self.buf.len() - self.start < total {
+            self.fill()?;
+        }
+        out.extend_from_slice(&self.buf[self.start..self.start + total]);
+        self.start += total;
+        Ok(())
+    }
+}
+
+/// Processes one pending response, appending client bytes to `out`.
+fn handle_pending(
+    ctx: &RouterCtx,
+    pending: Pending,
+    readers: &mut [Option<NodeReader>],
+    out_buf: &mut Vec<u8>,
+) {
+    match pending {
+        Pending::Register { node, stream } => {
+            readers[node] = Some(NodeReader::new(stream));
+        }
+        Pending::Local(bytes) => {
+            out_buf.extend_from_slice(&bytes);
+        }
+        Pending::Json { node, count } => {
+            // One pending covers a coalesced run; each response still
+            // answers its own request, so a mid-run failure turns the
+            // rest of the run into per-request 503s.
+            for _ in 0..count {
+                let result = match readers[node].as_mut() {
+                    Some(r) => r.read_http_response_into(out_buf),
+                    None => Err(io::Error::other("no upstream reader")),
+                };
+                if let Err(e) = result {
+                    ctx.metrics.node_error(node);
+                    readers[node] = None;
+                    let body = format!(
+                        "{{\"error\":\"node {} down: {}\"}}",
+                        ctx.node_names[node],
+                        wire::json_escape(&e.to_string())
+                    );
+                    write_response(out_buf, 503, "application/json", body.as_bytes());
+                }
+            }
+        }
+        Pending::RawFrame { node } => {
+            let result = match readers[node].as_mut() {
+                Some(r) => r.relay_reply_frame(out_buf),
+                None => Err(io::Error::other("no upstream reader")),
+            };
+            if let Err(e) = result {
+                ctx.metrics.node_error(node);
+                readers[node] = None;
+                encode_error_frame(
+                    out_buf,
+                    BinErrorCode::Unavailable,
+                    &format!("node {} down: {e}", ctx.node_names[node]),
+                );
+            }
+        }
+        Pending::Frame {
+            version,
+            slots,
+            sent,
+            failed,
+        } => {
+            let mut error: Option<(BinErrorCode, String)> =
+                failed.map(|d| (BinErrorCode::Unavailable, d));
+            let mut per_node: HashMap<usize, VecDeque<BinReply>> = HashMap::new();
+            // Drain one reply frame per node that received a
+            // subframe — even after an error, to keep surviving
+            // upstream connections in sync for later pendings.
+            for node in sent {
+                let result = match readers[node].as_mut() {
+                    Some(r) => r.read_server_frame(),
+                    None => Err(io::Error::other("no upstream reader")),
+                };
+                match result {
+                    Ok(UpstreamFrame::Reply(records)) => {
+                        per_node.insert(node, records.into());
+                    }
+                    Ok(UpstreamFrame::Error { code, detail }) => {
+                        // A node's own typed error covers the whole
+                        // client frame.
+                        if error.is_none() {
+                            error = Some((code, detail));
+                        }
+                    }
+                    Err(e) => {
+                        ctx.metrics.node_error(node);
+                        readers[node] = None;
+                        if error.is_none() {
+                            error = Some((
+                                BinErrorCode::Unavailable,
+                                format!("node {} down: {e}", ctx.node_names[node]),
+                            ));
+                        }
+                    }
+                }
+            }
+            if error.is_none() {
+                // Reassemble: per-node replies interleave back into
+                // request order, with local Throttled records
+                // spliced in.
+                let mut merged = Vec::with_capacity(slots.len());
+                for slot in &slots {
+                    match slot {
+                        Slot::Throttled => merged.push(BinReply::Throttled),
+                        Slot::Node(node) => {
+                            match per_node.get_mut(node).and_then(|q| q.pop_front()) {
+                                Some(rec) => merged.push(rec),
+                                None => {
+                                    error = Some((
+                                        BinErrorCode::Unavailable,
+                                        format!(
+                                            "node {} returned a short reply",
+                                            ctx.node_names[*node]
+                                        ),
+                                    ));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                if error.is_none() {
+                    encode_reply_records(out_buf, version, &merged);
+                }
+            }
+            if let Some((code, detail)) = error {
+                encode_error_frame(out_buf, code, &detail);
+            }
+        }
+    }
+}
+
+/// Minimal one-shot HTTP client for the control plane (provisioning,
+/// migration). Returns `(status, body)`.
+fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut msg = Vec::with_capacity(128 + body.len());
+    msg.extend_from_slice(method.as_bytes());
+    msg.push(b' ');
+    msg.extend_from_slice(path.as_bytes());
+    msg.extend_from_slice(b" HTTP/1.1\r\nconnection: close\r\ncontent-length: ");
+    msg.extend_from_slice(body.len().to_string().as_bytes());
+    msg.extend_from_slice(b"\r\n\r\n");
+    msg.extend_from_slice(body);
+    stream.write_all(&msg)?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "malformed response status line")
+        })?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Extracts the first `"id":N` field of a JSON body.
+fn parse_id_field(body: &str) -> Option<u16> {
+    let pos = body.find("\"id\":")?;
+    let digits: String = body[pos + 5..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Parses a node's `GET /admin/tenants` listing into name → wire id.
+fn parse_tenant_listing(body: &str) -> HashMap<String, u16> {
+    let mut ids = HashMap::new();
+    let mut rest = body;
+    while let Some(pos) = rest.find("\"id\":") {
+        rest = &rest[pos + 5..];
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        let Ok(id) = digits.parse::<u16>() else { break };
+        let Some(name_pos) = rest.find("\"name\":\"") else {
+            break;
+        };
+        let after = &rest[name_pos + 8..];
+        let Some(end) = after.find('"') else { break };
+        ids.insert(after[..end].to_owned(), id);
+        rest = &after[end..];
+    }
+    ids
+}
+
+/// Ensures every configured tenant exists on `addr` (registering missing
+/// ones with their policy and budget) and returns the node's tenant
+/// name → wire id map.
+fn provision_node(
+    addr: SocketAddr,
+    tenants: &[RouterTenant],
+) -> Result<HashMap<String, u16>, String> {
+    let (status, body) = http_request(addr, "GET", "/admin/tenants", b"")
+        .map_err(|e| format!("cannot list tenants: {e}"))?;
+    if status != 200 {
+        return Err(format!("tenant listing failed ({status}): {body}"));
+    }
+    let mut ids = parse_tenant_listing(&body);
+    for t in tenants {
+        if ids.contains_key(&t.name) {
+            continue;
+        }
+        let spec = t
+            .policy
+            .spec_str()
+            .ok_or_else(|| format!("tenant '{}': policy has no canonical spec string", t.name))?;
+        let arg = if t.budget_mb > 0 {
+            format!("{}={spec},budget={}", t.name, t.budget_mb)
+        } else {
+            format!("{}={spec}", t.name)
+        };
+        let (status, resp) = http_request(addr, "POST", "/admin/tenants", arg.as_bytes())
+            .map_err(|e| format!("cannot register tenant '{}': {e}", t.name))?;
+        if status != 200 {
+            return Err(format!(
+                "registering tenant '{}' failed ({status}): {resp}",
+                t.name
+            ));
+        }
+        let id = parse_id_field(&resp)
+            .ok_or_else(|| format!("malformed registration response: {resp}"))?;
+        ids.insert(t.name.clone(), id);
+    }
+    Ok(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_arg_grammar_with_qos_suffix() {
+        let t = RouterTenant::parse("t0=hybrid,budget=64,qos=bronze:rate=50:burst=100").unwrap();
+        assert_eq!(t.name, "t0");
+        assert_eq!(t.budget_mb, 64);
+        let qos = t.qos.unwrap();
+        assert_eq!(qos.label(), "bronze:rate=50:burst=100");
+        let plain = RouterTenant::parse("acme=fixed:10").unwrap();
+        assert!(plain.qos.is_none());
+        assert_eq!(plain.budget_mb, 0);
+        assert!(RouterTenant::parse("t0=hybrid,qos=platinum").is_err());
+        assert!(RouterTenant::parse("nope").is_err());
+    }
+
+    #[test]
+    fn tenant_listing_parser_handles_node_shape() {
+        let body = r#"[{"id":0,"name":"default","policy":"hybrid-4h[5,99]cv2","budget_mb":0},{"id":3,"name":"t1","policy":"fixed-10min","budget_mb":64}]"#;
+        let ids = parse_tenant_listing(body);
+        assert_eq!(ids.get("default"), Some(&0));
+        assert_eq!(ids.get("t1"), Some(&3));
+        assert_eq!(ids.len(), 2);
+        assert_eq!(parse_id_field(r#"{"id":17,"name":"x"}"#), Some(17));
+        assert_eq!(parse_id_field("{}"), None);
+    }
+}

@@ -1,0 +1,306 @@
+//! Cluster-mode integration tests: both protocols routed through an
+//! in-process `Router` over real `sitw-serve` nodes — placement
+//! determinism, batched-frame split/reassembly, typed QoS throttling,
+//! typed node-down errors with explicit ring-drop recovery, and budget
+//! reconciliation over control frames.
+
+mod common;
+
+use std::net::SocketAddr;
+
+use common::{http, start_node, BinClient, BinResponse, JsonClient};
+use sitw_cluster::{control_roundtrip, ClusterRing, Router, RouterConfig, RouterTenant};
+use sitw_serve::wire::{BinErrorCode, BinReply, ControlReply, ControlRequest};
+
+fn router_over(nodes: &[SocketAddr], tenants: &[&str]) -> Router {
+    Router::start(RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        nodes: nodes.iter().map(|a| a.to_string()).collect(),
+        tenants: tenants
+            .iter()
+            .map(|t| RouterTenant::parse(t).expect("tenant spec"))
+            .collect(),
+        reconcile_ms: 0, // Tests reconcile explicitly for determinism.
+        ..RouterConfig::default()
+    })
+    .expect("router starts")
+}
+
+#[test]
+fn routes_both_protocols_and_reassembles_batches() {
+    let nodes = [start_node(), start_node(), start_node()];
+    let addrs: Vec<SocketAddr> = nodes.iter().map(|n| n.addr()).collect();
+    let router = router_over(&addrs, &["t0=fixed:10", "t1=fixed:10", "t2=fixed:10"]);
+
+    // JSON: cold then warm per tenant — the second hit lands on the same
+    // node as the first, or it could not be warm.
+    let mut json = JsonClient::connect(router.addr());
+    for tenant in [Some("t0"), Some("t1"), Some("t2"), None] {
+        let (status, body) = json.invoke(tenant, "app-j", 0);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"verdict\":\"cold\""), "{body}");
+        let (status, body) = json.invoke(tenant, "app-j", 10_000);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"verdict\":\"warm\""), "{body}");
+    }
+
+    // BIN v2: one frame mixing every tenant and the default — the router
+    // splits it across nodes and reassembles replies in request order.
+    let mut bin = BinClient::connect(router.addr());
+    let batch: Vec<(u16, &str, u64)> = vec![
+        (1, "app-b", 20_000),
+        (2, "app-b", 20_000),
+        (0, "app-b", 20_000),
+        (3, "app-b", 20_000),
+        (1, "app-c", 20_000),
+    ];
+    let replies = bin.batch(&batch);
+    assert_eq!(replies.len(), batch.len());
+    for (i, r) in replies.iter().enumerate() {
+        match r {
+            BinReply::Verdict { cold, .. } => assert!(*cold, "record {i} must be cold: {r:?}"),
+            other => panic!("record {i}: {other:?}"),
+        }
+    }
+    // Same shape again within keep-alive: all warm — per-record routing
+    // is deterministic across frames.
+    let batch: Vec<(u16, &str, u64)> = batch.iter().map(|&(t, a, ts)| (t, a, ts + 1_000)).collect();
+    for (i, r) in bin.batch(&batch).iter().enumerate() {
+        match r {
+            BinReply::Verdict { cold, .. } => assert!(!*cold, "record {i} must be warm: {r:?}"),
+            other => panic!("record {i}: {other:?}"),
+        }
+    }
+
+    // BIN v1 still works through the router (default tenant traffic).
+    let mut v1 = BinClient::connect(router.addr());
+    let replies = v1.batch_v1(&[("app-v1", 30_000), ("app-b", 30_000)]);
+    assert_eq!(replies.len(), 2);
+    assert!(matches!(replies[1], BinReply::Verdict { cold: false, .. }));
+
+    // Observability surface.
+    let (status, body) = http(router.addr(), "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("\"role\":\"router\"") && body.contains("\"live\":3"),
+        "{body}"
+    );
+    let (status, ring) = http(router.addr(), "GET", "/admin/ring", "");
+    assert_eq!(status, 200);
+    assert!(ring.contains("\"epoch\":0"), "{ring}");
+    let (status, listing) = http(router.addr(), "GET", "/admin/tenants", "");
+    assert_eq!(status, 200);
+    assert!(
+        listing.contains("\"id\":1,\"name\":\"t0\"") && listing.contains("\"id\":0"),
+        "{listing}"
+    );
+    let (status, metrics) = http(router.addr(), "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for family in [
+        "sitw_router_requests_total{proto=\"json\"} 8",
+        "sitw_router_requests_total{proto=\"bin\"} 3",
+        "sitw_router_records_total 12",
+        "sitw_router_forwarded_subframes_total",
+        "sitw_router_nodes_live 3",
+        "sitw_router_ring_epoch 0",
+    ] {
+        assert!(
+            metrics.contains(family),
+            "missing `{family}` in:\n{metrics}"
+        );
+    }
+
+    router.shutdown();
+    for n in nodes {
+        n.shutdown().unwrap();
+    }
+}
+
+#[test]
+fn qos_throttling_is_typed_in_both_protocols() {
+    let node = start_node();
+    let router = router_over(
+        &[node.addr()],
+        &[
+            "bronze=fixed:10,qos=bronze:rate=1:burst=1",
+            "brassy=fixed:10,qos=bronze:rate=1:burst=1",
+        ],
+    );
+
+    // JSON: the bucket admits one per second; the second hit in the same
+    // second is a local 429 — the node never sees it.
+    let mut json = JsonClient::connect(router.addr());
+    let (status, _) = json.invoke(Some("bronze"), "a", 0);
+    assert_eq!(status, 200);
+    let (status, body) = json.invoke(Some("bronze"), "a", 100);
+    assert_eq!(status, 429, "{body}");
+    assert!(body.contains("throttled"), "{body}");
+    let (status, _) = json.invoke(Some("bronze"), "a", 2_000);
+    assert_eq!(status, 200, "bucket refills");
+
+    // BIN: the throttled record comes back as the typed verdict bit,
+    // spliced into the reply frame alongside served records.
+    let mut bin = BinClient::connect(router.addr());
+    let replies = bin.batch(&[(2, "b", 0), (2, "b", 100), (2, "b", 2_000)]);
+    assert!(matches!(replies[0], BinReply::Verdict { .. }));
+    assert!(
+        matches!(replies[1], BinReply::Throttled),
+        "{:?}",
+        replies[1]
+    );
+    assert!(matches!(replies[2], BinReply::Verdict { .. }));
+
+    let (_, metrics) = http(router.addr(), "GET", "/metrics", "");
+    assert!(
+        metrics.contains("sitw_router_throttled_total 2"),
+        "{metrics}"
+    );
+
+    router.shutdown();
+    node.shutdown().unwrap();
+}
+
+#[test]
+fn dead_node_yields_typed_errors_and_ring_drop_recovers() {
+    let nodes = [start_node(), start_node()];
+    let addrs: Vec<SocketAddr> = nodes.iter().map(|n| n.addr()).collect();
+    // Find tenant names hashing to each node so the kill is meaningful.
+    let ring = ClusterRing::new(2);
+    let mut on_node = [None::<String>, None::<String>];
+    for i in 0..32 {
+        let name = format!("t{i}");
+        let owner = ring.node_of_tenant(&name).unwrap();
+        if on_node[owner].is_none() {
+            on_node[owner] = Some(name);
+        }
+    }
+    let victim = on_node[1].clone().unwrap();
+    let survivor_tenant = on_node[0].clone().unwrap();
+    let specs: Vec<String> = on_node
+        .iter()
+        .map(|t| format!("{}=fixed:10", t.clone().unwrap()))
+        .collect();
+    let spec_refs: Vec<&str> = specs.iter().map(String::as_str).collect();
+    let router = router_over(&addrs, &spec_refs);
+    // Config order is on_node order, so the victim (on_node[1]) has
+    // wire id 2.
+    let victim_id = 2u16;
+
+    // Kill node 1 — connections to it now fail immediately.
+    let [node0, node1] = nodes;
+    node1.shutdown().unwrap();
+
+    // JSON to the dead node's tenant: typed 503 naming the node.
+    let mut json = JsonClient::connect(router.addr());
+    let (status, body) = json.invoke(Some(&victim), "a", 0);
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("node") && body.contains("down"), "{body}");
+    // The survivor's tenant still serves.
+    let (status, _) = json.invoke(Some(&survivor_tenant), "a", 0);
+    assert_eq!(status, 200);
+
+    // BIN to the dead node's tenant: typed Unavailable error frame.
+    let mut bin = BinClient::connect(router.addr());
+    match bin.batch_raw(&[(victim_id, "a", 100)]) {
+        BinResponse::Error { code, detail } => {
+            assert_eq!(code, BinErrorCode::Unavailable, "{detail}");
+            assert!(detail.contains("down"), "{detail}");
+        }
+        other => panic!("expected Unavailable, got {other:?}"),
+    }
+    // The same connection stays usable for live-node traffic after the
+    // typed error (the error is recoverable, not a connection teardown).
+    // Default-tenant traffic routes by app hash, so pick an app that
+    // lands on the survivor.
+    let alive_app = (0..32)
+        .map(|i| format!("app-{i}"))
+        .find(|a| ring.node_of_app(a) == Some(0))
+        .unwrap();
+    let replies = bin.batch(&[(0, alive_app.as_str(), 100)]);
+    assert_eq!(replies.len(), 1);
+
+    // Operator acknowledges the loss: epoch advances, tenants rehash
+    // over the survivors, and the victim tenant serves again (cold — its
+    // state died with the node).
+    let (status, body) = http(router.addr(), "POST", "/admin/ring/drop?node=1", "");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("\"dropped\":true") && body.contains("\"epoch\":1"),
+        "{body}"
+    );
+    let (status, body) = json.invoke(Some(&victim), "a", 200);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"verdict\":\"cold\""), "{body}");
+
+    let (_, metrics) = http(router.addr(), "GET", "/metrics", "");
+    assert!(metrics.contains("sitw_router_ring_epoch 1"), "{metrics}");
+    assert!(metrics.contains("sitw_router_nodes_live 1"), "{metrics}");
+    let err_line = metrics
+        .lines()
+        .find(|l| l.contains("sitw_router_node_errors_total") && l.contains(&addrs[1].to_string()))
+        .expect("per-node error series");
+    let count: u64 = err_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(count >= 2, "both protocols counted: {err_line}");
+
+    router.shutdown();
+    node0.shutdown().unwrap();
+}
+
+#[test]
+fn reconciler_pushes_budgets_to_ring_owners() {
+    let nodes = [start_node(), start_node()];
+    let addrs: Vec<SocketAddr> = nodes.iter().map(|n| n.addr()).collect();
+    let router = router_over(&addrs, &["metered=hybrid,budget=48", "free=hybrid"]);
+
+    let mut json = JsonClient::connect(router.addr());
+    for i in 0..5u64 {
+        let (status, _) = json.invoke(Some("metered"), &format!("app-{i}"), i * 1_000);
+        assert_eq!(status, 200);
+    }
+
+    let (nodes_ok, pushes) = router.reconcile_now();
+    assert_eq!(nodes_ok, 2, "both nodes report");
+    assert_eq!(pushes, 1, "one budgeted tenant, one owner share");
+
+    // The owner node's ledger carries the budget and the invocations.
+    let owner = ClusterRing::new(2).node_of_tenant("metered").unwrap();
+    let reply = control_roundtrip(addrs[owner], &ControlRequest::Report).unwrap();
+    let ControlReply::Report(tenants) = reply else {
+        panic!("expected a report, got {reply:?}");
+    };
+    let metered = tenants.iter().find(|t| t.name == "metered").unwrap();
+    assert_eq!(metered.budget_mb, 48);
+    assert_eq!(metered.invocations, 5);
+
+    // The aggregated view lands on the router's /metrics, and the admin
+    // endpoint drives the same cycle.
+    let (_, metrics) = http(router.addr(), "GET", "/metrics", "");
+    assert!(
+        metrics.contains("sitw_router_tenant_budget_mb{tenant=\"metered\"} 48"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("sitw_router_tenant_invocations_total{tenant=\"metered\"} 5"),
+        "{metrics}"
+    );
+    let (status, body) = http(router.addr(), "POST", "/admin/reconcile", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"nodes\":2"), "{body}");
+
+    router.shutdown();
+    for n in nodes {
+        n.shutdown().unwrap();
+    }
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_router() {
+    let node = start_node();
+    let router = router_over(&[node.addr()], &[]);
+    let (status, body) = http(router.addr(), "POST", "/admin/shutdown", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("stopping"), "{body}");
+    assert!(router.shutdown_requested());
+    router.wait();
+    node.shutdown().unwrap();
+}

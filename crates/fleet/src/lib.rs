@@ -21,6 +21,10 @@
 //! * [`evict`] — the small budgeted-eviction engine shared with
 //!   `sitw_platform`'s invoker `make_room` (evict in a caller-chosen
 //!   order until the budget fits).
+//! * [`qos`] — per-tenant QoS classes and deterministic admission rate
+//!   limits: token buckets that run on *trace time* (the invocation
+//!   timestamps), never the wall clock, so a router admitting online
+//!   and `ClusterSim` replaying offline throttle the identical set.
 //! * [`sim`] — [`sim::FleetSim`], the offline ground truth: replays a
 //!   merged multi-tenant event stream and produces the exact verdicts a
 //!   fleet-mode daemon serves (re-exported as
@@ -46,12 +50,14 @@
 pub mod evict;
 pub mod footprint;
 pub mod ledger;
+pub mod qos;
 pub mod registry;
 pub mod sim;
 
 pub use evict::evict_until;
 pub use footprint::footprint_mb;
 pub use ledger::{LedgerExport, LedgerStats, TenantLedger, WarmEntry};
+pub use qos::{Admission, QosClass, QosPolicy, RateLimit, TokenBucket};
 pub use registry::{TenantId, TenantRegistry, TenantSpec, DEFAULT_TENANT, DEFAULT_TENANT_NAME};
 pub use sim::{fleet_verdict_trace, FleetError, FleetEvent, FleetSim, FleetVerdict};
 

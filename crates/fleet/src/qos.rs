@@ -1,0 +1,305 @@
+//! Per-tenant QoS classes and deterministic admission rate limits.
+//!
+//! Memory budgets (the [`crate::ledger`]) bound how much a tenant may
+//! *hold*; QoS bounds how fast it may *invoke*. A [`QosPolicy`] names a
+//! service class and an optional [`RateLimit`]; admission is decided by
+//! a [`TokenBucket`] that runs on **trace time** — the invocation
+//! timestamps already flowing through every wire protocol — never the
+//! wall clock. That choice is what keeps the repo's online==offline
+//! discipline intact one level up: a router admitting a stream online
+//! and `ClusterSim` replaying the same stream offline consult byte-for-
+//! byte identical bucket states, so the throttled set is a pure function
+//! of the event stream.
+//!
+//! Buckets are integer-valued (milli-tokens), like every other piece of
+//! accounting in the fleet: no float drift, no platform variance.
+
+use std::collections::HashMap;
+
+/// A tenant's service class. Classes are ordered best-first; today they
+/// are a label carried in metrics and admission decisions (all classes
+/// admit until their rate limit says otherwise) — the scheduling hooks
+/// for class-aware queueing sit one PR further out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum QosClass {
+    /// Latency-sensitive, production traffic.
+    Gold,
+    /// Standard traffic (the default).
+    #[default]
+    Silver,
+    /// Batch / best-effort traffic.
+    Bronze,
+}
+
+impl QosClass {
+    /// Parses `gold` | `silver` | `bronze`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "gold" => Ok(QosClass::Gold),
+            "silver" => Ok(QosClass::Silver),
+            "bronze" => Ok(QosClass::Bronze),
+            other => Err(format!("unknown QoS class '{other}' (gold|silver|bronze)")),
+        }
+    }
+
+    /// The metrics/CLI label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QosClass::Gold => "gold",
+            QosClass::Silver => "silver",
+            QosClass::Bronze => "bronze",
+        }
+    }
+}
+
+/// An invocation rate limit: sustained `per_sec` with a `burst` bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimit {
+    /// Sustained invocations per second (trace time). Must be > 0.
+    pub per_sec: u32,
+    /// Bucket capacity in invocations; a quiet tenant may burst this
+    /// many back-to-back. Always ≥ 1.
+    pub burst: u32,
+}
+
+/// One tenant's QoS policy: a class plus an optional rate limit
+/// (`None` = unlimited admission).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QosPolicy {
+    /// Service class label.
+    pub class: QosClass,
+    /// Admission rate limit; `None` admits everything.
+    pub rate: Option<RateLimit>,
+}
+
+impl QosPolicy {
+    /// Parses the CLI grammar `CLASS[:rate=R[:burst=B]]`, e.g. `gold`,
+    /// `silver:rate=100`, `bronze:rate=50:burst=200`. `burst` defaults
+    /// to `rate` (a full second of credit).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut parts = s.split(':');
+        let class = QosClass::parse(parts.next().unwrap_or(""))?;
+        let mut rate: Option<u32> = None;
+        let mut burst: Option<u32> = None;
+        for part in parts {
+            if let Some(v) = part.strip_prefix("rate=") {
+                let r: u32 = v.parse().map_err(|_| format!("bad rate '{v}'"))?;
+                if r == 0 {
+                    return Err("rate must be > 0 (omit for unlimited)".into());
+                }
+                rate = Some(r);
+            } else if let Some(v) = part.strip_prefix("burst=") {
+                burst = Some(v.parse().map_err(|_| format!("bad burst '{v}'"))?);
+            } else {
+                return Err(format!(
+                    "unknown QoS option '{part}' (expected rate=R or burst=B)"
+                ));
+            }
+        }
+        if burst.is_some() && rate.is_none() {
+            return Err("burst without rate".into());
+        }
+        Ok(QosPolicy {
+            class,
+            rate: rate.map(|per_sec| RateLimit {
+                per_sec,
+                burst: burst.unwrap_or(per_sec).max(1),
+            }),
+        })
+    }
+
+    /// The canonical string form (`parse` round-trips it).
+    pub fn label(&self) -> String {
+        match self.rate {
+            None => self.class.label().to_owned(),
+            Some(r) => format!(
+                "{}:rate={}:burst={}",
+                self.class.label(),
+                r.per_sec,
+                r.burst
+            ),
+        }
+    }
+}
+
+/// A deterministic token bucket in trace time.
+///
+/// State is integer milli-tokens: capacity `burst * 1000`, refill
+/// `per_sec` milli-tokens per trace millisecond, one admission costs
+/// `1000`. Timestamps may arrive non-monotone (merged multi-app
+/// streams); a step backwards refills nothing but still charges, so the
+/// decision sequence is a pure function of the *arrival-ordered* event
+/// stream — the same contract [`crate::ledger::TenantLedger`] gives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenBucket {
+    limit: RateLimit,
+    level_milli: u64,
+    last_ms: u64,
+}
+
+impl TokenBucket {
+    /// A full bucket under `limit`.
+    pub fn new(limit: RateLimit) -> Self {
+        Self {
+            limit,
+            level_milli: limit.burst as u64 * 1000,
+            last_ms: 0,
+        }
+    }
+
+    /// Admits or throttles one invocation at trace time `ts_ms`.
+    pub fn admit(&mut self, ts_ms: u64) -> bool {
+        let dt = ts_ms.saturating_sub(self.last_ms);
+        self.last_ms = self.last_ms.max(ts_ms);
+        let cap = self.limit.burst as u64 * 1000;
+        self.level_milli = cap.min(
+            self.level_milli
+                .saturating_add(dt.saturating_mul(self.limit.per_sec as u64)),
+        );
+        if self.level_milli >= 1000 {
+            self.level_milli -= 1000;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The admission table: per-tenant QoS policies and live bucket state,
+/// keyed by tenant name (names survive restarts and id renumbering
+/// across nodes, the same reason tenant→shard routing hashes names).
+#[derive(Debug, Default)]
+pub struct Admission {
+    policies: HashMap<String, QosPolicy>,
+    buckets: HashMap<String, TokenBucket>,
+    throttled: HashMap<String, u64>,
+}
+
+impl Admission {
+    /// An empty table (admits everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or replaces) a tenant's policy; bucket state resets.
+    pub fn set_policy(&mut self, tenant: &str, policy: QosPolicy) {
+        match policy.rate {
+            Some(limit) => {
+                self.buckets
+                    .insert(tenant.to_owned(), TokenBucket::new(limit));
+            }
+            None => {
+                self.buckets.remove(tenant);
+            }
+        }
+        self.policies.insert(tenant.to_owned(), policy);
+    }
+
+    /// The tenant's policy, if configured.
+    pub fn policy(&self, tenant: &str) -> Option<&QosPolicy> {
+        self.policies.get(tenant)
+    }
+
+    /// Admits or throttles one invocation of `tenant` at trace time
+    /// `ts_ms`. Unconfigured tenants always admit.
+    pub fn admit(&mut self, tenant: &str, ts_ms: u64) -> bool {
+        match self.buckets.get_mut(tenant) {
+            None => true,
+            Some(bucket) => {
+                let ok = bucket.admit(ts_ms);
+                if !ok {
+                    *self.throttled.entry(tenant.to_owned()).or_insert(0) += 1;
+                }
+                ok
+            }
+        }
+    }
+
+    /// Throttle counts per tenant, sorted by name.
+    pub fn throttled(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .throttled
+            .iter()
+            .map(|(k, n)| (k.clone(), *n))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Configured policies, sorted by tenant name.
+    pub fn policies(&self) -> Vec<(String, QosPolicy)> {
+        let mut v: Vec<(String, QosPolicy)> =
+            self.policies.iter().map(|(k, p)| (k.clone(), *p)).collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qos_policy_grammar_round_trips() {
+        for s in [
+            "gold",
+            "silver:rate=100:burst=100",
+            "bronze:rate=5:burst=20",
+        ] {
+            let p = QosPolicy::parse(s).unwrap();
+            assert_eq!(p.label(), s);
+            assert_eq!(QosPolicy::parse(&p.label()).unwrap(), p);
+        }
+        // burst defaults to rate.
+        let p = QosPolicy::parse("silver:rate=7").unwrap();
+        assert_eq!(p.rate.unwrap().burst, 7);
+        assert!(QosPolicy::parse("platinum").is_err());
+        assert!(QosPolicy::parse("gold:rate=0").is_err());
+        assert!(QosPolicy::parse("gold:burst=5").is_err());
+        assert!(QosPolicy::parse("gold:nope=1").is_err());
+    }
+
+    #[test]
+    fn bucket_bursts_then_throttles_then_refills() {
+        let mut b = TokenBucket::new(RateLimit {
+            per_sec: 1,
+            burst: 2,
+        });
+        // Full bucket: two back-to-back admits, third throttles.
+        assert!(b.admit(0));
+        assert!(b.admit(0));
+        assert!(!b.admit(0));
+        // 1/s refill: at t=999 ms still short, at t=1000 one token back.
+        assert!(!b.admit(999));
+        assert!(b.admit(1_000));
+        assert!(!b.admit(1_000));
+    }
+
+    #[test]
+    fn bucket_is_deterministic_and_monotone_safe() {
+        let limit = RateLimit {
+            per_sec: 10,
+            burst: 5,
+        };
+        let ts = [0u64, 100, 50, 200, 200, 5_000, 5_001, 5_002];
+        let run = |ts: &[u64]| {
+            let mut b = TokenBucket::new(limit);
+            ts.iter().map(|&t| b.admit(t)).collect::<Vec<_>>()
+        };
+        // Same stream, same verdicts — including the backwards step.
+        assert_eq!(run(&ts), run(&ts));
+    }
+
+    #[test]
+    fn admission_table_counts_throttles_per_tenant() {
+        let mut a = Admission::new();
+        a.set_policy("t1", QosPolicy::parse("bronze:rate=1:burst=1").unwrap());
+        assert!(a.admit("t0", 0), "unconfigured tenants always admit");
+        assert!(a.admit("t1", 0));
+        assert!(!a.admit("t1", 0));
+        assert!(!a.admit("t1", 10));
+        assert_eq!(a.throttled(), vec![("t1".to_owned(), 2)]);
+        assert_eq!(a.policy("t1").unwrap().class, QosClass::Bronze);
+        assert!(a.policy("t0").is_none());
+    }
+}

@@ -107,6 +107,20 @@ impl TenantRegistry {
         self.tenants.get(id as usize)
     }
 
+    /// Replaces a tenant's budget (0 = unlimited); returns whether the
+    /// id exists. The registry copy is display/config truth — the live
+    /// ledger's budget is updated by its owning shard (see the serving
+    /// daemon's `SetBudget` message), keeping one writer per ledger.
+    pub fn set_budget(&mut self, id: TenantId, budget_mb: u64) -> bool {
+        match self.tenants.get_mut(id as usize) {
+            Some(t) => {
+                t.budget_mb = budget_mb;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Looks a tenant id up by name.
     pub fn resolve(&self, name: &str) -> Option<TenantId> {
         self.tenants.iter().find(|t| t.name == name).map(|t| t.id)

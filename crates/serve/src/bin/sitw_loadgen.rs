@@ -1,7 +1,8 @@
 //! The `sitw-loadgen` trace replayer.
 //!
 //! ```text
-//! sitw-loadgen --addr 127.0.0.1:7071 [--apps 500] [--seed 42]
+//! sitw-loadgen --addr 127.0.0.1:7071 | --cluster HOST:PORT[,HOST:PORT...]
+//!              [--apps 500] [--seed 42]
 //!              [--horizon-hours 24] [--cap-per-day 2000]
 //!              [--speedup N | --max-speed] [--connections 2]
 //!              [--window 64] [--max-events 0]
@@ -27,12 +28,13 @@
 use std::net::ToSocketAddrs;
 use std::process::exit;
 
-use sitw_serve::{run_loadgen, LoadGenConfig, Proto};
+use sitw_serve::{run_loadgen_cluster, LoadGenConfig, Proto};
 use sitw_trace::HOUR_MS;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sitw-loadgen --addr HOST:PORT [--apps N] [--seed N] \
+        "usage: sitw-loadgen --addr HOST:PORT | --cluster HOST:PORT[,HOST:PORT...] \
+         [--apps N] [--seed N] \
          [--horizon-hours H] [--cap-per-day N] [--speedup N | --max-speed] \
          [--connections N] [--window N] [--max-events N] \
          [--proto json|bin|bin:batch=N] [--tenants N[:zipf=S]] [--out FILE]"
@@ -54,6 +56,7 @@ fn main() {
         };
         match arg.as_str() {
             "--addr" => addr_arg = Some(value("--addr")),
+            "--cluster" => addr_arg = Some(value("--cluster")),
             "--apps" => cfg.apps = value("--apps").parse().unwrap_or_else(|_| usage()),
             "--seed" => cfg.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--horizon-hours" => {
@@ -104,13 +107,18 @@ fn main() {
         }
     }
     let Some(addr_str) = addr_arg else { usage() };
-    let addr = match addr_str.to_socket_addrs().map(|mut a| a.next()) {
-        Ok(Some(addr)) => addr,
-        _ => {
-            eprintln!("cannot resolve '{addr_str}'");
-            exit(1);
+    // `--cluster A,B,C` spreads connections round-robin over several
+    // targets; `--addr` is the single-target special case.
+    let mut addrs = Vec::new();
+    for part in addr_str.split(',') {
+        match part.to_socket_addrs().map(|mut a| a.next()) {
+            Ok(Some(addr)) => addrs.push(addr),
+            _ => {
+                eprintln!("cannot resolve '{part}'");
+                exit(1);
+            }
         }
-    };
+    }
 
     println!(
         "replaying {} apps over {}h (cap {}/day) at {} via {} connection(s), window {}, proto {}{}",
@@ -131,7 +139,7 @@ fn main() {
             String::new()
         }
     );
-    match run_loadgen(addr, &cfg) {
+    match run_loadgen_cluster(&addrs, &cfg) {
         Ok(report) => {
             println!("{}", report.summary());
             if let Some(path) = out_path {

@@ -54,7 +54,7 @@ use crate::server::{handle_control, parse_and_route};
 use crate::shard::BatchReply;
 use crate::shard::{BatchItem, Decision, InvokeError, InvokeReply, ShardMsg};
 use crate::telem::ReactorTelemHandle;
-use crate::wire::{self, push_u64, BinErrorCode, BinInvoke};
+use crate::wire::{self, push_u64, BinErrorCode, BinInvoke, ControlRequest};
 
 /// Stop reading a connection whose un-written output backlog exceeds
 /// this (a client that pipelines but never reads must not buffer
@@ -117,6 +117,12 @@ enum Slot {
     /// admin side effects and scrape visibility keep the blocking
     /// server's settle-then-serve semantics.
     Control(Request),
+    /// A SITW-BIN control frame (cluster budget reconciliation), also
+    /// executed at flush time for the same settle-then-serve reason: a
+    /// usage report answers only after every earlier decision charged
+    /// its ledger, and a budget push lands between frames, never inside
+    /// one.
+    Ctrl(ControlRequest),
     /// A fully rendered HTTP response (invoke parse errors, 413s).
     Http(Vec<u8>),
 }
@@ -126,7 +132,7 @@ impl Slot {
         match self {
             Slot::Json { done, .. } => done.is_some(),
             Slot::Frame { remaining, .. } => *remaining == 0,
-            Slot::BinError { .. } | Slot::Control(_) | Slot::Http(_) => true,
+            Slot::BinError { .. } | Slot::Control(_) | Slot::Ctrl(_) | Slot::Http(_) => true,
         }
     }
 }
@@ -423,6 +429,18 @@ impl Conn {
                     if let Flow::Close = self.submit_frame(version, io, &mut mark) {
                         return Flow::Close;
                     }
+                }
+                Ok(ReadEvent::RawFrame { .. }) => {
+                    // Raw passthrough is a proxy-only mode the server
+                    // never enables; if it ever surfaces, drop the
+                    // connection rather than answer bytes we didn't
+                    // decode.
+                    self.fatal = true;
+                    break;
+                }
+                Ok(ReadEvent::Ctrl(ctrl)) => {
+                    self.partial_since = None;
+                    self.pipeline.push(Slot::Ctrl(ctrl));
                 }
                 Ok(ReadEvent::FrameError {
                     code,
@@ -842,6 +860,14 @@ impl Conn {
                     // take a while; refresh the render mark after it so
                     // the next slot isn't charged for the control work.
                     handle_control(&req, io.ctx, &mut self.out);
+                    t0 = io.telem.now();
+                }
+                Slot::Ctrl(ctrl) => {
+                    if json_run > 0 {
+                        self.flush_render_run(io, t0, json_run);
+                        json_run = 0;
+                    }
+                    crate::server::handle_ctrl_frame(&ctrl, io.ctx, &mut self.out);
                     t0 = io.telem.now();
                 }
                 Slot::Http(bytes) => {

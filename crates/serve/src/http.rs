@@ -15,7 +15,7 @@
 use std::io::{self, Read};
 use std::net::TcpStream;
 
-use crate::wire::{self, BinErrorCode, BinInvoke, FrameDecodeInto};
+use crate::wire::{self, BinErrorCode, BinInvoke, ControlRequest, FrameDecodeInto};
 
 /// Maximum accepted header block (request line + headers).
 const MAX_HEADER_BYTES: usize = 16 * 1024;
@@ -75,6 +75,16 @@ pub enum EventOutcome {
         /// The frame's protocol version (replies must echo it).
         version: u8,
     },
+    /// A complete SITW-BIN request frame, surfaced verbatim instead of
+    /// decoded (see [`ConnBuf::set_raw_request_frames`]); the bytes are
+    /// in [`ConnBuf::raw_frame`]. Only the envelope was validated — the
+    /// payload is whatever the peer sent.
+    RawFrame {
+        /// The header's record count (unverified against the payload).
+        count: u32,
+    },
+    /// A complete SITW-BIN cluster control frame.
+    Ctrl(ControlRequest),
     /// A SITW-BIN protocol error. When `recoverable`, the offending
     /// frame has been skipped (its envelope was intact) and the
     /// connection stays usable; otherwise the caller must answer the
@@ -115,6 +125,15 @@ pub enum ReadEvent {
         /// The frame's protocol version (replies must echo it).
         version: u8,
     },
+    /// A complete SITW-BIN request frame was captured verbatim into
+    /// [`ConnBuf::raw_frame`] (see [`EventOutcome::RawFrame`]).
+    RawFrame {
+        /// The header's record count (unverified against the payload).
+        count: u32,
+    },
+    /// A complete SITW-BIN cluster control frame (never touches the
+    /// caller's record buffer).
+    Ctrl(ControlRequest),
     /// A SITW-BIN protocol error (see [`EventOutcome::FrameError`]).
     FrameError {
         /// The typed error to send back.
@@ -161,6 +180,12 @@ pub struct ConnBuf {
     /// Unread bytes of a malformed-but-delimited SITW-BIN frame still to
     /// discard before the next message boundary.
     skip_remaining: usize,
+    /// Request-frame versions surfaced verbatim instead of decoded
+    /// (index 0 = v1, 1 = v2); both off by default.
+    raw_req: [bool; 2],
+    /// The last verbatim frame (header + payload), valid after a
+    /// `RawFrame` event until the next read.
+    raw_frame: Vec<u8>,
 }
 
 impl ConnBuf {
@@ -173,7 +198,26 @@ impl ConnBuf {
             buf: Vec::new(),
             start: 0,
             skip_remaining: 0,
+            raw_req: [false; 2],
+            raw_frame: Vec::new(),
         }
+    }
+
+    /// Surfaces SITW-BIN *request* frames of the selected versions as
+    /// verbatim bytes (`RawFrame` events reading [`ConnBuf::raw_frame`])
+    /// instead of decoding their records — the relay fast path for a
+    /// proxy that forwards whole frames unchanged. Only the envelope is
+    /// validated; payload errors become whatever the next hop answers.
+    /// Control frames, unselected versions, and malformed envelopes
+    /// still take the decoded paths.
+    pub fn set_raw_request_frames(&mut self, v1: bool, v2: bool) {
+        self.raw_req = [v1, v2];
+    }
+
+    /// The bytes of the last [`EventOutcome::RawFrame`] /
+    /// [`ReadEvent::RawFrame`], header included.
+    pub fn raw_frame(&self) -> &[u8] {
+        &self.raw_frame
     }
 
     /// Bytes buffered but not yet consumed.
@@ -278,6 +322,8 @@ impl ConnBuf {
         Ok(match self.read_event_into(&mut req, &mut records)? {
             ReadEvent::Request => EventOutcome::Request(req),
             ReadEvent::Frame { version } => EventOutcome::Frame { records, version },
+            ReadEvent::RawFrame { count } => EventOutcome::RawFrame { count },
+            ReadEvent::Ctrl(ctrl) => EventOutcome::Ctrl(ctrl),
             ReadEvent::FrameError {
                 code,
                 detail,
@@ -337,11 +383,20 @@ impl ConnBuf {
     /// Parses the next SITW-BIN frame into `records`. The first
     /// unconsumed byte is already known to be [`wire::BIN_MAGIC`].
     fn read_frame_into(&mut self, records: &mut Vec<BinInvoke>) -> io::Result<ReadEvent> {
+        if self.raw_req != [false; 2] {
+            if let Some(ev) = self.try_raw_frame()? {
+                return Ok(ev);
+            }
+        }
         loop {
             match wire::decode_request_frame_into(&self.buf[self.start..], records) {
                 FrameDecodeInto::Request { version, consumed } => {
                     self.start += consumed;
                     return Ok(ReadEvent::Frame { version });
+                }
+                FrameDecodeInto::Control { req, consumed } => {
+                    self.start += consumed;
+                    return Ok(ReadEvent::Ctrl(req));
                 }
                 FrameDecodeInto::Error { code, detail, skip } => {
                     let recoverable = skip.is_some();
@@ -373,6 +428,57 @@ impl ConnBuf {
         }
     }
 
+    /// Captures the next frame verbatim into `raw_frame` when its
+    /// envelope says it is a request frame of a version selected via
+    /// [`ConnBuf::set_raw_request_frames`]. Returns `Ok(None)` when the
+    /// frame needs the decoded path instead (control frame, unselected
+    /// version, envelope error).
+    fn try_raw_frame(&mut self) -> io::Result<Option<ReadEvent>> {
+        while self.buffered() < wire::BIN_HEADER_LEN {
+            match self.fill() {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "eof mid-frame",
+                    ))
+                }
+                Ok(_) => {}
+                Err(e) if is_timeout(&e) => return Ok(Some(ReadEvent::Timeout)),
+                Err(e) => return Err(e),
+            }
+        }
+        let h = &self.buf[self.start..self.start + wire::BIN_HEADER_LEN];
+        let selected = match h[1] {
+            wire::BIN_VERSION => self.raw_req[0],
+            wire::BIN_VERSION_2 => self.raw_req[1],
+            _ => false,
+        };
+        let payload_len = u32::from_le_bytes([h[3], h[4], h[5], h[6]]) as usize;
+        let count = u32::from_le_bytes([h[7], h[8], h[9], h[10]]);
+        if !selected || h[2] != wire::FRAME_REQUEST || payload_len > wire::MAX_FRAME_PAYLOAD {
+            return Ok(None);
+        }
+        let total = wire::BIN_HEADER_LEN + payload_len;
+        while self.buffered() < total {
+            match self.fill() {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "eof mid-frame",
+                    ))
+                }
+                Ok(_) => {}
+                Err(e) if is_timeout(&e) => return Ok(Some(ReadEvent::Timeout)),
+                Err(e) => return Err(e),
+            }
+        }
+        self.raw_frame.clear();
+        self.raw_frame
+            .extend_from_slice(&self.buf[self.start..self.start + total]);
+        self.start += total;
+        Ok(Some(ReadEvent::RawFrame { count }))
+    }
+
     /// Parses the next pipelined HTTP request, reading from the socket
     /// as needed. A SITW-BIN frame on the connection is a protocol
     /// error through this entry point — servers use
@@ -383,7 +489,10 @@ impl ConnBuf {
             EventOutcome::Eof => Ok(ReadOutcome::Eof),
             EventOutcome::Timeout => Ok(ReadOutcome::Timeout),
             EventOutcome::BodyTooLarge { declared } => Ok(ReadOutcome::BodyTooLarge { declared }),
-            EventOutcome::Frame { .. } | EventOutcome::FrameError { .. } => Err(io::Error::new(
+            EventOutcome::Frame { .. }
+            | EventOutcome::RawFrame { .. }
+            | EventOutcome::Ctrl(_)
+            | EventOutcome::FrameError { .. } => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "unexpected binary frame on an http-only reader",
             )),
@@ -523,7 +632,9 @@ pub fn write_response(out: &mut Vec<u8>, status: u16, content_type: &str, body: 
         405 => "Method Not Allowed",
         409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Status",
     };
     out.extend_from_slice(b"HTTP/1.1 ");

@@ -107,7 +107,7 @@ pub mod snapshot;
 pub mod telem;
 pub mod wire;
 
-pub use loadgen::{run_loadgen, LoadGenConfig, LoadGenReport, Proto};
+pub use loadgen::{run_loadgen, run_loadgen_cluster, LoadGenConfig, LoadGenReport, Proto};
 pub use metrics::{
     ConnStats, MetricsReport, ProtoHists, ProtoStats, ReactorStats, ShardStats, TenantStats,
 };

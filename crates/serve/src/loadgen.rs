@@ -28,6 +28,7 @@
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use sitw_stats::percentile_sorted;
@@ -151,6 +152,10 @@ pub struct LoadGenReport {
     pub latency_hist: Log2Histogram,
     /// Eviction-downgraded cold verdicts among `ok` (budgeted tenants).
     pub evicted: u64,
+    /// Admission-control rejections (HTTP 429 / `VB_THROTTLED` reply
+    /// records from a router). Not counted in `ok` or `errors`: the
+    /// invocation was refused by QoS, not served and not failed.
+    pub throttled: u64,
     /// Per-tenant verdict mix, index k = tenant `tK` (empty when the
     /// replay is untenanted).
     pub per_tenant: Vec<TenantMix>,
@@ -168,6 +173,8 @@ pub struct TenantMix {
     pub cold: u64,
     /// Eviction-downgraded colds among `cold`.
     pub evicted: u64,
+    /// Admission-control rejections (429 / throttled reply records).
+    pub throttled: u64,
     /// Errors (non-200 / out-of-order / error frames).
     pub errors: u64,
 }
@@ -191,8 +198,8 @@ impl LoadGenReport {
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
         let mut out = format!(
-            "{} decisions in {:.2}s = {:.0}/s | cold {} ({:.1}%) warm {} evicted {} errors {} | \
-             latency µs p50 {:.0} p95 {:.0} p99 {:.0} max {:.0}",
+            "{} decisions in {:.2}s = {:.0}/s | cold {} ({:.1}%) warm {} evicted {} throttled {} \
+             errors {} | latency µs p50 {:.0} p95 {:.0} p99 {:.0} max {:.0}",
             self.ok,
             self.elapsed.as_secs_f64(),
             self.throughput,
@@ -200,6 +207,7 @@ impl LoadGenReport {
             100.0 * self.cold as f64 / (self.ok.max(1)) as f64,
             self.warm,
             self.evicted,
+            self.throttled,
             self.errors,
             self.latency_us.p50,
             self.latency_us.p95,
@@ -209,12 +217,14 @@ impl LoadGenReport {
         for (k, t) in self.per_tenant.iter().enumerate() {
             let _ = write!(
                 out,
-                "\n  t{k}: {} decisions = {:.0}/s | cold {} ({:.1}%) evicted {} errors {}",
+                "\n  t{k}: {} decisions = {:.0}/s | cold {} ({:.1}%) evicted {} throttled {} \
+                 errors {}",
                 t.ok,
                 t.ok as f64 / self.elapsed.as_secs_f64().max(1e-9),
                 t.cold,
                 100.0 * t.cold as f64 / (t.ok.max(1)) as f64,
                 t.evicted,
+                t.throttled,
                 t.errors,
             );
         }
@@ -246,7 +256,8 @@ impl LoadGenReport {
         let _ = write!(
             out,
             "{{\"proto\":\"{proto}\",\"sent\":{},\"ok\":{},\"cold\":{},\"warm\":{},\
-             \"evicted\":{},\"errors\":{},\"elapsed_s\":{:.6},\"throughput\":{:.2},\
+             \"evicted\":{},\"throttled\":{},\"errors\":{},\"elapsed_s\":{:.6},\
+             \"throughput\":{:.2},\
              \"cold_rate\":{:.6},\"latency_us\":{{\"p50\":{:.1},\"p95\":{:.1},\"p99\":{:.1},\
              \"max\":{:.1}}},\"max_live_conns\":{}",
             self.sent,
@@ -254,6 +265,7 @@ impl LoadGenReport {
             self.cold,
             self.warm,
             self.evicted,
+            self.throttled,
             self.errors,
             self.elapsed.as_secs_f64(),
             self.throughput,
@@ -290,8 +302,9 @@ impl LoadGenReport {
             }
             let _ = write!(
                 out,
-                "{{\"tenant\":\"t{k}\",\"ok\":{},\"cold\":{},\"evicted\":{},\"errors\":{}}}",
-                t.ok, t.cold, t.evicted, t.errors
+                "{{\"tenant\":\"t{k}\",\"ok\":{},\"cold\":{},\"evicted\":{},\"throttled\":{},\
+                 \"errors\":{}}}",
+                t.ok, t.cold, t.evicted, t.throttled, t.errors
             );
         }
         out.push_str("]}");
@@ -385,31 +398,56 @@ fn build_schedules(cfg: &LoadGenConfig) -> Vec<Vec<Event>> {
 
 /// Replays the configured workload against `addr` and reports.
 pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenReport> {
+    run_loadgen_cluster(&[addr], cfg)
+}
+
+/// Replays the configured workload across `targets` — connections are
+/// assigned round-robin, so `--cluster A,B,C` spreads a replay over
+/// several nodes (or routers) at once.
+///
+/// **Fail-fast:** the first connection error flips a shared abort flag;
+/// every other connection stops within one pacing tick instead of
+/// replaying its whole schedule against a dead peer, and the returned
+/// error carries a per-node summary of which targets failed and why.
+pub fn run_loadgen_cluster(
+    targets: &[SocketAddr],
+    cfg: &LoadGenConfig,
+) -> io::Result<LoadGenReport> {
+    if targets.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "no targets"));
+    }
     let schedules = build_schedules(cfg);
     let max_live_conns = schedules.iter().filter(|s| !s.is_empty()).count() as u64;
+    let node_of = |conn: usize| targets[conn % targets.len()];
     // Open every connection up front: `--connections N` is the
     // high-fan-in drive mode, so all N sockets must be concurrently
     // live before the replay starts (lazy per-thread connects let fast
     // connections finish before slow ones even open, understating the
     // server's true fan-in).
     let mut streams: Vec<Option<TcpStream>> = Vec::with_capacity(schedules.len());
-    for schedule in &schedules {
+    for (conn, schedule) in schedules.iter().enumerate() {
         streams.push(if schedule.is_empty() {
             None
         } else {
-            let stream = TcpStream::connect(addr)?;
-            stream.set_nodelay(true)?;
+            let node = node_of(conn);
+            let annotate = |e: io::Error| io::Error::new(e.kind(), format!("node {node}: {e}"));
+            let stream = TcpStream::connect(node).map_err(annotate)?;
+            stream.set_nodelay(true).map_err(annotate)?;
             Some(stream)
         });
     }
     // BIN v2 records carry registry-assigned tenant ids, which are only
     // 1..=N when t0..tN-1 were the first tenants registered — resolve
     // the real ids up front so other registration orders route
-    // correctly. (JSON carries names and needs no mapping.)
-    let tenant_ids: Vec<u16> = if cfg.tenants > 0 && matches!(cfg.proto, Proto::Bin { .. }) {
-        resolve_tenant_ids(addr, cfg.tenants)?
+    // correctly, per target (each node assigns its own ids). (JSON
+    // carries names and needs no mapping.)
+    let tenant_ids: Vec<Vec<u16>> = if cfg.tenants > 0 && matches!(cfg.proto, Proto::Bin { .. }) {
+        targets
+            .iter()
+            .map(|&t| resolve_tenant_ids(t, cfg.tenants))
+            .collect::<io::Result<_>>()?
     } else {
-        Vec::new()
+        vec![Vec::new(); targets.len()]
     };
     let tenant_ids = &tenant_ids;
     let start_ts = schedules
@@ -422,48 +460,86 @@ pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenR
     // output (throughput, RTT percentiles) is wall-clock measurement.
     // sitw-lint: allow(clock-discipline)
     let started = Instant::now();
+    let abort = AtomicBool::new(false);
+    let abort = &abort;
     let mut results: Vec<ConnResult> = Vec::new();
-    std::thread::scope(|scope| -> io::Result<()> {
+    // Per-node failure tally: addr → (failed connections, first error).
+    let mut failures: std::collections::BTreeMap<String, (u64, String)> =
+        std::collections::BTreeMap::new();
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for (schedule, stream) in schedules.iter().zip(streams) {
+        for (conn, (schedule, stream)) in schedules.iter().zip(streams).enumerate() {
             let Some(stream) = stream else { continue };
-            handles.push(scope.spawn(move || match cfg.proto {
-                Proto::Json => drive_connection(
-                    stream,
-                    schedule,
-                    start_ts,
-                    cfg.speedup,
-                    cfg.window,
-                    cfg.tenants,
-                    started,
-                ),
-                Proto::Bin { batch } => drive_connection_bin(
-                    stream,
-                    schedule,
-                    start_ts,
-                    cfg.speedup,
-                    cfg.window,
-                    batch,
-                    cfg.tenants,
-                    tenant_ids,
-                    started,
-                ),
-            }));
+            let node = node_of(conn);
+            let node_ids = &tenant_ids[conn % targets.len()];
+            handles.push((
+                node,
+                scope.spawn(move || {
+                    let result = match cfg.proto {
+                        Proto::Json => drive_connection(
+                            stream,
+                            schedule,
+                            start_ts,
+                            cfg.speedup,
+                            cfg.window,
+                            cfg.tenants,
+                            started,
+                            abort,
+                        ),
+                        Proto::Bin { batch } => drive_connection_bin(
+                            stream,
+                            schedule,
+                            start_ts,
+                            cfg.speedup,
+                            cfg.window,
+                            batch,
+                            cfg.tenants,
+                            node_ids,
+                            started,
+                            abort,
+                        ),
+                    };
+                    if result.is_err() {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    result
+                }),
+            ));
         }
-        for handle in handles {
-            let result = handle
-                .join()
-                .map_err(|_| io::Error::other("loadgen worker panicked"))??;
-            results.push(result);
+        for (node, handle) in handles {
+            let failed = |msg: String, failures: &mut std::collections::BTreeMap<_, (u64, _)>| {
+                let entry = failures
+                    .entry(node.to_string())
+                    .or_insert_with(|| (0, msg.clone()));
+                entry.0 += 1;
+            };
+            match handle.join() {
+                Ok(Ok(result)) => results.push(result),
+                // An abort-interrupted connection is a follower, not a
+                // cause: only genuine I/O failures name their node.
+                Ok(Err(e)) if e.kind() == io::ErrorKind::Interrupted => {}
+                Ok(Err(e)) => failed(e.to_string(), &mut failures),
+                Err(_) => failed("loadgen worker panicked".into(), &mut failures),
+            }
         }
-        Ok(())
-    })?;
+    });
+    if !failures.is_empty() {
+        let detail: Vec<String> = failures
+            .iter()
+            .map(|(node, (n, e))| format!("{node}: {n} connection(s) failed ({e})"))
+            .collect();
+        return Err(io::Error::other(format!(
+            "replay aborted; per-node errors: {}",
+            detail.join("; ")
+        )));
+    }
     let elapsed = started.elapsed();
 
     let mut sent = 0u64;
     let mut ok = 0u64;
     let mut cold = 0u64;
     let mut evicted = 0u64;
+    let mut throttled = 0u64;
     let mut errors = 0u64;
     let mut per_tenant: Vec<TenantMix> = vec![TenantMix::default(); cfg.tenants];
     let mut latencies: Vec<f64> = Vec::new();
@@ -473,11 +549,13 @@ pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenR
         ok += r.ok;
         cold += r.cold;
         evicted += r.evicted;
+        throttled += r.throttled;
         errors += r.errors;
         for (agg, t) in per_tenant.iter_mut().zip(&r.per_tenant) {
             agg.ok += t.ok;
             agg.cold += t.cold;
             agg.evicted += t.evicted;
+            agg.throttled += t.throttled;
             agg.errors += t.errors;
         }
         latencies.append(&mut r.latencies_us);
@@ -507,6 +585,7 @@ pub fn run_loadgen(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenR
         },
         latency_hist,
         evicted,
+        throttled,
         per_tenant,
         max_live_conns,
     })
@@ -517,6 +596,7 @@ struct ConnResult {
     ok: u64,
     cold: u64,
     evicted: u64,
+    throttled: u64,
     errors: u64,
     /// Index k = tenant `tK` (wire id k + 1); empty when untenanted.
     per_tenant: Vec<TenantMix>,
@@ -531,6 +611,7 @@ impl ConnResult {
             ok: 0,
             cold: 0,
             evicted: 0,
+            throttled: 0,
             errors: 0,
             per_tenant: vec![TenantMix::default(); tenants],
             latencies_us: Vec::with_capacity(capacity),
@@ -559,6 +640,15 @@ impl ConnResult {
         }
     }
 
+    fn record_throttled(&mut self, tenant: u16) {
+        self.throttled += 1;
+        if tenant > 0 {
+            if let Some(t) = self.per_tenant.get_mut(tenant as usize - 1) {
+                t.throttled += 1;
+            }
+        }
+    }
+
     fn record_error(&mut self, tenant: u16) {
         self.errors += 1;
         if tenant > 0 {
@@ -569,8 +659,18 @@ impl ConnResult {
     }
 }
 
+/// Error used by a connection that stops because *another* connection
+/// failed — distinguished from genuine failures in the per-node summary.
+fn abort_error() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::Interrupted,
+        "replay aborted: another connection failed",
+    )
+}
+
 /// Sends one connection's schedule with pipelining; parses responses in
 /// order (HTTP/1.1 guarantees response ordering per connection).
+#[allow(clippy::too_many_arguments)]
 fn drive_connection(
     mut stream: TcpStream,
     schedule: &[Event],
@@ -579,6 +679,7 @@ fn drive_connection(
     window: usize,
     tenants: usize,
     started: Instant,
+    abort: &AtomicBool,
 ) -> io::Result<ConnResult> {
     let mut reader = ResponseReader::new(stream.try_clone()?);
 
@@ -600,6 +701,8 @@ fn drive_connection(
         result.latency_ns.record(rtt_ns);
         if response.status == 200 {
             result.record_verdict(tenant, response.cold, response.evicted);
+        } else if response.status == 429 {
+            result.record_throttled(tenant);
         } else {
             result.record_error(tenant);
         }
@@ -607,12 +710,18 @@ fn drive_connection(
     };
 
     for event in schedule {
+        if abort.load(Ordering::Relaxed) {
+            return Err(abort_error());
+        }
         if paced {
             let target = Duration::from_secs_f64((event.ts - start_ts) as f64 / 1_000.0 / speedup);
             loop {
                 let now = started.elapsed();
                 if now >= target {
                     break;
+                }
+                if abort.load(Ordering::Relaxed) {
+                    return Err(abort_error());
                 }
                 // Flush and settle outstanding responses before
                 // sleeping: idle trace gaps are when responses drain, so
@@ -665,6 +774,7 @@ fn drive_connection_bin(
     tenants: usize,
     tenant_ids: &[u16],
     started: Instant,
+    abort: &AtomicBool,
 ) -> io::Result<ConnResult> {
     let mut reader = ResponseReader::new(stream.try_clone()?);
 
@@ -741,6 +851,7 @@ fn drive_connection_bin(
                         BinReply::Verdict { cold, evicted, .. } => {
                             result.record_verdict(tenant, cold, evicted);
                         }
+                        BinReply::Throttled => result.record_throttled(tenant),
                         BinReply::OutOfOrder { .. } => result.record_error(tenant),
                     }
                 }
@@ -757,12 +868,18 @@ fn drive_connection_bin(
     };
 
     for event in schedule {
+        if abort.load(Ordering::Relaxed) {
+            return Err(abort_error());
+        }
         if paced {
             let target = Duration::from_secs_f64((event.ts - start_ts) as f64 / 1_000.0 / speedup);
             loop {
                 let now = started.elapsed();
                 if now >= target {
                     break;
+                }
+                if abort.load(Ordering::Relaxed) {
+                    return Err(abort_error());
                 }
                 // Idle trace gaps: ship the partial frame and settle all
                 // replies, so measured latency is the server's.
@@ -976,6 +1093,14 @@ impl ResponseReader {
                     self.start += consumed;
                     return Ok(None);
                 }
+                // The generator never sends control frames, so a
+                // control reply here means a confused peer.
+                ServerFrameDecode::Control { .. } => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "unexpected control reply",
+                    ));
+                }
                 ServerFrameDecode::Incomplete => {
                     self.fill()?;
                 }
@@ -1100,6 +1225,33 @@ mod tests {
             sizes.iter().all(|&n| n < mean * 4),
             "no hot connection: {sizes:?}"
         );
+    }
+
+    #[test]
+    fn cluster_replay_fails_fast_with_per_node_summary() {
+        // A peer that accepts and immediately drops every connection:
+        // the moral equivalent of a node killed mid-replay. Before the
+        // fail-fast fix this surfaced as a bare io::Error with no node
+        // attribution (and siblings replayed their whole schedules
+        // against the dead peer before the error was even reported).
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming().take(4) {
+                drop(stream);
+            }
+        });
+        let cfg = LoadGenConfig {
+            apps: 50,
+            connections: 4,
+            max_events: 2_000,
+            ..LoadGenConfig::default()
+        };
+        let err = run_loadgen_cluster(&[addr], &cfg).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("per-node errors"), "{msg}");
+        assert!(msg.contains(&addr.to_string()), "{msg}");
+        accept.join().unwrap();
     }
 
     #[test]

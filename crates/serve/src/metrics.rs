@@ -131,6 +131,11 @@ pub const REGISTRY: &[SeriesDecl] = &[
         help: "Typed SITW-BIN protocol errors answered",
     },
     SeriesDecl {
+        name: "sitw_serve_control_frames_total",
+        kind: "counter",
+        help: "SITW-BIN control frames served (reports and budget pushes)",
+    },
+    SeriesDecl {
         name: "sitw_serve_connections_live",
         kind: "gauge",
         help: "Connections currently open",
@@ -349,6 +354,9 @@ pub struct ProtoStats {
     /// Typed SITW-BIN protocol errors answered (malformed frames,
     /// oversized batches, bad versions).
     pub proto_errors: u64,
+    /// SITW-BIN control frames served (usage reports and budget pushes
+    /// from a cluster router's reconciler).
+    pub control_frames: u64,
 }
 
 /// Connection-level gauges (server-wide; maintained by the acceptor and
@@ -542,13 +550,14 @@ impl MetricsReport {
                 let _ = writeln!(out, "{name}{{tenant=\"{}\"}} {}", t.name, get(t));
             }
         }
-        let proto: [(&str, u64); 3] = [
+        let proto: [(&str, u64); 4] = [
             ("sitw_serve_frames_total", self.proto.frames),
             (
                 "sitw_serve_batched_decisions_total",
                 self.proto.batched_decisions,
             ),
             ("sitw_serve_proto_errors_total", self.proto.proto_errors),
+            ("sitw_serve_control_frames_total", self.proto.control_frames),
         ];
         let conns: [(&str, u64); 4] = [
             ("sitw_serve_connections_live", self.conns.live),
@@ -740,6 +749,7 @@ mod tests {
                 frames: 13,
                 batched_decisions: 1664,
                 proto_errors: 2,
+                control_frames: 5,
             },
             conns: ConnStats {
                 live: 3,
@@ -759,6 +769,7 @@ mod tests {
         assert!(text.contains("sitw_serve_frames_total 13"));
         assert!(text.contains("sitw_serve_batched_decisions_total 1664"));
         assert!(text.contains("sitw_serve_proto_errors_total 2"));
+        assert!(text.contains("sitw_serve_control_frames_total 5"));
         assert!(text.contains("# TYPE sitw_serve_connections_live gauge"));
         assert!(text.contains("sitw_serve_connections_live 3"));
         assert!(text.contains("# TYPE sitw_serve_connections_accepted_total counter"));

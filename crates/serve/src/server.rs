@@ -33,7 +33,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sitw_core::HybridConfig;
-use sitw_fleet::{LedgerExport, TenantId, TenantRegistry, TenantSpec, DEFAULT_TENANT};
+use sitw_fleet::{
+    LedgerExport, TenantId, TenantRegistry, TenantSpec, DEFAULT_TENANT, DEFAULT_TENANT_NAME,
+};
 use sitw_reactor::Waker;
 use sitw_sim::PolicySpec;
 
@@ -43,9 +45,11 @@ use crate::http::{write_response, Request};
 use crate::metrics::{ConnStats, MetricsReport, ProtoStats, ReactorStats, ShardStats};
 use crate::reactor::{reactor_loop, ReactorMsg, ReactorRef};
 use crate::shard::{shard_of, ShardMsg, ShardWorker, TenantRestore};
-use crate::snapshot::{AppRecord, ShardExport, Snapshot, TenantSnapshot};
+use crate::snapshot::{
+    decode_tenant_section, encode_tenant_section, AppRecord, ShardExport, Snapshot, TenantSnapshot,
+};
 use crate::telem::{merge_spans, ShardTelem, TelemClock, TelemCtx, TRACE_RING};
-use crate::wire::{self, push_u64};
+use crate::wire::{self, push_u64, ControlReply, ControlRequest, TenantUsage};
 
 /// One tenant in the server configuration (CLI `--tenant`, a tenants
 /// file, or programmatic [`ServeConfig::tenants`]).
@@ -135,6 +139,8 @@ pub(crate) struct ServerCtx {
     pub(crate) batched_decisions: AtomicU64,
     /// Typed SITW-BIN protocol errors answered.
     pub(crate) proto_errors: AtomicU64,
+    /// SITW-BIN control frames served (reports + budget pushes).
+    pub(crate) ctrl_frames: AtomicU64,
     /// Connections accepted since start.
     pub(crate) conns_accepted: AtomicU64,
     /// Connections currently registered with a reactor (or in flight to
@@ -195,6 +201,7 @@ impl ServerCtx {
                 frames: self.frames.load(Ordering::Relaxed),
                 batched_decisions: self.batched_decisions.load(Ordering::Relaxed),
                 proto_errors: self.proto_errors.load(Ordering::Relaxed),
+                control_frames: self.ctrl_frames.load(Ordering::Relaxed),
             },
             conns: ConnStats {
                 live: self.conns_live.load(Ordering::Relaxed),
@@ -245,6 +252,194 @@ impl ServerCtx {
             .map_err(|_| "shard unavailable (shutting down)".to_owned())?;
         *registry = staged;
         Ok(spec)
+    }
+
+    /// Scrapes the shards and folds per-tenant usage by **name** — the
+    /// cluster-stable key (ids are per-node registration order and
+    /// diverge after migrations). Default-tenant slices sum across
+    /// shards; named tenants live whole on one shard.
+    fn tenant_usage(&self) -> Vec<TenantUsage> {
+        let mut by_name: std::collections::BTreeMap<String, TenantUsage> =
+            std::collections::BTreeMap::new();
+        for tx in &self.shard_txs {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            if tx.send(ShardMsg::Scrape(reply_tx)).is_ok() {
+                if let Ok(stats) = reply_rx.recv() {
+                    for t in stats.tenants {
+                        let entry = by_name.entry(t.name.clone()).or_insert(TenantUsage {
+                            name: t.name,
+                            budget_mb: 0,
+                            warm_mb: 0,
+                            evictions: 0,
+                            idle_mb_ms: 0,
+                            invocations: 0,
+                        });
+                        entry.budget_mb = entry.budget_mb.max(t.budget_mb);
+                        entry.warm_mb += t.warm_mb;
+                        entry.evictions += t.evictions;
+                        entry.idle_mb_ms += t.idle_mb_ms;
+                        entry.invocations += t.invocations;
+                    }
+                }
+            }
+        }
+        by_name.into_values().collect()
+    }
+
+    /// Applies a budget push: each named tenant's ledger budget is
+    /// replaced by its owning shard (lazy enforcement — no retroactive
+    /// verdict changes), and the registry copy follows for display
+    /// coherence. Unknown names and the default tenant (whose sharded
+    /// ledger cannot be budgeted) are skipped, not errors: the router
+    /// reconciles against a snapshot of the node's tenant set, which a
+    /// concurrent migration may have changed.
+    fn set_budgets(&self, pairs: &[(String, u64)]) -> u32 {
+        let mut applied = 0u32;
+        for (name, budget_mb) in pairs {
+            if name == DEFAULT_TENANT_NAME {
+                continue;
+            }
+            let resolved = {
+                let registry = match self.registry.read() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                registry
+                    .resolve(name)
+                    .map(|id| (id, registry.shard_of(id, "", self.shard_txs.len())))
+            };
+            let Some((id, home)) = resolved else { continue };
+            let (ack_tx, ack_rx) = mpsc::channel();
+            let sent = self.shard_txs[home]
+                .send(ShardMsg::SetBudget {
+                    tenant: id,
+                    budget_mb: *budget_mb,
+                    ack: ack_tx,
+                })
+                .is_ok();
+            if sent && ack_rx.recv() == Ok(true) {
+                if let Ok(mut registry) = self.registry.write() {
+                    registry.set_budget(id, *budget_mb);
+                }
+                applied += 1;
+            }
+        }
+        applied
+    }
+
+    /// Exports a tenant's complete state and removes it from this node
+    /// (the source half of a migration). Returns the text payload the
+    /// target node's `/admin/tenants/<name>/restore` accepts.
+    fn take_tenant(&self, name: &str) -> Result<String, (u16, String)> {
+        if name == DEFAULT_TENANT_NAME {
+            return Err((400, "the default tenant cannot migrate".to_owned()));
+        }
+        let resolved = {
+            let registry = match self.registry.read() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            registry
+                .resolve(name)
+                .map(|id| (id, registry.shard_of(id, "", self.shard_txs.len())))
+        };
+        let Some((id, home)) = resolved else {
+            return Err((404, format!("unknown tenant '{name}'")));
+        };
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.shard_txs[home]
+            .send(ShardMsg::TakeTenant {
+                tenant: id,
+                reply: reply_tx,
+            })
+            .map_err(|_| (503, "shard unavailable (shutting down)".to_owned()))?;
+        match reply_rx.recv() {
+            Ok(Some(export)) => Ok(encode_tenant_section(&export)),
+            Ok(None) => Err((409, format!("tenant '{name}' already taken"))),
+            Err(_) => Err((503, "shard unavailable (shutting down)".to_owned())),
+        }
+    }
+
+    /// Installs a migrated tenant from a take payload (the target half).
+    /// An unknown tenant is registered first from the payload's canonical
+    /// policy spec; a known one must match policy labels. The restored
+    /// state replaces whatever the shard held, bit-for-bit.
+    fn restore_tenant(&self, text: &str) -> Result<TenantSpec, (u16, String)> {
+        let section = decode_tenant_section(text).map_err(|e| (400, e))?;
+        if section.name == DEFAULT_TENANT_NAME {
+            return Err((400, "the default tenant cannot migrate".to_owned()));
+        }
+        let existing = {
+            let registry = match self.registry.read() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            registry.resolve(&section.name).map(|id| {
+                let spec = registry.get(id).expect("resolved id exists").clone();
+                (spec, registry.shard_of(id, "", self.shard_txs.len()))
+            })
+        };
+        let (mut spec, home) = match existing {
+            Some((spec, home)) => {
+                if spec.policy.label() != section.policy_label {
+                    return Err((
+                        409,
+                        format!(
+                            "tenant '{}': incoming policy '{}' does not match local '{}'",
+                            section.name,
+                            section.policy_label,
+                            spec.policy.label()
+                        ),
+                    ));
+                }
+                (spec, home)
+            }
+            None => {
+                let spec_str = section.spec_str.as_ref().ok_or_else(|| {
+                    (
+                        400,
+                        format!(
+                            "tenant '{}' has no canonical policy spec in the payload",
+                            section.name
+                        ),
+                    )
+                })?;
+                let policy = PolicySpec::parse(spec_str).map_err(|e| (400u16, e))?;
+                let spec = self
+                    .register_tenant(&section.name, policy, section.budget_mb)
+                    .map_err(|e| (400u16, e))?;
+                let home = {
+                    let registry = match self.registry.read() {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    registry.shard_of(spec.id, "", self.shard_txs.len())
+                };
+                (spec, home)
+            }
+        };
+        spec.budget_mb = section.budget_mb;
+        if let Ok(mut registry) = self.registry.write() {
+            registry.set_budget(spec.id, section.budget_mb);
+        }
+        let restore = TenantRestore {
+            spec: spec.clone(),
+            apps: section.apps,
+            ledger: section.ledger,
+            prod_clock: section.prod_clock,
+        };
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.shard_txs[home]
+            .send(ShardMsg::RestoreTenant {
+                restore: Box::new(restore),
+                ack: ack_tx,
+            })
+            .map_err(|_| (503, "shard unavailable (shutting down)".to_owned()))?;
+        match ack_rx.recv() {
+            Ok(Ok(())) => Ok(spec),
+            Ok(Err(e)) => Err((400, e)),
+            Err(_) => Err((503, "shard unavailable (shutting down)".to_owned())),
+        }
     }
 
     /// Unblocks the acceptor's `accept()` after the shutdown flag flips.
@@ -525,6 +720,7 @@ impl Server {
             frames: AtomicU64::new(0),
             batched_decisions: AtomicU64::new(0),
             proto_errors: AtomicU64::new(0),
+            ctrl_frames: AtomicU64::new(0),
             conns_accepted: AtomicU64::new(0),
             conns_live: AtomicU64::new(0),
             conns_peak: AtomicU64::new(0),
@@ -579,6 +775,19 @@ impl Server {
         budget_mb: u64,
     ) -> Result<TenantSpec, String> {
         self.ctx.register_tenant(name, policy, budget_mb)
+    }
+
+    /// Exports a tenant's state and removes it from this node
+    /// (in-process equivalent of `POST /admin/tenants/<name>/take`).
+    /// Returns the migration payload for [`Server::restore_tenant`].
+    pub fn take_tenant(&self, name: &str) -> Result<String, String> {
+        self.ctx.take_tenant(name).map_err(|(_, e)| e)
+    }
+
+    /// Installs a migrated tenant from a take payload (in-process
+    /// equivalent of `POST /admin/tenants/<name>/restore`).
+    pub fn restore_tenant(&self, payload: &str) -> Result<TenantSpec, String> {
+        self.ctx.restore_tenant(payload).map_err(|(_, e)| e)
     }
 
     /// True once a shutdown has been requested (e.g. via
@@ -670,6 +879,25 @@ pub(crate) fn parse_and_route(
     };
     let shard = registry.shard_of(tenant, &inv.app, ctx.shard_txs.len());
     Ok((tenant, shard, inv))
+}
+
+/// Executes one SITW-BIN control frame (the cluster control plane).
+/// Like [`handle_control`], this runs when the frame reaches the head of
+/// its connection's response pipeline: a usage report reflects every
+/// earlier decision on the connection, and a budget push lands between
+/// frames, never inside one.
+pub(crate) fn handle_ctrl_frame(req: &ControlRequest, ctx: &ServerCtx, out: &mut Vec<u8>) {
+    ctx.ctrl_frames.fetch_add(1, Ordering::Relaxed);
+    match req {
+        ControlRequest::Report => {
+            let usage = ctx.tenant_usage();
+            wire::encode_control_reply(out, &ControlReply::Report(usage));
+        }
+        ControlRequest::BudgetSet(pairs) => {
+            let applied = ctx.set_budgets(pairs);
+            wire::encode_control_reply(out, &ControlReply::BudgetAck { applied });
+        }
+    }
 }
 
 /// Non-invoke endpoints: health, metrics, admin.
@@ -896,6 +1124,52 @@ pub(crate) fn handle_control(req: &Request, ctx: &ServerCtx, out: &mut Vec<u8>) 
                 ctx.conns_live.load(Ordering::Relaxed)
             );
             write_response(out, 200, "application/json", body.as_bytes());
+        }
+        (method, p) if p.starts_with("/admin/tenants/") => {
+            // Migration endpoints: `POST /admin/tenants/<name>/take`
+            // exports-and-removes; `POST /admin/tenants/<name>/restore`
+            // installs the take payload on this node.
+            let rest = &p["/admin/tenants/".len()..];
+            match (method, rest.rsplit_once('/')) {
+                ("POST", Some((name, "take"))) => match ctx.take_tenant(name) {
+                    Ok(payload) => write_response(out, 200, "text/plain", payload.as_bytes()),
+                    Err((status, e)) => {
+                        let body = format!("{{\"error\":\"{}\"}}", wire::json_escape(&e));
+                        write_response(out, status, "application/json", body.as_bytes());
+                    }
+                },
+                ("POST", Some((_, "restore"))) => {
+                    // The payload itself names the tenant; the path
+                    // segment is advisory (symmetry with /take).
+                    let text = String::from_utf8_lossy(&req.body);
+                    match ctx.restore_tenant(&text) {
+                        Ok(spec) => {
+                            let mut body = Vec::with_capacity(64);
+                            body.extend_from_slice(b"{\"id\":");
+                            push_u64(&mut body, spec.id as u64);
+                            body.extend_from_slice(b",\"name\":\"");
+                            body.extend_from_slice(spec.name.as_bytes());
+                            body.extend_from_slice(b"\"}");
+                            write_response(out, 200, "application/json", &body);
+                        }
+                        Err((status, e)) => {
+                            let body = format!("{{\"error\":\"{}\"}}", wire::json_escape(&e));
+                            write_response(out, status, "application/json", body.as_bytes());
+                        }
+                    }
+                }
+                (_, Some((_, "take" | "restore"))) => {
+                    write_response(
+                        out,
+                        405,
+                        "application/json",
+                        b"{\"error\":\"method not allowed\"}",
+                    );
+                }
+                _ => {
+                    write_response(out, 404, "application/json", b"{\"error\":\"not found\"}");
+                }
+            }
         }
         ("POST", "/admin/shutdown") => {
             ctx.shutdown.store(true, Ordering::SeqCst);

@@ -260,6 +260,36 @@ pub enum ShardMsg {
         /// Acked once the tenant exists.
         ack: Sender<()>,
     },
+    /// Replaces a tenant's memory budget (0 = unlimited). Enforcement is
+    /// lazy — the new budget bites on the *next* charge — so applying a
+    /// cluster-reconciled share never rewrites verdicts retroactively.
+    /// Acked with `true` iff the tenant lives on this shard.
+    SetBudget {
+        /// The tenant whose budget to replace.
+        tenant: TenantId,
+        /// The new budget in MB (0 = unlimited).
+        budget_mb: u64,
+        /// Acked with whether the tenant was found.
+        ack: Sender<bool>,
+    },
+    /// Exports a tenant's complete state and removes it from the shard
+    /// (the first half of a cross-node migration). Replies `None` when
+    /// the tenant does not live here. Traffic arriving after the take
+    /// gets typed `UnknownTenant` errors, never a panic.
+    TakeTenant {
+        /// The tenant to export and drop.
+        tenant: TenantId,
+        /// The exported state, or `None` if unknown.
+        reply: Sender<Option<TenantExport>>,
+    },
+    /// Installs a tenant from a migration payload (the second half of a
+    /// cross-node migration), replacing any existing state for that id.
+    RestoreTenant {
+        /// The tenant's spec, apps, and ledger to install.
+        restore: Box<TenantRestore>,
+        /// `Ok` once installed; `Err` carries the decode failure.
+        ack: Sender<Result<(), String>>,
+    },
     /// Report counters and latency percentiles.
     Scrape(Sender<ShardStats>),
     /// Export the complete per-app state.
@@ -383,36 +413,7 @@ impl ShardWorker {
     pub fn new(id: usize, tenants: Vec<TenantRestore>) -> Result<Self, String> {
         let mut map = HashMap::with_capacity(tenants.len());
         for restore in tenants {
-            let budget = restore.spec.budget_mb;
-            let tid = restore.spec.id;
-            let mut shard = TenantShard::new(
-                restore.spec,
-                TenantLedger::restore(budget, restore.ledger),
-                restore.prod_clock,
-            );
-            shard.apps.reserve(restore.apps.len().max(16));
-            for rec in restore.apps {
-                let policy = match (rec.state, &mut shard.production) {
-                    (PolicyState::Production { last, state }, Some(prod)) => {
-                        let key = prod.next_key;
-                        prod.next_key += 1;
-                        prod.manager.import_app(key, state)?;
-                        ServedPolicy::Production { key, last }
-                    }
-                    (state, _) => state.into_policy(&shard.spec.policy)?,
-                };
-                let footprint_mb = footprint_mb(&shard.spec.name, &rec.app);
-                shard.apps.insert(
-                    rec.app,
-                    AppState {
-                        policy,
-                        windows: rec.windows,
-                        last_ts: rec.last_ts,
-                        evicted: rec.evicted,
-                        footprint_mb,
-                    },
-                );
-            }
+            let (tid, shard) = Self::build_tenant(restore)?;
             map.insert(tid, shard);
         }
         Ok(Self {
@@ -433,6 +434,42 @@ impl ShardWorker {
     pub fn with_telem(mut self, telem: ShardTelem) -> Self {
         self.telem = telem;
         self
+    }
+
+    /// Builds one tenant's in-memory state from a restore payload — the
+    /// shared path behind startup restore and live tenant migration.
+    fn build_tenant(restore: TenantRestore) -> Result<(TenantId, TenantShard), String> {
+        let budget = restore.spec.budget_mb;
+        let tid = restore.spec.id;
+        let mut shard = TenantShard::new(
+            restore.spec,
+            TenantLedger::restore(budget, restore.ledger),
+            restore.prod_clock,
+        );
+        shard.apps.reserve(restore.apps.len().max(16));
+        for rec in restore.apps {
+            let policy = match (rec.state, &mut shard.production) {
+                (PolicyState::Production { last, state }, Some(prod)) => {
+                    let key = prod.next_key;
+                    prod.next_key += 1;
+                    prod.manager.import_app(key, state)?;
+                    ServedPolicy::Production { key, last }
+                }
+                (state, _) => state.into_policy(&shard.spec.policy)?,
+            };
+            let footprint_mb = footprint_mb(&shard.spec.name, &rec.app);
+            shard.apps.insert(
+                rec.app,
+                AppState {
+                    policy,
+                    windows: rec.windows,
+                    last_ts: rec.last_ts,
+                    evicted: rec.evicted,
+                    footprint_mb,
+                },
+            );
+        }
+        Ok((tid, shard))
     }
 
     /// Registers a fresh tenant (admin path).
@@ -631,43 +668,42 @@ impl ShardWorker {
         }
     }
 
-    fn export(&self) -> ShardExport {
-        let mut tenants: Vec<TenantExport> = self
-            .tenants
-            .values()
-            .map(|t| {
-                let mut apps: Vec<AppRecord> = t
-                    .apps
-                    .iter()
-                    .map(|(app, state)| AppRecord {
-                        app: app.clone(),
-                        last_ts: state.last_ts,
-                        windows: state.windows,
-                        evicted: state.evicted,
-                        state: match (&state.policy, &t.production) {
-                            (ServedPolicy::Production { key, last }, Some(prod)) => {
-                                PolicyState::Production {
-                                    last: *last,
-                                    state: prod.manager.export_app(*key).unwrap_or_default(),
-                                }
-                            }
-                            (policy, _) => PolicyState::export(policy),
-                        },
-                    })
-                    .collect();
-                apps.sort_by(|a, b| a.app.cmp(&b.app));
-                TenantExport {
-                    id: t.spec.id,
-                    name: t.spec.name.clone(),
-                    policy_label: t.spec.policy.label(),
-                    spec_str: t.spec.policy.spec_str(),
-                    budget_mb: t.spec.budget_mb,
-                    prod_clock: t.production.as_ref().map(|p| p.manager.last_backup_ms()),
-                    ledger: t.ledger.export(),
-                    apps,
-                }
+    fn export_tenant(t: &TenantShard) -> TenantExport {
+        let mut apps: Vec<AppRecord> = t
+            .apps
+            .iter()
+            .map(|(app, state)| AppRecord {
+                app: app.clone(),
+                last_ts: state.last_ts,
+                windows: state.windows,
+                evicted: state.evicted,
+                state: match (&state.policy, &t.production) {
+                    (ServedPolicy::Production { key, last }, Some(prod)) => {
+                        PolicyState::Production {
+                            last: *last,
+                            state: prod.manager.export_app(*key).unwrap_or_default(),
+                        }
+                    }
+                    (policy, _) => PolicyState::export(policy),
+                },
             })
             .collect();
+        apps.sort_by(|a, b| a.app.cmp(&b.app));
+        TenantExport {
+            id: t.spec.id,
+            name: t.spec.name.clone(),
+            policy_label: t.spec.policy.label(),
+            spec_str: t.spec.policy.spec_str(),
+            budget_mb: t.spec.budget_mb,
+            prod_clock: t.production.as_ref().map(|p| p.manager.last_backup_ms()),
+            ledger: t.ledger.export(),
+            apps,
+        }
+    }
+
+    fn export(&self) -> ShardExport {
+        let mut tenants: Vec<TenantExport> =
+            self.tenants.values().map(Self::export_tenant).collect();
         tenants.sort_by_key(|t| t.id);
         ShardExport { tenants }
     }
@@ -865,6 +901,34 @@ impl ShardWorker {
                 ShardMsg::AddTenant { spec, ack } => {
                     self.add_tenant(spec);
                     let _ = ack.send(());
+                }
+                ShardMsg::SetBudget {
+                    tenant,
+                    budget_mb,
+                    ack,
+                } => {
+                    let found = match self.tenants.get_mut(&tenant) {
+                        Some(t) => {
+                            t.spec.budget_mb = budget_mb;
+                            t.ledger.set_budget(budget_mb);
+                            true
+                        }
+                        None => false,
+                    };
+                    let _ = ack.send(found);
+                }
+                ShardMsg::TakeTenant { tenant, reply } => {
+                    let export = self
+                        .tenants
+                        .remove(&tenant)
+                        .map(|t| Self::export_tenant(&t));
+                    let _ = reply.send(export);
+                }
+                ShardMsg::RestoreTenant { restore, ack } => {
+                    let result = Self::build_tenant(*restore).map(|(tid, shard)| {
+                        self.tenants.insert(tid, shard);
+                    });
+                    let _ = ack.send(result);
                 }
                 ShardMsg::Scrape(reply) => {
                     let _ = reply.send(self.stats());

@@ -626,6 +626,50 @@ impl Snapshot {
     }
 }
 
+/// Serializes one tenant's exported state as a standalone migration
+/// payload — the snapshot text format carrying exactly one tenant
+/// section and no default-tenant state. The placeholder policy label
+/// `-` marks the file as a section, not a full snapshot.
+pub fn encode_tenant_section(t: &TenantExport) -> String {
+    let snap = Snapshot {
+        policy_label: "-".into(),
+        prod_clock: None,
+        apps: Vec::new(),
+        default_ledger: LedgerExport::default(),
+        tenants: vec![TenantSnapshot {
+            id: t.id,
+            name: t.name.clone(),
+            policy_label: t.policy_label.clone(),
+            spec_str: t.spec_str.clone(),
+            budget_mb: t.budget_mb,
+            prod_clock: t.prod_clock,
+            ledger: t.ledger.clone(),
+            apps: t.apps.clone(),
+        }],
+    };
+    snap.encode()
+}
+
+/// Parses a migration payload produced by [`encode_tenant_section`].
+///
+/// # Errors
+///
+/// Fails on malformed text or when the payload does not carry exactly
+/// one tenant section.
+pub fn decode_tenant_section(text: &str) -> Result<TenantSnapshot, String> {
+    let snap = Snapshot::decode(text)?;
+    if snap.tenants.len() != 1 {
+        return Err(format!(
+            "migration payload must carry exactly one tenant, found {}",
+            snap.tenants.len()
+        ));
+    }
+    if !snap.apps.is_empty() {
+        return Err("migration payload must not carry default-tenant apps".into());
+    }
+    Ok(snap.tenants.into_iter().next().expect("length checked"))
+}
+
 fn parse_field<T: std::str::FromStr>(tok: Option<&str>, name: &str) -> Result<T, String> {
     tok.ok_or_else(|| format!("missing {name}"))?
         .parse::<T>()
@@ -770,6 +814,39 @@ mod tests {
         assert!(text.contains("tapp 1 a 900 0 100 evicted hybrid"));
         let decoded = Snapshot::decode(&text).unwrap();
         assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn tenant_section_round_trips_for_migration() {
+        let export = TenantExport {
+            id: 3,
+            name: "mover".into(),
+            policy_label: "fixed-10min".into(),
+            spec_str: Some("fixed:10".into()),
+            budget_mb: 256,
+            prod_clock: None,
+            ledger: LedgerExport {
+                warm: vec![("a".into(), 1_000, 100)],
+                evictions: 2,
+                idle_mb_ms: 999,
+                cursor_ms: 500,
+            },
+            apps: vec![AppRecord {
+                app: "a".into(),
+                last_ts: 500,
+                windows: Windows::keep_loaded(600_000),
+                evicted: false,
+                state: PolicyState::Stateless,
+            }],
+        };
+        let text = encode_tenant_section(&export);
+        let section = decode_tenant_section(&text).unwrap();
+        assert_eq!(section.name, export.name);
+        assert_eq!(section.budget_mb, export.budget_mb);
+        assert_eq!(section.ledger, export.ledger);
+        assert_eq!(section.apps, export.apps);
+        // A full snapshot (zero or two tenants) is not a migration payload.
+        assert!(decode_tenant_section(&format!("{HEADER}\npolicy x\napps 0\n")).is_err());
     }
 
     #[test]

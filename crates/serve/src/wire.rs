@@ -347,6 +347,8 @@ pub fn push_u64(out: &mut Vec<u8>, v: u64) {
 // `{u16 app_len, app bytes, u64 ts}` — always the default tenant.
 // Request payload, v2 (the fleet extension, version-gated): `count`
 // records of `{u16 tenant_id, u16 app_len, app bytes, u64 ts}`.
+// Control payload (kinds 4/5, the cluster extension): one op byte then
+// name-keyed records — see [`ControlRequest`] / [`ControlReply`].
 // Reply payload (both versions): `count` fixed 9-byte records — one
 // verdict byte, then either two u32 windows (pre-warm, keep-alive;
 // saturated at u32::MAX meaning "never") or, when the out-of-order bit
@@ -381,6 +383,17 @@ pub const FRAME_REQUEST: u8 = 1;
 pub const FRAME_REPLY: u8 = 2;
 /// Frame kind: a typed protocol error (server → client).
 pub const FRAME_ERROR: u8 = 3;
+/// Frame kind: a cluster control request (router → node): a ledger
+/// report poll or a budget-share push. See [`ControlRequest`].
+pub const FRAME_CONTROL: u8 = 4;
+/// Frame kind: the node's answer to a control request. See
+/// [`ControlReply`].
+pub const FRAME_CONTROL_REPLY: u8 = 5;
+
+/// Control op: report per-tenant ledger integrals (empty body).
+pub const CTRL_REPORT: u8 = 1;
+/// Control op: set per-tenant budget shares (name-keyed records).
+pub const CTRL_BUDGET_SET: u8 = 2;
 /// Maximum frame payload, mirroring [`crate::http::MAX_BODY_BYTES`].
 pub const MAX_FRAME_PAYLOAD: usize = crate::http::MAX_BODY_BYTES;
 /// Maximum records per frame.
@@ -397,6 +410,7 @@ const VB_COLD: u8 = 1 << 0;
 const VB_PREWARM_LOAD: u8 = 1 << 1;
 const VB_KIND_SHIFT: u8 = 2; // Bits 2–3: DecisionKind.
 const VB_EVICTED: u8 = 1 << 4; // v2 only; reserved (0) in v1.
+const VB_THROTTLED: u8 = 1 << 5; // v2 only; QoS admission rejection.
 const VB_OUT_OF_ORDER: u8 = 1 << 7;
 
 /// Typed SITW-BIN protocol errors, carried in [`FRAME_ERROR`] frames.
@@ -409,6 +423,10 @@ pub enum BinErrorCode {
     Oversized = 2,
     /// The frame envelope or a record inside it was malformed.
     Malformed = 3,
+    /// The node that owns the addressed tenant is down (emitted by
+    /// `sitw-router` when an upstream connection fails; a single node
+    /// never emits it for itself).
+    Unavailable = 4,
 }
 
 impl BinErrorCode {
@@ -423,6 +441,7 @@ impl BinErrorCode {
             1 => Some(BinErrorCode::BadVersion),
             2 => Some(BinErrorCode::Oversized),
             3 => Some(BinErrorCode::Malformed),
+            4 => Some(BinErrorCode::Unavailable),
             _ => None,
         }
     }
@@ -441,6 +460,58 @@ pub struct BinInvoke {
     pub ts: u64,
 }
 
+/// A cluster control request, carried in a [`FRAME_CONTROL`] frame
+/// (router → node). The record payloads are keyed by tenant *name*, not
+/// id: ids are per-node registration order and diverge across nodes as
+/// soon as a tenant migrates, while names are the stable cluster-wide
+/// key (the same reason tenant→shard routing hashes names).
+///
+/// Wire layout: the frame payload opens with one op byte
+/// ([`CTRL_REPORT`] or [`CTRL_BUDGET_SET`]), then `count` records.
+/// `Report` carries no records; `BudgetSet` records are
+/// `{u16 name_len, name bytes, u64 budget_mb}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlRequest {
+    /// Poll the node's per-tenant ledger integrals.
+    Report,
+    /// Install per-tenant budget shares (`(tenant name, budget MB)`;
+    /// 0 = unlimited). Unknown tenants are skipped and uncounted.
+    BudgetSet(Vec<(String, u64)>),
+}
+
+/// One tenant's ledger integrals, as reported over the control plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantUsage {
+    /// Tenant name (the cluster-wide key).
+    pub name: String,
+    /// The budget currently enforced on this node, MB (0 = unlimited).
+    pub budget_mb: u64,
+    /// Warm memory currently charged, MB.
+    pub warm_mb: u64,
+    /// Budget evictions so far.
+    pub evictions: u64,
+    /// Loaded-memory integral, MB·ms.
+    pub idle_mb_ms: u64,
+    /// Invocations served.
+    pub invocations: u64,
+}
+
+/// The node's answer to a [`ControlRequest`], carried in a
+/// [`FRAME_CONTROL_REPLY`] frame. Report records are
+/// `{u16 name_len, name, u64 budget_mb, u64 warm_mb, u64 evictions,
+/// u64 idle_mb_ms, u64 invocations}`; a budget ack has no records and
+/// echoes the number of shares applied in the header count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlReply {
+    /// Per-tenant usage, in tenant-id order (default tenant first).
+    Report(Vec<TenantUsage>),
+    /// Budget shares applied.
+    BudgetAck {
+        /// How many of the pushed shares named a known tenant.
+        applied: u32,
+    },
+}
+
 /// Outcome of decoding one request frame from a byte buffer that starts
 /// at a frame boundary.
 #[derive(Debug)]
@@ -452,6 +523,13 @@ pub enum FrameDecode {
         records: Vec<BinInvoke>,
         /// The frame's protocol version (replies must echo it).
         version: u8,
+        /// Total frame length in bytes.
+        consumed: usize,
+    },
+    /// A complete cluster control frame.
+    Control {
+        /// The decoded control request.
+        req: ControlRequest,
         /// Total frame length in bytes.
         consumed: usize,
     },
@@ -552,6 +630,13 @@ pub enum FrameDecodeInto {
         /// Total frame length in bytes.
         consumed: usize,
     },
+    /// A complete cluster control frame (never writes `records`).
+    Control {
+        /// The decoded control request.
+        req: ControlRequest,
+        /// Total frame length in bytes.
+        consumed: usize,
+    },
     /// The buffer holds only part of a frame; read more and retry.
     Incomplete,
     /// A protocol error (see [`FrameDecode::Error`]).
@@ -575,6 +660,7 @@ pub fn decode_request_frame(buf: &[u8]) -> FrameDecode {
             version,
             consumed,
         },
+        FrameDecodeInto::Control { req, consumed } => FrameDecode::Control { req, consumed },
         FrameDecodeInto::Incomplete => FrameDecode::Incomplete,
         FrameDecodeInto::Error { code, detail, skip } => FrameDecode::Error { code, detail, skip },
     }
@@ -621,6 +707,18 @@ pub fn decode_request_frame_into(buf: &[u8], records: &mut Vec<BinInvoke>) -> Fr
         detail,
         skip: Some(total),
     };
+    if kind == FRAME_CONTROL {
+        if buf.len() < total {
+            return FrameDecodeInto::Incomplete;
+        }
+        return match decode_control_payload(&buf[BIN_HEADER_LEN..total], count) {
+            Ok(req) => FrameDecodeInto::Control {
+                req,
+                consumed: total,
+            },
+            Err(detail) => malformed(detail),
+        };
+    }
     if kind != FRAME_REQUEST {
         return malformed(format!("unexpected frame kind {kind}"));
     }
@@ -767,6 +865,52 @@ pub fn encode_reply_frame(
     }
 }
 
+/// Re-encodes decoded reply records into one reply frame — the router's
+/// reassembly path: a client frame split across nodes comes back as
+/// per-node reply frames whose records are interleaved (in request
+/// order, with locally generated [`BinReply::Throttled`] records for
+/// admission rejections) into the single frame the client expects.
+/// Byte-for-byte inverse of the reply decoder on the same version.
+pub fn encode_reply_records(out: &mut Vec<u8>, version: u8, records: &[BinReply]) {
+    let payload_len = records.len() * REPLY_RECORD_LEN;
+    out.reserve(BIN_HEADER_LEN + payload_len);
+    frame_header(out, version, FRAME_REPLY, payload_len, records.len());
+    for rec in records {
+        match rec {
+            BinReply::Verdict {
+                cold,
+                prewarm_load,
+                evicted,
+                kind,
+                pre_warm_ms,
+                keep_alive_ms,
+            } => {
+                let mut vb = kind_to_bits(*kind) << VB_KIND_SHIFT;
+                if *cold {
+                    vb |= VB_COLD;
+                }
+                if *prewarm_load {
+                    vb |= VB_PREWARM_LOAD;
+                }
+                if *evicted && version >= BIN_VERSION_2 {
+                    vb |= VB_EVICTED;
+                }
+                out.push(vb);
+                out.extend_from_slice(&pre_warm_ms.to_le_bytes());
+                out.extend_from_slice(&keep_alive_ms.to_le_bytes());
+            }
+            BinReply::OutOfOrder { last_ts } => {
+                out.push(VB_OUT_OF_ORDER);
+                out.extend_from_slice(&last_ts.to_le_bytes());
+            }
+            BinReply::Throttled => {
+                out.push(VB_THROTTLED);
+                out.extend_from_slice(&0u64.to_le_bytes());
+            }
+        }
+    }
+}
+
 /// Encodes one typed error frame (detail truncated to 256 bytes).
 pub fn encode_error_frame(out: &mut Vec<u8>, code: BinErrorCode, detail: &str) {
     let mut end = detail.len().min(256);
@@ -778,6 +922,175 @@ pub fn encode_error_frame(out: &mut Vec<u8>, code: BinErrorCode, detail: &str) {
     out.push(code.as_u8());
     out.extend_from_slice(&(detail.len() as u16).to_le_bytes());
     out.extend_from_slice(detail);
+}
+
+/// Encodes one cluster control request frame (router → node).
+pub fn encode_control_frame(out: &mut Vec<u8>, req: &ControlRequest) {
+    match req {
+        ControlRequest::Report => {
+            frame_header(out, BIN_VERSION_2, FRAME_CONTROL, 1, 0);
+            out.push(CTRL_REPORT);
+        }
+        ControlRequest::BudgetSet(shares) => {
+            assert!(shares.len() <= MAX_BATCH, "budget set exceeds MAX_BATCH");
+            let payload_len: usize = 1 + shares.iter().map(|(n, _)| 2 + n.len() + 8).sum::<usize>();
+            frame_header(out, BIN_VERSION_2, FRAME_CONTROL, payload_len, shares.len());
+            out.push(CTRL_BUDGET_SET);
+            for (name, budget_mb) in shares {
+                assert!(name.len() <= u16::MAX as usize, "tenant name too long");
+                out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+                out.extend_from_slice(name.as_bytes());
+                out.extend_from_slice(&budget_mb.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Decodes a [`FRAME_CONTROL`] payload (the op byte plus records).
+fn decode_control_payload(payload: &[u8], count: usize) -> Result<ControlRequest, String> {
+    let Some(&op) = payload.first() else {
+        return Err("empty control payload".into());
+    };
+    match op {
+        CTRL_REPORT => {
+            if payload.len() != 1 || count != 0 {
+                return Err("report request carries no records".into());
+            }
+            Ok(ControlRequest::Report)
+        }
+        CTRL_BUDGET_SET => {
+            if count > MAX_BATCH {
+                return Err(format!("budget set of {count} exceeds {MAX_BATCH}"));
+            }
+            let mut shares = Vec::with_capacity(count);
+            let mut i = 1usize;
+            for r in 0..count {
+                if i + 2 > payload.len() {
+                    return Err(format!("budget record {r} truncated"));
+                }
+                let name_len = u16::from_le_bytes([payload[i], payload[i + 1]]) as usize;
+                i += 2;
+                if name_len == 0 || i + name_len + 8 > payload.len() {
+                    return Err(format!("budget record {r} overruns payload"));
+                }
+                let Ok(name) = std::str::from_utf8(&payload[i..i + name_len]) else {
+                    return Err(format!("budget record {r}: name is not utf-8"));
+                };
+                let name = name.to_owned();
+                i += name_len;
+                let budget_mb = u64_at(payload, i);
+                i += 8;
+                shares.push((name, budget_mb));
+            }
+            if i != payload.len() {
+                return Err(format!("{} trailing control bytes", payload.len() - i));
+            }
+            Ok(ControlRequest::BudgetSet(shares))
+        }
+        other => Err(format!("unknown control op {other}")),
+    }
+}
+
+/// Encodes one control reply frame (node → router).
+pub fn encode_control_reply(out: &mut Vec<u8>, reply: &ControlReply) {
+    match reply {
+        ControlReply::Report(tenants) => {
+            assert!(tenants.len() <= MAX_BATCH, "report exceeds MAX_BATCH");
+            let payload_len: usize = 1 + tenants
+                .iter()
+                .map(|t| 2 + t.name.len() + 8 * 5)
+                .sum::<usize>();
+            frame_header(
+                out,
+                BIN_VERSION_2,
+                FRAME_CONTROL_REPLY,
+                payload_len,
+                tenants.len(),
+            );
+            out.push(CTRL_REPORT);
+            for t in tenants {
+                assert!(t.name.len() <= u16::MAX as usize, "tenant name too long");
+                out.extend_from_slice(&(t.name.len() as u16).to_le_bytes());
+                out.extend_from_slice(t.name.as_bytes());
+                for v in [
+                    t.budget_mb,
+                    t.warm_mb,
+                    t.evictions,
+                    t.idle_mb_ms,
+                    t.invocations,
+                ] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        ControlReply::BudgetAck { applied } => {
+            frame_header(
+                out,
+                BIN_VERSION_2,
+                FRAME_CONTROL_REPLY,
+                1,
+                *applied as usize,
+            );
+            out.push(CTRL_BUDGET_SET);
+        }
+    }
+}
+
+/// Decodes a [`FRAME_CONTROL_REPLY`] payload.
+fn decode_control_reply_payload(payload: &[u8], count: usize) -> Result<ControlReply, String> {
+    let Some(&op) = payload.first() else {
+        return Err("empty control reply".into());
+    };
+    match op {
+        CTRL_REPORT => {
+            if count > MAX_BATCH {
+                return Err(format!("report of {count} exceeds {MAX_BATCH}"));
+            }
+            let mut tenants = Vec::with_capacity(count);
+            let mut i = 1usize;
+            for r in 0..count {
+                if i + 2 > payload.len() {
+                    return Err(format!("usage record {r} truncated"));
+                }
+                let name_len = u16::from_le_bytes([payload[i], payload[i + 1]]) as usize;
+                i += 2;
+                if name_len == 0 || i + name_len + 40 > payload.len() {
+                    return Err(format!("usage record {r} overruns payload"));
+                }
+                let Ok(name) = std::str::from_utf8(&payload[i..i + name_len]) else {
+                    return Err(format!("usage record {r}: name is not utf-8"));
+                };
+                let name = name.to_owned();
+                i += name_len;
+                let mut vals = [0u64; 5];
+                for v in &mut vals {
+                    *v = u64_at(payload, i);
+                    i += 8;
+                }
+                tenants.push(TenantUsage {
+                    name,
+                    budget_mb: vals[0],
+                    warm_mb: vals[1],
+                    evictions: vals[2],
+                    idle_mb_ms: vals[3],
+                    invocations: vals[4],
+                });
+            }
+            if i != payload.len() {
+                return Err(format!("{} trailing reply bytes", payload.len() - i));
+            }
+            Ok(ControlReply::Report(tenants))
+        }
+        CTRL_BUDGET_SET => {
+            if payload.len() != 1 {
+                return Err("budget ack carries no records".into());
+            }
+            Ok(ControlReply::BudgetAck {
+                applied: count as u32,
+            })
+        }
+        other => Err(format!("unknown control reply op {other}")),
+    }
 }
 
 /// One decoded reply record, as seen by a client.
@@ -804,6 +1117,11 @@ pub enum BinReply {
         /// The app's last accepted timestamp.
         last_ts: u64,
     },
+    /// The invocation was refused by QoS admission control: the tenant's
+    /// rate limit was exhausted at this trace time (v2 frames only;
+    /// emitted by `sitw-router`, mirrored by HTTP 429 on the JSON path).
+    /// No policy state advanced — the invocation never reached a shard.
+    Throttled,
 }
 
 /// Outcome of decoding one server→client frame.
@@ -822,6 +1140,13 @@ pub enum ServerFrameDecode {
         code: BinErrorCode,
         /// Server-provided detail.
         detail: String,
+        /// Total frame length in bytes.
+        consumed: usize,
+    },
+    /// A complete control reply frame (node → router).
+    Control {
+        /// The decoded control reply.
+        reply: ControlReply,
         /// Total frame length in bytes.
         consumed: usize,
     },
@@ -870,6 +1195,8 @@ pub fn decode_server_frame(buf: &[u8]) -> ServerFrameDecode {
                     records.push(BinReply::OutOfOrder {
                         last_ts: u64_at(payload, i + 1),
                     });
+                } else if vb & VB_THROTTLED != 0 {
+                    records.push(BinReply::Throttled);
                 } else {
                     records.push(BinReply::Verdict {
                         cold: vb & VB_COLD != 0,
@@ -904,6 +1231,13 @@ pub fn decode_server_frame(buf: &[u8]) -> ServerFrameDecode {
                 consumed: total,
             }
         }
+        FRAME_CONTROL_REPLY => match decode_control_reply_payload(payload, count) {
+            Ok(reply) => ServerFrameDecode::Control {
+                reply,
+                consumed: total,
+            },
+            Err(detail) => ServerFrameDecode::Malformed(detail),
+        },
         other => ServerFrameDecode::Malformed(format!("unexpected server frame kind {other}")),
     }
 }
@@ -1374,5 +1708,186 @@ mod tests {
         for k in [Histogram, StandardKeepAlive, Arima, Static] {
             assert_eq!(kind_from_bits(kind_to_bits(k)), k);
         }
+    }
+
+    // ---- Cluster control frames ----
+
+    #[test]
+    fn control_report_request_roundtrips() {
+        let mut out = Vec::new();
+        encode_control_frame(&mut out, &ControlRequest::Report);
+        match decode_request_frame(&out) {
+            FrameDecode::Control { req, consumed } => {
+                assert_eq!(req, ControlRequest::Report);
+                assert_eq!(consumed, out.len());
+            }
+            other => panic!("{other:?}"),
+        }
+        for i in 0..out.len() {
+            assert!(matches!(
+                decode_request_frame(&out[..i]),
+                FrameDecode::Incomplete
+            ));
+        }
+    }
+
+    #[test]
+    fn control_budget_set_roundtrips() {
+        let shares = vec![
+            ("acme".to_owned(), 4096u64),
+            ("café".to_owned(), 0),
+            ("t7".to_owned(), u64::MAX),
+        ];
+        let mut out = Vec::new();
+        encode_control_frame(&mut out, &ControlRequest::BudgetSet(shares.clone()));
+        match decode_request_frame(&out) {
+            FrameDecode::Control { req, consumed } => {
+                assert_eq!(req, ControlRequest::BudgetSet(shares));
+                assert_eq!(consumed, out.len());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_decode_rejects_malformed_payloads() {
+        // Unknown op, truncated records, trailing bytes: all skippable
+        // (the envelope is intact), so the connection survives.
+        let cases: Vec<Vec<u8>> = vec![
+            vec![99],                       // Unknown op.
+            vec![CTRL_REPORT, 1],           // Report with body.
+            vec![CTRL_BUDGET_SET, 5],       // Truncated record.
+            vec![CTRL_BUDGET_SET, 0, 0, 0], // Zero-length name.
+        ];
+        for (k, payload) in cases.into_iter().enumerate() {
+            let count = if payload[0] == CTRL_BUDGET_SET { 1 } else { 0 };
+            let mut f = Vec::new();
+            frame_header(&mut f, BIN_VERSION_2, FRAME_CONTROL, payload.len(), count);
+            f.extend_from_slice(&payload);
+            match decode_request_frame(&f) {
+                FrameDecode::Error { code, skip, .. } => {
+                    assert_eq!(code, BinErrorCode::Malformed, "case {k}");
+                    assert_eq!(skip, Some(f.len()), "case {k}");
+                }
+                other => panic!("case {k} → {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn control_report_reply_roundtrips() {
+        let tenants = vec![
+            TenantUsage {
+                name: "default".into(),
+                budget_mb: 0,
+                warm_mb: 123,
+                evictions: 0,
+                idle_mb_ms: u64::MAX,
+                invocations: 10_000,
+            },
+            TenantUsage {
+                name: "acme".into(),
+                budget_mb: 4096,
+                warm_mb: 4095,
+                evictions: 17,
+                idle_mb_ms: 5,
+                invocations: 1,
+            },
+        ];
+        let mut out = Vec::new();
+        encode_control_reply(&mut out, &ControlReply::Report(tenants.clone()));
+        match decode_server_frame(&out) {
+            ServerFrameDecode::Control { reply, consumed } => {
+                assert_eq!(reply, ControlReply::Report(tenants));
+                assert_eq!(consumed, out.len());
+            }
+            other => panic!("{other:?}"),
+        }
+        for i in 0..out.len() {
+            assert!(matches!(
+                decode_server_frame(&out[..i]),
+                ServerFrameDecode::Incomplete
+            ));
+        }
+    }
+
+    #[test]
+    fn control_budget_ack_roundtrips() {
+        let mut out = Vec::new();
+        encode_control_reply(&mut out, &ControlReply::BudgetAck { applied: 42 });
+        match decode_server_frame(&out) {
+            ServerFrameDecode::Control { reply, .. } => {
+                assert_eq!(reply, ControlReply::BudgetAck { applied: 42 });
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn throttled_records_roundtrip_through_reencoder() {
+        // The router's reassembly path: re-encode a mix of decoded
+        // verdicts, an out-of-order rejection, and a locally generated
+        // throttle, then decode it as a client would.
+        let records = vec![
+            BinReply::Verdict {
+                cold: true,
+                prewarm_load: false,
+                evicted: true,
+                kind: DecisionKind::Histogram,
+                pre_warm_ms: 7,
+                keep_alive_ms: 9,
+            },
+            BinReply::Throttled,
+            BinReply::OutOfOrder { last_ts: 55 },
+        ];
+        let mut out = Vec::new();
+        encode_reply_records(&mut out, BIN_VERSION_2, &records);
+        match decode_server_frame(&out) {
+            ServerFrameDecode::Reply {
+                records: got,
+                consumed,
+            } => {
+                assert_eq!(got, records);
+                assert_eq!(consumed, out.len());
+            }
+            other => panic!("{other:?}"),
+        }
+        // Byte-for-byte inverse of the daemon's own encoder: a frame
+        // decoded and re-encoded is the identical frame.
+        let mut results_frame = Vec::new();
+        encode_reply_frame(
+            &mut results_frame,
+            BIN_VERSION_2,
+            &[
+                Ok(Decision {
+                    cold: false,
+                    prewarm_load: true,
+                    evicted: false,
+                    kind: DecisionKind::Arima,
+                    windows: sitw_core::Windows::pre_warmed(1, 2),
+                }),
+                Err(InvokeError::OutOfOrder { last_ts: 3 }),
+            ],
+        );
+        let ServerFrameDecode::Reply { records, .. } = decode_server_frame(&results_frame) else {
+            panic!("reply expected");
+        };
+        let mut reencoded = Vec::new();
+        encode_reply_records(&mut reencoded, BIN_VERSION_2, &records);
+        assert_eq!(reencoded, results_frame);
+    }
+
+    #[test]
+    fn unavailable_error_code_roundtrips() {
+        let mut out = Vec::new();
+        encode_error_frame(&mut out, BinErrorCode::Unavailable, "node n1 down");
+        match decode_server_frame(&out) {
+            ServerFrameDecode::Error { code, detail, .. } => {
+                assert_eq!(code, BinErrorCode::Unavailable);
+                assert_eq!(detail, "node n1 down");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(BinErrorCode::from_u8(4), Some(BinErrorCode::Unavailable));
     }
 }

@@ -128,6 +128,9 @@ proptest! {
                 // An intact envelope must always be skippable.
                 prop_assert_eq!(skip, Some(frame.len()));
             }
+            FrameDecode::Control { .. } => {
+                prop_assert!(false, "request frame decoded as control")
+            }
         }
     }
 
@@ -153,6 +156,10 @@ proptest! {
                     prop_assert!(n >= wire::BIN_HEADER_LEN);
                     prop_assert!(n <= wire::BIN_HEADER_LEN + wire::MAX_FRAME_PAYLOAD);
                 }
+            }
+            FrameDecode::Control { .. } => {
+                // Reachable only when the random bytes form a valid
+                // control frame; nothing further to assert.
             }
         }
         // The server-frame decoder must be just as panic-free on the
