@@ -7,7 +7,7 @@
 //! | `hot-path-alloc`    | no `format!`/`.to_string()`/`String::from`/`Vec::new`/`Box::new`/`.clone()` in `// sitw-lint: hot-path` functions |
 //! | `panic-freedom`     | no `.unwrap()`/`.expect(`/`panic!`/`unreachable!`/`todo!`/`unimplemented!` in hot-path functions |
 //! | `clock-discipline`  | `Instant::now`/`SystemTime::now` only in `crates/telemetry`, test code, or allowlisted lines |
-//! | `metrics-registry`  | every `sitw_serve_*` series literal is declared (name/kind/help) in the marked registry; snake_case; `_total` ⇔ counter |
+//! | `metrics-registry`  | every `sitw_serve_*`/`sitw_router_*` series literal is declared (name/kind/help) in the marked registry; snake_case; `_total` ⇔ counter |
 //! | `directive`         | every `// sitw-lint:` comment parses                          |
 //!
 //! Suppression: `// sitw-lint: allow(rule-a, rule-b)` silences those
@@ -675,8 +675,8 @@ fn rule_metrics_registry(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
             file: ws.files.first().map_or_else(String::new, |f| f.rel.clone()),
             line: 1,
             rule: "metrics-registry",
-            message: "sitw_serve_* series are used but no `// sitw-lint: metrics-registry` \
-                      block declares them"
+            message: "sitw_serve_*/sitw_router_* series are used but no \
+                      `// sitw-lint: metrics-registry` block declares them"
                 .to_string(),
         });
     }
@@ -708,13 +708,16 @@ fn check_decl(
     diags: &mut Vec<Diagnostic>,
 ) {
     let file = &ws.files[file_idx];
-    if !name.starts_with("sitw_serve_") {
+    if !SERIES_PREFIXES.iter().any(|p| name.starts_with(p)) {
         emit(
             diags,
             file,
             line,
             "metrics-registry",
-            format!("series `{name}` must carry the `sitw_serve_` namespace prefix"),
+            format!(
+                "series `{name}` must carry the `sitw_serve_` or `sitw_router_` \
+                 namespace prefix"
+            ),
         );
     }
     if !name
@@ -762,29 +765,35 @@ fn check_decl(
     }
 }
 
-/// Extracts `sitw_serve_*` series names from one string literal: each
-/// maximal `[a-z0-9_]` run starting at the namespace prefix, trailing
-/// underscores trimmed (grep patterns quote prefixes like
-/// `sitw_serve_tenant_`).
+/// The metric namespaces the registry rule owns: node series and
+/// router series.
+const SERIES_PREFIXES: &[&str] = &["sitw_serve_", "sitw_router_"];
+
+/// Extracts `sitw_serve_*`/`sitw_router_*` series names from one string
+/// literal: each maximal `[a-z0-9_]` run starting at a namespace
+/// prefix, trailing underscores trimmed (grep patterns quote prefixes
+/// like `sitw_serve_tenant_`).
 fn series_names(text: &str) -> Vec<String> {
     let mut out = Vec::new();
     let bytes = text.as_bytes();
-    let mut i = 0;
-    while let Some(off) = text[i..].find("sitw_serve_") {
-        let start = i + off;
-        let mut end = start;
-        while end < bytes.len()
-            && (bytes[end].is_ascii_lowercase()
-                || bytes[end].is_ascii_digit()
-                || bytes[end] == b'_')
-        {
-            end += 1;
+    for prefix in SERIES_PREFIXES {
+        let mut i = 0;
+        while let Some(off) = text[i..].find(prefix) {
+            let start = i + off;
+            let mut end = start;
+            while end < bytes.len()
+                && (bytes[end].is_ascii_lowercase()
+                    || bytes[end].is_ascii_digit()
+                    || bytes[end] == b'_')
+            {
+                end += 1;
+            }
+            let name = text[start..end].trim_end_matches('_');
+            if name.len() > prefix.len() {
+                out.push(name.to_string());
+            }
+            i = end.max(start + 1);
         }
-        let name = text[start..end].trim_end_matches('_');
-        if name.len() > "sitw_serve".len() + 1 {
-            out.push(name.to_string());
-        }
-        i = end.max(start + 1);
     }
     out
 }
@@ -921,6 +930,36 @@ fn render() {
             .iter()
             .any(|m| m.contains("`sitw_serve_bad_total`") && m.contains("not counter")));
         assert_eq!(d.len(), 3, "{d:?}");
+    }
+
+    #[test]
+    fn router_namespace_is_checked_too() {
+        let metrics = r#"
+// sitw-lint: metrics-registry
+pub const REGISTRY: &[(&str, &str, &str)] = &[
+    ("sitw_router_requests_total", "counter", "Routed requests."),
+    ("sitw_router_dead", "gauge", "Never used."),
+    ("sitw_other_thing", "gauge", "Wrong namespace."),
+];
+fn render() {
+    let _ = "sitw_router_requests_total 1";
+    let _ = "sitw_router_undeclared 2";
+    let _ = "sitw_other_thing 3";
+}
+"#;
+        let d = diags_of(&[("crates/cluster/src/metrics.rs", metrics)]);
+        let msgs: Vec<&str> = d.iter().map(|d| d.message.as_str()).collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("`sitw_router_undeclared`")),
+            "{msgs:?}"
+        );
+        assert!(msgs.iter().any(|m| m.contains("`sitw_router_dead`")));
+        assert!(msgs
+            .iter()
+            .any(|m| m.contains("`sitw_other_thing`") && m.contains("namespace prefix")));
+        // `sitw_other_thing` is outside both namespaces, so its use is
+        // invisible to the scanner: the bad declaration is also dead.
+        assert_eq!(d.len(), 4, "{d:?}");
     }
 
     #[test]

@@ -115,6 +115,7 @@ fn loadgen_config(proto: Proto, tenants: usize, conns: usize) -> LoadGenConfig {
         proto,
         tenants,
         zipf: if tenants > 0 { 1.0 } else { 0.0 },
+        trace_sample: 0,
     }
 }
 

@@ -19,7 +19,7 @@ USAGE:
     sitw-router --addr HOST:PORT --node HOST:PORT [--node HOST:PORT ...]
                 [--tenants N]
                 [--tenant NAME=POLICY[,budget=MB][,qos=SPEC]]
-                [--reconcile-ms MS]
+                [--reconcile-ms MS] [--trace-sample N]
 
 OPTIONS:
     --addr HOST:PORT     Listen address (default 127.0.0.1:7180)
@@ -32,6 +32,11 @@ OPTIONS:
                          Repeatable; combines with --tenants.
     --reconcile-ms MS    Budget reconciliation interval (default 1000;
                          0 disables the background reconciler).
+    --trace-sample N     Tag every Nth untraced request with a
+                         router-originated trace id and record hop
+                         spans for all traced requests (default 0 =
+                         hop recording off; client trace ids still
+                         propagate to the nodes).
 ";
 
 fn parse_args() -> Result<RouterConfig, String> {
@@ -69,6 +74,11 @@ fn parse_args() -> Result<RouterConfig, String> {
                 cfg.reconcile_ms = value("--reconcile-ms")?
                     .parse()
                     .map_err(|e| format!("--reconcile-ms: {e}"))?;
+            }
+            "--trace-sample" => {
+                cfg.trace_sample = value("--trace-sample")?
+                    .parse()
+                    .map_err(|e| format!("--trace-sample: {e}"))?;
             }
             "--read-timeout-ms" => {
                 let ms: u64 = value("--read-timeout-ms")?

@@ -1,0 +1,264 @@
+//! Fleet federation: parsing node debug scrapes and merging them
+//! exactly.
+//!
+//! The router's fleet plane is pull-based: `GET /metrics/fleet` scrapes
+//! every live node's `/debug/hist` (raw log2 bucket vectors — the
+//! lossless federation wire format) and merges them with
+//! [`Log2Histogram::merge`], so every federated bucket count equals the
+//! sum of the node counts *exactly* — no estimator drift, no rank
+//! error. `GET /debug/trace` on the router likewise pulls each node's
+//! `/debug/trace?format=json`, keeps the propagated-trace spans, and
+//! rebases them onto the router's clock so one causally ordered
+//! timeline spans the whole fleet.
+//!
+//! Nodes and router are separate processes with separate monotonic
+//! epochs, so node span timestamps are *not* comparable to router ones.
+//! [`rebase`] anchors each (node, trace) group at the router's
+//! forward-completion instant for that trace: the node cannot have
+//! started before the router finished writing the request, and its
+//! rebased spans land strictly inside the router's `await` window.
+
+use std::collections::BTreeMap;
+
+use sitw_telemetry::{Log2Histogram, BUCKETS};
+
+/// One node's `/debug/hist` scrape, reconstructed losslessly.
+#[derive(Debug)]
+pub struct NodeHists {
+    /// `(stage, proto)` → histogram, in scrape order.
+    pub stages: Vec<(String, String, Log2Histogram)>,
+    /// Tenant name → decision-latency histogram.
+    pub tenants: Vec<(String, Log2Histogram)>,
+}
+
+/// Parses one `/debug/hist` body: lines of
+/// `stage <name> <proto> <sum_ns> <b0>..<b63>` and
+/// `tenant <name> <sum_ns> <b0>..<b63>`. Returns `None` on any
+/// malformed line (a partial merge would silently undercount).
+pub fn parse_hist_body(body: &str) -> Option<NodeHists> {
+    let mut stages = Vec::new();
+    let mut tenants = Vec::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut toks = line.split_ascii_whitespace();
+        match toks.next()? {
+            "stage" => {
+                let stage = toks.next()?.to_owned();
+                let proto = toks.next()?.to_owned();
+                stages.push((stage, proto, parse_hist_tokens(&mut toks)?));
+            }
+            "tenant" => {
+                let name = toks.next()?.to_owned();
+                tenants.push((name, parse_hist_tokens(&mut toks)?));
+            }
+            _ => return None,
+        }
+    }
+    Some(NodeHists { stages, tenants })
+}
+
+/// Parses `<sum_ns> <b0>..<b63>` — exactly [`BUCKETS`] + 1 tokens.
+fn parse_hist_tokens<'a>(toks: &mut impl Iterator<Item = &'a str>) -> Option<Log2Histogram> {
+    let sum: u64 = toks.next()?.parse().ok()?;
+    let mut buckets = [0u64; BUCKETS];
+    for b in buckets.iter_mut() {
+        *b = toks.next()?.parse().ok()?;
+    }
+    if toks.next().is_some() {
+        return None;
+    }
+    Some(Log2Histogram::from_raw(buckets, sum))
+}
+
+/// The fleet-wide merge of every live node's histograms.
+#[derive(Debug, Default)]
+pub struct FleetHists {
+    /// `(stage, proto)` → merged histogram (BTreeMap for stable render
+    /// order).
+    pub stages: BTreeMap<(String, String), Log2Histogram>,
+    /// Tenant name → merged decision-latency histogram.
+    pub tenants: BTreeMap<String, Log2Histogram>,
+    /// Nodes merged in.
+    pub nodes: usize,
+}
+
+impl FleetHists {
+    /// Folds one node's scrape into the fleet totals. Bucket-exact:
+    /// every merged count is the sum of the node counts.
+    pub fn absorb(&mut self, node: NodeHists) {
+        for (stage, proto, h) in node.stages {
+            self.stages.entry((stage, proto)).or_default().merge(&h);
+        }
+        for (name, h) in node.tenants {
+            self.tenants.entry(name).or_default().merge(&h);
+        }
+        self.nodes += 1;
+    }
+}
+
+/// One span parsed from a node's `/debug/trace?format=json` (or built
+/// from the router's own recorder for the merged timeline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSpan {
+    /// Span id (a propagated trace id carries the top bit).
+    pub span: u64,
+    /// Stage name (`read` ... `write`, or a router hop stage).
+    pub stage: String,
+    /// Stage start, ns — node-local until [`rebase`]d.
+    pub start_ns: u64,
+    /// Stage end, ns — node-local until [`rebase`]d.
+    pub end_ns: u64,
+    /// Recording thread (`reactor-0`, `shard-1`, `router`, ...).
+    pub source: String,
+}
+
+/// Parses a node's `/debug/trace?format=json` body. Tolerant of
+/// unknown fields; entries missing a required field are skipped.
+pub fn parse_trace_spans(body: &str) -> Vec<NodeSpan> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(pos) = rest.find("{\"span\":") {
+        rest = &rest[pos..];
+        let Some(end) = rest.find('}') else { break };
+        if let Some(span) = parse_span_obj(&rest[..end]) {
+            out.push(span);
+        }
+        rest = &rest[end + 1..];
+    }
+    out
+}
+
+fn parse_span_obj(obj: &str) -> Option<NodeSpan> {
+    let num = |key: &str| -> Option<u64> {
+        let pos = obj.find(key)? + key.len();
+        let digits: String = obj[pos..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        digits.parse().ok()
+    };
+    let text = |key: &str| -> Option<String> {
+        let pos = obj.find(key)? + key.len();
+        let end = obj[pos..].find('"')?;
+        Some(obj[pos..pos + end].to_owned())
+    };
+    Some(NodeSpan {
+        span: num("\"span\":")?,
+        stage: text("\"stage\":\"")?,
+        start_ns: num("\"start_ns\":")?,
+        end_ns: num("\"end_ns\":")?,
+        source: text("\"source\":\"")?,
+    })
+}
+
+/// Rebases one (node, trace) span group onto the router's clock: the
+/// group's earliest stage start is anchored at `anchor_ns` (the
+/// router's forward-completion instant for that trace), preserving all
+/// intra-node stage offsets.
+pub fn rebase(spans: &mut [NodeSpan], anchor_ns: u64) {
+    let Some(min) = spans.iter().map(|s| s.start_ns).min() else {
+        return;
+    };
+    for s in spans {
+        s.start_ns = anchor_ns + (s.start_ns - min);
+        s.end_ns = anchor_ns + (s.end_ns - min);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_line(prefix: &str, sum: u64, spikes: &[(usize, u64)]) -> String {
+        let mut buckets = [0u64; BUCKETS];
+        for &(i, c) in spikes {
+            buckets[i] = c;
+        }
+        let mut line = format!("{prefix} {sum}");
+        for b in buckets {
+            line.push_str(&format!(" {b}"));
+        }
+        line
+    }
+
+    #[test]
+    fn hist_body_roundtrips_and_merges_exactly() {
+        let a = format!(
+            "{}\n{}\n",
+            hist_line("stage decide json", 1000, &[(10, 3), (12, 1)]),
+            hist_line("tenant t0", 500, &[(9, 2)]),
+        );
+        let b = format!(
+            "{}\n{}\n",
+            hist_line("stage decide json", 2000, &[(10, 5)]),
+            hist_line("tenant t0", 700, &[(9, 4), (11, 1)]),
+        );
+        let mut fleet = FleetHists::default();
+        fleet.absorb(parse_hist_body(&a).unwrap());
+        fleet.absorb(parse_hist_body(&b).unwrap());
+        assert_eq!(fleet.nodes, 2);
+        let decide = &fleet.stages[&("decide".to_owned(), "json".to_owned())];
+        // Bucket-exact: counts are the sums of the node counts.
+        assert_eq!(decide.count(), 9);
+        assert_eq!(decide.sum(), 3000);
+        assert_eq!(decide.buckets()[10], 8);
+        assert_eq!(decide.buckets()[12], 1);
+        let t0 = &fleet.tenants["t0"];
+        assert_eq!(t0.count(), 7);
+        assert_eq!(t0.buckets()[9], 6);
+    }
+
+    #[test]
+    fn malformed_hist_lines_reject_the_whole_body() {
+        assert!(parse_hist_body("bogus 1 2 3\n").is_none());
+        // Too few bucket tokens.
+        assert!(parse_hist_body("stage decide json 100 1 2 3\n").is_none());
+        // Trailing junk after the last bucket.
+        let long = hist_line("stage decide json", 1, &[]) + " 99";
+        assert!(parse_hist_body(&long).is_none());
+        // Empty body parses to an empty (but valid) scrape.
+        let empty = parse_hist_body("").unwrap();
+        assert!(empty.stages.is_empty() && empty.tenants.is_empty());
+    }
+
+    #[test]
+    fn trace_span_parser_reads_node_json() {
+        let body = r#"[{"span":9223372036854775809,"stage":"decide","start_ns":100,"end_ns":150,"source":"shard-0"},{"span":12,"stage":"read","start_ns":1,"end_ns":2,"source":"reactor-1"},{"bogus":true}]"#;
+        let spans = parse_trace_spans(body);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].span, (1u64 << 63) | 1);
+        assert_eq!(spans[0].stage, "decide");
+        assert_eq!(spans[0].start_ns, 100);
+        assert_eq!(spans[0].end_ns, 150);
+        assert_eq!(spans[0].source, "shard-0");
+        assert_eq!(spans[1].source, "reactor-1");
+    }
+
+    #[test]
+    fn rebase_anchors_group_min_and_preserves_offsets() {
+        let mut spans = vec![
+            NodeSpan {
+                span: 1,
+                stage: "read".into(),
+                start_ns: 5_000,
+                end_ns: 5_100,
+                source: "reactor-0".into(),
+            },
+            NodeSpan {
+                span: 1,
+                stage: "decide".into(),
+                start_ns: 5_200,
+                end_ns: 5_400,
+                source: "shard-0".into(),
+            },
+        ];
+        rebase(&mut spans, 90_000);
+        assert_eq!(spans[0].start_ns, 90_000);
+        assert_eq!(spans[0].end_ns, 90_100);
+        assert_eq!(spans[1].start_ns, 90_200);
+        assert_eq!(spans[1].end_ns, 90_400);
+    }
+}

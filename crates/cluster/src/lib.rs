@@ -29,18 +29,27 @@
 //!   [`sitw_fleet::FleetSim`] over the union registry. Because
 //!   migration moves tenant state bit-for-bit, placement is invisible
 //!   to verdicts, and one `FleetSim` models the whole cluster.
+//! * [`federate`] + [`telem`] — the fleet observability plane: the
+//!   router stamps sampled trace ids onto forwarded work and records
+//!   its own hop stages, `GET /debug/trace` merges router and node
+//!   spans into one end-to-end timeline, and `GET /metrics/fleet`
+//!   merges the nodes' raw log2 histograms bucket-exactly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod federate;
 pub mod metrics;
 pub mod reconcile;
 pub mod ring;
 pub mod router;
 pub mod sim;
+pub mod telem;
 
-pub use metrics::RouterMetrics;
+pub use federate::{parse_hist_body, parse_trace_spans, FleetHists, NodeHists, NodeSpan};
+pub use metrics::{render_fleet, RouterMetrics};
 pub use reconcile::{aggregate_usage, control_roundtrip, reconcile_shares, NodeReport};
 pub use ring::ClusterRing;
 pub use router::{Router, RouterConfig, RouterTenant};
 pub use sim::{ClusterOutcome, ClusterSim};
+pub use telem::{RouterTelem, ROUTER_TRACE_ORIGIN};

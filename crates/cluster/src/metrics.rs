@@ -1,15 +1,127 @@
 //! Router metrics: counters for the routing hot path, gauges for ring
-//! state, and the cluster-wide per-tenant usage from the last
-//! reconciliation, rendered in Prometheus text format at `/metrics`.
+//! state, the cluster-wide per-tenant usage from the last
+//! reconciliation, and the federated fleet histograms, rendered in
+//! Prometheus text format at `/metrics` and `/metrics/fleet`.
 //!
 //! All names are `sitw_router_*` — disjoint from the nodes'
 //! `sitw_serve_*` namespace, so one scrape config can collect both
-//! without relabeling.
+//! without relabeling. Every family is declared once in [`REGISTRY`];
+//! `render()`/`render_fleet()` source their `# HELP`/`# TYPE` lines
+//! from it, the lockstep unit test asserts the exposition and the
+//! table never drift, and `sitw-lint`'s `metrics-registry` rule checks
+//! naming and typing workspace-wide.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use sitw_serve::metrics::{write_hist_series, SeriesDecl};
 use sitw_serve::wire::TenantUsage;
+
+use crate::federate::FleetHists;
+
+/// Every series family the router exports, declared once.
+// sitw-lint: metrics-registry
+pub const REGISTRY: &[SeriesDecl] = &[
+    SeriesDecl {
+        name: "sitw_router_requests_total",
+        kind: "counter",
+        help: "Requests accepted by protocol.",
+    },
+    SeriesDecl {
+        name: "sitw_router_records_total",
+        kind: "counter",
+        help: "SITW-BIN request records accepted.",
+    },
+    SeriesDecl {
+        name: "sitw_router_forwarded_subframes_total",
+        kind: "counter",
+        help: "Per-node subframes forwarded upstream.",
+    },
+    SeriesDecl {
+        name: "sitw_router_throttled_total",
+        kind: "counter",
+        help: "Invocations rejected by QoS admission.",
+    },
+    SeriesDecl {
+        name: "sitw_router_traced_requests_total",
+        kind: "counter",
+        help: "Requests carrying a trace id (propagated or self-sampled).",
+    },
+    SeriesDecl {
+        name: "sitw_router_node_errors_total",
+        kind: "counter",
+        help: "Upstream failures per node.",
+    },
+    SeriesDecl {
+        name: "sitw_router_ring_epoch",
+        kind: "gauge",
+        help: "Ring epoch (bumps on membership or placement change).",
+    },
+    SeriesDecl {
+        name: "sitw_router_nodes_live",
+        kind: "gauge",
+        help: "Live node count.",
+    },
+    SeriesDecl {
+        name: "sitw_router_reconcile_runs_total",
+        kind: "counter",
+        help: "Budget reconciliations completed.",
+    },
+    SeriesDecl {
+        name: "sitw_router_budget_pushes_total",
+        kind: "counter",
+        help: "Budget shares acknowledged by nodes.",
+    },
+    SeriesDecl {
+        name: "sitw_router_migrations_total",
+        kind: "counter",
+        help: "Tenant migrations completed.",
+    },
+    SeriesDecl {
+        name: "sitw_router_tenant_budget_mb",
+        kind: "gauge",
+        help: "Cluster budget per tenant, MB (last reconcile).",
+    },
+    SeriesDecl {
+        name: "sitw_router_tenant_warm_mb",
+        kind: "gauge",
+        help: "Warm memory per tenant, MB (last reconcile).",
+    },
+    SeriesDecl {
+        name: "sitw_router_tenant_evictions_total",
+        kind: "counter",
+        help: "Budget evictions per tenant (cumulative, sampled at the last reconcile).",
+    },
+    SeriesDecl {
+        name: "sitw_router_tenant_invocations_total",
+        kind: "counter",
+        help: "Invocations served per tenant (cumulative, sampled at the last reconcile).",
+    },
+    SeriesDecl {
+        name: "sitw_router_fleet_nodes",
+        kind: "gauge",
+        help: "Live nodes merged into the federated histograms.",
+    },
+    SeriesDecl {
+        name: "sitw_router_fleet_decision_latency",
+        kind: "histogram",
+        help: "Fleet-wide request latency by node pipeline stage in seconds \
+               (exact merge of the nodes' log2 buckets).",
+    },
+];
+
+/// Writes the `# HELP`/`# TYPE` preamble for `name` from [`REGISTRY`].
+/// Lookups are total by construction: the lockstep unit test fails on
+/// a rendered family missing from the table.
+fn family(out: &mut String, name: &str) {
+    use std::fmt::Write as _;
+    let decl = REGISTRY.iter().find(|d| d.name == name);
+    debug_assert!(decl.is_some(), "family {name} missing from REGISTRY");
+    if let Some(d) = decl {
+        let _ = writeln!(out, "# HELP {} {}", d.name, d.help);
+        let _ = writeln!(out, "# TYPE {} {}", d.name, d.kind);
+    }
+}
 
 /// Counters and gauges of one router process. All atomics are updated
 /// with relaxed ordering: each metric is an independent statistic, not a
@@ -26,6 +138,8 @@ pub struct RouterMetrics {
     pub forwarded_subframes: AtomicU64,
     /// Invocations rejected by QoS admission (both protocols).
     pub throttled: AtomicU64,
+    /// Requests carrying a trace id (propagated or self-sampled).
+    pub traced_requests: AtomicU64,
     /// Upstream failures per node slot (connect, write, or read).
     pub node_errors: Vec<AtomicU64>,
     /// The ring epoch as of the last change.
@@ -51,6 +165,7 @@ impl RouterMetrics {
             bin_records: AtomicU64::new(0),
             forwarded_subframes: AtomicU64::new(0),
             throttled: AtomicU64::new(0),
+            traced_requests: AtomicU64::new(0),
             node_errors: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
             ring_epoch: AtomicU64::new(0),
             nodes_live: AtomicU64::new(nodes as u64),
@@ -73,22 +188,12 @@ impl RouterMetrics {
     pub fn render(&self, node_addrs: &[String]) -> String {
         use std::fmt::Write as _;
         let mut out = String::with_capacity(1024);
-        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {v}");
-        };
-        let gauge = |out: &mut String, name: &str, help: &str, v: u64| {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} gauge");
+        let scalar = |out: &mut String, name: &str, v: u64| {
+            family(out, name);
             let _ = writeln!(out, "{name} {v}");
         };
 
-        let _ = writeln!(
-            out,
-            "# HELP sitw_router_requests_total Requests accepted by protocol."
-        );
-        let _ = writeln!(out, "# TYPE sitw_router_requests_total counter");
+        family(&mut out, "sitw_router_requests_total");
         let _ = writeln!(
             out,
             "sitw_router_requests_total{{proto=\"json\"}} {}",
@@ -99,29 +204,27 @@ impl RouterMetrics {
             "sitw_router_requests_total{{proto=\"bin\"}} {}",
             self.bin_frames.load(Ordering::Relaxed)
         );
-        counter(
+        scalar(
             &mut out,
             "sitw_router_records_total",
-            "SITW-BIN request records accepted.",
             self.bin_records.load(Ordering::Relaxed),
         );
-        counter(
+        scalar(
             &mut out,
             "sitw_router_forwarded_subframes_total",
-            "Per-node subframes forwarded upstream.",
             self.forwarded_subframes.load(Ordering::Relaxed),
         );
-        counter(
+        scalar(
             &mut out,
             "sitw_router_throttled_total",
-            "Invocations rejected by QoS admission.",
             self.throttled.load(Ordering::Relaxed),
         );
-        let _ = writeln!(
-            out,
-            "# HELP sitw_router_node_errors_total Upstream failures per node."
+        scalar(
+            &mut out,
+            "sitw_router_traced_requests_total",
+            self.traced_requests.load(Ordering::Relaxed),
         );
-        let _ = writeln!(out, "# TYPE sitw_router_node_errors_total counter");
+        family(&mut out, "sitw_router_node_errors_total");
         for (i, c) in self.node_errors.iter().enumerate() {
             let addr = node_addrs.get(i).map(String::as_str).unwrap_or("?");
             let _ = writeln!(
@@ -130,62 +233,43 @@ impl RouterMetrics {
                 c.load(Ordering::Relaxed)
             );
         }
-        gauge(
+        scalar(
             &mut out,
             "sitw_router_ring_epoch",
-            "Ring epoch (bumps on membership or placement change).",
             self.ring_epoch.load(Ordering::Relaxed),
         );
-        gauge(
+        scalar(
             &mut out,
             "sitw_router_nodes_live",
-            "Live node count.",
             self.nodes_live.load(Ordering::Relaxed),
         );
-        counter(
+        scalar(
             &mut out,
             "sitw_router_reconcile_runs_total",
-            "Budget reconciliations completed.",
             self.reconcile_runs.load(Ordering::Relaxed),
         );
-        counter(
+        scalar(
             &mut out,
             "sitw_router_budget_pushes_total",
-            "Budget shares acknowledged by nodes.",
             self.budget_pushes.load(Ordering::Relaxed),
         );
-        counter(
+        scalar(
             &mut out,
             "sitw_router_migrations_total",
-            "Tenant migrations completed.",
             self.migrations.load(Ordering::Relaxed),
         );
 
         let usage = self.usage.lock().expect("usage poisoned");
-        for (name, help, get) in [
+        for (name, get) in [
             (
                 "sitw_router_tenant_budget_mb",
-                "Cluster budget per tenant, MB (last reconcile).",
                 (|t| t.budget_mb) as fn(&TenantUsage) -> u64,
             ),
-            (
-                "sitw_router_tenant_warm_mb",
-                "Warm memory per tenant, MB (last reconcile).",
-                |t| t.warm_mb,
-            ),
-            (
-                "sitw_router_tenant_evictions_total",
-                "Budget evictions per tenant (last reconcile).",
-                |t| t.evictions,
-            ),
-            (
-                "sitw_router_tenant_invocations_total",
-                "Invocations served per tenant (last reconcile).",
-                |t| t.invocations,
-            ),
+            ("sitw_router_tenant_warm_mb", |t| t.warm_mb),
+            ("sitw_router_tenant_evictions_total", |t| t.evictions),
+            ("sitw_router_tenant_invocations_total", |t| t.invocations),
         ] {
-            let _ = writeln!(out, "# HELP {name} {help}");
-            let _ = writeln!(out, "# TYPE {name} gauge");
+            family(&mut out, name);
             for t in usage.iter() {
                 let _ = writeln!(out, "{name}{{tenant=\"{}\"}} {}", t.name, get(t));
             }
@@ -194,9 +278,43 @@ impl RouterMetrics {
     }
 }
 
+/// Renders the `/metrics/fleet` exposition from one federation pass:
+/// the merged per-stage/per-proto and per-tenant histograms, laid out
+/// byte-identically to a node's `sitw_serve_decision_latency` (same
+/// bucket bounds, same label shape), plus the node count that merge
+/// covered. Exactness invariant: every `_count`/`_bucket` value equals
+/// the sum of the corresponding node values.
+pub fn render_fleet(fleet: &FleetHists) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(4096);
+    family(&mut out, "sitw_router_fleet_nodes");
+    let _ = writeln!(out, "sitw_router_fleet_nodes {}", fleet.nodes);
+    family(&mut out, "sitw_router_fleet_decision_latency");
+    for ((stage, proto), h) in &fleet.stages {
+        write_hist_series(
+            &mut out,
+            "sitw_router_fleet_decision_latency",
+            &format!("stage=\"{stage}\",proto=\"{proto}\""),
+            h,
+        );
+    }
+    for (tenant, h) in &fleet.tenants {
+        write_hist_series(
+            &mut out,
+            "sitw_router_fleet_decision_latency",
+            &format!("stage=\"decide\",tenant=\"{tenant}\""),
+            h,
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::federate::parse_hist_body;
+    use sitw_telemetry::BUCKETS;
+    use std::collections::BTreeSet;
 
     #[test]
     fn render_includes_all_families_and_labels() {
@@ -218,5 +336,60 @@ mod tests {
         assert!(text.contains("sitw_router_nodes_live 2"));
         assert!(text.contains("sitw_router_tenant_budget_mb{tenant=\"t0\"} 64"));
         assert!(text.contains("sitw_router_tenant_invocations_total{tenant=\"t0\"} 9"));
+        // Cumulative tallies are typed counter, snapshots gauge.
+        assert!(text.contains("# TYPE sitw_router_tenant_invocations_total counter"));
+        assert!(text.contains("# TYPE sitw_router_tenant_warm_mb gauge"));
+    }
+
+    #[test]
+    fn registry_matches_rendered_families() {
+        // Render both expositions with every label-bearing family
+        // populated, then assert the `# TYPE`d families are exactly the
+        // REGISTRY — no undeclared renders, no dead declarations.
+        let m = RouterMetrics::new(1);
+        m.usage.lock().unwrap().push(TenantUsage {
+            name: "t0".into(),
+            budget_mb: 1,
+            warm_mb: 1,
+            evictions: 1,
+            idle_mb_ms: 1,
+            invocations: 1,
+        });
+        let mut fleet = FleetHists::default();
+        let mut line = String::from("stage decide json 100");
+        line.push_str(&" 1".repeat(BUCKETS));
+        line.push_str("\ntenant t0 100");
+        line.push_str(&" 1".repeat(BUCKETS));
+        line.push('\n');
+        fleet.absorb(parse_hist_body(&line).unwrap());
+        let text = m.render(&["n0".into()]) + &render_fleet(&fleet);
+        let rendered: BTreeSet<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("# TYPE "))
+            .filter_map(|l| l.split_whitespace().next())
+            .collect();
+        let declared: BTreeSet<&str> = REGISTRY.iter().map(|d| d.name).collect();
+        assert_eq!(rendered, declared);
+    }
+
+    #[test]
+    fn fleet_render_is_bucket_exact_over_nodes() {
+        let mut line = String::from("stage decide bin 300");
+        let mut buckets = vec![0u64; BUCKETS];
+        buckets[11] = 7;
+        for b in &buckets {
+            line.push_str(&format!(" {b}"));
+        }
+        line.push('\n');
+        let mut fleet = FleetHists::default();
+        fleet.absorb(parse_hist_body(&line).unwrap());
+        fleet.absorb(parse_hist_body(&line).unwrap());
+        fleet.absorb(parse_hist_body(&line).unwrap());
+        let text = render_fleet(&fleet);
+        assert!(text.contains("sitw_router_fleet_nodes 3"));
+        // 3 nodes x 7 samples, exactly.
+        assert!(text.contains(
+            "sitw_router_fleet_decision_latency_count{stage=\"decide\",proto=\"bin\"} 21"
+        ));
     }
 }

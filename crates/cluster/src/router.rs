@@ -42,12 +42,17 @@ use sitw_fleet::{registry::parse_tenant_arg, Admission, QosPolicy};
 use sitw_serve::http::{write_response, ConnBuf, EventOutcome};
 use sitw_serve::wire::{
     self, decode_server_frame, encode_error_frame, encode_reply_records, encode_request_frame_v2,
-    BinErrorCode, BinInvoke, BinReply, ControlReply, ControlRequest, ServerFrameDecode,
+    encode_request_frame_v2_traced, BinErrorCode, BinInvoke, BinReply, ControlReply,
+    ControlRequest, ServerFrameDecode,
 };
 
-use crate::metrics::RouterMetrics;
+use sitw_telemetry::{is_trace_span, EventKind, LifecycleEvent, Stage};
+
+use crate::federate::{parse_hist_body, parse_trace_spans, rebase, FleetHists, NodeSpan};
+use crate::metrics::{render_fleet, RouterMetrics};
 use crate::reconcile::{aggregate_usage, control_roundtrip, reconcile_shares, NodeReport};
 use crate::ring::ClusterRing;
+use crate::telem::RouterTelem;
 
 /// How long the router waits for an upstream TCP connect.
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
@@ -103,6 +108,10 @@ pub struct RouterConfig {
     /// Client-side read timeout — the shutdown poll interval of reader
     /// threads.
     pub read_timeout: Duration,
+    /// Tag every Nth untraced request with a router-originated trace id
+    /// and record hop spans for all traced requests; 0 disables hop
+    /// recording (client trace ids still propagate to the nodes).
+    pub trace_sample: usize,
 }
 
 impl Default for RouterConfig {
@@ -113,6 +122,7 @@ impl Default for RouterConfig {
             tenants: Vec::new(),
             reconcile_ms: 1_000,
             read_timeout: Duration::from_millis(50),
+            trace_sample: 0,
         }
     }
 }
@@ -150,6 +160,8 @@ struct RouterCtx {
     /// nodes once tenants migrate).
     node_ids: RwLock<Vec<HashMap<String, u16>>>,
     metrics: RouterMetrics,
+    /// Hop span recorder, lifecycle event ring, and trace sampler.
+    telem: RouterTelem,
     shutdown: AtomicBool,
 }
 
@@ -264,7 +276,98 @@ impl RouterCtx {
             epoch
         };
         self.metrics.migrations.fetch_add(1, Ordering::Relaxed);
+        self.telem.event(
+            EventKind::Migration,
+            tenant,
+            "",
+            format!("from={from} to={to}"),
+        );
+        self.telem
+            .event(EventKind::RingEpoch, "", "", format!("epoch={epoch}"));
         Ok((from, to, epoch))
+    }
+
+    /// One fleet federation pass: scrapes every live node's
+    /// `/debug/hist` and merges the raw log2 buckets exactly. Scrape or
+    /// parse failures count a node error and leave that node out of the
+    /// merge (`sitw_router_fleet_nodes` reports the coverage).
+    fn fleet_scrape(&self) -> FleetHists {
+        let ring = self.ring.read().expect("ring poisoned").clone();
+        let mut fleet = FleetHists::default();
+        for node in 0..self.nodes.len() {
+            if !ring.is_live(node) {
+                continue;
+            }
+            match http_request(self.nodes[node], "GET", "/debug/hist", b"") {
+                Ok((200, body)) => match parse_hist_body(&body) {
+                    Some(h) => fleet.absorb(h),
+                    None => self.metrics.node_error(node),
+                },
+                Ok(_) | Err(_) => self.metrics.node_error(node),
+            }
+        }
+        fleet
+    }
+
+    /// The merged end-to-end timeline: the router's own hop spans plus
+    /// every live node's propagated-trace spans, rebased per
+    /// (node, trace) onto the router clock (anchored at the router's
+    /// forward-completion instant for that trace) and ordered by
+    /// (trace, start). Non-destructive on both sides — scraping changes
+    /// nothing.
+    fn merged_trace(&self) -> Vec<NodeSpan> {
+        let mut spans: Vec<NodeSpan> = Vec::new();
+        let mut forward_end: HashMap<u64, u64> = HashMap::new();
+        {
+            let rec = self.telem.recorder.lock().expect("recorder poisoned");
+            for ev in rec.events() {
+                if ev.stage == Stage::Forward {
+                    forward_end.insert(ev.span, ev.end_ns);
+                }
+                spans.push(NodeSpan {
+                    span: ev.span,
+                    stage: ev.stage.name().to_owned(),
+                    start_ns: ev.start_ns,
+                    end_ns: ev.end_ns,
+                    source: "router".to_owned(),
+                });
+            }
+        }
+        let ring = self.ring.read().expect("ring poisoned").clone();
+        for node in 0..self.nodes.len() {
+            if !ring.is_live(node) {
+                continue;
+            }
+            let body = match http_request(
+                self.nodes[node],
+                "GET",
+                "/debug/trace?format=json&n=4096",
+                b"",
+            ) {
+                Ok((200, body)) => body,
+                Ok(_) | Err(_) => {
+                    self.metrics.node_error(node);
+                    continue;
+                }
+            };
+            let mut by_trace: HashMap<u64, Vec<NodeSpan>> = HashMap::new();
+            for s in parse_trace_spans(&body) {
+                if is_trace_span(s.span) {
+                    by_trace.entry(s.span).or_default().push(s);
+                }
+            }
+            for (trace, mut group) in by_trace {
+                if let Some(&anchor) = forward_end.get(&trace) {
+                    rebase(&mut group, anchor);
+                }
+                for mut s in group {
+                    s.source = format!("{}/{}", self.node_names[node], s.source);
+                    spans.push(s);
+                }
+            }
+        }
+        spans.sort_by_key(|s| (s.span, s.start_ns, s.end_ns));
+        spans
     }
 }
 
@@ -322,13 +425,19 @@ impl Router {
         let reconcile_ms = cfg.reconcile_ms;
         let has_qos = cfg.tenants.iter().any(|t| t.qos.is_some());
         let solo_target = nodes.len() == 1 && !has_qos;
-        let raw_v1 = solo_target;
+        // Raw relay surfaces frames undecoded, so the sampler could
+        // never tag every Nth one: hop tracing forces the decode path.
+        // (Client-traced frames bypass raw relay regardless — their
+        // flagged kind byte fails the raw capture's exact match.)
+        let raw_v1 = solo_target && cfg.trace_sample == 0;
         let raw_v2 = solo_target
+            && cfg.trace_sample == 0
             && cfg
                 .tenants
                 .iter()
                 .enumerate()
                 .all(|(i, t)| node_ids[0].get(&t.name) == Some(&(i as u16 + 1)));
+        let telem = RouterTelem::new(cfg.trace_sample);
         let ctx = Arc::new(RouterCtx {
             ring: RwLock::new(ClusterRing::new(nodes.len())),
             admission: Mutex::new(admission),
@@ -338,6 +447,7 @@ impl Router {
             raw_v2,
             node_ids: RwLock::new(node_ids),
             metrics,
+            telem,
             shutdown: AtomicBool::new(false),
             nodes,
             node_names,
@@ -464,12 +574,24 @@ enum Pending {
     Local(Vec<u8>),
     /// `count` consecutive JSON requests were forwarded to `node`;
     /// relay their responses in order. A pipelined same-node run
-    /// coalesces into one pending.
-    Json { node: usize, count: u32 },
+    /// coalesces into one pending — except traced requests, which get a
+    /// dedicated `count == 1` pending so the drain can time their
+    /// `await`/`reassemble` hop spans.
+    Json {
+        node: usize,
+        count: u32,
+        /// `(trace id, forward-end ns)` when this pending is one traced
+        /// request and hop recording is on.
+        hop: Option<(u64, u64)>,
+    },
     /// One client SITW-BIN v2 frame whose records all mapped to `node`
     /// with nothing throttled locally: the node's reply (or typed
     /// error) frame answers the client verbatim, no reassembly.
-    RawFrame { node: usize },
+    RawFrame {
+        node: usize,
+        /// `(trace id, forward-end ns)` when traced (see `Json::hop`).
+        hop: Option<(u64, u64)>,
+    },
     /// One client BIN frame, split across nodes.
     Frame {
         /// The client frame's protocol version (replies echo it).
@@ -481,6 +603,8 @@ enum Pending {
         /// An upstream write failed; answer `Unavailable` with this
         /// detail after draining the nodes that did receive subframes.
         failed: Option<String>,
+        /// `(trace id, forward-end ns)` when traced (see `Json::hop`).
+        hop: Option<(u64, u64)>,
     },
 }
 
@@ -522,6 +646,7 @@ fn client_thread(ctx: Arc<RouterCtx>, stream: TcpStream) {
         queued_bytes: 0,
         out_buf: Vec::new(),
         json_run: None,
+        egress: Vec::new(),
     };
     conn.run();
 }
@@ -551,6 +676,10 @@ struct ClientConn {
     /// before any other pending is enqueued (the FIFO order is the
     /// response order) and before draining.
     json_run: Option<(usize, u32)>,
+    /// Traced responses rendered but not yet written to the client:
+    /// `(trace id, reassemble-end ns)`. Their `egress` hop spans close
+    /// when the next client flush succeeds.
+    egress: Vec<(u64, u64)>,
 }
 
 impl ClientConn {
@@ -587,8 +716,12 @@ impl ClientConn {
                         break;
                     }
                 }
-                EventOutcome::Frame { records, version } => {
-                    if !self.handle_frame(&records, version) {
+                EventOutcome::Frame {
+                    records,
+                    version,
+                    trace,
+                } => {
+                    if !self.handle_frame(&records, version, trace) {
                         break;
                     }
                 }
@@ -638,7 +771,13 @@ impl ClientConn {
         self.flush_json_run();
         self.flush_upstream();
         while let Some(pending) = self.pendings.pop_front() {
-            handle_pending(&self.ctx, pending, &mut self.readers, &mut self.out_buf);
+            handle_pending(
+                &self.ctx,
+                pending,
+                &mut self.readers,
+                &mut self.out_buf,
+                &mut self.egress,
+            );
             if self.out_buf.len() >= 64 * 1024 && !self.flush_client() {
                 return false;
             }
@@ -653,6 +792,14 @@ impl ClientConn {
         }
         let ok = self.writer.write_all(&self.out_buf).is_ok();
         self.out_buf.clear();
+        if ok {
+            let t = self.ctx.telem.now_ns();
+            for (id, start) in self.egress.drain(..) {
+                self.ctx.telem.record(id, Stage::Egress, start, t);
+            }
+        } else {
+            self.egress.clear();
+        }
         ok
     }
 
@@ -677,9 +824,20 @@ impl ClientConn {
     }
 
     /// Records one forwarded JSON request for `node`, extending the
-    /// current same-node run or starting a new one.
-    fn queue_json(&mut self, node: usize) -> bool {
+    /// current same-node run or starting a new one. A traced request
+    /// (`hop` set) gets its own single-request pending so the drain can
+    /// time its hop spans.
+    fn queue_json(&mut self, node: usize, hop: Option<(u64, u64)>) -> bool {
         self.queued_bytes += JSON_RESPONSE_ESTIMATE;
+        if hop.is_some() {
+            self.flush_json_run();
+            self.pendings.push_back(Pending::Json {
+                node,
+                count: 1,
+                hop,
+            });
+            return true;
+        }
         match &mut self.json_run {
             Some((n, count)) if *n == node => *count += 1,
             _ => {
@@ -693,7 +851,11 @@ impl ClientConn {
     /// Enqueues the coalesced JSON run (if any) behind earlier pendings.
     fn flush_json_run(&mut self) {
         if let Some((node, count)) = self.json_run.take() {
-            self.pendings.push_back(Pending::Json { node, count });
+            self.pendings.push_back(Pending::Json {
+                node,
+                count,
+                hop: None,
+            });
         }
     }
 
@@ -760,6 +922,34 @@ impl ClientConn {
                 let text = self.ctx.metrics.render(&self.ctx.node_names);
                 self.send_response(200, "text/plain; version=0.0.4", text.as_bytes())
             }
+            ("GET", "/metrics/fleet") => {
+                // Federation pass: pull every live node's raw log2
+                // buckets and merge exactly. This blocks on node
+                // round-trips, which is fine on the control path — the
+                // data path never calls it.
+                let text = render_fleet(&self.ctx.fleet_scrape());
+                self.send_response(200, "text/plain; version=0.0.4", text.as_bytes())
+            }
+            ("GET", "/debug/trace") => {
+                let json = query.split('&').any(|p| p == "format=json");
+                let spans = self.ctx.merged_trace();
+                let body = render_merged_trace(&spans, json);
+                let content_type = if json {
+                    "application/json"
+                } else {
+                    "text/plain"
+                };
+                self.send_response(200, content_type, body.as_bytes())
+            }
+            ("GET", "/debug/events") => {
+                // Snapshot the ring under the lock, render outside it.
+                let (pushed, events) = {
+                    let ring = self.ctx.telem.events.lock().expect("events poisoned");
+                    (ring.pushed(), ring.events().cloned().collect::<Vec<_>>())
+                };
+                let body = render_events(pushed, &events);
+                self.send_response(200, "application/json", body.as_bytes())
+            }
             ("GET", "/admin/ring") => {
                 let ring = self.ctx.ring.read().expect("ring poisoned");
                 let mut body = format!("{{\"epoch\":{},\"nodes\":[", ring.epoch());
@@ -819,6 +1009,14 @@ impl ClientConn {
                             self.ctx.sync_ring_gauges(&ring);
                             (dropped, ring.epoch(), ring.live_count())
                         };
+                        if dropped {
+                            self.ctx.telem.event(
+                                EventKind::RingEpoch,
+                                "",
+                                "",
+                                format!("epoch={epoch} drop-node={node} live={live}"),
+                            );
+                        }
                         let body =
                             format!("{{\"dropped\":{dropped},\"epoch\":{epoch},\"live\":{live}}}");
                         self.send_response(200, "application/json", body.as_bytes())
@@ -874,8 +1072,9 @@ impl ClientConn {
             }
             (
                 _,
-                "/invoke" | "/healthz" | "/metrics" | "/admin/ring" | "/admin/ring/drop"
-                | "/admin/migrate" | "/admin/reconcile" | "/admin/tenants" | "/admin/shutdown",
+                "/invoke" | "/healthz" | "/metrics" | "/metrics/fleet" | "/debug/trace"
+                | "/debug/events" | "/admin/ring" | "/admin/ring/drop" | "/admin/migrate"
+                | "/admin/reconcile" | "/admin/tenants" | "/admin/shutdown",
             ) => self.send_response(
                 405,
                 "application/json",
@@ -888,6 +1087,14 @@ impl ClientConn {
 
     /// Admission + placement + forward for one JSON `/invoke`.
     fn forward_invoke(&mut self, req: &sitw_serve::http::Request) -> bool {
+        let t0 = self.ctx.telem.now_ns();
+        let trace = self.ctx.telem.sample(req.trace);
+        if trace.is_some() {
+            self.ctx
+                .metrics
+                .traced_requests
+                .fetch_add(1, Ordering::Relaxed);
+        }
         // One-node cluster without QoS admission: the routing decision
         // is a constant, so the body needn't be parsed at all — the
         // router degrades to a protocol-terminating relay and the node
@@ -906,7 +1113,13 @@ impl ClientConn {
                 .metrics
                 .json_requests
                 .fetch_add(1, Ordering::Relaxed);
-            return self.forward_invoke_to(0, req);
+            if let Some(id) = trace {
+                // The constant routing decision is a zero-width span.
+                let t1 = self.ctx.telem.now_ns();
+                self.ctx.telem.record(id, Stage::Ingress, t0, t1);
+                self.ctx.telem.record(id, Stage::Route, t1, t1);
+            }
+            return self.forward_invoke_to(0, req, trace);
         }
         let inv = match wire::parse_invoke(&req.body) {
             Ok(inv) => inv,
@@ -928,10 +1141,18 @@ impl ClientConn {
                 .admit(name, inv.ts);
             if !admitted {
                 self.ctx.metrics.throttled.fetch_add(1, Ordering::Relaxed);
+                self.ctx.telem.event(
+                    EventKind::Throttle,
+                    name,
+                    &inv.app,
+                    format!("proto=json ts={}", inv.ts),
+                );
                 let body = format!("{{\"error\":\"throttled\",\"tenant\":\"{name}\"}}");
                 return self.send_response(429, "application/json", body.as_bytes());
             }
         }
+        // Ingress covers parse + admission; the ring lookup is `route`.
+        let t1 = self.ctx.telem.now_ns();
         let node = {
             let ring = self.ctx.ring.read().expect("ring poisoned");
             match &inv.tenant {
@@ -942,27 +1163,55 @@ impl ClientConn {
         let Some(node) = node else {
             return self.send_response(503, "application/json", b"{\"error\":\"no live nodes\"}");
         };
+        if let Some(id) = trace {
+            let t2 = self.ctx.telem.now_ns();
+            self.ctx.telem.record(id, Stage::Ingress, t0, t1);
+            self.ctx.telem.record(id, Stage::Route, t1, t2);
+        }
         // Tenant names are the cluster-wide key, so the body forwards
         // verbatim — no id rewrite on the JSON path.
-        self.forward_invoke_to(node, req)
+        self.forward_invoke_to(node, req, trace)
     }
 
     /// Writes one `/invoke` forward for `node` into its buffered
-    /// upstream writer and queues the response relay.
-    fn forward_invoke_to(&mut self, node: usize, req: &sitw_serve::http::Request) -> bool {
+    /// upstream writer and queues the response relay. A traced request
+    /// carries its id to the node as an `x-sitw-trace` header, and its
+    /// `forward` hop span closes here.
+    fn forward_invoke_to(
+        &mut self,
+        node: usize,
+        req: &sitw_serve::http::Request,
+        trace: Option<u64>,
+    ) -> bool {
+        let t_f0 = self.ctx.telem.now_ns();
         let forwarded = self.ensure_node(node).and_then(|()| {
             let Some(stream) = self.upstream[node].as_mut() else {
                 return Err(io::Error::other("upstream vanished"));
             };
             // Straight into the buffered writer — no intermediate
             // allocation on the per-request path.
-            stream.write_all(b"POST /invoke HTTP/1.1\r\ncontent-length: ")?;
+            stream.write_all(b"POST /invoke HTTP/1.1\r\n")?;
+            if let Some(id) = trace {
+                write!(stream, "x-sitw-trace: {id:#018x}\r\n")?;
+            }
+            stream.write_all(b"content-length: ")?;
             write!(stream, "{}", req.body.len())?;
             stream.write_all(b"\r\n\r\n")?;
             stream.write_all(&req.body)
         });
         match forwarded {
-            Ok(()) => self.queue_json(node),
+            Ok(()) => {
+                let hop = if self.ctx.telem.enabled {
+                    let t_f1 = self.ctx.telem.now_ns();
+                    if let Some(id) = trace {
+                        self.ctx.telem.record(id, Stage::Forward, t_f0, t_f1);
+                    }
+                    trace.map(|id| (id, t_f1))
+                } else {
+                    None
+                };
+                self.queue_json(node, hop)
+            }
             Err(e) => {
                 self.ctx.metrics.node_error(node);
                 self.upstream[node] = None;
@@ -977,14 +1226,30 @@ impl ClientConn {
     }
 
     /// Admission + split + forward for one client SITW-BIN frame.
-    fn handle_frame(&mut self, records: &[BinInvoke], version: u8) -> bool {
+    fn handle_frame(
+        &mut self,
+        records: &[BinInvoke],
+        version: u8,
+        client_trace: Option<u64>,
+    ) -> bool {
         self.flush_json_run();
+        let t0 = self.ctx.telem.now_ns();
+        let trace = self.ctx.telem.sample(client_trace);
+        if trace.is_some() {
+            self.ctx
+                .metrics
+                .traced_requests
+                .fetch_add(1, Ordering::Relaxed);
+        }
         self.ctx.metrics.bin_frames.fetch_add(1, Ordering::Relaxed);
         self.ctx
             .metrics
             .bin_records
             .fetch_add(records.len() as u64, Ordering::Relaxed);
 
+        // Ingress ends where the slot loop (admission + placement —
+        // the `route` hop) begins.
+        let t1 = self.ctx.telem.now_ns();
         let mut slots = Vec::with_capacity(records.len());
         let mut batches: Vec<Vec<(u16, &str, u64)>> =
             (0..self.ctx.nodes.len()).map(|_| Vec::new()).collect();
@@ -1016,6 +1281,12 @@ impl ClientConn {
                     let admitted = admission.as_mut().is_none_or(|a| a.admit(&rt.name, rec.ts));
                     if !admitted {
                         self.ctx.metrics.throttled.fetch_add(1, Ordering::Relaxed);
+                        self.ctx.telem.event(
+                            EventKind::Throttle,
+                            &rt.name,
+                            &rec.app,
+                            format!("proto=bin ts={}", rec.ts),
+                        );
                         slots.push(Slot::Throttled);
                         continue;
                     }
@@ -1049,6 +1320,12 @@ impl ClientConn {
             }
         }
 
+        let t2 = self.ctx.telem.now_ns();
+        if let Some(id) = trace {
+            self.ctx.telem.record(id, Stage::Ingress, t0, t1);
+            self.ctx.telem.record(id, Stage::Route, t1, t2);
+        }
+
         // Pre-flight: connect every needed node before sending anything,
         // so a dead node fails the frame without leaving half a batch in
         // flight elsewhere.
@@ -1068,7 +1345,12 @@ impl ClientConn {
         let mut failed = None;
         for &node in &needed {
             let mut frame = Vec::new();
-            encode_request_frame_v2(&mut frame, &batches[node]);
+            // Traced frames carry the id to each node's subframe, so
+            // every node tags its pipeline stages with the same span.
+            match trace {
+                Some(id) => encode_request_frame_v2_traced(&mut frame, &batches[node], id),
+                None => encode_request_frame_v2(&mut frame, &batches[node]),
+            }
             let result = match self.upstream[node].as_mut() {
                 Some(stream) => stream.write_all(&frame),
                 None => Err(io::Error::other("upstream vanished")),
@@ -1089,6 +1371,15 @@ impl ClientConn {
                 }
             }
         }
+        let hop = if self.ctx.telem.enabled {
+            let t3 = self.ctx.telem.now_ns();
+            if let Some(id) = trace {
+                self.ctx.telem.record(id, Stage::Forward, t2, t3);
+            }
+            trace.map(|id| (id, t3))
+        } else {
+            None
+        };
         // Fast path: a v2 frame that mapped whole onto one node with
         // nothing throttled needs no reassembly — the node's reply (or
         // typed error) frame IS the client's answer, byte for byte.
@@ -1100,7 +1391,8 @@ impl ClientConn {
             && sent.len() == 1
             && slots.len() == batches[sent[0]].len()
         {
-            self.pendings.push_back(Pending::RawFrame { node: sent[0] });
+            self.pendings
+                .push_back(Pending::RawFrame { node: sent[0], hop });
             return true;
         }
         self.pendings.push_back(Pending::Frame {
@@ -1108,6 +1400,7 @@ impl ClientConn {
             slots,
             sent,
             failed,
+            hop,
         });
         true
     }
@@ -1140,7 +1433,8 @@ impl ClientConn {
                     .forwarded_subframes
                     .fetch_add(1, Ordering::Relaxed);
                 self.queued_bytes += wire::BIN_HEADER_LEN + wire::REPLY_RECORD_LEN * count as usize;
-                self.pendings.push_back(Pending::RawFrame { node: 0 });
+                self.pendings
+                    .push_back(Pending::RawFrame { node: 0, hop: None });
                 true
             }
             Err(e) => {
@@ -1290,11 +1584,15 @@ impl NodeReader {
 }
 
 /// Processes one pending response, appending client bytes to `out`.
+/// A traced pending (`hop` set) closes its `await` and `reassemble`
+/// hop spans here and leaves an entry in `egress` so the next
+/// successful client flush can close the `egress` span.
 fn handle_pending(
     ctx: &RouterCtx,
     pending: Pending,
     readers: &mut [Option<NodeReader>],
     out_buf: &mut Vec<u8>,
+    egress: &mut Vec<(u64, u64)>,
 ) {
     match pending {
         Pending::Register { node, stream } => {
@@ -1303,7 +1601,7 @@ fn handle_pending(
         Pending::Local(bytes) => {
             out_buf.extend_from_slice(&bytes);
         }
-        Pending::Json { node, count } => {
+        Pending::Json { node, count, hop } => {
             // One pending covers a coalesced run; each response still
             // answers its own request, so a mid-run failure turns the
             // rest of the run into per-request 503s.
@@ -1323,8 +1621,16 @@ fn handle_pending(
                     write_response(out_buf, 503, "application/json", body.as_bytes());
                 }
             }
+            if let Some((id, t_fwd)) = hop {
+                // A relayed JSON response involves no re-encoding, so
+                // `reassemble` is a zero-width span.
+                let t_reply = ctx.telem.now_ns();
+                ctx.telem.record(id, Stage::Await, t_fwd, t_reply);
+                ctx.telem.record(id, Stage::Reassemble, t_reply, t_reply);
+                egress.push((id, t_reply));
+            }
         }
-        Pending::RawFrame { node } => {
+        Pending::RawFrame { node, hop } => {
             let result = match readers[node].as_mut() {
                 Some(r) => r.relay_reply_frame(out_buf),
                 None => Err(io::Error::other("no upstream reader")),
@@ -1338,12 +1644,19 @@ fn handle_pending(
                     &format!("node {} down: {e}", ctx.node_names[node]),
                 );
             }
+            if let Some((id, t_fwd)) = hop {
+                let t_reply = ctx.telem.now_ns();
+                ctx.telem.record(id, Stage::Await, t_fwd, t_reply);
+                ctx.telem.record(id, Stage::Reassemble, t_reply, t_reply);
+                egress.push((id, t_reply));
+            }
         }
         Pending::Frame {
             version,
             slots,
             sent,
             failed,
+            hop,
         } => {
             let mut error: Option<(BinErrorCode, String)> =
                 failed.map(|d| (BinErrorCode::Unavailable, d));
@@ -1379,6 +1692,9 @@ fn handle_pending(
                     }
                 }
             }
+            // Every subframe reply is in: `await` ends, `reassemble`
+            // starts.
+            let t_reply = if hop.is_some() { ctx.telem.now_ns() } else { 0 };
             if error.is_none() {
                 // Reassemble: per-node replies interleave back into
                 // request order, with local Throttled records
@@ -1411,8 +1727,80 @@ fn handle_pending(
             if let Some((code, detail)) = error {
                 encode_error_frame(out_buf, code, &detail);
             }
+            if let Some((id, t_fwd)) = hop {
+                let t_out = ctx.telem.now_ns();
+                ctx.telem.record(id, Stage::Await, t_fwd, t_reply);
+                ctx.telem.record(id, Stage::Reassemble, t_reply, t_out);
+                egress.push((id, t_out));
+            }
         }
     }
+}
+
+/// Renders the merged fleet timeline for the router's `/debug/trace`:
+/// the node's text shape plus a `source` column, or (with
+/// `format=json`) an array of span objects with hex trace ids.
+fn render_merged_trace(spans: &[NodeSpan], json: bool) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(64 + spans.len() * 96);
+    if json {
+        out.push('[');
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"trace\":\"{:#018x}\",\"stage\":\"{}\",\"start_ns\":{},\"end_ns\":{},\
+                 \"source\":\"{}\"}}",
+                s.span,
+                wire::json_escape(&s.stage),
+                s.start_ns,
+                s.end_ns,
+                wire::json_escape(&s.source),
+            );
+        }
+        out.push(']');
+    } else {
+        out.push_str("# start_ns end_ns dur_ns span stage source\n");
+        for s in spans {
+            let _ = writeln!(
+                out,
+                "{} {} {} {:#018x} {} {}",
+                s.start_ns,
+                s.end_ns,
+                s.end_ns.saturating_sub(s.start_ns),
+                s.span,
+                s.stage,
+                s.source,
+            );
+        }
+    }
+    out
+}
+
+/// Renders the router's `/debug/events` body — same shape as a node's.
+fn render_events(pushed: u64, events: &[LifecycleEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut body = String::with_capacity(64 + events.len() * 96);
+    let _ = write!(body, "{{\"pushed\":{pushed},\"events\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(
+            body,
+            "{{\"ts_ms\":{},\"kind\":\"{}\",\"tenant\":\"{}\",\"app\":\"{}\",\
+             \"detail\":\"{}\"}}",
+            ev.ts_ms,
+            ev.kind.name(),
+            wire::json_escape(&ev.tenant),
+            wire::json_escape(&ev.app),
+            wire::json_escape(&ev.detail),
+        );
+    }
+    body.push_str("]}");
+    body
 }
 
 /// Minimal one-shot HTTP client for the control plane (provisioning,

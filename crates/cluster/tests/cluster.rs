@@ -304,3 +304,208 @@ fn shutdown_endpoint_stops_the_router() {
     router.wait();
     node.shutdown().unwrap();
 }
+
+// ---------------------------------------------------------------------
+// Fleet observability plane: trace propagation across the router hop
+// and exact metric federation.
+
+/// One parsed line of the router's merged `/debug/trace` text output.
+#[derive(Debug)]
+struct TraceLine {
+    start_ns: u64,
+    end_ns: u64,
+    span: String,
+    stage: String,
+    source: String,
+}
+
+fn parse_trace_text(body: &str) -> Vec<TraceLine> {
+    body.lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .map(|l| {
+            let f: Vec<&str> = l.split_ascii_whitespace().collect();
+            assert_eq!(f.len(), 6, "bad trace line: {l}");
+            TraceLine {
+                start_ns: f[0].parse().expect("start_ns"),
+                end_ns: f[1].parse().expect("end_ns"),
+                span: f[3].to_owned(),
+                stage: f[4].to_owned(),
+                source: f[5].to_owned(),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn trace_ids_span_router_and_node_timelines() {
+    let nodes = [start_node(), start_node()];
+    let addrs: Vec<SocketAddr> = nodes.iter().map(|n| n.addr()).collect();
+    let router = Router::start(RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        nodes: addrs.iter().map(|a| a.to_string()).collect(),
+        tenants: ["t0=fixed:10", "t1=fixed:10"]
+            .iter()
+            .map(|t| RouterTenant::parse(t).expect("tenant spec"))
+            .collect(),
+        reconcile_ms: 0,
+        trace_sample: 1,
+        ..RouterConfig::default()
+    })
+    .expect("router starts");
+
+    // One client-traced request per protocol, plus one untraced JSON
+    // request the router self-samples (trace_sample = 1 tags them all).
+    let json_id: u64 = (1 << 63) | 0x1001;
+    let bin_id: u64 = (1 << 63) | 0x2002;
+    let mut json = JsonClient::connect(router.addr());
+    let (status, body) = json.invoke_traced(Some("t0"), "app-tr", 1_000, json_id);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json.invoke(Some("t1"), "app-tr", 1_500).0, 200);
+    let mut bin = BinClient::connect(router.addr());
+    let replies = bin.batch_traced(&[(1, "app-tb", 2_000), (2, "app-tb", 2_000)], bin_id);
+    assert_eq!(replies.len(), 2);
+
+    let (status, text) = http(router.addr(), "GET", "/debug/trace", "");
+    assert_eq!(status, 200);
+    let spans = parse_trace_text(&text);
+    for id in [json_id, bin_id] {
+        let hex = format!("{id:#018x}");
+        let of_id: Vec<&TraceLine> = spans.iter().filter(|s| s.span == hex).collect();
+        // The router recorded all six hop stages for this trace...
+        for hop in [
+            "ingress",
+            "route",
+            "forward",
+            "await",
+            "reassemble",
+            "egress",
+        ] {
+            assert!(
+                of_id.iter().any(|s| s.stage == hop && s.source == "router"),
+                "router hop `{hop}` missing for {hex}:\n{text}"
+            );
+        }
+        // ...and the node's pipeline stages arrived under the same id,
+        // attributed to a node (`ADDR/reactor-i` or `ADDR/shard-i`).
+        assert!(
+            of_id
+                .iter()
+                .any(|s| s.stage == "decide" && s.source.contains("/shard-")),
+            "node decide span missing for {hex}:\n{text}"
+        );
+        // Causal enclosure after rebasing: node spans sit inside the
+        // router's forward→await window.
+        let fwd_end = of_id
+            .iter()
+            .filter(|s| s.stage == "forward")
+            .map(|s| s.end_ns)
+            .max()
+            .unwrap();
+        let await_end = of_id
+            .iter()
+            .filter(|s| s.stage == "await")
+            .map(|s| s.end_ns)
+            .max()
+            .unwrap();
+        for s in of_id.iter().filter(|s| s.source != "router") {
+            assert!(
+                s.start_ns >= fwd_end && s.end_ns <= await_end,
+                "node span {s:?} escapes the await window [{fwd_end}, {await_end}]"
+            );
+        }
+    }
+
+    // All three requests were traced (two propagated, one self-sampled);
+    // a scrape is non-destructive.
+    let (_, metrics) = http(router.addr(), "GET", "/metrics", "");
+    assert!(
+        metrics.contains("sitw_router_traced_requests_total 3"),
+        "{metrics}"
+    );
+    let again = http(router.addr(), "GET", "/debug/trace", "");
+    assert_eq!(again, (200, text), "trace scrape was destructive");
+
+    router.shutdown();
+    for node in nodes {
+        node.shutdown().unwrap();
+    }
+}
+
+#[test]
+fn fleet_federation_is_bucket_exact_and_events_record_provenance() {
+    let nodes = [start_node(), start_node(), start_node()];
+    let addrs: Vec<SocketAddr> = nodes.iter().map(|n| n.addr()).collect();
+    let router = router_over(&addrs, &["t0=fixed:10", "t1=fixed:10", "t2=fixed:10"]);
+
+    let mut json = JsonClient::connect(router.addr());
+    for i in 0..9u64 {
+        let tenant = ["t0", "t1", "t2"][(i % 3) as usize];
+        assert_eq!(json.invoke(Some(tenant), "app-f", 1_000 + i).0, 200);
+    }
+    let mut bin = BinClient::connect(router.addr());
+    for f in 0..2u64 {
+        let batch: Vec<(u16, String, u64)> = (0..6u64)
+            .map(|i| ((i % 4) as u16, format!("app-b{i}"), 5_000 + f * 100 + i))
+            .collect();
+        let borrowed: Vec<(u16, &str, u64)> = batch
+            .iter()
+            .map(|(t, a, ts)| (*t, a.as_str(), *ts))
+            .collect();
+        assert_eq!(bin.batch(&borrowed).len(), 6);
+    }
+
+    // The federated scrape merges all three nodes, bucket-exactly: the
+    // fleet decide count equals the requests routed, and equals the sum
+    // of the node scrapes the router pulled.
+    let (status, fleet) = http(router.addr(), "GET", "/metrics/fleet", "");
+    assert_eq!(status, 200);
+    assert!(fleet.contains("sitw_router_fleet_nodes 3"), "{fleet}");
+    assert!(
+        fleet.contains(
+            "sitw_router_fleet_decision_latency_count{stage=\"decide\",proto=\"json\"} 9"
+        ),
+        "{fleet}"
+    );
+    assert!(
+        fleet.contains(
+            "sitw_router_fleet_decision_latency_count{stage=\"decide\",proto=\"bin\"} 12"
+        ),
+        "{fleet}"
+    );
+    let mut node_sum = 0u64;
+    for addr in &addrs {
+        let (status, hist) = http(*addr, "GET", "/debug/hist", "");
+        assert_eq!(status, 200);
+        let parsed = sitw_cluster::parse_hist_body(&hist).expect("well-formed node scrape");
+        node_sum += parsed
+            .stages
+            .iter()
+            .filter(|(stage, _, _)| stage == "decide")
+            .map(|(_, _, h)| h.count())
+            .sum::<u64>();
+    }
+    assert_eq!(node_sum, 21, "node scrapes must cover all requests");
+    // Scraping federates live — it must not disturb the nodes.
+    assert_eq!(
+        http(router.addr(), "GET", "/metrics/fleet", "").1,
+        fleet,
+        "fleet scrape was destructive"
+    );
+
+    // Control-plane provenance: a migration leaves a migration and a
+    // ring-epoch event in the router's ring.
+    let (status, body) = http(router.addr(), "POST", "/admin/migrate?tenant=t0&to=0", "");
+    assert_eq!(status, 200, "{body}");
+    let (status, events) = http(router.addr(), "GET", "/debug/events", "");
+    assert_eq!(status, 200);
+    assert!(
+        events.contains("\"kind\":\"migration\"") && events.contains("\"tenant\":\"t0\""),
+        "{events}"
+    );
+    assert!(events.contains("\"kind\":\"ring-epoch\""), "{events}");
+
+    router.shutdown();
+    for node in nodes {
+        node.shutdown().unwrap();
+    }
+}

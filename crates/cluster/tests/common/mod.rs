@@ -73,6 +73,31 @@ impl JsonClient {
             body.len()
         );
         self.stream.write_all(req.as_bytes()).expect("write");
+        self.read_response()
+    }
+
+    /// `POST /invoke` carrying a propagated `x-sitw-trace` id.
+    pub fn invoke_traced(
+        &mut self,
+        tenant: Option<&str>,
+        app: &str,
+        ts: u64,
+        trace: u64,
+    ) -> (u16, String) {
+        let body = match tenant {
+            Some(t) => format!("{{\"tenant\":\"{t}\",\"app\":\"{app}\",\"ts\":{ts}}}"),
+            None => format!("{{\"app\":\"{app}\",\"ts\":{ts}}}"),
+        };
+        let req = format!(
+            "POST /invoke HTTP/1.1\r\nx-sitw-trace: {trace:#018x}\r\n\
+             content-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(req.as_bytes()).expect("write");
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> (u16, String) {
         loop {
             if let Some(header_end) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
                 let header = String::from_utf8_lossy(&self.buf[..header_end]).into_owned();
@@ -151,6 +176,19 @@ impl BinClient {
         wire::encode_request_frame_v2(&mut frame, records);
         self.stream.write_all(&frame).expect("write frame");
         self.read_frame()
+    }
+
+    /// Sends one v2 frame carrying a trace id and expects a reply frame.
+    pub fn batch_traced(&mut self, records: &[(u16, &str, u64)], trace: u64) -> Vec<BinReply> {
+        let mut frame = Vec::new();
+        wire::encode_request_frame_v2_traced(&mut frame, records, trace);
+        self.stream.write_all(&frame).expect("write frame");
+        match self.read_frame() {
+            BinResponse::Reply(records) => records,
+            BinResponse::Error { code, detail } => {
+                panic!("unexpected error frame {code:?}: {detail}")
+            }
+        }
     }
 
     /// Sends one v1 frame (default tenant only) and expects a reply.

@@ -7,7 +7,7 @@
 //!              [--speedup N | --max-speed] [--connections 2]
 //!              [--window 64] [--max-events 0]
 //!              [--proto json|bin|bin:batch=N] [--tenants N[:zipf=S]]
-//!              [--out FILE]
+//!              [--trace-sample N] [--out FILE]
 //! ```
 //!
 //! Generates the synthetic Azure-Functions-like workload of
@@ -22,6 +22,11 @@
 //! machine-readable JSON run summary (throughput, cold rate, exact
 //! percentiles, and the full log2 RTT histogram — the same bucket
 //! boundaries the server's `/metrics` histograms use).
+//! `--trace-sample N` tags every Nth request (JSON) or frame
+//! (SITW-BIN) with an `X-Sitw-Trace` id; the sampled ids and their
+//! per-trace RTTs land in the `--out` report's `traces` array so a
+//! run can be cross-referenced against server and router
+//! `/debug/trace` timelines.
 
 #![forbid(unsafe_code)]
 
@@ -37,7 +42,8 @@ fn usage() -> ! {
          [--apps N] [--seed N] \
          [--horizon-hours H] [--cap-per-day N] [--speedup N | --max-speed] \
          [--connections N] [--window N] [--max-events N] \
-         [--proto json|bin|bin:batch=N] [--tenants N[:zipf=S]] [--out FILE]"
+         [--proto json|bin|bin:batch=N] [--tenants N[:zipf=S]] \
+         [--trace-sample N] [--out FILE]"
     );
     exit(2)
 }
@@ -98,6 +104,9 @@ fn main() {
                     usage();
                 }
             },
+            "--trace-sample" => {
+                cfg.trace_sample = value("--trace-sample").parse().unwrap_or_else(|_| usage());
+            }
             "--out" => out_path = Some(value("--out")),
             "--help" | "-h" => usage(),
             other => {

@@ -424,9 +424,9 @@ impl Conn {
                         break;
                     }
                 }
-                Ok(ReadEvent::Frame { version }) => {
+                Ok(ReadEvent::Frame { version, trace }) => {
                     self.partial_since = None;
-                    if let Flow::Close = self.submit_frame(version, io, &mut mark) {
+                    if let Flow::Close = self.submit_frame(version, trace, io, &mut mark) {
                         return Flow::Close;
                     }
                 }
@@ -506,7 +506,13 @@ impl Conn {
             match parse_and_route(&self.req.body, io.ctx) {
                 Ok((tenant, shard, inv)) => {
                     let (span, sent_ns) = if io.telem.enabled() {
-                        let span = io.telem.new_span();
+                        // A propagated fleet trace id becomes the span id,
+                        // so the router can pick this request's stages out
+                        // of `/debug/trace` by id.
+                        let span = match self.req.trace {
+                            Some(id) => id,
+                            None => io.telem.new_span(),
+                        };
                         let sent_ns = io.telem.now();
                         io.telem.with(|t| {
                             t.read.json.record(t_read_end.saturating_sub(*mark));
@@ -569,7 +575,13 @@ impl Conn {
     /// joins the pipeline to be reassembled in order as the
     /// [`BatchReply`]s come back.
     // sitw-lint: hot-path
-    fn submit_frame(&mut self, version: u8, io: &mut ReactorIo<'_>, mark: &mut u64) -> Flow {
+    fn submit_frame(
+        &mut self,
+        version: u8,
+        trace: Option<u64>,
+        io: &mut ReactorIo<'_>,
+        mark: &mut u64,
+    ) -> Flow {
         let ctx = io.ctx;
         let n = self.records.len();
         let t_read_end = io.telem.now();
@@ -612,9 +624,13 @@ impl Conn {
             }
         }
         // One span covers the whole frame: read ends where decode
-        // (partitioning) starts, and decode ends at dispatch.
+        // (partitioning) starts, and decode ends at dispatch. A
+        // propagated fleet trace id becomes the frame's span id.
         let (span, sent_ns) = if io.telem.enabled() {
-            let span = io.telem.new_span();
+            let span = match trace {
+                Some(id) => id,
+                None => io.telem.new_span(),
+            };
             let sent_ns = io.telem.now();
             // Frame costs are amortized per record so the bin stage
             // histograms stay invocation-weighted like the json ones.

@@ -40,6 +40,9 @@ pub struct Request {
     pub body: Vec<u8>,
     /// The client asked to close the connection after this exchange.
     pub close: bool,
+    /// Propagated trace id from an `X-Sitw-Trace` header (hex,
+    /// optionally `0x`-prefixed), when the request carried one.
+    pub trace: Option<u64>,
 }
 
 /// Outcome of one [`ConnBuf::read_request`] call.
@@ -74,6 +77,8 @@ pub enum EventOutcome {
         records: Vec<BinInvoke>,
         /// The frame's protocol version (replies must echo it).
         version: u8,
+        /// The propagated trace id, when the frame carried one.
+        trace: Option<u64>,
     },
     /// A complete SITW-BIN request frame, surfaced verbatim instead of
     /// decoded (see [`ConnBuf::set_raw_request_frames`]); the bytes are
@@ -124,6 +129,8 @@ pub enum ReadEvent {
     Frame {
         /// The frame's protocol version (replies must echo it).
         version: u8,
+        /// The propagated trace id, when the frame carried one.
+        trace: Option<u64>,
     },
     /// A complete SITW-BIN request frame was captured verbatim into
     /// [`ConnBuf::raw_frame`] (see [`EventOutcome::RawFrame`]).
@@ -321,7 +328,11 @@ impl ConnBuf {
         let mut records = Vec::new();
         Ok(match self.read_event_into(&mut req, &mut records)? {
             ReadEvent::Request => EventOutcome::Request(req),
-            ReadEvent::Frame { version } => EventOutcome::Frame { records, version },
+            ReadEvent::Frame { version, trace } => EventOutcome::Frame {
+                records,
+                version,
+                trace,
+            },
             ReadEvent::RawFrame { count } => EventOutcome::RawFrame { count },
             ReadEvent::Ctrl(ctrl) => EventOutcome::Ctrl(ctrl),
             ReadEvent::FrameError {
@@ -390,9 +401,13 @@ impl ConnBuf {
         }
         loop {
             match wire::decode_request_frame_into(&self.buf[self.start..], records) {
-                FrameDecodeInto::Request { version, consumed } => {
+                FrameDecodeInto::Request {
+                    version,
+                    trace,
+                    consumed,
+                } => {
                     self.start += consumed;
-                    return Ok(ReadEvent::Frame { version });
+                    return Ok(ReadEvent::Frame { version, trace });
                 }
                 FrameDecodeInto::Control { req, consumed } => {
                     self.start += consumed;
@@ -599,6 +614,7 @@ fn parse_header(header: &[u8], req: &mut Request) -> Result<u64, String> {
 
     let mut content_length = 0u64;
     let mut close = version == "HTTP/1.0";
+    let mut trace = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -617,9 +633,15 @@ fn parse_header(header: &[u8], req: &mut Request) -> Result<u64, String> {
             } else if value.eq_ignore_ascii_case("keep-alive") {
                 close = false;
             }
+        } else if name.eq_ignore_ascii_case("x-sitw-trace") {
+            // An unparsable id is dropped, not an error: tracing is
+            // best-effort observability, never a reason to 400.
+            let hex = value.strip_prefix("0x").unwrap_or(value);
+            trace = u64::from_str_radix(hex, 16).ok();
         }
     }
     req.close = close;
+    req.trace = trace;
     Ok(content_length)
 }
 
@@ -800,6 +822,50 @@ mod tests {
     }
 
     #[test]
+    fn trace_header_parses_hex_and_resets_between_requests() {
+        let mut req = Request::default();
+        parse_header(
+            b"POST /invoke HTTP/1.1\r\nX-Sitw-Trace: 0x8000000000000bee\r\ncontent-length: 0",
+            &mut req,
+        )
+        .unwrap();
+        assert_eq!(req.trace, Some(0x8000_0000_0000_0bee));
+        // Bare hex (no 0x) also parses; case-insensitive header name.
+        parse_header(b"GET / HTTP/1.1\r\nx-sitw-trace: ff", &mut req).unwrap();
+        assert_eq!(req.trace, Some(0xff));
+        // A reused Request must not leak the previous trace id.
+        parse_header(b"GET / HTTP/1.1", &mut req).unwrap();
+        assert_eq!(req.trace, None);
+        // Garbage is dropped, never a parse error.
+        parse_header(b"GET / HTTP/1.1\r\nX-Sitw-Trace: not-hex", &mut req).unwrap();
+        assert_eq!(req.trace, None);
+    }
+
+    #[test]
+    fn traced_v2_frame_surfaces_trace_id() {
+        let (mut client, server) = pair();
+        server
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let mut conn = ConnBuf::new(server);
+        let mut frame = Vec::new();
+        wire::encode_request_frame_v2_traced(&mut frame, &[(1, "app-000001", 7)], 0xBEEF);
+        client.write_all(&frame).unwrap();
+        match conn.read_event().unwrap() {
+            EventOutcome::Frame {
+                records,
+                version,
+                trace,
+            } => {
+                assert_eq!(version, wire::BIN_VERSION_2);
+                assert_eq!(trace, Some(0xBEEF));
+                assert_eq!(records.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn sniffs_binary_frames_next_to_http_on_one_connection() {
         let (mut client, server) = pair();
         server
@@ -820,8 +886,13 @@ mod tests {
             other => panic!("{other:?}"),
         }
         match conn.read_event().unwrap() {
-            EventOutcome::Frame { records, version } => {
+            EventOutcome::Frame {
+                records,
+                version,
+                trace,
+            } => {
                 assert_eq!(version, wire::BIN_VERSION);
+                assert_eq!(trace, None);
                 assert_eq!(records.len(), 2);
                 assert_eq!(records[0].app, "app-000001");
                 assert_eq!(records[0].tenant, 0);

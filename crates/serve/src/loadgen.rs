@@ -32,7 +32,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use sitw_stats::percentile_sorted;
-use sitw_telemetry::Log2Histogram;
+use sitw_telemetry::{Log2Histogram, TRACE_MARK};
 use sitw_trace::{app_invocations, build_population, PopulationConfig, TraceConfig, HOUR_MS};
 
 use crate::wire::{self, BinReply, ServerFrameDecode};
@@ -106,6 +106,11 @@ pub struct LoadGenConfig {
     pub tenants: usize,
     /// Zipf skew of the per-app tenant assignment (0 = uniform).
     pub zipf: f64,
+    /// Tag every Nth request (JSON) or frame (SITW-BIN) with a client
+    /// trace id — `X-Sitw-Trace` header / the v2 trace field — so its
+    /// spans can be found end to end in `/debug/trace` output. 0 = off.
+    /// Sampled ids and their RTTs land in the `--out` JSON report.
+    pub trace_sample: usize,
 }
 
 impl Default for LoadGenConfig {
@@ -122,6 +127,7 @@ impl Default for LoadGenConfig {
             proto: Proto::Json,
             tenants: 0,
             zipf: 0.0,
+            trace_sample: 0,
         }
     }
 }
@@ -162,6 +168,9 @@ pub struct LoadGenReport {
     /// Connections actually driven concurrently (non-empty schedules;
     /// `--connections N` with fewer than N active apps drives fewer).
     pub max_live_conns: u64,
+    /// `(trace_id, rtt_ns)` of every sampled request
+    /// ([`LoadGenConfig::trace_sample`]); empty when sampling is off.
+    pub traces: Vec<(u64, u64)>,
 }
 
 /// Verdict mix of one tenant in a multi-tenant replay.
@@ -306,6 +315,16 @@ impl LoadGenReport {
                  \"errors\":{}}}",
                 t.ok, t.cold, t.evicted, t.throttled, t.errors
             );
+        }
+        out.push(']');
+        // Sampled trace ids in the same hex rendering `/debug/trace`
+        // uses, so a report entry greps straight into trace output.
+        let _ = write!(out, ",\"traces\":[");
+        for (i, (id, rtt_ns)) in self.traces.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"trace\":\"{id:#018x}\",\"rtt_ns\":{rtt_ns}}}");
         }
         out.push_str("]}");
         out
@@ -478,16 +497,19 @@ pub fn run_loadgen_cluster(
                     let result = match cfg.proto {
                         Proto::Json => drive_connection(
                             stream,
+                            conn,
                             schedule,
                             start_ts,
                             cfg.speedup,
                             cfg.window,
                             cfg.tenants,
+                            cfg.trace_sample,
                             started,
                             abort,
                         ),
                         Proto::Bin { batch } => drive_connection_bin(
                             stream,
+                            conn,
                             schedule,
                             start_ts,
                             cfg.speedup,
@@ -495,6 +517,7 @@ pub fn run_loadgen_cluster(
                             batch,
                             cfg.tenants,
                             node_ids,
+                            cfg.trace_sample,
                             started,
                             abort,
                         ),
@@ -544,6 +567,7 @@ pub fn run_loadgen_cluster(
     let mut per_tenant: Vec<TenantMix> = vec![TenantMix::default(); cfg.tenants];
     let mut latencies: Vec<f64> = Vec::new();
     let mut latency_hist = Log2Histogram::new();
+    let mut traces: Vec<(u64, u64)> = Vec::new();
     for mut r in results {
         sent += r.sent;
         ok += r.ok;
@@ -560,6 +584,7 @@ pub fn run_loadgen_cluster(
         }
         latencies.append(&mut r.latencies_us);
         latency_hist.merge(&r.latency_ns);
+        traces.append(&mut r.traces);
     }
     latencies.sort_by(f64::total_cmp);
     let lat = |p: f64| {
@@ -588,6 +613,7 @@ pub fn run_loadgen_cluster(
         throttled,
         per_tenant,
         max_live_conns,
+        traces,
     })
 }
 
@@ -602,6 +628,8 @@ struct ConnResult {
     per_tenant: Vec<TenantMix>,
     latencies_us: Vec<f64>,
     latency_ns: Log2Histogram,
+    /// `(trace_id, rtt_ns)` of sampled requests on this connection.
+    traces: Vec<(u64, u64)>,
 }
 
 impl ConnResult {
@@ -616,6 +644,7 @@ impl ConnResult {
             per_tenant: vec![TenantMix::default(); tenants],
             latencies_us: Vec::with_capacity(capacity),
             latency_ns: Log2Histogram::new(),
+            traces: Vec::new(),
         }
     }
 
@@ -673,11 +702,13 @@ fn abort_error() -> io::Error {
 #[allow(clippy::too_many_arguments)]
 fn drive_connection(
     mut stream: TcpStream,
+    conn: usize,
     schedule: &[Event],
     start_ts: u64,
     speedup: f64,
     window: usize,
     tenants: usize,
+    trace_sample: usize,
     started: Instant,
     abort: &AtomicBool,
 ) -> io::Result<ConnResult> {
@@ -687,18 +718,21 @@ fn drive_connection(
     let paced = speedup.is_finite() && speedup > 0.0;
     let mut result = ConnResult::new(schedule.len(), tenants);
     let mut out: Vec<u8> = Vec::with_capacity(64 * 1024);
-    let mut in_flight: std::collections::VecDeque<(Instant, u16)> =
+    let mut in_flight: std::collections::VecDeque<(Instant, u16, Option<u64>)> =
         std::collections::VecDeque::with_capacity(window);
 
     let read_one = |reader: &mut ResponseReader,
-                    in_flight: &mut std::collections::VecDeque<(Instant, u16)>,
+                    in_flight: &mut std::collections::VecDeque<(Instant, u16, Option<u64>)>,
                     result: &mut ConnResult|
      -> io::Result<()> {
         let response = reader.read_response()?;
-        let (sent_at, tenant) = in_flight.pop_front().expect("response without request");
+        let (sent_at, tenant, trace) = in_flight.pop_front().expect("response without request");
         let rtt_ns = sent_at.elapsed().as_nanos() as u64;
         result.latencies_us.push(rtt_ns as f64 / 1_000.0);
         result.latency_ns.record(rtt_ns);
+        if let Some(id) = trace {
+            result.traces.push((id, rtt_ns));
+        }
         if response.status == 200 {
             result.record_verdict(tenant, response.cold, response.evicted);
         } else if response.status == 429 {
@@ -737,13 +771,25 @@ fn drive_connection(
             }
         }
 
-        out.extend_from_slice(b"POST /invoke HTTP/1.1\r\ncontent-length: ");
+        out.extend_from_slice(b"POST /invoke HTTP/1.1\r\n");
+        // Every Nth request carries a client trace id the serving node
+        // adopts as its span id (conn in the high half, sequence in the
+        // low — unique fleet-wide, top bit = the trace mark).
+        let trace = if trace_sample > 0 && result.sent.is_multiple_of(trace_sample as u64) {
+            Some(TRACE_MARK | ((conn as u64) << 32) | (result.sent & 0xFFFF_FFFF))
+        } else {
+            None
+        };
+        if let Some(id) = trace {
+            let _ = write!(out, "x-sitw-trace: {id:#018x}\r\n");
+        }
+        out.extend_from_slice(b"content-length: ");
         let body_len = invoke_body_len(event);
         crate::wire::push_u64(&mut out, body_len as u64);
         out.extend_from_slice(b"\r\n\r\n");
         write_invoke_body(&mut out, event);
         // sitw-lint: allow(clock-discipline)
-        in_flight.push_back((Instant::now(), event.tenant));
+        in_flight.push_back((Instant::now(), event.tenant, trace));
         result.sent += 1;
 
         if in_flight.len() >= window {
@@ -766,6 +812,7 @@ fn drive_connection(
 #[allow(clippy::too_many_arguments)]
 fn drive_connection_bin(
     mut stream: TcpStream,
+    conn: usize,
     schedule: &[Event],
     start_ts: u64,
     speedup: f64,
@@ -773,6 +820,7 @@ fn drive_connection_bin(
     batch: usize,
     tenants: usize,
     tenant_ids: &[u16],
+    trace_sample: usize,
     started: Instant,
     abort: &AtomicBool,
 ) -> io::Result<ConnResult> {
@@ -786,86 +834,125 @@ fn drive_connection_bin(
     let mut out: Vec<u8> = Vec::with_capacity(64 * 1024);
     // The frame under construction (app names owned until encoded).
     let mut building: Vec<(u16, String, u64)> = Vec::with_capacity(batch);
-    // In-flight frames: when they were written and their records'
-    // tenants (one entry per record, in frame order).
-    let mut in_flight: std::collections::VecDeque<(Instant, Vec<u16>)> =
+    // In-flight frames: when they were written, their records' tenants
+    // (one entry per record, in frame order), and the frame's trace id
+    // when it was sampled.
+    let mut in_flight: std::collections::VecDeque<(Instant, Vec<u16>, Option<u64>)> =
         std::collections::VecDeque::new();
     let mut in_flight_records = 0usize;
+    let mut frames_sent = 0u64;
 
+    #[allow(clippy::too_many_arguments)]
     fn flush_frame(
         building: &mut Vec<(u16, String, u64)>,
         tenanted: bool,
         tenant_ids: &[u16],
+        conn: usize,
+        trace_sample: usize,
+        frames_sent: &mut u64,
         out: &mut Vec<u8>,
-        in_flight: &mut std::collections::VecDeque<(Instant, Vec<u16>)>,
+        in_flight: &mut std::collections::VecDeque<(Instant, Vec<u16>, Option<u64>)>,
         in_flight_records: &mut usize,
     ) {
         if building.is_empty() {
             return;
         }
-        if tenanted {
-            // Map the logical tenant index (1-based `tK`) to the wire
-            // id the server's registry assigned.
-            let records: Vec<(u16, &str, u64)> = building
-                .iter()
-                .map(|(t, a, ts)| (tenant_ids[*t as usize - 1], a.as_str(), *ts))
-                .collect();
-            wire::encode_request_frame_v2(out, &records);
+        // A frame is the wire unit of work, so sampling tags every Nth
+        // *frame*; its trace id spans every record it carries. Traced
+        // frames must speak v2 (the trace field is version-gated), so
+        // an untenanted sampled frame encodes v2 with the default
+        // tenant id rather than v1.
+        let trace = if trace_sample > 0 && frames_sent.is_multiple_of(trace_sample as u64) {
+            Some(TRACE_MARK | ((conn as u64) << 32) | (*frames_sent & 0xFFFF_FFFF))
         } else {
-            let records: Vec<(&str, u64)> = building
-                .iter()
-                .map(|(_, a, ts)| (a.as_str(), *ts))
-                .collect();
-            wire::encode_request_frame(out, &records);
+            None
+        };
+        *frames_sent += 1;
+        let wire_id = |t: u16| {
+            if tenanted {
+                tenant_ids[t as usize - 1]
+            } else {
+                0
+            }
+        };
+        match trace {
+            Some(id) => {
+                let records: Vec<(u16, &str, u64)> = building
+                    .iter()
+                    .map(|(t, a, ts)| (wire_id(*t), a.as_str(), *ts))
+                    .collect();
+                wire::encode_request_frame_v2_traced(out, &records, id);
+            }
+            None if tenanted => {
+                // Map the logical tenant index (1-based `tK`) to the
+                // wire id the server's registry assigned.
+                let records: Vec<(u16, &str, u64)> = building
+                    .iter()
+                    .map(|(t, a, ts)| (wire_id(*t), a.as_str(), *ts))
+                    .collect();
+                wire::encode_request_frame_v2(out, &records);
+            }
+            None => {
+                let records: Vec<(&str, u64)> = building
+                    .iter()
+                    .map(|(_, a, ts)| (a.as_str(), *ts))
+                    .collect();
+                wire::encode_request_frame(out, &records);
+            }
         }
         let tenants_of_frame: Vec<u16> = building.iter().map(|(t, _, _)| *t).collect();
         *in_flight_records += tenants_of_frame.len();
         // sitw-lint: allow(clock-discipline)
-        in_flight.push_back((Instant::now(), tenants_of_frame));
+        in_flight.push_back((Instant::now(), tenants_of_frame, trace));
         building.clear();
     }
 
-    let read_one_frame = |reader: &mut ResponseReader,
-                          in_flight: &mut std::collections::VecDeque<(Instant, Vec<u16>)>,
-                          in_flight_records: &mut usize,
-                          result: &mut ConnResult|
-     -> io::Result<()> {
-        let records = reader.read_bin_frame()?;
-        let (sent_at, frame_tenants) = in_flight.pop_front().expect("reply without frame");
-        let count = frame_tenants.len();
-        *in_flight_records -= count;
-        let rtt_ns = sent_at.elapsed().as_nanos() as u64;
-        let latency_us = rtt_ns as f64 / 1_000.0;
-        result.latency_ns.record_n(rtt_ns, count as u64);
-        match records {
-            Some(records) => {
-                if records.len() != count {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("reply of {} records for frame of {count}", records.len()),
-                    ));
-                }
-                for (r, tenant) in records.into_iter().zip(frame_tenants) {
-                    result.latencies_us.push(latency_us);
-                    match r {
-                        BinReply::Verdict { cold, evicted, .. } => {
-                            result.record_verdict(tenant, cold, evicted);
+    let read_one_frame =
+        |reader: &mut ResponseReader,
+         in_flight: &mut std::collections::VecDeque<(Instant, Vec<u16>, Option<u64>)>,
+         in_flight_records: &mut usize,
+         result: &mut ConnResult|
+         -> io::Result<()> {
+            let records = reader.read_bin_frame()?;
+            let (sent_at, frame_tenants, trace) =
+                in_flight.pop_front().expect("reply without frame");
+            let count = frame_tenants.len();
+            *in_flight_records -= count;
+            let rtt_ns = sent_at.elapsed().as_nanos() as u64;
+            let latency_us = rtt_ns as f64 / 1_000.0;
+            result.latency_ns.record_n(rtt_ns, count as u64);
+            if let Some(id) = trace {
+                result.traces.push((id, rtt_ns));
+            }
+            match records {
+                Some(records) => {
+                    if records.len() != count {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("reply of {} records for frame of {count}", records.len()),
+                        ));
+                    }
+                    for (r, tenant) in records.into_iter().zip(frame_tenants) {
+                        result.latencies_us.push(latency_us);
+                        match r {
+                            BinReply::Verdict { cold, evicted, .. } => {
+                                result.record_verdict(tenant, cold, evicted);
+                            }
+                            BinReply::Throttled => result.record_throttled(tenant),
+                            BinReply::OutOfOrder { .. } => result.record_error(tenant),
                         }
-                        BinReply::Throttled => result.record_throttled(tenant),
-                        BinReply::OutOfOrder { .. } => result.record_error(tenant),
+                    }
+                }
+                None => {
+                    // A typed error frame answers the whole request frame.
+                    for tenant in frame_tenants {
+                        result.latencies_us.push(latency_us);
+                        result.record_error(tenant);
                     }
                 }
             }
-            None => {
-                // A typed error frame answers the whole request frame.
-                for tenant in frame_tenants {
-                    result.latencies_us.push(latency_us);
-                    result.record_error(tenant);
-                }
-            }
-        }
-        Ok(())
-    };
+            Ok(())
+        };
 
     for event in schedule {
         if abort.load(Ordering::Relaxed) {
@@ -887,6 +974,9 @@ fn drive_connection_bin(
                     &mut building,
                     tenanted,
                     tenant_ids,
+                    conn,
+                    trace_sample,
+                    &mut frames_sent,
                     &mut out,
                     &mut in_flight,
                     &mut in_flight_records,
@@ -914,6 +1004,9 @@ fn drive_connection_bin(
                 &mut building,
                 tenanted,
                 tenant_ids,
+                conn,
+                trace_sample,
+                &mut frames_sent,
                 &mut out,
                 &mut in_flight,
                 &mut in_flight_records,
@@ -938,6 +1031,9 @@ fn drive_connection_bin(
         &mut building,
         tenanted,
         tenant_ids,
+        conn,
+        trace_sample,
+        &mut frames_sent,
         &mut out,
         &mut in_flight,
         &mut in_flight_records,

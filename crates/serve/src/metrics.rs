@@ -614,6 +614,42 @@ impl MetricsReport {
         let _ = writeln!(out, "sitw_serve_uptime_ms {}", self.uptime_ms);
         out
     }
+
+    /// Renders the stage histograms as raw bucket vectors — the
+    /// federation wire format `GET /debug/hist` serves.
+    ///
+    /// One line per series, whitespace-separated tokens:
+    ///
+    /// ```text
+    /// stage <name> <proto> <sum_ns> <b0> <b1> ... <b63>
+    /// tenant <name> <sum_ns> <b0> <b1> ... <b63>
+    /// ```
+    ///
+    /// Raw buckets (not the `le`-bounded Prometheus projection) so a
+    /// scraping router can reconstruct each [`Log2Histogram`] losslessly
+    /// with [`Log2Histogram::from_raw`] and merge exactly: federated
+    /// bucket counts equal the sum of node counts by construction.
+    pub fn render_raw(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(4096);
+        let mut line = |prefix: String, h: &Log2Histogram| {
+            out.push_str(&prefix);
+            let _ = write!(out, " {}", h.sum());
+            for b in h.buckets() {
+                let _ = write!(out, " {b}");
+            }
+            out.push('\n');
+        };
+        for (stage, hists) in self.stage_hists() {
+            for (proto, h) in [("json", &hists.json), ("bin", &hists.bin)] {
+                line(format!("stage {stage} {proto}"), h);
+            }
+        }
+        for t in &self.tenants() {
+            line(format!("tenant {}", t.name), &t.decision_ns);
+        }
+        out
+    }
 }
 
 /// Log2 buckets exported as `le` bounds, as bucket indices into the
@@ -625,7 +661,10 @@ const LE_HI: usize = 36;
 
 /// Writes one `histogram` series (`_bucket`/`_sum`/`_count`) for a
 /// nanosecond [`Log2Histogram`], bounds converted to seconds.
-fn write_hist_series(out: &mut String, name: &str, labels: &str, h: &Log2Histogram) {
+///
+/// Public so the cluster router renders its federated
+/// (`/metrics/fleet`) histograms with byte-identical layout.
+pub fn write_hist_series(out: &mut String, name: &str, labels: &str, h: &Log2Histogram) {
     use std::fmt::Write as _;
     let buckets = h.buckets();
     let mut cum: u64 = buckets[..LE_LO].iter().sum();

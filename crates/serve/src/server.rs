@@ -39,7 +39,7 @@ use sitw_fleet::{
 use sitw_reactor::Waker;
 use sitw_sim::PolicySpec;
 
-use sitw_telemetry::{FlightRecorder, WallClock};
+use sitw_telemetry::{EventRing, FlightRecorder, WallClock};
 
 use crate::http::{write_response, Request};
 use crate::metrics::{ConnStats, MetricsReport, ProtoStats, ReactorStats, ShardStats};
@@ -48,7 +48,7 @@ use crate::shard::{shard_of, ShardMsg, ShardWorker, TenantRestore};
 use crate::snapshot::{
     decode_tenant_section, encode_tenant_section, AppRecord, ShardExport, Snapshot, TenantSnapshot,
 };
-use crate::telem::{merge_spans, ShardTelem, TelemClock, TelemCtx, TRACE_RING};
+use crate::telem::{merge_spans, ShardTelem, TelemClock, TelemCtx, EVENT_RING, TRACE_RING};
 use crate::wire::{self, push_u64, ControlReply, ControlRequest, TenantUsage};
 
 /// One tenant in the server configuration (CLI `--tenant`, a tenants
@@ -211,6 +211,29 @@ impl ServerCtx {
             },
             uptime_ms: self.started.elapsed().as_millis() as u64,
         }
+    }
+
+    /// Resolves `(tenant name, app)` to the owning shard and asks it to
+    /// render the app's live policy state (decision provenance). `None`
+    /// when the tenant name or app is unknown.
+    fn policy_probe(&self, tenant: &str, app: &str) -> Option<String> {
+        let (id, shard) = {
+            let registry = match self.registry.read() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            let id = registry.resolve(tenant)?;
+            (id, registry.shard_of(id, app, self.shard_txs.len()))
+        };
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.shard_txs[shard]
+            .send(ShardMsg::PolicyProbe {
+                tenant: id,
+                app: app.to_owned(),
+                reply: reply_tx,
+            })
+            .ok()?;
+        reply_rx.recv().ok()?
     }
 
     fn snapshot(&self) -> Snapshot {
@@ -648,6 +671,7 @@ impl Server {
                 .map(|_| Arc::new(std::sync::Mutex::new(FlightRecorder::new(TRACE_RING))))
                 .collect(),
             shard_gauges: (0..cfg.shards).map(|_| Arc::default()).collect(),
+            events: Arc::new(std::sync::Mutex::new(EventRing::new(EVENT_RING))),
         };
 
         // Restore before any thread exists.
@@ -684,6 +708,7 @@ impl Server {
                     gauge: Arc::clone(&telem.shard_gauges[id]),
                     queue: Default::default(),
                     decide: Default::default(),
+                    events: Arc::clone(&telem.events),
                 });
             let (tx, rx) = mpsc::channel();
             shard_txs.push(tx);
@@ -1078,6 +1103,70 @@ pub(crate) fn handle_control(req: &Request, ctx: &ServerCtx, out: &mut Vec<u8>) 
                 write_response(out, 200, "text/plain", body.as_bytes());
             }
         }
+        ("GET", "/debug/hist") => {
+            // Raw per-stage bucket vectors — the federation wire format
+            // a cluster router reconstructs and merges exactly (its
+            // `/metrics/fleet` bucket counts equal the sum over nodes).
+            let report = ctx.scrape();
+            write_response(out, 200, "text/plain", report.render_raw().as_bytes());
+        }
+        ("GET", "/debug/events") => {
+            // Snapshot the ring under the lock, render outside it.
+            let (pushed, events) = if ctx.telem.enabled {
+                let ring = ctx.telem.events.lock().expect("event ring poisoned");
+                (ring.pushed(), ring.events().cloned().collect::<Vec<_>>())
+            } else {
+                (0, Vec::new())
+            };
+            let mut body = String::with_capacity(64 + events.len() * 96);
+            let _ = write!(body, "{{\"pushed\":{pushed},\"events\":[");
+            for (i, ev) in events.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                let _ = write!(
+                    body,
+                    "{{\"ts_ms\":{},\"kind\":\"{}\",\"tenant\":\"{}\",\"app\":\"{}\",\
+                     \"detail\":\"{}\"}}",
+                    ev.ts_ms,
+                    ev.kind.name(),
+                    wire::json_escape(&ev.tenant),
+                    wire::json_escape(&ev.app),
+                    wire::json_escape(&ev.detail),
+                );
+            }
+            body.push_str("]}");
+            write_response(out, 200, "application/json", body.as_bytes());
+        }
+        ("GET", "/debug/policy") => {
+            let mut tenant = DEFAULT_TENANT_NAME;
+            let mut app = "";
+            for pair in query.split('&') {
+                if let Some(v) = pair.strip_prefix("tenant=") {
+                    tenant = v;
+                } else if let Some(v) = pair.strip_prefix("app=") {
+                    app = v;
+                }
+            }
+            if app.is_empty() {
+                write_response(
+                    out,
+                    400,
+                    "application/json",
+                    b"{\"error\":\"missing app= query parameter\"}",
+                );
+            } else {
+                match ctx.policy_probe(tenant, app) {
+                    Some(body) => write_response(out, 200, "application/json", body.as_bytes()),
+                    None => write_response(
+                        out,
+                        404,
+                        "application/json",
+                        b"{\"error\":\"unknown tenant or app\"}",
+                    ),
+                }
+            }
+        }
         ("GET", "/debug/threads") => {
             let mut body = String::with_capacity(512);
             body.push_str("{\"reactors\":[");
@@ -1180,8 +1269,9 @@ pub(crate) fn handle_control(req: &Request, ctx: &ServerCtx, out: &mut Vec<u8>) 
         ("POST", "/invoke") => unreachable!("handled by the caller"),
         (
             _,
-            "/invoke" | "/healthz" | "/metrics" | "/debug/trace" | "/debug/threads"
-            | "/admin/tenants" | "/admin/snapshot" | "/admin/shutdown",
+            "/invoke" | "/healthz" | "/metrics" | "/debug/trace" | "/debug/threads" | "/debug/hist"
+            | "/debug/events" | "/debug/policy" | "/admin/tenants" | "/admin/snapshot"
+            | "/admin/shutdown",
         ) => {
             write_response(
                 out,

@@ -30,7 +30,7 @@ use sitw_core::{
 };
 use sitw_fleet::{footprint_mb, LedgerExport, TenantId, TenantLedger, TenantSpec};
 use sitw_sim::PolicySpec;
-use sitw_telemetry::{Log2Histogram, SpanEvent, Stage};
+use sitw_telemetry::{EventKind, LifecycleEvent, Log2Histogram, SpanEvent, Stage};
 
 use crate::metrics::{ShardStats, TenantStats};
 use crate::reactor::ReplySink;
@@ -290,6 +290,17 @@ pub enum ShardMsg {
         /// `Ok` once installed; `Err` carries the decode failure.
         ack: Sender<Result<(), String>>,
     },
+    /// Renders one app's live policy state as JSON — the decision
+    /// provenance view behind `GET /debug/policy`. Replies `None` when
+    /// the tenant or app has no state on this shard.
+    PolicyProbe {
+        /// Tenant the app belongs to.
+        tenant: TenantId,
+        /// Application id.
+        app: String,
+        /// The rendered JSON body, or `None` if unknown.
+        reply: Sender<Option<String>>,
+    },
     /// Report counters and latency percentiles.
     Scrape(Sender<ShardStats>),
     /// Export the complete per-app state.
@@ -310,6 +321,24 @@ struct AppState {
     /// sight — a pure function of `(tenant, app)`, so the hot path
     /// never re-runs the quantile transform.
     footprint_mb: u64,
+    /// The most recent verdict served plus its inputs — the provenance
+    /// `GET /debug/policy` reports (`None` only for restored apps that
+    /// have not been invoked since).
+    last_verdict: Option<LastVerdict>,
+}
+
+/// One served verdict with the inputs that produced it, kept per app
+/// for decision provenance.
+#[derive(Debug, Clone, Copy)]
+struct LastVerdict {
+    /// Invocation timestamp (trace milliseconds).
+    ts: u64,
+    /// The idle time classified (`None` for the app's first sight).
+    idle_ms: Option<u64>,
+    cold: bool,
+    prewarm_load: bool,
+    evicted: bool,
+    kind: DecisionKind,
 }
 
 /// One tenant's complete state on this shard.
@@ -466,6 +495,7 @@ impl ShardWorker {
                     last_ts: rec.last_ts,
                     evicted: rec.evicted,
                     footprint_mb,
+                    last_verdict: None,
                 },
             );
         }
@@ -521,6 +551,14 @@ impl ShardWorker {
                         last_ts: ts,
                         evicted: false,
                         footprint_mb: mb,
+                        last_verdict: Some(LastVerdict {
+                            ts,
+                            idle_ms: None,
+                            cold: true,
+                            prewarm_load: false,
+                            evicted: false,
+                            kind,
+                        }),
                     },
                 );
                 (
@@ -557,16 +595,22 @@ impl ShardWorker {
                     (_, policy) => policy.on_invocation(Some(idle)),
                 };
                 state.last_ts = ts;
-                (
-                    Decision {
-                        cold: outcome.cold || was_evicted,
-                        prewarm_load: outcome.prewarm_load && !was_evicted,
-                        evicted: was_evicted,
-                        kind: state.policy.last_decision(),
-                        windows: state.windows,
-                    },
-                    state.footprint_mb,
-                )
+                let d = Decision {
+                    cold: outcome.cold || was_evicted,
+                    prewarm_load: outcome.prewarm_load && !was_evicted,
+                    evicted: was_evicted,
+                    kind: state.policy.last_decision(),
+                    windows: state.windows,
+                };
+                state.last_verdict = Some(LastVerdict {
+                    ts,
+                    idle_ms: Some(idle),
+                    cold: d.cold,
+                    prewarm_load: d.prewarm_load,
+                    evicted: d.evicted,
+                    kind: d.kind,
+                });
+                (d, state.footprint_mb)
             }
         };
 
@@ -580,6 +624,22 @@ impl ShardWorker {
             if let Some(v) = t.apps.get_mut(&victim) {
                 v.evicted = true;
             }
+            // Evictions are rare (budget pressure only), so the event
+            // push — try_lock, never blocking the decision path — stays
+            // off the common invoke. Stamped with workload time: the
+            // ring stays deterministic and costs no clock read.
+            if self.telem.enabled {
+                if let Ok(mut ring) = self.telem.events.try_lock() {
+                    ring.push(LifecycleEvent {
+                        ts_ms: ts,
+                        kind: EventKind::Eviction,
+                        tenant: t.spec.name.clone(), // sitw-lint: allow(hot-path-alloc)
+                        app: victim,
+                        // sitw-lint: allow(hot-path-alloc)
+                        detail: format!("budget {} MB", t.spec.budget_mb),
+                    });
+                }
+            }
         }
 
         t.invocations += 1;
@@ -587,6 +647,23 @@ impl ShardWorker {
         if decision.cold {
             t.cold += 1;
             self.cold += 1;
+            // Cold starts are off the steady state by definition; the
+            // push is enabled-gated and try_lock like the eviction one.
+            if self.telem.enabled {
+                if let Ok(mut ring) = self.telem.events.try_lock() {
+                    ring.push(LifecycleEvent {
+                        ts_ms: ts,
+                        kind: EventKind::ColdStart,
+                        tenant: t.spec.name.clone(), // sitw-lint: allow(hot-path-alloc)
+                        app: app.to_owned(),
+                        detail: if decision.evicted {
+                            "eviction downgrade".to_owned()
+                        } else {
+                            String::new()
+                        },
+                    });
+                }
+            }
         }
         if decision.prewarm_load {
             self.prewarm_loads += 1;
@@ -706,6 +783,24 @@ impl ShardWorker {
             self.tenants.values().map(Self::export_tenant).collect();
         tenants.sort_by_key(|t| t.id);
         ShardExport { tenants }
+    }
+
+    /// Records a tenant migration on the lifecycle event ring (take or
+    /// restore). Migrations carry no workload timestamp, so they stamp
+    /// domain time 0 and name the direction in `detail`.
+    fn push_migration_event(&self, tenant: &str, detail: &str) {
+        if !self.telem.enabled {
+            return;
+        }
+        if let Ok(mut ring) = self.telem.events.try_lock() {
+            ring.push(LifecycleEvent {
+                ts_ms: 0,
+                kind: EventKind::Migration,
+                tenant: tenant.to_owned(),
+                app: String::new(),
+                detail: detail.to_owned(),
+            });
+        }
     }
 
     /// The worker loop: drains the mailbox until `Shutdown`, then
@@ -918,17 +1013,26 @@ impl ShardWorker {
                     let _ = ack.send(found);
                 }
                 ShardMsg::TakeTenant { tenant, reply } => {
-                    let export = self
-                        .tenants
-                        .remove(&tenant)
-                        .map(|t| Self::export_tenant(&t));
+                    let export = self.tenants.remove(&tenant).map(|t| {
+                        self.push_migration_event(&t.spec.name, "take");
+                        Self::export_tenant(&t)
+                    });
                     let _ = reply.send(export);
                 }
                 ShardMsg::RestoreTenant { restore, ack } => {
+                    let name = restore.spec.name.clone();
                     let result = Self::build_tenant(*restore).map(|(tid, shard)| {
                         self.tenants.insert(tid, shard);
+                        self.push_migration_event(&name, "restore");
                     });
                     let _ = ack.send(result);
+                }
+                ShardMsg::PolicyProbe { tenant, app, reply } => {
+                    let body = self
+                        .tenants
+                        .get(&tenant)
+                        .and_then(|t| t.apps.get(&app).map(|s| render_policy(t, &app, s)));
+                    let _ = reply.send(body);
                 }
                 ShardMsg::Scrape(reply) => {
                     let _ = reply.send(self.stats());
@@ -941,6 +1045,115 @@ impl ShardWorker {
         }
         self.export()
     }
+}
+
+/// Stable names for the policy branch behind a verdict.
+fn kind_name(kind: DecisionKind) -> &'static str {
+    match kind {
+        DecisionKind::Histogram => "histogram",
+        DecisionKind::StandardKeepAlive => "standard-keep-alive",
+        DecisionKind::Arima => "arima",
+        DecisionKind::Static => "static",
+    }
+}
+
+/// Renders one app's live policy state as JSON — the decision
+/// provenance view `GET /debug/policy` serves: the current windows,
+/// the last verdict with its inputs, and (for hybrid apps) the learned
+/// idle-time histogram plus the §4.2 classification the *next* gap
+/// would run against, next to the thresholds that gate it.
+fn render_policy(t: &TenantShard, app: &str, state: &AppState) -> String {
+    use crate::wire::json_escape;
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(512);
+    let _ = write!(
+        out,
+        "{{\"tenant\":\"{}\",\"app\":\"{}\",\"policy\":\"{}\",\"last_ts\":{},\
+         \"evicted\":{},\"footprint_mb\":{},\
+         \"windows\":{{\"pre_warm_ms\":{},\"keep_alive_ms\":{}}}",
+        json_escape(&t.spec.name),
+        json_escape(app),
+        json_escape(&t.spec.policy.label()),
+        state.last_ts,
+        state.evicted,
+        state.footprint_mb,
+        state.windows.pre_warm_ms,
+        state.windows.keep_alive_ms,
+    );
+    if let Some(v) = &state.last_verdict {
+        let idle = match v.idle_ms {
+            Some(ms) => ms.to_string(),
+            None => "null".to_owned(),
+        };
+        let _ = write!(
+            out,
+            ",\"last_verdict\":{{\"ts\":{},\"idle_ms\":{idle},\"cold\":{},\
+             \"prewarm_load\":{},\"evicted\":{},\"branch\":\"{}\"}}",
+            v.ts,
+            v.cold,
+            v.prewarm_load,
+            v.evicted,
+            kind_name(v.kind),
+        );
+    }
+    if let ServedPolicy::Hybrid(p) = &state.policy {
+        let h = p.histogram();
+        let cfg = p.config();
+        let counts = p.decisions();
+        // Mirror of HybridPolicy::on_invocation's branch order: the
+        // classification the next observed gap would fall under.
+        let class = if h.total_count() < cfg.min_samples {
+            "learning"
+        } else if h.oob_fraction() > cfg.oob_threshold {
+            if cfg.use_arima {
+                "out-of-bounds-arima"
+            } else {
+                "out-of-bounds-standard"
+            }
+        } else if h.bin_count_cv() < cfg.cv_threshold {
+            "not-representative"
+        } else {
+            "representative"
+        };
+        let _ = write!(
+            out,
+            ",\"hybrid\":{{\"classification\":\"{class}\",\"samples\":{},\
+             \"oob_count\":{},\"oob_fraction\":{:.4},\"bin_count_cv\":{:.4},\
+             \"thresholds\":{{\"min_samples\":{},\"oob_threshold\":{},\"cv_threshold\":{}}},\
+             \"cutoffs\":{{\"head_percentile\":{},\"tail_percentile\":{}}},\
+             \"decisions\":{{\"histogram\":{},\"standard\":{},\"arima\":{}}},\
+             \"bin_width_minutes\":{},\"bins\":[",
+            h.total_count(),
+            h.oob_count(),
+            h.oob_fraction(),
+            h.bin_count_cv(),
+            cfg.min_samples,
+            cfg.oob_threshold,
+            cfg.cv_threshold,
+            cfg.head_percentile,
+            cfg.tail_percentile,
+            counts.histogram,
+            counts.standard,
+            counts.arima,
+            h.bin_width(),
+        );
+        // Sparse export: `[bin, count]` pairs for the non-zero bins
+        // only, so a 240-bin histogram stays a small body.
+        let mut first = true;
+        for (i, &c) in h.bins().iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "[{i},{c}]");
+        }
+        out.push_str("]}");
+    }
+    out.push('}');
+    out
 }
 
 /// Maps an app id to its shard: FNV-1a over the id bytes, mod `shards`.

@@ -25,12 +25,18 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use sitw_telemetry::{Clock, FlightRecorder, Log2Histogram, ManualClock, SpanEvent, WallClock};
+use sitw_telemetry::{
+    Clock, EventRing, FlightRecorder, Log2Histogram, ManualClock, SpanEvent, WallClock,
+};
 
 use crate::metrics::ProtoHists;
 
 /// Capacity of each per-thread flight-recorder ring.
 pub const TRACE_RING: usize = 512;
+
+/// Capacity of the node-wide lifecycle event ring (`/debug/events`).
+/// Events are rare relative to decisions, so one shared ring suffices.
+pub const EVENT_RING: usize = 256;
 
 /// Runtime-selected clock: production wall time or a test-driven manual
 /// clock, without making every recording site generic.
@@ -225,8 +231,13 @@ pub struct ShardTelem {
     pub enabled: bool,
     /// Shared-epoch clock.
     pub clock: TelemClock,
-    /// Recent spans recorded by this worker (`/debug/trace` drains it).
+    /// Recent spans recorded by this worker (`/debug/trace` snapshots
+    /// it non-destructively).
     pub recorder: Arc<Mutex<FlightRecorder>>,
+    /// Node-wide lifecycle event ring, shared across shards
+    /// (`/debug/events` snapshots it). Events are pushed via `try_lock`
+    /// with workload timestamps — no clock reads, no blocking.
+    pub events: Arc<Mutex<EventRing>>,
     /// Mailbox depth gauge (this worker observes drain waves).
     pub gauge: Arc<QueueGauge>,
     /// Mailbox wait (dispatch → dequeue), per protocol.
@@ -241,6 +252,7 @@ impl Default for ShardTelem {
             enabled: true,
             clock: TelemClock::default(),
             recorder: Arc::new(Mutex::new(FlightRecorder::new(TRACE_RING))),
+            events: Arc::new(Mutex::new(EventRing::new(EVENT_RING))),
             gauge: Arc::default(),
             queue: ProtoHists::default(),
             decide: ProtoHists::default(),
@@ -282,7 +294,7 @@ pub fn merge_spans(sources: &[(String, &FlightRecorder)], last: usize) -> Vec<(S
 /// Shared telemetry state hung off the server context: one slot per
 /// reactor thread and per shard worker, created at start and never
 /// resized.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct TelemCtx {
     /// Master switch (from `ServeConfig::telemetry`).
     pub enabled: bool,
@@ -292,10 +304,27 @@ pub(crate) struct TelemCtx {
     pub reactors: Vec<Arc<Mutex<ReactorTelem>>>,
     /// Per-reactor inbox gauges (each loop observes its drain waves).
     pub reactor_gauges: Vec<Arc<QueueGauge>>,
-    /// Per-shard flight recorders (worker pushes, scrapers drain).
+    /// Per-shard flight recorders (workers push, scrapers snapshot).
     pub shard_recorders: Vec<Arc<Mutex<FlightRecorder>>>,
     /// Per-shard mailbox gauges (each worker observes its drain waves).
     pub shard_gauges: Vec<Arc<QueueGauge>>,
+    /// Node-wide lifecycle event ring, shared by every shard worker
+    /// (`/debug/events`).
+    pub events: Arc<Mutex<EventRing>>,
+}
+
+impl Default for TelemCtx {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            clock: TelemClock::default(),
+            reactors: Vec::new(),
+            reactor_gauges: Vec::new(),
+            shard_recorders: Vec::new(),
+            shard_gauges: Vec::new(),
+            events: Arc::new(Mutex::new(EventRing::new(EVENT_RING))),
+        }
+    }
 }
 
 #[cfg(test)]

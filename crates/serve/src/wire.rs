@@ -389,6 +389,15 @@ pub const FRAME_CONTROL: u8 = 4;
 /// Frame kind: the node's answer to a control request. See
 /// [`ControlReply`].
 pub const FRAME_CONTROL_REPLY: u8 = 5;
+/// Kind-byte flag: the payload of this [`FRAME_REQUEST`] starts with an
+/// 8-byte little-endian trace id before the records. Version-gated to
+/// v2 — a v1 frame with the flag set is malformed — so v1 peers, which
+/// would misparse the prefix as a record, never see it. A traceless v2
+/// frame is byte-identical to one encoded before this flag existed.
+pub const FRAME_FLAG_TRACE: u8 = 0x80;
+/// Bytes of the optional trace-id payload prefix (see
+/// [`FRAME_FLAG_TRACE`]).
+pub const TRACE_FIELD_LEN: usize = 8;
 
 /// Control op: report per-tenant ledger integrals (empty body).
 pub const CTRL_REPORT: u8 = 1;
@@ -523,6 +532,8 @@ pub enum FrameDecode {
         records: Vec<BinInvoke>,
         /// The frame's protocol version (replies must echo it).
         version: u8,
+        /// The propagated trace id, when the frame carried one.
+        trace: Option<u64>,
         /// Total frame length in bytes.
         consumed: usize,
     },
@@ -595,19 +606,40 @@ pub fn encode_request_frame(out: &mut Vec<u8>, records: &[(&str, u64)]) {
 /// Panics if an app name exceeds `u16::MAX` bytes or the batch exceeds
 /// [`MAX_BATCH`].
 pub fn encode_request_frame_v2(out: &mut Vec<u8>, records: &[(u16, &str, u64)]) {
+    encode_v2_frame(out, records, None);
+}
+
+/// Encodes one v2 request frame carrying a propagated trace id: the
+/// kind byte gains [`FRAME_FLAG_TRACE`] and the payload starts with the
+/// 8-byte little-endian id before the records (see the flag docs for
+/// the version gating).
+///
+/// # Panics
+///
+/// Panics if an app name exceeds `u16::MAX` bytes or the batch exceeds
+/// [`MAX_BATCH`].
+pub fn encode_request_frame_v2_traced(out: &mut Vec<u8>, records: &[(u16, &str, u64)], trace: u64) {
+    encode_v2_frame(out, records, Some(trace));
+}
+
+fn encode_v2_frame(out: &mut Vec<u8>, records: &[(u16, &str, u64)], trace: Option<u64>) {
     assert!(records.len() <= MAX_BATCH, "batch exceeds MAX_BATCH");
-    let payload_len: usize = records
-        .iter()
-        .map(|(_, app, _)| 2 + 2 + app.len() + 8)
-        .sum();
+    let prefix = if trace.is_some() { TRACE_FIELD_LEN } else { 0 };
+    let payload_len: usize = prefix
+        + records
+            .iter()
+            .map(|(_, app, _)| 2 + 2 + app.len() + 8)
+            .sum::<usize>();
     out.reserve(BIN_HEADER_LEN + payload_len);
-    frame_header(
-        out,
-        BIN_VERSION_2,
-        FRAME_REQUEST,
-        payload_len,
-        records.len(),
-    );
+    let kind = if trace.is_some() {
+        FRAME_REQUEST | FRAME_FLAG_TRACE
+    } else {
+        FRAME_REQUEST
+    };
+    frame_header(out, BIN_VERSION_2, kind, payload_len, records.len());
+    if let Some(id) = trace {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
     for (tenant, app, ts) in records {
         assert!(app.len() <= u16::MAX as usize, "app name too long");
         out.extend_from_slice(&tenant.to_le_bytes());
@@ -627,6 +659,8 @@ pub enum FrameDecodeInto {
     Request {
         /// The frame's protocol version (replies must echo it).
         version: u8,
+        /// The propagated trace id, when the frame carried one.
+        trace: Option<u64>,
         /// Total frame length in bytes.
         consumed: usize,
     },
@@ -655,9 +689,14 @@ pub enum FrameDecodeInto {
 pub fn decode_request_frame(buf: &[u8]) -> FrameDecode {
     let mut records = Vec::new();
     match decode_request_frame_into(buf, &mut records) {
-        FrameDecodeInto::Request { version, consumed } => FrameDecode::Request {
+        FrameDecodeInto::Request {
+            version,
+            trace,
+            consumed,
+        } => FrameDecode::Request {
             records,
             version,
+            trace,
             consumed,
         },
         FrameDecodeInto::Control { req, consumed } => FrameDecode::Control { req, consumed },
@@ -719,8 +758,14 @@ pub fn decode_request_frame_into(buf: &[u8], records: &mut Vec<BinInvoke>) -> Fr
             Err(detail) => malformed(detail),
         };
     }
-    if kind != FRAME_REQUEST {
+    let traced = kind == FRAME_REQUEST | FRAME_FLAG_TRACE;
+    if !traced && kind != FRAME_REQUEST {
         return malformed(format!("unexpected frame kind {kind}"));
+    }
+    if traced && version != BIN_VERSION_2 {
+        // The trace field is a v2 extension; a v1 peer would misparse
+        // the 8-byte prefix as a record.
+        return malformed("trace flag requires protocol v2".into());
     }
     if count > MAX_BATCH {
         return FrameDecodeInto::Error {
@@ -734,7 +779,8 @@ pub fn decode_request_frame_into(buf: &[u8], records: &mut Vec<BinInvoke>) -> Fr
     } else {
         MIN_REQUEST_RECORD_LEN
     };
-    if count * min_record_len > payload_len {
+    let trace_len = if traced { TRACE_FIELD_LEN } else { 0 };
+    if count * min_record_len + trace_len > payload_len {
         // Decidable from the header alone — fail before buffering the
         // (possibly large) payload.
         return malformed(format!("count {count} cannot fit payload {payload_len}"));
@@ -743,6 +789,11 @@ pub fn decode_request_frame_into(buf: &[u8], records: &mut Vec<BinInvoke>) -> Fr
         return FrameDecodeInto::Incomplete;
     }
     let payload = &buf[BIN_HEADER_LEN..total];
+    let (trace, payload) = if traced {
+        (Some(u64_at(payload, 0)), &payload[TRACE_FIELD_LEN..])
+    } else {
+        (None, payload)
+    };
     records.reserve(count);
     let mut i = 0usize;
     for r in 0..count {
@@ -790,6 +841,7 @@ pub fn decode_request_frame_into(buf: &[u8], records: &mut Vec<BinInvoke>) -> Fr
     }
     FrameDecodeInto::Request {
         version,
+        trace,
         consumed: total,
     }
 }
@@ -1393,10 +1445,12 @@ mod tests {
             FrameDecode::Request {
                 records: r,
                 version,
+                trace,
                 consumed,
             } => {
                 assert_eq!(consumed, out.len());
                 assert_eq!(version, BIN_VERSION);
+                assert_eq!(trace, None);
                 assert_eq!(r.len(), 3);
                 assert_eq!(
                     r[0],
@@ -1428,9 +1482,11 @@ mod tests {
             FrameDecode::Request {
                 records: r,
                 version,
+                trace,
                 consumed,
             } => {
                 assert_eq!(version, BIN_VERSION_2);
+                assert_eq!(trace, None, "traceless v2 must stay traceless");
                 assert_eq!(consumed, out.len());
                 for ((tenant, app, ts), got) in records.iter().zip(&r) {
                     assert_eq!(got.tenant, *tenant);
@@ -1456,6 +1512,78 @@ mod tests {
                 assert_eq!(code, BinErrorCode::Malformed);
                 assert_eq!(skip, Some(BIN_HEADER_LEN + 20));
             }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn traced_v2_frame_roundtrips_and_gates_on_version() {
+        let records = [(1u16, "app-000001", 7u64), (2, "x", 9)];
+        let trace_id = sitw_telemetry::TRACE_MARK | 0xBEEF;
+        let mut out = Vec::new();
+        encode_request_frame_v2_traced(&mut out, &records, trace_id);
+        assert_eq!(out[2], FRAME_REQUEST | FRAME_FLAG_TRACE);
+        match decode_request_frame(&out) {
+            FrameDecode::Request {
+                records: r,
+                version,
+                trace,
+                consumed,
+            } => {
+                assert_eq!(version, BIN_VERSION_2);
+                assert_eq!(trace, Some(trace_id));
+                assert_eq!(consumed, out.len());
+                assert_eq!(r.len(), 2);
+                assert_eq!(
+                    (r[0].tenant, r[0].app.as_str(), r[0].ts),
+                    (1, "app-000001", 7)
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // A traceless encode of the same records is byte-identical to
+        // the pre-flag wire format: strip the flag and the trace prefix
+        // and the frames match except for the payload length.
+        let mut plain = Vec::new();
+        encode_request_frame_v2(&mut plain, &records);
+        assert_eq!(
+            &out[BIN_HEADER_LEN + TRACE_FIELD_LEN..],
+            &plain[BIN_HEADER_LEN..]
+        );
+        // Every proper prefix is Incomplete.
+        for i in 0..out.len() {
+            assert!(matches!(
+                decode_request_frame(&out[..i]),
+                FrameDecode::Incomplete
+            ));
+        }
+        // The flag is v2-only: the same frame relabelled v1 is a
+        // recoverable malformed frame, not a misparse.
+        let mut v1 = out.clone();
+        v1[1] = BIN_VERSION;
+        match decode_request_frame(&v1) {
+            FrameDecode::Error { code, detail, skip } => {
+                assert_eq!(code, BinErrorCode::Malformed);
+                assert!(
+                    detail.contains("trace flag requires protocol v2"),
+                    "{detail}"
+                );
+                assert_eq!(skip, Some(v1.len()));
+            }
+            other => panic!("{other:?}"),
+        }
+        // A traced header whose payload cannot even hold the trace id
+        // is caught from the header alone.
+        let mut f = Vec::new();
+        frame_header(
+            &mut f,
+            BIN_VERSION_2,
+            FRAME_REQUEST | FRAME_FLAG_TRACE,
+            4,
+            0,
+        );
+        match decode_request_frame(&f) {
+            FrameDecode::Error { code, .. } => assert_eq!(code, BinErrorCode::Malformed),
             other => panic!("{other:?}"),
         }
     }

@@ -44,6 +44,10 @@ impl Client {
             body.len()
         );
         self.stream.write_all(req.as_bytes()).expect("write");
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> (u16, String) {
         loop {
             if let Some(header_end) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
                 let header = String::from_utf8_lossy(&self.buf[..header_end]).into_owned();
@@ -75,6 +79,18 @@ impl Client {
     fn invoke(&mut self, app: &str, ts: u64) -> u16 {
         let body = format!("{{\"app\":\"{app}\",\"ts\":{ts}}}");
         self.request("POST", "/invoke", &body).0
+    }
+
+    /// `POST /invoke` carrying a propagated `x-sitw-trace` id.
+    fn invoke_traced(&mut self, app: &str, ts: u64, trace: u64) -> u16 {
+        let body = format!("{{\"app\":\"{app}\",\"ts\":{ts}}}");
+        let req = format!(
+            "POST /invoke HTTP/1.1\r\nx-sitw-trace: {trace:#018x}\r\n\
+             content-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(req.as_bytes()).expect("write");
+        self.read_response().0
     }
 
     fn fill(&mut self) {
@@ -331,6 +347,71 @@ fn manual_clock_spans_order_deterministically_across_hops() {
     assert_eq!(merged[5].1.end_ns, 200);
     // All hops agree on the span id.
     assert!(merged.iter().all(|(_, ev)| ev.span == span));
+}
+
+// ---------------------------------------------------------------------
+// Fleet-plane provenance surfaces: propagated trace ids tag the node's
+// pipeline spans, `/debug/events` records lifecycle provenance,
+// `/debug/policy` explains the live verdict, and `/debug/hist` exposes
+// the raw federation format. Scraping any of them is non-destructive.
+
+#[test]
+fn debug_scrapes_are_non_destructive_and_carry_provenance() {
+    let server = Server::start(base_config()).unwrap();
+    let mut client = Client::connect(server.addr());
+    let trace = (1u64 << 63) | 0xBEE;
+    assert_eq!(client.invoke_traced("traced-app", 1_000, trace), 200);
+    for i in 0..4u64 {
+        assert_eq!(client.invoke(&format!("app-{i}"), 2_000 + i), 200);
+    }
+
+    // The propagated id IS the span id of the node's pipeline stages.
+    let (status, trace_text) = client.request("GET", "/debug/trace?n=256", "");
+    assert_eq!(status, 200);
+    let hex = format!("{trace:#018x}");
+    assert!(
+        trace_text.contains(&hex),
+        "propagated id {hex} missing from trace:\n{trace_text}"
+    );
+
+    // Regression: a scrape observes the ring, it must not drain it.
+    // Back-to-back scrapes with no traffic in between are identical.
+    let again = client.request("GET", "/debug/trace?n=256", "");
+    assert_eq!(again, (200, trace_text), "trace scrape was destructive");
+    let hist = client.request("GET", "/debug/hist", "");
+    assert_eq!(hist.0, 200);
+    assert_eq!(
+        client.request("GET", "/debug/hist", ""),
+        hist,
+        "hist scrape was destructive"
+    );
+    // The federation wire format: `stage <name> <proto> <sum> <b0>..`.
+    assert!(hist.1.lines().any(|l| l.starts_with("stage decide json ")));
+    assert!(hist.1.lines().any(|l| l.starts_with("tenant default ")));
+
+    // Lifecycle provenance: five first-sight invocations = cold starts.
+    let (status, events) = client.request("GET", "/debug/events", "");
+    assert_eq!(status, 200);
+    assert!(
+        events.contains("\"kind\":\"cold-start\"") && events.contains("\"app\":\"traced-app\""),
+        "missing cold-start provenance: {events}"
+    );
+    assert_eq!(
+        client.request("GET", "/debug/events", "").1,
+        events,
+        "events scrape was destructive"
+    );
+
+    // Decision provenance: the live verdict for one (tenant, app).
+    let (status, policy) = client.request("GET", "/debug/policy?app=traced-app", "");
+    assert_eq!(status, 200);
+    assert!(policy.contains("\"tenant\":\"default\""));
+    assert!(policy.contains("\"app\":\"traced-app\""));
+    assert!(policy.contains("\"last_verdict\":{") && policy.contains("\"cold\":true"));
+    assert_eq!(client.request("GET", "/debug/policy", "").0, 400);
+    assert_eq!(client.request("GET", "/debug/policy?app=nope", "").0, 404);
+
+    server.shutdown().unwrap();
 }
 
 // ---------------------------------------------------------------------

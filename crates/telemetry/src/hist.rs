@@ -53,6 +53,32 @@ impl Log2Histogram {
         }
     }
 
+    /// Reconstructs a histogram from exported raw parts (`count` is
+    /// derived: every recorded sample lands in exactly one bucket, so
+    /// the count *is* the bucket total). This is the federation
+    /// constructor: a scraper that received a node's raw buckets and
+    /// sum rebuilds the histogram here and merges it exactly.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sitw_telemetry::Log2Histogram;
+    ///
+    /// let mut h = Log2Histogram::new();
+    /// h.record(3);
+    /// h.record(900);
+    /// let rebuilt = Log2Histogram::from_raw(*h.buckets(), h.sum());
+    /// assert_eq!(rebuilt, h);
+    /// ```
+    pub fn from_raw(buckets: [u64; BUCKETS], sum: u64) -> Self {
+        let count = buckets.iter().sum();
+        Self {
+            buckets,
+            count,
+            sum,
+        }
+    }
+
     /// Index of the bucket that holds `v`.
     #[inline]
     pub fn bucket_of(v: u64) -> usize {

@@ -16,20 +16,30 @@
 //!   construction).
 //! * [`FlightRecorder`] — a fixed-size ring of timestamped
 //!   [`SpanEvent`]s covering the request pipeline stages
-//!   (read → decode → queue → decide → render → write), overwritten
-//!   oldest-first and drained on demand by the `/debug/trace` endpoint.
+//!   (read → decode → queue → decide → render → write on a node,
+//!   ingress → route → forward → await → reassemble → egress on the
+//!   router), overwritten oldest-first and snapshotted — never drained —
+//!   by the `/debug/trace` endpoints.
+//! * [`EventRing`] — a bounded ring of policy [`LifecycleEvent`]s (cold
+//!   starts, evictions, throttles, migrations, ring-epoch changes)
+//!   scraped by `/debug/events`.
 //!
-//! Everything here is allocation-free after construction and does no
-//! syscalls, so recording on the hot path costs a clock read and a few
-//! arithmetic ops.
+//! Everything here is allocation-free after construction (lifecycle
+//! events own their names, but events are rare) and does no syscalls,
+//! so recording on the hot path costs a clock read and a few arithmetic
+//! ops.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod clock;
+mod events;
 mod hist;
 mod recorder;
 
 pub use clock::{Clock, ManualClock, WallClock};
+pub use events::{EventKind, EventRing, LifecycleEvent};
 pub use hist::{Log2Histogram, BUCKETS};
-pub use recorder::{FlightRecorder, SpanEvent, Stage, STAGES};
+pub use recorder::{
+    is_trace_span, FlightRecorder, SpanEvent, Stage, ROUTER_STAGES, STAGES, TRACE_MARK,
+};

@@ -4,11 +4,28 @@
 //! pipeline stage it crosses pushes one [`SpanEvent`] into the recorder
 //! of the thread doing the work. The ring is bounded and overwrites
 //! oldest-first, so steady-state recording never allocates; a whole
-//! event slot is replaced at once, so a drained ring never contains a
-//! torn span. `/debug/trace` drains the per-thread recorders, merges,
-//! and reports the most recent K events.
+//! event slot is replaced at once, so a snapshot never contains a torn
+//! span. `/debug/trace` takes a *non-destructive* snapshot of the
+//! per-thread recorders, merges, and reports the most recent K events —
+//! concurrent scrapers see the same spans.
+
+/// Trace ids sampled at the fleet edge carry this top bit so they can
+/// never collide with node-local span ids (`reactor_id << 48 | counter`
+/// with small reactor counts). A node that receives a propagated trace
+/// id uses it *as* the span id for the request's stages, which is what
+/// lets the router's `/debug/trace` pick node spans out by id.
+pub const TRACE_MARK: u64 = 1 << 63;
+
+/// Whether a span id is a propagated fleet trace id (see [`TRACE_MARK`]).
+pub fn is_trace_span(span: u64) -> bool {
+    span & TRACE_MARK != 0
+}
 
 /// The pipeline stages a request crosses, in order.
+///
+/// The first six are the node's pipeline; the last six are the router's
+/// hop stages ([`ROUTER_STAGES`]), recorded in the router-side flight
+/// recorder for sampled (traced) requests only.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Stage {
     /// Socket readable → request bytes buffered.
@@ -23,9 +40,21 @@ pub enum Stage {
     Render,
     /// Response bytes → written to the socket.
     Write,
+    /// Router: request bytes arrived → parsed / admitted.
+    Ingress,
+    /// Router: tenant/app resolved against the ring → node(s) chosen.
+    Route,
+    /// Router: subrequest(s) serialized and written upstream.
+    Forward,
+    /// Router: waiting on upstream node replies.
+    Await,
+    /// Router: node replies merged into one client response.
+    Reassemble,
+    /// Router: merged response flushed to the client socket.
+    Egress,
 }
 
-/// All stages, in pipeline order.
+/// The node pipeline stages, in pipeline order.
 pub const STAGES: [Stage; 6] = [
     Stage::Read,
     Stage::Decode,
@@ -33,6 +62,16 @@ pub const STAGES: [Stage; 6] = [
     Stage::Decide,
     Stage::Render,
     Stage::Write,
+];
+
+/// The router hop stages, in hop order.
+pub const ROUTER_STAGES: [Stage; 6] = [
+    Stage::Ingress,
+    Stage::Route,
+    Stage::Forward,
+    Stage::Await,
+    Stage::Reassemble,
+    Stage::Egress,
 ];
 
 impl Stage {
@@ -46,6 +85,12 @@ impl Stage {
             Stage::Decide => "decide",
             Stage::Render => "render",
             Stage::Write => "write",
+            Stage::Ingress => "ingress",
+            Stage::Route => "route",
+            Stage::Forward => "forward",
+            Stage::Await => "await",
+            Stage::Reassemble => "reassemble",
+            Stage::Egress => "egress",
         }
     }
 }
@@ -228,5 +273,26 @@ mod tests {
             names,
             vec!["read", "decode", "queue", "decide", "render", "write"]
         );
+        let names: Vec<&str> = ROUTER_STAGES.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "ingress",
+                "route",
+                "forward",
+                "await",
+                "reassemble",
+                "egress"
+            ]
+        );
+    }
+
+    #[test]
+    fn trace_mark_disjoint_from_node_span_ids() {
+        // Node span ids are reactor_id << 48 | counter; the trace mark
+        // must be outside any realistic reactor id's reach.
+        let node_span = (255u64 << 48) | 0x0000_ffff_ffff_ffff;
+        assert!(!is_trace_span(node_span));
+        assert!(is_trace_span(TRACE_MARK | 42));
     }
 }
