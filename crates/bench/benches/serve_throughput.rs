@@ -38,11 +38,14 @@
 
 use std::io::Write as _;
 use std::sync::Mutex;
+use std::time::Duration;
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use sitw_cluster::{Router, RouterConfig};
 use sitw_core::{HybridConfig, ProductionConfig};
-use sitw_serve::{run_loadgen, LoadGenConfig, Proto, ServeConfig, Server, TenantConfig};
+use sitw_serve::{
+    run_loadgen, FollowConfig, Follower, LoadGenConfig, Proto, ServeConfig, Server, TenantConfig,
+};
 use sitw_sim::PolicySpec;
 use sitw_trace::DAY_MS;
 
@@ -76,6 +79,12 @@ const BASELINE_RATIO: f64 = 0.9;
 /// The ISSUE-8 acceptance floor: routed-through-`sitw-router` rates vs
 /// the direct single-node rate of the same shape.
 const ROUTED_GATE_RATIO: f64 = 0.8;
+
+/// The ISSUE-10 acceptance floor: steady-state throughput with a warm
+/// standby actively pulling the replication stream vs the same shape
+/// with no follower attached. Dirty tracking plus chunked snapshot
+/// export must never pause shards, so replication may cost at most 10%.
+const REPL_GATE_RATIO: f64 = 0.9;
 
 /// One measured case, accumulated for the machine-readable report.
 struct CaseResult {
@@ -186,6 +195,36 @@ fn run_once_routed(shards: usize, policy: PolicySpec, proto: Proto, conns: usize
         "lost responses through the router"
     );
     router.shutdown();
+    server.shutdown().expect("shutdown");
+    report.throughput
+}
+
+/// Like [`run_once`], but with a warm standby (`sitw_serve::Follower`)
+/// pulling the replication stream for the whole measurement — the
+/// ISSUE-10 replication-on shapes.
+fn run_once_replicated(shards: usize, policy: PolicySpec, proto: Proto, conns: usize) -> f64 {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        shards,
+        policy: policy.clone(),
+        ..ServeConfig::default()
+    })
+    .expect("server start");
+    let follower = Follower::start(FollowConfig {
+        primary_addr: server.addr().to_string(),
+        pull_interval: Duration::from_millis(25),
+        serve: ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            shards,
+            policy,
+            ..ServeConfig::default()
+        },
+        ..FollowConfig::default()
+    })
+    .expect("follower start");
+    let report = run_loadgen(server.addr(), &loadgen_config(proto, 0, conns)).expect("loadgen");
+    assert_eq!(report.ok, EVENTS as u64, "lost responses under replication");
+    follower.shutdown().expect("follower shutdown");
     server.shutdown().expect("shutdown");
     report.throughput
 }
@@ -347,6 +386,41 @@ fn bench_decisions_per_sec(c: &mut Criterion) {
         group.bench_function(id, |b| {
             b.iter(|| {
                 let dec_per_sec = run_once_routed(4, hybrid(), proto, BASE_CONNS);
+                samples.push(dec_per_sec);
+                dec_per_sec
+            })
+        });
+        RESULTS.lock().unwrap().push(CaseResult {
+            proto: proto_label,
+            policy: "hybrid",
+            shards: 4,
+            batch,
+            tenants: 0,
+            conns: BASE_CONNS,
+            samples,
+        });
+    }
+    // Replication (ISSUE-10): the same 4-shard hybrid shapes with a
+    // warm standby pulling the snapshot stream throughout — gated
+    // in-run at >= 0.9x the no-follower rate of the same shape.
+    for (id, proto_label, batch, proto) in [
+        (
+            BenchmarkId::new("json/repl", 4usize),
+            "json-repl",
+            1usize,
+            Proto::Json,
+        ),
+        (
+            BenchmarkId::new("bin/repl", 128usize),
+            "bin-repl",
+            128,
+            Proto::Bin { batch: 128 },
+        ),
+    ] {
+        let mut samples = Vec::new();
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let dec_per_sec = run_once_replicated(4, hybrid(), proto, BASE_CONNS);
                 samples.push(dec_per_sec);
                 dec_per_sec
             })
@@ -690,6 +764,77 @@ fn report_and_gate() {
             ratio >= ROUTED_GATE_RATIO,
             "perf gate failed: {routed_label} must sustain >= {ROUTED_GATE_RATIO}x the \
              direct rate ({routed:.0} vs {direct:.0} dec/s)"
+        );
+    }
+
+    // Replication gate (ISSUE-10): with a warm standby pulling the
+    // snapshot stream, steady-state throughput must hold >= 0.9x the
+    // no-follower rate of the same shape — dirty tracking and chunked
+    // export never pause shards. Same paired-retry discipline as the
+    // routed gate: re-measure both sides back-to-back on a shortfall so
+    // machine noise can't masquerade as replication overhead.
+    for (repl_label, direct_proto, batch) in
+        [("json-repl", "json", 1usize), ("bin-repl", "bin", 128)]
+    {
+        let mut direct = results
+            .iter()
+            .find(|r| {
+                r.proto == direct_proto
+                    && r.policy == "hybrid"
+                    && r.shards == 4
+                    && r.batch == batch
+                    && r.tenants == 0
+                    && r.conns == BASE_CONNS
+            })
+            .map(CaseResult::mean)
+            .expect("direct case for the replication gate");
+        let mut repl = results
+            .iter()
+            .find(|r| r.proto == repl_label)
+            .map(CaseResult::mean)
+            .expect("replicated case measured");
+        let wire = if direct_proto == "bin" {
+            Proto::Bin { batch }
+        } else {
+            Proto::Json
+        };
+        let mut ratio = repl / direct;
+        let mut retries = 0;
+        while ratio < REPL_GATE_RATIO && retries < 4 {
+            retries += 1;
+            let again_direct = run_once(
+                4,
+                PolicySpec::Hybrid(HybridConfig::default()),
+                wire,
+                0,
+                BASE_CONNS,
+                true,
+            );
+            let again_repl = run_once_replicated(
+                4,
+                PolicySpec::Hybrid(HybridConfig::default()),
+                wire,
+                BASE_CONNS,
+            );
+            println!(
+                "gate: {repl_label} retry {retries}: replicated {again_repl:.0} vs direct \
+                 {again_direct:.0} dec/s = {:.2}x",
+                again_repl / again_direct
+            );
+            if again_repl / again_direct > ratio {
+                ratio = again_repl / again_direct;
+                repl = again_repl;
+                direct = again_direct;
+            }
+        }
+        println!(
+            "gate: {repl_label} {repl:.0} dec/s vs direct {direct:.0} dec/s = {ratio:.2}x \
+             (floor {REPL_GATE_RATIO}x)"
+        );
+        assert!(
+            ratio >= REPL_GATE_RATIO,
+            "perf gate failed: {repl_label} must sustain >= {REPL_GATE_RATIO}x the \
+             no-follower rate ({repl:.0} vs {direct:.0} dec/s)"
         );
     }
 

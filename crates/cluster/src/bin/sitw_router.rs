@@ -9,7 +9,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use sitw_cluster::{Router, RouterConfig, RouterTenant};
+use sitw_cluster::{FailoverMode, Router, RouterConfig, RouterTenant};
 use sitw_core::PolicySpec;
 
 const USAGE: &str = "\
@@ -20,6 +20,8 @@ USAGE:
                 [--tenants N]
                 [--tenant NAME=POLICY[,budget=MB][,qos=SPEC]]
                 [--reconcile-ms MS] [--trace-sample N]
+                [--failover off|supervised|auto] [--probe-ms MS]
+                [--standby IDX=CONTROL_ADDR] [--upstream-timeout-ms MS]
 
 OPTIONS:
     --addr HOST:PORT     Listen address (default 127.0.0.1:7180)
@@ -37,6 +39,24 @@ OPTIONS:
                          spans for all traced requests (default 0 =
                          hop recording off; client trace ids still
                          propagate to the nodes).
+    --failover MODE      off (default): operators drop dead nodes via
+                         POST /admin/ring/drop. supervised: a health
+                         prober raises drop/promote proposals on
+                         GET /admin/ring/proposals for operators to
+                         confirm via POST /admin/ring/proposals/confirm.
+                         auto: proposals are confirmed automatically.
+    --probe-ms MS        Health-probe interval with failover on
+                         (default 500).
+    --standby IDX=ADDR   Warm standby for ring slot IDX: the *control*
+                         address of a `sitw-serve --follow` replica.
+                         Confirming a failover of that slot promotes the
+                         standby in place instead of dropping the node.
+                         Repeatable, one per slot.
+    --upstream-timeout-ms MS
+                         Data-path upstream deadline (connect, read,
+                         write; default 2000). A hung node surfaces as
+                         a typed 503 / Unavailable naming the node
+                         within this bound.
 ";
 
 fn parse_args() -> Result<RouterConfig, String> {
@@ -79,6 +99,28 @@ fn parse_args() -> Result<RouterConfig, String> {
                 cfg.trace_sample = value("--trace-sample")?
                     .parse()
                     .map_err(|e| format!("--trace-sample: {e}"))?;
+            }
+            "--failover" => {
+                cfg.failover = FailoverMode::parse(&value("--failover")?)?;
+            }
+            "--probe-ms" => {
+                cfg.probe_ms = value("--probe-ms")?
+                    .parse()
+                    .map_err(|e| format!("--probe-ms: {e}"))?;
+            }
+            "--standby" => {
+                let spec = value("--standby")?;
+                let (idx, ctrl) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--standby: expected IDX=ADDR, got '{spec}'"))?;
+                let idx: usize = idx.parse().map_err(|e| format!("--standby: {e}"))?;
+                cfg.standbys.push((idx, ctrl.to_owned()));
+            }
+            "--upstream-timeout-ms" => {
+                let ms: u64 = value("--upstream-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--upstream-timeout-ms: {e}"))?;
+                cfg.upstream_timeout = Duration::from_millis(ms.max(1));
             }
             "--read-timeout-ms" => {
                 let ms: u64 = value("--read-timeout-ms")?

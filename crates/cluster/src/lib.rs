@@ -20,7 +20,12 @@
 //!   admission rejections itself (HTTP 429 / the `Throttled` verdict
 //!   bit), and surfaces a dead node as the typed
 //!   [`sitw_serve::wire::BinErrorCode::Unavailable`] error (HTTP 503)
-//!   rather than a hung or reset connection.
+//!   rather than a hung or reset connection — every data-path upstream
+//!   exchange is bounded by a configurable deadline. With `--failover
+//!   supervised|auto` a health prober raises drop/promote proposals for
+//!   nodes failing consecutive probes; confirming one promotes the
+//!   slot's warm standby (a `sitw-serve --follow` replica) in place and
+//!   bumps the ring epoch, or drops the node when no standby exists.
 //! * [`reconcile`] — the epoch-based budget reconciler: polls each
 //!   node's per-tenant ledger integrals over SITW-BIN control frames,
 //!   aggregates them cluster-wide, and pushes each tenant's budget to
@@ -50,6 +55,6 @@ pub use federate::{parse_hist_body, parse_trace_spans, FleetHists, NodeHists, No
 pub use metrics::{render_fleet, RouterMetrics};
 pub use reconcile::{aggregate_usage, control_roundtrip, reconcile_shares, NodeReport};
 pub use ring::ClusterRing;
-pub use router::{Router, RouterConfig, RouterTenant};
+pub use router::{FailoverMode, FailoverProposal, Router, RouterConfig, RouterTenant};
 pub use sim::{ClusterOutcome, ClusterSim};
 pub use telem::{RouterTelem, ROUTER_TRACE_ORIGIN};

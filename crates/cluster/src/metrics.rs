@@ -98,6 +98,31 @@ pub const REGISTRY: &[SeriesDecl] = &[
         help: "Invocations served per tenant (cumulative, sampled at the last reconcile).",
     },
     SeriesDecl {
+        name: "sitw_router_failover_mode",
+        kind: "gauge",
+        help: "Failover mode (0 = off, 1 = supervised, 2 = auto).",
+    },
+    SeriesDecl {
+        name: "sitw_router_failover_probe_failures_total",
+        kind: "counter",
+        help: "Health probes that failed (connect, HTTP error, or timeout).",
+    },
+    SeriesDecl {
+        name: "sitw_router_failover_proposals_total",
+        kind: "counter",
+        help: "Drop/promote proposals raised by the prober.",
+    },
+    SeriesDecl {
+        name: "sitw_router_failover_promotions_total",
+        kind: "counter",
+        help: "Standby promotions completed (confirmed proposals with a standby).",
+    },
+    SeriesDecl {
+        name: "sitw_router_failover_retries_total",
+        kind: "counter",
+        help: "Failover control-plane retries (promote or provision re-attempts).",
+    },
+    SeriesDecl {
         name: "sitw_router_fleet_nodes",
         kind: "gauge",
         help: "Live nodes merged into the federated histograms.",
@@ -152,6 +177,16 @@ pub struct RouterMetrics {
     pub budget_pushes: AtomicU64,
     /// Tenant migrations completed.
     pub migrations: AtomicU64,
+    /// Failover mode gauge (0 = off, 1 = supervised, 2 = auto).
+    pub failover_mode: AtomicU64,
+    /// Health probes that failed.
+    pub probe_failures: AtomicU64,
+    /// Drop/promote proposals raised by the prober.
+    pub failover_proposals: AtomicU64,
+    /// Standby promotions completed.
+    pub failover_promotions: AtomicU64,
+    /// Failover control-plane retries (promote/provision re-attempts).
+    pub failover_retries: AtomicU64,
     /// Cluster-aggregated per-tenant usage from the last reconciliation.
     pub usage: Mutex<Vec<TenantUsage>>,
 }
@@ -172,6 +207,11 @@ impl RouterMetrics {
             reconcile_runs: AtomicU64::new(0),
             budget_pushes: AtomicU64::new(0),
             migrations: AtomicU64::new(0),
+            failover_mode: AtomicU64::new(0),
+            probe_failures: AtomicU64::new(0),
+            failover_proposals: AtomicU64::new(0),
+            failover_promotions: AtomicU64::new(0),
+            failover_retries: AtomicU64::new(0),
             usage: Mutex::new(Vec::new()),
         }
     }
@@ -258,6 +298,31 @@ impl RouterMetrics {
             "sitw_router_migrations_total",
             self.migrations.load(Ordering::Relaxed),
         );
+        scalar(
+            &mut out,
+            "sitw_router_failover_mode",
+            self.failover_mode.load(Ordering::Relaxed),
+        );
+        scalar(
+            &mut out,
+            "sitw_router_failover_probe_failures_total",
+            self.probe_failures.load(Ordering::Relaxed),
+        );
+        scalar(
+            &mut out,
+            "sitw_router_failover_proposals_total",
+            self.failover_proposals.load(Ordering::Relaxed),
+        );
+        scalar(
+            &mut out,
+            "sitw_router_failover_promotions_total",
+            self.failover_promotions.load(Ordering::Relaxed),
+        );
+        scalar(
+            &mut out,
+            "sitw_router_failover_retries_total",
+            self.failover_retries.load(Ordering::Relaxed),
+        );
 
         let usage = self.usage.lock().expect("usage poisoned");
         for (name, get) in [
@@ -339,6 +404,15 @@ mod tests {
         // Cumulative tallies are typed counter, snapshots gauge.
         assert!(text.contains("# TYPE sitw_router_tenant_invocations_total counter"));
         assert!(text.contains("# TYPE sitw_router_tenant_warm_mb gauge"));
+        // The failover families render even with failover off, so
+        // dashboards can alert on their absence, not just their value.
+        m.failover_mode.store(1, Ordering::Relaxed);
+        m.failover_promotions.fetch_add(1, Ordering::Relaxed);
+        let text = m.render(&["127.0.0.1:7101".into(), "127.0.0.1:7102".into()]);
+        assert!(text.contains("sitw_router_failover_mode 1"));
+        assert!(text.contains("sitw_router_failover_promotions_total 1"));
+        assert!(text.contains("# TYPE sitw_router_failover_mode gauge"));
+        assert!(text.contains("# TYPE sitw_router_failover_probe_failures_total counter"));
     }
 
     #[test]

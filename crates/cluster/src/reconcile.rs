@@ -121,7 +121,9 @@ pub fn control_roundtrip(addr: SocketAddr, req: &ControlRequest) -> io::Result<C
                     "control error {code:?}: {detail}"
                 )))
             }
-            ServerFrameDecode::Reply { .. } => {
+            ServerFrameDecode::Reply { .. }
+            | ServerFrameDecode::ReplChunk { .. }
+            | ServerFrameDecode::ReplCommit { .. } => {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     "unexpected reply frame to a control request",

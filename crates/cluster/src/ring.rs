@@ -113,6 +113,15 @@ impl ClusterRing {
         true
     }
 
+    /// Advances the epoch without a membership change — the slot's
+    /// *address* changed (a promoted standby took the node over), so
+    /// every epoch-stamped cache must refresh even though placement is
+    /// untouched. Returns the new epoch.
+    pub fn bump_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
     /// Pins `tenant` to `node` (migration landing) and advances the
     /// epoch. Fails when the node is dead or out of range.
     pub fn set_override(&mut self, tenant: &str, node: usize) -> Result<(), String> {
@@ -162,6 +171,21 @@ mod tests {
         assert_ne!(rehashed, 1, "dead node receives nothing");
         // Placement over the survivors is the hash over the live list.
         assert_eq!(rehashed, [0, 2][(fnv1a(tenant.as_bytes()) % 2) as usize]);
+    }
+
+    #[test]
+    fn bump_epoch_invalidates_without_membership_change() {
+        let mut ring = ClusterRing::new(2);
+        let before: Vec<_> = (0..8)
+            .map(|i| ring.node_of_tenant(&format!("t{i}")))
+            .collect();
+        assert_eq!(ring.bump_epoch(), 1);
+        assert_eq!(ring.epoch(), 1);
+        assert_eq!(ring.live_count(), 2, "membership untouched");
+        let after: Vec<_> = (0..8)
+            .map(|i| ring.node_of_tenant(&format!("t{i}")))
+            .collect();
+        assert_eq!(before, after, "placement untouched");
     }
 
     #[test]

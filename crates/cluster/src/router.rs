@@ -21,13 +21,24 @@
 //!
 //! Failure is typed, never silent: a dead node surfaces as the
 //! [`BinErrorCode::Unavailable`] error frame (or HTTP 503 with the node
-//! address in the body), and traffic keeps failing that way until an
-//! operator acknowledges the loss via `POST /admin/ring/drop` — an
-//! explicit epoch advance that rehashes the dead node's tenants over
-//! the survivors. Automatic failover would make placement depend on
-//! who-timed-out-when; the explicit drop keeps the ring a deterministic
-//! function of operator actions, which is what lets [`crate::sim`]
-//! model the cluster offline.
+//! address in the body) within the `upstream_timeout` bound — a hung
+//! node (SIGSTOP, dead disk) cannot stall a client drain forever.
+//! Recovery stays an explicit epoch advance, so the ring remains a
+//! deterministic function of operator actions — which is what lets
+//! [`crate::sim`] model the cluster offline. An operator acknowledges a
+//! loss via `POST /admin/ring/drop`, or, with `--failover
+//! supervised|auto`, a health prober raises a drop/promote *proposal*
+//! on `GET /admin/ring/proposals` after three consecutive probe
+//! failures. Confirming it (`POST /admin/ring/proposals/confirm` — the
+//! auto policy is just an operator with zero think time) promotes the
+//! slot's configured warm standby (`--standby IDX=CONTROL_ADDR`,
+//! a `sitw-serve --follow` control address) via its
+//! `POST /admin/promote`, provisions the promoted node, swaps it into
+//! the dead slot, and bumps the ring epoch; with no standby the node is
+//! dropped and its tenants rehash over the survivors. Every failover
+//! control-plane step retries with bounded exponential backoff plus
+//! deterministic jitter, and the whole lifecycle lands in
+//! `/debug/events` and the `sitw_router_failover_*` metric families.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
@@ -38,7 +49,7 @@ use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use sitw_core::PolicySpec;
-use sitw_fleet::{registry::parse_tenant_arg, Admission, QosPolicy};
+use sitw_fleet::{fnv1a, registry::parse_tenant_arg, Admission, QosPolicy};
 use sitw_serve::http::{write_response, ConnBuf, EventOutcome};
 use sitw_serve::wire::{
     self, decode_server_frame, encode_error_frame, encode_reply_records, encode_request_frame_v2,
@@ -54,8 +65,90 @@ use crate::reconcile::{aggregate_usage, control_roundtrip, reconcile_shares, Nod
 use crate::ring::ClusterRing;
 use crate::telem::RouterTelem;
 
-/// How long the router waits for an upstream TCP connect.
+/// How long the router waits for a control-plane TCP connect
+/// (provisioning, migration, reconciliation). The data path uses the
+/// configurable [`RouterConfig::upstream_timeout`] instead.
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Consecutive health-probe failures before the prober raises a
+/// drop/promote proposal — one failed probe is a blip, three in a row
+/// is a dead or wedged node.
+const PROBE_FAILURE_THRESHOLD: u32 = 3;
+
+/// Attempts per failover control-plane step (standby promote,
+/// promoted-node provisioning) before the confirmation fails and the
+/// proposal stays pending.
+const FAILOVER_ATTEMPTS: u32 = 4;
+
+/// Base backoff between failover attempts; doubles per retry.
+const FAILOVER_BACKOFF_MS: u64 = 50;
+
+/// Jitter bound added to each backoff (deterministic, hash-derived —
+/// desynchronizes concurrent confirmations without RNG state).
+const FAILOVER_JITTER_MS: u64 = 25;
+
+/// When and how the router reacts to a node failing health probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailoverMode {
+    /// No probing; operators drop dead nodes via `POST
+    /// /admin/ring/drop` (the pre-failover behavior).
+    #[default]
+    Off,
+    /// Probe failures raise proposals on `GET /admin/ring/proposals`;
+    /// an operator confirms each via
+    /// `POST /admin/ring/proposals/confirm?node=N`.
+    Supervised,
+    /// Proposals are confirmed by the prober itself as soon as they are
+    /// raised (and re-tried every probe sweep until they succeed).
+    Auto,
+}
+
+impl FailoverMode {
+    /// Parses the CLI grammar: `off`, `supervised`, or `auto`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "off" => Ok(Self::Off),
+            "supervised" => Ok(Self::Supervised),
+            "auto" => Ok(Self::Auto),
+            other => Err(format!(
+                "unknown failover mode '{other}' (expected off, supervised, or auto)"
+            )),
+        }
+    }
+
+    /// The mode's stable name (`/healthz`, logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Off => "off",
+            Self::Supervised => "supervised",
+            Self::Auto => "auto",
+        }
+    }
+
+    /// The `sitw_router_failover_mode` gauge value.
+    fn gauge(self) -> u64 {
+        match self {
+            Self::Off => 0,
+            Self::Supervised => 1,
+            Self::Auto => 2,
+        }
+    }
+}
+
+/// One pending failover proposal: the prober saw `node` fail
+/// [`PROBE_FAILURE_THRESHOLD`] consecutive health probes; confirmation
+/// (operator or auto policy) promotes its standby or drops it.
+#[derive(Debug, Clone)]
+pub struct FailoverProposal {
+    /// Ring slot of the failing node.
+    pub node: usize,
+    /// The failing node's address when the proposal was raised.
+    pub addr: String,
+    /// Why the prober raised it.
+    pub reason: String,
+    /// Control address of the slot's configured warm standby, if any.
+    pub standby: Option<String>,
+}
 
 /// One tenant as the router knows it: the cluster-wide name and budget,
 /// the policy nodes serve it under, and the optional QoS admission
@@ -112,6 +205,19 @@ pub struct RouterConfig {
     /// and record hop spans for all traced requests; 0 disables hop
     /// recording (client trace ids still propagate to the nodes).
     pub trace_sample: usize,
+    /// How the router reacts to a node failing health probes.
+    pub failover: FailoverMode,
+    /// Health-probe interval in milliseconds (with failover on).
+    pub probe_ms: u64,
+    /// Warm-standby control addresses by node slot: confirming a
+    /// failover of slot `i` promotes the standby registered for `i`
+    /// (a `sitw-serve --follow` control address) instead of dropping
+    /// the node.
+    pub standbys: Vec<(usize, String)>,
+    /// Data-path upstream deadline (connect, read, and write): a hung
+    /// node surfaces as a typed 503 / `Unavailable` naming the node
+    /// within this bound instead of stalling the client thread forever.
+    pub upstream_timeout: Duration,
 }
 
 impl Default for RouterConfig {
@@ -123,6 +229,10 @@ impl Default for RouterConfig {
             reconcile_ms: 1_000,
             read_timeout: Duration::from_millis(50),
             trace_sample: 0,
+            failover: FailoverMode::Off,
+            probe_ms: 500,
+            standbys: Vec::new(),
+            upstream_timeout: Duration::from_millis(2_000),
         }
     }
 }
@@ -130,10 +240,18 @@ impl Default for RouterConfig {
 /// Shared state of a running router.
 struct RouterCtx {
     cfg: RouterConfig,
-    /// Resolved node addresses, by ring slot.
-    nodes: Vec<SocketAddr>,
-    /// Display names for errors and metric labels, by ring slot.
-    node_names: Vec<String>,
+    /// Node slot count — fixed for the router's life (a failover swaps
+    /// a slot's address, never adds or removes slots).
+    slots: usize,
+    /// Resolved node addresses, by ring slot. Writable: a confirmed
+    /// failover swaps the promoted standby's address into the dead
+    /// node's slot.
+    nodes: RwLock<Vec<SocketAddr>>,
+    /// Display names for errors and metric labels, by ring slot
+    /// (updated together with `nodes`).
+    node_names: RwLock<Vec<String>>,
+    /// Pending failover proposals (supervised/auto modes).
+    proposals: Mutex<Vec<FailoverProposal>>,
     /// The router's own listen address (used to wake the acceptor).
     addr: SocketAddr,
     ring: RwLock<ClusterRing>,
@@ -170,6 +288,21 @@ impl RouterCtx {
         self.shutdown.load(Ordering::SeqCst)
     }
 
+    /// The current address of one node slot.
+    fn node_addr(&self, node: usize) -> SocketAddr {
+        self.nodes.read().expect("nodes poisoned")[node]
+    }
+
+    /// The current display name of one node slot.
+    fn node_name(&self, node: usize) -> String {
+        self.node_names.read().expect("node names poisoned")[node].clone()
+    }
+
+    /// A snapshot of every slot's display name (metric labels).
+    fn node_names_snapshot(&self) -> Vec<String> {
+        self.node_names.read().expect("node names poisoned").clone()
+    }
+
     fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Unblock the acceptor with a throwaway connection.
@@ -182,11 +315,11 @@ impl RouterCtx {
     fn reconcile_once(&self) -> (usize, u32) {
         let ring = self.ring.read().expect("ring poisoned").clone();
         let mut reports = Vec::new();
-        for node in 0..self.nodes.len() {
+        for node in 0..self.slots {
             if !ring.is_live(node) {
                 continue;
             }
-            match control_roundtrip(self.nodes[node], &ControlRequest::Report) {
+            match control_roundtrip(self.node_addr(node), &ControlRequest::Report) {
                 Ok(ControlReply::Report(tenants)) => reports.push(NodeReport { node, tenants }),
                 Ok(ControlReply::BudgetAck { .. }) | Err(_) => self.metrics.node_error(node),
             }
@@ -199,7 +332,7 @@ impl RouterCtx {
             .collect();
         let mut pushes = 0u32;
         for (node, shares) in reconcile_shares(&budgets, &ring) {
-            match control_roundtrip(self.nodes[node], &ControlRequest::BudgetSet(shares)) {
+            match control_roundtrip(self.node_addr(node), &ControlRequest::BudgetSet(shares)) {
                 Ok(ControlReply::BudgetAck { applied }) => pushes += applied,
                 Ok(ControlReply::Report(_)) | Err(_) => self.metrics.node_error(node),
             }
@@ -240,25 +373,25 @@ impl RouterCtx {
         };
         if from != to {
             let take_path = format!("/admin/tenants/{tenant}/take");
-            let (status, payload) = http_request(self.nodes[from], "POST", &take_path, b"")
+            let (status, payload) = http_request(self.node_addr(from), "POST", &take_path, b"")
                 .map_err(|e| {
                     self.metrics.node_error(from);
-                    (
-                        503,
-                        format!("take from node {}: {e}", self.node_names[from]),
-                    )
+                    (503, format!("take from node {}: {e}", self.node_name(from)))
                 })?;
             if status != 200 {
                 return Err((502, format!("take failed ({status}): {payload}")));
             }
             let restore_path = format!("/admin/tenants/{tenant}/restore");
-            let (status, resp) =
-                http_request(self.nodes[to], "POST", &restore_path, payload.as_bytes()).map_err(
-                    |e| {
-                        self.metrics.node_error(to);
-                        (503, format!("restore on node {}: {e}", self.node_names[to]))
-                    },
-                )?;
+            let (status, resp) = http_request(
+                self.node_addr(to),
+                "POST",
+                &restore_path,
+                payload.as_bytes(),
+            )
+            .map_err(|e| {
+                self.metrics.node_error(to);
+                (503, format!("restore on node {}: {e}", self.node_name(to)))
+            })?;
             if status != 200 {
                 return Err((502, format!("restore failed ({status}): {resp}")));
             }
@@ -294,11 +427,11 @@ impl RouterCtx {
     fn fleet_scrape(&self) -> FleetHists {
         let ring = self.ring.read().expect("ring poisoned").clone();
         let mut fleet = FleetHists::default();
-        for node in 0..self.nodes.len() {
+        for node in 0..self.slots {
             if !ring.is_live(node) {
                 continue;
             }
-            match http_request(self.nodes[node], "GET", "/debug/hist", b"") {
+            match http_request(self.node_addr(node), "GET", "/debug/hist", b"") {
                 Ok((200, body)) => match parse_hist_body(&body) {
                     Some(h) => fleet.absorb(h),
                     None => self.metrics.node_error(node),
@@ -334,12 +467,12 @@ impl RouterCtx {
             }
         }
         let ring = self.ring.read().expect("ring poisoned").clone();
-        for node in 0..self.nodes.len() {
+        for node in 0..self.slots {
             if !ring.is_live(node) {
                 continue;
             }
             let body = match http_request(
-                self.nodes[node],
+                self.node_addr(node),
                 "GET",
                 "/debug/trace?format=json&n=4096",
                 b"",
@@ -356,18 +489,197 @@ impl RouterCtx {
                     by_trace.entry(s.span).or_default().push(s);
                 }
             }
+            let name = self.node_name(node);
             for (trace, mut group) in by_trace {
                 if let Some(&anchor) = forward_end.get(&trace) {
                     rebase(&mut group, anchor);
                 }
                 for mut s in group {
-                    s.source = format!("{}/{}", self.node_names[node], s.source);
+                    s.source = format!("{name}/{}", s.source);
                     spans.push(s);
                 }
             }
         }
         spans.sort_by_key(|s| (s.span, s.start_ns, s.end_ns));
         spans
+    }
+
+    /// Raises a failover proposal for `node` unless one is already
+    /// pending. Returns whether a new proposal was raised.
+    fn raise_proposal(&self, node: usize, reason: &str) -> bool {
+        let mut proposals = self.proposals.lock().expect("proposals poisoned");
+        if proposals.iter().any(|p| p.node == node) {
+            return false;
+        }
+        let addr = self.node_name(node);
+        let standby = self
+            .cfg
+            .standbys
+            .iter()
+            .find(|(i, _)| *i == node)
+            .map(|(_, ctrl)| ctrl.clone());
+        self.telem.event(
+            EventKind::NodeDown,
+            "",
+            "",
+            format!(
+                "node {node} ({addr}): {reason}; proposal raised (standby: {})",
+                standby.as_deref().unwrap_or("none")
+            ),
+        );
+        proposals.push(FailoverProposal {
+            node,
+            addr,
+            reason: reason.to_owned(),
+            standby,
+        });
+        self.metrics
+            .failover_proposals
+            .fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Confirms the pending proposal for `node`: promotes its warm
+    /// standby into the slot (or drops the node when no standby is
+    /// configured) and bumps the ring epoch. A failed confirmation
+    /// leaves the proposal pending so the operator (or the auto policy's
+    /// next sweep) can retry. Returns the response body or an
+    /// HTTP-shaped error.
+    fn confirm_failover(&self, node: usize) -> Result<String, (u16, String)> {
+        let proposal = {
+            let proposals = self.proposals.lock().expect("proposals poisoned");
+            proposals
+                .iter()
+                .find(|p| p.node == node)
+                .cloned()
+                .ok_or_else(|| (404, format!("no pending proposal for node {node}")))?
+        };
+        let body = match &proposal.standby {
+            Some(ctrl) => {
+                let ctrl_addr = ctrl
+                    .to_socket_addrs()
+                    .ok()
+                    .and_then(|mut a| a.next())
+                    .ok_or_else(|| (502, format!("cannot resolve standby '{ctrl}'")))?;
+                // Promote the follower. Idempotent on the standby side:
+                // an already-promoted follower answers with the same
+                // serve address, so a retried confirmation converges.
+                let serve = self
+                    .failover_retry("standby promote", || {
+                        let (status, body) = http_request(ctrl_addr, "POST", "/admin/promote", b"")
+                            .map_err(|e| e.to_string())?;
+                        if status != 200 {
+                            return Err(format!("promote failed ({status}): {body}"));
+                        }
+                        parse_str_field(&body, "serve_addr")
+                            .ok_or_else(|| format!("malformed promote response: {body}"))
+                    })
+                    .map_err(|e| (502, e))?;
+                let serve_addr: SocketAddr = serve
+                    .parse()
+                    .map_err(|_| (502, format!("standby reported bad serve addr '{serve}'")))?;
+                // Provision the promoted node: replication already
+                // carried the tenants, so this mostly just re-learns
+                // the wire-id map — but it also backfills any tenant
+                // registered after the last replication round.
+                let ids = self
+                    .failover_retry("provision promoted node", || {
+                        provision_node(serve_addr, &self.cfg.tenants)
+                    })
+                    .map_err(|e| (502, e))?;
+                let old = self.node_name(node);
+                {
+                    self.nodes.write().expect("nodes poisoned")[node] = serve_addr;
+                    self.node_names.write().expect("node names poisoned")[node] = serve.clone();
+                    self.node_ids.write().expect("node_ids poisoned")[node] = ids;
+                }
+                let epoch = {
+                    let mut ring = self.ring.write().expect("ring poisoned");
+                    let epoch = ring.bump_epoch();
+                    self.sync_ring_gauges(&ring);
+                    epoch
+                };
+                self.metrics
+                    .failover_promotions
+                    .fetch_add(1, Ordering::Relaxed);
+                self.telem.event(
+                    EventKind::Failover,
+                    "",
+                    "",
+                    format!("node {node}: {old} -> {serve} (standby promoted), epoch {epoch}"),
+                );
+                self.telem.event(
+                    EventKind::RingEpoch,
+                    "",
+                    "",
+                    format!("epoch={epoch} failover-node={node}"),
+                );
+                format!(
+                    "{{\"node\":{node},\"action\":\"promoted\",\"addr\":\"{serve}\",\
+                     \"epoch\":{epoch}}}"
+                )
+            }
+            None => {
+                let (epoch, live) = {
+                    let mut ring = self.ring.write().expect("ring poisoned");
+                    ring.drop_node(node);
+                    self.sync_ring_gauges(&ring);
+                    (ring.epoch(), ring.live_count())
+                };
+                self.telem.event(
+                    EventKind::Failover,
+                    "",
+                    "",
+                    format!(
+                        "node {node} ({}) dropped, no standby, epoch {epoch}",
+                        proposal.addr
+                    ),
+                );
+                self.telem.event(
+                    EventKind::RingEpoch,
+                    "",
+                    "",
+                    format!("epoch={epoch} failover-node={node}"),
+                );
+                format!(
+                    "{{\"node\":{node},\"action\":\"dropped\",\"epoch\":{epoch},\"live\":{live}}}"
+                )
+            }
+        };
+        // Only a successful confirmation consumes the proposal.
+        self.proposals
+            .lock()
+            .expect("proposals poisoned")
+            .retain(|p| p.node != node);
+        Ok(body)
+    }
+
+    /// Runs one failover control-plane step with bounded exponential
+    /// backoff and deterministic (hash-derived) jitter between attempts.
+    fn failover_retry<T>(
+        &self,
+        what: &str,
+        mut f: impl FnMut() -> Result<T, String>,
+    ) -> Result<T, String> {
+        let mut last = String::new();
+        for attempt in 0..FAILOVER_ATTEMPTS {
+            if attempt > 0 {
+                self.metrics
+                    .failover_retries
+                    .fetch_add(1, Ordering::Relaxed);
+                let backoff = FAILOVER_BACKOFF_MS << (attempt - 1);
+                let jitter =
+                    fnv1a(what.as_bytes()).wrapping_mul(attempt as u64) % FAILOVER_JITTER_MS;
+                thread::sleep(Duration::from_millis(backoff + jitter));
+            }
+            match f() {
+                Ok(v) => return Ok(v),
+                Err(e) => last = e,
+            }
+        }
+        Err(format!(
+            "{what}: {FAILOVER_ATTEMPTS} attempts failed, last error: {last}"
+        ))
     }
 }
 
@@ -377,6 +689,7 @@ pub struct Router {
     addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
     reconciler: Option<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
 }
 
 impl Router {
@@ -420,8 +733,22 @@ impl Router {
                 admission.set_policy(&t.name, *qos);
             }
         }
+        for (slot, ctrl) in &cfg.standbys {
+            if *slot >= nodes.len() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "standby '{ctrl}' names node {slot}, but only {} nodes exist",
+                        nodes.len()
+                    ),
+                ));
+            }
+        }
         let node_names = cfg.nodes.clone();
         let metrics = RouterMetrics::new(nodes.len());
+        metrics
+            .failover_mode
+            .store(cfg.failover.gauge(), Ordering::Relaxed);
         let reconcile_ms = cfg.reconcile_ms;
         let has_qos = cfg.tenants.iter().any(|t| t.qos.is_some());
         let solo_target = nodes.len() == 1 && !has_qos;
@@ -438,6 +765,7 @@ impl Router {
                 .enumerate()
                 .all(|(i, t)| node_ids[0].get(&t.name) == Some(&(i as u16 + 1)));
         let telem = RouterTelem::new(cfg.trace_sample);
+        let failover = cfg.failover;
         let ctx = Arc::new(RouterCtx {
             ring: RwLock::new(ClusterRing::new(nodes.len())),
             admission: Mutex::new(admission),
@@ -449,8 +777,10 @@ impl Router {
             metrics,
             telem,
             shutdown: AtomicBool::new(false),
-            nodes,
-            node_names,
+            slots: nodes.len(),
+            nodes: RwLock::new(nodes),
+            node_names: RwLock::new(node_names),
+            proposals: Mutex::new(Vec::new()),
             addr,
             cfg,
         });
@@ -469,11 +799,22 @@ impl Router {
         } else {
             None
         };
+        let prober = if failover != FailoverMode::Off {
+            let probe_ctx = ctx.clone();
+            Some(
+                thread::Builder::new()
+                    .name("router-probe".into())
+                    .spawn(move || probe_loop(probe_ctx))?,
+            )
+        } else {
+            None
+        };
         Ok(Router {
             ctx,
             addr,
             acceptor: Some(acceptor),
             reconciler,
+            prober,
         })
     }
 
@@ -521,6 +862,9 @@ impl Router {
         if let Some(h) = self.reconciler.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.prober.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -554,6 +898,79 @@ fn reconcile_loop(ctx: Arc<RouterCtx>) {
             break;
         }
         let _ = ctx.reconcile_once();
+    }
+}
+
+/// The health prober (supervised and auto failover modes): probes every
+/// live node's `/healthz` on a fixed cadence, raises a proposal after
+/// [`PROBE_FAILURE_THRESHOLD`] consecutive failures, and — in auto
+/// mode — confirms pending proposals itself each sweep (a failed
+/// confirmation stays pending, so the next sweep is the retry).
+fn probe_loop(ctx: Arc<RouterCtx>) {
+    let interval = Duration::from_millis(ctx.cfg.probe_ms.max(10));
+    let timeout = ctx.cfg.upstream_timeout;
+    let mut fails = vec![0u32; ctx.slots];
+    'outer: loop {
+        // Sleep in small slices so shutdown is honored promptly.
+        let mut remaining = interval;
+        while remaining > Duration::ZERO {
+            if ctx.shutting_down() {
+                break 'outer;
+            }
+            let slice = remaining.min(Duration::from_millis(50));
+            thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+        if ctx.shutting_down() {
+            break;
+        }
+        let ring = ctx.ring.read().expect("ring poisoned").clone();
+        for (node, fail_count) in fails.iter_mut().enumerate() {
+            if !ring.is_live(node) {
+                *fail_count = 0;
+                continue;
+            }
+            let healthy = matches!(
+                http_request_timeout(
+                    ctx.node_addr(node),
+                    "GET",
+                    "/healthz",
+                    b"",
+                    timeout,
+                    timeout
+                ),
+                Ok((200, _))
+            );
+            if healthy {
+                *fail_count = 0;
+                continue;
+            }
+            *fail_count += 1;
+            ctx.metrics.probe_failures.fetch_add(1, Ordering::Relaxed);
+            if *fail_count >= PROBE_FAILURE_THRESHOLD {
+                ctx.raise_proposal(
+                    node,
+                    &format!("{} consecutive health-probe failures", *fail_count),
+                );
+                *fail_count = 0;
+            }
+        }
+        if ctx.cfg.failover == FailoverMode::Auto {
+            let pending: Vec<usize> = {
+                let proposals = ctx.proposals.lock().expect("proposals poisoned");
+                proposals.iter().map(|p| p.node).collect()
+            };
+            for node in pending {
+                if let Err((_, e)) = ctx.confirm_failover(node) {
+                    ctx.telem.event(
+                        EventKind::NodeDown,
+                        "",
+                        "",
+                        format!("auto failover of node {node} failed (will retry): {e}"),
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -632,8 +1049,8 @@ fn client_thread(ctx: Arc<RouterCtx>, stream: TcpStream) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let upstream = (0..ctx.nodes.len()).map(|_| None).collect();
-    let readers = (0..ctx.nodes.len()).map(|_| None).collect();
+    let upstream = (0..ctx.slots).map(|_| None).collect();
+    let readers = (0..ctx.slots).map(|_| None).collect();
     let mut buf = ConnBuf::new(stream);
     buf.set_raw_request_frames(ctx.raw_v1, ctx.raw_v2);
     let mut conn = ClientConn {
@@ -884,11 +1301,16 @@ impl ClientConn {
         // connection (dropped on a flush failure); it must sit ahead of
         // the `Register` that replaces that reader.
         self.flush_json_run();
-        // Upstream reads stay blocking: a killed node surfaces as an
-        // immediate reset/EOF when the drain reads its reply.
-        let stream = TcpStream::connect_timeout(&self.ctx.nodes[node], CONNECT_TIMEOUT)?;
+        // The whole upstream exchange is deadline-bounded: a killed node
+        // surfaces as an immediate reset/EOF, and a *hung* one (SIGSTOP,
+        // dead disk) as a timeout — either way a typed error within
+        // `upstream_timeout`, never a stalled client drain.
+        let timeout = self.ctx.cfg.upstream_timeout;
+        let stream = TcpStream::connect_timeout(&self.ctx.node_addr(node), timeout)?;
         let _ = stream.set_nodelay(true);
+        stream.set_write_timeout(Some(timeout))?;
         let read_half = stream.try_clone()?;
+        read_half.set_read_timeout(Some(timeout))?;
         self.pendings.push_back(Pending::Register {
             node,
             stream: read_half,
@@ -909,17 +1331,18 @@ impl ClientConn {
                 let ring = self.ctx.ring.read().expect("ring poisoned");
                 let body = format!(
                     "{{\"status\":\"ok\",\"role\":\"router\",\"nodes\":{},\"live\":{},\
-                     \"epoch\":{},\"tenants\":{}}}",
+                     \"epoch\":{},\"tenants\":{},\"failover\":\"{}\"}}",
                     ring.len(),
                     ring.live_count(),
                     ring.epoch(),
                     self.ctx.cfg.tenants.len() + 1,
+                    self.ctx.cfg.failover.name(),
                 );
                 drop(ring);
                 self.send_response(200, "application/json", body.as_bytes())
             }
             ("GET", "/metrics") => {
-                let text = self.ctx.metrics.render(&self.ctx.node_names);
+                let text = self.ctx.metrics.render(&self.ctx.node_names_snapshot());
                 self.send_response(200, "text/plain; version=0.0.4", text.as_bytes())
             }
             ("GET", "/metrics/fleet") => {
@@ -951,9 +1374,10 @@ impl ClientConn {
                 self.send_response(200, "application/json", body.as_bytes())
             }
             ("GET", "/admin/ring") => {
+                let names = self.ctx.node_names_snapshot();
                 let ring = self.ctx.ring.read().expect("ring poisoned");
                 let mut body = format!("{{\"epoch\":{},\"nodes\":[", ring.epoch());
-                for (i, name) in self.ctx.node_names.iter().enumerate() {
+                for (i, name) in names.iter().enumerate() {
                     if i > 0 {
                         body.push(',');
                     }
@@ -1002,7 +1426,7 @@ impl ClientConn {
                     .strip_prefix("node=")
                     .and_then(|v| v.parse::<usize>().ok())
                 {
-                    Some(node) if node < self.ctx.nodes.len() => {
+                    Some(node) if node < self.ctx.slots => {
                         let (dropped, epoch, live) = {
                             let mut ring = self.ctx.ring.write().expect("ring poisoned");
                             let dropped = ring.drop_node(node);
@@ -1022,6 +1446,47 @@ impl ClientConn {
                         self.send_response(200, "application/json", body.as_bytes())
                     }
                     _ => self.send_response(
+                        400,
+                        "application/json",
+                        b"{\"error\":\"expected ?node=INDEX\"}",
+                    ),
+                }
+            }
+            ("GET", "/admin/ring/proposals") => {
+                let proposals = self.ctx.proposals.lock().expect("proposals poisoned");
+                let mut body = String::from("{\"proposals\":[");
+                for (i, p) in proposals.iter().enumerate() {
+                    if i > 0 {
+                        body.push(',');
+                    }
+                    body.push_str(&format!(
+                        "{{\"node\":{},\"addr\":\"{}\",\"reason\":\"{}\",\"standby\":{}}}",
+                        p.node,
+                        wire::json_escape(&p.addr),
+                        wire::json_escape(&p.reason),
+                        match &p.standby {
+                            Some(s) => format!("\"{}\"", wire::json_escape(s)),
+                            None => "null".to_owned(),
+                        },
+                    ));
+                }
+                body.push_str("]}");
+                drop(proposals);
+                self.send_response(200, "application/json", body.as_bytes())
+            }
+            ("POST", "/admin/ring/proposals/confirm") => {
+                match query
+                    .strip_prefix("node=")
+                    .and_then(|v| v.parse::<usize>().ok())
+                {
+                    Some(node) => match self.ctx.confirm_failover(node) {
+                        Ok(body) => self.send_response(200, "application/json", body.as_bytes()),
+                        Err((status, e)) => {
+                            let body = format!("{{\"error\":\"{}\"}}", wire::json_escape(&e));
+                            self.send_response(status, "application/json", body.as_bytes())
+                        }
+                    },
+                    None => self.send_response(
                         400,
                         "application/json",
                         b"{\"error\":\"expected ?node=INDEX\"}",
@@ -1072,9 +1537,20 @@ impl ClientConn {
             }
             (
                 _,
-                "/invoke" | "/healthz" | "/metrics" | "/metrics/fleet" | "/debug/trace"
-                | "/debug/events" | "/admin/ring" | "/admin/ring/drop" | "/admin/migrate"
-                | "/admin/reconcile" | "/admin/tenants" | "/admin/shutdown",
+                "/invoke"
+                | "/healthz"
+                | "/metrics"
+                | "/metrics/fleet"
+                | "/debug/trace"
+                | "/debug/events"
+                | "/admin/ring"
+                | "/admin/ring/drop"
+                | "/admin/ring/proposals"
+                | "/admin/ring/proposals/confirm"
+                | "/admin/migrate"
+                | "/admin/reconcile"
+                | "/admin/tenants"
+                | "/admin/shutdown",
             ) => self.send_response(
                 405,
                 "application/json",
@@ -1217,7 +1693,7 @@ impl ClientConn {
                 self.upstream[node] = None;
                 let body = format!(
                     "{{\"error\":\"node {} down: {}\"}}",
-                    self.ctx.node_names[node],
+                    self.ctx.node_name(node),
                     wire::json_escape(&e.to_string())
                 );
                 self.send_response(503, "application/json", body.as_bytes())
@@ -1252,7 +1728,7 @@ impl ClientConn {
         let t1 = self.ctx.telem.now_ns();
         let mut slots = Vec::with_capacity(records.len());
         let mut batches: Vec<Vec<(u16, &str, u64)>> =
-            (0..self.ctx.nodes.len()).map(|_| Vec::new()).collect();
+            (0..self.ctx.slots).map(|_| Vec::new()).collect();
         {
             let ring = self.ctx.ring.read().expect("ring poisoned");
             let node_ids = self.ctx.node_ids.read().expect("node_ids poisoned");
@@ -1309,7 +1785,7 @@ impl ClientConn {
                                 BinErrorCode::Unavailable,
                                 &format!(
                                     "tenant '{name}' not provisioned on node {}",
-                                    self.ctx.node_names[node]
+                                    self.ctx.node_name(node)
                                 ),
                             );
                         }
@@ -1337,7 +1813,7 @@ impl ClientConn {
                 self.ctx.metrics.node_error(node);
                 return self.send_error_frame(
                     BinErrorCode::Unavailable,
-                    &format!("node {} down: {e}", self.ctx.node_names[node]),
+                    &format!("node {} down: {e}", self.ctx.node_name(node)),
                 );
             }
         }
@@ -1366,7 +1842,7 @@ impl ClientConn {
                 Err(e) => {
                     self.ctx.metrics.node_error(node);
                     self.upstream[node] = None;
-                    failed = Some(format!("node {} down: {e}", self.ctx.node_names[node]));
+                    failed = Some(format!("node {} down: {e}", self.ctx.node_name(node)));
                     break;
                 }
             }
@@ -1442,7 +1918,7 @@ impl ClientConn {
                 self.upstream[0] = None;
                 self.send_error_frame(
                     BinErrorCode::Unavailable,
-                    &format!("node {} down: {e}", self.ctx.node_names[0]),
+                    &format!("node {} down: {e}", self.ctx.node_name(0)),
                 )
             }
         }
@@ -1479,7 +1955,19 @@ impl NodeReader {
             self.start = 0;
         }
         let mut chunk = [0u8; 16 * 1024];
-        let n = self.stream.read(&mut chunk)?;
+        let n = self.stream.read(&mut chunk).map_err(|e| {
+            // A read-deadline expiry (the upstream is hung, not dead)
+            // surfaces platform-dependently; normalize it so the typed
+            // 503 / `Unavailable` detail names the real failure.
+            if matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ) {
+                io::Error::new(io::ErrorKind::TimedOut, "upstream read timed out")
+            } else {
+                e
+            }
+        })?;
         if n == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
@@ -1506,7 +1994,9 @@ impl NodeReader {
                     self.start += consumed;
                     return Ok(UpstreamFrame::Error { code, detail });
                 }
-                ServerFrameDecode::Control { .. } => {
+                ServerFrameDecode::Control { .. }
+                | ServerFrameDecode::ReplChunk { .. }
+                | ServerFrameDecode::ReplCommit { .. } => {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
                         "unexpected control reply on the data path",
@@ -1615,7 +2105,7 @@ fn handle_pending(
                     readers[node] = None;
                     let body = format!(
                         "{{\"error\":\"node {} down: {}\"}}",
-                        ctx.node_names[node],
+                        ctx.node_name(node),
                         wire::json_escape(&e.to_string())
                     );
                     write_response(out_buf, 503, "application/json", body.as_bytes());
@@ -1641,7 +2131,7 @@ fn handle_pending(
                 encode_error_frame(
                     out_buf,
                     BinErrorCode::Unavailable,
-                    &format!("node {} down: {e}", ctx.node_names[node]),
+                    &format!("node {} down: {e}", ctx.node_name(node)),
                 );
             }
             if let Some((id, t_fwd)) = hop {
@@ -1686,7 +2176,7 @@ fn handle_pending(
                         if error.is_none() {
                             error = Some((
                                 BinErrorCode::Unavailable,
-                                format!("node {} down: {e}", ctx.node_names[node]),
+                                format!("node {} down: {e}", ctx.node_name(node)),
                             ));
                         }
                     }
@@ -1711,7 +2201,7 @@ fn handle_pending(
                                         BinErrorCode::Unavailable,
                                         format!(
                                             "node {} returned a short reply",
-                                            ctx.node_names[*node]
+                                            ctx.node_name(*node)
                                         ),
                                     ));
                                     break;
@@ -1811,8 +2301,29 @@ fn http_request(
     path: &str,
     body: &[u8],
 ) -> io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    http_request_timeout(
+        addr,
+        method,
+        path,
+        body,
+        CONNECT_TIMEOUT,
+        Duration::from_secs(5),
+    )
+}
+
+/// [`http_request`] with explicit connect and read deadlines — the
+/// health prober probes on the data-path `upstream_timeout` so a hung
+/// node fails a probe within the same bound clients see.
+fn http_request_timeout(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    connect: Duration,
+    read: Duration,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, connect)?;
+    stream.set_read_timeout(Some(read))?;
     let mut msg = Vec::with_capacity(128 + body.len());
     msg.extend_from_slice(method.as_bytes());
     msg.push(b' ');
@@ -1836,6 +2347,15 @@ fn http_request(
         .map(|(_, b)| b.to_owned())
         .unwrap_or_default();
     Ok((status, body))
+}
+
+/// Extracts the first `"key":"value"` string field of a JSON body.
+fn parse_str_field(body: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let pos = body.find(&marker)?;
+    let after = &body[pos + marker.len()..];
+    let end = after.find('"')?;
+    Some(after[..end].to_owned())
 }
 
 /// Extracts the first `"id":N` field of a JSON body.
@@ -1935,5 +2455,29 @@ mod tests {
         assert_eq!(ids.len(), 2);
         assert_eq!(parse_id_field(r#"{"id":17,"name":"x"}"#), Some(17));
         assert_eq!(parse_id_field("{}"), None);
+    }
+
+    #[test]
+    fn failover_mode_cli_grammar() {
+        assert_eq!(FailoverMode::parse("off").unwrap(), FailoverMode::Off);
+        assert_eq!(
+            FailoverMode::parse("supervised").unwrap(),
+            FailoverMode::Supervised
+        );
+        assert_eq!(FailoverMode::parse("auto").unwrap(), FailoverMode::Auto);
+        assert!(FailoverMode::parse("eventually").is_err());
+        assert_eq!(FailoverMode::Supervised.name(), "supervised");
+        assert_eq!(FailoverMode::Auto.gauge(), 2);
+    }
+
+    #[test]
+    fn str_field_parser_extracts_promote_response() {
+        let body = r#"{"status":"promoted","serve_addr":"127.0.0.1:4071"}"#;
+        assert_eq!(
+            parse_str_field(body, "serve_addr").as_deref(),
+            Some("127.0.0.1:4071")
+        );
+        assert_eq!(parse_str_field(body, "status").as_deref(), Some("promoted"));
+        assert_eq!(parse_str_field(body, "missing"), None);
     }
 }

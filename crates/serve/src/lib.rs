@@ -45,6 +45,13 @@
 //!   trips through a text file — the daemon can restart mid-stream and
 //!   keep emitting bit-identical decisions, mirroring the hourly
 //!   backups of §6.
+//! * **Replication & failover** ([`follow`]): a warm standby
+//!   (`sitw-serve --follow PRIMARY`) pulls chunked snapshot/delta
+//!   rounds over SITW-BIN replication frames — per-app dirty tracking
+//!   means steady-state rounds carry only what mutated, and no shard
+//!   ever pauses — and promotes into a serving primary (operator
+//!   command, router failover, or dead-primary auto policy) whose
+//!   decisions are bit-identical to an uninterrupted one.
 //! * **Verdict parity**: classification goes through
 //!   [`sitw_core::Windows::classify_gap`], the same single source of
 //!   truth the offline simulator uses, so an online replay of a trace
@@ -97,6 +104,7 @@
 #![warn(missing_docs)]
 
 pub(crate) mod conn;
+pub mod follow;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
@@ -107,6 +115,7 @@ pub mod snapshot;
 pub mod telem;
 pub mod wire;
 
+pub use follow::{FollowConfig, FollowStatus, Follower};
 pub use loadgen::{run_loadgen, run_loadgen_cluster, LoadGenConfig, LoadGenReport, Proto};
 pub use metrics::{
     ConnStats, MetricsReport, ProtoHists, ProtoStats, ReactorStats, ShardStats, TenantStats,
@@ -116,7 +125,10 @@ pub use server::{ServeConfig, Server, TenantConfig};
 pub use shard::{
     shard_of, BatchItem, BatchReply, Decision, InvokeError, ServedPolicy, TenantRestore,
 };
-pub use snapshot::{AppRecord, PolicyState, ShardExport, Snapshot, TenantExport, TenantSnapshot};
+pub use snapshot::{
+    apply_delta, AppRecord, PolicyState, ShardExport, Snapshot, SnapshotError, TenantExport,
+    TenantSnapshot,
+};
 pub use telem::{
     merge_spans, QueueGauge, ReactorTelem, ReactorTelemHandle, ShardTelem, TelemClock, TRACE_RING,
 };

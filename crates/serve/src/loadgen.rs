@@ -1189,9 +1189,11 @@ impl ResponseReader {
                     self.start += consumed;
                     return Ok(None);
                 }
-                // The generator never sends control frames, so a
-                // control reply here means a confused peer.
-                ServerFrameDecode::Control { .. } => {
+                // The generator never sends control frames or
+                // replication pulls, so these mean a confused peer.
+                ServerFrameDecode::Control { .. }
+                | ServerFrameDecode::ReplChunk { .. }
+                | ServerFrameDecode::ReplCommit { .. } => {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
                         "unexpected control reply",

@@ -201,6 +201,36 @@ pub const REGISTRY: &[SeriesDecl] = &[
         help: "High-water mark of the drain-observed mailbox backlog",
     },
     SeriesDecl {
+        name: "sitw_serve_repl_epoch",
+        kind: "gauge",
+        help: "Replication epoch of the last committed round (0 = no round served)",
+    },
+    SeriesDecl {
+        name: "sitw_serve_repl_rounds_total",
+        kind: "counter",
+        help: "Replication pulls answered (including empty lone-commit rounds)",
+    },
+    SeriesDecl {
+        name: "sitw_serve_repl_full_syncs_total",
+        kind: "counter",
+        help: "Pulls answered with a full state sync instead of a delta",
+    },
+    SeriesDecl {
+        name: "sitw_serve_repl_apps_total",
+        kind: "counter",
+        help: "App records streamed to followers across all rounds",
+    },
+    SeriesDecl {
+        name: "sitw_serve_repl_bytes_total",
+        kind: "counter",
+        help: "Replication document bytes streamed to followers",
+    },
+    SeriesDecl {
+        name: "sitw_serve_repl_lag_ms",
+        kind: "gauge",
+        help: "Milliseconds since the last follower pull (0 until first pull)",
+    },
+    SeriesDecl {
         name: "sitw_serve_uptime_ms",
         kind: "gauge",
         help: "Time since server start",
@@ -375,6 +405,25 @@ pub struct ConnStats {
     pub reactor_threads: u64,
 }
 
+/// Replication-source counters (server-wide: the delta stream is one
+/// logical follower, not sharded). All zero until a follower pulls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplStats {
+    /// Epoch of the last committed round (0 = no round served yet).
+    pub epoch: u64,
+    /// Pulls answered, including empty lone-commit rounds.
+    pub rounds: u64,
+    /// Pulls answered with a full sync instead of a delta (first
+    /// attach, or a follower presenting a stale epoch).
+    pub full_syncs: u64,
+    /// App records streamed across all rounds.
+    pub apps_streamed: u64,
+    /// Replication document bytes streamed.
+    pub bytes_streamed: u64,
+    /// Milliseconds since the last pull (0 until the first pull).
+    pub lag_ms: u64,
+}
+
 /// A full `/metrics` scrape: one entry per shard, plus uptime.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsReport {
@@ -387,6 +436,8 @@ pub struct MetricsReport {
     pub proto: ProtoStats,
     /// Server-wide connection gauges.
     pub conns: ConnStats,
+    /// Server-wide replication-source counters.
+    pub repl: ReplStats,
     /// Milliseconds since the server started.
     pub uptime_ms: u64,
 }
@@ -565,7 +616,15 @@ impl MetricsReport {
             ("sitw_serve_connections_peak", self.conns.peak),
             ("sitw_serve_reactor_threads", self.conns.reactor_threads),
         ];
-        for (name, value) in proto.into_iter().chain(conns) {
+        let repl: [(&str, u64); 6] = [
+            ("sitw_serve_repl_epoch", self.repl.epoch),
+            ("sitw_serve_repl_rounds_total", self.repl.rounds),
+            ("sitw_serve_repl_full_syncs_total", self.repl.full_syncs),
+            ("sitw_serve_repl_apps_total", self.repl.apps_streamed),
+            ("sitw_serve_repl_bytes_total", self.repl.bytes_streamed),
+            ("sitw_serve_repl_lag_ms", self.repl.lag_ms),
+        ];
+        for (name, value) in proto.into_iter().chain(conns).chain(repl) {
             family(&mut out, name);
             let _ = writeln!(out, "{name} {value}");
         }
@@ -741,6 +800,7 @@ mod tests {
             reactors: vec![],
             proto: ProtoStats::default(),
             conns: ConnStats::default(),
+            repl: ReplStats::default(),
             uptime_ms: 42,
         };
         assert_eq!(r.invocations(), 200);
@@ -755,6 +815,7 @@ mod tests {
             reactors: vec![],
             proto: ProtoStats::default(),
             conns: ConnStats::default(),
+            repl: ReplStats::default(),
             uptime_ms: 42,
         };
         let tenants = r.tenants();
@@ -796,6 +857,7 @@ mod tests {
                 peak: 257,
                 reactor_threads: 2,
             },
+            repl: ReplStats::default(),
             uptime_ms: 42,
         };
         let text = r.render();
@@ -859,6 +921,7 @@ mod tests {
             reactors: vec![],
             proto: ProtoStats::default(),
             conns: ConnStats::default(),
+            repl: ReplStats::default(),
             uptime_ms: 0,
         };
         let text = r.render();
@@ -895,6 +958,7 @@ mod tests {
             reactors: vec![],
             proto: ProtoStats::default(),
             conns: ConnStats::default(),
+            repl: ReplStats::default(),
             uptime_ms: 0,
         };
         let stages = r.stage_hists();
@@ -916,6 +980,7 @@ mod tests {
             reactors: vec![ReactorStats::default()],
             proto: ProtoStats::default(),
             conns: ConnStats::default(),
+            repl: ReplStats::default(),
             uptime_ms: 1,
         };
         let text = r.render();
@@ -964,6 +1029,7 @@ mod tests {
             }],
             proto: ProtoStats::default(),
             conns: ConnStats::default(),
+            repl: ReplStats::default(),
             uptime_ms: 1,
         };
         let text = r.render();

@@ -28,7 +28,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Sender};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -39,14 +39,15 @@ use sitw_fleet::{
 use sitw_reactor::Waker;
 use sitw_sim::PolicySpec;
 
-use sitw_telemetry::{EventRing, FlightRecorder, WallClock};
+use sitw_telemetry::{EventKind, EventRing, FlightRecorder, LifecycleEvent, WallClock};
 
 use crate::http::{write_response, Request};
-use crate::metrics::{ConnStats, MetricsReport, ProtoStats, ReactorStats, ShardStats};
+use crate::metrics::{ConnStats, MetricsReport, ProtoStats, ReactorStats, ReplStats, ShardStats};
 use crate::reactor::{reactor_loop, ReactorMsg, ReactorRef};
 use crate::shard::{shard_of, ShardMsg, ShardWorker, TenantRestore};
 use crate::snapshot::{
-    decode_tenant_section, encode_tenant_section, AppRecord, ShardExport, Snapshot, TenantSnapshot,
+    decode_tenant_section, encode_tenant_section, AppRecord, ShardExport, Snapshot, SnapshotError,
+    TenantSnapshot,
 };
 use crate::telem::{merge_spans, ShardTelem, TelemClock, TelemCtx, EVENT_RING, TRACE_RING};
 use crate::wire::{self, push_u64, ControlReply, ControlRequest, TenantUsage};
@@ -81,6 +82,11 @@ pub struct ServeConfig {
     pub snapshot_path: Option<PathBuf>,
     /// When set and the file exists, state is restored from it at start.
     pub restore_path: Option<PathBuf>,
+    /// An in-memory snapshot to restore from, taking precedence over
+    /// [`ServeConfig::restore_path`] — the promotion path: a follower
+    /// hands the replicated state it accumulated straight to the server
+    /// it starts, no disk round-trip.
+    pub restore_snapshot: Option<Snapshot>,
     /// The reactor poll tick: bounds how quickly shutdowns propagate and
     /// how often the slowloris sweep runs. (Historically the per-socket
     /// read timeout, which bounded the same things.)
@@ -113,6 +119,7 @@ impl Default for ServeConfig {
             tenants: Vec::new(),
             snapshot_path: None,
             restore_path: None,
+            restore_snapshot: None,
             read_timeout: Duration::from_millis(50),
             pipeline_window: 128,
             reactor_threads: 2,
@@ -120,6 +127,25 @@ impl Default for ServeConfig {
             telemetry: true,
         }
     }
+}
+
+/// Replication-source bookkeeping: one logical follower pulling the
+/// delta stream. Guarded by a plain mutex — rounds are control-plane
+/// (one per pull interval), never on the decision path.
+#[derive(Debug, Default)]
+struct ReplState {
+    /// Epoch of the last committed round (0 = no round served yet).
+    epoch: u64,
+    /// Per-shard dirty frontiers: the `mutation_seq` each shard
+    /// reported last round, fed back as `since` on the next. Empty
+    /// until the first full sync.
+    frontiers: Vec<u64>,
+    rounds: u64,
+    full_syncs: u64,
+    apps_streamed: u64,
+    bytes_streamed: u64,
+    /// Uptime ms of the last served pull (0 = never pulled).
+    last_pull_ms: u64,
 }
 
 /// Shared state every reactor thread sees.
@@ -155,6 +181,12 @@ pub(crate) struct ServerCtx {
     /// Shared telemetry state: per-reactor flight recorders/histograms,
     /// per-shard recorders, and inbox depth gauges.
     pub(crate) telem: TelemCtx,
+    /// Replication-source state (followers pull via `FRAME_REPL_ACK`).
+    repl: Mutex<ReplState>,
+    /// Why the configured restore was skipped at start (corrupt
+    /// snapshot file): the daemon serves from empty state and surfaces
+    /// the reason on `/healthz` instead of refusing to start.
+    restore_error: Option<String>,
 }
 
 impl ServerCtx {
@@ -209,6 +241,25 @@ impl ServerCtx {
                 peak: self.conns_peak.load(Ordering::Relaxed),
                 reactor_threads: self.reactors.len() as u64,
             },
+            repl: {
+                let uptime_ms = self.started.elapsed().as_millis() as u64;
+                let repl = match self.repl.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                ReplStats {
+                    epoch: repl.epoch,
+                    rounds: repl.rounds,
+                    full_syncs: repl.full_syncs,
+                    apps_streamed: repl.apps_streamed,
+                    bytes_streamed: repl.bytes_streamed,
+                    lag_ms: if repl.last_pull_ms == 0 {
+                        0
+                    } else {
+                        uptime_ms.saturating_sub(repl.last_pull_ms)
+                    },
+                }
+            },
             uptime_ms: self.started.elapsed().as_millis() as u64,
         }
     }
@@ -247,6 +298,110 @@ impl ServerCtx {
             }
         }
         merge_exports(self.cfg.policy.label(), exports)
+    }
+
+    /// Asks one shard for its dirty export since `since`. `None` when
+    /// the shard is shutting down.
+    fn pull_dirty(&self, shard: usize, since: u64) -> Option<crate::shard::DirtyShardExport> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.shard_txs[shard]
+            .send(ShardMsg::ExportDirty {
+                since,
+                reply: reply_tx,
+            })
+            .ok()?;
+        reply_rx.recv().ok()
+    }
+
+    /// Serves one replication round to a pulling follower
+    /// ([`wire::FRAME_REPL_ACK`]): a chunked full sync when the
+    /// follower's epoch is stale (or 0), a chunked delta of the state
+    /// mutated since the last round when it matches, or a lone commit
+    /// (no epoch bump) when nothing changed. Each shard streams its
+    /// dirty subset from its own mailbox turn — no shard pauses, and
+    /// shards keep deciding while others export (the no-stop-the-world
+    /// property the stage histograms assert).
+    fn repl_round(&self, follower_epoch: u64, out: &mut Vec<u8>) {
+        let uptime_ms = self.started.elapsed().as_millis() as u64;
+        let mut repl = match self.repl.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        repl.rounds += 1;
+        repl.last_pull_ms = uptime_ms.max(1);
+        let shards = self.shard_txs.len();
+        if follower_epoch == 0 || follower_epoch != repl.epoch || repl.frontiers.len() != shards {
+            // Full sync. Frontiers are read *before* the snapshot: a
+            // mutation landing in between is both in this sync and in
+            // the next delta — re-sent, never skipped (records carry
+            // absolute state, so re-application is idempotent).
+            let mut frontiers = Vec::with_capacity(shards);
+            for shard in 0..shards {
+                // u64::MAX matches no app: this only reads the frontier.
+                let seq = self.pull_dirty(shard, u64::MAX).map_or(0, |d| d.seq);
+                frontiers.push(seq);
+            }
+            let doc = self.snapshot().encode();
+            let epoch = repl.epoch + 1;
+            wire::encode_repl_round(out, wire::FRAME_REPL_SYNC, epoch, doc.as_bytes());
+            repl.epoch = epoch;
+            repl.frontiers = frontiers;
+            repl.full_syncs += 1;
+            repl.bytes_streamed += doc.len() as u64;
+            drop(repl);
+            if self.telem.enabled {
+                if let Ok(mut ring) = self.telem.events.try_lock() {
+                    ring.push(LifecycleEvent {
+                        ts_ms: uptime_ms,
+                        kind: EventKind::ReplSync,
+                        tenant: String::new(),
+                        app: String::new(),
+                        detail: format!("epoch {epoch}, {} bytes", doc.len()),
+                    });
+                }
+            }
+            return;
+        }
+        // Delta round: each shard's dirty subset since its frontier.
+        let mut frontiers = Vec::with_capacity(shards);
+        let mut exports: Vec<ShardExport> = Vec::with_capacity(shards);
+        let mut dirty = false;
+        for shard in 0..shards {
+            let since = repl.frontiers[shard];
+            match self.pull_dirty(shard, since) {
+                Some(d) => {
+                    dirty |= d.seq != since;
+                    frontiers.push(d.seq);
+                    exports.push(d.export);
+                }
+                None => {
+                    // Shard unavailable (shutting down): hold the
+                    // frontier so nothing is skipped if we come back.
+                    frontiers.push(since);
+                    exports.push(ShardExport {
+                        tenants: Vec::new(),
+                    });
+                }
+            }
+        }
+        if !dirty {
+            // Nothing mutated since the last round: commit the epoch
+            // the follower already holds, no bump, no document.
+            wire::encode_repl_commit(out, repl.epoch);
+            return;
+        }
+        let apps: u64 = exports
+            .iter()
+            .flat_map(|e| e.tenants.iter())
+            .map(|t| t.apps.len() as u64)
+            .sum();
+        let doc = merge_exports(self.cfg.policy.label(), exports).encode_delta();
+        let epoch = repl.epoch + 1;
+        wire::encode_repl_round(out, wire::FRAME_REPL_DELTA, epoch, doc.as_bytes());
+        repl.epoch = epoch;
+        repl.frontiers = frontiers;
+        repl.apps_streamed += apps;
+        repl.bytes_streamed += doc.len() as u64;
     }
 
     /// Registers a tenant at runtime: the owning shard learns about it
@@ -674,22 +829,45 @@ impl Server {
             events: Arc::new(std::sync::Mutex::new(EventRing::new(EVENT_RING))),
         };
 
-        // Restore before any thread exists.
-        let mut snap: Option<Snapshot> = None;
-        if let Some(path) = &cfg.restore_path {
-            if path.exists() {
-                let loaded = Snapshot::read_from(path)?;
-                let expected = cfg.policy.label();
-                if loaded.policy_label != expected {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!(
-                            "snapshot policy '{}' does not match configured '{expected}'",
-                            loaded.policy_label
-                        ),
-                    ));
+        // Restore before any thread exists. An in-memory snapshot (the
+        // follower-promotion path) wins over the file; a corrupt file
+        // degrades to empty state with the reason on /healthz — losing
+        // learned histograms costs cold starts, refusing to start
+        // costs availability (the regression this guards).
+        let mut snap: Option<Snapshot> = cfg.restore_snapshot.clone();
+        let mut restore_error: Option<String> = None;
+        if snap.is_none() {
+            if let Some(path) = &cfg.restore_path {
+                if path.exists() {
+                    match Snapshot::load(path) {
+                        Ok(loaded) => {
+                            let expected = cfg.policy.label();
+                            if loaded.policy_label != expected {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    format!(
+                                        "snapshot policy '{}' does not match configured \
+                                         '{expected}'",
+                                        loaded.policy_label
+                                    ),
+                                ));
+                            }
+                            snap = Some(loaded);
+                        }
+                        Err(SnapshotError::Corrupt(e)) => {
+                            eprintln!(
+                                "sitw-serve: snapshot {} is corrupt, serving from empty \
+                                 state: {e}",
+                                path.display()
+                            );
+                            restore_error = Some(e);
+                        }
+                        // The file exists but cannot be read (permissions,
+                        // I/O): a transient environment problem, so fail
+                        // loudly instead of silently dropping state.
+                        Err(SnapshotError::Io(e)) => return Err(e),
+                    }
                 }
-                snap = Some(loaded);
             }
         }
         let registry = build_registry(&cfg, snap.as_ref())
@@ -751,6 +929,8 @@ impl Server {
             conns_peak: AtomicU64::new(0),
             reactors,
             telem,
+            repl: Mutex::new(ReplState::default()),
+            restore_error,
         });
 
         let mut reactor_handles = Vec::with_capacity(reactor_parts.len());
@@ -922,6 +1102,9 @@ pub(crate) fn handle_ctrl_frame(req: &ControlRequest, ctx: &ServerCtx, out: &mut
             let applied = ctx.set_budgets(pairs);
             wire::encode_control_reply(out, &ControlReply::BudgetAck { applied });
         }
+        ControlRequest::ReplPull { epoch } => {
+            ctx.repl_round(*epoch, out);
+        }
     }
 }
 
@@ -950,6 +1133,17 @@ pub(crate) fn handle_control(req: &Request, ctx: &ServerCtx, out: &mut Vec<u8>) 
             );
             body.extend_from_slice(b",\"uptime_ms\":");
             push_u64(&mut body, ctx.started.elapsed().as_millis() as u64);
+            body.extend_from_slice(b",\"repl_epoch\":");
+            let epoch = match ctx.repl.lock() {
+                Ok(guard) => guard.epoch,
+                Err(poisoned) => poisoned.into_inner().epoch,
+            };
+            push_u64(&mut body, epoch);
+            if let Some(e) = &ctx.restore_error {
+                body.extend_from_slice(b",\"restore_error\":\"");
+                body.extend_from_slice(wire::json_escape(e).as_bytes());
+                body.push(b'"');
+            }
             body.push(b'}');
             write_response(out, 200, "application/json", &body);
         }

@@ -305,8 +305,34 @@ pub enum ShardMsg {
     Scrape(Sender<ShardStats>),
     /// Export the complete per-app state.
     Snapshot(Sender<ShardExport>),
+    /// Export only the state mutated after `since` — one shard's half
+    /// of a replication round. The tenant list is always complete
+    /// (specs, ledgers, clocks are cheap and carried wholesale every
+    /// round); only the per-app records are filtered, so the export
+    /// cost scales with the mutation rate, not the fleet size.
+    ExportDirty {
+        /// The replication frontier: apps stamped at or before this
+        /// sequence are skipped (0 exports everything mutated since
+        /// the worker started).
+        since: u64,
+        /// The filtered export plus the new frontier.
+        reply: Sender<DirtyShardExport>,
+    },
     /// Drain and exit; the worker returns its final state to `join`.
     Shutdown,
+}
+
+/// One shard's answer to [`ShardMsg::ExportDirty`]: the state mutated
+/// since the requested frontier, plus the frontier to ask from next
+/// round.
+#[derive(Debug)]
+pub struct DirtyShardExport {
+    /// The worker's mutation sequence at export time. Feeding it back
+    /// as `since` on the next round yields exactly the mutations in
+    /// between — a lost round re-sends, never skips.
+    pub seq: u64,
+    /// The complete tenant list with apps filtered to the dirty set.
+    pub export: ShardExport,
 }
 
 /// Per-application serving state.
@@ -325,6 +351,11 @@ struct AppState {
     /// `GET /debug/policy` reports (`None` only for restored apps that
     /// have not been invoked since).
     last_verdict: Option<LastVerdict>,
+    /// The worker's mutation sequence when this app's state last
+    /// changed (invocation, eviction flag, or migration-restore).
+    /// Replication rounds export exactly the apps whose stamp is newer
+    /// than the follower's frontier — never the whole map.
+    dirty_seq: u64,
 }
 
 /// One served verdict with the inputs that produced it, kept per app
@@ -415,6 +446,10 @@ pub struct ShardWorker {
     cold: u64,
     prewarm_loads: u64,
     out_of_order: u64,
+    /// Bumped on every state mutation (decision, budget change, tenant
+    /// add/take/restore); apps are stamped with it so replication
+    /// rounds can export the dirty subset without pausing the shard.
+    mutation_seq: u64,
     telem: ShardTelem,
     /// Per-frame `(tenant, records)` counts, reused across batches so
     /// per-tenant histogram attribution stays allocation-free.
@@ -442,7 +477,10 @@ impl ShardWorker {
     pub fn new(id: usize, tenants: Vec<TenantRestore>) -> Result<Self, String> {
         let mut map = HashMap::with_capacity(tenants.len());
         for restore in tenants {
-            let (tid, shard) = Self::build_tenant(restore)?;
+            // Startup-restored apps stamp dirty sequence 0: a follower
+            // attaching to a fresh primary full-syncs anyway, so they
+            // need no delta visibility.
+            let (tid, shard) = Self::build_tenant(restore, 0)?;
             map.insert(tid, shard);
         }
         Ok(Self {
@@ -452,6 +490,7 @@ impl ShardWorker {
             cold: 0,
             prewarm_loads: 0,
             out_of_order: 0,
+            mutation_seq: 0,
             telem: ShardTelem::default(),
             tenant_scratch: Vec::new(),
             json_wave: Vec::new(),
@@ -467,7 +506,13 @@ impl ShardWorker {
 
     /// Builds one tenant's in-memory state from a restore payload — the
     /// shared path behind startup restore and live tenant migration.
-    fn build_tenant(restore: TenantRestore) -> Result<(TenantId, TenantShard), String> {
+    /// Restored apps are stamped `dirty_seq` so a migrated-in tenant is
+    /// visible to the next replication round (0 at startup, where the
+    /// follower full-syncs regardless).
+    fn build_tenant(
+        restore: TenantRestore,
+        dirty_seq: u64,
+    ) -> Result<(TenantId, TenantShard), String> {
         let budget = restore.spec.budget_mb;
         let tid = restore.spec.id;
         let mut shard = TenantShard::new(
@@ -496,15 +541,19 @@ impl ShardWorker {
                     evicted: rec.evicted,
                     footprint_mb,
                     last_verdict: None,
+                    dirty_seq,
                 },
             );
         }
         Ok((tid, shard))
     }
 
-    /// Registers a fresh tenant (admin path).
+    /// Registers a fresh tenant (admin path). Bumps the mutation
+    /// sequence: the tenant list is part of the replicated state, so
+    /// the next round must fire even though no app is dirty yet.
     pub fn add_tenant(&mut self, spec: TenantSpec) {
         let budget = spec.budget_mb;
+        self.mutation_seq += 1;
         self.tenants
             .entry(spec.id)
             .or_insert_with(|| TenantShard::new(spec, TenantLedger::new(budget), None));
@@ -521,6 +570,10 @@ impl ShardWorker {
         app: &str,
         ts: u64,
     ) -> Result<Decision, InvokeError> {
+        // The dirty stamp of every state this invocation mutates
+        // (committed to `mutation_seq` only on the success path — an
+        // out-of-order rejection changes no replicated state).
+        let seq = self.mutation_seq + 1;
         let t = self
             .tenants
             .get_mut(&tenant)
@@ -559,6 +612,7 @@ impl ShardWorker {
                             evicted: false,
                             kind,
                         }),
+                        dirty_seq: seq,
                     },
                 );
                 (
@@ -610,6 +664,7 @@ impl ShardWorker {
                     evicted: d.evicted,
                     kind: d.kind,
                 });
+                state.dirty_seq = seq;
                 (d, state.footprint_mb)
             }
         };
@@ -623,6 +678,7 @@ impl ShardWorker {
         for victim in t.ledger.charge(app, ts, expiry, mb) {
             if let Some(v) = t.apps.get_mut(&victim) {
                 v.evicted = true;
+                v.dirty_seq = seq;
             }
             // Evictions are rare (budget pressure only), so the event
             // push — try_lock, never blocking the decision path — stays
@@ -644,6 +700,7 @@ impl ShardWorker {
 
         t.invocations += 1;
         self.invocations += 1;
+        self.mutation_seq = seq;
         if decision.cold {
             t.cold += 1;
             self.cold += 1;
@@ -746,9 +803,20 @@ impl ShardWorker {
     }
 
     fn export_tenant(t: &TenantShard) -> TenantExport {
+        Self::export_tenant_if(t, |_| true)
+    }
+
+    /// Exports one tenant with its app records filtered by `keep` —
+    /// the full snapshot keeps everything, a replication round keeps
+    /// the dirty subset. Tenant-level state (spec, ledger, production
+    /// clock) is always exported whole: it is O(1) per tenant, and
+    /// carrying it every round is what lets delta application replace
+    /// it wholesale instead of diffing.
+    fn export_tenant_if(t: &TenantShard, keep: impl Fn(&AppState) -> bool) -> TenantExport {
         let mut apps: Vec<AppRecord> = t
             .apps
             .iter()
+            .filter(|(_, state)| keep(state))
             .map(|(app, state)| AppRecord {
                 app: app.clone(),
                 last_ts: state.last_ts,
@@ -783,6 +851,24 @@ impl ShardWorker {
             self.tenants.values().map(Self::export_tenant).collect();
         tenants.sort_by_key(|t| t.id);
         ShardExport { tenants }
+    }
+
+    /// One shard's half of a replication round: every tenant, with the
+    /// app records mutated after `since`. Walks the app maps without
+    /// mutating anything — decisions in flight on other shards are
+    /// unaffected, and this shard resumes its mailbox immediately
+    /// after.
+    fn export_dirty(&self, since: u64) -> DirtyShardExport {
+        let mut tenants: Vec<TenantExport> = self
+            .tenants
+            .values()
+            .map(|t| Self::export_tenant_if(t, |s| s.dirty_seq > since))
+            .collect();
+        tenants.sort_by_key(|t| t.id);
+        DirtyShardExport {
+            seq: self.mutation_seq,
+            export: ShardExport { tenants },
+        }
     }
 
     /// Records a tenant migration on the lifecycle event ring (take or
@@ -1006,6 +1092,10 @@ impl ShardWorker {
                         Some(t) => {
                             t.spec.budget_mb = budget_mb;
                             t.ledger.set_budget(budget_mb);
+                            // Specs replicate with the tenant list, so
+                            // the bump alone makes the next round carry
+                            // the new budget.
+                            self.mutation_seq += 1;
                             true
                         }
                         None => false,
@@ -1014,6 +1104,9 @@ impl ShardWorker {
                 }
                 ShardMsg::TakeTenant { tenant, reply } => {
                     let export = self.tenants.remove(&tenant).map(|t| {
+                        // Removal replicates through the (authoritative)
+                        // tenant list of the next round.
+                        self.mutation_seq += 1;
                         self.push_migration_event(&t.spec.name, "take");
                         Self::export_tenant(&t)
                     });
@@ -1021,8 +1114,12 @@ impl ShardWorker {
                 }
                 ShardMsg::RestoreTenant { restore, ack } => {
                     let name = restore.spec.name.clone();
-                    let result = Self::build_tenant(*restore).map(|(tid, shard)| {
+                    // Stamp past the frontier: every migrated-in app
+                    // must ride the next replication round.
+                    let seq = self.mutation_seq + 1;
+                    let result = Self::build_tenant(*restore, seq).map(|(tid, shard)| {
                         self.tenants.insert(tid, shard);
+                        self.mutation_seq = seq;
                         self.push_migration_event(&name, "restore");
                     });
                     let _ = ack.send(result);
@@ -1039,6 +1136,9 @@ impl ShardWorker {
                 }
                 ShardMsg::Snapshot(reply) => {
                     let _ = reply.send(self.export());
+                }
+                ShardMsg::ExportDirty { since, reply } => {
+                    let _ = reply.send(self.export_dirty(since));
                 }
                 ShardMsg::Shutdown => break,
             }
@@ -1448,6 +1548,132 @@ mod tests {
         let lat = w.stats().latency_us;
         assert_eq!(lat.len(), LATENCY_QUANTILES.len());
         assert!(lat.iter().all(|(_, v)| v.is_finite()));
+    }
+
+    #[test]
+    fn dirty_export_tracks_the_mutation_frontier() {
+        let mut w = worker(PolicySpec::fixed_minutes(10));
+        w.invoke0("a", 0).unwrap();
+        w.invoke0("b", 1_000).unwrap();
+
+        // From frontier 0: both apps are dirty.
+        let round1 = w.export_dirty(0);
+        let apps: Vec<&str> = round1.export.tenants[0]
+            .apps
+            .iter()
+            .map(|r| r.app.as_str())
+            .collect();
+        assert_eq!(apps, vec!["a", "b"]);
+
+        // Nothing mutated since: tenant still listed, zero apps.
+        let idle = w.export_dirty(round1.seq);
+        assert_eq!(idle.seq, round1.seq, "no mutation, no frontier move");
+        assert_eq!(idle.export.tenants.len(), 1, "tenant list stays whole");
+        assert!(idle.export.tenants[0].apps.is_empty());
+
+        // Only the re-invoked app rides the next round.
+        w.invoke0("b", 2_000).unwrap();
+        let round2 = w.export_dirty(round1.seq);
+        assert!(round2.seq > round1.seq);
+        let apps: Vec<&str> = round2.export.tenants[0]
+            .apps
+            .iter()
+            .map(|r| r.app.as_str())
+            .collect();
+        assert_eq!(apps, vec!["b"]);
+
+        // The full snapshot is unaffected by dirty filtering.
+        assert_eq!(w.export().tenants[0].apps.len(), 2);
+    }
+
+    #[test]
+    fn eviction_victims_are_dirty() {
+        let name = "metered";
+        let budget = footprint_mb(name, "a").max(footprint_mb(name, "b"));
+        let mut w = ShardWorker::new(
+            0,
+            vec![TenantRestore::fresh(TenantSpec {
+                id: 1,
+                name: name.into(),
+                policy: PolicySpec::fixed_minutes(10),
+                budget_mb: budget,
+            })],
+        )
+        .unwrap();
+        w.invoke(1, "a", 0).unwrap();
+        let frontier = w.export_dirty(0).seq;
+        // b's invocation evicts a: *both* must ride the next round —
+        // a follower that misses the eviction flag would serve a's
+        // next invocation warm where the primary serves it cold.
+        w.invoke(1, "b", 1_000).unwrap();
+        let round = w.export_dirty(frontier);
+        let dirty = &round.export.tenants[0].apps;
+        let a = dirty.iter().find(|r| r.app == "a").expect("victim dirty");
+        assert!(a.evicted);
+        assert!(dirty.iter().any(|r| r.app == "b"));
+    }
+
+    #[test]
+    fn control_mutations_advance_the_frontier() {
+        let mut w = worker(PolicySpec::fixed_minutes(10));
+        let f0 = w.export_dirty(0).seq;
+        // A fresh tenant has no dirty apps, but the tenant list is
+        // replicated state — the frontier must move so a round fires.
+        w.add_tenant(TenantSpec {
+            id: 9,
+            name: "fresh".into(),
+            policy: PolicySpec::fixed_minutes(5),
+            budget_mb: 0,
+        });
+        let round = w.export_dirty(f0);
+        assert!(round.seq > f0);
+        assert_eq!(round.export.tenants.len(), 2);
+        assert!(round.export.tenants.iter().all(|t| t.apps.is_empty()));
+    }
+
+    #[test]
+    fn restored_tenants_ride_the_next_round() {
+        // Simulates a migration-in mid-replication: the restored apps
+        // must be stamped past the current frontier.
+        let mut w = worker(PolicySpec::fixed_minutes(10));
+        w.invoke0("a", 0).unwrap();
+        let frontier = w.export_dirty(0).seq;
+        let seq = w.mutation_seq + 1;
+        let (tid, shard) = ShardWorker::build_tenant(
+            TenantRestore {
+                spec: TenantSpec {
+                    id: 3,
+                    name: "moved".into(),
+                    policy: PolicySpec::fixed_minutes(10),
+                    budget_mb: 0,
+                },
+                apps: vec![AppRecord {
+                    app: "m".into(),
+                    last_ts: 7,
+                    windows: Windows::keep_loaded(600_000),
+                    evicted: false,
+                    state: PolicyState::Stateless,
+                }],
+                ledger: LedgerExport::default(),
+                prod_clock: None,
+            },
+            seq,
+        )
+        .unwrap();
+        w.tenants.insert(tid, shard);
+        w.mutation_seq = seq;
+        let round = w.export_dirty(frontier);
+        let moved = round
+            .export
+            .tenants
+            .iter()
+            .find(|t| t.id == 3)
+            .expect("restored tenant exported");
+        assert_eq!(moved.apps.len(), 1);
+        assert_eq!(moved.apps[0].app, "m");
+        // The pre-existing clean app does not ride along.
+        let default = round.export.tenants.iter().find(|t| t.id == 0).unwrap();
+        assert!(default.apps.is_empty());
     }
 
     #[test]

@@ -43,6 +43,34 @@ use crate::wire::{kind_from_str, kind_str};
 /// Magic first line of a snapshot file.
 const HEADER: &str = "sitw-serve-snapshot v1";
 
+/// Magic first line of a replication delta document: the same line
+/// grammar as a snapshot, but apps are a *dirty subset* — the receiver
+/// upserts them into its accumulated state instead of replacing it.
+const DELTA_HEADER: &str = "sitw-serve-delta v1";
+
+/// Why a snapshot failed to load — typed so the daemon can distinguish
+/// "the file is unreadable" from "the file is corrupt" and degrade to
+/// serving from empty state instead of dying mid-parse.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file could not be read at all.
+    Io(io::Error),
+    /// The file was read but is truncated or corrupt; the message names
+    /// the first offending line or field.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot unreadable: {e}"),
+            SnapshotError::Corrupt(msg) => write!(f, "snapshot corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
 /// One shard's complete exported state: one entry per tenant living on
 /// the shard (the default tenant always, named tenants when routed
 /// here).
@@ -406,9 +434,22 @@ fn ledger_is_empty(l: &LedgerExport) -> bool {
 impl Snapshot {
     /// Serializes to the text format.
     pub fn encode(&self) -> String {
+        self.encode_with_header(HEADER)
+    }
+
+    /// Serializes as a replication delta document: identical line
+    /// grammar, delta header. The caller is responsible for `self`
+    /// carrying only dirty apps (tenant lines, ledgers, and clocks are
+    /// always carried whole — they are absolute values the receiver
+    /// replaces wholesale).
+    pub fn encode_delta(&self) -> String {
+        self.encode_with_header(DELTA_HEADER)
+    }
+
+    fn encode_with_header(&self, header: &str) -> String {
         use std::fmt::Write as _;
         let mut out = String::with_capacity(64 + self.apps.len() * 128);
-        let _ = writeln!(out, "{HEADER}");
+        let _ = writeln!(out, "{header}");
         let _ = writeln!(out, "policy {}", self.policy_label);
         if let Some(clock) = self.prod_clock {
             let _ = writeln!(out, "clock {clock}");
@@ -465,14 +506,27 @@ impl Snapshot {
                 out.push('\n');
             }
         }
+        // The explicit trailer is what makes *tail* truncation
+        // detectable: the line grammar alone cannot tell a complete
+        // document from one whose final record lines were cut off.
+        out.push_str("end\n");
         out
     }
 
     /// Parses the text format.
     pub fn decode(text: &str) -> Result<Snapshot, String> {
+        Self::decode_with_header(text, HEADER)
+    }
+
+    /// Parses a replication delta document (see [`Snapshot::encode_delta`]).
+    pub fn decode_delta(text: &str) -> Result<Snapshot, String> {
+        Self::decode_with_header(text, DELTA_HEADER)
+    }
+
+    fn decode_with_header(text: &str, want: &str) -> Result<Snapshot, String> {
         let mut lines = text.lines();
         let header = lines.next().ok_or("empty snapshot")?;
-        if header != HEADER {
+        if header != want {
             return Err(format!("bad header '{header}'"));
         }
         let policy_line = lines.next().ok_or("missing policy line")?;
@@ -482,6 +536,7 @@ impl Snapshot {
             .to_owned();
 
         let mut prod_clock = None;
+        let mut saw_end = false;
         let mut apps: Vec<AppRecord> = Vec::new();
         let mut declared: Option<usize> = None;
         let mut default_ledger = LedgerExport::default();
@@ -502,8 +557,14 @@ impl Snapshot {
             if line.is_empty() {
                 continue;
             }
+            if saw_end {
+                return Err(format!("content after end marker: '{line}'"));
+            }
             let mut tok = line.split(' ');
             match tok.next() {
+                Some("end") => {
+                    saw_end = true;
+                }
                 Some("clock") => {
                     prod_clock = Some(parse_field::<u64>(tok.next(), "clock")?);
                 }
@@ -580,6 +641,9 @@ impl Snapshot {
                 _ => return Err(format!("unexpected line '{line}'")),
             }
         }
+        if !saw_end {
+            return Err("missing end marker (truncated document?)".into());
+        }
         let declared = declared.ok_or("missing apps line")?;
         if apps.len() != declared {
             return Err(format!(
@@ -621,9 +685,60 @@ impl Snapshot {
 
     /// Reads a snapshot file.
     pub fn read_from(path: &Path) -> io::Result<Snapshot> {
-        let text = std::fs::read_to_string(path)?;
-        Snapshot::decode(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        match Snapshot::load(path) {
+            Ok(snap) => Ok(snap),
+            Err(SnapshotError::Io(e)) => Err(e),
+            Err(SnapshotError::Corrupt(e)) => Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+        }
     }
+
+    /// Reads a snapshot file with a typed error, so callers can tell a
+    /// missing/unreadable file from a truncated or corrupt one (the
+    /// daemon degrades to empty state on the latter instead of dying).
+    pub fn load(path: &Path) -> Result<Snapshot, SnapshotError> {
+        let bytes = std::fs::read(path).map_err(SnapshotError::Io)?;
+        // Non-UTF-8 content is a corrupt *file*, not an I/O failure:
+        // the read succeeded, the contents are garbage.
+        let text = String::from_utf8(bytes)
+            .map_err(|_| SnapshotError::Corrupt("snapshot is not UTF-8 text".into()))?;
+        Snapshot::decode(&text).map_err(SnapshotError::Corrupt)
+    }
+}
+
+/// Applies a replication delta onto an accumulated base snapshot: app
+/// records upsert by `(tenant, app)`, everything else — tenant list,
+/// ledgers, clocks, budgets, the policy label — is replaced wholesale
+/// (deltas carry those as absolute values every round). Tenants absent
+/// from the delta are removed (they migrated away or were taken).
+///
+/// Apps are never removed individually: shards only ever flag evictions
+/// (the flag rides the app record) and remove state per whole tenant,
+/// so upsert-plus-tenant-replacement reproduces the primary's state
+/// exactly. The failover parity tests assert this bit-for-bit.
+pub fn apply_delta(base: &mut Snapshot, delta: Snapshot) {
+    fn upsert_apps(base: &mut Vec<AppRecord>, fresh: Vec<AppRecord>) {
+        for rec in fresh {
+            match base.binary_search_by(|b| b.app.cmp(&rec.app)) {
+                Ok(i) => base[i] = rec,
+                Err(i) => base.insert(i, rec),
+            }
+        }
+    }
+    base.policy_label = delta.policy_label;
+    base.prod_clock = delta.prod_clock;
+    base.default_ledger = delta.default_ledger;
+    upsert_apps(&mut base.apps, delta.apps);
+    let mut tenants: Vec<TenantSnapshot> = Vec::with_capacity(delta.tenants.len());
+    for mut t in delta.tenants {
+        let apps = std::mem::take(&mut t.apps);
+        if let Some(old) = base.tenants.iter_mut().find(|b| b.id == t.id) {
+            t.apps = std::mem::take(&mut old.apps);
+        }
+        upsert_apps(&mut t.apps, apps);
+        tenants.push(t);
+    }
+    tenants.sort_by_key(|t| t.id);
+    base.tenants = tenants;
 }
 
 /// Serializes one tenant's exported state as a standalone migration
@@ -851,7 +966,7 @@ mod tests {
 
     #[test]
     fn pre_fleet_files_decode_with_empty_tenant_state() {
-        let text = format!("{HEADER}\npolicy fixed-10min\napps 1\napp a 5 0 600000\n");
+        let text = format!("{HEADER}\npolicy fixed-10min\napps 1\napp a 5 0 600000\nend\n");
         let snap = Snapshot::decode(&text).unwrap();
         assert!(snap.tenants.is_empty());
         assert_eq!(snap.default_ledger, LedgerExport::default());
@@ -1002,5 +1117,119 @@ mod tests {
             .state
             .into_policy(&PolicySpec::fixed_minutes(10))
             .is_err());
+    }
+
+    #[test]
+    fn delta_header_and_snapshot_header_are_disjoint() {
+        let snap = empty_default("fixed-10min", vec![]);
+        let full = snap.encode();
+        let delta = snap.encode_delta();
+        assert!(Snapshot::decode(&full).is_ok());
+        assert!(Snapshot::decode(&delta).is_err(), "delta is not a snapshot");
+        assert!(Snapshot::decode_delta(&delta).is_ok());
+        assert!(Snapshot::decode_delta(&full).is_err());
+    }
+
+    #[test]
+    fn apply_delta_upserts_apps_and_replaces_tenants() {
+        let app = |id: &str, ts: u64| AppRecord {
+            app: id.into(),
+            last_ts: ts,
+            windows: Windows::keep_loaded(600_000),
+            evicted: false,
+            state: PolicyState::Stateless,
+        };
+        let tenant = |id: TenantId, name: &str, apps: Vec<AppRecord>| TenantSnapshot {
+            id,
+            name: name.into(),
+            policy_label: "fixed-10min".into(),
+            spec_str: Some("fixed:10".into()),
+            budget_mb: 0,
+            prod_clock: None,
+            ledger: LedgerExport::default(),
+            apps,
+        };
+        let mut base = Snapshot {
+            policy_label: "fixed-10min".into(),
+            prod_clock: None,
+            apps: vec![app("a", 1), app("c", 1)],
+            default_ledger: LedgerExport::default(),
+            tenants: vec![
+                tenant(1, "keep", vec![app("x", 1)]),
+                tenant(2, "gone", vec![app("y", 1)]),
+            ],
+        };
+        // Delta: app "c" advanced, new app "b", tenant 1 carried whole
+        // with a dirty app, tenant 2 absent (migrated away), tenant 3
+        // new, and ledger counters replaced wholesale.
+        let delta = Snapshot {
+            policy_label: "fixed-10min".into(),
+            prod_clock: Some(7),
+            apps: vec![app("b", 5), app("c", 9)],
+            default_ledger: LedgerExport {
+                warm: vec![("c".into(), 600_009, 100)],
+                evictions: 0,
+                idle_mb_ms: 42,
+                cursor_ms: 9,
+            },
+            tenants: vec![
+                tenant(1, "keep", vec![app("z", 3)]),
+                tenant(3, "new", vec![app("w", 2)]),
+            ],
+        };
+        // The delta round-trips through its wire document.
+        let delta = Snapshot::decode_delta(&delta.encode_delta()).unwrap();
+        apply_delta(&mut base, delta);
+        let ids: Vec<&str> = base.apps.iter().map(|a| a.app.as_str()).collect();
+        assert_eq!(ids, vec!["a", "b", "c"]);
+        assert_eq!(base.apps[2].last_ts, 9, "dirty app replaced");
+        assert_eq!(base.apps[0].last_ts, 1, "clean app untouched");
+        assert_eq!(base.default_ledger.idle_mb_ms, 42);
+        assert_eq!(base.prod_clock, Some(7));
+        let names: Vec<&str> = base.tenants.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["keep", "new"], "absent tenant removed");
+        let keep = &base.tenants[0];
+        let kept: Vec<&str> = keep.apps.iter().map(|a| a.app.as_str()).collect();
+        assert_eq!(kept, vec!["x", "z"], "tenant apps upsert, not replace");
+    }
+
+    /// Regression (this PR's bugfix satellite): restoring a truncated
+    /// or corrupt snapshot file must fail with a typed error — and the
+    /// daemon must keep serving from empty state — never panic
+    /// mid-parse.
+    #[test]
+    fn corrupt_files_load_as_typed_errors() {
+        let dir = std::env::temp_dir().join("sitw-serve-corrupt-snap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A valid snapshot truncated mid-document (the crash-mid-write
+        // shape `write_to`'s atomic rename prevents, but an operator
+        // copying files can still produce).
+        let snap = empty_default("hybrid-4h[5,99]cv2", vec![hybrid_record()]);
+        let text = snap.encode();
+        for cut in [text.len() / 3, text.len() - 2] {
+            let path = dir.join("truncated.snap");
+            std::fs::write(&path, &text.as_bytes()[..cut]).unwrap();
+            match Snapshot::load(&path) {
+                Err(SnapshotError::Corrupt(_)) => {}
+                other => panic!("cut {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+
+        // Binary garbage.
+        let path = dir.join("garbage.snap");
+        std::fs::write(&path, [0u8, 159, 146, 150, 0x5B, 0xFF]).unwrap();
+        assert!(matches!(
+            Snapshot::load(&path),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        // A missing file is Io, not Corrupt.
+        assert!(matches!(
+            Snapshot::load(&dir.join("nonexistent.snap")),
+            Err(SnapshotError::Io(_))
+        ));
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -389,6 +389,22 @@ pub const FRAME_CONTROL: u8 = 4;
 /// Frame kind: the node's answer to a control request. See
 /// [`ControlReply`].
 pub const FRAME_CONTROL_REPLY: u8 = 5;
+/// Frame kind: one chunk of a full snapshot sync (primary → follower).
+/// Payload: `{u64 epoch, u32 seq, u8 last, chunk bytes}` — the chunks,
+/// concatenated in `seq` order, are one complete snapshot document.
+pub const FRAME_REPL_SYNC: u8 = 6;
+/// Frame kind: one chunk of an incremental delta (primary → follower).
+/// Same payload layout as [`FRAME_REPL_SYNC`]; the concatenated chunks
+/// are one delta document streaming only dirty apps.
+pub const FRAME_REPL_DELTA: u8 = 7;
+/// Frame kind: closes one replication round (primary → follower).
+/// Payload: `{u64 epoch}` — the epoch the follower now holds. A lone
+/// commit (no preceding chunks) means nothing was dirty this round.
+pub const FRAME_REPL_COMMIT: u8 = 8;
+/// Frame kind: a replication pull (follower → primary). Payload:
+/// `{u64 epoch}` — the epoch the follower holds; 0 (or any stale value)
+/// makes the primary answer with a full sync instead of a delta.
+pub const FRAME_REPL_ACK: u8 = 9;
 /// Kind-byte flag: the payload of this [`FRAME_REQUEST`] starts with an
 /// 8-byte little-endian trace id before the records. Version-gated to
 /// v2 — a v1 frame with the flag set is malformed — so v1 peers, which
@@ -486,6 +502,14 @@ pub enum ControlRequest {
     /// Install per-tenant budget shares (`(tenant name, budget MB)`;
     /// 0 = unlimited). Unknown tenants are skipped and uncounted.
     BudgetSet(Vec<(String, u64)>),
+    /// A follower's replication pull ([`FRAME_REPL_ACK`]): stream the
+    /// state mutated since `epoch`, or a full sync when the epoch is
+    /// stale. Rides the control plumbing so replication needs no new
+    /// connection machinery.
+    ReplPull {
+        /// The epoch the follower holds (0 = nothing yet).
+        epoch: u64,
+    },
 }
 
 /// One tenant's ledger integrals, as reported over the control plane.
@@ -758,6 +782,20 @@ pub fn decode_request_frame_into(buf: &[u8], records: &mut Vec<BinInvoke>) -> Fr
             Err(detail) => malformed(detail),
         };
     }
+    if kind == FRAME_REPL_ACK {
+        if buf.len() < total {
+            return FrameDecodeInto::Incomplete;
+        }
+        if payload_len != 8 || count != 0 {
+            return malformed("repl ack carries exactly one u64 epoch".into());
+        }
+        return FrameDecodeInto::Control {
+            req: ControlRequest::ReplPull {
+                epoch: u64_at(buf, BIN_HEADER_LEN),
+            },
+            consumed: total,
+        };
+    }
     let traced = kind == FRAME_REQUEST | FRAME_FLAG_TRACE;
     if !traced && kind != FRAME_REQUEST {
         return malformed(format!("unexpected frame kind {kind}"));
@@ -995,6 +1033,9 @@ pub fn encode_control_frame(out: &mut Vec<u8>, req: &ControlRequest) {
                 out.extend_from_slice(&budget_mb.to_le_bytes());
             }
         }
+        // Replication pulls have their own frame kind, not a control
+        // opcode — they ride this encoder for symmetry only.
+        ControlRequest::ReplPull { epoch } => encode_repl_ack(out, *epoch),
     }
 }
 
@@ -1086,6 +1127,70 @@ pub fn encode_control_reply(out: &mut Vec<u8>, reply: &ControlReply) {
             out.push(CTRL_BUDGET_SET);
         }
     }
+}
+
+/// Maximum chunk body per replication frame — comfortably under
+/// [`MAX_FRAME_PAYLOAD`] with the 13-byte chunk header on top, and
+/// small enough that streaming a large document never monopolizes the
+/// connection's write buffer.
+pub const REPL_CHUNK_BYTES: usize = 64 * 1024;
+
+/// Bytes of a replication chunk payload header (`u64 epoch`, `u32 seq`,
+/// `u8 last`) preceding the chunk body.
+pub const REPL_CHUNK_HEADER: usize = 13;
+
+/// Encodes one replication pull frame (follower → primary): the epoch
+/// the follower holds.
+pub fn encode_repl_ack(out: &mut Vec<u8>, epoch: u64) {
+    frame_header(out, BIN_VERSION_2, FRAME_REPL_ACK, 8, 0);
+    out.extend_from_slice(&epoch.to_le_bytes());
+}
+
+/// Encodes one replication chunk frame (primary → follower). `kind` is
+/// [`FRAME_REPL_SYNC`] or [`FRAME_REPL_DELTA`].
+///
+/// # Panics
+///
+/// Panics when `chunk` exceeds [`REPL_CHUNK_BYTES`] or `kind` is not a
+/// replication chunk kind — the round encoder owns the chunking.
+pub fn encode_repl_chunk(
+    out: &mut Vec<u8>,
+    kind: u8,
+    epoch: u64,
+    seq: u32,
+    last: bool,
+    chunk: &[u8],
+) {
+    assert!(
+        kind == FRAME_REPL_SYNC || kind == FRAME_REPL_DELTA,
+        "not a replication chunk kind"
+    );
+    assert!(chunk.len() <= REPL_CHUNK_BYTES, "repl chunk too large");
+    frame_header(out, BIN_VERSION_2, kind, REPL_CHUNK_HEADER + chunk.len(), 0);
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.push(u8::from(last));
+    out.extend_from_slice(chunk);
+}
+
+/// Encodes one epoch-commit frame closing a replication round.
+pub fn encode_repl_commit(out: &mut Vec<u8>, epoch: u64) {
+    frame_header(out, BIN_VERSION_2, FRAME_REPL_COMMIT, 8, 0);
+    out.extend_from_slice(&epoch.to_le_bytes());
+}
+
+/// Encodes one complete replication round: `doc` split into
+/// [`REPL_CHUNK_BYTES`]-sized chunk frames of `kind`, closed by an
+/// epoch-commit. An empty `doc` emits the lone commit (nothing dirty).
+pub fn encode_repl_round(out: &mut Vec<u8>, kind: u8, epoch: u64, doc: &[u8]) {
+    if !doc.is_empty() {
+        let chunks: Vec<&[u8]> = doc.chunks(REPL_CHUNK_BYTES).collect();
+        for (seq, chunk) in chunks.iter().enumerate() {
+            let last = seq + 1 == chunks.len();
+            encode_repl_chunk(out, kind, epoch, seq as u32, last, chunk);
+        }
+    }
+    encode_repl_commit(out, epoch);
 }
 
 /// Decodes a [`FRAME_CONTROL_REPLY`] payload.
@@ -1202,6 +1307,28 @@ pub enum ServerFrameDecode {
         /// Total frame length in bytes.
         consumed: usize,
     },
+    /// A complete replication chunk frame (primary → follower).
+    ReplChunk {
+        /// `true` for a full-sync chunk, `false` for a delta chunk.
+        full_sync: bool,
+        /// The epoch this round commits to.
+        epoch: u64,
+        /// Chunk index within the round, from 0.
+        seq: u32,
+        /// Whether this is the round's final chunk.
+        last: bool,
+        /// The chunk body (a slice of the round's document).
+        data: Vec<u8>,
+        /// Total frame length in bytes.
+        consumed: usize,
+    },
+    /// A complete epoch-commit frame closing a replication round.
+    ReplCommit {
+        /// The epoch the receiver now holds.
+        epoch: u64,
+        /// Total frame length in bytes.
+        consumed: usize,
+    },
     /// The buffer holds only part of a frame; read more and retry.
     Incomplete,
     /// The server sent something this codec cannot parse; the client
@@ -1290,6 +1417,28 @@ pub fn decode_server_frame(buf: &[u8]) -> ServerFrameDecode {
             },
             Err(detail) => ServerFrameDecode::Malformed(detail),
         },
+        FRAME_REPL_SYNC | FRAME_REPL_DELTA => {
+            if payload.len() < REPL_CHUNK_HEADER {
+                return ServerFrameDecode::Malformed("truncated repl chunk".into());
+            }
+            ServerFrameDecode::ReplChunk {
+                full_sync: kind == FRAME_REPL_SYNC,
+                epoch: u64_at(payload, 0),
+                seq: u32_at(payload, 8),
+                last: payload[12] != 0,
+                data: payload[REPL_CHUNK_HEADER..].to_vec(),
+                consumed: total,
+            }
+        }
+        FRAME_REPL_COMMIT => {
+            if payload.len() != 8 {
+                return ServerFrameDecode::Malformed("repl commit carries one u64 epoch".into());
+            }
+            ServerFrameDecode::ReplCommit {
+                epoch: u64_at(payload, 0),
+                consumed: total,
+            }
+        }
         other => ServerFrameDecode::Malformed(format!("unexpected server frame kind {other}")),
     }
 }
@@ -2017,5 +2166,116 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(BinErrorCode::from_u8(4), Some(BinErrorCode::Unavailable));
+    }
+
+    #[test]
+    fn repl_ack_decodes_as_control_pull() {
+        let mut out = Vec::new();
+        encode_repl_ack(&mut out, 42);
+        match decode_request_frame(&out) {
+            FrameDecode::Control { req, consumed } => {
+                assert_eq!(req, ControlRequest::ReplPull { epoch: 42 });
+                assert_eq!(consumed, out.len());
+            }
+            other => panic!("{other:?}"),
+        }
+        // Every proper prefix is Incomplete, never an error.
+        for cut in 0..out.len() {
+            assert!(
+                matches!(decode_request_frame(&out[..cut]), FrameDecode::Incomplete),
+                "prefix {cut} must be incomplete"
+            );
+        }
+        // A malformed ack (wrong payload length) is skippable: the
+        // envelope is intact, so the connection survives.
+        let mut bad = Vec::new();
+        frame_header(&mut bad, BIN_VERSION_2, FRAME_REPL_ACK, 4, 0);
+        bad.extend_from_slice(&7u32.to_le_bytes());
+        match decode_request_frame(&bad) {
+            FrameDecode::Error { code, skip, .. } => {
+                assert_eq!(code, BinErrorCode::Malformed);
+                assert_eq!(skip, Some(bad.len()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn repl_round_chunks_and_commits() {
+        // A document larger than one chunk splits into ordered chunks
+        // plus a commit; concatenated chunk bodies equal the document.
+        let doc: Vec<u8> = (0..(REPL_CHUNK_BYTES + 777))
+            .map(|i| (i % 251) as u8)
+            .collect();
+        let mut out = Vec::new();
+        encode_repl_round(&mut out, FRAME_REPL_DELTA, 9, &doc);
+        let mut buf = &out[..];
+        let mut assembled = Vec::new();
+        let mut committed = None;
+        let mut next_seq = 0u32;
+        loop {
+            match decode_server_frame(buf) {
+                ServerFrameDecode::ReplChunk {
+                    full_sync,
+                    epoch,
+                    seq,
+                    last,
+                    data,
+                    consumed,
+                } => {
+                    assert!(!full_sync);
+                    assert_eq!(epoch, 9);
+                    assert_eq!(seq, next_seq);
+                    next_seq += 1;
+                    assert_eq!(last, seq == 1, "two chunks expected");
+                    assembled.extend_from_slice(&data);
+                    buf = &buf[consumed..];
+                }
+                ServerFrameDecode::ReplCommit { epoch, consumed } => {
+                    committed = Some(epoch);
+                    buf = &buf[consumed..];
+                    break;
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(buf.is_empty());
+        assert_eq!(assembled, doc);
+        assert_eq!(committed, Some(9));
+        // Every proper prefix of the stream is Incomplete.
+        for cut in 0..BIN_HEADER_LEN + REPL_CHUNK_HEADER {
+            assert!(matches!(
+                decode_server_frame(&out[..cut]),
+                ServerFrameDecode::Incomplete
+            ));
+        }
+    }
+
+    #[test]
+    fn repl_empty_round_is_lone_commit() {
+        let mut out = Vec::new();
+        encode_repl_round(&mut out, FRAME_REPL_SYNC, 3, &[]);
+        match decode_server_frame(&out) {
+            ServerFrameDecode::ReplCommit { epoch, consumed } => {
+                assert_eq!(epoch, 3);
+                assert_eq!(consumed, out.len());
+            }
+            other => panic!("{other:?}"),
+        }
+        // Sync chunks decode with the full_sync marker set.
+        let mut sync = Vec::new();
+        encode_repl_chunk(&mut sync, FRAME_REPL_SYNC, 1, 0, true, b"abc");
+        match decode_server_frame(&sync) {
+            ServerFrameDecode::ReplChunk {
+                full_sync,
+                last,
+                data,
+                ..
+            } => {
+                assert!(full_sync && last);
+                assert_eq!(data, b"abc");
+            }
+            other => panic!("{other:?}"),
+        }
     }
 }

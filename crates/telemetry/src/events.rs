@@ -29,6 +29,16 @@ pub enum EventKind {
     Migration,
     /// The cluster ring epoch advanced (node drop or migration).
     RingEpoch,
+    /// Health probes declared a node unreachable (router).
+    NodeDown,
+    /// A failover was executed: a standby replaced a dead node in the
+    /// ring (router).
+    Failover,
+    /// A warm standby promoted itself to a serving primary (node).
+    Promotion,
+    /// A replication full sync was streamed to a follower (primary
+    /// side); steady-state delta rounds are too frequent to ring.
+    ReplSync,
 }
 
 impl EventKind {
@@ -40,6 +50,10 @@ impl EventKind {
             EventKind::Throttle => "throttle",
             EventKind::Migration => "migration",
             EventKind::RingEpoch => "ring-epoch",
+            EventKind::NodeDown => "node-down",
+            EventKind::Failover => "failover",
+            EventKind::Promotion => "promotion",
+            EventKind::ReplSync => "repl-sync",
         }
     }
 }
@@ -197,6 +211,10 @@ mod tests {
             EventKind::Throttle,
             EventKind::Migration,
             EventKind::RingEpoch,
+            EventKind::NodeDown,
+            EventKind::Failover,
+            EventKind::Promotion,
+            EventKind::ReplSync,
         ];
         let names: Vec<&str> = all.iter().map(|k| k.name()).collect();
         assert_eq!(
@@ -206,7 +224,11 @@ mod tests {
                 "eviction",
                 "throttle",
                 "migration",
-                "ring-epoch"
+                "ring-epoch",
+                "node-down",
+                "failover",
+                "promotion",
+                "repl-sync"
             ]
         );
     }
